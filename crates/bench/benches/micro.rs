@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks for the hot paths: wire codec, merge
+//! learner, acceptor log, zipfian generation and a full in-memory
+//! consensus round.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use common::ids::{Ballot, InstanceId, NodeId, RingId};
+use common::msg::{Msg, RingMsg};
+use common::value::Value;
+use common::wire::Wire;
+use coord::{Registry, RingConfig};
+use multiring::MergeLearner;
+use ringpaxos::node::{Output, RingNode};
+use ringpaxos::options::RingOptions;
+use storage::{AcceptorLog, StorageMode};
+use workloads::keys::{KeyChooser, ScrambledZipfian};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for size in [512usize, 32 * 1024] {
+        let msg = Msg::Ring(
+            RingId::new(0),
+            RingMsg::Phase2 {
+                inst: InstanceId::new(123456),
+                ballot: Ballot::new(3, NodeId::new(1)),
+                value: Value::app(NodeId::new(1), 42, Bytes::from(vec![7u8; size])),
+                votes: 2,
+                ttl: 2,
+            },
+        );
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &msg, |b, msg| {
+            b.iter(|| msg.to_bytes())
+        });
+        let bytes = msg.to_bytes();
+        group.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
+            b.iter(|| {
+                let mut buf = bytes.clone();
+                Msg::decode(&mut buf).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    c.bench_function("merge_learner_2rings_push_pop", |b| {
+        b.iter_batched(
+            || MergeLearner::new(&[RingId::new(0), RingId::new(1)], 1),
+            |mut m| {
+                for i in 0..1000u64 {
+                    m.push(
+                        RingId::new(0),
+                        InstanceId::new(i),
+                        Value::app(NodeId::new(0), i, Bytes::from_static(b"x")),
+                    );
+                    m.push(
+                        RingId::new(1),
+                        InstanceId::new(i),
+                        Value::app(NodeId::new(1), i, Bytes::from_static(b"y")),
+                    );
+                }
+                let mut n = 0;
+                while m.pop().is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 2000);
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_acceptor_log(c: &mut Criterion) {
+    c.bench_function("acceptor_log_accept_1k", |b| {
+        let ballot = Ballot::new(1, NodeId::new(0));
+        b.iter_batched(
+            || AcceptorLog::new(StorageMode::InMemory),
+            |mut log| {
+                for i in 0..1000u64 {
+                    log.accept(
+                        InstanceId::new(i),
+                        ballot,
+                        Value::app(NodeId::new(0), i, Bytes::from_static(b"v")),
+                        common::SimTime::ZERO,
+                    );
+                }
+                log.trim(InstanceId::new(500));
+                assert_eq!(log.len(), 499);
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    use rand::SeedableRng;
+    c.bench_function("scrambled_zipfian_draw", |b| {
+        let mut z = ScrambledZipfian::new(1_000_000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| z.next_key(&mut rng))
+    });
+}
+
+/// One full consensus instance over a 3-member in-memory ring, messages
+/// relayed synchronously (protocol cost without network timing).
+fn bench_consensus_round(c: &mut Criterion) {
+    c.bench_function("ring_consensus_round_3nodes", |b| {
+        let registry = Registry::new();
+        let members: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        registry
+            .register_ring(RingConfig::new(RingId::new(0), members.clone(), members.clone()).unwrap())
+            .unwrap();
+        let mut nodes: Vec<RingNode> = members
+            .iter()
+            .map(|m| {
+                RingNode::new(*m, RingId::new(0), registry.clone(), RingOptions::crash_free())
+                    .unwrap()
+            })
+            .collect();
+        let now = common::SimTime::ZERO;
+        let mut out = Output::new();
+        for n in nodes.iter_mut() {
+            n.start(now, &mut out);
+        }
+        // Relay starts.
+        let mut inflight: Vec<(usize, NodeId, RingMsg)> = Vec::new();
+        let mut drain = |from: NodeId, out: &mut Output, inflight: &mut Vec<(usize, NodeId, RingMsg)>| {
+            for (to, msg) in out.sends.drain(..) {
+                inflight.push((to.raw() as usize, from, msg));
+            }
+            out.decided.clear();
+            out.timers.clear();
+        };
+        drain(NodeId::new(0), &mut out, &mut inflight);
+        while let Some((to, from, msg)) = inflight.pop() {
+            nodes[to].on_msg(from, msg, now, &mut out);
+            let me = nodes[to].me();
+            drain(me, &mut out, &mut inflight);
+        }
+
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let v = Value::app(NodeId::new(0), seq, Bytes::from_static(b"bench"));
+            nodes[0].propose(v, now, &mut out);
+            drain(NodeId::new(0), &mut out, &mut inflight);
+            while let Some((to, from, msg)) = inflight.pop() {
+                nodes[to].on_msg(from, msg, now, &mut out);
+                let me = nodes[to].me();
+                drain(me, &mut out, &mut inflight);
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_merge,
+    bench_acceptor_log,
+    bench_zipfian,
+    bench_consensus_round
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Benchmark harnesses regenerating every figure of the paper's
+//! evaluation (§8), plus shared simulation scaffolding.
+
+pub mod scaffold;

@@ -1,0 +1,256 @@
+//! Log-bucketed latency histogram.
+//!
+//! A fixed-size histogram with logarithmic buckets (~4.5% relative error),
+//! good for nanosecond-to-minutes latency ranges without allocation. Used by
+//! the simulator's metrics and the benchmark harnesses to produce the
+//! latency CDFs in Figures 3, 6 and 7.
+
+use std::fmt;
+use std::time::Duration;
+
+const SUB_BUCKETS: usize = 16;
+const BUCKETS: usize = 64 * SUB_BUCKETS;
+
+/// A histogram of `u64` samples (by convention: nanoseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            return v as usize;
+        }
+        let log = 63 - v.leading_zeros() as usize;
+        let base = (log - 3) * SUB_BUCKETS;
+        let sub = ((v >> (log - 4)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        (base + sub).min(BUCKETS - 1)
+    }
+
+    fn bucket_low(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let base = idx / SUB_BUCKETS + 3;
+        let sub = idx % SUB_BUCKETS;
+        (1u64 << base) + ((sub as u64) << (base - 4))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a latency expressed as a [`Duration`] in nanoseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of the samples, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Smallest recorded sample, 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (approximate: lower bound of
+    /// the containing bucket). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_low(idx).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Produces `(value, cumulative_fraction)` points for plotting a CDF.
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            out.push((Self::bucket_low(idx), seen as f64 / self.total as f64));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert!(h.cdf_points().is_empty());
+    }
+
+    #[test]
+    fn exact_below_sixteen() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.count(), 16);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (p50 as f64 - 50_000.0).abs() / 50_000.0 < 0.10,
+            "p50 = {p50}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(
+            (p99 as f64 - 99_000.0).abs() / 99_000.0 < 0.10,
+            "p99 = {p99}"
+        );
+        assert!((h.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in [5u64, 100, 2_000, 1_000_000] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [7u64, 900, 12_345_678] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.quantile(0.5), c.quantile(0.5));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::new();
+        for v in [1u64, 10, 10, 100, 1000, 1000, 1000] {
+            h.record(v);
+        }
+        let pts = h.cdf_points();
+        assert!(!pts.is_empty());
+        let mut prev = 0.0;
+        for &(_, f) in &pts {
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_duration_uses_nanos() {
+        let mut h = Histogram::new();
+        h.record_duration(Duration::from_micros(5));
+        assert_eq!(h.min(), 5_000);
+    }
+}

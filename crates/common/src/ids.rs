@@ -1,0 +1,227 @@
+//! Strongly typed identifiers.
+//!
+//! Every entity in the system gets its own newtype so that, e.g., a consensus
+//! instance number can never be confused with a ballot or a ring id
+//! (C-NEWTYPE). All ids are `Copy`, ordered, hashable and implement the wire
+//! codec.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Wraps a raw id.
+            pub const fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw id.
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for $inner {
+            fn from(id: $name) -> $inner {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A process in the system (proposer, acceptor, learner, replica,
+    /// client or any combination thereof).
+    NodeId, u32, "n"
+);
+define_id!(
+    /// A Ring Paxos ring, which is also the multicast *group* id: the
+    /// deterministic merge delivers rings in ascending `RingId` order.
+    RingId, u16, "r"
+);
+define_id!(
+    /// A consensus instance within one ring. Instances are decided in
+    /// sequence starting at 0.
+    InstanceId, u64, "i"
+);
+define_id!(
+    /// A client of one of the replicated services.
+    ClientId, u32, "c"
+);
+define_id!(
+    /// A per-client request sequence number.
+    RequestId, u64, "q"
+);
+define_id!(
+    /// A service partition (shard). In Multi-Ring Paxos a *partition* is the
+    /// set of replicas subscribing to the same set of multicast groups.
+    PartitionId, u16, "p"
+);
+define_id!(
+    /// A configuration epoch handed out by the coordination service. Used as
+    /// the round component of ballots after failover.
+    Epoch, u64, "e"
+);
+
+impl InstanceId {
+    /// The first consensus instance of every ring.
+    pub const ZERO: InstanceId = InstanceId(0);
+
+    /// The instance directly after `self`.
+    #[must_use]
+    pub const fn next(self) -> InstanceId {
+        InstanceId(self.0 + 1)
+    }
+
+    /// The instance `n` after `self`.
+    #[must_use]
+    pub const fn plus(self, n: u64) -> InstanceId {
+        InstanceId(self.0 + n)
+    }
+
+    /// Number of instances in the half-open range `self..other`.
+    ///
+    /// Returns 0 when `other <= self`.
+    pub const fn distance_to(self, other: InstanceId) -> u64 {
+        other.0.saturating_sub(self.0)
+    }
+}
+
+/// A Paxos ballot: a round number combined with the proposing node for
+/// total order with tie-breaking.
+///
+/// Higher rounds beat lower rounds; within a round the node id breaks ties.
+/// Ballot 0 (`Ballot::ZERO`) is reserved to mean "never voted".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ballot {
+    round: u32,
+    node: NodeId,
+}
+
+impl Ballot {
+    /// The null ballot, smaller than every real ballot.
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        node: NodeId::new(0),
+    };
+
+    /// Creates a ballot for `round` owned by `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0`; round 0 is reserved for [`Ballot::ZERO`].
+    pub fn new(round: u32, node: NodeId) -> Self {
+        assert!(round > 0, "round 0 is reserved for Ballot::ZERO");
+        Ballot { round, node }
+    }
+
+    /// The round component.
+    pub const fn round(self) -> u32 {
+        self.round
+    }
+
+    /// The node that owns this ballot.
+    pub const fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// The smallest ballot owned by `node` that is strictly greater than
+    /// `self`.
+    #[must_use]
+    pub fn succ(self, node: NodeId) -> Ballot {
+        if node > self.node {
+            Ballot {
+                round: self.round.max(1),
+                node,
+            }
+        } else {
+            Ballot {
+                round: self.round + 1,
+                node,
+            }
+        }
+    }
+
+    /// True for [`Ballot::ZERO`].
+    pub const fn is_zero(self) -> bool {
+        self.round == 0
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.node.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw() {
+        assert_eq!(NodeId::new(7).raw(), 7);
+        assert_eq!(RingId::from(3u16).raw(), 3);
+        assert_eq!(u64::from(InstanceId::new(9)), 9);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId::new(4).to_string(), "n4");
+        assert_eq!(RingId::new(1).to_string(), "r1");
+        assert_eq!(InstanceId::new(42).to_string(), "i42");
+        assert_eq!(PartitionId::new(2).to_string(), "p2");
+    }
+
+    #[test]
+    fn instance_arithmetic() {
+        let i = InstanceId::ZERO;
+        assert_eq!(i.next(), InstanceId::new(1));
+        assert_eq!(i.plus(10), InstanceId::new(10));
+        assert_eq!(InstanceId::new(3).distance_to(InstanceId::new(8)), 5);
+        assert_eq!(InstanceId::new(8).distance_to(InstanceId::new(3)), 0);
+    }
+
+    #[test]
+    fn ballot_ordering_round_major() {
+        let a = Ballot::new(1, NodeId::new(9));
+        let b = Ballot::new(2, NodeId::new(1));
+        assert!(b > a);
+        assert!(a > Ballot::ZERO);
+    }
+
+    #[test]
+    fn ballot_succ_is_strictly_greater() {
+        let b = Ballot::new(3, NodeId::new(5));
+        for node in [0u32, 4, 5, 6, 100] {
+            let s = b.succ(NodeId::new(node));
+            assert!(s > b, "succ({b}, n{node}) = {s} must be > {b}");
+            assert_eq!(s.node(), NodeId::new(node));
+        }
+        // succ of ZERO owned by any node is a valid, positive ballot.
+        let s = Ballot::ZERO.succ(NodeId::new(2));
+        assert!(s > Ballot::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "round 0 is reserved")]
+    fn ballot_round_zero_rejected() {
+        let _ = Ballot::new(0, NodeId::new(1));
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared foundation for the atomic multicast workspace.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`ids`] — strongly typed identifiers (nodes, rings, consensus
+//!   instances, ballots, clients, partitions).
+//! * [`time`] — the virtual instant type [`SimTime`] used by both the
+//!   discrete-event simulator and the live runtime.
+//! * [`value`] — the unit of agreement: a [`Value`] proposed to a ring,
+//!   which is either an application payload, a no-op, or a *skip* used by
+//!   Multi-Ring Paxos rate leveling.
+//! * [`msg`] — every protocol message exchanged between processes: Ring
+//!   Paxos phases, client traffic, recovery and trimming.
+//! * [`wire`] — a compact, hand-rolled binary codec ([`wire::Wire`]) with
+//!   varint framing, used for on-disk logs and TCP transport.
+//! * [`hist`] — a log-bucketed latency histogram shared by the simulator
+//!   metrics and the benchmark harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use common::{ids::NodeId, value::Value, wire::Wire};
+//! use bytes::BytesMut;
+//!
+//! let v = Value::app(NodeId::new(1), 7, bytes::Bytes::from_static(b"hello"));
+//! let mut buf = BytesMut::new();
+//! v.encode(&mut buf);
+//! let mut frozen = buf.freeze();
+//! let back = Value::decode(&mut frozen).unwrap();
+//! assert_eq!(v, back);
+//! ```
+
+pub mod error;
+pub mod hist;
+pub mod ids;
+pub mod msg;
+pub mod time;
+pub mod value;
+pub mod wire;
+
+pub use error::{Error, Result};
+pub use hist::Histogram;
+pub use ids::{Ballot, ClientId, Epoch, InstanceId, NodeId, PartitionId, RequestId, RingId};
+pub use time::SimTime;
+pub use value::{Value, ValueId, ValueKind};

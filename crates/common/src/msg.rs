@@ -1,0 +1,885 @@
+//! Protocol messages.
+//!
+//! Everything that travels between processes — Ring Paxos phases, client
+//! traffic, recovery/trimming and baseline-specific payloads — is a [`Msg`].
+//! Having a single concrete message type keeps the simulator and the live
+//! transport free of generics while still letting services define their own
+//! command encodings inside [`bytes::Bytes`] payloads.
+//!
+//! ## Ring circulation and TTLs
+//!
+//! Ring Paxos messages travel along a unidirectional ring. A message created
+//! by some process carries a `ttl` initialized to *ring size − 1*; each hop
+//! decrements it and forwards while positive, so "values and decisions stop
+//! circulating when all processes have received them" (paper §4) without any
+//! process needing to know the originator's position.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::WireError;
+use crate::ids::{Ballot, ClientId, InstanceId, NodeId, PartitionId, RequestId, RingId};
+use crate::value::Value;
+use crate::wire::{
+    get_bytes, get_tag, get_varint, get_vec, put_bytes, put_varint, put_vec, Wire,
+};
+
+/// Top-level message envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// A Ring Paxos protocol message for one ring.
+    Ring(RingId, RingMsg),
+    /// Client request/response traffic.
+    Client(ClientMsg),
+    /// Recovery, checkpointing and log-trimming traffic.
+    Recovery(RecoveryMsg),
+    /// Free-form payload used by baseline systems and tests; the `u16` tags
+    /// the sub-protocol.
+    Custom(u16, Bytes),
+}
+
+impl Msg {
+    /// Approximate on-wire size in bytes, used by the simulator's bandwidth
+    /// and CPU cost models. Computed without serializing.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Msg::Ring(_, m) => 2 + m.wire_size(),
+            Msg::Client(m) => 1 + m.wire_size(),
+            Msg::Recovery(m) => 1 + m.wire_size(),
+            Msg::Custom(_, b) => 3 + b.len(),
+        }
+    }
+}
+
+/// An accepted value reported in Phase 1: instance, the ballot it was
+/// accepted at, and the value itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcceptedEntry {
+    /// The consensus instance.
+    pub inst: InstanceId,
+    /// Ballot at which `value` was accepted.
+    pub vballot: Ballot,
+    /// The accepted value.
+    pub value: Value,
+}
+
+impl Wire for AcceptedEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.inst.encode(buf);
+        self.vballot.encode(buf);
+        self.value.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(AcceptedEntry {
+            inst: InstanceId::decode(buf)?,
+            vballot: Ballot::decode(buf)?,
+            value: Value::decode(buf)?,
+        })
+    }
+}
+
+/// Ring Paxos messages (paper §4, Figure 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RingMsg {
+    /// A proposed value circulating towards the coordinator.
+    Proposal {
+        /// The value to order.
+        value: Value,
+        /// Remaining hops.
+        ttl: u16,
+    },
+    /// Combined Phase 1A/1B circulating the ring: the coordinator opens a
+    /// window of instances at `ballot`; acceptors add their promise count
+    /// and report values they accepted in the window under lower ballots.
+    Phase1 {
+        /// The coordinator's ballot.
+        ballot: Ballot,
+        /// First instance of the window (inclusive).
+        from: InstanceId,
+        /// Last instance of the window (exclusive).
+        to: InstanceId,
+        /// Number of acceptors that promised so far.
+        promises: u16,
+        /// Previously accepted values that must be re-proposed.
+        accepted: Vec<AcceptedEntry>,
+        /// Remaining hops.
+        ttl: u16,
+    },
+    /// Combined Phase 2A/2B circulating the ring: proposal by the
+    /// coordinator plus the votes accumulated so far.
+    Phase2 {
+        /// The consensus instance being decided.
+        inst: InstanceId,
+        /// The coordinator's ballot.
+        ballot: Ballot,
+        /// The proposed value.
+        value: Value,
+        /// Number of acceptor votes accumulated.
+        votes: u16,
+        /// Remaining hops.
+        ttl: u16,
+    },
+    /// A decision circulating so every process learns the outcome.
+    Decision {
+        /// The decided instance.
+        inst: InstanceId,
+        /// The decided value.
+        value: Value,
+        /// Remaining hops.
+        ttl: u16,
+    },
+    /// Several ring messages packed into one network packet (paper §4:
+    /// "different types of messages for several consensus instances are
+    /// often grouped into bigger packets").
+    Batch(Vec<RingMsg>),
+    /// A liveness beacon sent point-to-point to the successor; consumed by
+    /// the receiver (never forwarded). Silence from the predecessor is how
+    /// ring members detect failures and trigger reconfiguration.
+    Heartbeat {
+        /// The sender's view of the configuration epoch.
+        epoch: u64,
+    },
+}
+
+impl RingMsg {
+    /// Approximate on-wire size without serializing.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            RingMsg::Proposal { value, .. } => 4 + value.encoded_len(),
+            RingMsg::Phase1 { accepted, .. } => {
+                16 + accepted
+                    .iter()
+                    .map(|a| 12 + a.value.encoded_len())
+                    .sum::<usize>()
+            }
+            RingMsg::Phase2 { value, .. } => 12 + value.encoded_len(),
+            RingMsg::Decision { value, .. } => 8 + value.encoded_len(),
+            RingMsg::Batch(msgs) => 2 + msgs.iter().map(RingMsg::wire_size).sum::<usize>(),
+            RingMsg::Heartbeat { .. } => 10,
+        }
+    }
+
+    /// The remaining hop count, if this message circulates.
+    pub fn ttl(&self) -> Option<u16> {
+        match self {
+            RingMsg::Proposal { ttl, .. }
+            | RingMsg::Phase1 { ttl, .. }
+            | RingMsg::Phase2 { ttl, .. }
+            | RingMsg::Decision { ttl, .. } => Some(*ttl),
+            RingMsg::Batch(_) | RingMsg::Heartbeat { .. } => None,
+        }
+    }
+}
+
+impl Wire for RingMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            RingMsg::Proposal { value, ttl } => {
+                buf.put_u8(0);
+                value.encode(buf);
+                put_varint(buf, u64::from(*ttl));
+            }
+            RingMsg::Phase1 {
+                ballot,
+                from,
+                to,
+                promises,
+                accepted,
+                ttl,
+            } => {
+                buf.put_u8(1);
+                ballot.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+                put_varint(buf, u64::from(*promises));
+                put_vec(buf, accepted);
+                put_varint(buf, u64::from(*ttl));
+            }
+            RingMsg::Phase2 {
+                inst,
+                ballot,
+                value,
+                votes,
+                ttl,
+            } => {
+                buf.put_u8(2);
+                inst.encode(buf);
+                ballot.encode(buf);
+                value.encode(buf);
+                put_varint(buf, u64::from(*votes));
+                put_varint(buf, u64::from(*ttl));
+            }
+            RingMsg::Decision { inst, value, ttl } => {
+                buf.put_u8(3);
+                inst.encode(buf);
+                value.encode(buf);
+                put_varint(buf, u64::from(*ttl));
+            }
+            RingMsg::Batch(msgs) => {
+                buf.put_u8(4);
+                put_vec(buf, msgs);
+            }
+            RingMsg::Heartbeat { epoch } => {
+                buf.put_u8(5);
+                put_varint(buf, *epoch);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match get_tag(buf, "ring msg")? {
+            0 => Ok(RingMsg::Proposal {
+                value: Value::decode(buf)?,
+                ttl: get_varint(buf)? as u16,
+            }),
+            1 => Ok(RingMsg::Phase1 {
+                ballot: Ballot::decode(buf)?,
+                from: InstanceId::decode(buf)?,
+                to: InstanceId::decode(buf)?,
+                promises: get_varint(buf)? as u16,
+                accepted: get_vec(buf)?,
+                ttl: get_varint(buf)? as u16,
+            }),
+            2 => Ok(RingMsg::Phase2 {
+                inst: InstanceId::decode(buf)?,
+                ballot: Ballot::decode(buf)?,
+                value: Value::decode(buf)?,
+                votes: get_varint(buf)? as u16,
+                ttl: get_varint(buf)? as u16,
+            }),
+            3 => Ok(RingMsg::Decision {
+                inst: InstanceId::decode(buf)?,
+                value: Value::decode(buf)?,
+                ttl: get_varint(buf)? as u16,
+            }),
+            4 => Ok(RingMsg::Batch(get_vec(buf)?)),
+            5 => Ok(RingMsg::Heartbeat {
+                epoch: get_varint(buf)?,
+            }),
+            tag => Err(WireError::BadTag {
+                context: "ring msg",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Client traffic. Requests go to a proposer of the target group; responses
+/// come back from replicas (over UDP in the paper — unordered and possibly
+/// duplicated, which clients must tolerate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Submit `cmd` for atomic multicast to `group`.
+    Request {
+        /// Issuing client.
+        client: ClientId,
+        /// Client's request sequence number.
+        client_seq: RequestId,
+        /// Target multicast group.
+        group: RingId,
+        /// Service-specific command bytes.
+        cmd: Bytes,
+    },
+    /// A replica's reply to a request.
+    Response {
+        /// The client being answered.
+        client: ClientId,
+        /// Which request this answers.
+        client_seq: RequestId,
+        /// Replica that executed the command.
+        from_replica: NodeId,
+        /// Service-specific response bytes.
+        payload: Bytes,
+    },
+}
+
+impl ClientMsg {
+    /// Approximate on-wire size without serializing.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ClientMsg::Request { cmd, .. } => 12 + cmd.len(),
+            ClientMsg::Response { payload, .. } => 12 + payload.len(),
+        }
+    }
+}
+
+impl Wire for ClientMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ClientMsg::Request {
+                client,
+                client_seq,
+                group,
+                cmd,
+            } => {
+                buf.put_u8(0);
+                client.encode(buf);
+                client_seq.encode(buf);
+                group.encode(buf);
+                put_bytes(buf, cmd);
+            }
+            ClientMsg::Response {
+                client,
+                client_seq,
+                from_replica,
+                payload,
+            } => {
+                buf.put_u8(1);
+                client.encode(buf);
+                client_seq.encode(buf);
+                from_replica.encode(buf);
+                put_bytes(buf, payload);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match get_tag(buf, "client msg")? {
+            0 => Ok(ClientMsg::Request {
+                client: ClientId::decode(buf)?,
+                client_seq: RequestId::decode(buf)?,
+                group: RingId::decode(buf)?,
+                cmd: get_bytes(buf)?,
+            }),
+            1 => Ok(ClientMsg::Response {
+                client: ClientId::decode(buf)?,
+                client_seq: RequestId::decode(buf)?,
+                from_replica: NodeId::decode(buf)?,
+                payload: get_bytes(buf)?,
+            }),
+            tag => Err(WireError::BadTag {
+                context: "client msg",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A checkpoint identifier: one consensus instance per subscribed ring,
+/// ordered by ring id (paper §5.2, the tuple `k_p`).
+///
+/// Within a partition, checkpoints taken at deterministic-merge boundaries
+/// are totally ordered (Predicate 1); across partitions only a partial order
+/// exists, which is why remote checkpoints may only be installed from the
+/// same partition.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CheckpointTuple(Vec<(RingId, InstanceId)>);
+
+impl CheckpointTuple {
+    /// Builds a tuple from `(ring, next undelivered instance)` pairs; the
+    /// entries are sorted by ring id.
+    pub fn new(mut entries: Vec<(RingId, InstanceId)>) -> Self {
+        entries.sort_by_key(|(r, _)| *r);
+        entries.dedup_by_key(|(r, _)| *r);
+        CheckpointTuple(entries)
+    }
+
+    /// The instance recorded for `ring`, if the partition subscribes to it.
+    pub fn get(&self, ring: RingId) -> Option<InstanceId> {
+        self.0
+            .iter()
+            .find(|(r, _)| *r == ring)
+            .map(|(_, inst)| *inst)
+    }
+
+    /// Iterates over `(ring, instance)` entries in ring-id order.
+    pub fn entries(&self) -> impl Iterator<Item = (RingId, InstanceId)> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The rings covered by this tuple.
+    pub fn rings(&self) -> impl Iterator<Item = RingId> + '_ {
+        self.0.iter().map(|(r, _)| *r)
+    }
+
+    /// Number of rings in the tuple.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the tuple covers no rings.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Componentwise comparison: `Some(Less/Equal/Greater)` when every entry
+    /// agrees (tuples over the same rings), `None` when incomparable.
+    ///
+    /// Same-partition checkpoints are always comparable (Predicate 1).
+    pub fn partial_cmp_tuple(&self, other: &CheckpointTuple) -> Option<Ordering> {
+        if self.0.len() != other.0.len() {
+            return None;
+        }
+        let mut ord = Ordering::Equal;
+        for ((ra, ia), (rb, ib)) in self.0.iter().zip(other.0.iter()) {
+            if ra != rb {
+                return None;
+            }
+            match (ord, ia.cmp(ib)) {
+                (_, Ordering::Equal) => {}
+                (Ordering::Equal, o) => ord = o,
+                (o1, o2) if o1 == o2 => {}
+                _ => return None,
+            }
+        }
+        Some(ord)
+    }
+
+    /// True if `self` is componentwise `>=` `other`.
+    pub fn dominates(&self, other: &CheckpointTuple) -> bool {
+        matches!(
+            self.partial_cmp_tuple(other),
+            Some(Ordering::Greater | Ordering::Equal)
+        )
+    }
+}
+
+impl fmt::Display for CheckpointTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k[")?;
+        for (i, (r, inst)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}:{inst}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Wire for CheckpointTuple {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_vec(buf, &self.0);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(CheckpointTuple::new(get_vec(buf)?))
+    }
+}
+
+/// Recovery, checkpoint-coordination and log-trimming messages (paper §5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryMsg {
+    /// Coordinator of `ring` asks replicas for their highest safe instance.
+    TrimQuery {
+        /// The ring whose log may be trimmed.
+        ring: RingId,
+        /// Correlates replies with queries.
+        seq: u64,
+    },
+    /// A replica's answer: it has checkpointed state covering instances up
+    /// to `safe` on `ring`.
+    TrimReply {
+        /// The ring in question.
+        ring: RingId,
+        /// Echoed query sequence number.
+        seq: u64,
+        /// Highest instance included in the replica's checkpoint.
+        safe: InstanceId,
+        /// The answering replica.
+        replica: NodeId,
+    },
+    /// Coordinator's order to acceptors: trim everything `<= upto`.
+    Trim {
+        /// The ring whose acceptors should trim.
+        ring: RingId,
+        /// Last trimmed instance (the paper's `K[x]_T`).
+        upto: InstanceId,
+    },
+    /// A recovering replica asks partition peers for checkpoint metadata.
+    CheckpointQuery {
+        /// The recovering replica's partition.
+        partition: PartitionId,
+        /// Correlates replies.
+        seq: u64,
+    },
+    /// A peer advertises its most recent checkpoint.
+    CheckpointInfo {
+        /// Echoed query sequence number.
+        seq: u64,
+        /// The advertising replica.
+        replica: NodeId,
+        /// Identifier of its latest durable checkpoint.
+        tuple: CheckpointTuple,
+    },
+    /// Ask `replica` for the full state of checkpoint `tuple`.
+    CheckpointFetch {
+        /// Which checkpoint to ship.
+        tuple: CheckpointTuple,
+    },
+    /// The checkpoint state transfer.
+    CheckpointData {
+        /// Which checkpoint this is.
+        tuple: CheckpointTuple,
+        /// Serialized service state.
+        state: Bytes,
+    },
+    /// Ask an acceptor to retransmit decisions in `[from, to)` of `ring`.
+    Retransmit {
+        /// The ring to replay.
+        ring: RingId,
+        /// First wanted instance.
+        from: InstanceId,
+        /// One past the last wanted instance.
+        to: InstanceId,
+    },
+    /// Retransmitted decisions. `log_start` tells the requester which
+    /// prefix is gone forever (it must then fetch a newer checkpoint).
+    RetransmitReply {
+        /// The ring replayed.
+        ring: RingId,
+        /// Decisions, in instance order.
+        decisions: Vec<AcceptedEntry>,
+        /// The acceptor's first retained instance; instances strictly
+        /// below were trimmed and cannot be replayed.
+        log_start: InstanceId,
+    },
+}
+
+impl RecoveryMsg {
+    /// Approximate on-wire size without serializing.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            RecoveryMsg::TrimQuery { .. } => 12,
+            RecoveryMsg::TrimReply { .. } => 20,
+            RecoveryMsg::Trim { .. } => 12,
+            RecoveryMsg::CheckpointQuery { .. } => 12,
+            RecoveryMsg::CheckpointInfo { tuple, .. } => 16 + tuple.len() * 10,
+            RecoveryMsg::CheckpointFetch { tuple } => 4 + tuple.len() * 10,
+            RecoveryMsg::CheckpointData { tuple, state } => 4 + tuple.len() * 10 + state.len(),
+            RecoveryMsg::Retransmit { .. } => 20,
+            RecoveryMsg::RetransmitReply { decisions, .. } => {
+                12 + decisions
+                    .iter()
+                    .map(|d| 12 + d.value.encoded_len())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl Wire for RecoveryMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            RecoveryMsg::TrimQuery { ring, seq } => {
+                buf.put_u8(0);
+                ring.encode(buf);
+                put_varint(buf, *seq);
+            }
+            RecoveryMsg::TrimReply {
+                ring,
+                seq,
+                safe,
+                replica,
+            } => {
+                buf.put_u8(1);
+                ring.encode(buf);
+                put_varint(buf, *seq);
+                safe.encode(buf);
+                replica.encode(buf);
+            }
+            RecoveryMsg::Trim { ring, upto } => {
+                buf.put_u8(2);
+                ring.encode(buf);
+                upto.encode(buf);
+            }
+            RecoveryMsg::CheckpointQuery { partition, seq } => {
+                buf.put_u8(3);
+                partition.encode(buf);
+                put_varint(buf, *seq);
+            }
+            RecoveryMsg::CheckpointInfo {
+                seq,
+                replica,
+                tuple,
+            } => {
+                buf.put_u8(4);
+                put_varint(buf, *seq);
+                replica.encode(buf);
+                tuple.encode(buf);
+            }
+            RecoveryMsg::CheckpointFetch { tuple } => {
+                buf.put_u8(5);
+                tuple.encode(buf);
+            }
+            RecoveryMsg::CheckpointData { tuple, state } => {
+                buf.put_u8(6);
+                tuple.encode(buf);
+                put_bytes(buf, state);
+            }
+            RecoveryMsg::Retransmit { ring, from, to } => {
+                buf.put_u8(7);
+                ring.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            RecoveryMsg::RetransmitReply {
+                ring,
+                decisions,
+                log_start,
+            } => {
+                buf.put_u8(8);
+                ring.encode(buf);
+                put_vec(buf, decisions);
+                log_start.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match get_tag(buf, "recovery msg")? {
+            0 => Ok(RecoveryMsg::TrimQuery {
+                ring: RingId::decode(buf)?,
+                seq: get_varint(buf)?,
+            }),
+            1 => Ok(RecoveryMsg::TrimReply {
+                ring: RingId::decode(buf)?,
+                seq: get_varint(buf)?,
+                safe: InstanceId::decode(buf)?,
+                replica: NodeId::decode(buf)?,
+            }),
+            2 => Ok(RecoveryMsg::Trim {
+                ring: RingId::decode(buf)?,
+                upto: InstanceId::decode(buf)?,
+            }),
+            3 => Ok(RecoveryMsg::CheckpointQuery {
+                partition: PartitionId::decode(buf)?,
+                seq: get_varint(buf)?,
+            }),
+            4 => Ok(RecoveryMsg::CheckpointInfo {
+                seq: get_varint(buf)?,
+                replica: NodeId::decode(buf)?,
+                tuple: CheckpointTuple::decode(buf)?,
+            }),
+            5 => Ok(RecoveryMsg::CheckpointFetch {
+                tuple: CheckpointTuple::decode(buf)?,
+            }),
+            6 => Ok(RecoveryMsg::CheckpointData {
+                tuple: CheckpointTuple::decode(buf)?,
+                state: get_bytes(buf)?,
+            }),
+            7 => Ok(RecoveryMsg::Retransmit {
+                ring: RingId::decode(buf)?,
+                from: InstanceId::decode(buf)?,
+                to: InstanceId::decode(buf)?,
+            }),
+            8 => Ok(RecoveryMsg::RetransmitReply {
+                ring: RingId::decode(buf)?,
+                decisions: get_vec(buf)?,
+                log_start: InstanceId::decode(buf)?,
+            }),
+            tag => Err(WireError::BadTag {
+                context: "recovery msg",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Msg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Msg::Ring(ring, m) => {
+                buf.put_u8(0);
+                ring.encode(buf);
+                m.encode(buf);
+            }
+            Msg::Client(m) => {
+                buf.put_u8(1);
+                m.encode(buf);
+            }
+            Msg::Recovery(m) => {
+                buf.put_u8(2);
+                m.encode(buf);
+            }
+            Msg::Custom(tag, payload) => {
+                buf.put_u8(3);
+                put_varint(buf, u64::from(*tag));
+                put_bytes(buf, payload);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match get_tag(buf, "msg")? {
+            0 => Ok(Msg::Ring(RingId::decode(buf)?, RingMsg::decode(buf)?)),
+            1 => Ok(Msg::Client(ClientMsg::decode(buf)?)),
+            2 => Ok(Msg::Recovery(RecoveryMsg::decode(buf)?)),
+            3 => Ok(Msg::Custom(get_varint(buf)? as u16, get_bytes(buf)?)),
+            tag => Err(WireError::BadTag {
+                context: "msg",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use bytes::Buf;
+
+    fn rt(msg: Msg) {
+        let mut b = msg.to_bytes();
+        assert_eq!(Msg::decode(&mut b).unwrap(), msg);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn ring_messages_round_trip() {
+        let v = Value::app(NodeId::new(1), 3, Bytes::from_static(b"xyz"));
+        rt(Msg::Ring(
+            RingId::new(0),
+            RingMsg::Proposal {
+                value: v.clone(),
+                ttl: 2,
+            },
+        ));
+        rt(Msg::Ring(
+            RingId::new(1),
+            RingMsg::Phase1 {
+                ballot: Ballot::new(2, NodeId::new(1)),
+                from: InstanceId::new(0),
+                to: InstanceId::new(32768),
+                promises: 2,
+                accepted: vec![AcceptedEntry {
+                    inst: InstanceId::new(7),
+                    vballot: Ballot::new(1, NodeId::new(2)),
+                    value: v.clone(),
+                }],
+                ttl: 2,
+            },
+        ));
+        rt(Msg::Ring(
+            RingId::new(2),
+            RingMsg::Phase2 {
+                inst: InstanceId::new(10),
+                ballot: Ballot::new(1, NodeId::new(1)),
+                value: v.clone(),
+                votes: 2,
+                ttl: 1,
+            },
+        ));
+        rt(Msg::Ring(
+            RingId::new(3),
+            RingMsg::Decision {
+                inst: InstanceId::new(10),
+                value: v.clone(),
+                ttl: 2,
+            },
+        ));
+        rt(Msg::Ring(
+            RingId::new(3),
+            RingMsg::Batch(vec![
+                RingMsg::Decision {
+                    inst: InstanceId::new(10),
+                    value: v.clone(),
+                    ttl: 2,
+                },
+                RingMsg::Proposal { value: v, ttl: 1 },
+            ]),
+        ));
+    }
+
+    #[test]
+    fn client_and_recovery_round_trip() {
+        rt(Msg::Client(ClientMsg::Request {
+            client: ClientId::new(5),
+            client_seq: RequestId::new(77),
+            group: RingId::new(2),
+            cmd: Bytes::from_static(b"get k"),
+        }));
+        rt(Msg::Client(ClientMsg::Response {
+            client: ClientId::new(5),
+            client_seq: RequestId::new(77),
+            from_replica: NodeId::new(9),
+            payload: Bytes::from_static(b"=v"),
+        }));
+        let tuple = CheckpointTuple::new(vec![
+            (RingId::new(1), InstanceId::new(100)),
+            (RingId::new(0), InstanceId::new(120)),
+        ]);
+        rt(Msg::Recovery(RecoveryMsg::CheckpointInfo {
+            seq: 1,
+            replica: NodeId::new(2),
+            tuple: tuple.clone(),
+        }));
+        rt(Msg::Recovery(RecoveryMsg::CheckpointData {
+            tuple,
+            state: Bytes::from_static(b"statestate"),
+        }));
+        rt(Msg::Recovery(RecoveryMsg::RetransmitReply {
+            ring: RingId::new(0),
+            decisions: vec![AcceptedEntry {
+                inst: InstanceId::new(1),
+                vballot: Ballot::new(1, NodeId::new(1)),
+                value: Value::noop(NodeId::new(1), 2),
+            }],
+            log_start: InstanceId::new(0),
+        }));
+        rt(Msg::Custom(42, Bytes::from_static(b"baseline")));
+    }
+
+    #[test]
+    fn tuple_entries_sorted_by_ring() {
+        let t = CheckpointTuple::new(vec![
+            (RingId::new(3), InstanceId::new(5)),
+            (RingId::new(1), InstanceId::new(9)),
+        ]);
+        let rings: Vec<_> = t.rings().collect();
+        assert_eq!(rings, vec![RingId::new(1), RingId::new(3)]);
+        assert_eq!(t.get(RingId::new(3)), Some(InstanceId::new(5)));
+        assert_eq!(t.get(RingId::new(2)), None);
+    }
+
+    #[test]
+    fn tuple_partial_order() {
+        let a = CheckpointTuple::new(vec![
+            (RingId::new(0), InstanceId::new(10)),
+            (RingId::new(1), InstanceId::new(5)),
+        ]);
+        let b = CheckpointTuple::new(vec![
+            (RingId::new(0), InstanceId::new(12)),
+            (RingId::new(1), InstanceId::new(7)),
+        ]);
+        assert_eq!(a.partial_cmp_tuple(&b), Some(Ordering::Less));
+        assert!(b.dominates(&a));
+        assert!(a.dominates(&a));
+
+        // mixed direction => incomparable
+        let c = CheckpointTuple::new(vec![
+            (RingId::new(0), InstanceId::new(12)),
+            (RingId::new(1), InstanceId::new(3)),
+        ]);
+        assert_eq!(a.partial_cmp_tuple(&c), None);
+        assert!(!c.dominates(&a));
+
+        // different ring sets => incomparable
+        let d = CheckpointTuple::new(vec![(RingId::new(0), InstanceId::new(12))]);
+        assert_eq!(a.partial_cmp_tuple(&d), None);
+    }
+
+    #[test]
+    fn wire_size_is_close_to_encoded_len() {
+        let v = Value::app(NodeId::new(1), 3, Bytes::from(vec![7u8; 1024]));
+        let m = Msg::Ring(
+            RingId::new(0),
+            RingMsg::Phase2 {
+                inst: InstanceId::new(10),
+                ballot: Ballot::new(1, NodeId::new(1)),
+                value: v,
+                votes: 2,
+                ttl: 1,
+            },
+        );
+        let actual = m.to_bytes().len();
+        let approx = m.wire_size();
+        assert!(
+            (approx as i64 - actual as i64).unsigned_abs() <= 16,
+            "approx {approx} too far from actual {actual}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Virtual time.
+//!
+//! The simulator and the protocol state machines never look at the wall
+//! clock; they deal exclusively in [`SimTime`], an instant measured in
+//! nanoseconds since the start of the run. The live runtime maps wall-clock
+//! instants onto `SimTime` at its boundary, so protocol code is identical in
+//! both worlds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the virtual clock, in nanoseconds since the run started.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "never" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// An instant `n` nanoseconds into the run.
+    pub const fn from_nanos(n: u64) -> Self {
+        SimTime(n)
+    }
+
+    /// An instant `n` microseconds into the run.
+    pub const fn from_micros(n: u64) -> Self {
+        SimTime(n * 1_000)
+    }
+
+    /// An instant `n` milliseconds into the run.
+    pub const fn from_millis(n: u64) -> Self {
+        SimTime(n * 1_000_000)
+    }
+
+    /// An instant `n` seconds into the run.
+    pub const fn from_secs(n: u64) -> Self {
+        SimTime(n * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the start of the run (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since the start of the run (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole seconds since the start of the run (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Seconds since the start of the run as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, earlier: SimTime) -> Duration {
+        self.since(earlier)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            return write!(f, "t=never");
+        }
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_agree() {
+        let t = SimTime::from_millis(1500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!(t.as_millis(), 1500);
+        assert_eq!(t.as_secs(), 1);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_duration_and_since() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(250);
+        assert_eq!(t.as_millis(), 1250);
+        assert_eq!(t.since(SimTime::from_secs(1)), Duration::from_millis(250));
+        // saturates rather than panicking
+        assert_eq!(SimTime::ZERO.since(t), Duration::ZERO);
+        assert_eq!(t - SimTime::from_secs(1), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn max_never_overflows() {
+        let t = SimTime::MAX + Duration::from_secs(10);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(t.to_string(), "t=never");
+    }
+}

@@ -1,0 +1,267 @@
+//! The unit of agreement.
+//!
+//! A [`Value`] is what a ring decides in one consensus instance. Besides
+//! application payloads there are two protocol-internal kinds:
+//!
+//! * [`ValueKind::Noop`] — proposed by a new coordinator to fill gaps left
+//!   by a failed predecessor;
+//! * [`ValueKind::Skip`] — Multi-Ring Paxos *rate leveling*: a single
+//!   decision that stands for `n` skipped instances, letting slow rings keep
+//!   up with the deterministic merge without shipping `n` empty messages.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+use crate::error::WireError;
+use crate::ids::{ClientId, NodeId, RequestId};
+use crate::wire::{get_bytes, get_tag, get_varint, put_bytes, put_varint, varint_len, Wire};
+
+/// Globally unique value identifier: proposing node plus a per-node sequence
+/// number.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId {
+    /// The node that created the value.
+    pub node: NodeId,
+    /// The creating node's sequence number.
+    pub seq: u64,
+}
+
+impl ValueId {
+    /// Creates a value id.
+    pub const fn new(node: NodeId, seq: u64) -> Self {
+        ValueId { node, seq }
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}.{}", self.node.raw(), self.seq)
+    }
+}
+
+impl Wire for ValueId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.node.encode(buf);
+        put_varint(buf, self.seq);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(ValueId {
+            node: NodeId::decode(buf)?,
+            seq: get_varint(buf)?,
+        })
+    }
+}
+
+/// What a consensus instance carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueKind {
+    /// An application payload (an encoded [`Envelope`] for the services in
+    /// this workspace, but rings are payload-agnostic).
+    App(Bytes),
+    /// A gap filler proposed during coordinator failover; delivered to no
+    /// one.
+    Noop,
+    /// Stands for `n` skipped instances (rate leveling). The deterministic
+    /// merge counts it as `n` instances of its ring and delivers nothing.
+    Skip(u32),
+}
+
+/// A value proposed to (and eventually decided by) a ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Value {
+    /// Unique id used for duplicate suppression and re-proposal tracking.
+    pub id: ValueId,
+    /// Payload or protocol-internal marker.
+    pub kind: ValueKind,
+}
+
+impl Value {
+    /// An application value with payload `bytes`.
+    pub fn app(node: NodeId, seq: u64, bytes: Bytes) -> Self {
+        Value {
+            id: ValueId::new(node, seq),
+            kind: ValueKind::App(bytes),
+        }
+    }
+
+    /// A no-op gap filler owned by `node`.
+    pub fn noop(node: NodeId, seq: u64) -> Self {
+        Value {
+            id: ValueId::new(node, seq),
+            kind: ValueKind::Noop,
+        }
+    }
+
+    /// A skip token standing for `n` instances.
+    pub fn skip(node: NodeId, seq: u64, n: u32) -> Self {
+        Value {
+            id: ValueId::new(node, seq),
+            kind: ValueKind::Skip(n),
+        }
+    }
+
+    /// The application payload, if this is an app value.
+    pub fn payload(&self) -> Option<&Bytes> {
+        match &self.kind {
+            ValueKind::App(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Number of consensus instances this value stands for (1, or `n` for a
+    /// skip).
+    pub fn instance_span(&self) -> u64 {
+        match self.kind {
+            ValueKind::Skip(n) => u64::from(n.max(1)),
+            _ => 1,
+        }
+    }
+
+    /// True if learners should hand this value to the application.
+    pub fn is_deliverable(&self) -> bool {
+        matches!(self.kind, ValueKind::App(_))
+    }
+
+    /// Approximate bytes this value occupies on the wire; used by the
+    /// simulator's bandwidth and CPU models.
+    pub fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        match &self.kind {
+            ValueKind::App(b) => {
+                buf.put_u8(0);
+                put_bytes(buf, b);
+            }
+            ValueKind::Noop => buf.put_u8(1),
+            ValueKind::Skip(n) => {
+                buf.put_u8(2);
+                put_varint(buf, u64::from(*n));
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let id = ValueId::decode(buf)?;
+        let kind = match get_tag(buf, "value kind")? {
+            0 => ValueKind::App(get_bytes(buf)?),
+            1 => ValueKind::Noop,
+            2 => ValueKind::Skip(get_varint(buf)? as u32),
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "value kind",
+                    tag,
+                })
+            }
+        };
+        Ok(Value { id, kind })
+    }
+
+    fn encoded_len(&self) -> usize {
+        let id_len = varint_len(u64::from(self.id.node.raw())) + varint_len(self.id.seq);
+        id_len
+            + 1
+            + match &self.kind {
+                ValueKind::App(b) => varint_len(b.len() as u64) + b.len(),
+                ValueKind::Noop => 0,
+                ValueKind::Skip(n) => varint_len(u64::from(*n)),
+            }
+    }
+}
+
+/// The service-level request envelope carried inside [`ValueKind::App`].
+///
+/// Replicas decode the envelope on delivery to know which client to answer
+/// and where to send the (simulated UDP) response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// The client issuing the command.
+    pub client: ClientId,
+    /// The client's request sequence number.
+    pub req: RequestId,
+    /// The node the response should be sent to.
+    pub reply_to: NodeId,
+    /// The service-specific command encoding.
+    pub cmd: Bytes,
+}
+
+impl Wire for Envelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.client.encode(buf);
+        self.req.encode(buf);
+        self.reply_to.encode(buf);
+        put_bytes(buf, &self.cmd);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Envelope {
+            client: ClientId::decode(buf)?,
+            req: RequestId::decode(buf)?,
+            reply_to: NodeId::decode(buf)?,
+            cmd: get_bytes(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_kinds_round_trip() {
+        for v in [
+            Value::app(NodeId::new(1), 1, Bytes::from_static(b"abc")),
+            Value::noop(NodeId::new(2), 9),
+            Value::skip(NodeId::new(3), 11, 5000),
+        ] {
+            let mut b = v.to_bytes();
+            assert_eq!(Value::decode(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_actual() {
+        for v in [
+            Value::app(NodeId::new(1), 1, Bytes::from(vec![0u8; 300])),
+            Value::noop(NodeId::new(200), u64::MAX),
+            Value::skip(NodeId::new(3), 0, u32::MAX),
+        ] {
+            assert_eq!(v.encoded_len(), v.to_bytes().len());
+        }
+    }
+
+    #[test]
+    fn instance_span_counts_skips() {
+        assert_eq!(
+            Value::app(NodeId::new(1), 1, Bytes::new()).instance_span(),
+            1
+        );
+        assert_eq!(Value::skip(NodeId::new(1), 1, 100).instance_span(), 100);
+        // degenerate skip still advances at least one instance
+        assert_eq!(Value::skip(NodeId::new(1), 1, 0).instance_span(), 1);
+    }
+
+    #[test]
+    fn deliverability() {
+        assert!(Value::app(NodeId::new(1), 1, Bytes::new()).is_deliverable());
+        assert!(!Value::noop(NodeId::new(1), 2).is_deliverable());
+        assert!(!Value::skip(NodeId::new(1), 3, 4).is_deliverable());
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let e = Envelope {
+            client: ClientId::new(8),
+            req: RequestId::new(99),
+            reply_to: NodeId::new(3),
+            cmd: Bytes::from_static(b"set k v"),
+        };
+        let mut b = e.to_bytes();
+        assert_eq!(Envelope::decode(&mut b).unwrap(), e);
+    }
+}

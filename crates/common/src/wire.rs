@@ -1,0 +1,468 @@
+//! Hand-rolled binary wire codec.
+//!
+//! Messages are persisted in acceptor logs and shipped over TCP in live
+//! deployments, so the encoding must be compact, stable and allocation-light.
+//! We use:
+//!
+//! * LEB128 varints for all integers (instances, lengths, counts),
+//! * fixed-width little-endian for ids that are nearly always large,
+//! * a single tag byte per enum,
+//! * length-prefixed [`Bytes`] payloads (zero-copy on decode via
+//!   [`Bytes::split_to`]).
+//!
+//! The codec is exercised by round-trip property tests in every crate that
+//! defines messages.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::WireError;
+use crate::ids::{Ballot, ClientId, Epoch, InstanceId, NodeId, PartitionId, RequestId, RingId};
+use crate::time::SimTime;
+
+/// Upper bound accepted for any length prefix (64 MiB). Protects log replay
+/// and socket readers from corrupt frames.
+pub const MAX_LEN: u64 = 64 * 1024 * 1024;
+
+/// Types with a binary wire representation.
+///
+/// Implementations must guarantee `decode(encode(x)) == x` for every value;
+/// this invariant is enforced by property tests.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes a value from the front of `buf`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the buffer is truncated or contains an
+    /// invalid tag or length.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Serializes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// The exact number of bytes [`Wire::encode`] would append.
+    fn encoded_len(&self) -> usize {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+}
+
+/// Writes a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+///
+/// # Errors
+///
+/// Fails on truncated input or a varint longer than 10 bytes.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated { context: "varint" });
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+/// The number of bytes [`put_varint`] uses for `v`.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+/// Writes a length-prefixed byte slice.
+pub fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
+    put_varint(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+/// Reads a length-prefixed byte slice, zero-copy.
+///
+/// # Errors
+///
+/// Fails on truncated input or a length above [`MAX_LEN`].
+pub fn get_bytes(buf: &mut Bytes) -> Result<Bytes, WireError> {
+    let len = get_varint(buf)?;
+    if len > MAX_LEN {
+        return Err(WireError::LengthTooLarge { len });
+    }
+    let len = len as usize;
+    if buf.remaining() < len {
+        return Err(WireError::Truncated { context: "bytes" });
+    }
+    Ok(buf.split_to(len))
+}
+
+/// Reads exactly one tag byte.
+///
+/// # Errors
+///
+/// Fails on empty input.
+pub fn get_tag(buf: &mut Bytes, context: &'static str) -> Result<u8, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::Truncated { context });
+    }
+    Ok(buf.get_u8())
+}
+
+/// Encodes a vector as a count followed by each element.
+pub fn put_vec<T: Wire>(buf: &mut BytesMut, items: &[T]) {
+    put_varint(buf, items.len() as u64);
+    for item in items {
+        item.encode(buf);
+    }
+}
+
+/// Decodes a vector written by [`put_vec`].
+///
+/// # Errors
+///
+/// Propagates element decode errors; rejects counts above [`MAX_LEN`].
+pub fn get_vec<T: Wire>(buf: &mut Bytes) -> Result<Vec<T>, WireError> {
+    let n = get_varint(buf)?;
+    if n > MAX_LEN {
+        return Err(WireError::LengthTooLarge { len: n });
+    }
+    let mut out = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        out.push(T::decode(buf)?);
+    }
+    Ok(out)
+}
+
+macro_rules! wire_varint_id {
+    ($ty:ty, $raw:ty) => {
+        impl Wire for $ty {
+            fn encode(&self, buf: &mut BytesMut) {
+                put_varint(buf, u64::from(self.raw()));
+            }
+
+            fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+                let raw = get_varint(buf)?;
+                Ok(Self::new(raw as $raw))
+            }
+
+            fn encoded_len(&self) -> usize {
+                varint_len(u64::from(self.raw()))
+            }
+        }
+    };
+}
+
+wire_varint_id!(NodeId, u32);
+wire_varint_id!(RingId, u16);
+wire_varint_id!(InstanceId, u64);
+wire_varint_id!(ClientId, u32);
+wire_varint_id!(RequestId, u64);
+wire_varint_id!(PartitionId, u16);
+wire_varint_id!(Epoch, u64);
+
+impl Wire for Ballot {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(self.round()));
+        self.node().encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let round = get_varint(buf)? as u32;
+        let node = NodeId::decode(buf)?;
+        if round == 0 {
+            Ok(Ballot::ZERO)
+        } else {
+            Ok(Ballot::new(round, node))
+        }
+    }
+}
+
+impl Wire for SimTime {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.as_nanos());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(SimTime::from_nanos(get_varint(buf)?))
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_varint(buf)
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(*self)
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(*self));
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(get_varint(buf)? as u32)
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_bytes(buf, self);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_bytes(buf)
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let raw = get_bytes(buf)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Truncated { context: "utf-8" })
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_vec(buf, self);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_vec(buf)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match get_tag(buf, "option")? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(WireError::BadTag {
+                context: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Length-delimited framing for streams: `varint(len) ++ payload`.
+///
+/// Used by the live TCP transport and the on-disk log format.
+pub mod frame {
+    use super::*;
+
+    /// Appends a framed message to `buf`.
+    pub fn write<T: Wire>(buf: &mut BytesMut, msg: &T) {
+        let body = msg.to_bytes();
+        put_varint(buf, body.len() as u64);
+        buf.extend_from_slice(&body);
+    }
+
+    /// Attempts to split one complete frame off the front of `buf`.
+    ///
+    /// Returns `Ok(None)` if the frame is not complete yet.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the frame declares an excessive length or the payload does
+    /// not decode.
+    pub fn try_read<T: Wire>(buf: &mut BytesMut) -> Result<Option<T>, WireError> {
+        let mut peek = Bytes::copy_from_slice(&buf[..buf.len().min(10)]);
+        let before = peek.remaining();
+        let len = match get_varint(&mut peek) {
+            Ok(len) => len,
+            Err(WireError::Truncated { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if len > MAX_LEN {
+            return Err(WireError::LengthTooLarge { len });
+        }
+        let header = before - peek.remaining();
+        if (buf.len() - header) < len as usize {
+            return Ok(None);
+        }
+        buf.advance(header);
+        let mut body = buf.split_to(len as usize).freeze();
+        let msg = T::decode(&mut body)?;
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let mut bytes = v.to_bytes();
+        let back = T::decode(&mut bytes).expect("decode");
+        assert_eq!(v, back);
+        assert_eq!(bytes.remaining(), 0, "decode must consume everything");
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length mismatch for {v}");
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        let mut bytes = Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        assert!(matches!(
+            get_varint(&mut bytes),
+            Err(WireError::VarintOverflow)
+        ));
+    }
+
+    #[test]
+    fn varint_rejects_truncated() {
+        let mut bytes = Bytes::from_static(&[0x80]);
+        assert!(matches!(
+            get_varint(&mut bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        round_trip(NodeId::new(u32::MAX));
+        round_trip(RingId::new(9));
+        round_trip(InstanceId::new(1 << 40));
+        round_trip(Ballot::new(77, NodeId::new(3)));
+        round_trip(Ballot::ZERO);
+        round_trip(SimTime::from_millis(123));
+        round_trip(Epoch::new(u64::MAX));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(Bytes::from_static(b"payload"));
+        round_trip(Bytes::new());
+        round_trip(vec![InstanceId::new(1), InstanceId::new(2)]);
+        round_trip(Option::<NodeId>::None);
+        round_trip(Some(NodeId::new(4)));
+        round_trip((RingId::new(1), InstanceId::new(2)));
+        round_trip("hello".to_string());
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn bytes_rejects_huge_length() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, MAX_LEN + 1);
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            get_bytes(&mut bytes),
+            Err(WireError::LengthTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn frames_reassemble_from_partial_input() {
+        let msg = Bytes::from(vec![42u8; 1000]);
+        let mut wire = BytesMut::new();
+        frame::write(&mut wire, &msg);
+        frame::write(&mut wire, &msg);
+
+        // Feed the stream byte by byte; we must get exactly two frames out.
+        let mut rx = BytesMut::new();
+        let mut got = Vec::new();
+        for b in wire.freeze() {
+            rx.put_u8(b);
+            while let Some(m) = frame::try_read::<Bytes>(&mut rx).unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], msg);
+        assert_eq!(got[1], msg);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn frame_rejects_oversized_declared_length() {
+        let mut rx = BytesMut::new();
+        put_varint(&mut rx, MAX_LEN + 7);
+        assert!(frame::try_read::<Bytes>(&mut rx).is_err());
+    }
+}

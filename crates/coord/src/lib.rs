@@ -1,0 +1,25 @@
+//! Coordination service — the workspace's Zookeeper stand-in.
+//!
+//! The paper keeps all *configuration* concerns out of the ordering
+//! protocol: "automatic ring management and configuration management is
+//! handled by Zookeeper" (§7.1), and the MRP-Store partitioning schema is
+//! "stored in Zookeeper and accessible to all processes" (§7.2). This crate
+//! plays that role: a linearizable in-process registry holding
+//!
+//! * [`RingConfig`]s — ring membership, acceptor sets and the elected
+//!   coordinator with its epoch,
+//! * ring subscriptions (which learners deliver which groups — the basis
+//!   for trim quorums and partition membership),
+//! * service partitions ([`PartitionInfo`]), and
+//! * free-form metadata blobs (like ZK znodes) for service-specific
+//!   configuration such as the partitioning scheme.
+//!
+//! Like Zookeeper in the paper, the registry sits *off* the critical
+//! message path: processes consult it at configuration time and during
+//! failover, never per-request.
+
+pub mod registry;
+pub mod ring_config;
+
+pub use registry::{PartitionInfo, Registry};
+pub use ring_config::RingConfig;

@@ -1,0 +1,333 @@
+//! The shared configuration registry.
+
+use bytes::Bytes;
+use common::error::{Error, Result};
+use common::ids::{Epoch, NodeId, PartitionId, RingId};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::ring_config::RingConfig;
+
+/// A service partition: the set of replicas that subscribe to the same set
+/// of multicast groups (paper §5.2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// Rings every replica of this partition subscribes to, ascending.
+    pub rings: Vec<RingId>,
+    /// The replicas of the partition.
+    pub replicas: Vec<NodeId>,
+}
+
+impl PartitionInfo {
+    /// Majority quorum size over the partition's replicas — used for both
+    /// the trim quorum `Q_T` and the recovery quorum `Q_R`, guaranteeing
+    /// `Q_T ∩ Q_R ≠ ∅` (Predicates 2–5).
+    pub fn quorum(&self) -> usize {
+        self.replicas.len() / 2 + 1
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    rings: BTreeMap<RingId, RingConfig>,
+    subscribers: BTreeMap<RingId, Vec<NodeId>>,
+    partitions: BTreeMap<PartitionId, PartitionInfo>,
+    replica_partition: BTreeMap<NodeId, PartitionId>,
+    meta: BTreeMap<String, Bytes>,
+}
+
+/// Cheaply clonable handle to the shared registry.
+///
+/// All methods take `&self`; interior mutability mirrors how every process
+/// talks to the same Zookeeper ensemble.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a ring configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ring id is already registered.
+    pub fn register_ring(&self, cfg: RingConfig) -> Result<()> {
+        let mut inner = self.inner.write();
+        let ring = cfg.ring();
+        if inner.rings.contains_key(&ring) {
+            return Err(Error::Config(format!("ring {ring} already registered")));
+        }
+        inner.rings.insert(ring, cfg);
+        Ok(())
+    }
+
+    /// A snapshot of the configuration of `ring`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::UnknownRing`] if never registered.
+    pub fn ring(&self, ring: RingId) -> Result<RingConfig> {
+        self.inner
+            .read()
+            .rings
+            .get(&ring)
+            .cloned()
+            .ok_or(Error::UnknownRing(ring))
+    }
+
+    /// All registered ring ids, ascending.
+    pub fn ring_ids(&self) -> Vec<RingId> {
+        self.inner.read().rings.keys().copied().collect()
+    }
+
+    /// Elects `candidate` coordinator of `ring` *if* the caller's view is
+    /// current (`seen_epoch` matches). Returns the new epoch on success,
+    /// or the current config when someone else won the race — exactly the
+    /// compare-and-swap shape a ZK znode election gives.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ring is unknown or `candidate` is not an acceptor.
+    pub fn elect_coordinator(
+        &self,
+        ring: RingId,
+        candidate: NodeId,
+        seen_epoch: Epoch,
+    ) -> Result<std::result::Result<Epoch, RingConfig>> {
+        let mut inner = self.inner.write();
+        let cfg = inner.rings.get_mut(&ring).ok_or(Error::UnknownRing(ring))?;
+        if cfg.epoch() != seen_epoch {
+            return Ok(Err(cfg.clone()));
+        }
+        let epoch = cfg.set_coordinator(candidate)?;
+        Ok(Ok(epoch))
+    }
+
+    /// Reports `node` as failed in `ring`: removes it from the membership
+    /// if the caller's view (`seen_epoch`) is current. Returns the new
+    /// config on success, or the (newer) current config if the caller
+    /// raced — either way the caller should install the returned config.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ring is unknown or removal would break the ring.
+    pub fn report_failure(
+        &self,
+        ring: RingId,
+        failed: NodeId,
+        seen_epoch: Epoch,
+    ) -> Result<RingConfig> {
+        let mut inner = self.inner.write();
+        let cfg = inner.rings.get_mut(&ring).ok_or(Error::UnknownRing(ring))?;
+        if cfg.epoch() != seen_epoch || !cfg.contains(failed) {
+            return Ok(cfg.clone());
+        }
+        cfg.remove_member(failed)?;
+        Ok(cfg.clone())
+    }
+
+    /// Re-admits a recovered `node` into `ring` (idempotent). Returns the
+    /// resulting config.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ring is unknown.
+    pub fn rejoin(&self, ring: RingId, node: NodeId, as_acceptor: bool) -> Result<RingConfig> {
+        let mut inner = self.inner.write();
+        let cfg = inner.rings.get_mut(&ring).ok_or(Error::UnknownRing(ring))?;
+        if !cfg.contains(node) {
+            cfg.add_member(node, as_acceptor)?;
+        }
+        Ok(cfg.clone())
+    }
+
+    /// Records that `node` subscribes to (delivers from) `ring`.
+    pub fn subscribe(&self, ring: RingId, node: NodeId) {
+        let subs = &mut self.inner.write().subscribers;
+        let list = subs.entry(ring).or_default();
+        if !list.contains(&node) {
+            list.push(node);
+        }
+    }
+
+    /// The learners subscribed to `ring` — the electorate of the trim
+    /// protocol for that ring.
+    pub fn subscribers(&self, ring: RingId) -> Vec<NodeId> {
+        self.inner
+            .read()
+            .subscribers
+            .get(&ring)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Registers a service partition and its replica set, and records each
+    /// replica's subscriptions.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition id is taken or a replica already belongs to
+    /// another partition.
+    pub fn register_partition(
+        &self,
+        partition: PartitionId,
+        info: PartitionInfo,
+    ) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.partitions.contains_key(&partition) {
+            return Err(Error::Config(format!(
+                "partition {partition} already registered"
+            )));
+        }
+        for r in &info.replicas {
+            if inner.replica_partition.contains_key(r) {
+                return Err(Error::Config(format!(
+                    "replica {r} already belongs to a partition"
+                )));
+            }
+        }
+        for r in &info.replicas {
+            inner.replica_partition.insert(*r, partition);
+            for ring in &info.rings {
+                let list = inner.subscribers.entry(*ring).or_default();
+                if !list.contains(r) {
+                    list.push(*r);
+                }
+            }
+        }
+        inner.partitions.insert(partition, info);
+        Ok(())
+    }
+
+    /// The partition `replica` belongs to, if any.
+    pub fn partition_of(&self, replica: NodeId) -> Option<PartitionId> {
+        self.inner.read().replica_partition.get(&replica).copied()
+    }
+
+    /// The partition's info.
+    pub fn partition(&self, partition: PartitionId) -> Option<PartitionInfo> {
+        self.inner.read().partitions.get(&partition).cloned()
+    }
+
+    /// All partitions, ascending by id.
+    pub fn partitions(&self) -> Vec<(PartitionId, PartitionInfo)> {
+        self.inner
+            .read()
+            .partitions
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Stores a metadata blob under `key` (like writing a znode).
+    pub fn set_meta(&self, key: impl Into<String>, value: Bytes) {
+        self.inner.write().meta.insert(key.into(), value);
+    }
+
+    /// Reads the metadata blob at `key`.
+    pub fn meta(&self, key: &str) -> Option<Bytes> {
+        self.inner.read().meta.get(key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|i| NodeId::new(*i)).collect()
+    }
+
+    fn ring0() -> RingConfig {
+        RingConfig::new(RingId::new(0), nodes(&[1, 2, 3]), nodes(&[1, 2, 3])).unwrap()
+    }
+
+    #[test]
+    fn register_and_fetch_ring() {
+        let reg = Registry::new();
+        reg.register_ring(ring0()).unwrap();
+        let cfg = reg.ring(RingId::new(0)).unwrap();
+        assert_eq!(cfg.coordinator(), NodeId::new(1));
+        assert!(matches!(
+            reg.ring(RingId::new(9)),
+            Err(Error::UnknownRing(_))
+        ));
+        assert!(reg.register_ring(ring0()).is_err());
+        assert_eq!(reg.ring_ids(), vec![RingId::new(0)]);
+    }
+
+    #[test]
+    fn election_is_compare_and_swap() {
+        let reg = Registry::new();
+        reg.register_ring(ring0()).unwrap();
+        let e0 = reg.ring(RingId::new(0)).unwrap().epoch();
+
+        // First candidate wins.
+        let won = reg
+            .elect_coordinator(RingId::new(0), NodeId::new(2), e0)
+            .unwrap();
+        let new_epoch = won.expect("first election succeeds");
+        assert!(new_epoch > e0);
+
+        // A racer with the stale epoch loses and learns the new config.
+        let lost = reg
+            .elect_coordinator(RingId::new(0), NodeId::new(3), e0)
+            .unwrap();
+        let cfg = lost.expect_err("stale epoch must lose");
+        assert_eq!(cfg.coordinator(), NodeId::new(2));
+        assert_eq!(cfg.epoch(), new_epoch);
+    }
+
+    #[test]
+    fn subscriptions_deduplicate() {
+        let reg = Registry::new();
+        reg.subscribe(RingId::new(1), NodeId::new(5));
+        reg.subscribe(RingId::new(1), NodeId::new(5));
+        reg.subscribe(RingId::new(1), NodeId::new(6));
+        assert_eq!(reg.subscribers(RingId::new(1)), nodes(&[5, 6]));
+        assert!(reg.subscribers(RingId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn partitions_register_subscriptions() {
+        let reg = Registry::new();
+        let info = PartitionInfo {
+            rings: vec![RingId::new(0), RingId::new(9)],
+            replicas: nodes(&[10, 11, 12]),
+        };
+        reg.register_partition(PartitionId::new(0), info.clone()).unwrap();
+        assert_eq!(reg.partition_of(NodeId::new(11)), Some(PartitionId::new(0)));
+        assert_eq!(reg.partition(PartitionId::new(0)).unwrap(), info);
+        assert_eq!(reg.subscribers(RingId::new(9)), nodes(&[10, 11, 12]));
+        assert_eq!(info.quorum(), 2);
+
+        // A replica cannot be in two partitions.
+        let bad = PartitionInfo {
+            rings: vec![RingId::new(1)],
+            replicas: nodes(&[11]),
+        };
+        assert!(reg.register_partition(PartitionId::new(1), bad).is_err());
+    }
+
+    #[test]
+    fn meta_blobs() {
+        let reg = Registry::new();
+        reg.set_meta("partitioning", Bytes::from_static(b"hash:3"));
+        assert_eq!(reg.meta("partitioning").unwrap(), Bytes::from_static(b"hash:3"));
+        assert!(reg.meta("absent").is_none());
+    }
+
+    #[test]
+    fn registry_clones_share_state() {
+        let a = Registry::new();
+        let b = a.clone();
+        a.register_ring(ring0()).unwrap();
+        assert!(b.ring(RingId::new(0)).is_ok());
+    }
+}

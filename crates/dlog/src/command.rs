@@ -1,0 +1,199 @@
+//! The dLog command set (paper Table 2) and its wire encoding.
+//!
+//! Logs are identified by small integers; each log maps to one multicast
+//! group (ring), and `multi-append` commands go to the shared group every
+//! log's replicas subscribe to.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use common::error::WireError;
+use common::wire::{get_bytes, get_tag, get_varint, put_bytes, put_varint, Wire};
+
+/// A log identifier (one log per multicast group).
+pub type LogId = u16;
+
+/// A distributed-log operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogCommand {
+    /// `append(l, v)`: append `v` to log `l`; returns the position.
+    Append {
+        /// Target log.
+        log: LogId,
+        /// The payload.
+        value: Bytes,
+    },
+    /// `multi-append(L, v)`: atomically append `v` to every log in `L`.
+    MultiAppend {
+        /// Target logs.
+        logs: Vec<LogId>,
+        /// The payload.
+        value: Bytes,
+    },
+    /// `read(l, p)`: the value at position `p` of log `l`.
+    Read {
+        /// Target log.
+        log: LogId,
+        /// Position to read.
+        pos: u64,
+    },
+    /// `trim(l, p)`: drop log `l` up to position `p`.
+    Trim {
+        /// Target log.
+        log: LogId,
+        /// Trim point (exclusive).
+        pos: u64,
+    },
+}
+
+impl Wire for LogCommand {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            LogCommand::Append { log, value } => {
+                buf.put_u8(0);
+                put_varint(buf, u64::from(*log));
+                put_bytes(buf, value);
+            }
+            LogCommand::MultiAppend { logs, value } => {
+                buf.put_u8(1);
+                put_varint(buf, logs.len() as u64);
+                for l in logs {
+                    put_varint(buf, u64::from(*l));
+                }
+                put_bytes(buf, value);
+            }
+            LogCommand::Read { log, pos } => {
+                buf.put_u8(2);
+                put_varint(buf, u64::from(*log));
+                put_varint(buf, *pos);
+            }
+            LogCommand::Trim { log, pos } => {
+                buf.put_u8(3);
+                put_varint(buf, u64::from(*log));
+                put_varint(buf, *pos);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_tag(buf, "log command")? {
+            0 => LogCommand::Append {
+                log: get_varint(buf)? as LogId,
+                value: get_bytes(buf)?,
+            },
+            1 => {
+                let n = get_varint(buf)?;
+                let mut logs = Vec::new();
+                for _ in 0..n {
+                    logs.push(get_varint(buf)? as LogId);
+                }
+                LogCommand::MultiAppend {
+                    logs,
+                    value: get_bytes(buf)?,
+                }
+            }
+            2 => LogCommand::Read {
+                log: get_varint(buf)? as LogId,
+                pos: get_varint(buf)?,
+            },
+            3 => LogCommand::Trim {
+                log: get_varint(buf)? as LogId,
+                pos: get_varint(buf)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "log command",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// A replica's answer to a [`LogCommand`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogResponse {
+    /// Positions assigned by an append/multi-append: `(log, position)` for
+    /// each log this replica hosts.
+    Appended(Vec<(LogId, u64)>),
+    /// The value read (`None` if trimmed or out of range).
+    Value(Option<Bytes>),
+    /// Trim applied.
+    Ok,
+}
+
+impl Wire for LogResponse {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            LogResponse::Appended(pos) => {
+                buf.put_u8(0);
+                put_varint(buf, pos.len() as u64);
+                for (log, p) in pos {
+                    put_varint(buf, u64::from(*log));
+                    put_varint(buf, *p);
+                }
+            }
+            LogResponse::Value(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+            LogResponse::Ok => buf.put_u8(2),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_tag(buf, "log response")? {
+            0 => {
+                let n = get_varint(buf)?;
+                let mut pos = Vec::new();
+                for _ in 0..n {
+                    pos.push((get_varint(buf)? as LogId, get_varint(buf)?));
+                }
+                LogResponse::Appended(pos)
+            }
+            1 => LogResponse::Value(Option::<Bytes>::decode(buf)?),
+            2 => LogResponse::Ok,
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "log response",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_round_trip() {
+        for cmd in [
+            LogCommand::Append {
+                log: 1,
+                value: Bytes::from_static(b"entry"),
+            },
+            LogCommand::MultiAppend {
+                logs: vec![0, 2, 5],
+                value: Bytes::from_static(b"atomic"),
+            },
+            LogCommand::Read { log: 3, pos: 42 },
+            LogCommand::Trim { log: 0, pos: 100 },
+        ] {
+            let mut b = cmd.to_bytes();
+            assert_eq!(LogCommand::decode(&mut b).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for r in [
+            LogResponse::Appended(vec![(0, 7), (1, 9)]),
+            LogResponse::Value(Some(Bytes::from_static(b"x"))),
+            LogResponse::Value(None),
+            LogResponse::Ok,
+        ] {
+            let mut b = r.to_bytes();
+            assert_eq!(LogResponse::decode(&mut b).unwrap(), r);
+        }
+    }
+}

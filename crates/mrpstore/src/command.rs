@@ -1,0 +1,221 @@
+//! The MRP-Store command set (paper Table 1) and its wire encoding.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use common::error::WireError;
+use common::wire::{get_bytes, get_tag, get_vec, put_bytes, put_vec, Wire};
+
+/// A key-value store operation.
+///
+/// Keys are strings, values are byte arrays of arbitrary size (paper
+/// §6.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvCommand {
+    /// `read(k)`: the value of entry `k`, if existent.
+    Read {
+        /// The key.
+        key: String,
+    },
+    /// `scan(k, k')`: all entries within range `k..k'`.
+    Scan {
+        /// Range start (inclusive).
+        from: String,
+        /// Range end (exclusive).
+        to: String,
+    },
+    /// `update(k, v)`: update entry `k` with value `v`, if existent.
+    Update {
+        /// The key.
+        key: String,
+        /// The new value.
+        value: Bytes,
+    },
+    /// `insert(k, v)`: insert tuple `(k, v)` in the database.
+    Insert {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Bytes,
+    },
+    /// `delete(k)`: delete entry `k` from the database.
+    Delete {
+        /// The key.
+        key: String,
+    },
+}
+
+impl KvCommand {
+    /// The key (or range start) the command addresses.
+    pub fn key(&self) -> &str {
+        match self {
+            KvCommand::Read { key }
+            | KvCommand::Update { key, .. }
+            | KvCommand::Insert { key, .. }
+            | KvCommand::Delete { key } => key,
+            KvCommand::Scan { from, .. } => from,
+        }
+    }
+
+    /// True for commands addressing a single key (routable to one
+    /// partition); scans may span several.
+    pub fn is_single_key(&self) -> bool {
+        !matches!(self, KvCommand::Scan { .. })
+    }
+}
+
+impl Wire for KvCommand {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            KvCommand::Read { key } => {
+                buf.put_u8(0);
+                key.encode(buf);
+            }
+            KvCommand::Scan { from, to } => {
+                buf.put_u8(1);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            KvCommand::Update { key, value } => {
+                buf.put_u8(2);
+                key.encode(buf);
+                put_bytes(buf, value);
+            }
+            KvCommand::Insert { key, value } => {
+                buf.put_u8(3);
+                key.encode(buf);
+                put_bytes(buf, value);
+            }
+            KvCommand::Delete { key } => {
+                buf.put_u8(4);
+                key.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_tag(buf, "kv command")? {
+            0 => KvCommand::Read {
+                key: String::decode(buf)?,
+            },
+            1 => KvCommand::Scan {
+                from: String::decode(buf)?,
+                to: String::decode(buf)?,
+            },
+            2 => KvCommand::Update {
+                key: String::decode(buf)?,
+                value: get_bytes(buf)?,
+            },
+            3 => KvCommand::Insert {
+                key: String::decode(buf)?,
+                value: get_bytes(buf)?,
+            },
+            4 => KvCommand::Delete {
+                key: String::decode(buf)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "kv command",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// A replica's answer to a [`KvCommand`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvResponse {
+    /// The value for a read (`None` if absent).
+    Value(Option<Bytes>),
+    /// Matching entries for a scan (only keys owned by the answering
+    /// partition; the client merges across partitions).
+    Entries(Vec<(String, Bytes)>),
+    /// Write applied.
+    Ok,
+    /// Update/delete on a missing key.
+    NotFound,
+}
+
+impl Wire for KvResponse {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            KvResponse::Value(v) => {
+                buf.put_u8(0);
+                v.encode(buf);
+            }
+            KvResponse::Entries(entries) => {
+                buf.put_u8(1);
+                put_vec(buf, entries);
+            }
+            KvResponse::Ok => buf.put_u8(2),
+            KvResponse::NotFound => buf.put_u8(3),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_tag(buf, "kv response")? {
+            0 => KvResponse::Value(Option::<Bytes>::decode(buf)?),
+            1 => KvResponse::Entries(get_vec(buf)?),
+            2 => KvResponse::Ok,
+            3 => KvResponse::NotFound,
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "kv response",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(cmd: KvCommand) {
+        let mut b = cmd.to_bytes();
+        assert_eq!(KvCommand::decode(&mut b).unwrap(), cmd);
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        rt(KvCommand::Read { key: "k1".into() });
+        rt(KvCommand::Scan {
+            from: "a".into(),
+            to: "z".into(),
+        });
+        rt(KvCommand::Update {
+            key: "k".into(),
+            value: Bytes::from_static(b"v"),
+        });
+        rt(KvCommand::Insert {
+            key: String::new(),
+            value: Bytes::new(),
+        });
+        rt(KvCommand::Delete { key: "gone".into() });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for r in [
+            KvResponse::Value(Some(Bytes::from_static(b"x"))),
+            KvResponse::Value(None),
+            KvResponse::Entries(vec![("k".to_string(), Bytes::from_static(b"v"))]),
+            KvResponse::Ok,
+            KvResponse::NotFound,
+        ] {
+            let mut b = r.to_bytes();
+            assert_eq!(KvResponse::decode(&mut b).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn key_accessor() {
+        assert_eq!(KvCommand::Read { key: "a".into() }.key(), "a");
+        assert!(KvCommand::Read { key: "a".into() }.is_single_key());
+        assert!(!KvCommand::Scan {
+            from: "a".into(),
+            to: "b".into()
+        }
+        .is_single_key());
+    }
+}

@@ -1,0 +1,205 @@
+//! Key partitioning schemes (paper §6.1).
+//!
+//! "Applications can decide whether the data is hash- or range-partitioned,
+//! and clients must know the partitioning scheme." The scheme is stored in
+//! the coordination service ([`coord::Registry::set_meta`]) so every client
+//! and replica routes identically.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use common::error::WireError;
+use common::ids::PartitionId;
+use common::wire::{get_tag, get_varint, put_varint, Wire};
+
+use crate::command::KvCommand;
+
+/// How keys map to partitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Partitioning {
+    /// `partition = hash(key) mod n`.
+    Hash {
+        /// Number of partitions.
+        partitions: u16,
+    },
+    /// Ordered ranges: partition `i` owns keys in
+    /// `bounds[i-1] .. bounds[i]` (with open ends). `bounds` has
+    /// `partitions − 1` entries, sorted ascending.
+    Range {
+        /// Upper (exclusive) bounds of each partition except the last.
+        bounds: Vec<String>,
+    },
+}
+
+impl Partitioning {
+    /// Registry metadata key the scheme is stored under.
+    pub const META_KEY: &'static str = "mrpstore/partitioning";
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u16 {
+        match self {
+            Partitioning::Hash { partitions } => *partitions,
+            Partitioning::Range { bounds } => (bounds.len() + 1) as u16,
+        }
+    }
+
+    /// The partition owning `key`.
+    pub fn partition_of(&self, key: &str) -> PartitionId {
+        match self {
+            Partitioning::Hash { partitions } => {
+                PartitionId::new((fnv1a_str(key) % u64::from(*partitions)) as u16)
+            }
+            Partitioning::Range { bounds } => {
+                let idx = bounds.partition_point(|b| b.as_str() <= key);
+                PartitionId::new(idx as u16)
+            }
+        }
+    }
+
+    /// Partitions that may hold entries for `cmd`: the owning partition
+    /// for single-key commands; for scans, the covering ranges
+    /// (range-partitioned) or all partitions (hash-partitioned) — paper
+    /// §6.1.
+    pub fn partitions_for(&self, cmd: &KvCommand) -> Vec<PartitionId> {
+        match cmd {
+            KvCommand::Scan { from, to } => match self {
+                Partitioning::Hash { partitions } => {
+                    (0..*partitions).map(PartitionId::new).collect()
+                }
+                Partitioning::Range { .. } => {
+                    let first = self.partition_of(from).raw();
+                    let last = if to.is_empty() {
+                        self.partitions() - 1
+                    } else {
+                        self.partition_of(to).raw()
+                    };
+                    (first..=last.max(first)).map(PartitionId::new).collect()
+                }
+            },
+            single => vec![self.partition_of(single.key())],
+        }
+    }
+
+    /// Stores the scheme in the registry.
+    pub fn publish(&self, registry: &coord::Registry) {
+        registry.set_meta(Self::META_KEY, self.to_bytes());
+    }
+
+    /// Loads the scheme from the registry.
+    pub fn load(registry: &coord::Registry) -> Option<Self> {
+        let mut raw = registry.meta(Self::META_KEY)?;
+        Self::decode(&mut raw).ok()
+    }
+}
+
+/// FNV-1a over the key bytes (stable across processes).
+fn fnv1a_str(s: &str) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+impl Wire for Partitioning {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Partitioning::Hash { partitions } => {
+                buf.put_u8(0);
+                put_varint(buf, u64::from(*partitions));
+            }
+            Partitioning::Range { bounds } => {
+                buf.put_u8(1);
+                put_varint(buf, bounds.len() as u64);
+                for b in bounds {
+                    b.encode(buf);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_tag(buf, "partitioning")? {
+            0 => Partitioning::Hash {
+                partitions: get_varint(buf)? as u16,
+            },
+            1 => {
+                let n = get_varint(buf)?;
+                let mut bounds = Vec::new();
+                for _ in 0..n {
+                    bounds.push(String::decode(buf)?);
+                }
+                Partitioning::Range { bounds }
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "partitioning",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioning_is_stable_and_bounded() {
+        let p = Partitioning::Hash { partitions: 3 };
+        assert_eq!(p.partitions(), 3);
+        for key in ["a", "user42", "", "漢字"] {
+            let x = p.partition_of(key);
+            assert_eq!(x, p.partition_of(key), "deterministic");
+            assert!(x.raw() < 3);
+        }
+    }
+
+    #[test]
+    fn range_partitioning_routes_by_bounds() {
+        let p = Partitioning::Range {
+            bounds: vec!["g".to_string(), "p".to_string()],
+        };
+        assert_eq!(p.partitions(), 3);
+        assert_eq!(p.partition_of("a"), PartitionId::new(0));
+        assert_eq!(p.partition_of("g"), PartitionId::new(1)); // bound itself goes right
+        assert_eq!(p.partition_of("m"), PartitionId::new(1));
+        assert_eq!(p.partition_of("z"), PartitionId::new(2));
+    }
+
+    #[test]
+    fn scan_fans_out_correctly() {
+        let hash = Partitioning::Hash { partitions: 3 };
+        let scan = KvCommand::Scan {
+            from: "b".into(),
+            to: "c".into(),
+        };
+        assert_eq!(hash.partitions_for(&scan).len(), 3, "hash scans hit all");
+
+        let range = Partitioning::Range {
+            bounds: vec!["g".to_string(), "p".to_string()],
+        };
+        let scan = KvCommand::Scan {
+            from: "a".into(),
+            to: "h".into(),
+        };
+        assert_eq!(
+            range.partitions_for(&scan),
+            vec![PartitionId::new(0), PartitionId::new(1)]
+        );
+        let single = KvCommand::Read { key: "m".into() };
+        assert_eq!(range.partitions_for(&single), vec![PartitionId::new(1)]);
+    }
+
+    #[test]
+    fn scheme_round_trips_via_registry() {
+        let reg = coord::Registry::new();
+        let p = Partitioning::Range {
+            bounds: vec!["k".to_string()],
+        };
+        p.publish(&reg);
+        assert_eq!(Partitioning::load(&reg).unwrap(), p);
+        assert!(Partitioning::load(&coord::Registry::new()).is_none());
+    }
+}

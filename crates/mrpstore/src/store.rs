@@ -1,0 +1,262 @@
+//! The replicated key-value state machine.
+//!
+//! One [`KvApp`] per replica: an in-memory ordered tree (the paper stores
+//! entries "in an in-memory tree at every replica", §7.2) holding the keys
+//! of the replica's partition. Single-key commands arrive via the
+//! partition's own ring; scans arrive via the global ring and each
+//! partition answers with its local matches.
+
+use std::collections::BTreeMap;
+
+use bytes::{Bytes, BytesMut};
+use common::ids::{PartitionId, RingId};
+use common::value::Envelope;
+use common::wire::{get_varint, put_varint, Wire};
+use multiring::ServiceApp;
+
+use crate::command::{KvCommand, KvResponse};
+use crate::partitioning::Partitioning;
+
+/// The MRP-Store replica state machine.
+#[derive(Debug)]
+pub struct KvApp {
+    partition: PartitionId,
+    scheme: Partitioning,
+    data: BTreeMap<String, Bytes>,
+}
+
+impl KvApp {
+    /// A replica of `partition` under `scheme`.
+    pub fn new(partition: PartitionId, scheme: Partitioning) -> Self {
+        KvApp {
+            partition,
+            scheme,
+            data: BTreeMap::new(),
+        }
+    }
+
+    /// Pre-loads an entry (database initialization before the run, like
+    /// YCSB's load phase).
+    pub fn preload(&mut self, key: String, value: Bytes) {
+        if self.owns(&key) {
+            self.data.insert(key, value);
+        }
+    }
+
+    /// Number of entries stored on this replica.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when this replica stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Direct read access (tests).
+    pub fn get(&self, key: &str) -> Option<&Bytes> {
+        self.data.get(key)
+    }
+
+    fn owns(&self, key: &str) -> bool {
+        self.scheme.partition_of(key) == self.partition
+    }
+
+    fn apply(&mut self, cmd: &KvCommand) -> KvResponse {
+        match cmd {
+            KvCommand::Read { key } => KvResponse::Value(self.data.get(key).cloned()),
+            KvCommand::Scan { from, to } => {
+                // Answer with this partition's slice; the client merges
+                // one response per partition (paper §7.2).
+                let entries = self
+                    .data
+                    .range::<str, _>((
+                        std::ops::Bound::Included(from.as_str()),
+                        if to.is_empty() {
+                            std::ops::Bound::Unbounded
+                        } else {
+                            std::ops::Bound::Excluded(to.as_str())
+                        },
+                    ))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                KvResponse::Entries(entries)
+            }
+            KvCommand::Update { key, value } => {
+                if !self.owns(key) {
+                    return KvResponse::NotFound; // misrouted; client bug
+                }
+                match self.data.get_mut(key) {
+                    Some(slot) => {
+                        *slot = value.clone();
+                        KvResponse::Ok
+                    }
+                    None => KvResponse::NotFound,
+                }
+            }
+            KvCommand::Insert { key, value } => {
+                if !self.owns(key) {
+                    return KvResponse::NotFound;
+                }
+                self.data.insert(key.clone(), value.clone());
+                KvResponse::Ok
+            }
+            KvCommand::Delete { key } => {
+                if self.data.remove(key).is_some() {
+                    KvResponse::Ok
+                } else {
+                    KvResponse::NotFound
+                }
+            }
+        }
+    }
+}
+
+impl ServiceApp for KvApp {
+    fn execute(&mut self, _group: RingId, env: &Envelope) -> Bytes {
+        let mut raw = env.cmd.clone();
+        match KvCommand::decode(&mut raw) {
+            Ok(cmd) => self.apply(&cmd).to_bytes(),
+            Err(_) => KvResponse::NotFound.to_bytes(),
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, self.data.len() as u64);
+        for (k, v) in &self.data {
+            k.encode(&mut buf);
+            v.encode(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    fn restore(&mut self, state: &Bytes) {
+        let mut raw = state.clone();
+        let Ok(n) = get_varint(&mut raw) else { return };
+        let mut data = BTreeMap::new();
+        for _ in 0..n {
+            let Ok(k) = String::decode(&mut raw) else { return };
+            let Ok(v) = Bytes::decode(&mut raw) else { return };
+            data.insert(k, v);
+        }
+        self.data = data;
+    }
+
+    fn reset(&mut self) {
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::ids::{ClientId, NodeId, RequestId};
+
+    fn env(cmd: &KvCommand) -> Envelope {
+        Envelope {
+            client: ClientId::new(1),
+            req: RequestId::new(1),
+            reply_to: NodeId::new(0),
+            cmd: cmd.to_bytes(),
+        }
+    }
+
+    fn single_partition_app() -> KvApp {
+        KvApp::new(PartitionId::new(0), Partitioning::Hash { partitions: 1 })
+    }
+
+    fn exec(app: &mut KvApp, cmd: KvCommand) -> KvResponse {
+        let mut raw = app.execute(RingId::new(0), &env(&cmd));
+        KvResponse::decode(&mut raw).unwrap()
+    }
+
+    #[test]
+    fn crud_semantics() {
+        let mut app = single_partition_app();
+        assert_eq!(exec(&mut app, KvCommand::Read { key: "a".into() }), KvResponse::Value(None));
+        assert_eq!(
+            exec(&mut app, KvCommand::Update { key: "a".into(), value: Bytes::from_static(b"x") }),
+            KvResponse::NotFound,
+            "update requires existence (Table 1)"
+        );
+        assert_eq!(
+            exec(&mut app, KvCommand::Insert { key: "a".into(), value: Bytes::from_static(b"1") }),
+            KvResponse::Ok
+        );
+        assert_eq!(
+            exec(&mut app, KvCommand::Update { key: "a".into(), value: Bytes::from_static(b"2") }),
+            KvResponse::Ok
+        );
+        assert_eq!(
+            exec(&mut app, KvCommand::Read { key: "a".into() }),
+            KvResponse::Value(Some(Bytes::from_static(b"2")))
+        );
+        assert_eq!(exec(&mut app, KvCommand::Delete { key: "a".into() }), KvResponse::Ok);
+        assert_eq!(exec(&mut app, KvCommand::Delete { key: "a".into() }), KvResponse::NotFound);
+    }
+
+    #[test]
+    fn scan_returns_range() {
+        let mut app = single_partition_app();
+        for k in ["a", "b", "c", "d"] {
+            exec(&mut app, KvCommand::Insert { key: k.into(), value: Bytes::from_static(b"v") });
+        }
+        let r = exec(&mut app, KvCommand::Scan { from: "b".into(), to: "d".into() });
+        match r {
+            KvResponse::Entries(e) => {
+                let keys: Vec<_> = e.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["b", "c"]);
+            }
+            other => panic!("expected entries, got {other:?}"),
+        }
+        // Open-ended scan.
+        let r = exec(&mut app, KvCommand::Scan { from: "c".into(), to: String::new() });
+        match r {
+            KvResponse::Entries(e) => assert_eq!(e.len(), 2),
+            other => panic!("expected entries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_ignores_foreign_keys() {
+        // Partition 1 of 2; only stores keys hashing to partition 1.
+        let scheme = Partitioning::Hash { partitions: 2 };
+        let mut app = KvApp::new(PartitionId::new(1), scheme.clone());
+        let (mine, theirs): (Vec<String>, Vec<String>) = (0..50)
+            .map(|i| format!("key{i}"))
+            .partition(|k| scheme.partition_of(k) == PartitionId::new(1));
+        for k in &mine {
+            assert_eq!(
+                exec(&mut app, KvCommand::Insert { key: k.clone(), value: Bytes::from_static(b"v") }),
+                KvResponse::Ok
+            );
+        }
+        for k in &theirs {
+            assert_eq!(
+                exec(&mut app, KvCommand::Insert { key: k.clone(), value: Bytes::from_static(b"v") }),
+                KvResponse::NotFound
+            );
+        }
+        assert_eq!(app.len(), mine.len());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut app = single_partition_app();
+        for i in 0..100 {
+            exec(&mut app, KvCommand::Insert {
+                key: format!("k{i:03}"),
+                value: Bytes::from(vec![i as u8; 16]),
+            });
+        }
+        let snap = app.snapshot();
+        let mut other = single_partition_app();
+        other.restore(&snap);
+        assert_eq!(other.len(), 100);
+        assert_eq!(other.get("k050"), app.get("k050"));
+
+        app.reset();
+        assert!(app.is_empty());
+    }
+}

@@ -1,0 +1,996 @@
+//! The deployable Multi-Ring Paxos process.
+//!
+//! One [`MultiRingHost`] per machine/process: it multiplexes this node's
+//! participation in any number of rings, merges their decision streams
+//! deterministically, executes a replicated [`ServiceApp`], answers
+//! clients over (simulated) UDP, takes periodic checkpoints, runs the
+//! coordinator side of the log-trimming protocol for rings it
+//! coordinates, and recovers after crashes via partition-peer checkpoints
+//! plus acceptor retransmission (paper §5.2, §7).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use common::ids::{InstanceId, NodeId, PartitionId, RingId};
+use common::msg::{ClientMsg, Msg, RecoveryMsg};
+use common::time::SimTime;
+use common::value::{Envelope, Value, ValueId};
+use common::wire::{get_varint, get_vec, put_varint, put_vec, Wire};
+use common::msg::CheckpointTuple;
+use coord::Registry;
+use ringpaxos::node::{Output, RingNode};
+use ringpaxos::options::RingOptions;
+use ringpaxos::timer::RingTimer;
+use simnet::{Ctx, Process, Timer};
+use storage::{CheckpointStore, StorageMode};
+
+use crate::app::ServiceApp;
+use crate::merge::MergeLearner;
+use crate::recovery::{RecoveryPhase, TrimRound};
+
+/// Timer kinds used by the host.
+const TIMER_RING: u32 = 1;
+const TIMER_CHECKPOINT: u32 = 2;
+const TIMER_CHECKPOINT_DONE: u32 = 3;
+const TIMER_TRIM: u32 = 4;
+const TIMER_RECOVERY: u32 = 5;
+const TIMER_GAP: u32 = 6;
+
+/// Maximum decisions per retransmission reply.
+const RETRANSMIT_CHUNK: u64 = 4096;
+
+/// Host configuration.
+#[derive(Clone, Debug)]
+pub struct HostOptions {
+    /// Ring protocol options (storage mode, batching, rate leveling, ...).
+    pub ring: RingOptions,
+    /// Deterministic-merge parameter `M` (instances per ring per turn).
+    pub m: u64,
+    /// Replica checkpoint cadence; `None` disables checkpointing.
+    pub checkpoint_interval: Option<Duration>,
+    /// Trim-protocol cadence on coordinated rings; `None` disables
+    /// trimming.
+    pub trim_interval: Option<Duration>,
+    /// Retry cadence for recovery steps.
+    pub recovery_retry: Duration,
+    /// Checkpoint storage mode (the paper writes checkpoints
+    /// synchronously to disk, §7.2).
+    pub checkpoint_storage: StorageMode,
+}
+
+impl Default for HostOptions {
+    fn default() -> Self {
+        HostOptions {
+            ring: RingOptions::default(),
+            m: 1,
+            checkpoint_interval: None,
+            trim_interval: None,
+            recovery_retry: Duration::from_millis(200),
+            checkpoint_storage: StorageMode::InMemory,
+        }
+    }
+}
+
+/// Checkpoint blob layout: service snapshot, per-ring dedup windows, and
+/// the merge scheduler state (turn + per-ring skip credit) so a replica
+/// restored from a mid-round cut resumes the round-robin exactly where
+/// its peers are.
+struct Snapshot {
+    app: Bytes,
+    dedup: Vec<(RingId, Vec<ValueId>)>,
+    merge_turn: u64,
+    merge_credits: Vec<(RingId, u64)>,
+}
+
+impl Wire for Snapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.app.encode(buf);
+        put_varint(buf, self.dedup.len() as u64);
+        for (ring, ids) in &self.dedup {
+            ring.encode(buf);
+            put_vec(buf, ids);
+        }
+        put_varint(buf, self.merge_turn);
+        put_varint(buf, self.merge_credits.len() as u64);
+        for (ring, credit) in &self.merge_credits {
+            ring.encode(buf);
+            put_varint(buf, *credit);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, common::error::WireError> {
+        let app = Bytes::decode(buf)?;
+        let n = get_varint(buf)?;
+        let mut dedup = Vec::new();
+        for _ in 0..n {
+            let ring = RingId::decode(buf)?;
+            dedup.push((ring, get_vec(buf)?));
+        }
+        let merge_turn = get_varint(buf)?;
+        let m = get_varint(buf)?;
+        let mut merge_credits = Vec::new();
+        for _ in 0..m {
+            let ring = RingId::decode(buf)?;
+            merge_credits.push((ring, get_varint(buf)?));
+        }
+        Ok(Snapshot {
+            app,
+            dedup,
+            merge_turn,
+            merge_credits,
+        })
+    }
+}
+
+/// The per-process host. See the module docs.
+pub struct MultiRingHost {
+    me: NodeId,
+    registry: Registry,
+    opts: HostOptions,
+    /// Rings this node participates in (any roles).
+    rings: BTreeMap<RingId, RingNode>,
+    /// Rings participated in as acceptor (for rejoin).
+    acceptor_of: Vec<RingId>,
+    /// The deterministic-merge learner, if this node is a replica.
+    learner: Option<MergeLearner>,
+    /// The replica's partition (for recovery quorums).
+    partition: Option<PartitionId>,
+    app: Box<dyn ServiceApp>,
+    ckpt_store: CheckpointStore,
+    /// The checkpoint advertised to the trim protocol (durably written).
+    advertised: Option<CheckpointTuple>,
+    /// A checkpoint whose synchronous write is still in flight.
+    pending_ckpt: Option<(u64, CheckpointTuple)>,
+    ckpt_seq: u64,
+    /// Trim rounds for rings this node coordinates.
+    trims: BTreeMap<RingId, TrimRound>,
+    trim_seq: u64,
+    recovery: RecoveryPhase,
+    recovery_seq: u64,
+    /// Set when catch-up discovered the acceptors trimmed past us; the
+    /// next retry restarts recovery from the checkpoint query.
+    restart_recovery: bool,
+    /// Rotates which acceptor serves retransmissions, so a peer that is
+    /// itself missing decisions does not starve the requester.
+    retransmit_rr: u64,
+    executed: u64,
+    out: Output,
+}
+
+impl MultiRingHost {
+    /// Creates a host for `me` participating in `member_of` rings,
+    /// delivering (as a replica) from `subscribe_to` rings into `app`.
+    ///
+    /// `subscribe_to` must be a subset of rings registered in the
+    /// registry; the node need not be a *member* of a ring to subscribe —
+    /// but it must be a member to propose on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (unknown ring, non-member) —
+    /// deployment bugs, not runtime conditions.
+    pub fn new(
+        me: NodeId,
+        registry: Registry,
+        member_of: &[RingId],
+        subscribe_to: &[RingId],
+        partition: Option<PartitionId>,
+        app: Box<dyn ServiceApp>,
+        opts: HostOptions,
+    ) -> Self {
+        let mut rings = BTreeMap::new();
+        let mut acceptor_of = Vec::new();
+        for ring in member_of {
+            let node = RingNode::new(me, *ring, registry.clone(), opts.ring.clone())
+                .expect("valid ring membership");
+            if node.config().is_acceptor(me) {
+                acceptor_of.push(*ring);
+            }
+            rings.insert(*ring, node);
+        }
+        // Delivery happens through the merge learner; the per-ring
+        // learners always feed it, so keep them subscribed.
+        let learner = if subscribe_to.is_empty() {
+            None
+        } else {
+            for r in subscribe_to {
+                assert!(
+                    rings.contains_key(r),
+                    "replica must participate in rings it subscribes to"
+                );
+                registry.subscribe(*r, me);
+            }
+            Some(MergeLearner::new(subscribe_to, opts.m))
+        };
+        let ckpt_store = CheckpointStore::new(opts.checkpoint_storage);
+        MultiRingHost {
+            me,
+            registry,
+            opts,
+            rings,
+            acceptor_of,
+            learner,
+            partition,
+            app,
+            ckpt_store,
+            advertised: None,
+            pending_ckpt: None,
+            ckpt_seq: 0,
+            trims: BTreeMap::new(),
+            trim_seq: 0,
+            recovery: RecoveryPhase::Idle,
+            recovery_seq: 0,
+            restart_recovery: false,
+            retransmit_rr: 0,
+            executed: 0,
+            out: Output::new(),
+        }
+    }
+
+    /// Commands executed by this replica (diagnostics).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// True while post-crash recovery is in progress.
+    pub fn is_recovering(&self) -> bool {
+        self.recovery.is_recovering()
+    }
+
+    /// The replica's current checkpoint tuple (for tests).
+    pub fn checkpoint_tuple(&self) -> Option<CheckpointTuple> {
+        self.learner.as_ref().map(|l| l.checkpoint_tuple())
+    }
+
+    /// Immutable access to the service state machine.
+    pub fn app(&self) -> &dyn ServiceApp {
+        &*self.app
+    }
+
+    /// The ring node for `ring` (tests/diagnostics).
+    pub fn ring_node(&self, ring: RingId) -> Option<&RingNode> {
+        self.rings.get(&ring)
+    }
+
+    // ------------------------------------------------------------------
+    // plumbing
+    // ------------------------------------------------------------------
+
+    fn drain_ring(&mut self, ring: RingId, ctx: &mut Ctx<'_>) {
+        // Move decided values into the merge, sends onto the wire, timers
+        // into the host timer space.
+        let decided: Vec<_> = self.out.decided.drain(..).collect();
+        for (to, msg) in self.out.sends.drain(..) {
+            ctx.send(to, Msg::Ring(ring, msg));
+        }
+        for (after, t) in self.out.timers.drain(..) {
+            let (tag, payload) = t.to_words();
+            let a = (u64::from(ring.raw()) << 8) | tag;
+            ctx.schedule(after, Timer::with2(TIMER_RING, a, payload));
+        }
+        if let Some(learner) = &mut self.learner {
+            for (inst, value) in decided {
+                learner.push(ring, inst, value);
+            }
+            self.pump_merge(ctx);
+        }
+    }
+
+    fn pump_merge(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let Some(learner) = &mut self.learner else { return };
+            let Some(delivery) = learner.pop() else { return };
+            let Ok(env) = Envelope::decode(&mut delivery.value.payload().expect("app value").clone())
+            else {
+                continue; // foreign payload; ignore
+            };
+            let reply = self.app.execute(delivery.ring, &env);
+            self.executed += 1;
+            ctx.send(
+                env.reply_to,
+                Msg::Client(ClientMsg::Response {
+                    client: env.client,
+                    client_seq: env.req,
+                    from_replica: self.me,
+                    payload: reply,
+                }),
+            );
+        }
+    }
+
+    fn ring_mut(&mut self, ring: RingId) -> Option<&mut RingNode> {
+        self.rings.get_mut(&ring)
+    }
+
+    // ------------------------------------------------------------------
+    // checkpointing (replica side of §5.2)
+    // ------------------------------------------------------------------
+
+    fn take_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(learner) = &self.learner else { return };
+        if self.pending_ckpt.is_some() || self.recovery.is_recovering() {
+            return; // one at a time; never checkpoint mid-recovery
+        }
+        let tuple = learner.checkpoint_tuple();
+        if self.advertised.as_ref() == Some(&tuple) {
+            return; // nothing new to checkpoint
+        }
+        let (merge_turn, merge_credits) = learner.scheduler_state();
+        let snapshot = Snapshot {
+            app: self.app.snapshot(),
+            dedup: self
+                .rings
+                .iter()
+                .map(|(r, n)| (*r, n.dedup_snapshot()))
+                .collect(),
+            merge_turn,
+            merge_credits,
+        };
+        let state = snapshot.to_bytes();
+        let now = ctx.now();
+        let receipt = self.ckpt_store.save(tuple.clone(), state, now);
+        self.ckpt_seq += 1;
+        self.pending_ckpt = Some((self.ckpt_seq, tuple));
+        // Synchronous write: the checkpoint is advertised (and counted by
+        // the trim protocol) only once the write completes.
+        ctx.schedule_at(
+            receipt.ack_at,
+            Timer::with(TIMER_CHECKPOINT_DONE, self.ckpt_seq),
+        );
+    }
+
+    fn install_snapshot(&mut self, tuple: &CheckpointTuple, state: &Bytes) {
+        let snap = Snapshot::decode(&mut state.clone()).ok();
+        if let Some(snap) = &snap {
+            self.app.restore(&snap.app);
+            for (ring, ids) in &snap.dedup {
+                if let Some(node) = self.rings.get_mut(ring) {
+                    node.restore_dedup(ids.clone());
+                }
+            }
+        }
+        for (ring, inst) in tuple.entries() {
+            if let Some(node) = self.rings.get_mut(&ring) {
+                node.set_next_delivery(inst);
+            }
+        }
+        if let Some(learner) = &mut self.learner {
+            learner.restore(tuple);
+            if let Some(snap) = &snap {
+                learner.restore_scheduler_state(snap.merge_turn, &snap.merge_credits);
+            }
+        }
+        self.advertised = Some(tuple.clone());
+    }
+
+    // ------------------------------------------------------------------
+    // trim protocol (coordinator side of §5.2)
+    // ------------------------------------------------------------------
+
+    fn run_trim_round(&mut self, ring: RingId, ctx: &mut Ctx<'_>) {
+        let Some(node) = self.rings.get(&ring) else { return };
+        if !node.is_coordinator() {
+            return;
+        }
+        self.trim_seq += 1;
+        let round = TrimRound::new(ring, self.trim_seq);
+        let subscribers = self.registry.subscribers(ring);
+        for sub in &subscribers {
+            let msg = Msg::Recovery(RecoveryMsg::TrimQuery {
+                ring,
+                seq: self.trim_seq,
+            });
+            if *sub == self.me {
+                self.on_trim_query(ring, self.trim_seq, ctx);
+            } else {
+                ctx.send(*sub, msg);
+            }
+        }
+        self.trims.insert(ring, round);
+    }
+
+    fn on_trim_query(&mut self, ring: RingId, seq: u64, ctx: &mut Ctx<'_>) {
+        // Reply with the highest instance (inclusive) covered by our
+        // durable checkpoint on this ring; no checkpoint → no reply.
+        let Some(adv) = &self.advertised else { return };
+        let Some(next) = adv.get(ring) else { return };
+        if next == InstanceId::ZERO {
+            return; // nothing delivered yet: nothing safe to trim
+        }
+        let safe = InstanceId::new(next.raw() - 1);
+        let coordinator = match self.registry.ring(ring) {
+            Ok(cfg) => cfg.coordinator(),
+            Err(_) => return,
+        };
+        let reply = Msg::Recovery(RecoveryMsg::TrimReply {
+            ring,
+            seq,
+            safe,
+            replica: self.me,
+        });
+        if coordinator == self.me {
+            self.on_trim_reply(ring, seq, safe, self.me, ctx);
+        } else {
+            ctx.send(coordinator, reply);
+        }
+    }
+
+    fn on_trim_reply(
+        &mut self,
+        ring: RingId,
+        seq: u64,
+        safe: InstanceId,
+        replica: NodeId,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(round) = self.trims.get_mut(&ring) else { return };
+        if round.seq() != seq {
+            return; // stale round
+        }
+        round.record(replica, safe);
+        // Quorum rule: a majority of every partition subscribing to this
+        // ring (guarantees Q_T ∩ Q_R ≠ ∅ for any partition's Q_R).
+        let partitions: Vec<Vec<NodeId>> = self
+            .registry
+            .partitions()
+            .into_iter()
+            .filter(|(_, info)| info.rings.contains(&ring))
+            .map(|(_, info)| info.replicas)
+            .collect();
+        if let Some(kt) = round.quorum_min(&partitions) {
+            let cfg = match self.registry.ring(ring) {
+                Ok(c) => c,
+                Err(_) => return,
+            };
+            for acc in cfg.acceptors() {
+                if *acc == self.me {
+                    if let Some(node) = self.rings.get_mut(&ring) {
+                        node.trim_log(kt);
+                    }
+                } else {
+                    ctx.send(*acc, Msg::Recovery(RecoveryMsg::Trim { ring, upto: kt }));
+                }
+            }
+            self.trims.remove(&ring);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // recovery (restarting replica side of §5.2)
+    // ------------------------------------------------------------------
+
+    fn dbg(&self, ctx: &Ctx<'_>, what: &str) {
+        if std::env::var_os("MRP_DEBUG").is_some() {
+            eprintln!("[{} {} ] {}", ctx.now(), self.me, what);
+        }
+    }
+
+    fn begin_recovery(&mut self, ctx: &mut Ctx<'_>) {
+        self.dbg(ctx, "begin_recovery");
+        let Some(partition) = self.partition else {
+            self.recovery = RecoveryPhase::CatchUp;
+            self.step_catch_up(ctx);
+            return;
+        };
+        let Some(info) = self.registry.partition(partition) else {
+            self.recovery = RecoveryPhase::CatchUp;
+            return;
+        };
+        self.recovery_seq += 1;
+        let need = info.quorum().saturating_sub(1); // self counts
+        if need == 0 {
+            self.recovery = RecoveryPhase::CatchUp;
+            self.step_catch_up(ctx);
+            return;
+        }
+        self.recovery = RecoveryPhase::QueryCheckpoints {
+            seq: self.recovery_seq,
+            replied: Vec::new(),
+            best: None,
+            need,
+        };
+        for peer in &info.replicas {
+            if *peer != self.me {
+                ctx.send(
+                    *peer,
+                    Msg::Recovery(RecoveryMsg::CheckpointQuery {
+                        partition,
+                        seq: self.recovery_seq,
+                    }),
+                );
+            }
+        }
+        ctx.schedule(self.opts.recovery_retry, Timer::of_kind(TIMER_RECOVERY));
+    }
+
+    fn on_checkpoint_info(
+        &mut self,
+        seq: u64,
+        replica: NodeId,
+        tuple: CheckpointTuple,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let RecoveryPhase::QueryCheckpoints {
+            seq: want,
+            replied,
+            best,
+            need,
+        } = &mut self.recovery
+        else {
+            return;
+        };
+        if seq != *want || replied.contains(&replica) {
+            return;
+        }
+        replied.push(replica);
+        if !tuple.is_empty() {
+            match best {
+                Some((_, b)) if b.dominates(&tuple) => {}
+                _ => *best = Some((replica, tuple)),
+            }
+        }
+        if replied.len() >= *need {
+            let best = best.clone();
+            let local = self.advertised.clone();
+            match best {
+                Some((peer, tuple))
+                    if local.as_ref().map(|l| !l.dominates(&tuple)).unwrap_or(true) =>
+                {
+                    // A peer has a strictly newer checkpoint: fetch it.
+                    self.recovery = RecoveryPhase::Fetching {
+                        from: peer,
+                        tuple: tuple.clone(),
+                    };
+                    ctx.send(peer, Msg::Recovery(RecoveryMsg::CheckpointFetch { tuple }));
+                }
+                _ => {
+                    // Our durable checkpoint is the freshest; replay from
+                    // the acceptors.
+                    self.recovery = RecoveryPhase::CatchUp;
+                    self.step_catch_up(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_checkpoint_data(&mut self, tuple: CheckpointTuple, state: Bytes, ctx: &mut Ctx<'_>) {
+        self.dbg(ctx, &format!("checkpoint_data {tuple}"));
+        if let RecoveryPhase::Fetching { tuple: want, .. } = &self.recovery {
+            if *want != tuple {
+                return;
+            }
+            self.install_snapshot(&tuple, &state);
+            let now = ctx.now();
+            self.ckpt_store.save(tuple, state, now);
+            self.recovery = RecoveryPhase::CatchUp;
+            self.step_catch_up(ctx);
+        }
+    }
+
+    /// Requests retransmission for every subscribed ring that is behind,
+    /// and finishes recovery when none are.
+    fn step_catch_up(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(l) = &self.learner {
+            let gaps: Vec<String> = l
+                .rings()
+                .iter()
+                .filter_map(|r| {
+                    self.rings
+                        .get(r)
+                        .and_then(|n| n.buffered_gap())
+                        .map(|(a, b)| format!("{r}:{a}..{b}"))
+                })
+                .collect();
+            self.dbg(ctx, &format!("step_catch_up gaps={gaps:?}"));
+        }
+        let Some(learner) = &self.learner else {
+            self.recovery = RecoveryPhase::Idle;
+            return;
+        };
+        let mut pending = false;
+        let rings = learner.rings();
+        for ring in rings {
+            let Some(node) = self.rings.get(&ring) else { continue };
+            // Ask for everything from the learner's position up to any
+            // buffered decisions (gap), or a chunk beyond if nothing is
+            // buffered yet.
+            if let Some((from, to)) = node.buffered_gap() {
+                pending = true;
+                self.send_retransmit_request(ring, from, to, ctx);
+            }
+        }
+        if pending {
+            ctx.schedule(self.opts.recovery_retry, Timer::of_kind(TIMER_RECOVERY));
+        } else {
+            self.recovery = RecoveryPhase::Idle;
+        }
+    }
+
+    fn send_retransmit_request(
+        &mut self,
+        ring: RingId,
+        from: InstanceId,
+        to: InstanceId,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Ok(cfg) = self.registry.ring(ring) else { return };
+        // Rotate over acceptors other than us: after a ring
+        // reconfiguration some acceptors may themselves be missing
+        // decisions for the requested range.
+        let others: Vec<NodeId> = cfg
+            .acceptors()
+            .iter()
+            .copied()
+            .filter(|a| *a != self.me)
+            .collect();
+        if others.is_empty() {
+            return;
+        }
+        self.retransmit_rr += 1;
+        let acc = others[(self.retransmit_rr as usize) % others.len()];
+        ctx.send(
+            acc,
+            Msg::Recovery(RecoveryMsg::Retransmit { ring, from, to }),
+        );
+    }
+
+    fn on_retransmit(&mut self, ring: RingId, from: InstanceId, to: InstanceId, requester: NodeId, ctx: &mut Ctx<'_>) {
+        let Some(node) = self.rings.get(&ring) else { return };
+        let to = to.min(from.plus(RETRANSMIT_CHUNK));
+        let decisions = node.log().decided_in_range(from, to);
+        let log_start = node.log().trim_floor();
+        ctx.send(
+            requester,
+            Msg::Recovery(RecoveryMsg::RetransmitReply {
+                ring,
+                decisions,
+                log_start,
+            }),
+        );
+    }
+
+    fn on_retransmit_reply(
+        &mut self,
+        ring: RingId,
+        decisions: Vec<common::msg::AcceptedEntry>,
+        log_start: InstanceId,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let needed = self
+            .learner
+            .as_ref()
+            .and_then(|l| l.next_needed(ring))
+            .unwrap_or(InstanceId::ZERO);
+        self.dbg(
+            ctx,
+            &format!(
+                "retransmit_reply ring={ring} n={} log_start={log_start} needed={needed} first={:?}",
+                decisions.len(),
+                decisions.first().map(|d| d.inst)
+            ),
+        );
+        if log_start > needed {
+            // The acceptors trimmed past our position: we must fetch a
+            // newer checkpoint from a peer (Predicate 5 guarantees one
+            // exists at recovery time; if trimming advanced during a slow
+            // catch-up, peers have checkpointed again by now). Back off to
+            // the retry timer instead of re-querying inline, otherwise a
+            // reply/re-query cycle spins at network speed.
+            self.dbg(ctx, &format!("retransmit hit trim: log_start={log_start} needed={needed}"));
+            if !self.restart_recovery {
+                self.restart_recovery = true;
+                ctx.schedule(self.opts.recovery_retry, Timer::of_kind(TIMER_RECOVERY));
+            }
+            return;
+        }
+        let now = ctx.now();
+        let progress = !decisions.is_empty();
+        let mut out = Output::new();
+        if let Some(node) = self.rings.get_mut(&ring) {
+            for d in decisions {
+                node.learn_decided(d.inst, d.value, now, &mut out);
+            }
+        }
+        self.out = out;
+        self.drain_ring(ring, ctx);
+        if matches!(self.recovery, RecoveryPhase::CatchUp) && progress {
+            // Chain the next chunk. On empty replies we back off to the
+            // TIMER_RECOVERY retry instead: the serving acceptor was
+            // missing decisions and the round-robin will try another.
+            self.step_catch_up(ctx);
+        }
+    }
+}
+
+impl Process for MultiRingHost {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let rings: Vec<RingId> = self.rings.keys().copied().collect();
+        for ring in rings {
+            let mut out = Output::new();
+            if let Some(node) = self.ring_mut(ring) {
+                node.start(now, &mut out);
+            }
+            self.out = out;
+            self.drain_ring(ring, ctx);
+        }
+        if let Some(interval) = self.opts.checkpoint_interval {
+            ctx.schedule(interval, Timer::of_kind(TIMER_CHECKPOINT));
+        }
+        if let Some(interval) = self.opts.trim_interval {
+            for ring in self.rings.keys() {
+                ctx.schedule(interval, Timer::with(TIMER_TRIM, u64::from(ring.raw())));
+            }
+        }
+        if self.learner.is_some() {
+            ctx.schedule(self.opts.recovery_retry, Timer::of_kind(TIMER_GAP));
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_>) {
+        match msg {
+            Msg::Ring(ring, m) => {
+                let now = ctx.now();
+                let mut out = Output::new();
+                if let Some(node) = self.rings.get_mut(&ring) {
+                    node.on_msg(from, m, now, &mut out);
+                } else {
+                    return;
+                }
+                self.out = out;
+                self.drain_ring(ring, ctx);
+            }
+            Msg::Client(ClientMsg::Request {
+                client,
+                client_seq,
+                group,
+                cmd,
+            }) => {
+                let now = ctx.now();
+                let env = Envelope {
+                    client,
+                    req: client_seq,
+                    reply_to: from,
+                    cmd,
+                };
+                let mut out = Output::new();
+                if let Some(node) = self.rings.get_mut(&group) {
+                    // Allocate the value id from the ring node's own
+                    // counter: skip tokens and no-op fillers draw from the
+                    // same (node, seq) space, and a collision would make
+                    // the coordinator's duplicate suppression silently
+                    // drop the client's command.
+                    let id = node.next_value_id();
+                    let value = Value {
+                        id,
+                        kind: common::value::ValueKind::App(env.to_bytes()),
+                    };
+                    node.propose(value, now, &mut out);
+                } else {
+                    return; // not a proposer for this group
+                }
+                self.out = out;
+                self.drain_ring(group, ctx);
+            }
+            Msg::Client(_) => {}
+            Msg::Recovery(r) => match r {
+                RecoveryMsg::TrimQuery { ring, seq } => self.on_trim_query(ring, seq, ctx),
+                RecoveryMsg::TrimReply {
+                    ring,
+                    seq,
+                    safe,
+                    replica,
+                } => self.on_trim_reply(ring, seq, safe, replica, ctx),
+                RecoveryMsg::Trim { ring, upto } => {
+                    if let Some(node) = self.rings.get_mut(&ring) {
+                        node.trim_log(upto);
+                    }
+                }
+                RecoveryMsg::CheckpointQuery { partition, seq } => {
+                    if self.partition == Some(partition) {
+                        let tuple = self.advertised.clone().unwrap_or_default();
+                        ctx.send(
+                            from,
+                            Msg::Recovery(RecoveryMsg::CheckpointInfo {
+                                seq,
+                                replica: self.me,
+                                tuple,
+                            }),
+                        );
+                    }
+                }
+                RecoveryMsg::CheckpointInfo {
+                    seq,
+                    replica,
+                    tuple,
+                } => self.on_checkpoint_info(seq, replica, tuple, ctx),
+                RecoveryMsg::CheckpointFetch { tuple } => {
+                    let state = self
+                        .ckpt_store
+                        .get(&tuple)
+                        .cloned()
+                        .or_else(|| self.ckpt_store.latest().map(|(_, s)| s.clone()));
+                    if let Some(state) = state {
+                        let actual = self
+                            .ckpt_store
+                            .get(&tuple)
+                            .map(|_| tuple.clone())
+                            .or_else(|| self.ckpt_store.latest().map(|(t, _)| t.clone()))
+                            .unwrap_or(tuple);
+                        ctx.send(
+                            from,
+                            Msg::Recovery(RecoveryMsg::CheckpointData {
+                                tuple: actual,
+                                state,
+                            }),
+                        );
+                    }
+                }
+                RecoveryMsg::CheckpointData { tuple, state } => {
+                    self.on_checkpoint_data(tuple, state, ctx)
+                }
+                RecoveryMsg::Retransmit { ring, from: f, to } => {
+                    self.on_retransmit(ring, f, to, from, ctx)
+                }
+                RecoveryMsg::RetransmitReply {
+                    ring,
+                    decisions,
+                    log_start,
+                } => self.on_retransmit_reply(ring, decisions, log_start, ctx),
+            },
+            Msg::Custom(..) => {}
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Ctx<'_>) {
+        match timer.kind {
+            TIMER_RING => {
+                let ring = RingId::new((timer.a >> 8) as u16);
+                let tag = timer.a & 0xff;
+                let Some(t) = RingTimer::from_words(tag, timer.b) else {
+                    return;
+                };
+                let now = ctx.now();
+                let mut out = Output::new();
+                if let Some(node) = self.rings.get_mut(&ring) {
+                    node.on_timer(t, now, &mut out);
+                } else {
+                    return;
+                }
+                self.out = out;
+                self.drain_ring(ring, ctx);
+            }
+            TIMER_CHECKPOINT => {
+                self.take_checkpoint(ctx);
+                if let Some(interval) = self.opts.checkpoint_interval {
+                    ctx.schedule(interval, Timer::of_kind(TIMER_CHECKPOINT));
+                }
+            }
+            TIMER_CHECKPOINT_DONE => {
+                if let Some((seq, tuple)) = self.pending_ckpt.take() {
+                    if seq == timer.a {
+                        self.advertised = Some(tuple);
+                    } else {
+                        self.pending_ckpt = Some((seq, tuple));
+                    }
+                }
+            }
+            TIMER_TRIM => {
+                let ring = RingId::new(timer.a as u16);
+                self.run_trim_round(ring, ctx);
+                if let Some(interval) = self.opts.trim_interval {
+                    ctx.schedule(interval, Timer::with(TIMER_TRIM, timer.a));
+                }
+            }
+            TIMER_GAP => {
+                // Gap healing for *live* learners: a ring reconfiguration
+                // can lose circulating decisions at the removed member, so
+                // any learner may find itself with buffered decisions
+                // beyond an undelivered gap. Request retransmission from
+                // the acceptors (round-robin).
+                ctx.schedule(self.opts.recovery_retry, Timer::of_kind(TIMER_GAP));
+                if self.recovery.is_recovering() {
+                    return; // recovery's own retries handle gaps
+                }
+                let gaps: Vec<(RingId, InstanceId, InstanceId)> = self
+                    .learner
+                    .as_ref()
+                    .map(|l| {
+                        l.rings()
+                            .into_iter()
+                            .filter_map(|r| {
+                                self.rings
+                                    .get(&r)
+                                    .and_then(|n| n.buffered_gap())
+                                    .map(|(a, b)| (r, a, b))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for (ring, from, to) in gaps {
+                    self.dbg(ctx, &format!("gap heal {ring} {from}..{to}"));
+                    self.send_retransmit_request(ring, from, to, ctx);
+                }
+            }
+            TIMER_RECOVERY => {
+                if self.restart_recovery {
+                    self.restart_recovery = false;
+                    self.begin_recovery(ctx);
+                    return;
+                }
+                match &self.recovery {
+                    RecoveryPhase::Idle => {}
+                    RecoveryPhase::QueryCheckpoints { .. } => {
+                        // Quorum still outstanding: restart the query.
+                        self.begin_recovery(ctx);
+                    }
+                    RecoveryPhase::Fetching { from, tuple } => {
+                        let (from, tuple) = (*from, tuple.clone());
+                        ctx.send(from, Msg::Recovery(RecoveryMsg::CheckpointFetch { tuple }));
+                        ctx.schedule(self.opts.recovery_retry, Timer::of_kind(TIMER_RECOVERY));
+                    }
+                    RecoveryPhase::CatchUp => self.step_catch_up(ctx),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime) {
+        for node in self.rings.values_mut() {
+            node.on_crash(now);
+        }
+        self.ckpt_store.crash(now);
+        self.app.reset();
+        self.learner = self
+            .learner
+            .as_ref()
+            .map(|l| MergeLearner::new(&l.rings(), l.m()));
+        self.advertised = None;
+        self.pending_ckpt = None;
+        self.trims.clear();
+        self.recovery = RecoveryPhase::Idle;
+        self.restart_recovery = false;
+        self.executed = 0;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Rejoin every ring (as acceptor where we were one).
+        let rings: Vec<RingId> = self.rings.keys().copied().collect();
+        for ring in &rings {
+            let as_acceptor = self.acceptor_of.contains(ring);
+            let _ = self.registry.rejoin(*ring, self.me, as_acceptor);
+        }
+        for ring in rings {
+            let mut out = Output::new();
+            if let Some(node) = self.rings.get_mut(&ring) {
+                let _ = node.on_restart(now, &mut out);
+            }
+            self.out = out;
+            self.drain_ring(ring, ctx);
+        }
+        // Install our most recent durable checkpoint, then look for a
+        // fresher one among partition peers.
+        if let Some((tuple, state)) = self
+            .ckpt_store
+            .latest_durable(now)
+            .map(|(t, s)| (t.clone(), s.clone()))
+        {
+            self.install_snapshot(&tuple, &state);
+        }
+        self.begin_recovery(ctx);
+        if let Some(interval) = self.opts.checkpoint_interval {
+            ctx.schedule(interval, Timer::of_kind(TIMER_CHECKPOINT));
+        }
+        if let Some(interval) = self.opts.trim_interval {
+            for ring in self.rings.keys() {
+                ctx.schedule(interval, Timer::with(TIMER_TRIM, u64::from(ring.raw())));
+            }
+        }
+        if self.learner.is_some() {
+            ctx.schedule(self.opts.recovery_retry, Timer::of_kind(TIMER_GAP));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Ring Paxos: atomic broadcast over a unidirectional ring overlay.
+//!
+//! This crate implements the unicast variant of Ring Paxos described in §4
+//! of the paper (no IP multicast): proposers, acceptors and learners are
+//! arranged in one logical ring; an elected acceptor *coordinates*. Values
+//! circulate to the coordinator, which runs an optimized Paxos with
+//! pre-executed Phase 1 over windows of instances; combined Phase 2A/2B
+//! messages accumulate votes hop by hop, turn into decisions at the
+//! acceptor where a majority is reached, and decisions circulate until
+//! every member has seen them.
+//!
+//! The core type is [`RingNode`]: a runtime-agnostic state machine holding
+//! all roles a process plays in one ring. It is driven through
+//! [`RingNode::on_msg`], [`RingNode::on_timer`] and [`RingNode::propose`],
+//! and emits effects into an [`Output`] scratch buffer. Two adapters drive
+//! it:
+//!
+//! * [`process::RingProcess`] — a [`simnet::Process`] for simulations;
+//! * [`live`] — a thread-per-node runtime over crossbeam channels or TCP
+//!   sockets for real deployments.
+//!
+//! Failure handling: members heartbeat their ring successor; silence
+//! triggers a compare-and-swap reconfiguration in the [`coord::Registry`]
+//! (the Zookeeper stand-in), removing the dead member and electing a new
+//! coordinator, which re-runs Phase 1 at a higher ballot and re-proposes
+//! in-doubt values (§5.1).
+
+pub mod live;
+pub mod node;
+pub mod options;
+pub mod process;
+pub mod timer;
+
+pub use node::{Output, RingNode};
+pub use options::{BatchPolicy, RateLeveling, RingOptions};
+pub use process::RingProcess;
+pub use timer::RingTimer;

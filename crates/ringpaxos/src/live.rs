@@ -1,0 +1,534 @@
+//! Live runtime: the same [`RingNode`] state machines driven by OS
+//! threads over real transports.
+//!
+//! Two transports are provided:
+//!
+//! * [`LiveRing::in_process`] — crossbeam channels between threads, for
+//!   examples and integration tests;
+//! * [`LiveRing::tcp`] — framed TCP sockets over localhost (or any
+//!   addresses), demonstrating that the protocol runs over real networks.
+//!
+//! Each node runs an event loop: it waits for messages or the next timer
+//! deadline, feeds them to its [`RingNode`], and routes the emitted sends
+//! to peer queues / sockets. Virtual [`SimTime`] is mapped from a shared
+//! wall-clock epoch, so the protocol code is identical to the simulated
+//! world. Decided values can optionally be appended to a real write-ahead
+//! log ([`storage::wal::Wal`]).
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use common::error::{Error, Result};
+use common::ids::{InstanceId, NodeId, RingId};
+use common::msg::{AcceptedEntry, Msg, RingMsg};
+use common::time::SimTime;
+use common::value::Value;
+use common::wire::{frame, Wire};
+use common::Ballot;
+use coord::{Registry, RingConfig};
+use storage::wal::{SyncPolicy, Wal};
+
+use crate::node::{Output, RingNode};
+use crate::options::RingOptions;
+use crate::timer::RingTimer;
+
+/// A value delivered by one live node's learner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The consensus instance.
+    pub inst: InstanceId,
+    /// The decided value.
+    pub value: Value,
+}
+
+enum Event {
+    Msg(NodeId, RingMsg),
+    Propose(Value),
+    Shutdown,
+}
+
+struct TimerEntry(Instant, RingTimer);
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.cmp(&self.0) // min-heap
+    }
+}
+
+/// Where a node's outgoing ring messages go.
+trait Transport: Send + 'static {
+    fn send(&mut self, to: NodeId, msg: RingMsg);
+}
+
+struct ChannelTransport {
+    peers: HashMap<NodeId, Sender<Event>>,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, to: NodeId, msg: RingMsg) {
+        if let Some(tx) = self.peers.get(&to) {
+            let _ = tx.send(Event::Msg(to, msg));
+        }
+    }
+}
+
+struct TcpTransport {
+    me: NodeId,
+    ring: RingId,
+    addrs: HashMap<NodeId, SocketAddr>,
+    conns: HashMap<NodeId, TcpStream>,
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, to: NodeId, msg: RingMsg) {
+        let Some(addr) = self.addrs.get(&to).copied() else {
+            return;
+        };
+        let stream = self.conns.entry(to).or_insert_with(|| {
+            // Retry briefly: peers may still be binding their listeners.
+            let mut last_err = None;
+            for _ in 0..50 {
+                match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        return s;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            panic!("cannot connect to {addr}: {last_err:?}");
+        });
+        let mut buf = BytesMut::new();
+        let framed = LiveFrame {
+            from: self.me,
+            msg: Msg::Ring(self.ring, msg),
+        };
+        frame::write(&mut buf, &framed);
+        if stream.write_all(&buf).is_err() {
+            self.conns.remove(&to);
+        }
+    }
+}
+
+/// One frame on a live TCP connection: sender plus message.
+struct LiveFrame {
+    from: NodeId,
+    msg: Msg,
+}
+
+impl Wire for LiveFrame {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.from.encode(buf);
+        self.msg.encode(buf);
+    }
+
+    fn decode(buf: &mut bytes::Bytes) -> std::result::Result<Self, common::error::WireError> {
+        Ok(LiveFrame {
+            from: NodeId::decode(buf)?,
+            msg: Msg::decode(buf)?,
+        })
+    }
+}
+
+/// Handle to one running live node.
+pub struct LiveNode {
+    id: NodeId,
+    tx: Sender<Event>,
+    deliveries: Receiver<Delivery>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl LiveNode {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Proposes a value on this node.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node already shut down.
+    pub fn propose(&self, value: Value) -> Result<()> {
+        self.tx
+            .send(Event::Propose(value))
+            .map_err(|_| Error::Timeout("live node event queue"))
+    }
+
+    /// Receives the next delivered value, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Timeout`] if nothing is delivered in time.
+    pub fn recv_delivery(&self, timeout: Duration) -> Result<Delivery> {
+        self.deliveries
+            .recv_timeout(timeout)
+            .map_err(|_| Error::Timeout("delivery"))
+    }
+
+    /// Drains all deliveries currently queued.
+    pub fn drain_deliveries(&self) -> Vec<Delivery> {
+        self.deliveries.try_iter().collect()
+    }
+}
+
+/// A running ring of live nodes.
+pub struct LiveRing {
+    nodes: Vec<LiveNode>,
+    registry: Registry,
+}
+
+impl LiveRing {
+    /// Starts `n` nodes in one ring connected by in-process channels.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ring configuration is invalid (e.g. `n == 0`).
+    pub fn in_process(n: usize, opts: RingOptions) -> Result<Self> {
+        let registry = Registry::new();
+        let ring = RingId::new(0);
+        let members: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+        registry.register_ring(RingConfig::new(ring, members.clone(), members.clone())?)?;
+
+        let mut senders = HashMap::new();
+        let mut receivers = Vec::new();
+        for m in &members {
+            let (tx, rx) = unbounded();
+            senders.insert(*m, tx);
+            receivers.push(rx);
+        }
+        let epoch = Instant::now();
+        let mut nodes = Vec::new();
+        for (m, rx) in members.iter().zip(receivers) {
+            let transport = ChannelTransport {
+                peers: senders.clone(),
+            };
+            nodes.push(spawn_node(
+                *m,
+                ring,
+                registry.clone(),
+                opts.clone(),
+                rx,
+                senders[m].clone(),
+                transport,
+                epoch,
+                None,
+            )?);
+        }
+        Ok(LiveRing { nodes, registry })
+    }
+
+    /// Starts nodes bound to `addrs` (one per node) talking framed TCP.
+    /// Optionally appends every locally-delivered decision to a WAL under
+    /// `wal_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a listener cannot bind or the config is invalid.
+    pub fn tcp(addrs: &[SocketAddr], opts: RingOptions, wal_dir: Option<PathBuf>) -> Result<Self> {
+        let registry = Registry::new();
+        let ring = RingId::new(0);
+        let members: Vec<NodeId> = (0..addrs.len() as u32).map(NodeId::new).collect();
+        registry.register_ring(RingConfig::new(ring, members.clone(), members.clone())?)?;
+        let addr_map: HashMap<NodeId, SocketAddr> =
+            members.iter().copied().zip(addrs.iter().copied()).collect();
+
+        let epoch = Instant::now();
+        let mut nodes = Vec::new();
+        for m in &members {
+            let (tx, rx) = unbounded();
+            let listener = TcpListener::bind(addr_map[m])?;
+            spawn_acceptor_loop(listener, tx.clone());
+            let transport = TcpTransport {
+                me: *m,
+                ring,
+                addrs: addr_map.clone(),
+                conns: HashMap::new(),
+            };
+            let wal = match &wal_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir)?;
+                    Some(Wal::open(
+                        dir.join(format!("node-{}.wal", m.raw())),
+                        SyncPolicy::OsDecides,
+                    )?)
+                }
+                None => None,
+            };
+            nodes.push(spawn_node(
+                *m,
+                ring,
+                registry.clone(),
+                opts.clone(),
+                rx,
+                tx.clone(),
+                transport,
+                epoch,
+                wal,
+            )?);
+        }
+        Ok(LiveRing { nodes, registry })
+    }
+
+    /// The nodes, in ring order.
+    pub fn nodes(&self) -> &[LiveNode] {
+        &self.nodes
+    }
+
+    /// Node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &LiveNode {
+        &self.nodes[i]
+    }
+
+    /// The shared registry (to inspect or reconfigure).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Stops all nodes and joins their threads.
+    pub fn shutdown(mut self) {
+        for n in &self.nodes {
+            let _ = n.tx.send(Event::Shutdown);
+        }
+        for n in &mut self.nodes {
+            if let Some(j) = n.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+/// Reads framed messages off accepted connections, feeding the node loop.
+fn spawn_acceptor_loop(listener: TcpListener, tx: Sender<Event>) {
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut buf = BytesMut::new();
+                let mut chunk = [0u8; 64 * 1024];
+                loop {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            while let Ok(Some(f)) = frame::try_read::<LiveFrame>(&mut buf) {
+                                if let Msg::Ring(_, m) = f.msg {
+                                    if tx.send(Event::Msg(f.from, m)).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_node<T: Transport>(
+    me: NodeId,
+    ring: RingId,
+    registry: Registry,
+    opts: RingOptions,
+    rx: Receiver<Event>,
+    _self_tx: Sender<Event>,
+    mut transport: T,
+    epoch: Instant,
+    wal: Option<Wal>,
+) -> Result<LiveNode> {
+    let mut node = RingNode::new(me, ring, registry, opts)?;
+    let (dtx, drx) = bounded::<Delivery>(1 << 16);
+    let wal = Arc::new(Mutex::new(wal));
+
+    let join = std::thread::Builder::new()
+        .name(format!("ring-node-{}", me.raw()))
+        .spawn(move || {
+            let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+            let mut out = Output::new();
+            let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+            node.start(now, &mut out);
+            drain(&mut out, &mut transport, &dtx, &mut timers, epoch, &wal);
+
+            loop {
+                let timeout = timers
+                    .peek()
+                    .map(|TimerEntry(at, _)| at.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(100));
+                match rx.recv_timeout(timeout) {
+                    Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+                    Ok(Event::Msg(from, msg)) => {
+                        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+                        node.on_msg(from, msg, now, &mut out);
+                    }
+                    Ok(Event::Propose(value)) => {
+                        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+                        node.propose(value, now, &mut out);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+                // Fire due timers.
+                while let Some(TimerEntry(at, _)) = timers.peek() {
+                    if *at > Instant::now() {
+                        break;
+                    }
+                    let TimerEntry(_, t) = timers.pop().expect("peeked");
+                    let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+                    node.on_timer(t, now, &mut out);
+                }
+                drain(&mut out, &mut transport, &dtx, &mut timers, epoch, &wal);
+            }
+        })
+        .expect("spawn ring node thread");
+
+    Ok(LiveNode {
+        id: me,
+        tx: _self_tx,
+        deliveries: drx,
+        join: Some(join),
+    })
+}
+
+fn drain<T: Transport>(
+    out: &mut Output,
+    transport: &mut T,
+    dtx: &Sender<Delivery>,
+    timers: &mut BinaryHeap<TimerEntry>,
+    _epoch: Instant,
+    wal: &Arc<Mutex<Option<Wal>>>,
+) {
+    for (to, msg) in out.sends.drain(..) {
+        transport.send(to, msg);
+    }
+    for (inst, value) in out.decided.drain(..) {
+        if let Some(w) = wal.lock().as_mut() {
+            let _ = w.append(&AcceptedEntry {
+                inst,
+                vballot: Ballot::ZERO,
+                value: value.clone(),
+            });
+        }
+        let _ = dtx.try_send(Delivery { inst, value });
+    }
+    for (after, t) in out.timers.drain(..) {
+        timers.push(TimerEntry(Instant::now() + after, t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use common::value::ValueId;
+
+    fn value(node: u32, seq: u64, payload: &'static [u8]) -> Value {
+        Value {
+            id: ValueId::new(NodeId::new(node), seq),
+            kind: common::value::ValueKind::App(Bytes::from_static(payload)),
+        }
+    }
+
+    #[test]
+    fn in_process_ring_delivers_in_total_order() {
+        let ring = LiveRing::in_process(3, RingOptions::crash_free()).unwrap();
+        for seq in 0..10u64 {
+            ring.node((seq % 3) as usize)
+                .propose(value((seq % 3) as u32, seq, b"live"))
+                .unwrap();
+        }
+        let mut streams = Vec::new();
+        for n in ring.nodes() {
+            let mut got = Vec::new();
+            while got.len() < 10 {
+                got.push(n.recv_delivery(Duration::from_secs(5)).expect("delivery"));
+            }
+            streams.push(got);
+        }
+        assert_eq!(streams[0], streams[1]);
+        assert_eq!(streams[1], streams[2]);
+        ring.shutdown();
+    }
+
+    #[test]
+    fn tcp_ring_writes_wal() {
+        let base = 42000 + (std::process::id() % 500) as u16;
+        let addrs: Vec<SocketAddr> = (0..3)
+            .map(|i| format!("127.0.0.1:{}", base + i).parse().unwrap())
+            .collect();
+        let dir = std::env::temp_dir().join(format!("live-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ring = LiveRing::tcp(&addrs, RingOptions::crash_free(), Some(dir.clone())).unwrap();
+        for seq in 0..4u64 {
+            ring.node(0).propose(value(0, seq, b"durable")).unwrap();
+        }
+        // Wait until every node delivered all four, then shut down.
+        for n in ring.nodes() {
+            let mut got = 0;
+            while got < 4 {
+                n.recv_delivery(Duration::from_secs(10)).expect("delivery");
+                got += 1;
+            }
+        }
+        ring.shutdown();
+        // Every node's WAL replays the same decided sequence.
+        for i in 0..3u32 {
+            let path = dir.join(format!("node-{i}.wal"));
+            let records: Vec<AcceptedEntry> = storage::wal::Wal::replay(&path).unwrap();
+            assert_eq!(records.len(), 4, "node {i} wal");
+            let insts: Vec<u64> = records.iter().map(|r| r.inst.raw()).collect();
+            assert_eq!(insts, vec![0, 1, 2, 3]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_ring_delivers() {
+        let base = 41000 + (std::process::id() % 1000) as u16;
+        let addrs: Vec<SocketAddr> = (0..3)
+            .map(|i| format!("127.0.0.1:{}", base + i).parse().unwrap())
+            .collect();
+        let ring = LiveRing::tcp(&addrs, RingOptions::crash_free(), None).unwrap();
+        for seq in 0..5u64 {
+            ring.node(0).propose(value(0, seq, b"tcp")).unwrap();
+        }
+        for n in ring.nodes() {
+            let mut got = Vec::new();
+            while got.len() < 5 {
+                got.push(n.recv_delivery(Duration::from_secs(10)).expect("delivery"));
+            }
+            let insts: Vec<u64> = got.iter().map(|d| d.inst.raw()).collect();
+            assert_eq!(insts, vec![0, 1, 2, 3, 4]);
+        }
+        ring.shutdown();
+    }
+}

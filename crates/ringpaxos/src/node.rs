@@ -1,0 +1,1313 @@
+//! The Ring Paxos state machine.
+//!
+//! A [`RingNode`] bundles every role a process can play in one ring —
+//! proposer, acceptor, learner, coordinator — exactly as in the paper's
+//! deployments where "all of which are proposers, acceptors, and learners,
+//! and one of the acceptors is the coordinator" (§8.3.1).
+//!
+//! ## Protocol walk-through (paper §4, Figure 2b)
+//!
+//! 1. A proposed [`Value`] circulates the ring until it reaches the
+//!    coordinator ([`RingMsg::Proposal`]).
+//! 2. The coordinator assigns the next consensus instance and emits a
+//!    combined Phase 2A/2B message carrying its own vote.
+//! 3. Each acceptor logs its vote to stable storage, *then* adds it and
+//!    forwards; non-acceptors forward unchanged.
+//! 4. The acceptor whose vote completes a majority replaces the message
+//!    with a [`RingMsg::Decision`], which circulates until every member
+//!    has seen it.
+//! 5. Learners deliver decided values in instance order.
+//!
+//! Phase 1 is pre-executed for an open-ended window when a coordinator
+//! (newly elected or initial) takes over: acceptors promise and report
+//! *all* retained accepted entries; the coordinator re-proposes the
+//! highest-ballot value per instance and fills gaps with no-ops (§5.1).
+//!
+//! Rate leveling (§4) runs on the coordinator: every Δ it compares the
+//! number of proposals in the interval against λ·Δ and proposes a single
+//! [`ValueKind::Skip`] token standing for the difference.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::time::Duration;
+
+use common::error::{Error, Result};
+use common::ids::{Ballot, InstanceId, NodeId, RingId};
+use common::msg::{AcceptedEntry, RingMsg};
+use common::time::SimTime;
+use common::value::{Value, ValueId, ValueKind};
+use coord::Registry;
+use coord::RingConfig;
+use storage::AcceptorLog;
+
+use crate::options::RingOptions;
+use crate::timer::RingTimer;
+
+/// Effects emitted by a [`RingNode`] handler; the host runtime drains it
+/// after every call.
+#[derive(Debug, Default)]
+pub struct Output {
+    /// Ring messages to transmit, in order.
+    pub sends: Vec<(NodeId, RingMsg)>,
+    /// Values decided and deliverable *by this node's learner*, in
+    /// instance order (includes no-ops and skips so Multi-Ring Paxos can
+    /// count instances; services filter with [`Value::is_deliverable`]).
+    pub decided: Vec<(InstanceId, Value)>,
+    /// Timers to schedule.
+    pub timers: Vec<(Duration, RingTimer)>,
+}
+
+impl Output {
+    /// A fresh, empty output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no effects are pending.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.decided.is_empty() && self.timers.is_empty()
+    }
+
+    /// Clears all effects (after the host drained them).
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.decided.clear();
+        self.timers.clear();
+    }
+}
+
+/// What an acceptor does once a pending stable-storage write completes.
+#[derive(Debug)]
+enum PendingAction {
+    /// Forward this message to the successor.
+    Forward(RingMsg),
+    /// Majority reached here: decide locally and circulate the decision.
+    Decide { inst: InstanceId, value: Value },
+}
+
+/// The per-ring protocol state machine. See the module docs.
+pub struct RingNode {
+    me: NodeId,
+    ring: RingId,
+    registry: Registry,
+    cfg: RingConfig,
+    opts: RingOptions,
+    /// Whether this node's learner delivers values into [`Output::decided`].
+    subscribed: bool,
+
+    // ---- acceptor state ----
+    log: AcceptorLog,
+    pending: BTreeMap<InstanceId, PendingAction>,
+    pending_phase1: Option<(u32, RingMsg)>,
+    phase1_generation: u32,
+
+    // ---- coordinator state ----
+    coordinating: bool,
+    ballot: Ballot,
+    /// Phase 1 finished for this ballot; proposals may flow.
+    phase1_complete: bool,
+    next_instance: InstanceId,
+    prop_queue: VecDeque<Value>,
+    proposals_since_delta: u64,
+    seen_ids: HashSet<ValueId>,
+    seen_order: VecDeque<ValueId>,
+
+    // ---- learner state ----
+    next_delivery: InstanceId,
+    decision_buffer: BTreeMap<InstanceId, Value>,
+    delivered_ids: HashSet<ValueId>,
+    delivered_order: VecDeque<ValueId>,
+
+    // ---- proposer state ----
+    unacked: BTreeMap<ValueId, (Value, SimTime)>,
+    value_seq: u64,
+
+    // ---- liveness ----
+    last_from_pred: SimTime,
+
+    // ---- batching ----
+    batch: Vec<RingMsg>,
+    batch_bytes: usize,
+    batch_timer_armed: bool,
+}
+
+impl RingNode {
+    /// Creates the state machine for `me`'s participation in `ring`,
+    /// reading the membership from `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ring is unknown or `me` is not a member.
+    pub fn new(me: NodeId, ring: RingId, registry: Registry, opts: RingOptions) -> Result<Self> {
+        let cfg = registry.ring(ring)?;
+        if !cfg.contains(me) {
+            return Err(Error::Config(format!("{me} is not a member of {ring}")));
+        }
+        let coordinating = cfg.coordinator() == me;
+        Ok(RingNode {
+            me,
+            ring,
+            registry,
+            cfg,
+            log: AcceptorLog::new(opts.storage),
+            opts,
+            subscribed: true,
+            pending: BTreeMap::new(),
+            pending_phase1: None,
+            phase1_generation: 0,
+            coordinating,
+            ballot: Ballot::ZERO,
+            phase1_complete: false,
+            next_instance: InstanceId::ZERO,
+            prop_queue: VecDeque::new(),
+            proposals_since_delta: 0,
+            seen_ids: HashSet::new(),
+            seen_order: VecDeque::new(),
+            next_delivery: InstanceId::ZERO,
+            decision_buffer: BTreeMap::new(),
+            delivered_ids: HashSet::new(),
+            delivered_order: VecDeque::new(),
+            unacked: BTreeMap::new(),
+            value_seq: 0,
+            last_from_pred: SimTime::ZERO,
+            batch: Vec::new(),
+            batch_bytes: 0,
+            batch_timer_armed: false,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// The ring this node participates in.
+    pub fn ring(&self) -> RingId {
+        self.ring
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// True while this node believes it coordinates the ring.
+    pub fn is_coordinator(&self) -> bool {
+        self.coordinating
+    }
+
+    /// The current ring configuration (this node's view).
+    pub fn config(&self) -> &RingConfig {
+        &self.cfg
+    }
+
+    /// The next instance the learner will deliver.
+    pub fn next_delivery(&self) -> InstanceId {
+        self.next_delivery
+    }
+
+    /// Whether this node's learner emits deliveries.
+    pub fn subscribed(&self) -> bool {
+        self.subscribed
+    }
+
+    /// Enables or disables delivery from this ring (a Multi-Ring Paxos
+    /// learner "chooses from which multicast groups it wishes to deliver
+    /// messages", §2).
+    pub fn set_subscribed(&mut self, subscribed: bool) {
+        self.subscribed = subscribed;
+    }
+
+    /// Positions the learner to deliver starting at `inst` — used when
+    /// installing a checkpoint during recovery.
+    pub fn set_next_delivery(&mut self, inst: InstanceId) {
+        self.next_delivery = inst;
+        self.decision_buffer = self.decision_buffer.split_off(&inst);
+    }
+
+    /// Read access to the acceptor's vote log (for retransmission
+    /// service).
+    pub fn log(&self) -> &AcceptorLog {
+        &self.log
+    }
+
+    /// Injects a decision learned out-of-band (retransmitted by an
+    /// acceptor during recovery). Idempotent; delivers through the normal
+    /// in-order path.
+    pub fn learn_decided(&mut self, inst: InstanceId, value: Value, now: SimTime, out: &mut Output) {
+        self.handle_decide(inst, value, now, out);
+    }
+
+    /// If decisions are buffered beyond an undelivered gap, returns
+    /// `(first needed, first buffered)` — the retransmission range a
+    /// recovering learner should request.
+    pub fn buffered_gap(&self) -> Option<(InstanceId, InstanceId)> {
+        let (&first, _) = self.decision_buffer.iter().next()?;
+        if first > self.next_delivery {
+            Some((self.next_delivery, first))
+        } else {
+            None
+        }
+    }
+
+    /// Snapshot of the learner's duplicate-suppression window, in
+    /// delivery order — included in checkpoints so a recovered replica
+    /// makes the same dedup decisions as its peers.
+    pub fn dedup_snapshot(&self) -> Vec<ValueId> {
+        self.delivered_order.iter().copied().collect()
+    }
+
+    /// Restores the duplicate-suppression window from a checkpoint.
+    pub fn restore_dedup(&mut self, ids: Vec<ValueId>) {
+        self.delivered_order = ids.iter().copied().collect();
+        self.delivered_ids = ids.into_iter().collect();
+    }
+
+    /// Trims the acceptor log up to `upto` (the coordinator's `Trim`
+    /// order, paper §5.2).
+    pub fn trim_log(&mut self, upto: InstanceId) {
+        self.log.trim(upto);
+    }
+
+    /// Number of proposals forwarded to this coordinator in the current
+    /// Δ interval (rate-leveling input; test/diagnostic hook).
+    pub fn proposals_since_delta(&self) -> u64 {
+        self.proposals_since_delta
+    }
+
+    fn is_acceptor(&self) -> bool {
+        self.cfg.is_acceptor(self.me)
+    }
+
+    fn successor(&self) -> NodeId {
+        self.cfg.successor(self.me)
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle
+    // ------------------------------------------------------------------
+
+    /// Starts the node: kicks off Phase 1 if coordinating and arms the
+    /// periodic timers.
+    pub fn start(&mut self, now: SimTime, out: &mut Output) {
+        self.last_from_pred = now;
+        if self.coordinating {
+            self.begin_phase1(now, out);
+        }
+        if let Some(rl) = self.opts.rate_leveling {
+            out.timers.push((rl.delta, RingTimer::RateLevel));
+        }
+        if !self.opts.failure_timeout.is_zero() {
+            out.timers
+                .push((self.opts.heartbeat_interval, RingTimer::Liveness));
+        }
+        out.timers
+            .push((self.opts.proposal_retry, RingTimer::ProposalRetry));
+    }
+
+    /// Drops volatile state on a crash at `now`; the stable log keeps its
+    /// durable subset.
+    pub fn on_crash(&mut self, now: SimTime) {
+        self.log.crash(now);
+        self.pending.clear();
+        self.pending_phase1 = None;
+        self.prop_queue.clear();
+        self.seen_ids.clear();
+        self.seen_order.clear();
+        self.decision_buffer.clear();
+        self.delivered_ids.clear();
+        self.delivered_order.clear();
+        self.unacked.clear();
+        self.batch.clear();
+        self.batch_bytes = 0;
+        self.batch_timer_armed = false;
+        self.coordinating = false;
+        self.phase1_complete = false;
+        self.ballot = Ballot::ZERO;
+        self.next_delivery = InstanceId::ZERO;
+        self.next_instance = InstanceId::ZERO;
+    }
+
+    /// Rejoins the ring after a restart: installs the current registry
+    /// config and restarts timers. The host is responsible for calling
+    /// [`coord::Registry::rejoin`] first and for recovering learner state
+    /// via checkpoints.
+    pub fn on_restart(&mut self, now: SimTime, out: &mut Output) -> Result<()> {
+        self.cfg = self.registry.ring(self.ring)?;
+        self.coordinating = self.cfg.coordinator() == self.me;
+        self.start(now, out);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // proposing
+    // ------------------------------------------------------------------
+
+    /// Atomically broadcasts `value` on this ring. The value travels to
+    /// the coordinator and is eventually decided in some instance, unless
+    /// the ring reconfigures — proposals are retried until their decision
+    /// is observed.
+    pub fn propose(&mut self, value: Value, now: SimTime, out: &mut Output) {
+        if value.is_deliverable() {
+            self.unacked.insert(value.id, (value.clone(), now));
+        }
+        if self.coordinating {
+            self.enqueue_proposal(value, now, out);
+        } else {
+            let ttl = self.cfg.initial_ttl();
+            self.send_ring(RingMsg::Proposal { value, ttl }, now, out);
+        }
+    }
+
+    /// Allocates a fresh value id owned by this node.
+    pub fn next_value_id(&mut self) -> ValueId {
+        self.value_seq += 1;
+        ValueId::new(self.me, self.value_seq)
+    }
+
+    fn enqueue_proposal(&mut self, value: Value, now: SimTime, out: &mut Output) {
+        if !self.remember_seen(value.id) {
+            return; // duplicate (proposer retry raced a decision)
+        }
+        self.proposals_since_delta += 1;
+        self.prop_queue.push_back(value);
+        self.pump_proposals(now, out);
+    }
+
+    fn remember_seen(&mut self, id: ValueId) -> bool {
+        if !self.seen_ids.insert(id) {
+            return false;
+        }
+        self.seen_order.push_back(id);
+        while self.seen_order.len() > self.opts.dedup_window {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen_ids.remove(&old);
+            }
+        }
+        true
+    }
+
+    fn pump_proposals(&mut self, now: SimTime, out: &mut Output) {
+        if !self.coordinating || !self.phase1_complete {
+            return;
+        }
+        while let Some(value) = self.prop_queue.pop_front() {
+            let inst = self.next_instance;
+            self.next_instance = inst.plus(value.instance_span());
+            if value.is_deliverable() && std::env::var_os("MRP_DEBUG").is_some() {
+                eprintln!("[{now} {}] coord assigns {inst} to {}", self.me, value.id);
+            }
+            self.phase2_self_vote(inst, value, now, out);
+        }
+    }
+
+    /// The coordinator's own accept + vote for `inst`; forwarded (or
+    /// decided, in a single-acceptor ring) once the vote hits the disk.
+    fn phase2_self_vote(&mut self, inst: InstanceId, value: Value, now: SimTime, out: &mut Output) {
+        debug_assert!(self.is_acceptor(), "coordinator must be an acceptor");
+        let receipt = self.log.accept(inst, self.ballot, value.clone(), now);
+        let action = if 1 >= self.cfg.majority() {
+            PendingAction::Decide { inst, value }
+        } else {
+            PendingAction::Forward(RingMsg::Phase2 {
+                inst,
+                ballot: self.ballot,
+                value,
+                votes: 1,
+                ttl: self.cfg.initial_ttl(),
+            })
+        };
+        self.complete_or_defer(inst, action, receipt.ack_at, now, out);
+    }
+
+    fn complete_or_defer(
+        &mut self,
+        inst: InstanceId,
+        action: PendingAction,
+        ready_at: SimTime,
+        now: SimTime,
+        out: &mut Output,
+    ) {
+        if ready_at <= now {
+            self.run_pending(action, now, out);
+        } else {
+            self.pending.insert(inst, action);
+            out.timers
+                .push((ready_at.since(now), RingTimer::WriteDone(inst)));
+        }
+    }
+
+    fn run_pending(&mut self, action: PendingAction, now: SimTime, out: &mut Output) {
+        match action {
+            PendingAction::Forward(msg) => self.send_ring(msg, now, out),
+            PendingAction::Decide { inst, value } => {
+                self.handle_decide(inst, value.clone(), now, out);
+                let ttl = self.cfg.initial_ttl();
+                if ttl > 0 {
+                    self.send_ring(RingMsg::Decision { inst, value, ttl }, now, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // phase 1
+    // ------------------------------------------------------------------
+
+    /// Starts pre-executed Phase 1 for all instances at a ballot derived
+    /// from the registry epoch (strictly increasing across coordinator
+    /// changes).
+    fn begin_phase1(&mut self, now: SimTime, out: &mut Output) {
+        let round = u32::try_from(self.cfg.epoch().raw()).unwrap_or(u32::MAX);
+        self.ballot = Ballot::new(round.max(1), self.me);
+        self.phase1_complete = false;
+        self.phase1_generation += 1;
+
+        let receipt = self.log.promise(self.ballot, now);
+        let msg = RingMsg::Phase1 {
+            ballot: self.ballot,
+            from: self.log.trim_floor(),
+            to: InstanceId::new(u64::MAX),
+            promises: 1,
+            accepted: self
+                .log
+                .entries_in_range(self.log.trim_floor(), InstanceId::new(u64::MAX)),
+            // One full loop: the message returns to the coordinator, which
+            // is how it collects every member's promises.
+            ttl: self.cfg.initial_ttl() + 1,
+        };
+        if self.cfg.members().len() == 1 {
+            // Sole member: Phase 1 trivially succeeds.
+            let accepted = match &msg {
+                RingMsg::Phase1 { accepted, .. } => accepted.clone(),
+                _ => unreachable!(),
+            };
+            self.finish_phase1(accepted, now, out);
+            return;
+        }
+        let generation = self.phase1_generation;
+        if receipt.ack_at <= now {
+            self.send_ring(msg, now, out);
+        } else {
+            self.pending_phase1 = Some((generation, msg));
+            out.timers.push((
+                receipt.ack_at.since(now),
+                RingTimer::PromiseDone(generation),
+            ));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the Phase1 message fields
+    fn on_phase1(
+        &mut self,
+        ballot: Ballot,
+        from: InstanceId,
+        to: InstanceId,
+        promises: u16,
+        accepted: Vec<AcceptedEntry>,
+        ttl: u16,
+        now: SimTime,
+        out: &mut Output,
+    ) {
+        if self.coordinating && ballot == self.ballot {
+            // Our Phase 1 came back around the ring.
+            if promises >= self.cfg.majority() {
+                self.finish_phase1(accepted, now, out);
+            }
+            return;
+        }
+        if ballot < self.ballot && self.coordinating {
+            return; // stale rival coordinator
+        }
+        if !self.is_acceptor() {
+            if ttl > 0 {
+                self.send_ring(
+                    RingMsg::Phase1 {
+                        ballot,
+                        from,
+                        to,
+                        promises,
+                        accepted,
+                        ttl: ttl - 1,
+                    },
+                    now,
+                    out,
+                );
+            }
+            return;
+        }
+        if ballot < self.log.promised() {
+            return; // promised someone newer; starve the stale coordinator
+        }
+        // A higher ballot means a newer coordinator exists; follow it.
+        if self.coordinating && ballot > self.ballot {
+            self.coordinating = false;
+            self.phase1_complete = false;
+        }
+        let receipt = self.log.promise(ballot, now);
+        let mut merged = accepted;
+        merged.extend(self.log.entries_in_range(from.max(self.log.trim_floor()), to));
+        let msg = RingMsg::Phase1 {
+            ballot,
+            from,
+            to,
+            promises: promises + 1,
+            accepted: merged,
+            ttl: ttl.saturating_sub(1),
+        };
+        if ttl == 0 {
+            return; // malformed; the loop should have ended at the coordinator
+        }
+        let generation = self.phase1_generation.wrapping_add(1);
+        self.phase1_generation = generation;
+        if receipt.ack_at <= now {
+            self.send_ring(msg, now, out);
+        } else {
+            self.pending_phase1 = Some((generation, msg));
+            out.timers.push((
+                receipt.ack_at.since(now),
+                RingTimer::PromiseDone(generation),
+            ));
+        }
+    }
+
+    /// Installs Phase 1 results: adopts the highest-ballot value per
+    /// reported instance, fills gaps with no-ops, re-proposes everything,
+    /// then opens the proposal pump.
+    fn finish_phase1(&mut self, accepted: Vec<AcceptedEntry>, now: SimTime, out: &mut Output) {
+        self.phase1_complete = true;
+        let mut chosen: BTreeMap<InstanceId, (Ballot, Value)> = BTreeMap::new();
+        for e in accepted {
+            match chosen.get(&e.inst) {
+                Some((b, _)) if *b >= e.vballot => {}
+                _ => {
+                    chosen.insert(e.inst, (e.vballot, e.value));
+                }
+            }
+        }
+        let base = self.next_instance.max(self.log.trim_floor());
+        if let Some((last, (_, last_val))) = chosen.iter().next_back() {
+            let mut inst = base;
+            let end = last.plus(last_val.instance_span());
+            while inst < end {
+                let (value, span) = match chosen.get(&inst) {
+                    Some((_, v)) => (v.clone(), v.instance_span()),
+                    None => {
+                        let id = self.next_value_id();
+                        (Value { id, kind: ValueKind::Noop }, 1)
+                    }
+                };
+                self.remember_seen(value.id);
+                self.phase2_self_vote(inst, value, now, out);
+                inst = inst.plus(span);
+            }
+            self.next_instance = end;
+        } else {
+            self.next_instance = base;
+        }
+        self.pump_proposals(now, out);
+    }
+
+    // ------------------------------------------------------------------
+    // message handling
+    // ------------------------------------------------------------------
+
+    /// Handles one incoming ring message. `from` is the direct sender
+    /// (the ring predecessor for circulating messages).
+    pub fn on_msg(&mut self, from: NodeId, msg: RingMsg, now: SimTime, out: &mut Output) {
+        // Only traffic from the ring predecessor counts as its liveness
+        // signal; client proposals and recovery traffic come from
+        // arbitrary nodes and must not mask a dead predecessor.
+        if from == self.predecessor() {
+            self.last_from_pred = now;
+        }
+        match msg {
+            RingMsg::Batch(msgs) => {
+                for m in msgs {
+                    self.on_msg_inner(m, now, out);
+                }
+            }
+            m => self.on_msg_inner(m, now, out),
+        }
+    }
+
+    fn on_msg_inner(&mut self, msg: RingMsg, now: SimTime, out: &mut Output) {
+        match msg {
+            RingMsg::Proposal { value, ttl } => {
+                if self.coordinating {
+                    self.enqueue_proposal(value, now, out);
+                } else if ttl > 0 {
+                    self.send_ring(RingMsg::Proposal { value, ttl: ttl - 1 }, now, out);
+                }
+                // ttl exhausted without finding a coordinator: the
+                // proposer's retry timer will re-send after failover.
+            }
+            RingMsg::Phase1 {
+                ballot,
+                from,
+                to,
+                promises,
+                accepted,
+                ttl,
+            } => self.on_phase1(ballot, from, to, promises, accepted, ttl, now, out),
+            RingMsg::Phase2 {
+                inst,
+                ballot,
+                value,
+                votes,
+                ttl,
+            } => self.on_phase2(inst, ballot, value, votes, ttl, now, out),
+            RingMsg::Decision { inst, value, ttl } => {
+                self.handle_decide(inst, value.clone(), now, out);
+                if ttl > 0 {
+                    self.send_ring(
+                        RingMsg::Decision {
+                            inst,
+                            value,
+                            ttl: ttl - 1,
+                        },
+                        now,
+                        out,
+                    );
+                }
+            }
+            RingMsg::Heartbeat { epoch } => {
+                if epoch > self.cfg.epoch().raw() {
+                    self.refresh_config(now, out);
+                }
+            }
+            RingMsg::Batch(msgs) => {
+                for m in msgs {
+                    self.on_msg_inner(m, now, out);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_phase2(
+        &mut self,
+        inst: InstanceId,
+        ballot: Ballot,
+        value: Value,
+        votes: u16,
+        ttl: u16,
+        now: SimTime,
+        out: &mut Output,
+    ) {
+        if !self.is_acceptor() {
+            if ttl > 0 {
+                self.send_ring(
+                    RingMsg::Phase2 {
+                        inst,
+                        ballot,
+                        value,
+                        votes,
+                        ttl: ttl - 1,
+                    },
+                    now,
+                    out,
+                );
+            }
+            return;
+        }
+        if ballot < self.log.promised() {
+            return; // stale coordinator's proposal dies here
+        }
+        if self.log.is_decided(inst) {
+            return; // already decided (re-proposal after failover)
+        }
+        let receipt = self.log.accept(inst, ballot, value.clone(), now);
+        let votes = votes + 1;
+        let action = if votes >= self.cfg.majority() {
+            PendingAction::Decide { inst, value }
+        } else if ttl > 0 {
+            PendingAction::Forward(RingMsg::Phase2 {
+                inst,
+                ballot,
+                value,
+                votes,
+                ttl: ttl - 1,
+            })
+        } else {
+            return; // ring exhausted below majority: lost acceptors; retry via failover
+        };
+        self.complete_or_defer(inst, action, receipt.ack_at, now, out);
+    }
+
+    fn handle_decide(&mut self, inst: InstanceId, value: Value, now: SimTime, out: &mut Output) {
+        self.unacked.remove(&value.id);
+        if self.is_acceptor() {
+            self.log.mark_decided(inst, value.clone(), now);
+        }
+        if self.coordinating {
+            self.remember_seen(value.id);
+            if inst >= self.next_instance {
+                self.next_instance = inst.plus(value.instance_span());
+            }
+        }
+        if inst < self.next_delivery || self.decision_buffer.contains_key(&inst) {
+            return;
+        }
+        self.decision_buffer.insert(inst, value);
+        self.drain_deliveries(out);
+    }
+
+    fn drain_deliveries(&mut self, out: &mut Output) {
+        while let Some(value) = self.decision_buffer.remove(&self.next_delivery) {
+            let inst = self.next_delivery;
+            self.next_delivery = inst.plus(value.instance_span());
+            let value = self.dedup_delivery(value);
+            if value.is_deliverable() && std::env::var_os("MRP_DEBUG").is_some() {
+                eprintln!("[{}] learner delivers {inst} {}", self.me, value.id);
+            }
+            if self.subscribed {
+                out.decided.push((inst, value));
+            }
+        }
+    }
+
+    /// Demotes a duplicate application value (same `ValueId` decided in
+    /// two instances, possible across coordinator changes) to a no-op.
+    /// Deterministic across learners because it depends only on the
+    /// delivered prefix.
+    fn dedup_delivery(&mut self, value: Value) -> Value {
+        if !value.is_deliverable() {
+            return value;
+        }
+        if !self.delivered_ids.insert(value.id) {
+            return Value {
+                id: value.id,
+                kind: ValueKind::Noop,
+            };
+        }
+        self.delivered_order.push_back(value.id);
+        while self.delivered_order.len() > self.opts.dedup_window {
+            if let Some(old) = self.delivered_order.pop_front() {
+                self.delivered_ids.remove(&old);
+            }
+        }
+        value
+    }
+
+    // ------------------------------------------------------------------
+    // timers
+    // ------------------------------------------------------------------
+
+    /// Handles a previously scheduled [`RingTimer`].
+    pub fn on_timer(&mut self, timer: RingTimer, now: SimTime, out: &mut Output) {
+        match timer {
+            RingTimer::WriteDone(inst) => {
+                if let Some(action) = self.pending.remove(&inst) {
+                    self.run_pending(action, now, out);
+                }
+            }
+            RingTimer::PromiseDone(generation) => {
+                if let Some((expected, msg)) = self.pending_phase1.take() {
+                    if expected == generation {
+                        self.send_ring(msg, now, out);
+                    } else {
+                        self.pending_phase1 = Some((expected, msg));
+                    }
+                }
+            }
+            RingTimer::BatchFlush => {
+                self.batch_timer_armed = false;
+                self.flush_batch(out);
+            }
+            RingTimer::RateLevel => self.on_rate_level(now, out),
+            RingTimer::Liveness => self.on_liveness(now, out),
+            RingTimer::ProposalRetry => self.on_proposal_retry(now, out),
+        }
+    }
+
+    /// Rate leveling (§4): propose one skip token covering the shortfall
+    /// between the proposals seen this Δ and the expected λ·Δ.
+    fn on_rate_level(&mut self, now: SimTime, out: &mut Output) {
+        let Some(rl) = self.opts.rate_leveling else {
+            return;
+        };
+        out.timers.push((rl.delta, RingTimer::RateLevel));
+        if !self.coordinating || !self.phase1_complete {
+            self.proposals_since_delta = 0;
+            return;
+        }
+        let expected = rl.expected_per_delta();
+        let got = self.proposals_since_delta;
+        self.proposals_since_delta = 0;
+        if got < expected {
+            let n = (expected - got) as u32;
+            let id = self.next_value_id();
+            let skip = Value {
+                id,
+                kind: ValueKind::Skip(n),
+            };
+            self.remember_seen(id);
+            self.prop_queue.push_back(skip);
+            self.pump_proposals(now, out);
+        }
+    }
+
+    fn on_liveness(&mut self, now: SimTime, out: &mut Output) {
+        out.timers
+            .push((self.opts.heartbeat_interval, RingTimer::Liveness));
+        // Heartbeats bypass batching: they are the liveness signal itself.
+        out.sends.push((
+            self.successor(),
+            RingMsg::Heartbeat {
+                epoch: self.cfg.epoch().raw(),
+            },
+        ));
+        if now.since(self.last_from_pred) > self.opts.failure_timeout {
+            let pred = self.predecessor();
+            if let Ok(cfg) = self.registry.report_failure(self.ring, pred, self.cfg.epoch()) {
+                self.install_config(cfg, now, out);
+                self.last_from_pred = now;
+            }
+        } else {
+            // Opportunistically pick up config changes made by others.
+            self.refresh_config(now, out);
+        }
+    }
+
+    fn on_proposal_retry(&mut self, now: SimTime, out: &mut Output) {
+        out.timers
+            .push((self.opts.proposal_retry, RingTimer::ProposalRetry));
+        let stale: Vec<Value> = self
+            .unacked
+            .iter()
+            .filter(|(_, (_, sent))| now.since(*sent) >= self.opts.proposal_retry)
+            .map(|(_, (v, _))| v.clone())
+            .collect();
+        for value in stale {
+            if let Some(entry) = self.unacked.get_mut(&value.id) {
+                entry.1 = now;
+            }
+            if self.coordinating {
+                // Re-propose directly; the seen-set dedups if it was
+                // already handled.
+                if self.remember_seen(value.id) {
+                    self.prop_queue.push_back(value);
+                }
+            } else {
+                let ttl = self.cfg.initial_ttl();
+                self.send_ring(RingMsg::Proposal { value, ttl }, now, out);
+            }
+        }
+        self.pump_proposals(now, out);
+    }
+
+    fn predecessor(&self) -> NodeId {
+        let members = self.cfg.members();
+        let pos = members
+            .iter()
+            .position(|m| *m == self.me)
+            .expect("member of own ring");
+        members[(pos + members.len() - 1) % members.len()]
+    }
+
+    fn refresh_config(&mut self, now: SimTime, out: &mut Output) {
+        if let Ok(cfg) = self.registry.ring(self.ring) {
+            if cfg.epoch() > self.cfg.epoch() {
+                self.install_config(cfg, now, out);
+            }
+        }
+    }
+
+    fn install_config(&mut self, cfg: RingConfig, now: SimTime, out: &mut Output) {
+        // The successor may change: flush buffered messages to the old one
+        // first so nothing is silently retargeted.
+        self.flush_batch(out);
+        let was_coordinating = self.coordinating;
+        self.cfg = cfg;
+        self.coordinating = self.cfg.coordinator() == self.me && self.cfg.contains(self.me);
+        self.last_from_pred = now;
+        if self.coordinating && !was_coordinating {
+            self.begin_phase1(now, out);
+        } else if !self.coordinating {
+            self.phase1_complete = false;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // batching
+    // ------------------------------------------------------------------
+
+    /// Sends (or batches) a ring message to the successor.
+    ///
+    /// Skip tokens bypass the batch-delay timer: they are the merge's
+    /// clock (rate leveling exists so idle rings do not stall learners),
+    /// and parking them for `max_delay` on every hop would re-introduce
+    /// exactly the delivery lag they eliminate. The pending batch is
+    /// flushed first so per-link FIFO is preserved.
+    fn send_ring(&mut self, msg: RingMsg, _now: SimTime, out: &mut Output) {
+        let Some(policy) = self.opts.batching else {
+            out.sends.push((self.successor(), msg));
+            return;
+        };
+        let skip_critical = match &msg {
+            RingMsg::Phase2 { value, .. } | RingMsg::Decision { value, .. } => {
+                matches!(value.kind, ValueKind::Skip(_))
+            }
+            _ => false,
+        };
+        if skip_critical {
+            self.flush_batch(out);
+            out.sends.push((self.successor(), msg));
+            return;
+        }
+        self.batch_bytes += msg.wire_size();
+        self.batch.push(msg);
+        if self.batch_bytes >= policy.max_bytes {
+            self.flush_batch(out);
+        } else if !self.batch_timer_armed {
+            self.batch_timer_armed = true;
+            out.timers.push((policy.max_delay, RingTimer::BatchFlush));
+        }
+    }
+
+    fn flush_batch(&mut self, out: &mut Output) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.batch_bytes = 0;
+        let msgs = std::mem::take(&mut self.batch);
+        let msg = if msgs.len() == 1 {
+            msgs.into_iter().next().expect("len checked")
+        } else {
+            RingMsg::Batch(msgs)
+        };
+        out.sends.push((self.successor(), msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use common::ids::Epoch;
+    use storage::StorageMode;
+
+    /// Drives a set of RingNodes to quiescence by synchronously relaying
+    /// their sends; timers with zero-ish delays are fired in order.
+    /// Timing is collapsed (everything happens "now") — these tests check
+    /// protocol logic, not timing; timing is covered by simnet tests.
+    struct Harness {
+        nodes: Vec<RingNode>,
+        now: SimTime,
+        delivered: Vec<Vec<(InstanceId, Value)>>,
+    }
+
+    impl Harness {
+        fn new(n: usize, opts: RingOptions) -> (Self, Registry) {
+            let registry = Registry::new();
+            let members: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+            let cfg =
+                RingConfig::new(RingId::new(0), members.clone(), members.clone()).unwrap();
+            registry.register_ring(cfg).unwrap();
+            let nodes = members
+                .iter()
+                .map(|m| {
+                    RingNode::new(*m, RingId::new(0), registry.clone(), opts.clone()).unwrap()
+                })
+                .collect();
+            (
+                Harness {
+                    nodes,
+                    now: SimTime::ZERO,
+                    delivered: vec![Vec::new(); n],
+                },
+                registry,
+            )
+        }
+
+        fn start(&mut self) {
+            let mut out = Output::new();
+            for i in 0..self.nodes.len() {
+                self.nodes[i].start(self.now, &mut out);
+                self.relay(i, &mut out);
+            }
+        }
+
+        fn propose(&mut self, node: usize, value: Value) {
+            let mut out = Output::new();
+            self.nodes[node].propose(value, self.now, &mut out);
+            self.relay(node, &mut out);
+        }
+
+        /// Synchronously relays sends (and fires timers immediately) until
+        /// quiescent.
+        fn relay(&mut self, origin: usize, out: &mut Output) {
+            let mut queue: VecDeque<(usize, NodeId, RingMsg)> = VecDeque::new();
+            let mut timers: VecDeque<(usize, RingTimer)> = VecDeque::new();
+            let me = self.nodes[origin].me();
+            self.drain(origin, me, out, &mut queue, &mut timers);
+            let mut steps = 0;
+            while !queue.is_empty() || !timers.is_empty() {
+                steps += 1;
+                assert!(steps < 100_000, "relay did not quiesce");
+                let mut o = Output::new();
+                if let Some((target, from, msg)) = queue.pop_front() {
+                    self.nodes[target].on_msg(from, msg, self.now, &mut o);
+                    let from2 = self.nodes[target].me();
+                    self.drain(target, from2, &mut o, &mut queue, &mut timers);
+                } else if let Some((target, timer)) = timers.pop_front() {
+                    // Only fire write/batch timers synchronously; periodic
+                    // timers would loop forever.
+                    match timer {
+                        RingTimer::WriteDone(_)
+                        | RingTimer::PromiseDone(_)
+                        | RingTimer::BatchFlush => {
+                            self.nodes[target].on_timer(timer, self.now, &mut o);
+                            let from2 = self.nodes[target].me();
+                            self.drain(target, from2, &mut o, &mut queue, &mut timers);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        fn drain(
+            &mut self,
+            origin: usize,
+            from: NodeId,
+            out: &mut Output,
+            queue: &mut VecDeque<(usize, NodeId, RingMsg)>,
+            timers: &mut VecDeque<(usize, RingTimer)>,
+        ) {
+            for (to, msg) in out.sends.drain(..) {
+                queue.push_back((to.raw() as usize, from, msg));
+            }
+            for (inst, value) in out.decided.drain(..) {
+                self.delivered[origin].push((inst, value));
+            }
+            for (_, t) in out.timers.drain(..) {
+                timers.push_back((origin, t));
+            }
+        }
+
+        fn app_value(&mut self, node: usize, payload: &'static [u8]) -> Value {
+            let id = self.nodes[node].next_value_id();
+            Value {
+                id,
+                kind: ValueKind::App(Bytes::from_static(payload)),
+            }
+        }
+    }
+
+    fn opts() -> RingOptions {
+        RingOptions {
+            storage: StorageMode::InMemory,
+            ..RingOptions::crash_free()
+        }
+    }
+
+    #[test]
+    fn three_node_ring_delivers_everywhere_in_order() {
+        let (mut h, _) = Harness::new(3, opts());
+        h.start();
+        for i in 0..5 {
+            let v = h.app_value(i % 3, b"x");
+            h.propose(i % 3, v);
+        }
+        for n in 0..3 {
+            assert_eq!(h.delivered[n].len(), 5, "node {n} deliveries");
+        }
+        // Identical streams on every node.
+        assert_eq!(h.delivered[0], h.delivered[1]);
+        assert_eq!(h.delivered[1], h.delivered[2]);
+        // Instance order strictly ascending.
+        let insts: Vec<u64> = h.delivered[0].iter().map(|(i, _)| i.raw()).collect();
+        let mut sorted = insts.clone();
+        sorted.sort_unstable();
+        assert_eq!(insts, sorted);
+    }
+
+    #[test]
+    fn single_node_ring_works() {
+        let (mut h, _) = Harness::new(1, opts());
+        h.start();
+        let v = h.app_value(0, b"solo");
+        h.propose(0, v.clone());
+        assert_eq!(h.delivered[0].len(), 1);
+        assert_eq!(h.delivered[0][0].1, v);
+    }
+
+    #[test]
+    fn non_coordinator_proposals_reach_coordinator() {
+        let (mut h, _) = Harness::new(4, opts());
+        h.start();
+        // Node 3 is the furthest from coordinator (node 0).
+        let v = h.app_value(3, b"far");
+        h.propose(3, v.clone());
+        for n in 0..4 {
+            assert_eq!(h.delivered[n].len(), 1, "node {n}");
+            assert_eq!(h.delivered[n][0].1, v);
+        }
+    }
+
+    #[test]
+    fn duplicate_proposals_are_suppressed_by_coordinator() {
+        let (mut h, _) = Harness::new(3, opts());
+        h.start();
+        let v = h.app_value(1, b"dup");
+        h.propose(1, v.clone());
+        h.propose(1, v.clone()); // identical ValueId
+        assert_eq!(h.delivered[0].len(), 1);
+    }
+
+    #[test]
+    fn skip_values_advance_multiple_instances() {
+        let (mut h, _) = Harness::new(3, opts());
+        h.start();
+        let id = h.nodes[0].next_value_id();
+        h.propose(
+            0,
+            Value {
+                id,
+                kind: ValueKind::Skip(10),
+            },
+        );
+        let v = h.app_value(0, b"after-skip");
+        h.propose(0, v);
+        let d = &h.delivered[0];
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, InstanceId::new(0));
+        assert_eq!(d[1].0, InstanceId::new(10), "skip(10) consumed 10 instances");
+    }
+
+    #[test]
+    fn batching_groups_messages() {
+        let mut o = opts();
+        o.batching = Some(crate::options::BatchPolicy {
+            max_bytes: 10_000,
+            max_delay: Duration::from_millis(5),
+        });
+        let (mut h, _) = Harness::new(3, o);
+        h.start();
+        for _ in 0..10 {
+            let v = h.app_value(0, b"payloadpayload");
+            h.propose(0, v);
+        }
+        // All values still delivered exactly once, in identical order.
+        assert_eq!(h.delivered[0].len(), 10);
+        assert_eq!(h.delivered[0], h.delivered[2]);
+    }
+
+    #[test]
+    fn coordinator_failover_re_proposes_accepted_values() {
+        let (mut h, registry) = Harness::new(3, opts());
+        h.start();
+        let v0 = h.app_value(0, b"before");
+        h.propose(0, v0.clone());
+
+        // Coordinator (node 0) "fails": registry removes it; node 1 takes
+        // over and re-runs Phase 1.
+        let epoch = registry.ring(RingId::new(0)).unwrap().epoch();
+        let cfg = registry
+            .report_failure(RingId::new(0), NodeId::new(0), epoch)
+            .unwrap();
+        assert_eq!(cfg.coordinator(), NodeId::new(1));
+
+        let mut out = Output::new();
+        h.nodes[1].install_config(cfg.clone(), h.now, &mut out);
+        h.relay(1, &mut out);
+        let mut out = Output::new();
+        h.nodes[2].install_config(cfg, h.now, &mut out);
+        h.relay(2, &mut out);
+
+        assert!(h.nodes[1].is_coordinator());
+
+        // New proposals flow through the new coordinator.
+        let v1 = h.app_value(2, b"after");
+        h.propose(2, v1.clone());
+        let d1: Vec<_> = h.delivered[1].iter().map(|(_, v)| v.clone()).collect();
+        let d2: Vec<_> = h.delivered[2].iter().map(|(_, v)| v.clone()).collect();
+        assert!(d1.contains(&v1));
+        assert_eq!(d1, d2, "learners agree after failover");
+    }
+
+    #[test]
+    fn failover_preserves_decided_prefix() {
+        let (mut h, registry) = Harness::new(3, opts());
+        h.start();
+        for i in 0..3 {
+            let v = h.app_value(0, if i % 2 == 0 { b"a" } else { b"b" });
+            h.propose(0, v);
+        }
+        let before: Vec<_> = h.delivered[1].clone();
+        assert_eq!(before.len(), 3);
+
+        let epoch = registry.ring(RingId::new(0)).unwrap().epoch();
+        let cfg = registry
+            .report_failure(RingId::new(0), NodeId::new(0), epoch)
+            .unwrap();
+        for n in [1, 2] {
+            let mut out = Output::new();
+            h.nodes[n].install_config(cfg.clone(), h.now, &mut out);
+            h.relay(n, &mut out);
+        }
+        // Deliveries did not change or duplicate.
+        assert_eq!(&h.delivered[1][..3], &before[..]);
+        let v = h.app_value(1, b"post");
+        h.propose(1, v.clone());
+        assert_eq!(h.delivered[1].len(), h.delivered[2].len());
+        assert!(h.delivered[1].iter().any(|(_, x)| *x == v));
+    }
+
+    #[test]
+    fn rate_leveling_emits_skips_on_idle() {
+        let mut o = opts();
+        o.rate_leveling = Some(crate::options::RateLeveling {
+            delta: Duration::from_millis(5),
+            lambda: 1000,
+        });
+        let (mut h, _) = Harness::new(3, o);
+        h.start();
+        // Fire the coordinator's RateLevel timer manually (harness skips
+        // periodic timers).
+        let mut out = Output::new();
+        h.nodes[0].on_timer(RingTimer::RateLevel, h.now, &mut out);
+        h.relay(0, &mut out);
+        assert_eq!(h.delivered[0].len(), 1);
+        let (_, v) = &h.delivered[0][0];
+        assert!(matches!(v.kind, ValueKind::Skip(5)), "1000/s × 5 ms = 5: {v:?}");
+        // Skips deliver on every learner and advance the instance counter.
+        assert_eq!(h.delivered[1], h.delivered[0]);
+    }
+
+    #[test]
+    fn unsubscribed_learner_does_not_deliver() {
+        let (mut h, _) = Harness::new(3, opts());
+        h.nodes[2].set_subscribed(false);
+        h.start();
+        let v = h.app_value(0, b"x");
+        h.propose(0, v);
+        assert_eq!(h.delivered[0].len(), 1);
+        assert_eq!(h.delivered[2].len(), 0);
+    }
+
+    #[test]
+    fn epoch_in_heartbeat_triggers_config_refresh() {
+        let (mut h, registry) = Harness::new(3, opts());
+        h.start();
+        // Externally bump the config (as if others reconfigured).
+        let epoch = registry.ring(RingId::new(0)).unwrap().epoch();
+        registry
+            .report_failure(RingId::new(0), NodeId::new(0), epoch)
+            .unwrap();
+        let new_epoch = registry.ring(RingId::new(0)).unwrap().epoch();
+
+        let mut out = Output::new();
+        h.nodes[1].on_msg(
+            NodeId::new(0),
+            RingMsg::Heartbeat {
+                epoch: new_epoch.raw(),
+            },
+            h.now,
+            &mut out,
+        );
+        h.relay(1, &mut out);
+        assert!(h.nodes[1].is_coordinator());
+        assert_eq!(h.nodes[1].config().epoch(), new_epoch);
+    }
+}

@@ -1,0 +1,61 @@
+//! Discrete-event network simulator.
+//!
+//! The protocol crates in this workspace are written *sans-IO*: every
+//! participant is a deterministic state machine implementing [`Process`],
+//! reacting to messages and timers and emitting sends and timer requests
+//! through a [`Ctx`]. This crate provides the simulated world those state
+//! machines run in:
+//!
+//! * a virtual clock and event queue ([`Sim`]),
+//! * a [`Topology`] with per-site latency/bandwidth (LAN and 2014-era
+//!   EC2 WAN profiles used by the paper's evaluation),
+//! * a per-node CPU service-time model (the coordinator CPU bottleneck in
+//!   Figure 3 comes out of this),
+//! * fault injection: crash/restart, network partitions, message loss,
+//! * shared [`metrics`] for throughput/latency/CPU accounting.
+//!
+//! Determinism: given the same seed and the same sequence of calls, a
+//! simulation replays identically. All randomness flows from one seeded
+//! RNG.
+//!
+//! # Example
+//!
+//! ```
+//! use simnet::{Sim, Process, Ctx, Timer};
+//! use common::{msg::Msg, ids::NodeId, SimTime};
+//!
+//! struct Echo;
+//! impl Process for Echo {
+//!     fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_>) {
+//!         ctx.send(from, msg); // bounce everything back
+//!     }
+//!     fn on_timer(&mut self, _: Timer, _: &mut Ctx<'_>) {}
+//! }
+//!
+//! struct Pinger { peer: NodeId, pongs: u32 }
+//! impl Process for Pinger {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.send(self.peer, Msg::Custom(0, bytes::Bytes::from_static(b"ping")));
+//!     }
+//!     fn on_message(&mut self, _: NodeId, _: Msg, _: &mut Ctx<'_>) {
+//!         self.pongs += 1;
+//!     }
+//!     fn on_timer(&mut self, _: Timer, _: &mut Ctx<'_>) {}
+//! }
+//!
+//! let mut sim = Sim::new(42);
+//! let echo = sim.add_node(0, Echo);
+//! sim.add_node(0, Pinger { peer: echo, pongs: 0 });
+//! sim.run_until(SimTime::from_secs(1));
+//! ```
+
+pub mod event;
+pub mod metrics;
+pub mod process;
+pub mod sim;
+pub mod topology;
+
+pub use metrics::{Metrics, SharedMetrics};
+pub use process::{Ctx, Process, Timer};
+pub use sim::{CpuModel, Sim};
+pub use topology::{Region, SiteId, Topology};

@@ -1,0 +1,132 @@
+//! The sans-IO process abstraction.
+
+use common::ids::NodeId;
+use common::msg::Msg;
+use common::time::SimTime;
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+/// A timer token delivered back to the process that scheduled it.
+///
+/// `kind` distinguishes timer purposes within a process (processes define
+/// their own constants); `a` and `b` are free payload words (ring ids,
+/// instance numbers, generation counters, ...). Keeping the payload inline
+/// avoids allocations on the simulator hot path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Timer {
+    /// Discriminates timer purposes within one process.
+    pub kind: u32,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+impl Timer {
+    /// A timer with no payload.
+    pub const fn of_kind(kind: u32) -> Self {
+        Timer { kind, a: 0, b: 0 }
+    }
+
+    /// A timer with one payload word.
+    pub const fn with(kind: u32, a: u64) -> Self {
+        Timer { kind, a, b: 0 }
+    }
+
+    /// A timer with two payload words.
+    pub const fn with2(kind: u32, a: u64, b: u64) -> Self {
+        Timer { kind, a, b }
+    }
+}
+
+/// Everything a process may do in reaction to an event: read the clock,
+/// send messages, schedule timers, draw randomness.
+///
+/// Handed to [`Process`] callbacks by the runtime; never constructed by
+/// user code.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) me: NodeId,
+    pub(crate) outbox: &'a mut Vec<(NodeId, Msg)>,
+    pub(crate) timers: &'a mut Vec<(SimTime, Timer)>,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl<'a> Ctx<'a> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's node id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Sends `msg` to `to`. Delivery time is determined by the topology;
+    /// links are reliable and FIFO (TCP semantics) unless the harness
+    /// injects faults.
+    pub fn send(&mut self, to: NodeId, msg: Msg) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Schedules `timer` to fire `after` from now.
+    pub fn schedule(&mut self, after: Duration, timer: Timer) {
+        self.timers.push((self.now + after, timer));
+    }
+
+    /// Schedules `timer` to fire at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, timer: Timer) {
+        self.timers.push((at.max(self.now), timer));
+    }
+
+    /// Deterministic randomness (seeded once per simulation).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A deterministic protocol state machine.
+///
+/// Implementations must not perform I/O or read wall-clock time: all
+/// effects go through [`Ctx`]. This is what lets the same code run under
+/// the simulator and the live thread/TCP runtime.
+pub trait Process: 'static {
+    /// Invoked once when the node starts (after every process was added).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Invoked for every delivered message.
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_>);
+
+    /// Invoked when a scheduled timer fires. Timers scheduled before a
+    /// crash do not fire while crashed and are discarded.
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Ctx<'_>);
+
+    /// Invoked when the simulator crashes this node at virtual time `now`.
+    /// Volatile state should be dropped here; stable-storage contents that
+    /// were durable by `now` survive (the default keeps everything, which
+    /// models a process that is merely disconnected).
+    fn on_crash(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Invoked when the node restarts after a crash. The process should
+    /// re-initialize from its stable storage and start recovery.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_constructors() {
+        assert_eq!(Timer::of_kind(3), Timer { kind: 3, a: 0, b: 0 });
+        assert_eq!(Timer::with(1, 9), Timer { kind: 1, a: 9, b: 0 });
+        assert_eq!(Timer::with2(1, 9, 8), Timer { kind: 1, a: 9, b: 8 });
+    }
+}

@@ -1,0 +1,254 @@
+//! Disk latency/bandwidth profiles and the simulated write timeline.
+
+use common::time::SimTime;
+use std::time::Duration;
+
+/// Latency and bandwidth characteristics of one storage device.
+///
+/// The presets approximate the paper's hardware: 7200-RPM disks and
+/// 2014-era SATA SSDs (§8.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskProfile {
+    /// Cost of a synchronous flush (seek + rotation for HDDs, FTL program
+    /// for SSDs). Paid per write in sync mode only.
+    pub flush_latency: Duration,
+    /// Sequential write bandwidth, bytes per second.
+    pub bandwidth: f64,
+    /// How much dirty data the device/page cache absorbs before async
+    /// writers start blocking (the paper pre-allocates 15000 × 32 KB
+    /// buffers ≈ 480 MB).
+    pub max_backlog_bytes: usize,
+}
+
+impl DiskProfile {
+    /// A 7200-RPM hard disk: ~8 ms per forced flush, ~120 MB/s sequential.
+    pub fn hdd() -> Self {
+        DiskProfile {
+            flush_latency: Duration::from_millis(8),
+            bandwidth: 120e6,
+            max_backlog_bytes: 480 * 1024 * 1024,
+        }
+    }
+
+    /// A 2014 SATA SSD: ~1 ms per forced flush, ~350 MB/s sequential.
+    pub fn ssd() -> Self {
+        DiskProfile {
+            flush_latency: Duration::from_millis(1),
+            bandwidth: 350e6,
+            max_backlog_bytes: 480 * 1024 * 1024,
+        }
+    }
+}
+
+/// The five storage modes evaluated in Figure 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StorageMode {
+    /// No persistence: fastest, but nothing survives a crash.
+    InMemory,
+    /// Writes are acknowledged immediately and flushed in the background
+    /// (group flush); unflushed data is lost on a crash.
+    Async(DiskProfile),
+    /// Every write is flushed before acknowledgement (no batching, per the
+    /// paper's setup); everything acknowledged survives a crash.
+    Sync(DiskProfile),
+}
+
+impl StorageMode {
+    /// Human-readable label matching the paper's legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageMode::InMemory => "In Memory",
+            StorageMode::Async(p) if *p == DiskProfile::ssd() => "Async Disk (SSD)",
+            StorageMode::Async(_) => "Async Disk",
+            StorageMode::Sync(p) if *p == DiskProfile::ssd() => "Sync Disk (SSD)",
+            StorageMode::Sync(_) => "Sync Disk",
+        }
+    }
+
+    /// All five modes in the paper's legend order.
+    pub fn all() -> [StorageMode; 5] {
+        [
+            StorageMode::Sync(DiskProfile::hdd()),
+            StorageMode::Sync(DiskProfile::ssd()),
+            StorageMode::Async(DiskProfile::hdd()),
+            StorageMode::Async(DiskProfile::ssd()),
+            StorageMode::InMemory,
+        ]
+    }
+}
+
+/// When a write is acknowledged and when it becomes durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// The caller may proceed at this instant (vote forwarded, client
+    /// acknowledged, ...).
+    pub ack_at: SimTime,
+    /// The data survives crashes at or after this instant.
+    /// [`SimTime::MAX`] for in-memory storage.
+    pub durable_at: SimTime,
+}
+
+/// Simulated timeline of one storage device.
+///
+/// Tracks device occupancy so concurrent writes serialize, async backlog so
+/// sustained overload eventually blocks writers, and produces
+/// [`WriteReceipt`]s for crash-survival decisions.
+#[derive(Clone, Debug)]
+pub struct DiskTimeline {
+    mode: StorageMode,
+    busy_until: SimTime,
+    /// Pending group-commit flush (sync mode): writes issued before the
+    /// flush starts share one fsync, like Berkeley DB's group commit.
+    pending_flush: Option<(SimTime, SimTime)>,
+}
+
+impl DiskTimeline {
+    /// A fresh device timeline in `mode`.
+    pub fn new(mode: StorageMode) -> Self {
+        DiskTimeline {
+            mode,
+            busy_until: SimTime::ZERO,
+            pending_flush: None,
+        }
+    }
+
+    /// The device's storage mode.
+    pub fn mode(&self) -> StorageMode {
+        self.mode
+    }
+
+    /// Simulates writing `bytes` at `now`.
+    pub fn write(&mut self, bytes: usize, now: SimTime) -> WriteReceipt {
+        match self.mode {
+            StorageMode::InMemory => WriteReceipt {
+                ack_at: now,
+                durable_at: SimTime::MAX,
+            },
+            StorageMode::Sync(p) => {
+                // Group commit: writes issued before the pending flush
+                // starts join it and share one fsync; later writes queue a
+                // new flush behind it.
+                let done = match self.pending_flush {
+                    Some((start, end)) if now <= start => {
+                        let end = end + tx(bytes, p.bandwidth);
+                        self.pending_flush = Some((start, end));
+                        end
+                    }
+                    Some((_, end)) => {
+                        let start = end.max(now);
+                        let end = start + p.flush_latency + tx(bytes, p.bandwidth);
+                        self.pending_flush = Some((start, end));
+                        end
+                    }
+                    None => {
+                        let start = now;
+                        let end = start + p.flush_latency + tx(bytes, p.bandwidth);
+                        self.pending_flush = Some((start, end));
+                        end
+                    }
+                };
+                WriteReceipt {
+                    ack_at: done,
+                    durable_at: done,
+                }
+            }
+            StorageMode::Async(p) => {
+                let start = self.busy_until.max(now);
+                let done = start + tx(bytes, p.bandwidth);
+                self.busy_until = done;
+                // Block the writer only when the dirty backlog exceeds the
+                // buffer capacity.
+                let backlog_limit = tx(p.max_backlog_bytes, p.bandwidth);
+                let backlogged = done.since(now);
+                let ack_at = if backlogged > backlog_limit {
+                    now + (backlogged - backlog_limit)
+                } else {
+                    now
+                };
+                WriteReceipt {
+                    ack_at,
+                    durable_at: done,
+                }
+            }
+        }
+    }
+}
+
+fn tx(bytes: usize, bandwidth: f64) -> Duration {
+    Duration::from_secs_f64(bytes as f64 / bandwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_is_instant_and_never_durable() {
+        let mut d = DiskTimeline::new(StorageMode::InMemory);
+        let r = d.write(32 * 1024, SimTime::from_secs(1));
+        assert_eq!(r.ack_at, SimTime::from_secs(1));
+        assert_eq!(r.durable_at, SimTime::MAX);
+    }
+
+    #[test]
+    fn sync_pays_flush_latency_and_groups_commits() {
+        let mut d = DiskTimeline::new(StorageMode::Sync(DiskProfile::hdd()));
+        let now = SimTime::ZERO;
+        let r1 = d.write(1024, now);
+        assert!(r1.ack_at.since(now) >= Duration::from_millis(8));
+        assert_eq!(r1.ack_at, r1.durable_at);
+        // A second write issued at the same instant joins the same flush
+        // (group commit): slightly later due to transfer time, but well
+        // under a second full flush.
+        let r2 = d.write(1024, now);
+        assert!(r2.ack_at >= r1.ack_at);
+        assert!(r2.ack_at.since(now) < Duration::from_millis(16));
+        // A write issued while that flush runs queues a new one.
+        let mid = now + Duration::from_millis(4);
+        let r3 = d.write(1024, mid);
+        assert!(r3.ack_at.since(now) >= Duration::from_millis(16));
+    }
+
+    #[test]
+    fn async_acks_immediately_until_backlog_fills() {
+        let profile = DiskProfile {
+            flush_latency: Duration::from_millis(8),
+            bandwidth: 1e6,           // 1 MB/s to fill the backlog quickly
+            max_backlog_bytes: 10_000, // 10 ms worth of backlog
+        };
+        let mut d = DiskTimeline::new(StorageMode::Async(profile));
+        let now = SimTime::ZERO;
+        // First write: immediate ack, durable after bandwidth delay.
+        let r = d.write(5_000, now);
+        assert_eq!(r.ack_at, now);
+        assert_eq!(r.durable_at.since(now), Duration::from_millis(5));
+        // Keep writing; once >10 ms of data is dirty, acks lag.
+        let r2 = d.write(10_000, now);
+        assert!(r2.ack_at > now, "backlog full, writer must block");
+        assert_eq!(r2.durable_at.since(now), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn ssd_flushes_faster_than_hdd() {
+        let mut ssd = DiskTimeline::new(StorageMode::Sync(DiskProfile::ssd()));
+        let mut hdd = DiskTimeline::new(StorageMode::Sync(DiskProfile::hdd()));
+        let a = ssd.write(512, SimTime::ZERO);
+        let b = hdd.write(512, SimTime::ZERO);
+        assert!(a.ack_at < b.ack_at);
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        let labels: Vec<_> = StorageMode::all().iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Sync Disk",
+                "Sync Disk (SSD)",
+                "Async Disk",
+                "Async Disk (SSD)",
+                "In Memory"
+            ]
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the acceptor log: trim/replay invariants and
+//! crash-durability consistency under arbitrary operation sequences.
+
+use bytes::Bytes;
+use common::ids::{Ballot, InstanceId, NodeId};
+use common::value::Value;
+use common::SimTime;
+use proptest::prelude::*;
+use storage::{AcceptorLog, DiskProfile, StorageMode};
+
+#[derive(Clone, Debug)]
+enum OpKind {
+    Accept { inst: u16, payload: u8 },
+    Decide { inst: u16 },
+    Trim { upto: u16 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<OpKind>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (any::<u16>(), any::<u8>()).prop_map(|(inst, payload)| OpKind::Accept {
+                inst: inst % 200,
+                payload
+            }),
+            2 => any::<u16>().prop_map(|inst| OpKind::Decide { inst: inst % 200 }),
+            1 => any::<u16>().prop_map(|upto| OpKind::Trim { upto: upto % 200 }),
+        ],
+        0..120,
+    )
+}
+
+fn value(node: u32, payload: u8) -> Value {
+    Value::app(NodeId::new(node), u64::from(payload), Bytes::from(vec![payload; 8]))
+}
+
+proptest! {
+    /// The trim floor only moves forward, and no retained entry is ever
+    /// below it.
+    #[test]
+    fn trim_floor_is_monotone_and_respected(ops in arb_ops()) {
+        let mut log = AcceptorLog::new(StorageMode::InMemory);
+        let ballot = Ballot::new(1, NodeId::new(1));
+        log.promise(ballot, SimTime::ZERO);
+        let mut floor = InstanceId::ZERO;
+        for op in ops {
+            match op {
+                OpKind::Accept { inst, payload } => {
+                    let inst = InstanceId::new(u64::from(inst));
+                    if inst >= log.trim_floor() {
+                        log.accept(inst, ballot, value(1, payload), SimTime::ZERO);
+                    }
+                }
+                OpKind::Decide { inst } => {
+                    let inst = InstanceId::new(u64::from(inst));
+                    log.mark_decided(inst, value(1, 0), SimTime::ZERO);
+                }
+                OpKind::Trim { upto } => {
+                    log.trim(InstanceId::new(u64::from(upto)));
+                }
+            }
+            prop_assert!(log.trim_floor() >= floor, "trim floor moved backwards");
+            floor = log.trim_floor();
+            let all = log.entries_in_range(InstanceId::ZERO, InstanceId::new(u64::MAX));
+            for e in &all {
+                prop_assert!(e.inst >= floor, "entry {} below floor {}", e.inst, floor);
+            }
+            // decided_in_range ⊆ entries_in_range.
+            let decided = log.decided_in_range(InstanceId::ZERO, InstanceId::new(u64::MAX));
+            prop_assert!(decided.len() <= all.len());
+        }
+    }
+
+    /// Crashing a sync-mode log never loses acknowledged entries; an
+    /// in-memory log always loses everything.
+    #[test]
+    fn crash_durability_matches_mode(ops in arb_ops(), crash_at_ms in 0u64..100) {
+        let ballot = Ballot::new(1, NodeId::new(1));
+        let crash_time = SimTime::from_millis(crash_at_ms);
+
+        let mut sync_log = AcceptorLog::new(StorageMode::Sync(DiskProfile::ssd()));
+        sync_log.promise(ballot, SimTime::ZERO);
+        let mut acked_by_crash: Vec<InstanceId> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for op in &ops {
+            if let OpKind::Accept { inst, payload } = op {
+                let inst = InstanceId::new(u64::from(*inst));
+                if inst < sync_log.trim_floor() {
+                    continue;
+                }
+                let receipt = sync_log.accept(inst, ballot, value(1, *payload), now);
+                if receipt.ack_at <= crash_time {
+                    acked_by_crash.push(inst);
+                }
+                now = now + std::time::Duration::from_micros(100);
+            }
+        }
+        sync_log.crash(crash_time);
+        for inst in acked_by_crash {
+            prop_assert!(
+                sync_log.accepted(inst).is_some(),
+                "sync-acknowledged entry {inst} lost in crash"
+            );
+        }
+
+        let mut mem_log = AcceptorLog::new(StorageMode::InMemory);
+        mem_log.promise(ballot, SimTime::ZERO);
+        for op in &ops {
+            if let OpKind::Accept { inst, payload } = op {
+                mem_log.accept(
+                    InstanceId::new(u64::from(*inst)),
+                    ballot,
+                    value(1, *payload),
+                    SimTime::ZERO,
+                );
+            }
+        }
+        mem_log.crash(crash_time);
+        prop_assert!(mem_log.is_empty(), "in-memory log survived a crash");
+    }
+
+    /// Replay windows: decided_in_range(from, to) returns exactly the
+    /// decided, retained instances in [from, to), in order.
+    #[test]
+    fn decided_range_is_sorted_and_bounded(
+        ops in arb_ops(),
+        from in 0u64..200,
+        to in 0u64..200,
+    ) {
+        let ballot = Ballot::new(1, NodeId::new(1));
+        let mut log = AcceptorLog::new(StorageMode::InMemory);
+        log.promise(ballot, SimTime::ZERO);
+        for op in ops {
+            match op {
+                OpKind::Accept { inst, payload } => {
+                    let inst = InstanceId::new(u64::from(inst));
+                    if inst >= log.trim_floor() {
+                        log.accept(inst, ballot, value(1, payload), SimTime::ZERO);
+                    }
+                }
+                OpKind::Decide { inst } => {
+                    log.mark_decided(InstanceId::new(u64::from(inst)), value(1, 0), SimTime::ZERO)
+                }
+                OpKind::Trim { upto } => log.trim(InstanceId::new(u64::from(upto))),
+            }
+        }
+        let (from, to) = (InstanceId::new(from), InstanceId::new(to));
+        let decided = log.decided_in_range(from, to);
+        for w in decided.windows(2) {
+            prop_assert!(w[0].inst < w[1].inst, "range not sorted");
+        }
+        for e in &decided {
+            prop_assert!(e.inst >= from && e.inst < to, "out of bounds");
+            prop_assert!(e.inst >= log.trim_floor());
+            prop_assert!(log.is_decided(e.inst));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Key distributions used by YCSB.
+//!
+//! The zipfian generator follows Gray et al. ("Quickly generating
+//! billion-record synthetic databases", SIGMOD'94), as used by the
+//! original YCSB driver with θ = 0.99; [`ScrambledZipfian`] spreads the
+//! popular items across the key space with an FNV hash, exactly like
+//! YCSB's `ScrambledZipfianGenerator`.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Chooses record indices in `[0, count)`.
+pub trait KeyChooser {
+    /// Draws the next key index.
+    fn next_key(&mut self, rng: &mut StdRng) -> u64;
+
+    /// Number of records the chooser spans.
+    fn count(&self) -> u64;
+}
+
+/// Uniform choice over the key space.
+#[derive(Clone, Debug)]
+pub struct Uniform {
+    count: u64,
+}
+
+impl Uniform {
+    /// A uniform chooser over `count` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: u64) -> Self {
+        assert!(count > 0, "key space must be non-empty");
+        Uniform { count }
+    }
+}
+
+impl KeyChooser for Uniform {
+    fn next_key(&mut self, rng: &mut StdRng) -> u64 {
+        rng.random_range(0..self.count)
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// The Gray et al. zipfian generator (item 0 most popular).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    count: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew.
+    pub const THETA: f64 = 0.99;
+
+    /// A zipfian chooser over `count` records with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(count: u64, theta: f64) -> Self {
+        assert!(count > 0, "key space must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = Self::zeta(count, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / count as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        let _ = zeta2;
+        Zipfian {
+            count,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; fine for the record counts used in benches. For very
+        // large n, sample the tail (YCSB does the same incremental trick).
+        if n <= 10_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            // Integral approximation of the tail beyond 10M.
+            let head: f64 = (1..=10_000_000u64)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
+            let tail = ((n as f64).powf(1.0 - theta) - 1e7f64.powf(1.0 - theta)) / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl KeyChooser for Zipfian {
+    fn next_key(&mut self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.count as f64) * spread) as u64 % self.count
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Zipfian with the popular items scattered over the key space (YCSB's
+/// `ScrambledZipfianGenerator`).
+#[derive(Clone, Debug)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// A scrambled zipfian chooser over `count` records at θ = 0.99.
+    pub fn new(count: u64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(count, Zipfian::THETA),
+        }
+    }
+}
+
+/// FNV-1a 64-bit, as used by YCSB to scramble.
+pub fn fnv1a(v: u64) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..8 {
+        hash ^= (v >> (i * 8)) & 0xff;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+impl KeyChooser for ScrambledZipfian {
+    fn next_key(&mut self, rng: &mut StdRng) -> u64 {
+        let rank = self.inner.next_key(rng);
+        fnv1a(rank) % self.inner.count
+    }
+
+    fn count(&self) -> u64 {
+        self.inner.count()
+    }
+}
+
+/// YCSB's "latest" distribution: recently inserted records are most
+/// popular (workload D).
+#[derive(Clone, Debug)]
+pub struct Latest {
+    zipf: Zipfian,
+    max: u64,
+}
+
+impl Latest {
+    /// A latest-skewed chooser; `max` is the current record count.
+    pub fn new(max: u64) -> Self {
+        Latest {
+            zipf: Zipfian::new(max, Zipfian::THETA),
+            max,
+        }
+    }
+
+    /// Records that a new record was inserted.
+    pub fn grow(&mut self) {
+        self.max += 1;
+        // YCSB recomputes lazily; rebuilding every few thousand inserts is
+        // indistinguishable for the workloads here.
+        if self.max.is_multiple_of(4096) {
+            self.zipf = Zipfian::new(self.max, Zipfian::THETA);
+        }
+    }
+}
+
+impl KeyChooser for Latest {
+    fn next_key(&mut self, rng: &mut StdRng) -> u64 {
+        let back = self.zipf.next_key(rng).min(self.max - 1);
+        self.max - 1 - back
+    }
+
+    fn count(&self) -> u64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut u = Uniform::new(100);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let k = u.next_key(&mut r);
+            assert!(k < 100);
+            seen.insert(k);
+        }
+        assert!(seen.len() > 95, "uniform should hit nearly all keys");
+    }
+
+    #[test]
+    fn zipfian_is_head_heavy() {
+        let mut z = Zipfian::new(10_000, Zipfian::THETA);
+        let mut r = rng();
+        let mut counts = vec![0u64; 10_000];
+        for _ in 0..100_000 {
+            counts[z.next_key(&mut r) as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        assert!(
+            head > 20_000,
+            "top-10 keys should draw >20% of accesses, got {head}"
+        );
+        // Rank 0 is the most popular.
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max);
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_the_head() {
+        let mut z = ScrambledZipfian::new(10_000);
+        let mut r = rng();
+        let mut counts = vec![0u64; 10_000];
+        for _ in 0..100_000 {
+            counts[z.next_key(&mut r) as usize] += 1;
+        }
+        // Still skewed overall...
+        let max = counts.iter().copied().max().unwrap();
+        assert!(max > 1_000);
+        // ...but the hottest key is no longer key 0 specifically.
+        let hot = counts.iter().position(|c| *c == max).unwrap();
+        assert_eq!(hot as u64, fnv1a(0) % 10_000);
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let mut l = Latest::new(1000);
+        let mut r = rng();
+        let mut recent = 0;
+        for _ in 0..10_000 {
+            if l.next_key(&mut r) >= 900 {
+                recent += 1;
+            }
+        }
+        assert!(
+            recent > 6_000,
+            "most accesses should hit the newest 10%, got {recent}"
+        );
+        l.grow();
+        assert_eq!(l.count(), 1001);
+    }
+
+    #[test]
+    fn zipfian_distribution_matches_theory_roughly() {
+        // P(rank 0) ≈ 1/zeta(n) for theta→1; check the observed frequency
+        // of the top rank against the analytic value within noise.
+        let n = 1000u64;
+        let mut z = Zipfian::new(n, 0.99);
+        let mut r = rng();
+        let draws = 200_000;
+        let mut zero = 0u64;
+        for _ in 0..draws {
+            if z.next_key(&mut r) == 0 {
+                zero += 1;
+            }
+        }
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        let expect = draws as f64 / zetan;
+        let got = zero as f64;
+        assert!(
+            (got - expect).abs() / expect < 0.15,
+            "rank-0 frequency {got} vs expected {expect}"
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Workload generators: YCSB A–F and request-size sweeps.
+
+pub mod keys;
+pub mod ycsb;
+
+pub use keys::{KeyChooser, ScrambledZipfian, Uniform};
+pub use ycsb::{Op, Workload, WorkloadSpec};

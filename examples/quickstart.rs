@@ -1,0 +1,60 @@
+//! Quickstart: atomic broadcast on a live in-process ring.
+//!
+//! Three nodes form one Ring Paxos ring (real threads, real channels —
+//! not the simulator). We propose a handful of values from different
+//! nodes and show that every node delivers the identical totally-ordered
+//! stream.
+//!
+//! Run: `cargo run --example quickstart`
+
+use std::time::Duration;
+
+use atomic_multicast::common::ids::NodeId;
+use atomic_multicast::common::value::{Value, ValueId, ValueKind};
+use atomic_multicast::ringpaxos::live::LiveRing;
+use atomic_multicast::ringpaxos::options::RingOptions;
+use bytes::Bytes;
+
+fn main() {
+    // Start three nodes; every node is proposer + acceptor + learner, and
+    // the first acceptor coordinates (paper §8.3.1's smallest deployment).
+    let ring = LiveRing::in_process(3, RingOptions::crash_free()).expect("start ring");
+
+    // Propose ten values, alternating the proposing node.
+    for seq in 0..10u64 {
+        let node = (seq % 3) as usize;
+        let value = Value {
+            id: ValueId::new(NodeId::new(node as u32), seq),
+            kind: ValueKind::App(Bytes::from(format!("value-{seq} from node {node}"))),
+        };
+        ring.node(node).propose(value).expect("propose");
+    }
+
+    // Every node delivers the same stream, in the same order.
+    let mut streams = Vec::new();
+    for (i, node) in ring.nodes().iter().enumerate() {
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            let d = node
+                .recv_delivery(Duration::from_secs(5))
+                .expect("delivery within 5s");
+            got.push(d);
+        }
+        println!("node {i} delivered {} values", got.len());
+        streams.push(got);
+    }
+
+    assert_eq!(streams[0], streams[1]);
+    assert_eq!(streams[1], streams[2]);
+    println!("\ntotal order on every node:");
+    for d in &streams[0] {
+        let text = match &d.value.kind {
+            ValueKind::App(b) => String::from_utf8_lossy(b).into_owned(),
+            other => format!("{other:?}"),
+        };
+        println!("  instance {:>3} -> {text}", d.inst.raw());
+    }
+
+    ring.shutdown();
+    println!("\nok: all three nodes delivered the identical sequence");
+}

