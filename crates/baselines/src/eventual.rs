@@ -263,7 +263,8 @@ impl Process for EventualReplica {
                 let now = ctx.now();
                 let serve_at = self.scan_busy.max(now) + SCAN_ROW_COST * (n as u32);
                 self.scan_busy = serve_at;
-                self.pending_scans.push((serve_at, from, req, total.min(1 << 20)));
+                self.pending_scans
+                    .push((serve_at, from, req, total.min(1 << 20)));
                 ctx.schedule_at(serve_at, Timer::of_kind(TIMER_SCAN_REPLY));
             }
             EvMsg::Ack { .. } => {}

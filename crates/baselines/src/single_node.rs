@@ -195,7 +195,13 @@ impl Process for SingleNodeStore {
                     .map(|(_, v)| v.len())
                     .sum();
                 let blob = Bytes::from(vec![0u8; total.min(1 << 20)]);
-                ctx.send(from, wrap(&SnMsg::Reply { req, value: Some(blob) }));
+                ctx.send(
+                    from,
+                    wrap(&SnMsg::Reply {
+                        req,
+                        value: Some(blob),
+                    }),
+                );
             }
             SnMsg::Reply { .. } => {}
         }

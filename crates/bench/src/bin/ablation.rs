@@ -94,7 +94,11 @@ fn main() {
         let ops = run(m, Some(RateLeveling::datacenter()));
         rows.push(vec![format!("M={m}"), format!("{ops:.0}")]);
     }
-    print_table("merge parameter sweep (skips on)", &["config", "ops_per_sec"], &rows);
+    print_table(
+        "merge parameter sweep (skips on)",
+        &["config", "ops_per_sec"],
+        &rows,
+    );
 
     let mut rows = Vec::new();
     let off = run(1, None);

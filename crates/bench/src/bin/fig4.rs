@@ -101,8 +101,8 @@ fn kv_spec(
                     // Independent rings: one scan per partition ring,
                     // without cross-partition ordering.
                     let bytes = cmd.to_bytes();
-                    let mut spec = CommandSpec::simple(partition_rings[0], bytes.clone(), all)
-                        .labeled("scan");
+                    let mut spec =
+                        CommandSpec::simple(partition_rings[0], bytes.clone(), all).labeled("scan");
                     spec.also = partition_rings[1..]
                         .iter()
                         .map(|r| (*r, bytes.clone()))
@@ -123,8 +123,7 @@ fn kv_spec(
             let mut spec =
                 CommandSpec::simple(ring, read.to_bytes(), vec![p]).labeled("read-modify-write");
             spec.followup = Some(Box::new(
-                CommandSpec::simple(ring, update.to_bytes(), vec![p])
-                    .labeled("read-modify-write"),
+                CommandSpec::simple(ring, update.to_bytes(), vec![p]).labeled("read-modify-write"),
             ));
             spec
         }
@@ -220,7 +219,9 @@ impl BaselineClient {
         match self.kind {
             BaselineKind::Eventual => {
                 let route = |key: &str| {
-                    let h = key.bytes().fold(0u64, |a, b| a.wrapping_mul(31) + u64::from(b));
+                    let h = key
+                        .bytes()
+                        .fold(0u64, |a, b| a.wrapping_mul(31) + u64::from(b));
                     self.servers[(h % self.servers.len() as u64) as usize]
                 };
                 match &op {
@@ -262,7 +263,13 @@ impl BaselineClient {
                 let server = self.servers[0];
                 match &op {
                     Op::Read { key } => {
-                        ctx.send(server, sn_wrap(&SnMsg::Get { req, key: key_of(*key) }));
+                        ctx.send(
+                            server,
+                            sn_wrap(&SnMsg::Get {
+                                req,
+                                key: key_of(*key),
+                            }),
+                        );
                     }
                     Op::Update { key } | Op::Insert { key } | Op::ReadModifyWrite { key } => {
                         ctx.send(

@@ -17,10 +17,10 @@ use bytes::Bytes;
 use common::hist::Histogram;
 use common::ids::{NodeId, PartitionId, RingId};
 use common::msg::Msg;
+use common::wire::Wire;
 use common::SimTime;
 use coord::{PartitionInfo, Registry, RingConfig};
 use dlog::{DlogApp, LogCommand};
-use common::wire::Wire;
 use multiring::client::{ClosedLoopClient, CommandSpec};
 use multiring::{HostOptions, MultiRingHost};
 use ringpaxos::options::RingOptions;
@@ -80,8 +80,10 @@ fn run_dlog(threads: usize) -> (f64, f64) {
         sim.add_node_with_cpu(0, host, CpuModel::server());
     }
 
-    let proposers: HashMap<RingId, NodeId> =
-        rings.iter().map(|r| (*r, NodeId::new(r.raw() as u32 % 3))).collect();
+    let proposers: HashMap<RingId, NodeId> = rings
+        .iter()
+        .map(|r| (*r, NodeId::new(r.raw() as u32 % 3)))
+        .collect();
     let body = payload(APPEND_SIZE);
     let mut flip = 0u64;
     let client = ClosedLoopClient::new(
@@ -209,10 +211,7 @@ fn run_bookkeeper(threads: usize) -> (f64, f64) {
     sim.add_node_with_cpu(0, client, CpuModel::free());
     sim.run_until(SimTime::ZERO + WARMUP + MEASURE);
     let (ops, latency) = &*done.borrow();
-    (
-        *ops as f64 / MEASURE.as_secs_f64(),
-        latency.mean() / 1e6,
-    )
+    (*ops as f64 / MEASURE.as_secs_f64(), latency.mean() / 1e6)
 }
 
 fn main() {

@@ -126,7 +126,10 @@ fn main() {
     for k in 1..=5usize {
         let (ops, disk1) = run(k);
         let scaling = if prev > 0.0 {
-            format!("{:.0}%", ops / prev * 100.0 / 2.0 * (k as f64) / (k as f64 - 1.0) * 2.0 / 1.0)
+            format!(
+                "{:.0}%",
+                ops / prev * 100.0 / 2.0 * (k as f64) / (k as f64 - 1.0) * 2.0 / 1.0
+            )
         } else {
             "100%".to_string()
         };
@@ -138,11 +141,7 @@ fn main() {
             "100%".to_string()
         };
         let _ = scaling;
-        rows.push(vec![
-            k.to_string(),
-            format!("{ops:.0}"),
-            per_ring_change,
-        ]);
+        rows.push(vec![k.to_string(), format!("{ops:.0}"), per_ring_change]);
         prev = ops;
         cdfs.push((k, disk1));
     }

@@ -124,7 +124,9 @@ fn run(regions: usize) -> (f64, common::Histogram) {
 
 fn main() {
     println!("Figure 7: MRP-Store horizontal scalability across EC2 regions");
-    println!("(1 KB updates to the local partition; per-region ring + global ring; WAN Δ=20ms λ=2000)");
+    println!(
+        "(1 KB updates to the local partition; per-region ring + global ring; WAN Δ=20ms λ=2000)"
+    );
     let mut rows = Vec::new();
     let mut prev = 0.0f64;
     let mut cdfs = Vec::new();

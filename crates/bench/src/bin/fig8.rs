@@ -88,7 +88,10 @@ fn main() {
     sim.schedule_restart(victim, SimTime::ZERO + RESTART_AT);
     sim.run_until(SimTime::ZERO + RUN);
 
-    println!("\n{:>6}  {:>12}  {:>12}  marker", "t_sec", "ops_per_sec", "latency_ms");
+    println!(
+        "\n{:>6}  {:>12}  {:>12}  marker",
+        "t_sec", "ops_per_sec", "latency_ms"
+    );
     let ckpt_secs: Vec<u64> = (1..RUN.as_secs() / CHECKPOINT_EVERY.as_secs() + 1)
         .map(|i| i * CHECKPOINT_EVERY.as_secs())
         .collect();

@@ -1,0 +1,234 @@
+//! Live loopback probe: batched vs. unbatched client throughput and
+//! latency against a real `liverun` deployment on localhost TCP.
+//!
+//! The proposer-side batcher packs many concurrent client commands into
+//! one consensus value ([`common::value::Payload::Batch`]); this probe
+//! quantifies what that buys. It launches the same MRP-Store deployment
+//! twice — once with batching disabled (every command is one consensus
+//! instance) and once with it enabled — drives both with the same
+//! closed-loop client fleet, and prints a JSON comparison, seeding the
+//! performance trajectory for the live runtime.
+//!
+//! ```text
+//! cargo run --release -p bench --bin live_loopback -- \
+//!     [--clients 16] [--duration-ms 3000] [--partitions 2] [--replicas 2]
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use common::hist::Histogram;
+use common::ids::ClientId;
+use liverun::config::generate_localhost_mrpstore;
+use liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
+
+struct Scenario {
+    name: &'static str,
+    batch_max: usize,
+    batch_delay_ms: u64,
+}
+
+struct Outcome {
+    name: &'static str,
+    completed: u64,
+    elapsed: Duration,
+    latency: Histogram,
+}
+
+impl Outcome {
+    fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"scenario\": \"{}\", \"completed\": {}, \"elapsed_s\": {:.3}, ",
+                "\"throughput_ops_s\": {:.1}, \"latency_us\": ",
+                "{{\"mean\": {:.1}, \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}}}}"
+            ),
+            self.name,
+            self.completed,
+            self.elapsed.as_secs_f64(),
+            self.throughput(),
+            self.latency.mean() / 1e3,
+            self.latency.quantile(0.50) as f64 / 1e3,
+            self.latency.quantile(0.95) as f64 / 1e3,
+            self.latency.quantile(0.99) as f64 / 1e3,
+        )
+    }
+}
+
+fn arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One pipelined client: keeps `window` requests outstanding, measures
+/// end-to-end latency per completion. Pipelining (rather than strict
+/// closed-loop) is what lets the proposer-side batcher actually see
+/// concurrent commands to pack.
+fn worker_loop(
+    config: &DeploymentConfig,
+    w: u32,
+    window: usize,
+    stop: &AtomicBool,
+) -> (u64, Histogram) {
+    use common::ids::RingId;
+    use common::wire::Wire;
+    use mrpstore::{KvCommand, Partitioning};
+    use std::collections::HashMap;
+
+    let mut store = StoreClient::connect(
+        config,
+        ClientId::new(10 + w),
+        ClientOptions {
+            timeout: Duration::from_secs(30),
+            retry_every: Duration::from_secs(5),
+        },
+    )
+    .expect("client connects");
+    let scheme = match config.service {
+        liverun::ServiceKind::MrpStore { partitions } => Partitioning::Hash { partitions },
+        _ => unreachable!("probe generates mrpstore deployments"),
+    };
+    let client = store.raw();
+
+    let mut hist = Histogram::new();
+    let mut completed = 0u64;
+    let mut round = 0u64;
+    let mut outstanding: HashMap<u64, Instant> = HashMap::new();
+    loop {
+        let draining = stop.load(Ordering::Relaxed);
+        if draining && outstanding.is_empty() {
+            break;
+        }
+        while !draining && outstanding.len() < window {
+            round += 1;
+            let key = format!("w{w}-{}", round % 512);
+            let cmd = KvCommand::Insert {
+                key: key.clone(),
+                value: Bytes::from_static(b"0123456789abcdef"),
+            };
+            let ring = RingId::new(scheme.partition_of(&key).raw());
+            let seq = client.submit(ring, cmd.to_bytes()).expect("submit");
+            outstanding.insert(seq.raw(), Instant::now());
+        }
+        match client.poll_reply(Duration::from_millis(250)) {
+            Some((seq, _, _)) => {
+                // Replicas reply redundantly; count the first answer only.
+                if let Some(at) = outstanding.remove(&seq.raw()) {
+                    hist.record_duration(at.elapsed());
+                    completed += 1;
+                }
+            }
+            None if draining => break, // stragglers lost to shedding
+            None => {}
+        }
+    }
+    (completed, hist)
+}
+
+fn run_scenario(
+    scenario: &Scenario,
+    partitions: u16,
+    replicas: u16,
+    base_port: u16,
+    clients: u32,
+    window: usize,
+    duration: Duration,
+) -> Outcome {
+    let mut text = generate_localhost_mrpstore(partitions, replicas, base_port, None);
+    // Override the generated batching parameters for this scenario.
+    text = text
+        .replace(
+            "batch_max = 64",
+            &format!("batch_max = {}", scenario.batch_max),
+        )
+        .replace(
+            "batch_delay_ms = 2",
+            &format!("batch_delay_ms = {}", scenario.batch_delay_ms),
+        );
+    let config = DeploymentConfig::parse(&text).expect("generated config parses");
+    let deployment = Deployment::launch(config.clone()).expect("deployment launches");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for w in 0..clients {
+        let config = config.clone();
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            worker_loop(&config, w, window, &stop)
+        }));
+    }
+
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut latency = Histogram::new();
+    let mut completed = 0;
+    for worker in workers {
+        let (n, h) = worker.join().expect("worker");
+        completed += n;
+        latency.merge(&h);
+    }
+    let elapsed = started.elapsed();
+    deployment.shutdown();
+    Outcome {
+        name: scenario.name,
+        completed,
+        elapsed,
+        latency,
+    }
+}
+
+fn main() {
+    let partitions = arg("--partitions", 2) as u16;
+    let replicas = arg("--replicas", 2) as u16;
+    let clients = arg("--clients", 8) as u32;
+    let window = arg("--window", 32) as usize;
+    let duration = Duration::from_millis(arg("--duration-ms", 3000));
+    let base_port = arg("--base-port", 26000) as u16;
+
+    let scenarios = [
+        Scenario {
+            name: "unbatched",
+            batch_max: 1,
+            batch_delay_ms: 0,
+        },
+        Scenario {
+            name: "batched",
+            batch_max: 64,
+            batch_delay_ms: 2,
+        },
+    ];
+
+    let mut outcomes = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let port = base_port + (i as u16) * ((partitions * replicas + 2) * 2);
+        outcomes.push(run_scenario(
+            s, partitions, replicas, port, clients, window, duration,
+        ));
+    }
+
+    println!("{{");
+    println!(
+        "  \"config\": {{\"partitions\": {partitions}, \"replicas\": {replicas}, \"clients\": {clients}, \"window\": {window}, \"duration_ms\": {}}},",
+        duration.as_millis()
+    );
+    println!("  \"results\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        let sep = if i + 1 < outcomes.len() { "," } else { "" };
+        println!("    {}{sep}", o.json());
+    }
+    println!("  ],");
+    let speedup = outcomes[1].throughput() / outcomes[0].throughput().max(1e-9);
+    println!("  \"batching_speedup\": {speedup:.2}");
+    println!("}}");
+}

@@ -17,8 +17,14 @@ fn main() {
     let rl: Option<RateLeveling> = match std::env::args().nth(1).as_deref() {
         Some("none") => None,
         Some("wan") => Some(RateLeveling::wan()),
-        Some("tiny") => Some(RateLeveling { delta: std::time::Duration::from_millis(5), lambda: 200 }),
-        Some("slow") => Some(RateLeveling { delta: std::time::Duration::from_millis(500), lambda: 9000 }),
+        Some("tiny") => Some(RateLeveling {
+            delta: std::time::Duration::from_millis(5),
+            lambda: 200,
+        }),
+        Some("slow") => Some(RateLeveling {
+            delta: std::time::Duration::from_millis(500),
+            lambda: 9000,
+        }),
         _ => Some(RateLeveling::datacenter()),
     };
     println!("rate leveling: {rl:?}");

@@ -79,7 +79,9 @@ pub fn deploy_service(
 
     for (p, ring) in partition_rings.iter().enumerate() {
         registry
-            .register_ring(RingConfig::new(*ring, replicas[p].clone(), replicas[p].clone()).unwrap())
+            .register_ring(
+                RingConfig::new(*ring, replicas[p].clone(), replicas[p].clone()).unwrap(),
+            )
             .unwrap();
     }
     if let Some(g) = global {

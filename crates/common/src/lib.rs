@@ -13,6 +13,9 @@
 //!   Paxos phases, client traffic, recovery and trimming.
 //! * [`wire`] — a compact, hand-rolled binary codec ([`wire::Wire`]) with
 //!   varint framing, used for on-disk logs and TCP transport.
+//! * [`transport`] — live-runtime building blocks shared by every real
+//!   (non-simulated) event loop: wall-clock↔[`SimTime`] mapping, timer
+//!   heaps and peer-frame reassembly.
 //! * [`hist`] — a log-bucketed latency histogram shared by the simulator
 //!   metrics and the benchmark harnesses.
 //!
@@ -35,6 +38,7 @@ pub mod hist;
 pub mod ids;
 pub mod msg;
 pub mod time;
+pub mod transport;
 pub mod value;
 pub mod wire;
 

@@ -21,9 +21,7 @@ use std::fmt;
 use crate::error::WireError;
 use crate::ids::{Ballot, ClientId, InstanceId, NodeId, PartitionId, RequestId, RingId};
 use crate::value::Value;
-use crate::wire::{
-    get_bytes, get_tag, get_varint, get_vec, put_bytes, put_varint, put_vec, Wire,
-};
+use crate::wire::{get_bytes, get_tag, get_varint, get_vec, put_bytes, put_varint, put_vec, Wire};
 
 /// Top-level message envelope.
 #[derive(Clone, Debug, PartialEq, Eq)]

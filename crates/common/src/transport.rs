@@ -1,0 +1,306 @@
+//! Shared live-transport building blocks.
+//!
+//! The sans-IO protocol state machines ([`crate::msg::Msg`] in, effects
+//! out) are driven by two very different runtimes: the discrete-event
+//! simulator and the live OS-thread runtimes (`ringpaxos::live` for bare
+//! rings, `liverun` for full multi-ring deployments). The live runtimes
+//! share three mechanical concerns, collected here so every event loop
+//! agrees on them:
+//!
+//! * [`WallClock`] — maps wall-clock `Instant`s onto the virtual
+//!   [`SimTime`] axis the protocol code reasons in. All nodes of one
+//!   deployment share an epoch so their `SimTime`s are comparable.
+//! * [`TimerHeap`] — a monotonic min-heap of `(deadline, payload)` pairs
+//!   driving `recv_timeout`-style event loops.
+//! * [`PeerFrame`] — the length-delimited frame exchanged between peer
+//!   nodes on TCP connections: sender id plus a [`Msg`].
+//! * [`FrameBuf`] — reassembles length-delimited frames from the byte
+//!   chunks a socket read loop produces.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+
+use crate::error::WireError;
+use crate::ids::NodeId;
+use crate::msg::Msg;
+use crate::time::SimTime;
+use crate::wire::{frame, Wire};
+
+/// Maps between wall-clock instants and the virtual [`SimTime`] axis.
+///
+/// Cheap to copy; every thread of a deployment carries the same epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose `SimTime` zero is now.
+    pub fn start() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A clock anchored at an existing epoch (share one per deployment).
+    pub fn at_epoch(epoch: Instant) -> Self {
+        WallClock { epoch }
+    }
+
+    /// The shared epoch.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// The wall-clock instant corresponding to virtual time `t`.
+    pub fn instant_of(&self, t: SimTime) -> Instant {
+        self.epoch + Duration::from_nanos(t.as_nanos())
+    }
+}
+
+struct HeapEntry<T> {
+    at: Instant,
+    /// Tie-breaker preserving insertion order among equal deadlines.
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timers for live event loops.
+pub struct TimerHeap<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for TimerHeap<T> {
+    fn default() -> Self {
+        TimerHeap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> TimerHeap<T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn push_at(&mut self, at: Instant, payload: T) {
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            at,
+            seq: self.seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` to fire `after` from now.
+    pub fn push_after(&mut self, after: Duration, payload: T) {
+        self.push_at(Instant::now() + after, payload);
+    }
+
+    /// The earliest deadline, if any timer is pending.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// How long an event loop may sleep before the next timer is due;
+    /// `default` when no timer is pending.
+    pub fn sleep_for(&self, default: Duration) -> Duration {
+        match self.next_deadline() {
+            Some(at) => at.saturating_duration_since(Instant::now()),
+            None => default,
+        }
+    }
+
+    /// Pops the next timer if its deadline has passed.
+    pub fn pop_due(&mut self, now: Instant) -> Option<T> {
+        if self.heap.peek().map(|e| e.at <= now).unwrap_or(false) {
+            Some(self.heap.pop().expect("peeked").payload)
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending timers.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// One frame on a peer-to-peer live TCP connection: sender plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerFrame {
+    /// The sending node.
+    pub from: NodeId,
+    /// The message.
+    pub msg: Msg,
+}
+
+impl Wire for PeerFrame {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.from.encode(buf);
+        self.msg.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(PeerFrame {
+            from: NodeId::decode(buf)?,
+            msg: Msg::decode(buf)?,
+        })
+    }
+}
+
+/// Reassembles length-delimited [`Wire`] frames from socket reads.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: BytesMut,
+}
+
+impl FrameBuf {
+    /// An empty reassembly buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw bytes read off a socket.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Splits one complete frame off the front, if present.
+    ///
+    /// # Errors
+    ///
+    /// Fails on oversized or undecodable frames (the connection should be
+    /// dropped).
+    pub fn try_next<T: Wire>(&mut self) -> Result<Option<T>, WireError> {
+        frame::try_read(&mut self.buf)
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Appends the framed encoding of `msg` to a scratch buffer and returns
+/// the ready-to-write bytes.
+pub fn encode_frame<T: Wire>(msg: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    frame::write(&mut buf, msg);
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_mappable() {
+        let clock = WallClock::start();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        let t = SimTime::from_millis(5);
+        let i = clock.instant_of(t);
+        assert!(i >= clock.epoch());
+    }
+
+    #[test]
+    fn timer_heap_pops_in_deadline_order() {
+        let mut heap = TimerHeap::new();
+        let now = Instant::now();
+        heap.push_at(now + Duration::from_millis(30), 3u32);
+        heap.push_at(now + Duration::from_millis(10), 1u32);
+        heap.push_at(now + Duration::from_millis(20), 2u32);
+        assert_eq!(heap.len(), 3);
+
+        let later = now + Duration::from_millis(25);
+        assert_eq!(heap.pop_due(later), Some(1));
+        assert_eq!(heap.pop_due(later), Some(2));
+        assert_eq!(heap.pop_due(later), None, "30ms timer not yet due");
+        assert_eq!(heap.next_deadline(), Some(now + Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn timer_heap_preserves_insertion_order_on_ties() {
+        let mut heap = TimerHeap::new();
+        let at = Instant::now();
+        for i in 0..10u32 {
+            heap.push_at(at, i);
+        }
+        let mut got = Vec::new();
+        while let Some(v) = heap.pop_due(at) {
+            got.push(v);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn frame_buf_reassembles_peer_frames() {
+        let frame = PeerFrame {
+            from: NodeId::new(7),
+            msg: Msg::Custom(1, Bytes::from_static(b"hello")),
+        };
+        let encoded = encode_frame(&frame);
+
+        let mut rx = FrameBuf::new();
+        // Feed one byte at a time; exactly one frame must come out.
+        let mut got = Vec::new();
+        for b in encoded {
+            rx.extend(&[b]);
+            while let Some(f) = rx.try_next::<PeerFrame>().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec![frame]);
+        assert!(rx.is_empty());
+    }
+}

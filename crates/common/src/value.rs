@@ -208,6 +208,84 @@ impl Wire for Envelope {
     }
 }
 
+/// What an [`ValueKind::App`] payload decodes to: one client command, or a
+/// proposer-side batch of commands sharing a single consensus instance.
+///
+/// Batching many client requests into one proposal is how the live
+/// runtime keeps per-command consensus overhead low (the paper groups
+/// messages into 32 KB packets for the same reason); replicas execute the
+/// envelopes of a batch in order, so determinism is preserved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A single client command.
+    One(Envelope),
+    /// Several client commands ordered as one value.
+    Batch(Vec<Envelope>),
+}
+
+impl Payload {
+    /// Number of client commands carried.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::One(_) => 1,
+            Payload::Batch(envs) => envs.len(),
+        }
+    }
+
+    /// True when no commands are carried (only possible for an empty
+    /// batch, which proposers never emit).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the payload, yielding its envelopes in execution order.
+    pub fn into_envelopes(self) -> Vec<Envelope> {
+        match self {
+            Payload::One(env) => vec![env],
+            Payload::Batch(envs) => envs,
+        }
+    }
+}
+
+impl Wire for Payload {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Payload::One(env) => {
+                buf.put_u8(0);
+                env.encode(buf);
+            }
+            Payload::Batch(envs) => {
+                buf.put_u8(1);
+                put_varint(buf, envs.len() as u64);
+                for env in envs {
+                    env.encode(buf);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match get_tag(buf, "payload")? {
+            0 => Ok(Payload::One(Envelope::decode(buf)?)),
+            1 => {
+                let n = get_varint(buf)?;
+                if n > crate::wire::MAX_LEN {
+                    return Err(WireError::LengthTooLarge { len: n });
+                }
+                let mut envs = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    envs.push(Envelope::decode(buf)?);
+                }
+                Ok(Payload::Batch(envs))
+            }
+            tag => Err(WireError::BadTag {
+                context: "payload",
+                tag,
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +341,27 @@ mod tests {
         };
         let mut b = e.to_bytes();
         assert_eq!(Envelope::decode(&mut b).unwrap(), e);
+    }
+
+    #[test]
+    fn payload_round_trips_and_orders_envelopes() {
+        let env = |req: u64| Envelope {
+            client: ClientId::new(1),
+            req: RequestId::new(req),
+            reply_to: NodeId::new(2),
+            cmd: Bytes::from_static(b"cmd"),
+        };
+        for p in [
+            Payload::One(env(1)),
+            Payload::Batch(vec![env(1), env(2), env(3)]),
+            Payload::Batch(Vec::new()),
+        ] {
+            let mut b = p.to_bytes();
+            assert_eq!(Payload::decode(&mut b).unwrap(), p);
+        }
+        let batch = Payload::Batch(vec![env(5), env(6)]);
+        assert_eq!(batch.len(), 2);
+        let reqs: Vec<u64> = batch.into_envelopes().iter().map(|e| e.req.raw()).collect();
+        assert_eq!(reqs, vec![5, 6], "execution order preserved");
     }
 }

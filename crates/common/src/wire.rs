@@ -353,6 +353,223 @@ pub mod frame {
     }
 }
 
+pub mod client {
+    //! The live client protocol.
+    //!
+    //! Clients of a live deployment speak length-framed TCP to any node
+    //! (paper §7: clients submit to proposers and receive replica replies
+    //! over the network). A connection opens with [`ClientMsg::Hello`]
+    //! carrying the client's id; afterwards requests and replies flow
+    //! asynchronously — replies may arrive out of request order (commands
+    //! execute when the deterministic merge delivers them) and are
+    //! correlated by sequence number. Duplicated replies are possible
+    //! after retries, exactly like the paper's UDP responses; clients must
+    //! deduplicate by `seq`.
+
+    use super::{get_bytes, get_tag, put_bytes, Wire};
+    use crate::error::WireError;
+    use crate::ids::{ClientId, NodeId, RequestId, RingId};
+    use bytes::{BufMut, Bytes, BytesMut};
+
+    /// A frame sent by a client to a serving node.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum ClientMsg {
+        /// Opens the session: all replies for `client` flow back over the
+        /// connection that sent the hello.
+        Hello {
+            /// The connecting client's id (unique per deployment).
+            client: ClientId,
+        },
+        /// Submit `cmd` for atomic multicast to `group`.
+        Request {
+            /// Client-chosen sequence number correlating the reply.
+            seq: RequestId,
+            /// The multicast group (ring) to order the command on.
+            group: RingId,
+            /// Service-specific command bytes.
+            cmd: Bytes,
+        },
+        /// Connection-liveness probe; the server answers with
+        /// [`ClientReply::Pong`].
+        Ping {
+            /// Echoed token.
+            token: u64,
+        },
+    }
+
+    /// A frame sent by a serving node to a client.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum ClientReply {
+        /// Session accepted; `node` identifies the serving node.
+        Welcome {
+            /// The serving node.
+            node: NodeId,
+        },
+        /// A replica executed the request.
+        Response {
+            /// The request's sequence number.
+            seq: RequestId,
+            /// The replica that executed the command.
+            from_replica: NodeId,
+            /// Service-specific response bytes.
+            payload: Bytes,
+        },
+        /// The request could not be accepted (unknown group, shedding).
+        Error {
+            /// The request's sequence number.
+            seq: RequestId,
+            /// Human-readable reason.
+            reason: String,
+        },
+        /// Answer to [`ClientMsg::Ping`].
+        Pong {
+            /// Echoed token.
+            token: u64,
+        },
+    }
+
+    impl Wire for ClientMsg {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                ClientMsg::Hello { client } => {
+                    buf.put_u8(0);
+                    client.encode(buf);
+                }
+                ClientMsg::Request { seq, group, cmd } => {
+                    buf.put_u8(1);
+                    seq.encode(buf);
+                    group.encode(buf);
+                    put_bytes(buf, cmd);
+                }
+                ClientMsg::Ping { token } => {
+                    buf.put_u8(2);
+                    super::put_varint(buf, *token);
+                }
+            }
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            match get_tag(buf, "client wire msg")? {
+                0 => Ok(ClientMsg::Hello {
+                    client: ClientId::decode(buf)?,
+                }),
+                1 => Ok(ClientMsg::Request {
+                    seq: RequestId::decode(buf)?,
+                    group: RingId::decode(buf)?,
+                    cmd: get_bytes(buf)?,
+                }),
+                2 => Ok(ClientMsg::Ping {
+                    token: super::get_varint(buf)?,
+                }),
+                tag => Err(WireError::BadTag {
+                    context: "client wire msg",
+                    tag,
+                }),
+            }
+        }
+    }
+
+    impl Wire for ClientReply {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                ClientReply::Welcome { node } => {
+                    buf.put_u8(0);
+                    node.encode(buf);
+                }
+                ClientReply::Response {
+                    seq,
+                    from_replica,
+                    payload,
+                } => {
+                    buf.put_u8(1);
+                    seq.encode(buf);
+                    from_replica.encode(buf);
+                    put_bytes(buf, payload);
+                }
+                ClientReply::Error { seq, reason } => {
+                    buf.put_u8(2);
+                    seq.encode(buf);
+                    reason.encode(buf);
+                }
+                ClientReply::Pong { token } => {
+                    buf.put_u8(3);
+                    super::put_varint(buf, *token);
+                }
+            }
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            match get_tag(buf, "client wire reply")? {
+                0 => Ok(ClientReply::Welcome {
+                    node: NodeId::decode(buf)?,
+                }),
+                1 => Ok(ClientReply::Response {
+                    seq: RequestId::decode(buf)?,
+                    from_replica: NodeId::decode(buf)?,
+                    payload: get_bytes(buf)?,
+                }),
+                2 => Ok(ClientReply::Error {
+                    seq: RequestId::decode(buf)?,
+                    reason: String::decode(buf)?,
+                }),
+                3 => Ok(ClientReply::Pong {
+                    token: super::get_varint(buf)?,
+                }),
+                tag => Err(WireError::BadTag {
+                    context: "client wire reply",
+                    tag,
+                }),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use bytes::Buf;
+
+        fn rt<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+            let mut b = v.to_bytes();
+            assert_eq!(T::decode(&mut b).unwrap(), v);
+            assert_eq!(b.remaining(), 0);
+        }
+
+        #[test]
+        fn client_protocol_round_trips() {
+            rt(ClientMsg::Hello {
+                client: ClientId::new(77),
+            });
+            rt(ClientMsg::Request {
+                seq: RequestId::new(9),
+                group: RingId::new(1),
+                cmd: Bytes::from_static(b"put k v"),
+            });
+            rt(ClientMsg::Ping { token: u64::MAX });
+            rt(ClientReply::Welcome {
+                node: NodeId::new(3),
+            });
+            rt(ClientReply::Response {
+                seq: RequestId::new(9),
+                from_replica: NodeId::new(2),
+                payload: Bytes::from_static(b"=v"),
+            });
+            rt(ClientReply::Error {
+                seq: RequestId::new(10),
+                reason: "unknown group".to_string(),
+            });
+            rt(ClientReply::Pong { token: 0 });
+        }
+
+        #[test]
+        fn bad_tags_are_rejected() {
+            let mut raw = Bytes::from_static(&[99]);
+            assert!(ClientMsg::decode(&mut raw).is_err());
+            let mut raw = Bytes::from_static(&[99]);
+            assert!(ClientReply::decode(&mut raw).is_err());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,7 +604,9 @@ mod tests {
 
     #[test]
     fn varint_rejects_overlong() {
-        let mut bytes = Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        let mut bytes = Bytes::from_static(&[
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+        ]);
         assert!(matches!(
             get_varint(&mut bytes),
             Err(WireError::VarintOverflow)

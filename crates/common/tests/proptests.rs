@@ -3,8 +3,8 @@
 use bytes::{Buf, Bytes};
 use common::ids::{Ballot, ClientId, InstanceId, NodeId, PartitionId, RequestId, RingId};
 use common::msg::{AcceptedEntry, CheckpointTuple, ClientMsg, Msg, RecoveryMsg, RingMsg};
-use common::value::{Envelope, Value, ValueId, ValueKind};
-use common::wire::{frame, get_varint, put_varint, varint_len, Wire};
+use common::value::{Envelope, Payload, Value, ValueId, ValueKind};
+use common::wire::{self as wire, frame, get_varint, put_varint, varint_len, Wire};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -59,15 +59,20 @@ fn arb_ring_msg() -> impl Strategy<Value = RingMsg> {
                     ttl,
                 }
             }),
-        (any::<u64>(), arb_ballot(), arb_value(), any::<u16>(), any::<u16>()).prop_map(
-            |(inst, ballot, value, votes, ttl)| RingMsg::Phase2 {
+        (
+            any::<u64>(),
+            arb_ballot(),
+            arb_value(),
+            any::<u16>(),
+            any::<u16>()
+        )
+            .prop_map(|(inst, ballot, value, votes, ttl)| RingMsg::Phase2 {
                 inst: InstanceId::new(inst),
                 ballot,
                 value,
                 votes,
                 ttl,
-            }
-        ),
+            }),
         (any::<u64>(), arb_value(), any::<u16>()).prop_map(|(inst, value, ttl)| {
             RingMsg::Decision {
                 inst: InstanceId::new(inst),
@@ -180,6 +185,72 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
     ]
 }
 
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..128),
+    )
+        .prop_map(|(c, q, n, cmd)| Envelope {
+            client: ClientId::new(c),
+            req: RequestId::new(q),
+            reply_to: NodeId::new(n),
+            cmd: cmd.into(),
+        })
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        arb_envelope().prop_map(Payload::One),
+        proptest::collection::vec(arb_envelope(), 0..8).prop_map(Payload::Batch),
+    ]
+}
+
+fn arb_client_wire_msg() -> impl Strategy<Value = wire::client::ClientMsg> {
+    prop_oneof![
+        any::<u32>().prop_map(|c| wire::client::ClientMsg::Hello {
+            client: ClientId::new(c)
+        }),
+        (
+            any::<u64>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(seq, g, cmd)| wire::client::ClientMsg::Request {
+                seq: RequestId::new(seq),
+                group: RingId::new(g),
+                cmd: cmd.into(),
+            }),
+        any::<u64>().prop_map(|token| wire::client::ClientMsg::Ping { token }),
+    ]
+}
+
+fn arb_client_wire_reply() -> impl Strategy<Value = wire::client::ClientReply> {
+    prop_oneof![
+        any::<u32>().prop_map(|n| wire::client::ClientReply::Welcome {
+            node: NodeId::new(n)
+        }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(seq, n, payload)| wire::client::ClientReply::Response {
+                seq: RequestId::new(seq),
+                from_replica: NodeId::new(n),
+                payload: payload.into(),
+            }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..32)).prop_map(|(seq, r)| {
+            wire::client::ClientReply::Error {
+                seq: RequestId::new(seq),
+                reason: r.iter().map(|b| (b'a' + b % 26) as char).collect(),
+            }
+        }),
+        any::<u64>().prop_map(|token| wire::client::ClientReply::Pong { token }),
+    ]
+}
+
 proptest! {
     #[test]
     fn varint_round_trips(v in any::<u64>()) {
@@ -263,5 +334,37 @@ proptest! {
     #[test]
     fn tuple_dominates_is_reflexive_and_consistent(a in arb_tuple()) {
         prop_assert!(a.dominates(&a));
+    }
+
+    #[test]
+    fn client_wire_msg_round_trips(msg in arb_client_wire_msg()) {
+        let mut bytes = msg.to_bytes();
+        let back = wire::client::ClientMsg::decode(&mut bytes).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn client_wire_reply_round_trips(reply in arb_client_wire_reply()) {
+        let mut bytes = reply.to_bytes();
+        let back = wire::client::ClientReply::decode(&mut bytes).unwrap();
+        prop_assert_eq!(back, reply);
+        prop_assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn payload_round_trips(p in arb_payload()) {
+        let mut bytes = p.to_bytes();
+        let back = Payload::decode(&mut bytes).unwrap();
+        prop_assert_eq!(back, p);
+        prop_assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn client_wire_decoder_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut a = Bytes::from(garbage.clone());
+        let _ = wire::client::ClientMsg::decode(&mut a);
+        let mut b = Bytes::from(garbage);
+        let _ = wire::client::ClientReply::decode(&mut b);
     }
 }

@@ -174,11 +174,7 @@ impl Registry {
     ///
     /// Fails if the partition id is taken or a replica already belongs to
     /// another partition.
-    pub fn register_partition(
-        &self,
-        partition: PartitionId,
-        info: PartitionInfo,
-    ) -> Result<()> {
+    pub fn register_partition(&self, partition: PartitionId, info: PartitionInfo) -> Result<()> {
         let mut inner = self.inner.write();
         if inner.partitions.contains_key(&partition) {
             return Err(Error::Config(format!(
@@ -301,7 +297,8 @@ mod tests {
             rings: vec![RingId::new(0), RingId::new(9)],
             replicas: nodes(&[10, 11, 12]),
         };
-        reg.register_partition(PartitionId::new(0), info.clone()).unwrap();
+        reg.register_partition(PartitionId::new(0), info.clone())
+            .unwrap();
         assert_eq!(reg.partition_of(NodeId::new(11)), Some(PartitionId::new(0)));
         assert_eq!(reg.partition(PartitionId::new(0)).unwrap(), info);
         assert_eq!(reg.subscribers(RingId::new(9)), nodes(&[10, 11, 12]));
@@ -319,7 +316,10 @@ mod tests {
     fn meta_blobs() {
         let reg = Registry::new();
         reg.set_meta("partitioning", Bytes::from_static(b"hash:3"));
-        assert_eq!(reg.meta("partitioning").unwrap(), Bytes::from_static(b"hash:3"));
+        assert_eq!(
+            reg.meta("partitioning").unwrap(),
+            Bytes::from_static(b"hash:3")
+        );
         assert!(reg.meta("absent").is_none());
     }
 

@@ -100,12 +100,9 @@ impl DlogApp {
                 }
                 LogResponse::Appended(out)
             }
-            LogCommand::Read { log, pos } => LogResponse::Value(
-                self.logs
-                    .get(log)
-                    .and_then(|l| l.read(*pos))
-                    .cloned(),
-            ),
+            LogCommand::Read { log, pos } => {
+                LogResponse::Value(self.logs.get(log).and_then(|l| l.read(*pos)).cloned())
+            }
             LogCommand::Trim { log, pos } => {
                 if let Some(state) = self.logs.get_mut(log) {
                     state.trim(*pos);
@@ -145,8 +142,12 @@ impl ServiceApp for DlogApp {
         let mut logs = BTreeMap::new();
         for _ in 0..n {
             let Ok(id) = get_varint(&mut raw) else { return };
-            let Ok(base) = get_varint(&mut raw) else { return };
-            let Ok(count) = get_varint(&mut raw) else { return };
+            let Ok(base) = get_varint(&mut raw) else {
+                return;
+            };
+            let Ok(count) = get_varint(&mut raw) else {
+                return;
+            };
             let mut entries = Vec::new();
             for _ in 0..count {
                 let Ok(e) = get_bytes(&mut raw) else { return };
@@ -187,10 +188,13 @@ mod tests {
     fn appends_assign_sequential_positions() {
         let mut app = DlogApp::new(&[0]);
         for i in 0..5u64 {
-            let r = exec(&mut app, LogCommand::Append {
-                log: 0,
-                value: Bytes::from(format!("e{i}")),
-            });
+            let r = exec(
+                &mut app,
+                LogCommand::Append {
+                    log: 0,
+                    value: Bytes::from(format!("e{i}")),
+                },
+            );
             assert_eq!(r, LogResponse::Appended(vec![(0, i)]));
         }
         assert_eq!(app.next_pos(0), Some(5));
@@ -199,10 +203,13 @@ mod tests {
     #[test]
     fn multi_append_hits_all_hosted_logs() {
         let mut app = DlogApp::new(&[0, 1, 3]);
-        let r = exec(&mut app, LogCommand::MultiAppend {
-            logs: vec![0, 1, 2],
-            value: Bytes::from_static(b"x"),
-        });
+        let r = exec(
+            &mut app,
+            LogCommand::MultiAppend {
+                logs: vec![0, 1, 2],
+                value: Bytes::from_static(b"x"),
+            },
+        );
         // Log 2 is not hosted here; logs 0 and 1 get position 0.
         assert_eq!(r, LogResponse::Appended(vec![(0, 0), (1, 0)]));
         assert_eq!(app.next_pos(3), Some(0));
@@ -212,16 +219,22 @@ mod tests {
     fn read_and_trim() {
         let mut app = DlogApp::new(&[0]);
         for i in 0..10u64 {
-            exec(&mut app, LogCommand::Append {
-                log: 0,
-                value: Bytes::from(format!("e{i}")),
-            });
+            exec(
+                &mut app,
+                LogCommand::Append {
+                    log: 0,
+                    value: Bytes::from(format!("e{i}")),
+                },
+            );
         }
         assert_eq!(
             exec(&mut app, LogCommand::Read { log: 0, pos: 3 }),
             LogResponse::Value(Some(Bytes::from_static(b"e3")))
         );
-        assert_eq!(exec(&mut app, LogCommand::Trim { log: 0, pos: 5 }), LogResponse::Ok);
+        assert_eq!(
+            exec(&mut app, LogCommand::Trim { log: 0, pos: 5 }),
+            LogResponse::Ok
+        );
         assert_eq!(
             exec(&mut app, LogCommand::Read { log: 0, pos: 3 }),
             LogResponse::Value(None),
@@ -232,7 +245,13 @@ mod tests {
             LogResponse::Value(Some(Bytes::from_static(b"e7")))
         );
         // Appends continue at the same counter after a trim.
-        let r = exec(&mut app, LogCommand::Append { log: 0, value: Bytes::from_static(b"new") });
+        let r = exec(
+            &mut app,
+            LogCommand::Append {
+                log: 0,
+                value: Bytes::from_static(b"new"),
+            },
+        );
         assert_eq!(r, LogResponse::Appended(vec![(0, 10)]));
     }
 
@@ -240,7 +259,13 @@ mod tests {
     fn snapshot_restore_preserves_positions() {
         let mut app = DlogApp::new(&[0, 1]);
         for _ in 0..6 {
-            exec(&mut app, LogCommand::Append { log: 0, value: Bytes::from_static(b"a") });
+            exec(
+                &mut app,
+                LogCommand::Append {
+                    log: 0,
+                    value: Bytes::from_static(b"a"),
+                },
+            );
         }
         exec(&mut app, LogCommand::Trim { log: 0, pos: 4 });
         let snap = app.snapshot();

@@ -1,0 +1,222 @@
+//! Proposer-side request batching.
+//!
+//! Every client command costs one consensus instance unless the proposer
+//! groups commands — the paper leans on exactly this ("different types of
+//! messages for several consensus instances are often grouped into bigger
+//! packets", §4). The [`Batcher`] holds incoming envelopes per ring and
+//! releases a batch when it reaches `max_envelopes`, `max_bytes` of
+//! command payload, or when the oldest envelope has waited `max_delay`.
+//! One released batch becomes **one** proposed value
+//! ([`common::value::Payload::Batch`]).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use common::ids::RingId;
+use common::value::Envelope;
+
+/// Batching limits.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Flush after this many envelopes.
+    pub max_envelopes: usize,
+    /// Flush once the batch holds this many payload bytes.
+    pub max_bytes: usize,
+    /// Flush a non-empty batch after this long regardless of size.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            max_envelopes: 64,
+            max_bytes: 32 * 1024,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Batching disabled: every envelope flushes immediately.
+    pub fn disabled() -> Self {
+        BatchOptions {
+            max_envelopes: 1,
+            max_bytes: 0,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+struct Pending {
+    envelopes: Vec<Envelope>,
+    bytes: usize,
+    opened_at: Instant,
+}
+
+/// Per-ring envelope accumulator.
+pub struct Batcher {
+    opts: BatchOptions,
+    pending: BTreeMap<RingId, Pending>,
+}
+
+impl Batcher {
+    /// A batcher with `opts` limits.
+    pub fn new(opts: BatchOptions) -> Self {
+        Batcher {
+            opts,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an envelope bound for `ring`. Returns the completed batch if
+    /// this push filled it.
+    pub fn push(&mut self, ring: RingId, env: Envelope, now: Instant) -> Option<Vec<Envelope>> {
+        let entry = self.pending.entry(ring).or_insert_with(|| Pending {
+            envelopes: Vec::new(),
+            bytes: 0,
+            opened_at: now,
+        });
+        if entry.envelopes.is_empty() {
+            entry.opened_at = now;
+        }
+        entry.bytes += env.cmd.len();
+        entry.envelopes.push(env);
+        if entry.envelopes.len() >= self.opts.max_envelopes || entry.bytes >= self.opts.max_bytes {
+            let done = self.pending.remove(&ring).expect("just inserted");
+            return Some(done.envelopes);
+        }
+        None
+    }
+
+    /// Removes and returns every batch whose age reached `max_delay`.
+    pub fn take_due(&mut self, now: Instant) -> Vec<(RingId, Vec<Envelope>)> {
+        let due: Vec<RingId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                !p.envelopes.is_empty() && now.duration_since(p.opened_at) >= self.opts.max_delay
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        due.into_iter()
+            .map(|r| {
+                let p = self.pending.remove(&r).expect("listed");
+                (r, p.envelopes)
+            })
+            .collect()
+    }
+
+    /// Removes and returns every pending batch regardless of age.
+    pub fn take_all(&mut self) -> Vec<(RingId, Vec<Envelope>)> {
+        std::mem::take(&mut self.pending)
+            .into_iter()
+            .filter(|(_, p)| !p.envelopes.is_empty())
+            .map(|(r, p)| (r, p.envelopes))
+            .collect()
+    }
+
+    /// When the earliest pending batch becomes due, if any.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.pending
+            .values()
+            .filter(|p| !p.envelopes.is_empty())
+            .map(|p| p.opened_at + self.opts.max_delay)
+            .min()
+    }
+
+    /// Number of envelopes currently pending across all rings.
+    pub fn pending_len(&self) -> usize {
+        self.pending.values().map(|p| p.envelopes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use common::ids::{ClientId, NodeId, RequestId};
+
+    fn env(req: u64, size: usize) -> Envelope {
+        Envelope {
+            client: ClientId::new(1),
+            req: RequestId::new(req),
+            reply_to: NodeId::new(9),
+            cmd: Bytes::from(vec![0u8; size]),
+        }
+    }
+
+    #[test]
+    fn flushes_on_count() {
+        let mut b = Batcher::new(BatchOptions {
+            max_envelopes: 3,
+            max_bytes: usize::MAX,
+            max_delay: Duration::from_secs(10),
+        });
+        let now = Instant::now();
+        let r = RingId::new(0);
+        assert!(b.push(r, env(1, 10), now).is_none());
+        assert!(b.push(r, env(2, 10), now).is_none());
+        let batch = b.push(r, env(3, 10), now).expect("third fills the batch");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].req.raw(), 1, "arrival order preserved");
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn flushes_on_bytes() {
+        let mut b = Batcher::new(BatchOptions {
+            max_envelopes: 1000,
+            max_bytes: 100,
+            max_delay: Duration::from_secs(10),
+        });
+        let now = Instant::now();
+        let r = RingId::new(1);
+        assert!(b.push(r, env(1, 60), now).is_none());
+        assert!(b.push(r, env(2, 60), now).is_some(), "120 bytes > 100");
+    }
+
+    #[test]
+    fn flushes_on_age() {
+        let mut b = Batcher::new(BatchOptions {
+            max_envelopes: 1000,
+            max_bytes: usize::MAX,
+            max_delay: Duration::from_millis(5),
+        });
+        let t0 = Instant::now();
+        let r0 = RingId::new(0);
+        let r1 = RingId::new(1);
+        b.push(r0, env(1, 1), t0);
+        b.push(r1, env(2, 1), t0 + Duration::from_millis(3));
+        assert!(b.take_due(t0 + Duration::from_millis(1)).is_empty());
+        let due = b.take_due(t0 + Duration::from_millis(6));
+        assert_eq!(due.len(), 1, "only ring 0 aged out");
+        assert_eq!(due[0].0, r0);
+        assert_eq!(b.pending_len(), 1);
+        assert!(b.next_deadline().is_some());
+        assert_eq!(b.take_all().len(), 1);
+        assert!(b.next_deadline().is_none());
+    }
+
+    #[test]
+    fn disabled_batching_flushes_every_push() {
+        let mut b = Batcher::new(BatchOptions::disabled());
+        let batch = b
+            .push(RingId::new(0), env(1, 0), Instant::now())
+            .expect("immediate flush");
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn rings_batch_independently() {
+        let mut b = Batcher::new(BatchOptions {
+            max_envelopes: 2,
+            max_bytes: usize::MAX,
+            max_delay: Duration::from_secs(1),
+        });
+        let now = Instant::now();
+        assert!(b.push(RingId::new(0), env(1, 1), now).is_none());
+        assert!(b.push(RingId::new(1), env(2, 1), now).is_none());
+        assert!(b.push(RingId::new(0), env(3, 1), now).is_some());
+        assert_eq!(b.pending_len(), 1, "ring 1 still open");
+    }
+}

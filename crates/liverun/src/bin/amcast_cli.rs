@@ -1,0 +1,153 @@
+//! `amcast-cli` — command-line client for a live deployment.
+//!
+//! ```text
+//! amcast-cli --config amcast.toml put user:1 alice
+//! amcast-cli --config amcast.toml get user:1
+//! amcast-cli --config amcast.toml scan user: user;      # range [from, to)
+//! amcast-cli --config amcast.toml del user:1
+//! amcast-cli --config amcast.toml append 0 "log entry"  # dlog deployments
+//! amcast-cli --config amcast.toml read 0 7
+//! amcast-cli --config amcast.toml multi-append 0,1 "both logs"
+//! ```
+//!
+//! The client loads the same deployment document the daemons use, routes
+//! single-key commands to the owning partition's ring per the published
+//! hash scheme, and multicasts scans / multi-appends on the global ring,
+//! merging one answer per partition (paper §6.1, §7.2).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bytes::Bytes;
+use common::ids::ClientId;
+use liverun::{ClientOptions, DeploymentConfig, LogClient, StoreClient};
+
+fn usage() -> &'static str {
+    "usage: amcast-cli --config FILE [--client ID] COMMAND
+commands (mrpstore):
+  put KEY VALUE | update KEY VALUE | get KEY | del KEY | scan FROM [TO]
+commands (dlog):
+  append LOG VALUE | multi-append LOG,LOG,... VALUE | read LOG POS"
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("amcast-cli: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    let mut config_path = None;
+    // Default to a per-process id so concurrent/successive CLI
+    // invocations get distinct reply-routing identities.
+    let mut client_id = std::process::id();
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => config_path = it.next(),
+            "--client" => {
+                client_id = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage().to_string())?;
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let config_path = config_path.ok_or_else(|| usage().to_string())?;
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    let config = DeploymentConfig::parse(&text).map_err(|e| e.to_string())?;
+    let opts = ClientOptions {
+        timeout: Duration::from_secs(10),
+        retry_every: Duration::from_secs(2),
+    };
+    let id = ClientId::new(client_id);
+
+    let cmd = rest.first().cloned().ok_or_else(|| usage().to_string())?;
+    let arg = |i: usize| -> Result<&str, String> {
+        rest.get(i)
+            .map(String::as_str)
+            .ok_or_else(|| usage().to_string())
+    };
+    match cmd.as_str() {
+        "put" | "update" | "get" | "del" | "scan" => {
+            let mut store = StoreClient::connect(&config, id, opts).map_err(|e| e.to_string())?;
+            match cmd.as_str() {
+                "put" => {
+                    let r = store
+                        .insert(arg(1)?, Bytes::from(arg(2)?.as_bytes().to_vec()))
+                        .map_err(|e| e.to_string())?;
+                    Ok(format!("{r:?}"))
+                }
+                "update" => {
+                    let r = store
+                        .update(arg(1)?, Bytes::from(arg(2)?.as_bytes().to_vec()))
+                        .map_err(|e| e.to_string())?;
+                    Ok(format!("{r:?}"))
+                }
+                "get" => match store.read(arg(1)?).map_err(|e| e.to_string())? {
+                    Some(v) => Ok(String::from_utf8_lossy(&v).into_owned()),
+                    None => Ok("(nil)".to_string()),
+                },
+                "del" => {
+                    let r = store.delete(arg(1)?).map_err(|e| e.to_string())?;
+                    Ok(format!("{r:?}"))
+                }
+                _ => {
+                    let to = rest.get(2).map(String::as_str).unwrap_or("");
+                    let entries = store.scan(arg(1)?, to).map_err(|e| e.to_string())?;
+                    let mut out = String::new();
+                    for (k, v) in &entries {
+                        out.push_str(&format!("{k} = {}\n", String::from_utf8_lossy(v)));
+                    }
+                    out.push_str(&format!("({} entries)", entries.len()));
+                    Ok(out)
+                }
+            }
+        }
+        "append" | "multi-append" | "read" => {
+            let mut log = LogClient::connect(&config, id, opts).map_err(|e| e.to_string())?;
+            match cmd.as_str() {
+                "append" => {
+                    let l: u16 = arg(1)?.parse().map_err(|_| usage().to_string())?;
+                    let pos = log
+                        .append(l, Bytes::from(arg(2)?.as_bytes().to_vec()))
+                        .map_err(|e| e.to_string())?;
+                    Ok(format!("appended at position {pos}"))
+                }
+                "multi-append" => {
+                    let logs: Vec<u16> = arg(1)?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|_| usage().to_string()))
+                        .collect::<Result<_, _>>()?;
+                    let positions = log
+                        .multi_append(logs, Bytes::from(arg(2)?.as_bytes().to_vec()))
+                        .map_err(|e| e.to_string())?;
+                    Ok(positions
+                        .iter()
+                        .map(|(l, p)| format!("log {l} @ {p}"))
+                        .collect::<Vec<_>>()
+                        .join(", "))
+                }
+                _ => {
+                    let l: u16 = arg(1)?.parse().map_err(|_| usage().to_string())?;
+                    let pos: u64 = arg(2)?.parse().map_err(|_| usage().to_string())?;
+                    match log.read(l, pos).map_err(|e| e.to_string())? {
+                        Some(v) => Ok(String::from_utf8_lossy(&v).into_owned()),
+                        None => Ok("(nil)".to_string()),
+                    }
+                }
+            }
+        }
+        _ => Err(usage().to_string()),
+    }
+}

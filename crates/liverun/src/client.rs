@@ -1,0 +1,383 @@
+//! The live network client.
+//!
+//! A [`LiveClient`] opens framed-TCP sessions to every serving node
+//! (replicas answer clients *directly*, like the paper's UDP responses —
+//! so the client must be reachable from any replica that may execute its
+//! commands), routes each request to a proposer of the target group, and
+//! matches replies by sequence number. Replies may arrive out of order
+//! and duplicated; unanswered requests are re-sent, so commands should be
+//! idempotent or tolerate re-execution (the paper's client model).
+
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use common::error::{Error, Result};
+use common::ids::{ClientId, NodeId, PartitionId, RequestId, RingId};
+use common::transport::{encode_frame, FrameBuf};
+use common::wire::client::{ClientMsg, ClientReply};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// How a client finds and talks to a deployment.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Give up on a request after this long.
+    pub timeout: Duration,
+    /// Re-send an unanswered request this often.
+    pub retry_every: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            timeout: Duration::from_secs(10),
+            retry_every: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A connected client.
+pub struct LiveClient {
+    id: ClientId,
+    opts: ClientOptions,
+    addrs: HashMap<NodeId, SocketAddr>,
+    conns: HashMap<NodeId, TcpStream>,
+    replies_tx: Sender<ClientReply>,
+    replies_rx: Receiver<ClientReply>,
+    /// Candidate proposers per multicast group, in preference order.
+    route: HashMap<RingId, Vec<NodeId>>,
+    /// Partition each server replica belongs to (for fan-out completion).
+    replica_partitions: HashMap<NodeId, PartitionId>,
+    next_seq: u64,
+}
+
+impl LiveClient {
+    /// Connects to every server and opens a session on each.
+    ///
+    /// `route` names the proposer per group; `replica_partitions` is used
+    /// to decide when multi-partition operations are complete.
+    ///
+    /// Connecting is best-effort per server: a deployment with one node
+    /// down still has quorum, so the client comes up as long as *some*
+    /// server is reachable (and reconnects to the rest lazily).
+    ///
+    /// # Errors
+    ///
+    /// Fails only when no server at all can be reached.
+    pub fn connect(
+        id: ClientId,
+        servers: &[(NodeId, SocketAddr)],
+        route: HashMap<RingId, Vec<NodeId>>,
+        replica_partitions: HashMap<NodeId, PartitionId>,
+        opts: ClientOptions,
+    ) -> Result<Self> {
+        let (replies_tx, replies_rx) = unbounded();
+        // Distinct invocations (think one CLI call per command) must not
+        // reuse sequence numbers under the same client id, or a straggler
+        // reply to an earlier invocation's request could be mis-matched:
+        // start the sequence space at the current wall-clock microsecond.
+        let seq_base = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(1);
+        let mut client = LiveClient {
+            id,
+            opts,
+            addrs: servers.iter().copied().collect(),
+            conns: HashMap::new(),
+            replies_tx,
+            replies_rx,
+            route,
+            replica_partitions,
+            next_seq: seq_base,
+        };
+        let mut reached = 0usize;
+        let mut last_err = None;
+        let nodes: Vec<NodeId> = client.addrs.keys().copied().collect();
+        for node in nodes {
+            match client.open_conn(node) {
+                Ok(()) => reached += 1,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if reached == 0 {
+            return Err(last_err.unwrap_or(Error::Config("no servers configured".into())));
+        }
+        Ok(client)
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn open_conn(&mut self, node: NodeId) -> Result<()> {
+        let addr = self
+            .addrs
+            .get(&node)
+            .copied()
+            .ok_or(Error::UnknownNode(node))?;
+        let mut last_err: Option<std::io::Error> = None;
+        for _ in 0..10 {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                Ok(mut stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.write_all(&encode_frame(&ClientMsg::Hello { client: self.id }))?;
+                    let reader = stream.try_clone()?;
+                    spawn_reply_reader(reader, self.replies_tx.clone());
+                    self.conns.insert(node, stream);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+        Err(Error::Io(last_err.expect("looped at least once")))
+    }
+
+    /// Re-establishes the session to `node` (after a server restart).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server cannot be reached.
+    pub fn reconnect(&mut self, node: NodeId) -> Result<()> {
+        self.conns.remove(&node);
+        self.open_conn(node)
+    }
+
+    fn send_to(&mut self, node: NodeId, msg: &ClientMsg) -> Result<()> {
+        if !self.conns.contains_key(&node) {
+            self.open_conn(node)?;
+        }
+        let frame = encode_frame(msg);
+        let broken = self
+            .conns
+            .get_mut(&node)
+            .map(|s| s.write_all(&frame).is_err())
+            .unwrap_or(true);
+        if broken {
+            // One reconnect attempt: the server may have restarted.
+            self.conns.remove(&node);
+            self.open_conn(node)?;
+            self.conns
+                .get_mut(&node)
+                .expect("just connected")
+                .write_all(&frame)?;
+        }
+        Ok(())
+    }
+
+    /// Sends `msg` to the first reachable proposer of `group` (members in
+    /// route order); returns which node took it.
+    fn send_routed(&mut self, group: RingId, msg: &ClientMsg) -> Result<NodeId> {
+        let candidates = self
+            .route
+            .get(&group)
+            .cloned()
+            .ok_or_else(|| Error::Config(format!("no proposer routed for group {group}")))?;
+        let mut last_err = None;
+        for node in candidates {
+            match self.send_to(node, msg) {
+                Ok(()) => return Ok(node),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| Error::Config(format!("no proposer routed for group {group}"))))
+    }
+
+    /// Submits `cmd` to `group` and waits for the first reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Timeout`] when no replica answers in time.
+    pub fn request(&mut self, group: RingId, cmd: Bytes) -> Result<Bytes> {
+        self.request_fanout(group, cmd, &[])
+            .map(|mut replies| replies.pop().expect("at least one reply").1)
+    }
+
+    /// Fire-and-forget submit for pipelined clients: sends the request and
+    /// returns its sequence number without waiting. Match replies via
+    /// [`LiveClient::poll_reply`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the proposer for `group` cannot be reached.
+    pub fn submit(&mut self, group: RingId, cmd: Bytes) -> Result<RequestId> {
+        self.next_seq += 1;
+        let seq = RequestId::new(self.next_seq);
+        self.send_routed(group, &ClientMsg::Request { seq, group, cmd })?;
+        Ok(seq)
+    }
+
+    /// The next service response, if one arrives within `timeout`.
+    /// Replicas answer redundantly (one reply per replica of the
+    /// executing partition), so pipelined callers must ignore sequence
+    /// numbers they already completed.
+    pub fn poll_reply(&mut self, timeout: Duration) -> Option<(RequestId, NodeId, Bytes)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.replies_rx.recv_timeout(deadline - now) {
+                Ok(ClientReply::Response {
+                    seq,
+                    from_replica,
+                    payload,
+                }) => return Some((seq, from_replica, payload)),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Submits `cmd` to `group` and waits for a reply from one *specific*
+    /// replica — used to observe that a given replica (say, one that just
+    /// recovered) executes and answers with up-to-date state.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Timeout`] when `replica` does not answer in
+    /// time.
+    pub fn request_from(&mut self, group: RingId, cmd: Bytes, replica: NodeId) -> Result<Bytes> {
+        self.next_seq += 1;
+        let seq = RequestId::new(self.next_seq);
+        let msg = ClientMsg::Request { seq, group, cmd };
+        self.send_routed(group, &msg)?;
+
+        let deadline = Instant::now() + self.opts.timeout;
+        let mut next_retry = Instant::now() + self.opts.retry_every;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::Timeout("client request (specific replica)"));
+            }
+            if now >= next_retry {
+                self.send_routed(group, &msg)?;
+                next_retry = now + self.opts.retry_every;
+            }
+            let wait = deadline
+                .min(next_retry)
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(50));
+            match self.replies_rx.recv_timeout(wait) {
+                Ok(ClientReply::Response {
+                    seq: got,
+                    from_replica,
+                    payload,
+                }) if got == seq && from_replica == replica => return Ok(payload),
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Error::Timeout("all client connections closed"));
+                }
+            }
+        }
+    }
+
+    /// Submits `cmd` to `group` and waits until every partition in
+    /// `partitions` answered (pass an empty slice for "any one reply") —
+    /// the completion rule of the paper's multi-partition scans (§7.2).
+    /// Returns `(replica, payload)` per answering partition.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Timeout`] if the required partitions do not
+    /// all answer in time.
+    pub fn request_fanout(
+        &mut self,
+        group: RingId,
+        cmd: Bytes,
+        partitions: &[PartitionId],
+    ) -> Result<Vec<(NodeId, Bytes)>> {
+        self.next_seq += 1;
+        let seq = RequestId::new(self.next_seq);
+        let msg = ClientMsg::Request { seq, group, cmd };
+        self.send_routed(group, &msg)?;
+
+        let deadline = Instant::now() + self.opts.timeout;
+        let mut next_retry = Instant::now() + self.opts.retry_every;
+        let mut answered: HashSet<PartitionId> = HashSet::new();
+        let mut replied_replicas: HashSet<NodeId> = HashSet::new();
+        let mut replies: Vec<(NodeId, Bytes)> = Vec::new();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::Timeout("client request"));
+            }
+            if now >= next_retry {
+                // Unanswered: re-send (replicas may re-execute, as with
+                // the paper's retried UDP requests).
+                self.send_routed(group, &msg)?;
+                next_retry = now + self.opts.retry_every;
+            }
+            let wait = deadline
+                .min(next_retry)
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(50));
+            match self.replies_rx.recv_timeout(wait) {
+                Ok(ClientReply::Response {
+                    seq: got,
+                    from_replica,
+                    payload,
+                }) => {
+                    if got != seq || !replied_replicas.insert(from_replica) {
+                        continue; // stale or duplicate reply
+                    }
+                    replies.push((from_replica, payload));
+                    if partitions.is_empty() {
+                        return Ok(replies);
+                    }
+                    if let Some(p) = self.replica_partitions.get(&from_replica) {
+                        answered.insert(*p);
+                    }
+                    if partitions.iter().all(|p| answered.contains(p)) {
+                        return Ok(replies);
+                    }
+                }
+                Ok(ClientReply::Error { seq: got, reason }) if got == seq => {
+                    return Err(Error::Config(format!("server rejected request: {reason}")));
+                }
+                Ok(_) => {} // Welcome / Pong / stale errors
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Error::Timeout("all client connections closed"));
+                }
+            }
+        }
+    }
+}
+
+fn spawn_reply_reader(mut stream: TcpStream, tx: Sender<ClientReply>) {
+    std::thread::spawn(move || {
+        let mut buf = FrameBuf::new();
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    buf.extend(&chunk[..n]);
+                    loop {
+                        match buf.try_next::<ClientReply>() {
+                            Ok(Some(reply)) => {
+                                if tx.send(reply).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return,
+                        }
+                    }
+                }
+            }
+        }
+    });
+}

@@ -1,0 +1,633 @@
+//! Deployment configuration: what `amcastd` reads off disk.
+//!
+//! A deployment file is a TOML-subset document (hand-parsed, so the
+//! offline build needs no external parser) describing the whole cluster:
+//! every node with its peer/client addresses, every ring with members and
+//! acceptors, every service partition, and the service to replicate. Each
+//! `amcastd` process loads the same file and starts the one node named on
+//! its command line — mirroring how the paper keeps the configuration in
+//! Zookeeper, equally visible to every process.
+//!
+//! ```toml
+//! [deployment]
+//! service = "mrpstore"
+//! partitions = 2
+//! batch_max = 64
+//! batch_delay_ms = 2
+//!
+//! [[node]]
+//! id = 0
+//! peer_addr = "127.0.0.1:7400"
+//! client_addr = "127.0.0.1:7500"
+//! partition = 0
+//!
+//! [[ring]]
+//! id = 0
+//! members = [0, 1]
+//! acceptors = [0, 1]
+//!
+//! [[partition]]
+//! id = 0
+//! rings = [0, 2]
+//! replicas = [0, 1]
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use common::error::{Error, Result};
+use common::ids::{NodeId, PartitionId, RingId};
+use coord::{PartitionInfo, Registry, RingConfig};
+use mrpstore::Partitioning;
+
+/// Which replicated service the deployment runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceKind {
+    /// MRP-Store with `partitions` hash partitions (rings `0..partitions`
+    /// carry single-partition commands; ring `partitions` is the global
+    /// ring for scans).
+    MrpStore {
+        /// Number of hash partitions.
+        partitions: u16,
+    },
+    /// dLog with `logs` shared logs (ring per log plus one multi-append
+    /// ring, same layout convention).
+    Dlog {
+        /// Number of logs.
+        logs: u16,
+    },
+    /// The paper's dummy service (raw ordering performance).
+    Echo,
+}
+
+/// One node of the deployment.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// The node's id.
+    pub id: NodeId,
+    /// Address peers connect to (ring + recovery traffic).
+    pub peer_addr: SocketAddr,
+    /// Address clients connect to.
+    pub client_addr: SocketAddr,
+    /// The service partition this node's replica belongs to, if any.
+    pub partition: Option<PartitionId>,
+}
+
+/// One ring definition.
+#[derive(Clone, Debug)]
+pub struct RingSpec {
+    /// The ring's id (also its multicast group id).
+    pub id: RingId,
+    /// Members in ring order.
+    pub members: Vec<NodeId>,
+    /// The subset acting as acceptors.
+    pub acceptors: Vec<NodeId>,
+}
+
+/// One service partition definition.
+#[derive(Clone, Debug)]
+pub struct PartitionSpec {
+    /// The partition's id.
+    pub id: PartitionId,
+    /// Rings every replica of the partition subscribes to.
+    pub rings: Vec<RingId>,
+    /// The replicas.
+    pub replicas: Vec<NodeId>,
+}
+
+/// A full deployment description.
+#[derive(Clone, Debug)]
+pub struct DeploymentConfig {
+    /// The replicated service.
+    pub service: ServiceKind,
+    /// Maximum client commands batched into one consensus value.
+    pub batch_max: usize,
+    /// Maximum time a non-empty batch waits before proposing.
+    pub batch_delay: Duration,
+    /// Replica checkpoint cadence (`None` disables checkpointing).
+    pub checkpoint_interval: Option<Duration>,
+    /// Directory for per-node write-ahead logs (`None` disables WALs).
+    pub wal_dir: Option<PathBuf>,
+    /// The nodes.
+    pub nodes: Vec<NodeSpec>,
+    /// The rings.
+    pub rings: Vec<RingSpec>,
+    /// The service partitions.
+    pub partitions: Vec<PartitionSpec>,
+}
+
+impl DeploymentConfig {
+    /// Parses a deployment document.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Config`] on syntax or consistency problems.
+    pub fn parse(text: &str) -> Result<Self> {
+        let doc = Document::parse(text)?;
+        let deployment = doc
+            .singleton("deployment")
+            .ok_or_else(|| Error::Config("missing [deployment] section".into()))?;
+
+        let service = match deployment.str_or("service", "echo").as_str() {
+            "mrpstore" => ServiceKind::MrpStore {
+                partitions: deployment.int_or("partitions", 1)? as u16,
+            },
+            "dlog" => ServiceKind::Dlog {
+                logs: deployment.int_or("partitions", 1)? as u16,
+            },
+            "echo" => ServiceKind::Echo,
+            other => {
+                return Err(Error::Config(format!("unknown service {other:?}")));
+            }
+        };
+
+        let mut nodes = Vec::new();
+        for t in doc.list("node") {
+            nodes.push(NodeSpec {
+                id: NodeId::new(t.int("id")? as u32),
+                peer_addr: t.addr("peer_addr")?,
+                client_addr: t.addr("client_addr")?,
+                partition: match t.values.get("partition") {
+                    Some(_) => Some(PartitionId::new(t.int("partition")? as u16)),
+                    None => None,
+                },
+            });
+        }
+        let mut rings = Vec::new();
+        for t in doc.list("ring") {
+            rings.push(RingSpec {
+                id: RingId::new(t.int("id")? as u16),
+                members: t.ids("members")?,
+                acceptors: t.ids("acceptors")?,
+            });
+        }
+        let mut partitions = Vec::new();
+        for t in doc.list("partition") {
+            partitions.push(PartitionSpec {
+                id: PartitionId::new(t.int("id")? as u16),
+                rings: t
+                    .ints("rings")?
+                    .into_iter()
+                    .map(|v| RingId::new(v as u16))
+                    .collect(),
+                replicas: t.ids("replicas")?,
+            });
+        }
+
+        let config = DeploymentConfig {
+            service,
+            batch_max: deployment.int_or("batch_max", 64)? as usize,
+            batch_delay: Duration::from_millis(deployment.int_or("batch_delay_ms", 2)?),
+            checkpoint_interval: {
+                let ms = deployment.int_or("checkpoint_ms", 0)?;
+                (ms > 0).then(|| Duration::from_millis(ms))
+            },
+            wal_dir: deployment
+                .values
+                .get("wal_dir")
+                .map(|v| PathBuf::from(v.as_str())),
+            nodes,
+            rings,
+            partitions,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(Error::Config("no [[node]] sections".into()));
+        }
+        if self.rings.is_empty() {
+            return Err(Error::Config("no [[ring]] sections".into()));
+        }
+        let known = |n: &NodeId| self.nodes.iter().any(|s| s.id == *n);
+        for r in &self.rings {
+            for m in r.members.iter().chain(&r.acceptors) {
+                if !known(m) {
+                    return Err(Error::Config(format!(
+                        "ring {} references unknown node {m}",
+                        r.id
+                    )));
+                }
+            }
+        }
+        for p in &self.partitions {
+            for m in &p.replicas {
+                if !known(m) {
+                    return Err(Error::Config(format!(
+                        "partition {} references unknown node {m}",
+                        p.id
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The spec of node `id`.
+    pub fn node(&self, id: NodeId) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Builds the shared configuration registry every node consults —
+    /// rings, partitions and (for MRP-Store) the partitioning scheme.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a ring or partition definition is rejected.
+    pub fn build_registry(&self) -> Result<Registry> {
+        let registry = Registry::new();
+        for r in &self.rings {
+            registry.register_ring(RingConfig::new(
+                r.id,
+                r.members.clone(),
+                r.acceptors.clone(),
+            )?)?;
+        }
+        for p in &self.partitions {
+            registry.register_partition(
+                p.id,
+                PartitionInfo {
+                    rings: p.rings.clone(),
+                    replicas: p.replicas.clone(),
+                },
+            )?;
+        }
+        if let ServiceKind::MrpStore { partitions } = self.service {
+            Partitioning::Hash { partitions }.publish(&registry);
+        }
+        Ok(registry)
+    }
+
+    /// Rings `node` is a member of, ascending.
+    pub fn member_of(&self, node: NodeId) -> Vec<RingId> {
+        self.rings
+            .iter()
+            .filter(|r| r.members.contains(&node))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Rings `node` subscribes to: its partition's rings.
+    pub fn subscribe_to(&self, node: NodeId) -> Vec<RingId> {
+        let Some(spec) = self.node(node) else {
+            return Vec::new();
+        };
+        let Some(partition) = spec.partition else {
+            return Vec::new();
+        };
+        self.partitions
+            .iter()
+            .find(|p| p.id == partition)
+            .map(|p| p.rings.clone())
+            .unwrap_or_default()
+    }
+
+    /// For MRP-Store layouts: the ring carrying single-key commands of
+    /// `partition` (convention: ring id == partition id).
+    pub fn partition_ring(&self, partition: PartitionId) -> RingId {
+        RingId::new(partition.raw())
+    }
+
+    /// For MRP-Store layouts: the global ring scans are multicast to
+    /// (convention: the highest ring id).
+    pub fn global_ring(&self) -> RingId {
+        self.rings
+            .iter()
+            .map(|r| r.id)
+            .max()
+            .unwrap_or(RingId::new(0))
+    }
+}
+
+// ---------------------------------------------------------------------
+// the TOML-subset document model
+// ---------------------------------------------------------------------
+
+/// A parsed `key = value` table.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Table {
+    pub(crate) values: BTreeMap<String, Value>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum Value {
+    Str(String),
+    Int(u64),
+    List(Vec<u64>),
+}
+
+impl Value {
+    fn as_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::List(_) => String::new(),
+        }
+    }
+}
+
+impl Table {
+    fn int(&self, key: &str) -> Result<u64> {
+        match self.values.get(key) {
+            Some(Value::Int(v)) => Ok(*v),
+            _ => Err(Error::Config(format!("missing integer key {key:?}"))),
+        }
+    }
+
+    fn int_or(&self, key: &str, default: u64) -> Result<u64> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(Value::Int(v)) => Ok(*v),
+            Some(_) => Err(Error::Config(format!("key {key:?} must be an integer"))),
+        }
+    }
+
+    fn str_or(&self, key: &str, default: &str) -> String {
+        match self.values.get(key) {
+            Some(v) => v.as_str(),
+            None => default.to_string(),
+        }
+    }
+
+    fn addr(&self, key: &str) -> Result<SocketAddr> {
+        let raw = match self.values.get(key) {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err(Error::Config(format!("missing address key {key:?}"))),
+        };
+        raw.parse()
+            .map_err(|_| Error::Config(format!("bad socket address {raw:?} for {key:?}")))
+    }
+
+    fn ints(&self, key: &str) -> Result<Vec<u64>> {
+        match self.values.get(key) {
+            Some(Value::List(v)) => Ok(v.clone()),
+            _ => Err(Error::Config(format!("missing list key {key:?}"))),
+        }
+    }
+
+    fn ids(&self, key: &str) -> Result<Vec<NodeId>> {
+        Ok(self
+            .ints(key)?
+            .into_iter()
+            .map(|v| NodeId::new(v as u32))
+            .collect())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Document {
+    singletons: BTreeMap<String, Table>,
+    lists: BTreeMap<String, Vec<Table>>,
+}
+
+impl Document {
+    fn singleton(&self, name: &str) -> Option<&Table> {
+        self.singletons.get(name)
+    }
+
+    fn list(&self, name: &str) -> impl Iterator<Item = &Table> {
+        self.lists.get(name).into_iter().flatten()
+    }
+
+    fn parse(text: &str) -> Result<Document> {
+        let mut doc = Document::default();
+        // Where keys of the current section go.
+        enum Target {
+            None,
+            Singleton(String),
+            ListEntry(String),
+        }
+        let mut target = Target::None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err =
+                |what: &str| Error::Config(format!("config line {}: {what}: {raw:?}", lineno + 1));
+            if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                let name = name.trim().to_string();
+                doc.lists
+                    .entry(name.clone())
+                    .or_default()
+                    .push(Table::default());
+                target = Target::ListEntry(name);
+            } else if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                doc.singletons.entry(name.clone()).or_default();
+                target = Target::Singleton(name);
+            } else if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim().to_string();
+                let value = parse_value(value.trim()).ok_or_else(|| err("bad value"))?;
+                let table = match &target {
+                    Target::None => return Err(err("key before any section")),
+                    Target::Singleton(name) => doc.singletons.get_mut(name).expect("created"),
+                    Target::ListEntry(name) => doc
+                        .lists
+                        .get_mut(name)
+                        .and_then(|l| l.last_mut())
+                        .expect("created"),
+                };
+                table.values.insert(key, value);
+            } else {
+                return Err(err("expected section header or key = value"));
+            }
+        }
+        Ok(doc)
+    }
+}
+
+fn parse_value(raw: &str) -> Option<Value> {
+    if let Some(s) = raw.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Some(Value::Str(s.to_string()));
+    }
+    if let Some(inner) = raw.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Some(Value::List(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            items.push(part.trim().parse().ok()?);
+        }
+        return Some(Value::List(items));
+    }
+    raw.parse().ok().map(Value::Int)
+}
+
+/// Generates a localhost MRP-Store deployment document: `partitions`
+/// partition rings of `replicas_per_partition` replicas each, a global
+/// ring over all nodes, sequential ports from `base_port`. The document
+/// round-trips through [`DeploymentConfig::parse`], so tests, examples
+/// and `amcastd --generate` all exercise the real parser.
+pub fn generate_localhost_mrpstore(
+    partitions: u16,
+    replicas_per_partition: u16,
+    base_port: u16,
+    wal_dir: Option<&str>,
+) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    out.push_str("[deployment]\nservice = \"mrpstore\"\n");
+    let _ = writeln!(out, "partitions = {partitions}");
+    out.push_str("batch_max = 64\nbatch_delay_ms = 2\ncheckpoint_ms = 500\n");
+    if let Some(dir) = wal_dir {
+        let _ = writeln!(out, "wal_dir = \"{dir}\"");
+    }
+    let n = partitions * replicas_per_partition;
+    let mut port = base_port;
+    for id in 0..n {
+        let _ = writeln!(out, "\n[[node]]\nid = {id}");
+        let _ = writeln!(out, "peer_addr = \"127.0.0.1:{port}\"");
+        let _ = writeln!(out, "client_addr = \"127.0.0.1:{}\"", port + 1);
+        let _ = writeln!(out, "partition = {}", id / replicas_per_partition);
+        port += 2;
+    }
+    let ids =
+        |range: std::ops::Range<u16>| range.map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+    for p in 0..partitions {
+        let members = ids(p * replicas_per_partition..(p + 1) * replicas_per_partition);
+        let _ = writeln!(
+            out,
+            "\n[[ring]]\nid = {p}\nmembers = [{members}]\nacceptors = [{members}]"
+        );
+    }
+    let all = ids(0..n);
+    let _ = writeln!(
+        out,
+        "\n[[ring]]\nid = {partitions}\nmembers = [{all}]\nacceptors = [{all}]"
+    );
+    for p in 0..partitions {
+        let replicas = ids(p * replicas_per_partition..(p + 1) * replicas_per_partition);
+        let _ = writeln!(
+            out,
+            "\n[[partition]]\nid = {p}\nrings = [{p}, {partitions}]\nreplicas = [{replicas}]"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A two-partition MRP-Store on localhost.
+[deployment]
+service = "mrpstore"
+partitions = 2
+batch_max = 32
+batch_delay_ms = 3
+checkpoint_ms = 500
+wal_dir = "/tmp/amcast-test"
+
+[[node]]
+id = 0
+peer_addr = "127.0.0.1:7400"
+client_addr = "127.0.0.1:7401"
+partition = 0
+
+[[node]]
+id = 1
+peer_addr = "127.0.0.1:7402"
+client_addr = "127.0.0.1:7403"
+partition = 1
+
+[[ring]]
+id = 0
+members = [0, 1]
+acceptors = [0, 1]
+
+[[ring]]
+id = 2
+members = [0, 1]
+acceptors = [0]
+
+[[partition]]
+id = 0
+rings = [0, 2]
+replicas = [0]
+
+[[partition]]
+id = 1
+rings = [2]
+replicas = [1]
+"#;
+
+    #[test]
+    fn parses_full_document() {
+        let cfg = DeploymentConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.service, ServiceKind::MrpStore { partitions: 2 });
+        assert_eq!(cfg.batch_max, 32);
+        assert_eq!(cfg.batch_delay, Duration::from_millis(3));
+        assert_eq!(cfg.checkpoint_interval, Some(Duration::from_millis(500)));
+        assert_eq!(
+            cfg.wal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/amcast-test"))
+        );
+        assert_eq!(cfg.nodes.len(), 2);
+        assert_eq!(cfg.nodes[1].partition, Some(PartitionId::new(1)));
+        assert_eq!(cfg.rings.len(), 2);
+        assert_eq!(cfg.rings[1].acceptors, vec![NodeId::new(0)]);
+        assert_eq!(cfg.partitions.len(), 2);
+        assert_eq!(cfg.global_ring(), RingId::new(2));
+        assert_eq!(
+            cfg.member_of(NodeId::new(0)),
+            vec![RingId::new(0), RingId::new(2)]
+        );
+        assert_eq!(cfg.subscribe_to(NodeId::new(1)), vec![RingId::new(2)]);
+    }
+
+    #[test]
+    fn registry_mirrors_document() {
+        let cfg = DeploymentConfig::parse(SAMPLE).unwrap();
+        let registry = cfg.build_registry().unwrap();
+        assert_eq!(registry.ring_ids(), vec![RingId::new(0), RingId::new(2)]);
+        assert_eq!(
+            registry.partition_of(NodeId::new(1)),
+            Some(PartitionId::new(1))
+        );
+        assert!(mrpstore::Partitioning::load(&registry).is_some());
+    }
+
+    #[test]
+    fn rejects_inconsistent_documents() {
+        assert!(DeploymentConfig::parse("").is_err(), "empty");
+        let unknown_member = r#"
+[deployment]
+service = "echo"
+[[node]]
+id = 0
+peer_addr = "127.0.0.1:1"
+client_addr = "127.0.0.1:2"
+[[ring]]
+id = 0
+members = [0, 9]
+acceptors = [0]
+"#;
+        assert!(DeploymentConfig::parse(unknown_member).is_err());
+        assert!(DeploymentConfig::parse("junk line\n").is_err());
+    }
+
+    #[test]
+    fn generated_document_parses_and_is_consistent() {
+        let text = generate_localhost_mrpstore(2, 2, 7400, Some("/tmp/w"));
+        let cfg = DeploymentConfig::parse(&text).unwrap();
+        assert_eq!(cfg.nodes.len(), 4);
+        assert_eq!(cfg.rings.len(), 3);
+        assert_eq!(cfg.partitions.len(), 2);
+        assert_eq!(cfg.global_ring(), RingId::new(2));
+        // Every node subscribes to its partition ring plus the global ring.
+        for node in &cfg.nodes {
+            let subs = cfg.subscribe_to(node.id);
+            assert_eq!(subs.len(), 2);
+            assert!(subs.contains(&cfg.global_ring()));
+        }
+        cfg.build_registry().unwrap();
+    }
+}

@@ -1,0 +1,248 @@
+//! Whole-deployment orchestration.
+//!
+//! [`Deployment::launch`] brings up every node of a
+//! [`DeploymentConfig`] in this process — each with its own event-loop
+//! thread, peer listener and client listener, all talking real TCP — and
+//! supports killing and restarting individual nodes. Tests, examples and
+//! the loopback benchmark use it; `amcastd` uses [`start_node`] to run a
+//! single node of the same configuration in its own process.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+use common::error::{Error, Result};
+use common::ids::NodeId;
+use common::transport::WallClock;
+use coord::Registry;
+use multiring::{HostOptions, ServiceApp};
+use storage::wal::{SyncPolicy, Wal};
+
+use crate::batch::BatchOptions;
+use crate::config::{DeploymentConfig, ServiceKind};
+use crate::durable::DurableApp;
+use crate::node::{spawn_node, NodeHandle, NodeSetup};
+
+/// Builds the service state machine for one node of `config`.
+fn build_app(config: &DeploymentConfig, node: NodeId) -> Result<Box<dyn ServiceApp>> {
+    let spec = config
+        .node(node)
+        .ok_or_else(|| Error::Config(format!("node {node} not in configuration")))?;
+    let inner: Box<dyn ServiceApp> = match &config.service {
+        ServiceKind::MrpStore { partitions } => {
+            let partition = spec
+                .partition
+                .ok_or_else(|| Error::Config(format!("mrpstore node {node} needs a partition")))?;
+            Box::new(mrpstore::KvApp::new(
+                partition,
+                mrpstore::Partitioning::Hash {
+                    partitions: *partitions,
+                },
+            ))
+        }
+        ServiceKind::Dlog { logs } => {
+            let all: Vec<u16> = (0..*logs).collect();
+            Box::new(dlog::DlogApp::new(&all))
+        }
+        ServiceKind::Echo => Box::new(multiring::EchoApp::new()),
+    };
+    match &config.wal_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let wal = Wal::open(
+                dir.join(format!("node-{}.wal", node.raw())),
+                SyncPolicy::OsDecides,
+            )?;
+            Ok(Box::new(DurableApp::new(inner, wal)))
+        }
+        None => Ok(inner),
+    }
+}
+
+/// Host tuning for live deployments: failure detection on (a dead ring
+/// member must be cut out for circulation to resume), rate leveling on
+/// (the deterministic merge needs idle rings to emit skips, §4),
+/// checkpoints per the config, recovery retries snappy enough for tests.
+fn host_options(config: &DeploymentConfig) -> HostOptions {
+    use std::time::Duration;
+    HostOptions {
+        ring: ringpaxos::options::RingOptions {
+            heartbeat_interval: Duration::from_millis(25),
+            failure_timeout: Duration::from_millis(400),
+            proposal_retry: Duration::from_millis(500),
+            // Tighter than the paper's 5 ms datacenter Δ: on loopback the
+            // merge cadence is the latency floor, and skips are cheap.
+            rate_leveling: Some(ringpaxos::options::RateLeveling {
+                delta: Duration::from_millis(1),
+                lambda: 9000,
+            }),
+            ..ringpaxos::options::RingOptions::default()
+        },
+        checkpoint_interval: config.checkpoint_interval,
+        recovery_retry: Duration::from_millis(100),
+        ..HostOptions::default()
+    }
+}
+
+/// Starts one node of `config` against `registry` (cold start or
+/// recovery restart). `amcastd` calls this once per process; the
+/// in-process [`Deployment`] calls it per node with a shared registry.
+///
+/// # Errors
+///
+/// Fails if the node is unknown, an address cannot bind, or the WAL
+/// cannot open.
+pub fn start_node(
+    config: &DeploymentConfig,
+    registry: Registry,
+    clock: WallClock,
+    node: NodeId,
+    restart: bool,
+) -> Result<NodeHandle> {
+    let spec = config
+        .node(node)
+        .ok_or_else(|| Error::Config(format!("node {node} not in configuration")))?;
+    let batch_opts = BatchOptions {
+        max_envelopes: config.batch_max.max(1),
+        max_delay: config.batch_delay,
+        ..BatchOptions::default()
+    };
+    let peer_addrs: HashMap<NodeId, SocketAddr> =
+        config.nodes.iter().map(|n| (n.id, n.peer_addr)).collect();
+    let acceptor_of = config
+        .rings
+        .iter()
+        .filter(|r| r.acceptors.contains(&node))
+        .map(|r| r.id)
+        .collect();
+    let setup = NodeSetup {
+        me: node,
+        member_of: config.member_of(node),
+        acceptor_of,
+        subscribe_to: config.subscribe_to(node),
+        partition: spec.partition,
+        registry,
+        host_opts: host_options(config),
+        batch_opts,
+        peer_addrs,
+        peer_addr: spec.peer_addr,
+        client_addr: spec.client_addr,
+        clock,
+    };
+    spawn_node(setup, build_app(config, node)?, restart)
+}
+
+/// A whole deployment running in this process over localhost TCP.
+pub struct Deployment {
+    config: DeploymentConfig,
+    registry: Registry,
+    clock: WallClock,
+    nodes: Vec<Option<NodeHandle>>,
+}
+
+impl Deployment {
+    /// Starts every node of `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the configuration is inconsistent or an address cannot
+    /// bind.
+    pub fn launch(config: DeploymentConfig) -> Result<Self> {
+        let registry = config.build_registry()?;
+        let clock = WallClock::start();
+        let mut nodes = Vec::new();
+        for spec in &config.nodes {
+            nodes.push(Some(start_node(
+                &config,
+                registry.clone(),
+                clock,
+                spec.id,
+                false,
+            )?));
+        }
+        Ok(Deployment {
+            config,
+            registry,
+            clock,
+            nodes,
+        })
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.config
+    }
+
+    /// The shared registry (the deployment's "Zookeeper").
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// `(node, client address)` pairs clients connect to.
+    pub fn client_addrs(&self) -> Vec<(NodeId, SocketAddr)> {
+        self.config
+            .nodes
+            .iter()
+            .map(|n| (n.id, n.client_addr))
+            .collect()
+    }
+
+    fn index_of(&self, node: NodeId) -> Result<usize> {
+        self.config
+            .nodes
+            .iter()
+            .position(|n| n.id == node)
+            .ok_or_else(|| Error::Config(format!("node {node} not in configuration")))
+    }
+
+    /// Kills `node`: its threads stop, its sockets close, its volatile
+    /// state is gone. Peers detect the silence and reconfigure the rings
+    /// around it (paper §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node is unknown or already dead.
+    pub fn kill(&mut self, node: NodeId) -> Result<()> {
+        let i = self.index_of(node)?;
+        let handle = self.nodes[i]
+            .take()
+            .ok_or_else(|| Error::Config(format!("node {node} is not running")))?;
+        handle.shutdown();
+        Ok(())
+    }
+
+    /// Restarts a killed `node` through the recovery path: it rejoins its
+    /// rings, installs the freshest reachable checkpoint and catches up
+    /// from the acceptors (paper §5.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node is unknown or still running.
+    pub fn restart(&mut self, node: NodeId) -> Result<()> {
+        let i = self.index_of(node)?;
+        if self.nodes[i].is_some() {
+            return Err(Error::Config(format!("node {node} is still running")));
+        }
+        self.nodes[i] = Some(start_node(
+            &self.config,
+            self.registry.clone(),
+            self.clock,
+            node,
+            true,
+        )?);
+        Ok(())
+    }
+
+    /// True when `node` is currently running.
+    pub fn is_running(&self, node: NodeId) -> bool {
+        self.index_of(node)
+            .map(|i| self.nodes[i].is_some())
+            .unwrap_or(false)
+    }
+
+    /// Stops every running node.
+    pub fn shutdown(mut self) {
+        for handle in self.nodes.iter_mut().filter_map(Option::take) {
+            handle.shutdown();
+        }
+    }
+}

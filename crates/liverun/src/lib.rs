@@ -1,0 +1,54 @@
+//! `liverun` — the live deployment runtime.
+//!
+//! Everything below `liverun` in this workspace is sans-IO: the full
+//! Multi-Ring Paxos stack ([`multiring::MultiRingHost`] with merge,
+//! checkpoints, trimming and recovery) emits effects into buffers and is
+//! normally driven by the discrete-event simulator. This crate is the
+//! layer that turns it into a *system you can point clients at*: it hosts
+//! the same state machines on OS threads over real TCP sockets, serving
+//! MRP-Store and dLog to network clients — the deployment shape of the
+//! paper's evaluation (§7, §8), where services run as real processes
+//! across machines rather than as protocol traces.
+//!
+//! ```text
+//!  amcast-cli ──TCP──► [client listener]──┐
+//!                                         │ events
+//!  peer amcastd ─TCP─► [peer listener] ───┤
+//!                                         ▼
+//!                          ┌─────────────────────────────┐
+//!                          │ node loop (one OS thread)   │
+//!                          │  Batcher → MultiRingHost    │
+//!                          │  TimerHeap   │  WAL / ckpt  │
+//!                          └──────┬───────┴──────────────┘
+//!                                 │ sends / replies
+//!                 peers ◄─TCP─────┴────TCP─► clients
+//! ```
+//!
+//! * [`config`] — the deployment document `amcastd` reads; one file
+//!   describes the whole cluster.
+//! * [`node`] — the per-node event loop driving a [`multiring::MultiRingHost`]
+//!   through [`simnet::Ctx::external`], plus listeners and readers.
+//! * [`batch`] — proposer-side request batching: many client commands
+//!   share one consensus value ([`common::value::Payload::Batch`]).
+//! * [`deployment`] — launch/kill/restart whole localhost deployments
+//!   in-process (tests, examples, benchmarks).
+//! * [`client`] / [`service`] — the framed-TCP network client and the
+//!   MRP-Store / dLog convenience layers on top.
+//! * [`durable`] — the WAL decorator recording every delivered command
+//!   through [`storage::wal::Wal`].
+
+pub mod batch;
+pub mod client;
+pub mod config;
+pub mod deployment;
+pub mod durable;
+pub mod node;
+pub mod service;
+
+pub use batch::{BatchOptions, Batcher};
+pub use client::{ClientOptions, LiveClient};
+pub use config::{DeploymentConfig, ServiceKind};
+pub use deployment::{start_node, Deployment};
+pub use durable::{DurableApp, WalRecord};
+pub use node::{client_node_id, client_of_node, NodeHandle, CLIENT_NODE_BASE};
+pub use service::{LogClient, StoreClient};

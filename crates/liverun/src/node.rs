@@ -1,0 +1,630 @@
+//! The live node: one [`MultiRingHost`] driven by an OS-thread event loop
+//! over real TCP.
+//!
+//! Each node runs three kinds of threads:
+//!
+//! * the **node loop** — owns the host state machine; waits on its event
+//!   queue with a deadline derived from the timer heap and the batcher,
+//!   feeds events into the host through [`Ctx::external`], then routes
+//!   the emitted sends to peer sockets / client connections and arms the
+//!   emitted timers;
+//! * **peer reader** threads — one per accepted peer connection,
+//!   reassembling [`PeerFrame`]s into `Event::Peer`;
+//! * **client reader** threads — one per client connection, speaking the
+//!   [`common::wire::client`] protocol and feeding `Event::Client*`.
+//!
+//! Replies route back by node id: replicas answer `Envelope::reply_to`,
+//! which for live clients is a synthetic node id above
+//! [`CLIENT_NODE_BASE`]; the loop maps it to the client's connection and
+//! writes a [`ClientReply::Response`] frame.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use bytes::Bytes;
+use common::error::{Error, Result};
+use common::ids::{ClientId, NodeId, RequestId, RingId};
+use common::msg::{ClientMsg as SimClientMsg, Msg};
+use common::transport::{encode_frame, FrameBuf, PeerFrame, TimerHeap, WallClock};
+use common::value::Envelope;
+use common::wire::client::{ClientMsg, ClientReply};
+use coord::Registry;
+use multiring::{HostOptions, MultiRingHost, ServiceApp};
+use rand::{rngs::StdRng, SeedableRng};
+use simnet::{Ctx, Process, Timer};
+
+use crate::batch::{BatchOptions, Batcher};
+
+/// Client connections are addressed as synthetic nodes at and above this
+/// id; deployment nodes must stay below it.
+pub const CLIENT_NODE_BASE: u32 = 1 << 20;
+
+/// The synthetic node id replies to `client` are routed by.
+pub fn client_node_id(client: ClientId) -> NodeId {
+    NodeId::new(CLIENT_NODE_BASE + client.raw())
+}
+
+/// Inverse of [`client_node_id`].
+pub fn client_of_node(node: NodeId) -> Option<ClientId> {
+    node.raw().checked_sub(CLIENT_NODE_BASE).map(ClientId::new)
+}
+
+/// Events feeding one node loop.
+pub(crate) enum Event {
+    /// A protocol message from a peer (or from this node to itself).
+    Peer(NodeId, Msg),
+    /// A client opened a session on this node.
+    ClientHello(ClientId, ClientWriter),
+    /// A client submitted a command.
+    ClientRequest {
+        /// The submitting client.
+        client: ClientId,
+        /// Client-chosen sequence number.
+        seq: RequestId,
+        /// Target multicast group.
+        group: RingId,
+        /// Service command bytes.
+        cmd: Bytes,
+    },
+    /// A client connection closed.
+    ClientGone(ClientId),
+    /// Stop the loop.
+    Shutdown,
+}
+
+/// Write half of one client connection.
+///
+/// Like peer sends, client replies must never block the node loop: a
+/// client that stops reading fills its TCP window and a blocking write
+/// would stall the loop (and with it this node's heartbeats). Replies
+/// therefore go through a bounded queue to a dedicated writer thread;
+/// when the queue fills, replies are dropped — the same semantics as the
+/// paper's UDP responses, which clients already retry around.
+#[derive(Clone)]
+pub(crate) struct ClientWriter {
+    tx: Sender<ClientReply>,
+}
+
+impl ClientWriter {
+    fn new(stream: TcpStream) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded::<ClientReply>(4096);
+        std::thread::spawn(move || client_writer_loop(stream, rx));
+        ClientWriter { tx }
+    }
+
+    fn send(&self, reply: &ClientReply) {
+        let _ = self.tx.try_send(reply.clone());
+    }
+}
+
+/// Owns the write half of one client socket; exits when every handle to
+/// the queue is gone or the socket breaks.
+fn client_writer_loop(mut stream: TcpStream, rx: Receiver<ClientReply>) {
+    while let Ok(reply) = rx.recv() {
+        if stream.write_all(&encode_frame(&reply)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Outgoing peer connections.
+///
+/// Sends must never block the node loop: a stalled loop stops this
+/// node's own heartbeats, which its peers read as a failure (§5.1) — a
+/// dead neighbour would take us down with it. Each peer therefore gets a
+/// dedicated writer thread owning the socket, fed through a bounded
+/// queue; connect retries and back-off happen on the writer thread, and
+/// when the queue is full (peer down, backlog grown) messages are
+/// dropped — the protocol's TTL'd circulation, retries and failure
+/// detection absorb the loss.
+struct PeerTransport {
+    me: NodeId,
+    addrs: HashMap<NodeId, SocketAddr>,
+    links: HashMap<NodeId, Sender<Msg>>,
+}
+
+impl PeerTransport {
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        let Some(addr) = self.addrs.get(&to).copied() else {
+            return;
+        };
+        let me = self.me;
+        let link = self.links.entry(to).or_insert_with(|| {
+            let (tx, rx) = crossbeam::channel::bounded::<Msg>(4096);
+            std::thread::Builder::new()
+                .name(format!("amcast-link-{}-{}", me.raw(), to.raw()))
+                .spawn(move || peer_writer_loop(me, addr, rx))
+                .expect("spawn peer writer");
+            tx
+        });
+        let _ = link.try_send(msg);
+    }
+}
+
+/// Owns the outgoing socket to one peer: connects (with back-off), writes
+/// queued frames, reconnects once on a failed write. Exits when the node
+/// loop drops its sender.
+fn peer_writer_loop(me: NodeId, addr: SocketAddr, rx: Receiver<Msg>) {
+    let mut conn: Option<TcpStream> = None;
+    let mut ever_connected = false;
+    loop {
+        let Ok(msg) = rx.recv() else { return };
+        let frame = encode_frame(&PeerFrame { from: me, msg });
+        // (Re)connect if needed, then write; a failed write drops the
+        // socket and retries once with a fresh connection.
+        let mut attempts_left = 2;
+        while attempts_left > 0 {
+            if conn.is_none() {
+                match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        conn = Some(s);
+                        ever_connected = true;
+                    }
+                    Err(_) if !ever_connected => {
+                        // The peer has not come up yet (deployment still
+                        // launching): HOLD the message and keep trying —
+                        // dropping first-hop Phase 2 traffic here would
+                        // leave permanently undecided instances. The
+                        // bounded queue sheds load if this goes on.
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                    Err(_) => {
+                        // Peer was up and died: drop this message and
+                        // back off; failure detection and gap healing
+                        // take over (§5.1–5.2).
+                        std::thread::sleep(Duration::from_millis(50));
+                        break;
+                    }
+                }
+            }
+            if let Some(s) = conn.as_mut() {
+                if s.write_all(&frame).is_ok() {
+                    break;
+                }
+                conn = None;
+                attempts_left -= 1;
+            }
+        }
+    }
+}
+
+/// A listener whose accept loop can be stopped from outside.
+struct ListenerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ListenerHandle {
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn spawn_listener(
+    listener: TcpListener,
+    name: String,
+    mut on_conn: impl FnMut(TcpStream) + Send + 'static,
+) -> ListenerHandle {
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(stream) = stream else { break };
+                on_conn(stream);
+            }
+        })
+        .expect("spawn listener thread");
+    ListenerHandle {
+        addr,
+        stop,
+        join: Some(join),
+    }
+}
+
+/// Reads [`PeerFrame`]s off one accepted peer connection.
+fn spawn_peer_reader(mut stream: TcpStream, tx: Sender<Event>) {
+    std::thread::spawn(move || {
+        let mut buf = FrameBuf::new();
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => {
+                    buf.extend(&chunk[..n]);
+                    loop {
+                        match buf.try_next::<PeerFrame>() {
+                            Ok(Some(f)) => {
+                                if tx.send(Event::Peer(f.from, f.msg)).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return, // corrupt stream: drop it
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Speaks the client protocol on one accepted client connection.
+fn spawn_client_reader(mut stream: TcpStream, me: NodeId, tx: Sender<Event>) {
+    std::thread::spawn(move || {
+        let _ = stream.set_nodelay(true);
+        let writer = match stream.try_clone() {
+            Ok(w) => ClientWriter::new(w),
+            Err(_) => return,
+        };
+        let mut session: Option<ClientId> = None;
+        let mut buf = FrameBuf::new();
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    buf.extend(&chunk[..n]);
+                    loop {
+                        match buf.try_next::<ClientMsg>() {
+                            Ok(Some(ClientMsg::Hello { client })) => {
+                                session = Some(client);
+                                if tx.send(Event::ClientHello(client, writer.clone())).is_err() {
+                                    return;
+                                }
+                                writer.send(&ClientReply::Welcome { node: me });
+                            }
+                            Ok(Some(ClientMsg::Request { seq, group, cmd })) => {
+                                let Some(client) = session else {
+                                    writer.send(&ClientReply::Error {
+                                        seq,
+                                        reason: "hello required before requests".into(),
+                                    });
+                                    continue;
+                                };
+                                if tx
+                                    .send(Event::ClientRequest {
+                                        client,
+                                        seq,
+                                        group,
+                                        cmd,
+                                    })
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                            Ok(Some(ClientMsg::Ping { token })) => {
+                                writer.send(&ClientReply::Pong { token });
+                            }
+                            Ok(None) => break,
+                            Err(_) => return, // corrupt stream: drop it
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(client) = session {
+            let _ = tx.send(Event::ClientGone(client));
+        }
+    });
+}
+
+/// Everything needed to (re)build one node's host.
+pub(crate) struct NodeSetup {
+    /// This node's id.
+    pub me: NodeId,
+    /// Rings the node participates in.
+    pub member_of: Vec<RingId>,
+    /// The subset of `member_of` where the node is an acceptor (needed to
+    /// rejoin with the right role after a restart).
+    pub acceptor_of: Vec<RingId>,
+    /// Rings the node's replica delivers from.
+    pub subscribe_to: Vec<RingId>,
+    /// The replica's partition.
+    pub partition: Option<common::ids::PartitionId>,
+    /// Shared configuration registry.
+    pub registry: Registry,
+    /// Host tuning.
+    pub host_opts: HostOptions,
+    /// Batching limits for client proposals.
+    pub batch_opts: BatchOptions,
+    /// Peer address book.
+    pub peer_addrs: HashMap<NodeId, SocketAddr>,
+    /// This node's peer listener address.
+    pub peer_addr: SocketAddr,
+    /// This node's client listener address.
+    pub client_addr: SocketAddr,
+    /// Shared deployment clock.
+    pub clock: WallClock,
+}
+
+/// Handle to one running live node.
+pub struct NodeHandle {
+    id: NodeId,
+    tx: Sender<Event>,
+    join: Option<JoinHandle<()>>,
+    peer_listener: Option<ListenerHandle>,
+    client_listener: Option<ListenerHandle>,
+}
+
+impl NodeHandle {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Stops the node: closes listeners, stops the loop, joins threads.
+    /// Existing peer/client sockets die when their reader threads observe
+    /// the closed channel or socket.
+    pub fn shutdown(mut self) {
+        if let Some(l) = self.peer_listener.take() {
+            l.stop();
+        }
+        if let Some(l) = self.client_listener.take() {
+            l.stop();
+        }
+        let _ = self.tx.send(Event::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Starts one node: binds listeners, spawns the loop.
+///
+/// With `restart: true` the host comes up through the crash/recovery path
+/// (rejoin rings, install the freshest checkpoint, catch up from the
+/// acceptors — paper §5.2) instead of the cold-start path.
+pub(crate) fn spawn_node(
+    setup: NodeSetup,
+    app: Box<dyn ServiceApp>,
+    restart: bool,
+) -> Result<NodeHandle> {
+    let (tx, rx) = unbounded::<Event>();
+
+    let peer_listener = TcpListener::bind(setup.peer_addr)?;
+    let tx_peers = tx.clone();
+    let peer_listener = spawn_listener(
+        peer_listener,
+        format!("amcast-peers-{}", setup.me.raw()),
+        move |stream| spawn_peer_reader(stream, tx_peers.clone()),
+    );
+
+    let client_listener = TcpListener::bind(setup.client_addr)?;
+    let tx_clients = tx.clone();
+    let me = setup.me;
+    let client_listener = spawn_listener(
+        client_listener,
+        format!("amcast-clients-{}", setup.me.raw()),
+        move |stream| spawn_client_reader(stream, me, tx_clients.clone()),
+    );
+
+    let loop_tx = tx.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("amcast-node-{}", setup.me.raw()))
+        .spawn(move || node_loop(setup, app, restart, rx, loop_tx))
+        .map_err(Error::Io)?;
+
+    Ok(NodeHandle {
+        id: me,
+        tx,
+        join: Some(join),
+        peer_listener: Some(peer_listener),
+        client_listener: Some(client_listener),
+    })
+}
+
+fn node_loop(
+    setup: NodeSetup,
+    app: Box<dyn ServiceApp>,
+    restart: bool,
+    rx: Receiver<Event>,
+    self_tx: Sender<Event>,
+) {
+    let me = setup.me;
+    let clock = setup.clock;
+    if restart {
+        // Failure detection removed this node from its rings while it was
+        // down; rejoin *before* constructing the host — ring state
+        // machines require membership.
+        for ring in &setup.member_of {
+            let _ = setup
+                .registry
+                .rejoin(*ring, me, setup.acceptor_of.contains(ring));
+        }
+    }
+    let mut host = MultiRingHost::new(
+        me,
+        setup.registry.clone(),
+        &setup.member_of,
+        &setup.subscribe_to,
+        setup.partition,
+        app,
+        setup.host_opts,
+    );
+    let mut transport = PeerTransport {
+        me,
+        addrs: setup.peer_addrs,
+        links: HashMap::new(),
+    };
+    let mut clients: HashMap<ClientId, ClientWriter> = HashMap::new();
+    let mut batcher = Batcher::new(setup.batch_opts);
+    let mut timers: TimerHeap<Timer> = TimerHeap::new();
+    let mut rng = StdRng::seed_from_u64(u64::from(me.raw()) ^ 0xa3c59ac2f1f0b7d1);
+    let mut outbox: Vec<(NodeId, Msg)> = Vec::new();
+    let mut timer_reqs: Vec<(common::SimTime, Timer)> = Vec::new();
+
+    macro_rules! with_ctx {
+        (|$ctx:ident| $body:expr) => {{
+            let mut $ctx = Ctx::external(clock.now(), me, &mut outbox, &mut timer_reqs, &mut rng);
+            $body;
+        }};
+    }
+    macro_rules! route {
+        () => {
+            route_effects(
+                &mut outbox,
+                &mut timer_reqs,
+                &mut transport,
+                &clients,
+                &self_tx,
+                &mut timers,
+                &clock,
+                me,
+            )
+        };
+    }
+
+    with_ctx!(|ctx| if restart {
+        // A restarted process lost its volatile state; run the host's
+        // crash path so it rebuilds from stable storage + partition peers.
+        host.on_crash(clock.now());
+        host.on_restart(&mut ctx)
+    } else {
+        host.on_start(&mut ctx)
+    });
+    route!();
+
+    loop {
+        let mut sleep = timers.sleep_for(Duration::from_millis(50));
+        if let Some(batch_deadline) = batcher.next_deadline() {
+            sleep = sleep.min(batch_deadline.saturating_duration_since(Instant::now()));
+        }
+        match rx.recv_timeout(sleep) {
+            Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+            Ok(Event::Peer(from, msg)) => {
+                with_ctx!(|ctx| host.on_message(from, msg, &mut ctx));
+            }
+            Ok(Event::ClientHello(client, writer)) => {
+                clients.insert(client, writer);
+            }
+            Ok(Event::ClientGone(client)) => {
+                clients.remove(&client);
+            }
+            Ok(Event::ClientRequest {
+                client,
+                seq,
+                group,
+                cmd,
+            }) => {
+                if !setup.member_of.contains(&group) {
+                    // Fail fast instead of silently dropping: the client
+                    // can re-route immediately rather than burn its
+                    // timeout (the wire protocol's documented Error path).
+                    if let Some(writer) = clients.get(&client) {
+                        writer.send(&common::wire::client::ClientReply::Error {
+                            seq,
+                            reason: format!("node {me} does not serve group {group}"),
+                        });
+                    }
+                } else {
+                    let env = Envelope {
+                        client,
+                        req: seq,
+                        reply_to: client_node_id(client),
+                        cmd,
+                    };
+                    if let Some(batch) = batcher.push(group, env, Instant::now()) {
+                        with_ctx!(|ctx| host.propose_envelopes(group, batch, &mut ctx));
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        // Fire due protocol timers.
+        while let Some(t) = timers.pop_due(Instant::now()) {
+            with_ctx!(|ctx| host.on_timer(t, &mut ctx));
+        }
+        // Flush batches that aged out.
+        for (ring, batch) in batcher.take_due(Instant::now()) {
+            with_ctx!(|ctx| host.propose_envelopes(ring, batch, &mut ctx));
+        }
+        route!();
+    }
+}
+
+/// Routes one round of host effects: sends onto sockets (peers), reply
+/// frames (clients) or back into our own queue (self-sends); timer
+/// requests onto the wall-clock heap.
+#[allow(clippy::too_many_arguments)]
+fn route_effects(
+    outbox: &mut Vec<(NodeId, Msg)>,
+    timer_reqs: &mut Vec<(common::SimTime, Timer)>,
+    transport: &mut PeerTransport,
+    clients: &HashMap<ClientId, ClientWriter>,
+    self_tx: &Sender<Event>,
+    timers: &mut TimerHeap<Timer>,
+    clock: &WallClock,
+    me: NodeId,
+) {
+    for (to, msg) in outbox.drain(..) {
+        if let Some(client) = client_of_node(to) {
+            let Msg::Client(SimClientMsg::Response {
+                client_seq,
+                from_replica,
+                payload,
+                ..
+            }) = msg
+            else {
+                continue;
+            };
+            // Client not connected here (or gone): reply dropped, exactly
+            // like the paper's UDP responses; the client retries.
+            if let Some(writer) = clients.get(&client) {
+                writer.send(&ClientReply::Response {
+                    seq: client_seq,
+                    from_replica,
+                    payload,
+                });
+            }
+        } else if to == me {
+            let _ = self_tx.send(Event::Peer(me, msg));
+        } else {
+            transport.send(to, msg);
+        }
+    }
+    for (at, timer) in timer_reqs.drain(..) {
+        timers.push_at(clock.instant_of(at), timer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_node_ids_round_trip() {
+        let c = ClientId::new(42);
+        let n = client_node_id(c);
+        assert_eq!(client_of_node(n), Some(c));
+        assert_eq!(client_of_node(NodeId::new(3)), None);
+        assert_eq!(client_of_node(NodeId::new(CLIENT_NODE_BASE - 1)), None);
+        assert_eq!(
+            client_of_node(NodeId::new(CLIENT_NODE_BASE)),
+            Some(ClientId::new(0))
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Service-level client conveniences: MRP-Store and dLog operations over
+//! a [`LiveClient`], with the routing rules the paper prescribes — every
+//! client knows the partitioning scheme and sends single-partition
+//! commands to the partition's group, multi-partition operations to the
+//! shared group (§6.1, §7.2).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use common::error::{Error, Result};
+use common::ids::{ClientId, PartitionId, RingId};
+use common::wire::Wire;
+use dlog::{LogCommand, LogResponse};
+use mrpstore::{KvCommand, KvResponse, Partitioning};
+
+use crate::client::{ClientOptions, LiveClient};
+use crate::config::{DeploymentConfig, ServiceKind};
+
+/// Builds a [`LiveClient`] for `config`, routing each ring to its first
+/// configured member.
+fn connect_routed(
+    config: &DeploymentConfig,
+    id: ClientId,
+    opts: ClientOptions,
+) -> Result<LiveClient> {
+    let servers: Vec<_> = config.nodes.iter().map(|n| (n.id, n.client_addr)).collect();
+    let route: HashMap<RingId, _> = config
+        .rings
+        .iter()
+        .map(|r| (r.id, r.members.clone()))
+        .collect();
+    let replica_partitions = config
+        .nodes
+        .iter()
+        .filter_map(|n| n.partition.map(|p| (n.id, p)))
+        .collect();
+    LiveClient::connect(id, &servers, route, replica_partitions, opts)
+}
+
+/// An MRP-Store client: put/get/delete routed by the hash scheme, scans
+/// fanned out over the global ring and merged.
+pub struct StoreClient {
+    inner: LiveClient,
+    scheme: Partitioning,
+    global: RingId,
+    partitions: Vec<PartitionId>,
+}
+
+impl StoreClient {
+    /// Connects to an MRP-Store deployment.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `config` is not an MRP-Store deployment or a server is
+    /// unreachable.
+    pub fn connect(config: &DeploymentConfig, id: ClientId, opts: ClientOptions) -> Result<Self> {
+        let ServiceKind::MrpStore { partitions } = config.service else {
+            return Err(Error::Config("deployment does not run mrpstore".into()));
+        };
+        Ok(StoreClient {
+            inner: connect_routed(config, id, opts)?,
+            scheme: Partitioning::Hash { partitions },
+            global: config.global_ring(),
+            partitions: (0..partitions).map(PartitionId::new).collect(),
+        })
+    }
+
+    /// The underlying transport client.
+    pub fn raw(&mut self) -> &mut LiveClient {
+        &mut self.inner
+    }
+
+    fn exec_single(&mut self, cmd: &KvCommand) -> Result<KvResponse> {
+        let partition = self.scheme.partition_of(cmd.key());
+        let ring = RingId::new(partition.raw());
+        let raw = self.inner.request(ring, cmd.to_bytes())?;
+        KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)
+    }
+
+    /// `insert(k, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout or a malformed reply.
+    pub fn insert(&mut self, key: &str, value: Bytes) -> Result<KvResponse> {
+        self.exec_single(&KvCommand::Insert {
+            key: key.to_string(),
+            value,
+        })
+    }
+
+    /// `update(k, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout or a malformed reply.
+    pub fn update(&mut self, key: &str, value: Bytes) -> Result<KvResponse> {
+        self.exec_single(&KvCommand::Update {
+            key: key.to_string(),
+            value,
+        })
+    }
+
+    /// `read(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout or a malformed reply.
+    pub fn read(&mut self, key: &str) -> Result<Option<Bytes>> {
+        match self.exec_single(&KvCommand::Read {
+            key: key.to_string(),
+        })? {
+            KvResponse::Value(v) => Ok(v),
+            other => Err(Error::Config(format!("unexpected read reply {other:?}"))),
+        }
+    }
+
+    /// `delete(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout or a malformed reply.
+    pub fn delete(&mut self, key: &str) -> Result<KvResponse> {
+        self.exec_single(&KvCommand::Delete {
+            key: key.to_string(),
+        })
+    }
+
+    /// `scan(from, to)`: multicast on the global ring, answered by every
+    /// partition, merged and sorted here (paper §7.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout (some partition did not answer) or malformed
+    /// replies.
+    pub fn scan(&mut self, from: &str, to: &str) -> Result<Vec<(String, Bytes)>> {
+        let cmd = KvCommand::Scan {
+            from: from.to_string(),
+            to: to.to_string(),
+        };
+        let partitions = self.partitions.clone();
+        let replies = self
+            .inner
+            .request_fanout(self.global, cmd.to_bytes(), &partitions)?;
+        let mut merged = Vec::new();
+        for (_, raw) in replies {
+            match KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)? {
+                KvResponse::Entries(entries) => merged.extend(entries),
+                other => {
+                    return Err(Error::Config(format!("unexpected scan reply {other:?}")));
+                }
+            }
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        merged.dedup_by(|a, b| a.0 == b.0);
+        Ok(merged)
+    }
+}
+
+/// A dLog client: appends routed per log, multi-appends on the shared
+/// ring.
+pub struct LogClient {
+    inner: LiveClient,
+    global: RingId,
+}
+
+impl LogClient {
+    /// Connects to a dLog deployment.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `config` is not a dLog deployment or a server is
+    /// unreachable.
+    pub fn connect(config: &DeploymentConfig, id: ClientId, opts: ClientOptions) -> Result<Self> {
+        let ServiceKind::Dlog { .. } = config.service else {
+            return Err(Error::Config("deployment does not run dlog".into()));
+        };
+        Ok(LogClient {
+            inner: connect_routed(config, id, opts)?,
+            global: config.global_ring(),
+        })
+    }
+
+    fn exec(&mut self, ring: RingId, cmd: &LogCommand) -> Result<LogResponse> {
+        let raw = self.inner.request(ring, cmd.to_bytes())?;
+        LogResponse::decode(&mut raw.clone()).map_err(Error::Wire)
+    }
+
+    /// `append(l, v)`: returns the assigned position.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout or a malformed reply.
+    pub fn append(&mut self, log: u16, value: Bytes) -> Result<u64> {
+        match self.exec(RingId::new(log), &LogCommand::Append { log, value })? {
+            LogResponse::Appended(positions) => positions
+                .iter()
+                .find(|(l, _)| *l == log)
+                .map(|(_, p)| *p)
+                .ok_or_else(|| Error::Config("append reply missing log".into())),
+            other => Err(Error::Config(format!("unexpected append reply {other:?}"))),
+        }
+    }
+
+    /// `multi-append(L, v)`: atomic append to several logs via the shared
+    /// ring; returns `(log, position)` pairs from the answering replica.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout or a malformed reply.
+    pub fn multi_append(&mut self, logs: Vec<u16>, value: Bytes) -> Result<Vec<(u16, u64)>> {
+        match self.exec(self.global, &LogCommand::MultiAppend { logs, value })? {
+            LogResponse::Appended(positions) => Ok(positions),
+            other => Err(Error::Config(format!(
+                "unexpected multi-append reply {other:?}"
+            ))),
+        }
+    }
+
+    /// `read(l, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout or a malformed reply.
+    pub fn read(&mut self, log: u16, pos: u64) -> Result<Option<Bytes>> {
+        match self.exec(RingId::new(log), &LogCommand::Read { log, pos })? {
+            LogResponse::Value(v) => Ok(v),
+            other => Err(Error::Config(format!("unexpected read reply {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests: whole deployments over localhost TCP.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use common::ids::ClientId;
+use common::wire::Wire;
+use liverun::config::generate_localhost_mrpstore;
+use liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
+use mrpstore::KvResponse;
+
+fn client_opts() -> ClientOptions {
+    ClientOptions {
+        timeout: Duration::from_secs(20),
+        retry_every: Duration::from_secs(2),
+    }
+}
+
+/// Ports 20000..26000 — disjoint from tests/end_to_end.rs (28000..34000)
+/// so parallel test binaries never collide.
+fn base_port(offset: u16) -> u16 {
+    20000 + (std::process::id() % 150) as u16 * 40 + offset
+}
+
+#[test]
+fn mrpstore_put_get_scan_over_tcp() {
+    let wal_dir = std::env::temp_dir().join(format!("liverun-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let text = generate_localhost_mrpstore(2, 2, base_port(0), wal_dir.to_str());
+    let config = DeploymentConfig::parse(&text).unwrap();
+    let deployment = Deployment::launch(config.clone()).unwrap();
+
+    let mut client = StoreClient::connect(&config, ClientId::new(1), client_opts()).unwrap();
+    for i in 0..20 {
+        let r = client
+            .insert(&format!("key{i:03}"), Bytes::from(vec![i as u8]))
+            .unwrap();
+        assert_eq!(r, KvResponse::Ok, "insert key{i:03}");
+    }
+    for i in 0..20 {
+        let v = client.read(&format!("key{i:03}")).unwrap();
+        assert_eq!(v, Some(Bytes::from(vec![i as u8])), "read key{i:03}");
+    }
+    // Cross-partition scan via the global ring: every key from both
+    // partitions, merged in order.
+    let entries = client.scan("key", "").unwrap();
+    assert_eq!(entries.len(), 20);
+    assert_eq!(entries[0].0, "key000");
+    assert_eq!(entries[19].0, "key019");
+
+    deployment.shutdown();
+
+    // Replicas of the same partition must have recorded identical
+    // delivered sequences in their WALs (nodes 0,1 = partition 0; nodes
+    // 2,3 = partition 1 in the generated layout).
+    for pair in [[0u32, 1u32], [2, 3]] {
+        let replay = |n: u32| -> Vec<liverun::WalRecord> {
+            storage::wal::Wal::replay(wal_dir.join(format!("node-{n}.wal"))).unwrap()
+        };
+        let a = replay(pair[0]);
+        let b = replay(pair[1]);
+        assert!(!a.is_empty(), "node {} executed nothing", pair[0]);
+        assert_eq!(a, b, "nodes {pair:?} diverged");
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// A replica is killed mid-run, the service stays available, and after a
+/// restart the replica recovers (checkpoint fetch + acceptor catch-up)
+/// and serves up-to-date, linearizable reads.
+#[test]
+fn replica_restart_recovers_and_serves_fresh_reads() {
+    use common::ids::{NodeId, RingId};
+    use mrpstore::Partitioning;
+
+    let text = generate_localhost_mrpstore(2, 3, base_port(20), None);
+    let config = DeploymentConfig::parse(&text).unwrap();
+    let mut deployment = Deployment::launch(config.clone()).unwrap();
+    let mut client = StoreClient::connect(&config, ClientId::new(7), client_opts()).unwrap();
+
+    // Choose keys owned by partition 0 (nodes 0..3) and partition 1.
+    let scheme = Partitioning::Hash { partitions: 2 };
+    let p0_key: String = (0..)
+        .map(|i| format!("alpha{i}"))
+        .find(|k| scheme.partition_of(k).raw() == 0)
+        .unwrap();
+
+    for i in 0..10 {
+        assert_eq!(
+            client
+                .insert(&format!("pre{i:02}"), Bytes::from_static(b"v1"))
+                .unwrap(),
+            KvResponse::Ok
+        );
+    }
+    assert_eq!(
+        client.insert(&p0_key, Bytes::from_static(b"old")).unwrap(),
+        KvResponse::Ok
+    );
+
+    // Kill one replica of partition 0 (node 2 is in ring 0 + global).
+    let victim = NodeId::new(2);
+    deployment.kill(victim).unwrap();
+
+    // The service must stay available (2-of-3 majority per ring after
+    // failure detection removes the dead member) — keep writing, and
+    // overwrite the probe key so recovery must catch up to see it.
+    for i in 0..10 {
+        assert_eq!(
+            client
+                .insert(&format!("mid{i:02}"), Bytes::from_static(b"v2"))
+                .unwrap(),
+            KvResponse::Ok,
+            "write during downtime {i}"
+        );
+    }
+    assert_eq!(
+        client.update(&p0_key, Bytes::from_static(b"new")).unwrap(),
+        KvResponse::Ok
+    );
+
+    // Restart: the replica rejoins its rings and recovers from partition
+    // peers + acceptor retransmission (paper §5.2).
+    deployment.restart(victim).unwrap();
+    client.raw().reconnect(victim).unwrap();
+
+    // A read answered by the *recovered replica itself* must reflect the
+    // update that happened while it was down: reads are ordered through
+    // consensus after the write, so anything stale would violate
+    // linearizability.
+    let ring0 = RingId::new(0);
+    let raw = client
+        .raw()
+        .request_from(
+            ring0,
+            mrpstore::KvCommand::Read {
+                key: p0_key.clone(),
+            }
+            .to_bytes(),
+            victim,
+        )
+        .unwrap();
+    let reply = KvResponse::decode(&mut raw.clone()).unwrap();
+    assert_eq!(
+        reply,
+        KvResponse::Value(Some(Bytes::from_static(b"new"))),
+        "recovered replica must serve the post-crash value"
+    );
+
+    // And the whole keyspace is intact.
+    let entries = client.scan("", "").unwrap();
+    assert_eq!(entries.len(), 21, "10 pre + 10 mid + probe key");
+
+    deployment.shutdown();
+}

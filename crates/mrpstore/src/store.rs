@@ -136,8 +136,12 @@ impl ServiceApp for KvApp {
         let Ok(n) = get_varint(&mut raw) else { return };
         let mut data = BTreeMap::new();
         for _ in 0..n {
-            let Ok(k) = String::decode(&mut raw) else { return };
-            let Ok(v) = Bytes::decode(&mut raw) else { return };
+            let Ok(k) = String::decode(&mut raw) else {
+                return;
+            };
+            let Ok(v) = Bytes::decode(&mut raw) else {
+                return;
+            };
             data.insert(k, v);
         }
         self.data = data;
@@ -174,35 +178,74 @@ mod tests {
     #[test]
     fn crud_semantics() {
         let mut app = single_partition_app();
-        assert_eq!(exec(&mut app, KvCommand::Read { key: "a".into() }), KvResponse::Value(None));
         assert_eq!(
-            exec(&mut app, KvCommand::Update { key: "a".into(), value: Bytes::from_static(b"x") }),
+            exec(&mut app, KvCommand::Read { key: "a".into() }),
+            KvResponse::Value(None)
+        );
+        assert_eq!(
+            exec(
+                &mut app,
+                KvCommand::Update {
+                    key: "a".into(),
+                    value: Bytes::from_static(b"x")
+                }
+            ),
             KvResponse::NotFound,
             "update requires existence (Table 1)"
         );
         assert_eq!(
-            exec(&mut app, KvCommand::Insert { key: "a".into(), value: Bytes::from_static(b"1") }),
+            exec(
+                &mut app,
+                KvCommand::Insert {
+                    key: "a".into(),
+                    value: Bytes::from_static(b"1")
+                }
+            ),
             KvResponse::Ok
         );
         assert_eq!(
-            exec(&mut app, KvCommand::Update { key: "a".into(), value: Bytes::from_static(b"2") }),
+            exec(
+                &mut app,
+                KvCommand::Update {
+                    key: "a".into(),
+                    value: Bytes::from_static(b"2")
+                }
+            ),
             KvResponse::Ok
         );
         assert_eq!(
             exec(&mut app, KvCommand::Read { key: "a".into() }),
             KvResponse::Value(Some(Bytes::from_static(b"2")))
         );
-        assert_eq!(exec(&mut app, KvCommand::Delete { key: "a".into() }), KvResponse::Ok);
-        assert_eq!(exec(&mut app, KvCommand::Delete { key: "a".into() }), KvResponse::NotFound);
+        assert_eq!(
+            exec(&mut app, KvCommand::Delete { key: "a".into() }),
+            KvResponse::Ok
+        );
+        assert_eq!(
+            exec(&mut app, KvCommand::Delete { key: "a".into() }),
+            KvResponse::NotFound
+        );
     }
 
     #[test]
     fn scan_returns_range() {
         let mut app = single_partition_app();
         for k in ["a", "b", "c", "d"] {
-            exec(&mut app, KvCommand::Insert { key: k.into(), value: Bytes::from_static(b"v") });
+            exec(
+                &mut app,
+                KvCommand::Insert {
+                    key: k.into(),
+                    value: Bytes::from_static(b"v"),
+                },
+            );
         }
-        let r = exec(&mut app, KvCommand::Scan { from: "b".into(), to: "d".into() });
+        let r = exec(
+            &mut app,
+            KvCommand::Scan {
+                from: "b".into(),
+                to: "d".into(),
+            },
+        );
         match r {
             KvResponse::Entries(e) => {
                 let keys: Vec<_> = e.iter().map(|(k, _)| k.as_str()).collect();
@@ -211,7 +254,13 @@ mod tests {
             other => panic!("expected entries, got {other:?}"),
         }
         // Open-ended scan.
-        let r = exec(&mut app, KvCommand::Scan { from: "c".into(), to: String::new() });
+        let r = exec(
+            &mut app,
+            KvCommand::Scan {
+                from: "c".into(),
+                to: String::new(),
+            },
+        );
         match r {
             KvResponse::Entries(e) => assert_eq!(e.len(), 2),
             other => panic!("expected entries, got {other:?}"),
@@ -228,13 +277,25 @@ mod tests {
             .partition(|k| scheme.partition_of(k) == PartitionId::new(1));
         for k in &mine {
             assert_eq!(
-                exec(&mut app, KvCommand::Insert { key: k.clone(), value: Bytes::from_static(b"v") }),
+                exec(
+                    &mut app,
+                    KvCommand::Insert {
+                        key: k.clone(),
+                        value: Bytes::from_static(b"v")
+                    }
+                ),
                 KvResponse::Ok
             );
         }
         for k in &theirs {
             assert_eq!(
-                exec(&mut app, KvCommand::Insert { key: k.clone(), value: Bytes::from_static(b"v") }),
+                exec(
+                    &mut app,
+                    KvCommand::Insert {
+                        key: k.clone(),
+                        value: Bytes::from_static(b"v")
+                    }
+                ),
                 KvResponse::NotFound
             );
         }
@@ -245,10 +306,13 @@ mod tests {
     fn snapshot_restore_round_trip() {
         let mut app = single_partition_app();
         for i in 0..100 {
-            exec(&mut app, KvCommand::Insert {
-                key: format!("k{i:03}"),
-                value: Bytes::from(vec![i as u8; 16]),
-            });
+            exec(
+                &mut app,
+                KvCommand::Insert {
+                    key: format!("k{i:03}"),
+                    value: Bytes::from(vec![i as u8; 16]),
+                },
+            );
         }
         let snap = app.snapshot();
         let mut other = single_partition_app();

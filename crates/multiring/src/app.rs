@@ -13,7 +13,10 @@ use common::value::Envelope;
 
 /// A deterministic state machine executed by every replica of a
 /// partition.
-pub trait ServiceApp: 'static {
+///
+/// `Send` because the live runtime drives replicas on OS threads; the
+/// simulator does not need it but every real service is trivially `Send`.
+pub trait ServiceApp: Send + 'static {
     /// Executes one delivered command and returns the reply payload sent
     /// back to the client. Must be deterministic: identical command
     /// streams must produce identical states and replies.

@@ -13,11 +13,11 @@ use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
 use common::ids::{InstanceId, NodeId, PartitionId, RingId};
+use common::msg::CheckpointTuple;
 use common::msg::{ClientMsg, Msg, RecoveryMsg};
 use common::time::SimTime;
-use common::value::{Envelope, Value, ValueId};
+use common::value::{Envelope, Payload, Value, ValueId};
 use common::wire::{get_varint, get_vec, put_varint, put_vec, Wire};
-use common::msg::CheckpointTuple;
 use coord::Registry;
 use ringpaxos::node::{Output, RingNode};
 use ringpaxos::options::RingOptions;
@@ -253,6 +253,44 @@ impl MultiRingHost {
         self.rings.get(&ring)
     }
 
+    /// Proposes a set of client commands on `group` as **one** consensus
+    /// value (proposer-side batching): the whole batch costs a single
+    /// instance of the ring, and replicas execute its envelopes in order.
+    ///
+    /// A singleton slice encodes as [`Payload::One`] — the same path the
+    /// per-request [`ClientMsg::Request`] handler takes — so batched and
+    /// unbatched proposers interoperate freely. Does nothing if this node
+    /// is not a member of `group` or `envs` is empty.
+    pub fn propose_envelopes(&mut self, group: RingId, mut envs: Vec<Envelope>, ctx: &mut Ctx<'_>) {
+        if envs.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let mut out = Output::new();
+        if let Some(node) = self.rings.get_mut(&group) {
+            let payload = if envs.len() == 1 {
+                Payload::One(envs.pop().expect("len checked"))
+            } else {
+                Payload::Batch(envs)
+            };
+            // Allocate the value id from the ring node's own counter:
+            // skip tokens and no-op fillers draw from the same
+            // (node, seq) space, and a collision would make the
+            // coordinator's duplicate suppression silently drop the
+            // client's command.
+            let id = node.next_value_id();
+            let value = Value {
+                id,
+                kind: common::value::ValueKind::App(payload.to_bytes()),
+            };
+            node.propose(value, now, &mut out);
+        } else {
+            return; // not a proposer for this group
+        }
+        self.out = out;
+        self.drain_ring(group, ctx);
+    }
+
     // ------------------------------------------------------------------
     // plumbing
     // ------------------------------------------------------------------
@@ -279,23 +317,32 @@ impl MultiRingHost {
 
     fn pump_merge(&mut self, ctx: &mut Ctx<'_>) {
         loop {
-            let Some(learner) = &mut self.learner else { return };
-            let Some(delivery) = learner.pop() else { return };
-            let Ok(env) = Envelope::decode(&mut delivery.value.payload().expect("app value").clone())
+            let Some(learner) = &mut self.learner else {
+                return;
+            };
+            let Some(delivery) = learner.pop() else {
+                return;
+            };
+            let Ok(payload) =
+                Payload::decode(&mut delivery.value.payload().expect("app value").clone())
             else {
                 continue; // foreign payload; ignore
             };
-            let reply = self.app.execute(delivery.ring, &env);
-            self.executed += 1;
-            ctx.send(
-                env.reply_to,
-                Msg::Client(ClientMsg::Response {
-                    client: env.client,
-                    client_seq: env.req,
-                    from_replica: self.me,
-                    payload: reply,
-                }),
-            );
+            // A batch executes as its envelopes in order: every replica
+            // sees the same envelope sequence, so determinism holds.
+            for env in payload.into_envelopes() {
+                let reply = self.app.execute(delivery.ring, &env);
+                self.executed += 1;
+                ctx.send(
+                    env.reply_to,
+                    Msg::Client(ClientMsg::Response {
+                        client: env.client,
+                        client_seq: env.req,
+                        from_replica: self.me,
+                        payload: reply,
+                    }),
+                );
+            }
         }
     }
 
@@ -369,7 +416,9 @@ impl MultiRingHost {
     // ------------------------------------------------------------------
 
     fn run_trim_round(&mut self, ring: RingId, ctx: &mut Ctx<'_>) {
-        let Some(node) = self.rings.get(&ring) else { return };
+        let Some(node) = self.rings.get(&ring) else {
+            return;
+        };
         if !node.is_coordinator() {
             return;
         }
@@ -424,7 +473,9 @@ impl MultiRingHost {
         replica: NodeId,
         ctx: &mut Ctx<'_>,
     ) {
-        let Some(round) = self.trims.get_mut(&ring) else { return };
+        let Some(round) = self.trims.get_mut(&ring) else {
+            return;
+        };
         if round.seq() != seq {
             return; // stale round
         }
@@ -591,7 +642,9 @@ impl MultiRingHost {
         let mut pending = false;
         let rings = learner.rings();
         for ring in rings {
-            let Some(node) = self.rings.get(&ring) else { continue };
+            let Some(node) = self.rings.get(&ring) else {
+                continue;
+            };
             // Ask for everything from the learner's position up to any
             // buffered decisions (gap), or a chunk beyond if nothing is
             // buffered yet.
@@ -614,7 +667,9 @@ impl MultiRingHost {
         to: InstanceId,
         ctx: &mut Ctx<'_>,
     ) {
-        let Ok(cfg) = self.registry.ring(ring) else { return };
+        let Ok(cfg) = self.registry.ring(ring) else {
+            return;
+        };
         // Rotate over acceptors other than us: after a ring
         // reconfiguration some acceptors may themselves be missing
         // decisions for the requested range.
@@ -635,8 +690,17 @@ impl MultiRingHost {
         );
     }
 
-    fn on_retransmit(&mut self, ring: RingId, from: InstanceId, to: InstanceId, requester: NodeId, ctx: &mut Ctx<'_>) {
-        let Some(node) = self.rings.get(&ring) else { return };
+    fn on_retransmit(
+        &mut self,
+        ring: RingId,
+        from: InstanceId,
+        to: InstanceId,
+        requester: NodeId,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(node) = self.rings.get(&ring) else {
+            return;
+        };
         let to = to.min(from.plus(RETRANSMIT_CHUNK));
         let decisions = node.log().decided_in_range(from, to);
         let log_start = node.log().trim_floor();
@@ -677,7 +741,10 @@ impl MultiRingHost {
             // catch-up, peers have checkpointed again by now). Back off to
             // the retry timer instead of re-querying inline, otherwise a
             // reply/re-query cycle spins at network speed.
-            self.dbg(ctx, &format!("retransmit hit trim: log_start={log_start} needed={needed}"));
+            self.dbg(
+                ctx,
+                &format!("retransmit hit trim: log_start={log_start} needed={needed}"),
+            );
             if !self.restart_recovery {
                 self.restart_recovery = true;
                 ctx.schedule(self.opts.recovery_retry, Timer::of_kind(TIMER_RECOVERY));
@@ -747,31 +814,13 @@ impl Process for MultiRingHost {
                 group,
                 cmd,
             }) => {
-                let now = ctx.now();
                 let env = Envelope {
                     client,
                     req: client_seq,
                     reply_to: from,
                     cmd,
                 };
-                let mut out = Output::new();
-                if let Some(node) = self.rings.get_mut(&group) {
-                    // Allocate the value id from the ring node's own
-                    // counter: skip tokens and no-op fillers draw from the
-                    // same (node, seq) space, and a collision would make
-                    // the coordinator's duplicate suppression silently
-                    // drop the client's command.
-                    let id = node.next_value_id();
-                    let value = Value {
-                        id,
-                        kind: common::value::ValueKind::App(env.to_bytes()),
-                    };
-                    node.propose(value, now, &mut out);
-                } else {
-                    return; // not a proposer for this group
-                }
-                self.out = out;
-                self.drain_ring(group, ctx);
+                self.propose_envelopes(group, vec![env], ctx);
             }
             Msg::Client(_) => {}
             Msg::Recovery(r) => match r {

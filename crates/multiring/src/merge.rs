@@ -154,12 +154,7 @@ impl MergeLearner {
     /// credit across turns, which can put a higher-id ring ahead without
     /// affecting the trajectory order.)
     pub fn checkpoint_tuple(&self) -> CheckpointTuple {
-        CheckpointTuple::new(
-            self.streams
-                .iter()
-                .map(|(r, s)| (*r, s.next))
-                .collect(),
-        )
+        CheckpointTuple::new(self.streams.iter().map(|(r, s)| (*r, s.next)).collect())
     }
 
     /// The merge scheduler state beyond the tuple: the current turn index
@@ -228,9 +223,9 @@ impl MergeLearner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use common::ids::NodeId;
     use common::value::ValueKind;
-    use bytes::Bytes;
 
     fn app(ring: u16, seq: u64) -> Value {
         Value::app(
@@ -384,11 +379,14 @@ mod tests {
         assert_eq!(fresh.next_needed(r(0)), Some(i(1)));
         fresh.push(r(0), i(1), app(0, 1));
         fresh.push(r(2), i(1), app(2, 1));
-        assert_eq!(fresh.pop().unwrap(), MulticastDelivery {
-            ring: r(0),
-            inst: i(1),
-            value: app(0, 1),
-        });
+        assert_eq!(
+            fresh.pop().unwrap(),
+            MulticastDelivery {
+                ring: r(0),
+                inst: i(1),
+                value: app(0, 1),
+            }
+        );
     }
 
     #[test]

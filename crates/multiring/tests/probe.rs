@@ -13,7 +13,11 @@ use ringpaxos::options::RingOptions;
 use simnet::{CpuModel, Sim, Topology};
 use storage::{DiskProfile, StorageMode};
 
-fn build(sim: &mut Sim, registry: &Registry, host_opts: &HostOptions) -> multiring::client::SharedClientStats {
+fn build(
+    sim: &mut Sim,
+    registry: &Registry,
+    host_opts: &HostOptions,
+) -> multiring::client::SharedClientStats {
     let ring = RingId::new(0);
     let members: Vec<NodeId> = (0..3).map(NodeId::new).collect();
     registry
@@ -44,7 +48,9 @@ fn build(sim: &mut Sim, registry: &Registry, host_opts: &HostOptions) -> multiri
         ClientId::new(1),
         registry.clone(),
         HashMap::from([(ring, NodeId::new(0))]),
-        move |_rng: &mut rand::rngs::StdRng| CommandSpec::simple(ring, Bytes::from_static(b"cmd"), vec![PartitionId::new(0)]),
+        move |_rng: &mut rand::rngs::StdRng| {
+            CommandSpec::simple(ring, Bytes::from_static(b"cmd"), vec![PartitionId::new(0)])
+        },
         2,
     );
     let stats = client.stats();
@@ -84,7 +90,7 @@ fn probe_recovery_scenario() {
         if t > SimTime::from_secs(9) {
             break;
         }
-        if steps % 500_000 == 0 {
+        if steps.is_multiple_of(500_000) {
             eprintln!(
                 "steps={steps} t={t} msgs={} completed={}",
                 sim.metrics().borrow().counter("net.msgs"),

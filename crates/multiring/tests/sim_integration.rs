@@ -70,7 +70,9 @@ fn single_ring_service_executes_and_replies() {
         ClientId::new(1),
         registry.clone(),
         HashMap::from([(ring, NodeId::new(0))]),
-        move |_rng: &mut rand::rngs::StdRng| CommandSpec::simple(ring, Bytes::from_static(b"cmd"), vec![PartitionId::new(0)]),
+        move |_rng: &mut rand::rngs::StdRng| {
+            CommandSpec::simple(ring, Bytes::from_static(b"cmd"), vec![PartitionId::new(0)])
+        },
         4,
     );
     let stats = client.stats();
@@ -141,7 +143,13 @@ fn rate_leveling_unblocks_idle_ring() {
         ClientId::new(1),
         registry.clone(),
         HashMap::from([(r0, NodeId::new(0))]),
-        move |_rng: &mut rand::rngs::StdRng| CommandSpec::simple(r0, Bytes::from_static(b"only-ring-0"), vec![PartitionId::new(0)]),
+        move |_rng: &mut rand::rngs::StdRng| {
+            CommandSpec::simple(
+                r0,
+                Bytes::from_static(b"only-ring-0"),
+                vec![PartitionId::new(0)],
+            )
+        },
         2,
     );
     let stats = client.stats();
@@ -206,7 +214,13 @@ fn replica_recovers_after_crash_with_trimming() {
         ClientId::new(1),
         registry.clone(),
         HashMap::from([(ring, NodeId::new(0))]),
-        move |_rng: &mut rand::rngs::StdRng| CommandSpec::simple(ring, Bytes::from_static(b"recovering"), vec![PartitionId::new(0)]),
+        move |_rng: &mut rand::rngs::StdRng| {
+            CommandSpec::simple(
+                ring,
+                Bytes::from_static(b"recovering"),
+                vec![PartitionId::new(0)],
+            )
+        },
         2,
     );
     let stats = client.stats();

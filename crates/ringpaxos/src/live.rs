@@ -15,7 +15,6 @@
 //! world. Decided values can optionally be appended to a real write-ahead
 //! log ([`storage::wal::Wal`]).
 
-use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -23,7 +22,6 @@ use std::path::PathBuf;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::BytesMut;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -31,9 +29,8 @@ use std::sync::Arc;
 use common::error::{Error, Result};
 use common::ids::{InstanceId, NodeId, RingId};
 use common::msg::{AcceptedEntry, Msg, RingMsg};
-use common::time::SimTime;
+use common::transport::{encode_frame, FrameBuf, PeerFrame, TimerHeap, WallClock};
 use common::value::Value;
-use common::wire::{frame, Wire};
 use common::Ballot;
 use coord::{Registry, RingConfig};
 use storage::wal::{SyncPolicy, Wal};
@@ -55,25 +52,6 @@ enum Event {
     Msg(NodeId, RingMsg),
     Propose(Value),
     Shutdown,
-}
-
-struct TimerEntry(Instant, RingTimer);
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.0.cmp(&self.0) // min-heap
-    }
 }
 
 /// Where a node's outgoing ring messages go.
@@ -122,35 +100,13 @@ impl Transport for TcpTransport {
             }
             panic!("cannot connect to {addr}: {last_err:?}");
         });
-        let mut buf = BytesMut::new();
-        let framed = LiveFrame {
+        let framed = PeerFrame {
             from: self.me,
             msg: Msg::Ring(self.ring, msg),
         };
-        frame::write(&mut buf, &framed);
-        if stream.write_all(&buf).is_err() {
+        if stream.write_all(&encode_frame(&framed)).is_err() {
             self.conns.remove(&to);
         }
-    }
-}
-
-/// One frame on a live TCP connection: sender plus message.
-struct LiveFrame {
-    from: NodeId,
-    msg: Msg,
-}
-
-impl Wire for LiveFrame {
-    fn encode(&self, buf: &mut BytesMut) {
-        self.from.encode(buf);
-        self.msg.encode(buf);
-    }
-
-    fn decode(buf: &mut bytes::Bytes) -> std::result::Result<Self, common::error::WireError> {
-        Ok(LiveFrame {
-            from: NodeId::decode(buf)?,
-            msg: Msg::decode(buf)?,
-        })
     }
 }
 
@@ -221,7 +177,7 @@ impl LiveRing {
             senders.insert(*m, tx);
             receivers.push(rx);
         }
-        let epoch = Instant::now();
+        let clock = WallClock::start();
         let mut nodes = Vec::new();
         for (m, rx) in members.iter().zip(receivers) {
             let transport = ChannelTransport {
@@ -235,7 +191,7 @@ impl LiveRing {
                 rx,
                 senders[m].clone(),
                 transport,
-                epoch,
+                clock,
                 None,
             )?);
         }
@@ -257,7 +213,7 @@ impl LiveRing {
         let addr_map: HashMap<NodeId, SocketAddr> =
             members.iter().copied().zip(addrs.iter().copied()).collect();
 
-        let epoch = Instant::now();
+        let clock = WallClock::start();
         let mut nodes = Vec::new();
         for m in &members {
             let (tx, rx) = unbounded();
@@ -287,7 +243,7 @@ impl LiveRing {
                 rx,
                 tx.clone(),
                 transport,
-                epoch,
+                clock,
                 wal,
             )?);
         }
@@ -333,14 +289,14 @@ fn spawn_acceptor_loop(listener: TcpListener, tx: Sender<Event>) {
             let Ok(mut stream) = stream else { break };
             let tx = tx.clone();
             std::thread::spawn(move || {
-                let mut buf = BytesMut::new();
+                let mut buf = FrameBuf::new();
                 let mut chunk = [0u8; 64 * 1024];
                 loop {
                     match stream.read(&mut chunk) {
                         Ok(0) | Err(_) => break,
                         Ok(n) => {
-                            buf.extend_from_slice(&chunk[..n]);
-                            while let Ok(Some(f)) = frame::try_read::<LiveFrame>(&mut buf) {
+                            buf.extend(&chunk[..n]);
+                            while let Ok(Some(f)) = buf.try_next::<PeerFrame>() {
                                 if let Msg::Ring(_, m) = f.msg {
                                     if tx.send(Event::Msg(f.from, m)).is_err() {
                                         return;
@@ -364,7 +320,7 @@ fn spawn_node<T: Transport>(
     rx: Receiver<Event>,
     _self_tx: Sender<Event>,
     mut transport: T,
-    epoch: Instant,
+    clock: WallClock,
     wal: Option<Wal>,
 ) -> Result<LiveNode> {
     let mut node = RingNode::new(me, ring, registry, opts)?;
@@ -374,39 +330,28 @@ fn spawn_node<T: Transport>(
     let join = std::thread::Builder::new()
         .name(format!("ring-node-{}", me.raw()))
         .spawn(move || {
-            let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+            let mut timers: TimerHeap<RingTimer> = TimerHeap::new();
             let mut out = Output::new();
-            let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-            node.start(now, &mut out);
-            drain(&mut out, &mut transport, &dtx, &mut timers, epoch, &wal);
+            node.start(clock.now(), &mut out);
+            drain(&mut out, &mut transport, &dtx, &mut timers, &wal);
 
             loop {
-                let timeout = timers
-                    .peek()
-                    .map(|TimerEntry(at, _)| at.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(100));
+                let timeout = timers.sleep_for(Duration::from_millis(100));
                 match rx.recv_timeout(timeout) {
                     Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
                     Ok(Event::Msg(from, msg)) => {
-                        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-                        node.on_msg(from, msg, now, &mut out);
+                        node.on_msg(from, msg, clock.now(), &mut out);
                     }
                     Ok(Event::Propose(value)) => {
-                        let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-                        node.propose(value, now, &mut out);
+                        node.propose(value, clock.now(), &mut out);
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                 }
                 // Fire due timers.
-                while let Some(TimerEntry(at, _)) = timers.peek() {
-                    if *at > Instant::now() {
-                        break;
-                    }
-                    let TimerEntry(_, t) = timers.pop().expect("peeked");
-                    let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-                    node.on_timer(t, now, &mut out);
+                while let Some(t) = timers.pop_due(Instant::now()) {
+                    node.on_timer(t, clock.now(), &mut out);
                 }
-                drain(&mut out, &mut transport, &dtx, &mut timers, epoch, &wal);
+                drain(&mut out, &mut transport, &dtx, &mut timers, &wal);
             }
         })
         .expect("spawn ring node thread");
@@ -423,8 +368,7 @@ fn drain<T: Transport>(
     out: &mut Output,
     transport: &mut T,
     dtx: &Sender<Delivery>,
-    timers: &mut BinaryHeap<TimerEntry>,
-    _epoch: Instant,
+    timers: &mut TimerHeap<RingTimer>,
     wal: &Arc<Mutex<Option<Wal>>>,
 ) {
     for (to, msg) in out.sends.drain(..) {
@@ -441,7 +385,7 @@ fn drain<T: Transport>(
         let _ = dtx.try_send(Delivery { inst, value });
     }
     for (after, t) in out.timers.drain(..) {
-        timers.push(TimerEntry(Instant::now() + after, t));
+        timers.push_after(after, t);
     }
 }
 

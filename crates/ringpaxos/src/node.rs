@@ -99,6 +99,9 @@ pub struct RingNode {
     pending: BTreeMap<InstanceId, PendingAction>,
     pending_phase1: Option<(u32, RingMsg)>,
     phase1_generation: u32,
+    /// When the in-progress Phase 1 window was last sent; drives the
+    /// liveness-timer retry for Phase 1 messages lost on the ring.
+    phase1_sent_at: SimTime,
 
     // ---- coordinator state ----
     coordinating: bool,
@@ -154,6 +157,7 @@ impl RingNode {
             pending: BTreeMap::new(),
             pending_phase1: None,
             phase1_generation: 0,
+            phase1_sent_at: SimTime::ZERO,
             coordinating,
             ballot: Ballot::ZERO,
             phase1_complete: false,
@@ -232,7 +236,13 @@ impl RingNode {
     /// Injects a decision learned out-of-band (retransmitted by an
     /// acceptor during recovery). Idempotent; delivers through the normal
     /// in-order path.
-    pub fn learn_decided(&mut self, inst: InstanceId, value: Value, now: SimTime, out: &mut Output) {
+    pub fn learn_decided(
+        &mut self,
+        inst: InstanceId,
+        value: Value,
+        now: SimTime,
+        out: &mut Output,
+    ) {
         self.handle_decide(inst, value, now, out);
     }
 
@@ -460,6 +470,7 @@ impl RingNode {
         self.ballot = Ballot::new(round.max(1), self.me);
         self.phase1_complete = false;
         self.phase1_generation += 1;
+        self.phase1_sent_at = now;
 
         let receipt = self.log.promise(self.ballot, now);
         let msg = RingMsg::Phase1 {
@@ -544,7 +555,10 @@ impl RingNode {
         }
         let receipt = self.log.promise(ballot, now);
         let mut merged = accepted;
-        merged.extend(self.log.entries_in_range(from.max(self.log.trim_floor()), to));
+        merged.extend(
+            self.log
+                .entries_in_range(from.max(self.log.trim_floor()), to),
+        );
         let msg = RingMsg::Phase1 {
             ballot,
             from,
@@ -583,7 +597,14 @@ impl RingNode {
                 }
             }
         }
-        let base = self.next_instance.max(self.log.trim_floor());
+        // Fill from the delivery cursor, not from this node's proposal
+        // counter: an incumbent coordinator re-running Phase 1 after a
+        // reconfiguration has a high `next_instance` but may be stuck on
+        // older instances whose votes died with the removed member —
+        // everything at or above `next_delivery` that no acceptor
+        // reported gets a no-op. (For a freshly elected coordinator the
+        // two bases coincide: its proposal counter is still low.)
+        let base = self.next_delivery.max(self.log.trim_floor());
         if let Some((last, (_, last_val))) = chosen.iter().next_back() {
             let mut inst = base;
             let end = last.plus(last_val.instance_span());
@@ -592,16 +613,22 @@ impl RingNode {
                     Some((_, v)) => (v.clone(), v.instance_span()),
                     None => {
                         let id = self.next_value_id();
-                        (Value { id, kind: ValueKind::Noop }, 1)
+                        (
+                            Value {
+                                id,
+                                kind: ValueKind::Noop,
+                            },
+                            1,
+                        )
                     }
                 };
                 self.remember_seen(value.id);
                 self.phase2_self_vote(inst, value, now, out);
                 inst = inst.plus(span);
             }
-            self.next_instance = end;
+            self.next_instance = self.next_instance.max(end);
         } else {
-            self.next_instance = base;
+            self.next_instance = self.next_instance.max(base);
         }
         self.pump_proposals(now, out);
     }
@@ -613,6 +640,14 @@ impl RingNode {
     /// Handles one incoming ring message. `from` is the direct sender
     /// (the ring predecessor for circulating messages).
     pub fn on_msg(&mut self, from: NodeId, msg: RingMsg, now: SimTime, out: &mut Output) {
+        if !self.cfg.contains(self.me) {
+            // Removed from the ring (e.g. cut out while partitioned away):
+            // stale peers may still forward circulating frames here, but a
+            // non-member has no predecessor/successor and must not take
+            // part — drop the frame and wait for the host to rejoin us.
+            self.refresh_config(now, out);
+            return;
+        }
         // Only traffic from the ring predecessor counts as its liveness
         // signal; client proposals and recovery traffic come from
         // arbitrary nodes and must not mask a dead predecessor.
@@ -635,7 +670,14 @@ impl RingNode {
                 if self.coordinating {
                     self.enqueue_proposal(value, now, out);
                 } else if ttl > 0 {
-                    self.send_ring(RingMsg::Proposal { value, ttl: ttl - 1 }, now, out);
+                    self.send_ring(
+                        RingMsg::Proposal {
+                            value,
+                            ttl: ttl - 1,
+                        },
+                        now,
+                        out,
+                    );
                 }
                 // ttl exhausted without finding a coordinator: the
                 // proposer's retry timer will re-send after failover.
@@ -849,6 +891,13 @@ impl RingNode {
     fn on_liveness(&mut self, now: SimTime, out: &mut Output) {
         out.timers
             .push((self.opts.heartbeat_interval, RingTimer::Liveness));
+        if !self.cfg.contains(self.me) {
+            // Removed from the ring (e.g. while partitioned away): stay
+            // quiet until the host rejoins us; predecessor/successor are
+            // undefined here.
+            self.refresh_config(now, out);
+            return;
+        }
         // Heartbeats bypass batching: they are the liveness signal itself.
         out.sends.push((
             self.successor(),
@@ -856,9 +905,23 @@ impl RingNode {
                 epoch: self.cfg.epoch().raw(),
             },
         ));
+        // Phase 1 has no acknowledgement of its own: the window message
+        // circulates once and, if a hop drops it (a member with a stale
+        // config forwarding to a just-removed node), the coordinator
+        // would wait forever. Re-send while incomplete.
+        if self.coordinating
+            && !self.phase1_complete
+            && self.pending_phase1.is_none()
+            && now.since(self.phase1_sent_at) > self.opts.heartbeat_interval * 4
+        {
+            self.begin_phase1(now, out);
+        }
         if now.since(self.last_from_pred) > self.opts.failure_timeout {
             let pred = self.predecessor();
-            if let Ok(cfg) = self.registry.report_failure(self.ring, pred, self.cfg.epoch()) {
+            if let Ok(cfg) = self
+                .registry
+                .report_failure(self.ring, pred, self.cfg.epoch())
+            {
                 self.install_config(cfg, now, out);
                 self.last_from_pred = now;
             }
@@ -916,13 +979,19 @@ impl RingNode {
         // The successor may change: flush buffered messages to the old one
         // first so nothing is silently retargeted.
         self.flush_batch(out);
-        let was_coordinating = self.coordinating;
         self.cfg = cfg;
         self.coordinating = self.cfg.coordinator() == self.me && self.cfg.contains(self.me);
         self.last_from_pred = now;
-        if self.coordinating && !was_coordinating {
+        if self.coordinating {
+            // Re-run Phase 1 even when this node was already the
+            // coordinator: a membership change means messages circulating
+            // through the removed member were lost, and Phase 2 votes that
+            // died on their first hop leave instances undecided *nowhere*
+            // — retransmission cannot heal those. Phase 1 at the new
+            // (higher, epoch-derived) ballot re-collects what acceptors
+            // hold and fills the true holes with no-ops (§5.1).
             self.begin_phase1(now, out);
-        } else if !self.coordinating {
+        } else {
             self.phase1_complete = false;
         }
     }
@@ -983,7 +1052,7 @@ impl RingNode {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use common::ids::Epoch;
+
     use storage::StorageMode;
 
     /// Drives a set of RingNodes to quiescence by synchronously relaying
@@ -1000,14 +1069,11 @@ mod tests {
         fn new(n: usize, opts: RingOptions) -> (Self, Registry) {
             let registry = Registry::new();
             let members: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
-            let cfg =
-                RingConfig::new(RingId::new(0), members.clone(), members.clone()).unwrap();
+            let cfg = RingConfig::new(RingId::new(0), members.clone(), members.clone()).unwrap();
             registry.register_ring(cfg).unwrap();
             let nodes = members
                 .iter()
-                .map(|m| {
-                    RingNode::new(*m, RingId::new(0), registry.clone(), opts.clone()).unwrap()
-                })
+                .map(|m| RingNode::new(*m, RingId::new(0), registry.clone(), opts.clone()).unwrap())
                 .collect();
             (
                 Harness {
@@ -1172,7 +1238,11 @@ mod tests {
         let d = &h.delivered[0];
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].0, InstanceId::new(0));
-        assert_eq!(d[1].0, InstanceId::new(10), "skip(10) consumed 10 instances");
+        assert_eq!(
+            d[1].0,
+            InstanceId::new(10),
+            "skip(10) consumed 10 instances"
+        );
     }
 
     #[test]
@@ -1270,7 +1340,10 @@ mod tests {
         h.relay(0, &mut out);
         assert_eq!(h.delivered[0].len(), 1);
         let (_, v) = &h.delivered[0][0];
-        assert!(matches!(v.kind, ValueKind::Skip(5)), "1000/s × 5 ms = 5: {v:?}");
+        assert!(
+            matches!(v.kind, ValueKind::Skip(5)),
+            "1000/s × 5 ms = 5: {v:?}"
+        );
         // Skips deliver on every learner and advance the instance counter.
         assert_eq!(h.delivered[1], h.delivered[0]);
     }

@@ -53,7 +53,9 @@ impl RateLeveling {
 
     /// Expected number of instances per Δ interval.
     pub fn expected_per_delta(&self) -> u64 {
-        ((self.lambda as f64) * self.delta.as_secs_f64()).round().max(1.0) as u64
+        ((self.lambda as f64) * self.delta.as_secs_f64())
+            .round()
+            .max(1.0) as u64
     }
 }
 

@@ -122,7 +122,11 @@ fn coordinator_crash_heals_via_heartbeats() {
     sim.run_until(SimTime::from_secs(4));
 
     let cfg = registry.ring(RingId::new(0)).unwrap();
-    assert_eq!(cfg.coordinator(), NodeId::new(1), "next acceptor takes over");
+    assert_eq!(
+        cfg.coordinator(),
+        NodeId::new(1),
+        "next acceptor takes over"
+    );
     assert!(!cfg.contains(NodeId::new(0)), "failed member removed");
 
     let after = app_count(&logs[1]);
@@ -186,5 +190,9 @@ fn deterministic_across_identical_seeds() {
             .collect();
         history
     };
-    assert_eq!(run(7), run(7), "same seed, same history — even with a crash");
+    assert_eq!(
+        run(7),
+        run(7),
+        "same seed, same history — even with a crash"
+    );
 }

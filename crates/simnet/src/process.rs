@@ -53,6 +53,28 @@ pub struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
+    /// A context for driving a [`Process`] *outside* the simulator — the
+    /// live runtimes run the same state machines on OS threads and real
+    /// sockets. The caller owns the effect buffers: after the callback
+    /// returns it routes `outbox` onto real transports and arms real
+    /// timers for `timers` (absolute [`SimTime`]s on the caller's
+    /// wall-clock epoch).
+    pub fn external(
+        now: SimTime,
+        me: NodeId,
+        outbox: &'a mut Vec<(NodeId, Msg)>,
+        timers: &'a mut Vec<(SimTime, Timer)>,
+        rng: &'a mut StdRng,
+    ) -> Ctx<'a> {
+        Ctx {
+            now,
+            me,
+            outbox,
+            timers,
+            rng,
+        }
+    }
+
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -125,8 +147,29 @@ mod tests {
 
     #[test]
     fn timer_constructors() {
-        assert_eq!(Timer::of_kind(3), Timer { kind: 3, a: 0, b: 0 });
-        assert_eq!(Timer::with(1, 9), Timer { kind: 1, a: 9, b: 0 });
-        assert_eq!(Timer::with2(1, 9, 8), Timer { kind: 1, a: 9, b: 8 });
+        assert_eq!(
+            Timer::of_kind(3),
+            Timer {
+                kind: 3,
+                a: 0,
+                b: 0
+            }
+        );
+        assert_eq!(
+            Timer::with(1, 9),
+            Timer {
+                kind: 1,
+                a: 9,
+                b: 0
+            }
+        );
+        assert_eq!(
+            Timer::with2(1, 9, 8),
+            Timer {
+                kind: 1,
+                a: 9,
+                b: 8
+            }
+        );
     }
 }

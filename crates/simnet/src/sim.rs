@@ -588,7 +588,7 @@ mod tests {
 
         let received = *seen.borrow();
         // ~30 messages total; ~10 dropped while crashed.
-        assert!(received >= 15 && received <= 25, "received {received}");
+        assert!((15..=25).contains(&received), "received {received}");
         let m = sim.metrics();
         let dropped = m.borrow().counter("net.dropped_crashed");
         assert!(dropped >= 5, "dropped {dropped}");
@@ -711,7 +711,12 @@ mod tests {
         }
         let fired = Rc::new(RefCell::new(0u32));
         let mut sim = free_cpu_sim(8);
-        let n = sim.add_node(0, TimerProc { fired: fired.clone() });
+        let n = sim.add_node(
+            0,
+            TimerProc {
+                fired: fired.clone(),
+            },
+        );
         sim.schedule_crash(n, SimTime::from_millis(10));
         sim.schedule_restart(n, SimTime::from_millis(20));
         sim.run_until(SimTime::from_millis(100));

@@ -229,11 +229,11 @@ mod tests {
 
     #[test]
     fn ec2_matrix_is_symmetric_and_plausible() {
-        for a in 0..4 {
-            for b in 0..4 {
-                assert_eq!(EC2_RTT_MS[a][b], EC2_RTT_MS[b][a]);
+        for (a, row) in EC2_RTT_MS.iter().enumerate() {
+            for (b, rtt) in row.iter().enumerate() {
+                assert_eq!(*rtt, EC2_RTT_MS[b][a]);
                 if a != b {
-                    assert!(EC2_RTT_MS[a][b] >= 20 && EC2_RTT_MS[a][b] <= 200);
+                    assert!((20..=200).contains(rtt));
                 }
             }
         }
@@ -246,7 +246,10 @@ mod tests {
         t.place(NodeId::new(1), Topology::site_of_region(Region::UsEast1));
         let one_way = t.propagation(NodeId::new(0), NodeId::new(1));
         assert_eq!(one_way, Duration::from_millis(40)); // 80 ms RTT
-        assert!(t.bandwidth(NodeId::new(0), NodeId::new(1)) < t.bandwidth(NodeId::new(0), NodeId::new(0)));
+        assert!(
+            t.bandwidth(NodeId::new(0), NodeId::new(1))
+                < t.bandwidth(NodeId::new(0), NodeId::new(0))
+        );
     }
 
     #[test]

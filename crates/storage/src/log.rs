@@ -245,9 +245,9 @@ impl AcceptorLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::DiskProfile;
     use common::ids::NodeId;
     use common::value::Value;
-    use crate::profile::DiskProfile;
 
     fn val(seq: u64) -> Value {
         Value::app(NodeId::new(1), seq, bytes::Bytes::from_static(b"v"))

@@ -213,7 +213,7 @@ mod tests {
     fn async_acks_immediately_until_backlog_fills() {
         let profile = DiskProfile {
             flush_latency: Duration::from_millis(8),
-            bandwidth: 1e6,           // 1 MB/s to fill the backlog quickly
+            bandwidth: 1e6,            // 1 MB/s to fill the backlog quickly
             max_backlog_bytes: 10_000, // 10 ms worth of backlog
         };
         let mut d = DiskTimeline::new(StorageMode::Async(profile));

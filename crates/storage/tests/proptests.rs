@@ -30,7 +30,11 @@ fn arb_ops() -> impl Strategy<Value = Vec<OpKind>> {
 }
 
 fn value(node: u32, payload: u8) -> Value {
-    Value::app(NodeId::new(node), u64::from(payload), Bytes::from(vec![payload; 8]))
+    Value::app(
+        NodeId::new(node),
+        u64::from(payload),
+        Bytes::from(vec![payload; 8]),
+    )
 }
 
 proptest! {
@@ -91,7 +95,7 @@ proptest! {
                 if receipt.ack_at <= crash_time {
                     acked_by_crash.push(inst);
                 }
-                now = now + std::time::Duration::from_micros(100);
+                now += std::time::Duration::from_micros(100);
             }
         }
         sync_log.crash(crash_time);

@@ -9,9 +9,10 @@
 //! Run: `cargo run --example kv_geo`
 
 use std::collections::HashMap;
-use std::time::Duration;
 
 use atomic_multicast::common::ids::{ClientId, PartitionId};
+use atomic_multicast::common::ids::{NodeId, RingId};
+use atomic_multicast::common::wire::Wire;
 use atomic_multicast::common::SimTime;
 use atomic_multicast::coord::{PartitionInfo, Registry, RingConfig};
 use atomic_multicast::mrpstore::{KvApp, KvCommand, Partitioning};
@@ -20,8 +21,6 @@ use atomic_multicast::multiring::{HostOptions, MultiRingHost};
 use atomic_multicast::ringpaxos::options::{BatchPolicy, RateLeveling, RingOptions};
 use atomic_multicast::simnet::{CpuModel, Region, Sim, Topology};
 use atomic_multicast::storage::StorageMode;
-use atomic_multicast::common::ids::{NodeId, RingId};
-use atomic_multicast::common::wire::Wire;
 use bytes::Bytes;
 
 fn main() {
@@ -47,7 +46,9 @@ fn main() {
     }
     for (p, ring) in rings.iter().enumerate() {
         registry
-            .register_ring(RingConfig::new(*ring, replicas[p].clone(), replicas[p].clone()).unwrap())
+            .register_ring(
+                RingConfig::new(*ring, replicas[p].clone(), replicas[p].clone()).unwrap(),
+            )
             .unwrap();
     }
     let all: Vec<NodeId> = replicas.iter().flatten().copied().collect();
@@ -104,7 +105,7 @@ fn main() {
             HashMap::from([(ring, replicas[p][0]), (global, replicas[p][0])]),
             move |_rng: &mut rand::rngs::StdRng| {
                 seq += 1;
-                if seq % 20 == 0 {
+                if seq.is_multiple_of(20) {
                     // A cross-partition scan, atomically ordered via the
                     // global ring.
                     let cmd = KvCommand::Scan {
@@ -161,11 +162,7 @@ fn main() {
             );
         }
     }
-    println!(
-        "\nok: both regions make steady progress; every operation's delivery waits for"
-    );
-    println!(
-        "its global-ring merge turn (one WAN circulation) — the price of totally"
-    );
+    println!("\nok: both regions make steady progress; every operation's delivery waits for");
+    println!("its global-ring merge turn (one WAN circulation) — the price of totally");
     println!("ordering cross-partition scans against local writes (paper fig. 7 CDF)");
 }

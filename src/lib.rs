@@ -8,6 +8,7 @@ pub use baselines;
 pub use common;
 pub use coord;
 pub use dlog;
+pub use liverun;
 pub use mrpstore;
 pub use multiring;
 pub use ringpaxos;

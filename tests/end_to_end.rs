@@ -126,7 +126,11 @@ fn kv_store_cross_partition_scan() {
 
     sim.run_until(SimTime::from_secs(5));
     let s = stats.borrow();
-    assert!(s.completed > 45, "inserts + scans completed: {}", s.completed);
+    assert!(
+        s.completed > 45,
+        "inserts + scans completed: {}",
+        s.completed
+    );
     let scans = s.latency_by.get("scan").map(|h| h.count()).unwrap_or(0);
     assert!(scans > 0, "at least one scan completed");
 }
@@ -238,6 +242,127 @@ fn live_tcp_ring_small_smoke() {
     let d = ring.node(2).recv_delivery(Duration::from_secs(10)).unwrap();
     assert_eq!(d.inst.raw(), 0);
     ring.shutdown();
+}
+
+/// The live deployment runtime end-to-end: a 2-partition MRP-Store (one
+/// ring per partition plus the global scan ring) served over localhost
+/// TCP by `liverun`, driven by concurrent closed-loop network clients,
+/// with one replica killed and restarted mid-run. After recovery the
+/// restarted replica itself must answer reads with the latest written
+/// values — reads are ordered through consensus after the writes, so
+/// anything stale would violate linearizability.
+#[test]
+fn live_mrpstore_survives_replica_restart_with_closed_loop_clients() {
+    use atomic_multicast::liverun::config::generate_localhost_mrpstore;
+    use atomic_multicast::liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
+    use atomic_multicast::mrpstore::{KvCommand, KvResponse, Partitioning};
+
+    // Ports 28000..34000 — disjoint from crates/liverun's test range
+    // (20000..26000) so parallel test binaries never collide.
+    let base = 28000 + (std::process::id() % 150) as u16 * 40;
+    let text = generate_localhost_mrpstore(2, 3, base, None);
+    let config = DeploymentConfig::parse(&text).unwrap();
+    let mut deployment = Deployment::launch(config.clone()).unwrap();
+
+    let opts = || ClientOptions {
+        timeout: Duration::from_secs(30),
+        retry_every: Duration::from_secs(2),
+    };
+
+    // Closed-loop writer clients on their own threads: each writes its
+    // own key range, read-checks its own writes, and keeps running
+    // through the kill and the restart below.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for w in 0..2u32 {
+        let config = config.clone();
+        let stop = stop.clone();
+        workers.push(std::thread::spawn(move || -> u64 {
+            let mut client = StoreClient::connect(&config, ClientId::new(100 + w), opts()).unwrap();
+            let mut completed = 0u64;
+            for round in 0.. {
+                if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    break;
+                }
+                let key = format!("w{w}-{round:04}");
+                let value = Bytes::from(format!("r{round}"));
+                assert_eq!(
+                    client.insert(&key, value.clone()).unwrap(),
+                    KvResponse::Ok,
+                    "closed-loop insert {key}"
+                );
+                // Read-your-writes through consensus.
+                assert_eq!(
+                    client.read(&key).unwrap(),
+                    Some(value),
+                    "closed-loop read {key}"
+                );
+                completed += 1;
+            }
+            completed
+        }));
+    }
+
+    // A control client for the fault injection and the final checks.
+    let mut control = StoreClient::connect(&config, ClientId::new(1), opts()).unwrap();
+    let scheme = Partitioning::Hash { partitions: 2 };
+    let probe_key: String = (0..)
+        .map(|i| format!("probe{i}"))
+        .find(|k| scheme.partition_of(k).raw() == 0)
+        .unwrap();
+    assert_eq!(
+        control
+            .insert(&probe_key, Bytes::from_static(b"before"))
+            .unwrap(),
+        KvResponse::Ok
+    );
+
+    // Kill a replica of partition 0 while the workers keep going, write
+    // through the outage, then restart it.
+    let victim = NodeId::new(2);
+    deployment.kill(victim).unwrap();
+    assert_eq!(
+        control
+            .update(&probe_key, Bytes::from_static(b"during"))
+            .unwrap(),
+        KvResponse::Ok,
+        "service must stay available during the outage"
+    );
+    deployment.restart(victim).unwrap();
+    control.raw().reconnect(victim).unwrap();
+
+    // The recovered replica answers with the value written while it was
+    // down (checkpoint fetch from partition peers + acceptor catch-up).
+    let raw = control
+        .raw()
+        .request_from(
+            RingId::new(0),
+            KvCommand::Read {
+                key: probe_key.clone(),
+            }
+            .to_bytes(),
+            victim,
+        )
+        .unwrap();
+    let mut raw = raw.clone();
+    assert_eq!(
+        KvResponse::decode(&mut raw).unwrap(),
+        KvResponse::Value(Some(Bytes::from_static(b"during"))),
+        "recovered replica must serve the post-crash write"
+    );
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let mut total = 0;
+    for worker in workers {
+        total += worker.join().expect("worker thread must not panic");
+    }
+    assert!(total > 0, "closed-loop clients made progress");
+
+    // Cross-partition scan sees every worker write plus the probe key.
+    let entries = control.scan("", "").unwrap();
+    assert_eq!(entries.len() as u64, total + 1, "scan covers all writes");
+
+    deployment.shutdown();
 }
 
 /// Geo topology sanity: a WAN deployment commits at WAN latency while a

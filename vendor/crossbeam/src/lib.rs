@@ -1,0 +1,345 @@
+//! Workspace-local stand-in for `crossbeam`: MPMC channels built on a
+//! mutex + condvar queue, with the `crossbeam-channel` API surface the
+//! workspace uses (`bounded`, `unbounded`, timeouts, `try_iter`).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        readable: Condvar,
+        writable: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Fails when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self.shared.writable.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.items.push_back(value);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+
+        /// Sends without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Fails when the channel is full or disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if state.items.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.items.push_back(value);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a value or disconnection.
+        ///
+        /// # Errors
+        ///
+        /// Fails when the channel is empty and all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.readable.wait(state).unwrap();
+            }
+        }
+
+        /// Receives, blocking up to `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// Fails with `Timeout` or `Disconnected`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, timed_out) = self
+                    .shared
+                    .readable
+                    .wait_timeout(state, deadline - now)
+                    .unwrap();
+                state = next;
+                if timed_out.timed_out() && state.items.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Receives without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Fails with `Empty` or `Disconnected`.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if let Some(v) = state.items.pop_front() {
+                self.shared.writable.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Iterates over values currently queued without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().items.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded MPMC channel holding at most `cap` values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_send_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2]);
+        }
+
+        #[test]
+        fn bounded_try_send_full() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            drop(rx);
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_disconnects() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cross_thread() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = 0;
+            while got < 100 {
+                rx.recv_timeout(Duration::from_secs(5)).unwrap();
+                got += 1;
+            }
+            h.join().unwrap();
+        }
+    }
+}

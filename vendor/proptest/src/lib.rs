@@ -1,0 +1,371 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`, [`Just`],
+//! `any::<T>()`, ranges and tuples as strategies, weighted
+//! [`prop_oneof!`], [`collection::vec`], and the [`proptest!`] test macro
+//! with `prop_assert!`/`prop_assert_eq!`. Inputs are generated from a
+//! deterministic per-test seed; shrinking is not implemented (failures
+//! report the generated case number so a seed can be replayed).
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    //! Strategy combinators.
+
+    use super::StdRng;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no shrinking; a strategy is just a
+    /// cloneable generator.
+    pub trait Strategy: Clone {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> O + Clone,
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let inner = self;
+            BoxedStrategy {
+                gen: Arc::new(move |rng| inner.generate(rng)),
+            }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O + Clone> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        pub(crate) gen: Arc<dyn Fn(&mut StdRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Arc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Chooses among weighted alternatives (backs [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        pub(crate) options: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// A union over `(weight, strategy)` alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty or all weights are zero.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof requires positive total weight");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::RngExt;
+            let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.random_range(0..total);
+            for (w, s) in &self.options {
+                if pick < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+}
+
+use strategy::Strategy;
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Marker for uniformly generatable types (backs [`any`]).
+#[derive(Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The strategy generating uniformly random values of `T`.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: rand::Standard + Clone> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::RngExt;
+        rng.random()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        use rand::RngExt;
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// A strategy generating `Vec`s with length drawn from `len` and
+    /// elements from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            use rand::RngExt;
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic execution of property-test cases.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Cases generated per property (overridable via `PROPTEST_CASES`).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// A deterministic per-test generator, derived from the test name.
+    pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        StdRng::seed_from_u64(h ^ (u64::from(case) << 32))
+    }
+}
+
+pub mod prelude {
+    //! The glob-imported surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{any, Just};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs each property over generated cases; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            for case in 0..$crate::test_runner::cases() {
+                let mut __proptest_rng = $crate::test_runner::rng_for(stringify!($name), case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);
+                )*
+                $body
+            }
+        }
+        $crate::proptest!{$($rest)*}
+    };
+}
+
+/// `assert!` under a property (no shrinking in the vendored version).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Chooses among strategies, optionally weighted; mirrors
+/// `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Kind {
+        A(u8),
+        B,
+    }
+
+    proptest! {
+        #[test]
+        fn tuples_and_maps_generate(v in (any::<u32>(), 0u64..10).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(v.1 < 10);
+        }
+
+        #[test]
+        fn oneof_weighted(k in prop_oneof![
+            3 => (1u8..5).prop_map(Kind::A),
+            1 => Just(Kind::B),
+        ]) {
+            if let Kind::A(x) = k {
+                prop_assert!((1..5).contains(&x));
+            }
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(any::<u64>(), 0..8);
+        let mut r1 = crate::test_runner::rng_for("x", 3);
+        let mut r2 = crate::test_runner::rng_for("x", 3);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
