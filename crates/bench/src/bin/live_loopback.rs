@@ -1,18 +1,24 @@
-//! Live loopback probe: batched vs. unbatched client throughput and
-//! latency against a real `liverun` deployment on localhost TCP.
+//! Live loopback probe: payload-size sweep against a real `liverun`
+//! deployment on localhost TCP, reporting throughput, latency and the
+//! decision-path bytes-on-wire.
 //!
-//! The proposer-side batcher packs many concurrent client commands into
-//! one consensus value ([`common::value::Payload::Batch`]); this probe
-//! quantifies what that buys. It launches the same MRP-Store deployment
-//! twice — once with batching disabled (every command is one consensus
-//! instance) and once with it enabled — drives both with the same
-//! closed-loop client fleet, and prints a JSON comparison, seeding the
-//! performance trajectory for the live runtime.
+//! The ordering hot path is supposed to ship every application payload
+//! around the ring exactly once (inside Phase 2) and keep all later
+//! ordering traffic — decisions in particular — metadata-only. The
+//! [`common::metrics`] counters, incremented by the wire encoder, let this
+//! probe verify that property on a real deployment and track the
+//! throughput it buys across payload sizes.
 //!
 //! ```text
 //! cargo run --release -p bench --bin live_loopback -- \
-//!     [--clients 16] [--duration-ms 3000] [--partitions 2] [--replicas 2]
+//!     [--clients 8] [--window 32] [--duration-ms 3000] \
+//!     [--partitions 2] [--replicas 2] [--label current] \
+//!     [--out BENCH_live_loopback.json] [--smoke]
 //! ```
+//!
+//! `--smoke` runs one short 1 KiB scenario and exits non-zero if any
+//! decision on the wire carried payload bytes — the CI guard against the
+//! decision path regressing back to full-value shipping.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -21,20 +27,16 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use common::hist::Histogram;
 use common::ids::ClientId;
+use common::metrics::{self, WireCounters};
 use liverun::config::generate_localhost_mrpstore;
 use liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
 
-struct Scenario {
-    name: &'static str,
-    batch_max: usize,
-    batch_delay_ms: u64,
-}
-
 struct Outcome {
-    name: &'static str,
+    payload_bytes: usize,
     completed: u64,
     elapsed: Duration,
     latency: Histogram,
+    wire: WireCounters,
 }
 
 impl Outcome {
@@ -45,11 +47,15 @@ impl Outcome {
     fn json(&self) -> String {
         format!(
             concat!(
-                "{{\"scenario\": \"{}\", \"completed\": {}, \"elapsed_s\": {:.3}, ",
+                "{{\"payload_bytes\": {}, \"completed\": {}, \"elapsed_s\": {:.3}, ",
                 "\"throughput_ops_s\": {:.1}, \"latency_us\": ",
-                "{{\"mean\": {:.1}, \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}}}}"
+                "{{\"mean\": {:.1}, \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}}, ",
+                "\"wire\": {{\"decision_msgs\": {}, \"decision_wire_bytes\": {}, ",
+                "\"decision_payload_bytes\": {}, \"phase2_msgs\": {}, ",
+                "\"phase2_wire_bytes\": {}, \"phase2_payload_bytes\": {}, ",
+                "\"value_requests\": {}}}}}"
             ),
-            self.name,
+            self.payload_bytes,
             self.completed,
             self.elapsed.as_secs_f64(),
             self.throughput(),
@@ -57,6 +63,13 @@ impl Outcome {
             self.latency.quantile(0.50) as f64 / 1e3,
             self.latency.quantile(0.95) as f64 / 1e3,
             self.latency.quantile(0.99) as f64 / 1e3,
+            self.wire.decision_msgs,
+            self.wire.decision_wire_bytes,
+            self.wire.decision_payload_bytes,
+            self.wire.phase2_msgs,
+            self.wire.phase2_wire_bytes,
+            self.wire.phase2_payload_bytes,
+            self.wire.value_requests,
         )
     }
 }
@@ -70,6 +83,19 @@ fn arg(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// One pipelined client: keeps `window` requests outstanding, measures
 /// end-to-end latency per completion. Pipelining (rather than strict
 /// closed-loop) is what lets the proposer-side batcher actually see
@@ -78,6 +104,7 @@ fn worker_loop(
     config: &DeploymentConfig,
     w: u32,
     window: usize,
+    payload: Bytes,
     stop: &AtomicBool,
 ) -> (u64, Histogram) {
     use common::ids::RingId;
@@ -114,7 +141,7 @@ fn worker_loop(
             let key = format!("w{w}-{}", round % 512);
             let cmd = KvCommand::Insert {
                 key: key.clone(),
-                value: Bytes::from_static(b"0123456789abcdef"),
+                value: payload.clone(),
             };
             let ring = RingId::new(scheme.partition_of(&key).raw());
             let seq = client.submit(ring, cmd.to_bytes()).expect("submit");
@@ -135,8 +162,9 @@ fn worker_loop(
     (completed, hist)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_scenario(
-    scenario: &Scenario,
+    payload_bytes: usize,
     partitions: u16,
     replicas: u16,
     base_port: u16,
@@ -144,28 +172,21 @@ fn run_scenario(
     window: usize,
     duration: Duration,
 ) -> Outcome {
-    let mut text = generate_localhost_mrpstore(partitions, replicas, base_port, None);
-    // Override the generated batching parameters for this scenario.
-    text = text
-        .replace(
-            "batch_max = 64",
-            &format!("batch_max = {}", scenario.batch_max),
-        )
-        .replace(
-            "batch_delay_ms = 2",
-            &format!("batch_delay_ms = {}", scenario.batch_delay_ms),
-        );
+    let text = generate_localhost_mrpstore(partitions, replicas, base_port, None);
     let config = DeploymentConfig::parse(&text).expect("generated config parses");
     let deployment = Deployment::launch(config.clone()).expect("deployment launches");
+    let payload = Bytes::from(vec![0x5au8; payload_bytes]);
 
+    let before = metrics::snapshot();
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let mut workers = Vec::new();
     for w in 0..clients {
         let config = config.clone();
         let stop = Arc::clone(&stop);
+        let payload = payload.clone();
         workers.push(std::thread::spawn(move || {
-            worker_loop(&config, w, window, &stop)
+            worker_loop(&config, w, window, payload, &stop)
         }));
     }
 
@@ -180,55 +201,78 @@ fn run_scenario(
     }
     let elapsed = started.elapsed();
     deployment.shutdown();
+    let wire = before.delta(&metrics::snapshot());
     Outcome {
-        name: scenario.name,
+        payload_bytes,
         completed,
         elapsed,
         latency,
+        wire,
     }
 }
 
 fn main() {
+    let smoke = flag("--smoke");
     let partitions = arg("--partitions", 2) as u16;
     let replicas = arg("--replicas", 2) as u16;
     let clients = arg("--clients", 8) as u32;
     let window = arg("--window", 32) as usize;
-    let duration = Duration::from_millis(arg("--duration-ms", 3000));
+    let default_ms = if smoke { 800 } else { 3000 };
+    let duration = Duration::from_millis(arg("--duration-ms", default_ms));
     let base_port = arg("--base-port", 26000) as u16;
+    let label = arg_str("--label", "current");
+    let out = arg_str("--out", "BENCH_live_loopback.json");
 
-    let scenarios = [
-        Scenario {
-            name: "unbatched",
-            batch_max: 1,
-            batch_delay_ms: 0,
-        },
-        Scenario {
-            name: "batched",
-            batch_max: 64,
-            batch_delay_ms: 2,
-        },
-    ];
+    let payload_sizes: &[usize] = if smoke { &[1024] } else { &[64, 1024, 8192] };
 
     let mut outcomes = Vec::new();
-    for (i, s) in scenarios.iter().enumerate() {
+    for (i, &size) in payload_sizes.iter().enumerate() {
         let port = base_port + (i as u16) * ((partitions * replicas + 2) * 2);
         outcomes.push(run_scenario(
-            s, partitions, replicas, port, clients, window, duration,
+            size, partitions, replicas, port, clients, window, duration,
         ));
     }
 
-    println!("{{");
-    println!(
-        "  \"config\": {{\"partitions\": {partitions}, \"replicas\": {replicas}, \"clients\": {clients}, \"window\": {window}, \"duration_ms\": {}}},",
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    json.push_str(&format!(
+        "  \"config\": {{\"partitions\": {partitions}, \"replicas\": {replicas}, \"clients\": {clients}, \"window\": {window}, \"duration_ms\": {}}},\n",
         duration.as_millis()
-    );
-    println!("  \"results\": [");
+    ));
+    json.push_str("  \"results\": [\n");
     for (i, o) in outcomes.iter().enumerate() {
         let sep = if i + 1 < outcomes.len() { "," } else { "" };
-        println!("    {}{sep}", o.json());
+        json.push_str(&format!("    {}{sep}\n", o.json()));
     }
-    println!("  ],");
-    let speedup = outcomes[1].throughput() / outcomes[0].throughput().max(1e-9);
-    println!("  \"batching_speedup\": {speedup:.2}");
-    println!("}}");
+    json.push_str("  ]\n}\n");
+    print!("{json}");
+
+    if smoke {
+        // CI guard: the decision path must be metadata-only. The payload
+        // counter catches a re-added payload field that reports itself;
+        // the measured bytes-per-decision bound is the structural check —
+        // an id-only decision is ~10 bytes, so any payload (the scenario
+        // runs 1 KiB values) blows far past the threshold.
+        let total: u64 = outcomes.iter().map(|o| o.wire.decision_payload_bytes).sum();
+        let msgs: u64 = outcomes.iter().map(|o| o.wire.decision_msgs).sum();
+        let wire: u64 = outcomes.iter().map(|o| o.wire.decision_wire_bytes).sum();
+        let done: u64 = outcomes.iter().map(|o| o.completed).sum();
+        let per_decision = wire as f64 / msgs.max(1) as f64;
+        eprintln!(
+            "smoke: {done} ops, {msgs} decisions, {total} decision payload bytes, {per_decision:.1} B/decision"
+        );
+        if done == 0 {
+            eprintln!("smoke FAILED: no operations completed");
+            std::process::exit(1);
+        }
+        if total > 0 || per_decision > 64.0 {
+            eprintln!("smoke FAILED: decisions on the wire still carry payload bytes");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    std::fs::write(&out, json).expect("write results file");
+    eprintln!("wrote {out}");
 }

@@ -36,6 +36,7 @@
 pub mod error;
 pub mod hist;
 pub mod ids;
+pub mod metrics;
 pub mod msg;
 pub mod time;
 pub mod transport;

@@ -1,0 +1,113 @@
+//! Process-wide wire-traffic counters for the ordering hot path.
+//!
+//! The live transports encode every outgoing [`crate::msg::RingMsg`]
+//! exactly once, so counting inside the encoder gives an accurate
+//! bytes-on-wire picture of a live deployment without touching the
+//! sockets. The counters answer one specific question the benchmarks and
+//! the CI smoke test ask: *how many payload bytes does the decision path
+//! still carry?* With id-only decisions the answer must be zero — the
+//! value circulates the ring once inside Phase 2 and every later ordering
+//! message is metadata.
+//!
+//! Counters are process-global atomics (a deployment's nodes share the
+//! process in tests and benches, which is exactly the scope we want to
+//! measure) and are only ever incremented with relaxed ordering: they are
+//! statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static DECISION_MSGS: AtomicU64 = AtomicU64::new(0);
+static DECISION_WIRE_BYTES: AtomicU64 = AtomicU64::new(0);
+static DECISION_PAYLOAD_BYTES: AtomicU64 = AtomicU64::new(0);
+static PHASE2_MSGS: AtomicU64 = AtomicU64::new(0);
+static PHASE2_WIRE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PHASE2_PAYLOAD_BYTES: AtomicU64 = AtomicU64::new(0);
+static VALUE_REQUESTS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the wire counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireCounters {
+    /// Decision messages encoded for transmission.
+    pub decision_msgs: u64,
+    /// Total encoded bytes of those decisions.
+    pub decision_wire_bytes: u64,
+    /// Application payload bytes carried inside decisions (zero once the
+    /// decision path is id-only).
+    pub decision_payload_bytes: u64,
+    /// Phase 2 messages encoded for transmission.
+    pub phase2_msgs: u64,
+    /// Total encoded bytes of those Phase 2 messages.
+    pub phase2_wire_bytes: u64,
+    /// Application payload bytes carried inside Phase 2 messages (the
+    /// one legitimate payload circulation).
+    pub phase2_payload_bytes: u64,
+    /// Slow-path value pulls encoded (misses of the id→value resolution).
+    pub value_requests: u64,
+}
+
+impl WireCounters {
+    /// Counter deltas between two snapshots (`later - self`).
+    pub fn delta(&self, later: &WireCounters) -> WireCounters {
+        WireCounters {
+            decision_msgs: later.decision_msgs - self.decision_msgs,
+            decision_wire_bytes: later.decision_wire_bytes - self.decision_wire_bytes,
+            decision_payload_bytes: later.decision_payload_bytes - self.decision_payload_bytes,
+            phase2_msgs: later.phase2_msgs - self.phase2_msgs,
+            phase2_wire_bytes: later.phase2_wire_bytes - self.phase2_wire_bytes,
+            phase2_payload_bytes: later.phase2_payload_bytes - self.phase2_payload_bytes,
+            value_requests: later.value_requests - self.value_requests,
+        }
+    }
+}
+
+/// Records one encoded slow-path value pull.
+pub fn record_value_request() {
+    VALUE_REQUESTS.fetch_add(1, Relaxed);
+}
+
+/// Records one encoded decision message.
+pub fn record_decision(wire_bytes: usize, payload_bytes: usize) {
+    DECISION_MSGS.fetch_add(1, Relaxed);
+    DECISION_WIRE_BYTES.fetch_add(wire_bytes as u64, Relaxed);
+    DECISION_PAYLOAD_BYTES.fetch_add(payload_bytes as u64, Relaxed);
+}
+
+/// Records one encoded Phase 2 message.
+pub fn record_phase2(wire_bytes: usize, payload_bytes: usize) {
+    PHASE2_MSGS.fetch_add(1, Relaxed);
+    PHASE2_WIRE_BYTES.fetch_add(wire_bytes as u64, Relaxed);
+    PHASE2_PAYLOAD_BYTES.fetch_add(payload_bytes as u64, Relaxed);
+}
+
+/// Reads all counters.
+pub fn snapshot() -> WireCounters {
+    WireCounters {
+        decision_msgs: DECISION_MSGS.load(Relaxed),
+        decision_wire_bytes: DECISION_WIRE_BYTES.load(Relaxed),
+        decision_payload_bytes: DECISION_PAYLOAD_BYTES.load(Relaxed),
+        phase2_msgs: PHASE2_MSGS.load(Relaxed),
+        phase2_wire_bytes: PHASE2_WIRE_BYTES.load(Relaxed),
+        phase2_payload_bytes: PHASE2_PAYLOAD_BYTES.load(Relaxed),
+        value_requests: VALUE_REQUESTS.load(Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        // Counters are process-global and sibling unit tests encode ring
+        // messages concurrently, so assert lower bounds, not exact values.
+        let before = snapshot();
+        record_decision(30, 0);
+        record_phase2(1050, 1024);
+        let after = snapshot();
+        let d = before.delta(&after);
+        assert!(d.decision_msgs >= 1);
+        assert!(d.decision_wire_bytes >= 30);
+        assert!(d.phase2_msgs >= 1);
+        assert!(d.phase2_payload_bytes >= 1024);
+    }
+}

@@ -20,8 +20,25 @@ use std::fmt;
 
 use crate::error::WireError;
 use crate::ids::{Ballot, ClientId, InstanceId, NodeId, PartitionId, RequestId, RingId};
-use crate::value::Value;
-use crate::wire::{get_bytes, get_tag, get_varint, get_vec, put_bytes, put_varint, put_vec, Wire};
+use crate::value::{Value, ValueId};
+use crate::wire::{
+    get_bytes, get_tag, get_varint, get_vec, put_bytes, put_varint, put_vec, varint_len, Wire,
+};
+
+/// Exact encoded size of a [`Ballot`].
+fn ballot_len(b: &Ballot) -> usize {
+    varint_len(u64::from(b.round())) + varint_len(u64::from(b.node().raw()))
+}
+
+/// Exact encoded size of a [`ValueId`].
+fn value_id_len(id: &ValueId) -> usize {
+    varint_len(u64::from(id.node.raw())) + varint_len(id.seq)
+}
+
+/// Exact encoded size of an [`AcceptedEntry`].
+fn entry_len(e: &AcceptedEntry) -> usize {
+    varint_len(e.inst.raw()) + ballot_len(&e.vballot) + e.value.encoded_len()
+}
 
 /// Top-level message envelope.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,11 +55,12 @@ pub enum Msg {
 }
 
 impl Msg {
-    /// Approximate on-wire size in bytes, used by the simulator's bandwidth
-    /// and CPU cost models. Computed without serializing.
+    /// On-wire size in bytes, used by the simulator's bandwidth and CPU
+    /// cost models. Computed without serializing; exact for ring traffic
+    /// (the hot path), approximate for client/recovery messages.
     pub fn wire_size(&self) -> usize {
         match self {
-            Msg::Ring(_, m) => 2 + m.wire_size(),
+            Msg::Ring(ring, m) => 1 + varint_len(u64::from(ring.raw())) + m.wire_size(),
             Msg::Client(m) => 1 + m.wire_size(),
             Msg::Recovery(m) => 1 + m.wire_size(),
             Msg::Custom(_, b) => 3 + b.len(),
@@ -120,13 +138,39 @@ pub enum RingMsg {
         ttl: u16,
     },
     /// A decision circulating so every process learns the outcome.
+    ///
+    /// Metadata only: the payload circulated the ring once inside
+    /// [`RingMsg::Phase2`]; the decision names the winning value by id and
+    /// receivers resolve it against what they learned in Phase 2 (or pull
+    /// it with [`RingMsg::ValueRequest`] if they missed it).
     Decision {
         /// The decided instance.
         inst: InstanceId,
-        /// The decided value.
-        value: Value,
+        /// The ballot the value was decided at.
+        ballot: Ballot,
+        /// The decided value's id.
+        id: ValueId,
         /// Remaining hops.
         ttl: u16,
+    },
+    /// Slow-path pull: the sender observed an id-only decision for a value
+    /// it never learned (dropped frame, late join, post-reconfiguration
+    /// hole) and asks an acceptor to resend it. Point-to-point, never
+    /// forwarded.
+    ValueRequest {
+        /// The decided instance whose value is missing.
+        inst: InstanceId,
+        /// The decided value's id.
+        id: ValueId,
+    },
+    /// Answer to [`RingMsg::ValueRequest`]: the full value. Point-to-point.
+    ValueResend {
+        /// The decided instance.
+        inst: InstanceId,
+        /// The ballot the value was accepted at by the resender.
+        ballot: Ballot,
+        /// The decided value.
+        value: Value,
     },
     /// Several ring messages packed into one network packet (paper §4:
     /// "different types of messages for several consensus instances are
@@ -142,20 +186,66 @@ pub enum RingMsg {
 }
 
 impl RingMsg {
-    /// Approximate on-wire size without serializing.
+    /// Exact on-wire size, computed without serializing. Keeping this in
+    /// lock-step with [`Wire::encode`] keeps the simulator's bandwidth and
+    /// CPU models honest; a test asserts equality with `encoded_len()`
+    /// for every variant.
     pub fn wire_size(&self) -> usize {
         match self {
-            RingMsg::Proposal { value, .. } => 4 + value.encoded_len(),
-            RingMsg::Phase1 { accepted, .. } => {
-                16 + accepted
-                    .iter()
-                    .map(|a| 12 + a.value.encoded_len())
-                    .sum::<usize>()
+            RingMsg::Proposal { value, ttl } => {
+                1 + value.encoded_len() + varint_len(u64::from(*ttl))
             }
-            RingMsg::Phase2 { value, .. } => 12 + value.encoded_len(),
-            RingMsg::Decision { value, .. } => 8 + value.encoded_len(),
-            RingMsg::Batch(msgs) => 2 + msgs.iter().map(RingMsg::wire_size).sum::<usize>(),
-            RingMsg::Heartbeat { .. } => 10,
+            RingMsg::Phase1 {
+                ballot,
+                from,
+                to,
+                promises,
+                accepted,
+                ttl,
+            } => {
+                1 + ballot_len(ballot)
+                    + varint_len(from.raw())
+                    + varint_len(to.raw())
+                    + varint_len(u64::from(*promises))
+                    + varint_len(accepted.len() as u64)
+                    + accepted.iter().map(entry_len).sum::<usize>()
+                    + varint_len(u64::from(*ttl))
+            }
+            RingMsg::Phase2 {
+                inst,
+                ballot,
+                value,
+                votes,
+                ttl,
+            } => {
+                1 + varint_len(inst.raw())
+                    + ballot_len(ballot)
+                    + value.encoded_len()
+                    + varint_len(u64::from(*votes))
+                    + varint_len(u64::from(*ttl))
+            }
+            RingMsg::Decision {
+                inst,
+                ballot,
+                id,
+                ttl,
+            } => {
+                1 + varint_len(inst.raw())
+                    + ballot_len(ballot)
+                    + value_id_len(id)
+                    + varint_len(u64::from(*ttl))
+            }
+            RingMsg::ValueRequest { inst, id } => 1 + varint_len(inst.raw()) + value_id_len(id),
+            RingMsg::ValueResend {
+                inst,
+                ballot,
+                value,
+            } => 1 + varint_len(inst.raw()) + ballot_len(ballot) + value.encoded_len(),
+            RingMsg::Batch(msgs) => {
+                1 + varint_len(msgs.len() as u64)
+                    + msgs.iter().map(RingMsg::wire_size).sum::<usize>()
+            }
+            RingMsg::Heartbeat { epoch } => 1 + varint_len(*epoch),
         }
     }
 
@@ -166,7 +256,10 @@ impl RingMsg {
             | RingMsg::Phase1 { ttl, .. }
             | RingMsg::Phase2 { ttl, .. }
             | RingMsg::Decision { ttl, .. } => Some(*ttl),
-            RingMsg::Batch(_) | RingMsg::Heartbeat { .. } => None,
+            RingMsg::Batch(_)
+            | RingMsg::Heartbeat { .. }
+            | RingMsg::ValueRequest { .. }
+            | RingMsg::ValueResend { .. } => None,
         }
     }
 }
@@ -202,18 +295,31 @@ impl Wire for RingMsg {
                 votes,
                 ttl,
             } => {
+                let before = buf.len();
                 buf.put_u8(2);
                 inst.encode(buf);
                 ballot.encode(buf);
                 value.encode(buf);
                 put_varint(buf, u64::from(*votes));
                 put_varint(buf, u64::from(*ttl));
+                let payload = value.payload().map(|b| b.len()).unwrap_or(0);
+                crate::metrics::record_phase2(buf.len() - before, payload);
             }
-            RingMsg::Decision { inst, value, ttl } => {
+            RingMsg::Decision {
+                inst,
+                ballot,
+                id,
+                ttl,
+            } => {
+                let before = buf.len();
                 buf.put_u8(3);
                 inst.encode(buf);
-                value.encode(buf);
+                ballot.encode(buf);
+                id.encode(buf);
                 put_varint(buf, u64::from(*ttl));
+                // Id-only by construction: a decision cannot carry payload
+                // bytes any more; the counter records that fact.
+                crate::metrics::record_decision(buf.len() - before, 0);
             }
             RingMsg::Batch(msgs) => {
                 buf.put_u8(4);
@@ -222,6 +328,22 @@ impl Wire for RingMsg {
             RingMsg::Heartbeat { epoch } => {
                 buf.put_u8(5);
                 put_varint(buf, *epoch);
+            }
+            RingMsg::ValueRequest { inst, id } => {
+                buf.put_u8(6);
+                inst.encode(buf);
+                id.encode(buf);
+                crate::metrics::record_value_request();
+            }
+            RingMsg::ValueResend {
+                inst,
+                ballot,
+                value,
+            } => {
+                buf.put_u8(7);
+                inst.encode(buf);
+                ballot.encode(buf);
+                value.encode(buf);
             }
         }
     }
@@ -249,12 +371,22 @@ impl Wire for RingMsg {
             }),
             3 => Ok(RingMsg::Decision {
                 inst: InstanceId::decode(buf)?,
-                value: Value::decode(buf)?,
+                ballot: Ballot::decode(buf)?,
+                id: ValueId::decode(buf)?,
                 ttl: get_varint(buf)? as u16,
             }),
             4 => Ok(RingMsg::Batch(get_vec(buf)?)),
             5 => Ok(RingMsg::Heartbeat {
                 epoch: get_varint(buf)?,
+            }),
+            6 => Ok(RingMsg::ValueRequest {
+                inst: InstanceId::decode(buf)?,
+                id: ValueId::decode(buf)?,
+            }),
+            7 => Ok(RingMsg::ValueResend {
+                inst: InstanceId::decode(buf)?,
+                ballot: Ballot::decode(buf)?,
+                value: Value::decode(buf)?,
             }),
             tag => Err(WireError::BadTag {
                 context: "ring msg",
@@ -765,8 +897,24 @@ mod tests {
             RingId::new(3),
             RingMsg::Decision {
                 inst: InstanceId::new(10),
-                value: v.clone(),
+                ballot: Ballot::new(1, NodeId::new(1)),
+                id: v.id,
                 ttl: 2,
+            },
+        ));
+        rt(Msg::Ring(
+            RingId::new(4),
+            RingMsg::ValueRequest {
+                inst: InstanceId::new(11),
+                id: v.id,
+            },
+        ));
+        rt(Msg::Ring(
+            RingId::new(4),
+            RingMsg::ValueResend {
+                inst: InstanceId::new(11),
+                ballot: Ballot::new(2, NodeId::new(2)),
+                value: v.clone(),
             },
         ));
         rt(Msg::Ring(
@@ -774,12 +922,69 @@ mod tests {
             RingMsg::Batch(vec![
                 RingMsg::Decision {
                     inst: InstanceId::new(10),
-                    value: v.clone(),
+                    ballot: Ballot::new(1, NodeId::new(1)),
+                    id: v.id,
                     ttl: 2,
                 },
                 RingMsg::Proposal { value: v, ttl: 1 },
             ]),
         ));
+    }
+
+    /// The simulator charges bandwidth via `wire_size()`; it must agree
+    /// with the real encoder for every ring message variant.
+    #[test]
+    fn ring_wire_size_is_exact_for_every_variant() {
+        let v = Value::app(NodeId::new(3), 200, Bytes::from(vec![7u8; 300]));
+        let entry = AcceptedEntry {
+            inst: InstanceId::new(1 << 20),
+            vballot: Ballot::new(300, NodeId::new(2)),
+            value: v.clone(),
+        };
+        let variants = vec![
+            RingMsg::Proposal {
+                value: v.clone(),
+                ttl: 300,
+            },
+            RingMsg::Phase1 {
+                ballot: Ballot::new(2, NodeId::new(1)),
+                from: InstanceId::new(0),
+                to: InstanceId::new(u64::MAX),
+                promises: 2,
+                accepted: vec![entry.clone(), entry],
+                ttl: 2,
+            },
+            RingMsg::Phase2 {
+                inst: InstanceId::new(1 << 30),
+                ballot: Ballot::new(1, NodeId::new(1)),
+                value: v.clone(),
+                votes: 200,
+                ttl: 1,
+            },
+            RingMsg::Decision {
+                inst: InstanceId::new(10),
+                ballot: Ballot::new(1, NodeId::new(1)),
+                id: v.id,
+                ttl: 2,
+            },
+            RingMsg::ValueRequest {
+                inst: InstanceId::new(10),
+                id: v.id,
+            },
+            RingMsg::ValueResend {
+                inst: InstanceId::new(10),
+                ballot: Ballot::ZERO,
+                value: Value::skip(NodeId::new(1), 5, 1000),
+            },
+            RingMsg::Heartbeat { epoch: 1 << 40 },
+        ];
+        let batch = RingMsg::Batch(variants.clone());
+        for m in variants.into_iter().chain([batch]) {
+            assert_eq!(m.wire_size(), m.encoded_len(), "variant {m:?}");
+            // And through the Msg envelope.
+            let msg = Msg::Ring(RingId::new(9), m);
+            assert_eq!(msg.wire_size(), msg.encoded_len(), "msg {msg:?}");
+        }
     }
 
     #[test]

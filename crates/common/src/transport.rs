@@ -21,7 +21,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 
 use crate::error::WireError;
 use crate::ids::NodeId;
@@ -192,10 +192,20 @@ impl Wire for PeerFrame {
     }
 }
 
-/// Reassembles length-delimited [`Wire`] frames from socket reads.
+/// Reassembles length-delimited [`Wire`] frames from socket reads,
+/// zero-copy.
+///
+/// Each socket read becomes one owned [`Bytes`] segment; a frame whose
+/// body lies within a single segment is handed to the decoder as a
+/// refcounted *view* of that segment (no per-frame memcpy), which in turn
+/// makes every [`bytes::Bytes`] payload decoded out of the frame — value
+/// payloads in particular — share the original read buffer all the way to
+/// application delivery. Only frames spanning a segment boundary are
+/// stitched with a copy.
 #[derive(Debug, Default)]
 pub struct FrameBuf {
-    buf: BytesMut,
+    segs: std::collections::VecDeque<Bytes>,
+    len: usize,
 }
 
 impl FrameBuf {
@@ -204,9 +214,81 @@ impl FrameBuf {
         Self::default()
     }
 
-    /// Feeds raw bytes read off a socket.
+    /// Feeds raw bytes read off a socket (one copy, to own the chunk).
     pub fn extend(&mut self, chunk: &[u8]) {
-        self.buf.extend_from_slice(chunk);
+        self.push_bytes(Bytes::copy_from_slice(chunk));
+    }
+
+    /// Feeds an already-owned segment, zero-copy.
+    pub fn push_bytes(&mut self, seg: Bytes) {
+        if !seg.is_empty() {
+            self.len += seg.len();
+            self.segs.push_back(seg);
+        }
+    }
+
+    /// Copies up to `dst.len()` buffered bytes into `dst` without
+    /// consuming them; returns how many were available.
+    fn peek_into(&self, dst: &mut [u8]) -> usize {
+        let mut filled = 0;
+        for seg in &self.segs {
+            if filled == dst.len() {
+                break;
+            }
+            let n = seg.len().min(dst.len() - filled);
+            dst[filled..filled + n].copy_from_slice(&seg[..n]);
+            filled += n;
+        }
+        filled
+    }
+
+    /// Drops `n` buffered bytes from the front.
+    fn consume(&mut self, mut n: usize) {
+        debug_assert!(n <= self.len);
+        self.len -= n;
+        while n > 0 {
+            let front = self.segs.front_mut().expect("consume within len");
+            if front.len() > n {
+                front.advance(n);
+                return;
+            }
+            n -= front.len();
+            self.segs.pop_front();
+        }
+    }
+
+    /// Removes the first `n` buffered bytes as one `Bytes`. Zero-copy
+    /// when they lie within the front segment.
+    fn take_bytes(&mut self, n: usize) -> Bytes {
+        debug_assert!(n <= self.len);
+        if n == 0 {
+            // Zero-length frame: nothing to take (and the deque may be
+            // empty if the header was the last buffered byte).
+            return Bytes::new();
+        }
+        self.len -= n;
+        let front = self.segs.front_mut().expect("take within len");
+        if front.len() >= n {
+            let body = front.split_to(n);
+            if front.is_empty() {
+                self.segs.pop_front();
+            }
+            return body;
+        }
+        // Frame spans segments: stitch once.
+        let mut body = BytesMut::with_capacity(n);
+        let mut left = n;
+        while left > 0 {
+            let front = self.segs.front_mut().expect("take within len");
+            let take = front.len().min(left);
+            body.extend_from_slice(&front[..take]);
+            front.advance(take);
+            if front.is_empty() {
+                self.segs.pop_front();
+            }
+            left -= take;
+        }
+        body.freeze()
     }
 
     /// Splits one complete frame off the front, if present.
@@ -216,17 +298,25 @@ impl FrameBuf {
     /// Fails on oversized or undecodable frames (the connection should be
     /// dropped).
     pub fn try_next<T: Wire>(&mut self) -> Result<Option<T>, WireError> {
-        frame::try_read(&mut self.buf)
+        let mut hdr = [0u8; 10];
+        let avail = self.peek_into(&mut hdr);
+        let Some((header, len)) = frame::header(&hdr[..avail], self.len)? else {
+            return Ok(None);
+        };
+        self.consume(header);
+        let mut body = self.take_bytes(len);
+        let msg = T::decode(&mut body)?;
+        Ok(Some(msg))
     }
 
     /// Bytes currently buffered.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.len
     }
 
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len == 0
     }
 }
 
@@ -302,5 +392,54 @@ mod tests {
         }
         assert_eq!(got, vec![frame]);
         assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn frame_buf_handles_frames_spanning_segments() {
+        // Three frames fed as awkwardly-split segments: one segment
+        // holding one and a half frames, the rest arriving later.
+        let msgs: Vec<Bytes> = (0..3).map(|i| Bytes::from(vec![i as u8; 700])).collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m));
+        }
+        let mut rx = FrameBuf::new();
+        let mut got: Vec<Bytes> = Vec::new();
+        for chunk in wire.chunks(1000) {
+            rx.push_bytes(Bytes::copy_from_slice(chunk));
+            while let Some(m) = rx.try_next::<Bytes>().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert!(rx.is_empty());
+        assert_eq!(rx.len(), 0);
+    }
+
+    #[test]
+    fn frame_buf_zero_length_frame_does_not_panic() {
+        // A single 0x00 byte is a frame declaring length zero — a
+        // malformed (or hostile) client must get a clean decode error or
+        // empty frame, never a panic in the reader thread.
+        let mut rx = FrameBuf::new();
+        rx.push_bytes(Bytes::copy_from_slice(&[0x00]));
+        // Bytes decodes an empty body as an error (missing length prefix);
+        // either way the call must return, not panic.
+        let _ = rx.try_next::<Msg>();
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn frame_buf_single_segment_body_is_view() {
+        // A frame wholly inside one segment must come out without
+        // stitching; we can only observe correctness, so check contents
+        // and that interleaved partial header feeds still work.
+        let msg = Bytes::from(vec![9u8; 100]);
+        let encoded = encode_frame(&msg);
+        let mut rx = FrameBuf::new();
+        rx.push_bytes(encoded.slice(..1)); // header split across segments
+        assert!(rx.try_next::<Bytes>().unwrap().is_none());
+        rx.push_bytes(encoded.slice(1..));
+        assert_eq!(rx.try_next::<Bytes>().unwrap(), Some(msg));
     }
 }

@@ -94,6 +94,32 @@ pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
     }
 }
 
+/// Parses a LEB128 varint from the front of a plain slice without
+/// consuming anything. Returns `Ok(None)` when the slice ends mid-varint
+/// (more input needed), `Ok(Some((value, encoded_len)))` otherwise.
+///
+/// # Errors
+///
+/// Fails on a varint longer than 10 bytes.
+pub fn peek_varint(buf: &[u8]) -> Result<Option<(u64, usize)>, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift == 63 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(Some((v, i + 1)));
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+    Ok(None)
+}
+
 /// The number of bytes [`put_varint`] uses for `v`.
 pub fn varint_len(v: u64) -> usize {
     if v == 0 {
@@ -261,8 +287,13 @@ impl Wire for String {
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        // Validate in place, copy only the (valid) payload once; the old
+        // `String::from_utf8(raw.to_vec())` paid the copy even when
+        // validation failed.
         let raw = get_bytes(buf)?;
-        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Truncated { context: "utf-8" })
+        std::str::from_utf8(&raw)
+            .map(str::to_owned)
+            .map_err(|_| WireError::Truncated { context: "utf-8" })
     }
 }
 
@@ -323,6 +354,29 @@ pub mod frame {
         buf.extend_from_slice(&body);
     }
 
+    /// Validates a frame header given the buffer's first bytes and total
+    /// buffered length — the single home of the framing invariants
+    /// (length limit, torn-tail handling) shared by every frame reader.
+    ///
+    /// Returns `Ok(None)` until a complete header *and* body are
+    /// buffered, `Ok(Some((header_len, body_len)))` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a length above [`MAX_LEN`] or a malformed varint.
+    pub fn header(prefix: &[u8], buffered: usize) -> Result<Option<(usize, usize)>, WireError> {
+        let Some((len, header)) = peek_varint(&prefix[..prefix.len().min(10)])? else {
+            return Ok(None);
+        };
+        if len > MAX_LEN {
+            return Err(WireError::LengthTooLarge { len });
+        }
+        if buffered - header < len as usize {
+            return Ok(None);
+        }
+        Ok(Some((header, len as usize)))
+    }
+
     /// Attempts to split one complete frame off the front of `buf`.
     ///
     /// Returns `Ok(None)` if the frame is not complete yet.
@@ -332,22 +386,31 @@ pub mod frame {
     /// Fails if the frame declares an excessive length or the payload does
     /// not decode.
     pub fn try_read<T: Wire>(buf: &mut BytesMut) -> Result<Option<T>, WireError> {
-        let mut peek = Bytes::copy_from_slice(&buf[..buf.len().min(10)]);
-        let before = peek.remaining();
-        let len = match get_varint(&mut peek) {
-            Ok(len) => len,
-            Err(WireError::Truncated { .. }) => return Ok(None),
-            Err(e) => return Err(e),
-        };
-        if len > MAX_LEN {
-            return Err(WireError::LengthTooLarge { len });
-        }
-        let header = before - peek.remaining();
-        if (buf.len() - header) < len as usize {
+        let Some((header, len)) = self::header(&buf[..], buf.len())? else {
             return Ok(None);
-        }
+        };
         buf.advance(header);
-        let mut body = buf.split_to(len as usize).freeze();
+        let mut body = buf.split_to(len).freeze();
+        let msg = T::decode(&mut body)?;
+        Ok(Some(msg))
+    }
+
+    /// Splits one complete frame off the front of an immutable `Bytes`
+    /// buffer, zero-copy: the frame body is a view into `buf`'s backing
+    /// allocation. Used for replaying on-disk logs read into memory.
+    ///
+    /// Returns `Ok(None)` on a clean end or a torn (incomplete) tail.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a complete frame declares an excessive length or does not
+    /// decode.
+    pub fn read_from<T: Wire>(buf: &mut Bytes) -> Result<Option<T>, WireError> {
+        let Some((header, len)) = self::header(&buf[..], buf.len())? else {
+            return Ok(None);
+        };
+        buf.advance(header);
+        let mut body = buf.split_to(len);
         let msg = T::decode(&mut body)?;
         Ok(Some(msg))
     }

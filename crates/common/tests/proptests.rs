@@ -73,11 +73,30 @@ fn arb_ring_msg() -> impl Strategy<Value = RingMsg> {
                 votes,
                 ttl,
             }),
-        (any::<u64>(), arb_value(), any::<u16>()).prop_map(|(inst, value, ttl)| {
-            RingMsg::Decision {
+        (
+            any::<u64>(),
+            arb_ballot(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u16>()
+        )
+            .prop_map(|(inst, ballot, node, seq, ttl)| RingMsg::Decision {
                 inst: InstanceId::new(inst),
-                value,
+                ballot,
+                id: ValueId::new(NodeId::new(node), seq),
                 ttl,
+            }),
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(inst, node, seq)| {
+            RingMsg::ValueRequest {
+                inst: InstanceId::new(inst),
+                id: ValueId::new(NodeId::new(node), seq),
+            }
+        }),
+        (any::<u64>(), arb_ballot(), arb_value()).prop_map(|(inst, ballot, value)| {
+            RingMsg::ValueResend {
+                inst: InstanceId::new(inst),
+                ballot,
+                value,
             }
         }),
     ];
@@ -273,6 +292,12 @@ proptest! {
     #[test]
     fn value_encoded_len_exact(v in arb_value()) {
         prop_assert_eq!(v.encoded_len(), v.to_bytes().len());
+    }
+
+    #[test]
+    fn ring_wire_size_exact(m in arb_ring_msg()) {
+        // The simulator's bandwidth model must agree with the encoder.
+        prop_assert_eq!(m.wire_size(), m.encoded_len());
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl DlogApp {
             LogCommand::Append { log, value } => {
                 let mut out = Vec::new();
                 if let Some(state) = self.logs.get_mut(log) {
-                    out.push((*log, state.append(value.clone())));
+                    // Copy out of the decoded command: a zero-copy `value`
+                    // is a view of a whole socket-read segment, and the
+                    // log retains entries until trimmed.
+                    out.push((*log, state.append(Bytes::copy_from_slice(value))));
                 }
                 LogResponse::Appended(out)
             }
@@ -95,7 +98,7 @@ impl DlogApp {
                 let mut out = Vec::new();
                 for log in logs {
                     if let Some(state) = self.logs.get_mut(log) {
-                        out.push((*log, state.append(value.clone())));
+                        out.push((*log, state.append(Bytes::copy_from_slice(value))));
                     }
                 }
                 LogResponse::Appended(out)

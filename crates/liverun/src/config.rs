@@ -135,7 +135,12 @@ impl DeploymentConfig {
                 partitions: deployment.int_or("partitions", 1)? as u16,
             },
             "dlog" => ServiceKind::Dlog {
-                logs: deployment.int_or("partitions", 1)? as u16,
+                // `logs = N` is the documented key; fall back to
+                // `partitions` which older configs (mis)used.
+                logs: match deployment.values.get("logs") {
+                    Some(_) => deployment.int_or("logs", 1)? as u16,
+                    None => deployment.int_or("partitions", 1)? as u16,
+                },
             },
             "echo" => ServiceKind::Echo,
             other => {

@@ -154,9 +154,23 @@ impl PeerTransport {
 fn peer_writer_loop(me: NodeId, addr: SocketAddr, rx: Receiver<Msg>) {
     let mut conn: Option<TcpStream> = None;
     let mut ever_connected = false;
+    let mut buf = bytes::BytesMut::new();
     loop {
         let Ok(msg) = rx.recv() else { return };
-        let frame = encode_frame(&PeerFrame { from: me, msg });
+        // Write coalescing: everything queued behind this message goes
+        // out in the same syscall — no added latency, and under load the
+        // per-frame write cost amortizes across the burst. The cap bounds
+        // how much a failed write can lose at once (a dropped buffer is
+        // healed by TTL'd circulation, retries and the value-pull path,
+        // but smaller losses heal faster).
+        buf.clear();
+        buf.extend_from_slice(&encode_frame(&PeerFrame { from: me, msg }));
+        while buf.len() < 64 * 1024 {
+            match rx.try_recv() {
+                Ok(msg) => buf.extend_from_slice(&encode_frame(&PeerFrame { from: me, msg })),
+                Err(_) => break,
+            }
+        }
         // (Re)connect if needed, then write; a failed write drops the
         // socket and retries once with a fresh connection.
         let mut attempts_left = 2;
@@ -187,7 +201,7 @@ fn peer_writer_loop(me: NodeId, addr: SocketAddr, rx: Receiver<Msg>) {
                 }
             }
             if let Some(s) = conn.as_mut() {
-                if s.write_all(&frame).is_ok() {
+                if s.write_all(&buf).is_ok() {
                     break;
                 }
                 conn = None;
@@ -508,47 +522,72 @@ fn node_loop(
     });
     route!();
 
+    macro_rules! handle_event {
+        ($ev:expr) => {
+            match $ev {
+                Event::Shutdown => return,
+                Event::Peer(from, msg) => {
+                    with_ctx!(|ctx| host.on_message(from, msg, &mut ctx));
+                }
+                Event::ClientHello(client, writer) => {
+                    clients.insert(client, writer);
+                }
+                Event::ClientGone(client) => {
+                    clients.remove(&client);
+                }
+                Event::ClientRequest {
+                    client,
+                    seq,
+                    group,
+                    cmd,
+                } => {
+                    if !setup.member_of.contains(&group) {
+                        // Fail fast instead of silently dropping: the client
+                        // can re-route immediately rather than burn its
+                        // timeout (the wire protocol's documented Error path).
+                        if let Some(writer) = clients.get(&client) {
+                            writer.send(&common::wire::client::ClientReply::Error {
+                                seq,
+                                reason: format!("node {me} does not serve group {group}"),
+                            });
+                        }
+                    } else {
+                        let env = Envelope {
+                            client,
+                            req: seq,
+                            reply_to: client_node_id(client),
+                            cmd,
+                        };
+                        if let Some(batch) = batcher.push(group, env, Instant::now()) {
+                            with_ctx!(|ctx| host.propose_envelopes(group, batch, &mut ctx));
+                        }
+                    }
+                }
+            }
+        };
+    }
+
     loop {
         let mut sleep = timers.sleep_for(Duration::from_millis(50));
         if let Some(batch_deadline) = batcher.next_deadline() {
             sleep = sleep.min(batch_deadline.saturating_duration_since(Instant::now()));
         }
         match rx.recv_timeout(sleep) {
-            Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
-            Ok(Event::Peer(from, msg)) => {
-                with_ctx!(|ctx| host.on_message(from, msg, &mut ctx));
-            }
-            Ok(Event::ClientHello(client, writer)) => {
-                clients.insert(client, writer);
-            }
-            Ok(Event::ClientGone(client)) => {
-                clients.remove(&client);
-            }
-            Ok(Event::ClientRequest {
-                client,
-                seq,
-                group,
-                cmd,
-            }) => {
-                if !setup.member_of.contains(&group) {
-                    // Fail fast instead of silently dropping: the client
-                    // can re-route immediately rather than burn its
-                    // timeout (the wire protocol's documented Error path).
-                    if let Some(writer) = clients.get(&client) {
-                        writer.send(&common::wire::client::ClientReply::Error {
-                            seq,
-                            reason: format!("node {me} does not serve group {group}"),
-                        });
-                    }
-                } else {
-                    let env = Envelope {
-                        client,
-                        req: seq,
-                        reply_to: client_node_id(client),
-                        cmd,
-                    };
-                    if let Some(batch) = batcher.push(group, env, Instant::now()) {
-                        with_ctx!(|ctx| host.propose_envelopes(group, batch, &mut ctx));
+            Err(RecvTimeoutError::Disconnected) => return,
+            Ok(ev) => {
+                handle_event!(ev);
+                // Greedily drain whatever queued behind the first event
+                // before routing: effects coalesce (one routing pass, and
+                // proposer batches actually fill) instead of paying the
+                // full wake-route cycle per message.
+                let mut drained = 0;
+                while drained < 512 {
+                    match rx.try_recv() {
+                        Ok(ev) => {
+                            handle_event!(ev);
+                            drained += 1;
+                        }
+                        Err(_) => break,
                     }
                 }
             }

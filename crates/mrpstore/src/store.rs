@@ -88,7 +88,11 @@ impl KvApp {
                 }
                 match self.data.get_mut(key) {
                     Some(slot) => {
-                        *slot = value.clone();
+                        // Copy out of the decoded command: a zero-copy
+                        // `value` is a view of a whole socket-read segment,
+                        // and the store retains values indefinitely —
+                        // holding the view would pin the segment forever.
+                        *slot = Bytes::copy_from_slice(value);
                         KvResponse::Ok
                     }
                     None => KvResponse::NotFound,
@@ -98,7 +102,9 @@ impl KvApp {
                 if !self.owns(key) {
                     return KvResponse::NotFound;
                 }
-                self.data.insert(key.clone(), value.clone());
+                // See Update: unpin the socket-read segment before
+                // retaining the value indefinitely.
+                self.data.insert(key.clone(), Bytes::copy_from_slice(value));
                 KvResponse::Ok
             }
             KvCommand::Delete { key } => {

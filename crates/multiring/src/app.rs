@@ -22,6 +22,12 @@ pub trait ServiceApp: Send + 'static {
     /// streams must produce identical states and replies.
     fn execute(&mut self, group: RingId, env: &Envelope) -> Bytes;
 
+    /// Batch boundary: called by the host after it finishes draining a
+    /// burst of deliveries into [`ServiceApp::execute`]. Durability
+    /// decorators use it for group commit — one write + one sync per
+    /// delivered batch instead of per command. Default: no-op.
+    fn flush(&mut self) {}
+
     /// Serializes the full service state for a checkpoint.
     fn snapshot(&self) -> Bytes;
 

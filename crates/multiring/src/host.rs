@@ -316,13 +316,8 @@ impl MultiRingHost {
     }
 
     fn pump_merge(&mut self, ctx: &mut Ctx<'_>) {
-        loop {
-            let Some(learner) = &mut self.learner else {
-                return;
-            };
-            let Some(delivery) = learner.pop() else {
-                return;
-            };
+        let mut executed_any = false;
+        while let Some(delivery) = self.learner.as_mut().and_then(|l| l.pop()) {
             let Ok(payload) =
                 Payload::decode(&mut delivery.value.payload().expect("app value").clone())
             else {
@@ -333,6 +328,7 @@ impl MultiRingHost {
             for env in payload.into_envelopes() {
                 let reply = self.app.execute(delivery.ring, &env);
                 self.executed += 1;
+                executed_any = true;
                 ctx.send(
                     env.reply_to,
                     Msg::Client(ClientMsg::Response {
@@ -343,6 +339,11 @@ impl MultiRingHost {
                     }),
                 );
             }
+        }
+        if executed_any {
+            // Group-commit boundary: everything this drain delivered is
+            // flushed (one write + one sync in a durable decorator).
+            self.app.flush();
         }
     }
 
@@ -366,10 +367,18 @@ impl MultiRingHost {
         let (merge_turn, merge_credits) = learner.scheduler_state();
         let snapshot = Snapshot {
             app: self.app.snapshot(),
+            // Snapshot each ring's dedup window at the *merge's* cut for
+            // that ring: the ring learner may have emitted deliveries the
+            // merge has not consumed yet, and those must not poison a
+            // restored replica's duplicate suppression (they will be
+            // re-delivered during catch-up).
             dedup: self
                 .rings
                 .iter()
-                .map(|(r, n)| (*r, n.dedup_snapshot()))
+                .map(|(r, n)| {
+                    let cut = tuple.get(*r).unwrap_or_else(|| n.next_delivery());
+                    (*r, n.dedup_snapshot(cut))
+                })
                 .collect(),
             merge_turn,
             merge_credits,

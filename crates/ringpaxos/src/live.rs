@@ -31,6 +31,7 @@ use common::ids::{InstanceId, NodeId, RingId};
 use common::msg::{AcceptedEntry, Msg, RingMsg};
 use common::transport::{encode_frame, FrameBuf, PeerFrame, TimerHeap, WallClock};
 use common::value::Value;
+use common::wire::Wire;
 use common::Ballot;
 use coord::{Registry, RingConfig};
 use storage::wal::{SyncPolicy, Wal};
@@ -374,14 +375,25 @@ fn drain<T: Transport>(
     for (to, msg) in out.sends.drain(..) {
         transport.send(to, msg);
     }
-    for (inst, value) in out.decided.drain(..) {
-        if let Some(w) = wal.lock().as_mut() {
-            let _ = w.append(&AcceptedEntry {
-                inst,
-                vballot: Ballot::ZERO,
-                value: value.clone(),
-            });
+    if !out.decided.is_empty() {
+        // Group commit: stage every decision of this drain, hit the file
+        // (and the platter, under a sync policy) once.
+        let mut guard = wal.lock();
+        if let Some(w) = guard.as_mut() {
+            for (inst, value) in &out.decided {
+                w.append_buffered_with(|buf| {
+                    AcceptedEntry {
+                        inst: *inst,
+                        vballot: Ballot::ZERO,
+                        value: value.clone(),
+                    }
+                    .encode(buf)
+                });
+            }
+            let _ = w.commit();
         }
+    }
+    for (inst, value) in out.decided.drain(..) {
         let _ = dtx.try_send(Delivery { inst, value });
     }
     for (after, t) in out.timers.drain(..) {

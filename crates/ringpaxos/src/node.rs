@@ -12,11 +12,21 @@
 //! 2. The coordinator assigns the next consensus instance and emits a
 //!    combined Phase 2A/2B message carrying its own vote.
 //! 3. Each acceptor logs its vote to stable storage, *then* adds it and
-//!    forwards; non-acceptors forward unchanged.
-//! 4. The acceptor whose vote completes a majority replaces the message
-//!    with a [`RingMsg::Decision`], which circulates until every member
-//!    has seen it.
-//! 5. Learners deliver decided values in instance order.
+//!    forwards; non-acceptors forward unchanged. The Phase 2 message
+//!    keeps circulating the whole ring — it is the *only* time the value
+//!    payload travels; everyone caches the value by id.
+//! 4. The acceptor whose vote completes the majority additionally emits
+//!    an **id-only** [`RingMsg::Decision`] `(instance, ballot, value id)`
+//!    that circulates so the members upstream of the decision point (who
+//!    saw the value but not the majority) learn the outcome; members
+//!    downstream decide directly from the passing Phase 2 message, whose
+//!    vote count already proves the majority.
+//! 5. A member that observes an id-only decision for a value it never
+//!    learned (dropped frame, late join, reconfiguration hole) pulls it
+//!    point-to-point with [`RingMsg::ValueRequest`], retried on the
+//!    liveness timer; delivery of the instance waits, later instances
+//!    buffer as usual.
+//! 6. Learners deliver decided values in instance order.
 //!
 //! Phase 1 is pre-executed for an open-ended window when a coordinator
 //! (newly elected or initial) takes over: acceptors promise and report
@@ -27,7 +37,7 @@
 //! number of proposals in the interval against λ·Δ and proposes a single
 //! [`ValueKind::Skip`] token standing for the difference.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
 use common::error::{Error, Result};
@@ -80,8 +90,25 @@ impl Output {
 enum PendingAction {
     /// Forward this message to the successor.
     Forward(RingMsg),
-    /// Majority reached here: decide locally and circulate the decision.
-    Decide { inst: InstanceId, value: Value },
+    /// Majority reached here: decide locally, keep the value circulating
+    /// (Phase 2 with the completed vote count and `fwd_ttl` hops left) and,
+    /// if `announce`, emit the id-only decision for the upstream members.
+    Decide {
+        inst: InstanceId,
+        ballot: Ballot,
+        value: Value,
+        votes: u16,
+        fwd_ttl: u16,
+        announce: bool,
+    },
+}
+
+/// An id-only decision observed before its value: the slow path pulls the
+/// value from the acceptors, re-requesting on the liveness timer.
+#[derive(Clone, Copy, Debug)]
+struct PendingValue {
+    id: ValueId,
+    requested_at: SimTime,
 }
 
 /// The per-ring protocol state machine. See the module docs.
@@ -118,7 +145,22 @@ pub struct RingNode {
     next_delivery: InstanceId,
     decision_buffer: BTreeMap<InstanceId, Value>,
     delivered_ids: HashSet<ValueId>,
-    delivered_order: VecDeque<ValueId>,
+    /// Delivered value ids with the instance each was first delivered at,
+    /// in delivery order. The instance tag lets a checkpoint snapshot the
+    /// dedup state *at a cut*: the ring learner runs ahead of the
+    /// deterministic merge, and including ids delivered beyond the merge's
+    /// cut would make a restored replica demote those values to no-ops
+    /// when catch-up re-delivers them (a lost write).
+    delivered_order: VecDeque<(InstanceId, ValueId)>,
+    /// Values learned from circulating Phase 2 / proposals, keyed by id:
+    /// what id-only decisions resolve against. Bounded FIFO; payloads are
+    /// refcounted views of the incoming frames, not copies.
+    learned: HashMap<ValueId, Value>,
+    learned_order: VecDeque<ValueId>,
+    /// Decisions whose value this node missed, awaiting a [`RingMsg::ValueResend`].
+    pending_values: BTreeMap<InstanceId, PendingValue>,
+    /// Rotates which acceptor serves value pulls.
+    value_req_rr: u64,
 
     // ---- proposer state ----
     unacked: BTreeMap<ValueId, (Value, SimTime)>,
@@ -170,6 +212,10 @@ impl RingNode {
             decision_buffer: BTreeMap::new(),
             delivered_ids: HashSet::new(),
             delivered_order: VecDeque::new(),
+            learned: HashMap::new(),
+            learned_order: VecDeque::new(),
+            pending_values: BTreeMap::new(),
+            value_req_rr: 0,
             unacked: BTreeMap::new(),
             value_seq: 0,
             last_from_pred: SimTime::ZERO,
@@ -258,16 +304,26 @@ impl RingNode {
         }
     }
 
-    /// Snapshot of the learner's duplicate-suppression window, in
-    /// delivery order — included in checkpoints so a recovered replica
-    /// makes the same dedup decisions as its peers.
-    pub fn dedup_snapshot(&self) -> Vec<ValueId> {
-        self.delivered_order.iter().copied().collect()
+    /// Snapshot of the learner's duplicate-suppression window *at a cut*,
+    /// in delivery order — included in checkpoints so a recovered replica
+    /// makes the same dedup decisions as its peers. Only ids first
+    /// delivered strictly below `upto` are included: the checkpoint's
+    /// delivery positions come from the merge, which may lag this ring
+    /// learner, and a restored replica will legitimately re-deliver
+    /// everything at or beyond the cut.
+    pub fn dedup_snapshot(&self, upto: InstanceId) -> Vec<ValueId> {
+        self.delivered_order
+            .iter()
+            .filter(|(inst, _)| *inst < upto)
+            .map(|(_, id)| *id)
+            .collect()
     }
 
-    /// Restores the duplicate-suppression window from a checkpoint.
+    /// Restores the duplicate-suppression window from a checkpoint. The
+    /// restored ids predate the checkpoint cut, so they are tagged with
+    /// instance zero — below any future cut.
     pub fn restore_dedup(&mut self, ids: Vec<ValueId>) {
-        self.delivered_order = ids.iter().copied().collect();
+        self.delivered_order = ids.iter().map(|id| (InstanceId::ZERO, *id)).collect();
         self.delivered_ids = ids.into_iter().collect();
     }
 
@@ -325,6 +381,9 @@ impl RingNode {
         self.decision_buffer.clear();
         self.delivered_ids.clear();
         self.delivered_order.clear();
+        self.learned.clear();
+        self.learned_order.clear();
+        self.pending_values.clear();
         self.unacked.clear();
         self.batch.clear();
         self.batch_bytes = 0;
@@ -356,6 +415,7 @@ impl RingNode {
     /// the ring reconfigures — proposals are retried until their decision
     /// is observed.
     pub fn propose(&mut self, value: Value, now: SimTime, out: &mut Output) {
+        self.remember_learned(&value);
         if value.is_deliverable() {
             self.unacked.insert(value.id, (value.clone(), now));
         }
@@ -395,6 +455,83 @@ impl RingNode {
         true
     }
 
+    /// Caches a value observed in circulation so a later id-only decision
+    /// resolves locally. Cheap: the payload is refcounted, not copied.
+    fn remember_learned(&mut self, value: &Value) {
+        if self.learned.contains_key(&value.id) {
+            return;
+        }
+        self.learned.insert(value.id, value.clone());
+        self.learned_order.push_back(value.id);
+        while self.learned_order.len() > self.opts.value_cache_window {
+            if let Some(old) = self.learned_order.pop_front() {
+                self.learned.remove(&old);
+            }
+        }
+    }
+
+    /// Resolves a decided value id against the acceptor log (authoritative
+    /// for instances we voted in) and the learned-value cache.
+    fn resolve_value(&self, inst: InstanceId, id: ValueId) -> Option<Value> {
+        if let Some((_, value)) = self.log.accepted(inst) {
+            if value.id == id {
+                return Some(value.clone());
+            }
+        }
+        self.learned.get(&id).cloned()
+    }
+
+    /// Asks an acceptor (rotating — one may itself have missed the value)
+    /// to resend the value behind an id-only decision. Point-to-point and
+    /// un-batched: the learner's delivery cursor is blocked on it.
+    fn send_value_request(&mut self, inst: InstanceId, id: ValueId, out: &mut Output) {
+        let others: Vec<NodeId> = self
+            .cfg
+            .acceptors()
+            .iter()
+            .copied()
+            .filter(|a| *a != self.me)
+            .collect();
+        if others.is_empty() {
+            return;
+        }
+        self.value_req_rr += 1;
+        let target = others[(self.value_req_rr as usize) % others.len()];
+        out.sends.push((target, RingMsg::ValueRequest { inst, id }));
+    }
+
+    fn on_value_request(&mut self, from: NodeId, inst: InstanceId, id: ValueId, out: &mut Output) {
+        let Some(value) = self.resolve_value(inst, id) else {
+            return; // we miss it too; the requester's rotation moves on
+        };
+        let ballot = self
+            .log
+            .accepted(inst)
+            .map(|(b, _)| b)
+            .unwrap_or(Ballot::ZERO);
+        out.sends.push((
+            from,
+            RingMsg::ValueResend {
+                inst,
+                ballot,
+                value,
+            },
+        ));
+    }
+
+    fn on_value_resend(&mut self, inst: InstanceId, value: Value, now: SimTime, out: &mut Output) {
+        let Some(pending) = self.pending_values.get(&inst) else {
+            // Unsolicited (a retry raced the answer): keep the value for
+            // future resolution, nothing to decide.
+            self.remember_learned(&value);
+            return;
+        };
+        if pending.id != value.id {
+            return; // stale or mismatched resend
+        }
+        self.handle_decide(inst, value, now, out);
+    }
+
     fn pump_proposals(&mut self, now: SimTime, out: &mut Output) {
         if !self.coordinating || !self.phase1_complete {
             return;
@@ -413,9 +550,21 @@ impl RingNode {
     /// decided, in a single-acceptor ring) once the vote hits the disk.
     fn phase2_self_vote(&mut self, inst: InstanceId, value: Value, now: SimTime, out: &mut Output) {
         debug_assert!(self.is_acceptor(), "coordinator must be an acceptor");
+        self.remember_learned(&value);
         let receipt = self.log.accept(inst, self.ballot, value.clone(), now);
         let action = if 1 >= self.cfg.majority() {
-            PendingAction::Decide { inst, value }
+            // Sole acceptor: decided here. The Phase 2 message (already
+            // carrying a majority of votes) still circulates so the other
+            // members learn the value; no separate decision is needed —
+            // everyone is downstream of the origin.
+            PendingAction::Decide {
+                inst,
+                ballot: self.ballot,
+                value,
+                votes: 1,
+                fwd_ttl: self.cfg.initial_ttl(),
+                announce: false,
+            }
         } else {
             PendingAction::Forward(RingMsg::Phase2 {
                 inst,
@@ -448,11 +597,48 @@ impl RingNode {
     fn run_pending(&mut self, action: PendingAction, now: SimTime, out: &mut Output) {
         match action {
             PendingAction::Forward(msg) => self.send_ring(msg, now, out),
-            PendingAction::Decide { inst, value } => {
-                self.handle_decide(inst, value.clone(), now, out);
-                let ttl = self.cfg.initial_ttl();
-                if ttl > 0 {
-                    self.send_ring(RingMsg::Decision { inst, value, ttl }, now, out);
+            PendingAction::Decide {
+                inst,
+                ballot,
+                value,
+                votes,
+                fwd_ttl,
+                announce,
+            } => {
+                let id = value.id;
+                let is_skip = matches!(value.kind, ValueKind::Skip(_));
+                // Value first (Phase 2 keeps circulating so downstream
+                // members learn it), then the id-only decision for the
+                // upstream members — FIFO per link preserves that order.
+                if fwd_ttl > 0 {
+                    self.send_ring(
+                        RingMsg::Phase2 {
+                            inst,
+                            ballot,
+                            value: value.clone(),
+                            votes,
+                            ttl: fwd_ttl,
+                        },
+                        now,
+                        out,
+                    );
+                }
+                self.handle_decide(inst, value, now, out);
+                if announce {
+                    let ttl = self.cfg.initial_ttl();
+                    if ttl > 0 {
+                        self.send_ring_with(
+                            RingMsg::Decision {
+                                inst,
+                                ballot,
+                                id,
+                                ttl,
+                            },
+                            is_skip,
+                            now,
+                            out,
+                        );
+                    }
                 }
             }
         }
@@ -657,16 +843,17 @@ impl RingNode {
         match msg {
             RingMsg::Batch(msgs) => {
                 for m in msgs {
-                    self.on_msg_inner(m, now, out);
+                    self.on_msg_inner(from, m, now, out);
                 }
             }
-            m => self.on_msg_inner(m, now, out),
+            m => self.on_msg_inner(from, m, now, out),
         }
     }
 
-    fn on_msg_inner(&mut self, msg: RingMsg, now: SimTime, out: &mut Output) {
+    fn on_msg_inner(&mut self, sender: NodeId, msg: RingMsg, now: SimTime, out: &mut Output) {
         match msg {
             RingMsg::Proposal { value, ttl } => {
+                self.remember_learned(&value);
                 if self.coordinating {
                     self.enqueue_proposal(value, now, out);
                 } else if ttl > 0 {
@@ -697,20 +884,14 @@ impl RingNode {
                 votes,
                 ttl,
             } => self.on_phase2(inst, ballot, value, votes, ttl, now, out),
-            RingMsg::Decision { inst, value, ttl } => {
-                self.handle_decide(inst, value.clone(), now, out);
-                if ttl > 0 {
-                    self.send_ring(
-                        RingMsg::Decision {
-                            inst,
-                            value,
-                            ttl: ttl - 1,
-                        },
-                        now,
-                        out,
-                    );
-                }
-            }
+            RingMsg::Decision {
+                inst,
+                ballot,
+                id,
+                ttl,
+            } => self.on_decision(inst, ballot, id, ttl, now, out),
+            RingMsg::ValueRequest { inst, id } => self.on_value_request(sender, inst, id, out),
+            RingMsg::ValueResend { inst, value, .. } => self.on_value_resend(inst, value, now, out),
             RingMsg::Heartbeat { epoch } => {
                 if epoch > self.cfg.epoch().raw() {
                     self.refresh_config(now, out);
@@ -718,9 +899,59 @@ impl RingNode {
             }
             RingMsg::Batch(msgs) => {
                 for m in msgs {
-                    self.on_msg_inner(m, now, out);
+                    self.on_msg_inner(sender, m, now, out);
                 }
             }
+        }
+    }
+
+    /// An id-only decision from the ring: resolve the value locally, or
+    /// pull it; forward the (tiny) decision either way — downstream
+    /// members may be able to resolve it even when we cannot.
+    fn on_decision(
+        &mut self,
+        inst: InstanceId,
+        ballot: Ballot,
+        id: ValueId,
+        ttl: u16,
+        now: SimTime,
+        out: &mut Output,
+    ) {
+        let resolved = self.resolve_value(inst, id);
+        let is_skip = resolved
+            .as_ref()
+            .map(|v| matches!(v.kind, ValueKind::Skip(_)))
+            .unwrap_or(false);
+        match resolved {
+            Some(value) => self.handle_decide(inst, value, now, out),
+            None => {
+                let unknown = inst >= self.next_delivery
+                    && !self.decision_buffer.contains_key(&inst)
+                    && !self.pending_values.contains_key(&inst);
+                if unknown {
+                    self.pending_values.insert(
+                        inst,
+                        PendingValue {
+                            id,
+                            requested_at: now,
+                        },
+                    );
+                    self.send_value_request(inst, id, out);
+                }
+            }
+        }
+        if ttl > 0 {
+            self.send_ring_with(
+                RingMsg::Decision {
+                    inst,
+                    ballot,
+                    id,
+                    ttl: ttl - 1,
+                },
+                is_skip,
+                now,
+                out,
+            );
         }
     }
 
@@ -735,19 +966,21 @@ impl RingNode {
         now: SimTime,
         out: &mut Output,
     ) {
+        self.remember_learned(&value);
+        // A Phase 2 already carrying a majority is a decision travelling
+        // with its value: learn it (no disk write — durability of the
+        // *votes* is what safety needed, and those are on a majority's
+        // disks) and keep the value circulating for the members behind us.
+        if votes >= self.cfg.majority() {
+            self.handle_decide(inst, value.clone(), now, out);
+            if ttl > 0 {
+                self.forward_phase2(inst, ballot, value, votes, ttl - 1, now, out);
+            }
+            return;
+        }
         if !self.is_acceptor() {
             if ttl > 0 {
-                self.send_ring(
-                    RingMsg::Phase2 {
-                        inst,
-                        ballot,
-                        value,
-                        votes,
-                        ttl: ttl - 1,
-                    },
-                    now,
-                    out,
-                );
+                self.forward_phase2(inst, ballot, value, votes, ttl - 1, now, out);
             }
             return;
         }
@@ -755,12 +988,28 @@ impl RingNode {
             return; // stale coordinator's proposal dies here
         }
         if self.log.is_decided(inst) {
-            return; // already decided (re-proposal after failover)
+            // Already decided (re-proposal after failover, or we learned
+            // via an id-only decision): no vote, but keep it moving so the
+            // value still reaches everyone.
+            if ttl > 0 {
+                self.forward_phase2(inst, ballot, value, votes, ttl - 1, now, out);
+            }
+            return;
         }
         let receipt = self.log.accept(inst, ballot, value.clone(), now);
         let votes = votes + 1;
         let action = if votes >= self.cfg.majority() {
-            PendingAction::Decide { inst, value }
+            // Our vote completes the majority: this is the decision
+            // point. The value continues its single circulation inside
+            // Phase 2; the id-only decision covers the members upstream.
+            PendingAction::Decide {
+                inst,
+                ballot,
+                value,
+                votes,
+                fwd_ttl: ttl.saturating_sub(1),
+                announce: true,
+            }
         } else if ttl > 0 {
             PendingAction::Forward(RingMsg::Phase2 {
                 inst,
@@ -775,8 +1024,37 @@ impl RingNode {
         self.complete_or_defer(inst, action, receipt.ack_at, now, out);
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn forward_phase2(
+        &mut self,
+        inst: InstanceId,
+        ballot: Ballot,
+        value: Value,
+        votes: u16,
+        ttl: u16,
+        now: SimTime,
+        out: &mut Output,
+    ) {
+        self.send_ring(
+            RingMsg::Phase2 {
+                inst,
+                ballot,
+                value,
+                votes,
+                ttl,
+            },
+            now,
+            out,
+        );
+    }
+
     fn handle_decide(&mut self, inst: InstanceId, value: Value, now: SimTime, out: &mut Output) {
         self.unacked.remove(&value.id);
+        // The value arrived by some path (Phase 2, resend, recovery):
+        // any outstanding pull for this instance is satisfied, and the
+        // value joins the cache so we can serve pulls from peers.
+        self.pending_values.remove(&inst);
+        self.remember_learned(&value);
         if self.is_acceptor() {
             self.log.mark_decided(inst, value.clone(), now);
         }
@@ -797,7 +1075,7 @@ impl RingNode {
         while let Some(value) = self.decision_buffer.remove(&self.next_delivery) {
             let inst = self.next_delivery;
             self.next_delivery = inst.plus(value.instance_span());
-            let value = self.dedup_delivery(value);
+            let value = self.dedup_delivery(inst, value);
             if value.is_deliverable() && std::env::var_os("MRP_DEBUG").is_some() {
                 eprintln!("[{}] learner delivers {inst} {}", self.me, value.id);
             }
@@ -811,19 +1089,22 @@ impl RingNode {
     /// two instances, possible across coordinator changes) to a no-op.
     /// Deterministic across learners because it depends only on the
     /// delivered prefix.
-    fn dedup_delivery(&mut self, value: Value) -> Value {
+    fn dedup_delivery(&mut self, inst: InstanceId, value: Value) -> Value {
         if !value.is_deliverable() {
             return value;
         }
         if !self.delivered_ids.insert(value.id) {
+            if std::env::var_os("MRP_DEBUG").is_some() {
+                eprintln!("[{} {}] dedup DEMOTES {}", self.me, self.ring, value.id);
+            }
             return Value {
                 id: value.id,
                 kind: ValueKind::Noop,
             };
         }
-        self.delivered_order.push_back(value.id);
+        self.delivered_order.push_back((inst, value.id));
         while self.delivered_order.len() > self.opts.dedup_window {
-            if let Some(old) = self.delivered_order.pop_front() {
+            if let Some((_, old)) = self.delivered_order.pop_front() {
                 self.delivered_ids.remove(&old);
             }
         }
@@ -916,6 +1197,21 @@ impl RingNode {
         {
             self.begin_phase1(now, out);
         }
+        // Id-only decisions whose value pull went unanswered: re-request
+        // from the next acceptor in the rotation (the previous target may
+        // itself have missed the value).
+        let stale_pulls: Vec<(InstanceId, ValueId)> = self
+            .pending_values
+            .iter()
+            .filter(|(_, p)| now.since(p.requested_at) > self.opts.heartbeat_interval * 2)
+            .map(|(inst, p)| (*inst, p.id))
+            .collect();
+        for (inst, id) in stale_pulls {
+            if let Some(p) = self.pending_values.get_mut(&inst) {
+                p.requested_at = now;
+            }
+            self.send_value_request(inst, id, out);
+        }
         if now.since(self.last_from_pred) > self.opts.failure_timeout {
             let pred = self.predecessor();
             if let Ok(cfg) = self
@@ -1000,25 +1296,37 @@ impl RingNode {
     // batching
     // ------------------------------------------------------------------
 
+    /// Sends (or batches) a ring message to the successor, deriving
+    /// batch-bypass criticality from the message itself (only possible
+    /// for value-carrying messages; id-only decisions use
+    /// [`RingNode::send_ring_with`] with the resolved value's kind).
+    fn send_ring(&mut self, msg: RingMsg, now: SimTime, out: &mut Output) {
+        let critical = match &msg {
+            RingMsg::Phase2 { value, .. } => matches!(value.kind, ValueKind::Skip(_)),
+            _ => false,
+        };
+        self.send_ring_with(msg, critical, now, out);
+    }
+
     /// Sends (or batches) a ring message to the successor.
     ///
-    /// Skip tokens bypass the batch-delay timer: they are the merge's
-    /// clock (rate leveling exists so idle rings do not stall learners),
-    /// and parking them for `max_delay` on every hop would re-introduce
-    /// exactly the delivery lag they eliminate. The pending batch is
-    /// flushed first so per-link FIFO is preserved.
-    fn send_ring(&mut self, msg: RingMsg, _now: SimTime, out: &mut Output) {
+    /// Skip tokens bypass the batch-delay timer (`critical`): they are the
+    /// merge's clock (rate leveling exists so idle rings do not stall
+    /// learners), and parking them for `max_delay` on every hop would
+    /// re-introduce exactly the delivery lag they eliminate. The pending
+    /// batch is flushed first so per-link FIFO is preserved.
+    fn send_ring_with(&mut self, msg: RingMsg, critical: bool, _now: SimTime, out: &mut Output) {
+        if !self.cfg.contains(self.me) {
+            // Removed from the ring while effects were in flight (e.g.
+            // failure detection during shutdown): there is no successor to
+            // send to; drop instead of panicking.
+            return;
+        }
         let Some(policy) = self.opts.batching else {
             out.sends.push((self.successor(), msg));
             return;
         };
-        let skip_critical = match &msg {
-            RingMsg::Phase2 { value, .. } | RingMsg::Decision { value, .. } => {
-                matches!(value.kind, ValueKind::Skip(_))
-            }
-            _ => false,
-        };
-        if skip_critical {
+        if critical {
             self.flush_batch(out);
             out.sends.push((self.successor(), msg));
             return;
@@ -1039,6 +1347,9 @@ impl RingNode {
         }
         self.batch_bytes = 0;
         let msgs = std::mem::take(&mut self.batch);
+        if !self.cfg.contains(self.me) {
+            return; // removed mid-flight; nowhere to flush to
+        }
         let msg = if msgs.len() == 1 {
             msgs.into_iter().next().expect("len checked")
         } else {
@@ -1357,6 +1668,203 @@ mod tests {
         h.propose(0, v);
         assert_eq!(h.delivered[0].len(), 1);
         assert_eq!(h.delivered[2].len(), 0);
+    }
+
+    /// The tentpole slow path: a node misses the Phase 2 value (dropped
+    /// frame), observes the id-only decision, pulls the value with
+    /// `ValueRequest`, and delivery proceeds — including later instances
+    /// that buffered behind the hole.
+    #[test]
+    fn missed_phase2_value_recovers_via_pull() {
+        let (mut h, _) = Harness::new(3, opts());
+        h.start();
+
+        // v0 proposed at the coordinator; drive messages by hand.
+        let v0 = h.app_value(0, b"missed");
+        let mut out = Output::new();
+        h.nodes[0].propose(v0.clone(), h.now, &mut out);
+        let p2_01 = out
+            .sends
+            .iter()
+            .find_map(|(to, m)| match m {
+                RingMsg::Phase2 { .. } => Some((*to, m.clone())),
+                _ => None,
+            })
+            .expect("coordinator emits Phase 2");
+        assert_eq!(p2_01.0, NodeId::new(1));
+
+        // Node 1's vote completes the majority: it must keep the value
+        // circulating (Phase 2) AND announce the id-only decision.
+        let mut out1 = Output::new();
+        h.nodes[1].on_msg(NodeId::new(0), p2_01.1, h.now, &mut out1);
+        let p2_12 = out1
+            .sends
+            .iter()
+            .find_map(|(to, m)| match m {
+                RingMsg::Phase2 { votes, .. } => {
+                    assert!(*votes >= 2, "forwarded Phase 2 proves the majority");
+                    Some((*to, m.clone()))
+                }
+                _ => None,
+            })
+            .expect("value keeps circulating");
+        assert_eq!(p2_12.0, NodeId::new(2));
+        let decision = out1
+            .sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                RingMsg::Decision { id, .. } => {
+                    assert_eq!(*id, v0.id, "decision names the value by id only");
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .expect("majority point announces an id-only decision");
+
+        // DROP the Phase 2 to node 2 — it never learns the value — and
+        // deliver only the id-only decision.
+        let mut out2 = Output::new();
+        h.nodes[2].on_msg(NodeId::new(1), decision, h.now, &mut out2);
+        assert!(
+            h.delivered[2].is_empty(),
+            "value unknown: nothing deliverable yet"
+        );
+        let (pull_target, pull) = out2
+            .sends
+            .iter()
+            .find_map(|(to, m)| match m {
+                RingMsg::ValueRequest { inst, id } => {
+                    assert_eq!(*inst, InstanceId::new(0));
+                    assert_eq!(*id, v0.id);
+                    Some((*to, m.clone()))
+                }
+                _ => None,
+            })
+            .expect("miss triggers a value pull");
+        assert_ne!(pull_target, NodeId::new(2), "pull goes to a peer acceptor");
+
+        // Meanwhile a later instance decides and reaches node 2 with its
+        // value: it must buffer, not stall the pull.
+        let v1 = h.app_value(0, b"later");
+        let mut out = Output::new();
+        h.nodes[0].propose(v1.clone(), h.now, &mut out);
+        let p2b = out
+            .sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                RingMsg::Phase2 { .. } => Some(m.clone()),
+                _ => None,
+            })
+            .expect("phase 2 for v1");
+        let mut out1b = Output::new();
+        h.nodes[1].on_msg(NodeId::new(0), p2b, h.now, &mut out1b);
+        let p2b_fwd = out1b
+            .sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                RingMsg::Phase2 { .. } => Some(m.clone()),
+                _ => None,
+            })
+            .expect("v1 value circulates");
+        let mut out2b = Output::new();
+        h.nodes[2].on_msg(NodeId::new(1), p2b_fwd, h.now, &mut out2b);
+        assert!(
+            h.delivered[2].is_empty() && out2b.decided.is_empty(),
+            "instance 1 buffers behind the missing instance 0"
+        );
+
+        // The pulled acceptor answers; node 2 resolves and drains both.
+        let mut out_acc = Output::new();
+        let target_idx = pull_target.raw() as usize;
+        h.nodes[target_idx].on_msg(NodeId::new(2), pull, h.now, &mut out_acc);
+        let resend = out_acc
+            .sends
+            .iter()
+            .find_map(|(to, m)| match m {
+                RingMsg::ValueResend { value, .. } => {
+                    assert_eq!(*to, NodeId::new(2));
+                    assert_eq!(value, &v0);
+                    Some(m.clone())
+                }
+                _ => None,
+            })
+            .expect("acceptor resends the full value");
+        let mut out2c = Output::new();
+        h.nodes[2].on_msg(pull_target, resend, h.now, &mut out2c);
+        let got: Vec<(InstanceId, Value)> = out2b
+            .decided
+            .iter()
+            .chain(out2c.decided.iter())
+            .cloned()
+            .collect();
+        assert_eq!(
+            got,
+            vec![(InstanceId::new(0), v0), (InstanceId::new(1), v1),],
+            "both instances deliver, in order, after the pull resolves"
+        );
+    }
+
+    /// A checkpoint's dedup snapshot must reflect only deliveries below
+    /// the cut: the ring learner runs ahead of the deterministic merge,
+    /// and leaking a future delivery's id into the snapshot would make a
+    /// restored replica demote that value to a no-op on replay (a lost
+    /// write).
+    #[test]
+    fn dedup_snapshot_respects_the_cut() {
+        let (mut h, _) = Harness::new(3, opts());
+        h.start();
+        let va = h.app_value(0, b"below-cut");
+        let vb = h.app_value(0, b"beyond-cut");
+        h.propose(0, va.clone());
+        h.propose(0, vb.clone());
+        assert_eq!(h.delivered[1].len(), 2);
+
+        // A checkpoint cut between the two deliveries (the merge had only
+        // consumed instance 0) must include va's id but NOT vb's.
+        let snap = h.nodes[1].dedup_snapshot(InstanceId::new(1));
+        assert!(snap.contains(&va.id));
+        assert!(!snap.contains(&vb.id), "future delivery leaked into cut");
+
+        // Restore on a fresh node positioned at the cut, then replay the
+        // beyond-cut value: it must deliver, not demote.
+        let (mut h2, _) = Harness::new(3, opts());
+        h2.start();
+        h2.nodes[1].restore_dedup(snap);
+        h2.nodes[1].set_next_delivery(InstanceId::new(1));
+        let mut out = Output::new();
+        h2.nodes[1].learn_decided(InstanceId::new(1), vb.clone(), h2.now, &mut out);
+        assert_eq!(
+            out.decided,
+            vec![(InstanceId::new(1), vb)],
+            "replayed value beyond the cut delivers intact"
+        );
+    }
+
+    /// A decision on the wire must never carry payload bytes.
+    #[test]
+    fn decisions_are_metadata_only() {
+        let (mut h, _) = Harness::new(3, opts());
+        h.start();
+        let before = common::metrics::snapshot();
+        for i in 0..5 {
+            let v = h.app_value(i % 3, b"some payload bytes some payload bytes");
+            h.propose(i % 3, v);
+        }
+        // Encode every message the harness would put on a live wire.
+        // (The harness relays in-process, so exercise the encoder
+        // directly over a decision to assert the structural guarantee.)
+        use common::wire::Wire;
+        let d = RingMsg::Decision {
+            inst: InstanceId::new(3),
+            ballot: Ballot::new(1, NodeId::new(0)),
+            id: ValueId::new(NodeId::new(1), 9),
+            ttl: 2,
+        };
+        let encoded = d.to_bytes();
+        assert!(encoded.len() < 16, "id-only decision stays tiny");
+        let after = common::metrics::snapshot();
+        let delta = before.delta(&after);
+        assert_eq!(delta.decision_payload_bytes, 0);
     }
 
     #[test]

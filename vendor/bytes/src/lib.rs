@@ -14,9 +14,13 @@ use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable, contiguous slice of memory.
+///
+/// Backed by `Arc<Vec<u8>>` so that converting an owned `Vec<u8>` (or a
+/// frozen [`BytesMut`]) into `Bytes` moves the allocation instead of
+/// copying it — the zero-copy decode path relies on this.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -122,7 +126,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end: len,
         }
@@ -279,9 +283,15 @@ impl BytesMut {
         self.data.extend_from_slice(b);
     }
 
-    /// Freezes into an immutable `Bytes`.
+    /// Freezes into an immutable `Bytes`. O(1): the backing allocation is
+    /// moved, not copied; a consumed prefix becomes a view offset.
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data[self.start..].to_vec())
+        let end = self.data.len();
+        Bytes {
+            start: self.start,
+            end,
+            data: Arc::new(self.data),
+        }
     }
 
     /// Splits off and returns the first `at` unconsumed bytes.
