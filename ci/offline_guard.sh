@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Offline-build guard: the container this workspace builds in has no
+# crates.io access, so every dependency must resolve to a path inside the
+# repository (the `vendor/` stubs or the workspace crates). This script
+# fails the build if anything ever reintroduces a registry or git
+# dependency — encoding the constraint the build already relies on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. The lockfile must not reference any external source. Path
+#    dependencies carry no `source`/`checksum` fields; registry and git
+#    dependencies do.
+if grep -nE '^(source|checksum) *=' Cargo.lock; then
+    echo "offline guard: Cargo.lock references a non-vendored source" >&2
+    fail=1
+fi
+
+# 2. No manifest may declare a version-only (registry) dependency:
+#    every dependency line must route through `workspace = true` or an
+#    explicit `path = ...`.
+while IFS= read -r manifest; do
+    if awk '
+        /^\[(dev-|build-)?dependencies/ { in_deps = 1; next }
+        /^\[/ { in_deps = 0 }
+        in_deps && NF && $0 !~ /^#/ \
+            && $0 !~ /workspace *= *true/ && $0 !~ /path *= */ {
+            print FILENAME ":" FNR ": " $0; found = 1
+        }
+        END { exit found }
+    ' "$manifest"; then :; else
+        echo "offline guard: $manifest declares a registry dependency" >&2
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+
+if [ "$fail" -ne 0 ]; then
+    echo "offline guard: FAILED — the no-network build would break" >&2
+    exit 1
+fi
+echo "offline guard: ok (all dependencies are workspace/vendor paths)"

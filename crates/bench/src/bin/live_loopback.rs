@@ -13,12 +13,17 @@
 //! cargo run --release -p bench --bin live_loopback -- \
 //!     [--clients 8] [--window 32] [--duration-ms 3000] \
 //!     [--partitions 2] [--replicas 2] [--label current] \
-//!     [--out BENCH_live_loopback.json] [--smoke]
+//!     [--out BENCH_live_loopback.json] [--smoke] \
+//!     [--baseline BENCH_live_loopback.json] [--tolerance 0.20]
 //! ```
 //!
 //! `--smoke` runs one short 1 KiB scenario and exits non-zero if any
 //! decision on the wire carried payload bytes — the CI guard against the
 //! decision path regressing back to full-value shipping.
+//!
+//! `--baseline FILE` compares the fresh 1 KiB throughput against the
+//! committed baseline and exits non-zero if it dropped more than the
+//! tolerance (default 20%) — the CI perf-regression gate.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -94,6 +99,27 @@ fn arg_str(name: &str, default: &str) -> String {
 
 fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Pulls the recorded 1 KiB `throughput_ops_s` out of a results file
+/// written by this binary. Hand-rolled (the offline build has no JSON
+/// parser): finds the result object whose `payload_bytes` is 1024 and
+/// reads the number after its `"throughput_ops_s": ` key.
+fn baseline_1k_throughput(text: &str) -> Option<f64> {
+    let obj = text.split("\"payload_bytes\"").find(|chunk| {
+        chunk
+            .trim_start()
+            .trim_start_matches(':')
+            .trim_start()
+            .starts_with("1024")
+    })?;
+    let after = obj.split("\"throughput_ops_s\":").nth(1)?;
+    let number: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    number.parse().ok()
 }
 
 /// One pipelined client: keeps `window` requests outstanding, measures
@@ -275,4 +301,38 @@ fn main() {
 
     std::fs::write(&out, json).expect("write results file");
     eprintln!("wrote {out}");
+
+    if let Some(baseline_path) = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--baseline")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    } {
+        let tolerance = arg_str("--tolerance", "0.20")
+            .parse::<f64>()
+            .expect("--tolerance is a fraction");
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = baseline_1k_throughput(&text)
+            .expect("baseline file has a 1 KiB result with throughput_ops_s");
+        let fresh = outcomes
+            .iter()
+            .find(|o| o.payload_bytes == 1024)
+            .expect("sweep includes the 1 KiB scenario")
+            .throughput();
+        let floor = baseline * (1.0 - tolerance);
+        eprintln!(
+            "regression gate: 1 KiB {fresh:.1} ops/s vs baseline {baseline:.1} \
+             (floor {floor:.1}, tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        if fresh < floor {
+            eprintln!(
+                "regression gate FAILED: 1 KiB throughput dropped {:.1}% below the baseline",
+                (1.0 - fresh / baseline) * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
 }

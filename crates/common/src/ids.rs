@@ -78,6 +78,11 @@ define_id!(
     /// the round component of ballots after failover.
     Epoch, u64, "e"
 );
+define_id!(
+    /// A client session of the coordination service. Sessions carry a TTL;
+    /// ephemeral registry entries vanish when their session expires.
+    SessionId, u64, "ss"
+);
 
 impl InstanceId {
     /// The first consensus instance of every ring.

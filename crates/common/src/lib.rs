@@ -45,6 +45,8 @@ pub mod wire;
 
 pub use error::{Error, Result};
 pub use hist::Histogram;
-pub use ids::{Ballot, ClientId, Epoch, InstanceId, NodeId, PartitionId, RequestId, RingId};
+pub use ids::{
+    Ballot, ClientId, Epoch, InstanceId, NodeId, PartitionId, RequestId, RingId, SessionId,
+};
 pub use time::SimTime;
 pub use value::{Value, ValueId, ValueKind};

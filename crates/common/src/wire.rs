@@ -214,6 +214,7 @@ wire_varint_id!(ClientId, u32);
 wire_varint_id!(RequestId, u64);
 wire_varint_id!(PartitionId, u16);
 wire_varint_id!(Epoch, u64);
+wire_varint_id!(crate::ids::SessionId, u64);
 
 impl Wire for Ballot {
     fn encode(&self, buf: &mut BytesMut) {
@@ -294,6 +295,27 @@ impl Wire for String {
         std::str::from_utf8(&raw)
             .map(str::to_owned)
             .map_err(|_| WireError::Truncated { context: "utf-8" })
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match get_tag(buf, "bool")? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
     }
 }
 
@@ -413,6 +435,1058 @@ pub mod frame {
         let mut body = buf.split_to(len);
         let msg = T::decode(&mut body)?;
         Ok(Some(msg))
+    }
+}
+
+pub mod coord {
+    //! The coordination-service protocol (`amcoord`).
+    //!
+    //! The paper keeps configuration in Zookeeper (§7.1); `amcoord` is this
+    //! workspace's replicated equivalent. Clients (liverun nodes, CLIs)
+    //! speak length-framed TCP to any `amcoordd` replica: a [`CoordMsg`]
+    //! carries one operation [`CoordOp`] tagged with a correlation id, the
+    //! server answers with [`CoordReply::Ok`]/[`CoordReply::Err`] and may
+    //! push unsolicited [`CoordReply::Event`] frames to sessions that sent
+    //! [`CoordOp::WatchAll`]. Mutating operations are replicated through
+    //! the amcoord ensemble's own Ring Paxos log as [`CoordCmd`] before
+    //! being applied and answered; reads are served from the replica's
+    //! applied state (the Zookeeper consistency model).
+    //!
+    //! Configuration objects cross the wire in flattened form
+    //! ([`RingConfigWire`], [`PartitionWire`]) so this protocol can live in
+    //! `common` below the `coord` crate that owns the rich types.
+
+    use super::{get_tag, get_varint, put_varint, Wire};
+    use crate::error::WireError;
+    use crate::ids::{Epoch, NodeId, PartitionId, RingId, SessionId};
+    use bytes::{BufMut, Bytes, BytesMut};
+
+    /// Flattened [`coord::RingConfig`](../../../coord) — membership, roles
+    /// and epoch of one ring.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct RingConfigWire {
+        /// The ring id.
+        pub ring: RingId,
+        /// Members in ring order.
+        pub members: Vec<NodeId>,
+        /// The voting acceptors.
+        pub acceptors: Vec<NodeId>,
+        /// The elected coordinator.
+        pub coordinator: NodeId,
+        /// The configuration epoch.
+        pub epoch: Epoch,
+    }
+
+    /// Flattened partition description: the rings its replicas subscribe
+    /// to and the replica set.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct PartitionWire {
+        /// The partition id.
+        pub partition: PartitionId,
+        /// Rings every replica subscribes to.
+        pub rings: Vec<RingId>,
+        /// The replicas.
+        pub replicas: Vec<NodeId>,
+    }
+
+    /// One ephemeral registry entry (alive only while its session is).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct EphemeralEntry {
+        /// The entry's key (e.g. `nodes/3`).
+        pub key: String,
+        /// The owning session.
+        pub session: SessionId,
+        /// The entry's value (e.g. the node's advertised addresses).
+        pub value: Bytes,
+    }
+
+    /// How the serving replica must route an operation.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum OpKind {
+        /// Served from the replica's applied state, no consensus.
+        Read,
+        /// Replicated through the ensemble's log before applying.
+        Replicate,
+        /// Handled by the serving replica's connection layer directly.
+        Local,
+    }
+
+    /// One coordination operation.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum CoordOp {
+        /// Opens a session with the given TTL; ephemeral entries registered
+        /// under it vanish when the TTL lapses without a keep-alive.
+        OpenSession {
+            /// Session time-to-live in milliseconds.
+            ttl_ms: u64,
+        },
+        /// Refreshes a session's liveness.
+        KeepAlive {
+            /// The session.
+            session: SessionId,
+        },
+        /// Closes a session, dropping its ephemeral entries.
+        CloseSession {
+            /// The session.
+            session: SessionId,
+        },
+        /// Expires a session that missed its TTL (proposed by servers, not
+        /// clients). No-op if the session refreshed since `seen_refresh` —
+        /// the same stale-view CAS shape as coordinator election.
+        ExpireSession {
+            /// The session.
+            session: SessionId,
+            /// The refresh counter the proposing server observed.
+            seen_refresh: u64,
+        },
+        /// Registers a new ring configuration (fails if the id is taken).
+        RegisterRing {
+            /// The configuration (epoch/coordinator fields are advisory;
+            /// registration always starts at epoch 1, first acceptor).
+            cfg: RingConfigWire,
+        },
+        /// Idempotent ring bootstrap: registers the ring, or verifies a
+        /// compatible registration already exists (concurrent seeding by
+        /// every node of a deployment).
+        EnsureRing {
+            /// The configuration to register or verify.
+            cfg: RingConfigWire,
+        },
+        /// Reads one ring's current configuration.
+        GetRing {
+            /// The ring.
+            ring: RingId,
+        },
+        /// Lists all registered ring ids.
+        RingIds,
+        /// Compare-and-swap coordinator election.
+        ElectCoordinator {
+            /// The ring.
+            ring: RingId,
+            /// The proposed coordinator.
+            candidate: NodeId,
+            /// The epoch the caller's view is based on.
+            seen_epoch: Epoch,
+        },
+        /// Reports a member failed, removing it if the caller's view is
+        /// current.
+        ReportFailure {
+            /// The ring.
+            ring: RingId,
+            /// The failed member.
+            failed: NodeId,
+            /// The epoch the caller's view is based on.
+            seen_epoch: Epoch,
+        },
+        /// Re-admits a recovered member (idempotent).
+        Rejoin {
+            /// The ring.
+            ring: RingId,
+            /// The recovering node.
+            node: NodeId,
+            /// Whether the node returns as an acceptor.
+            as_acceptor: bool,
+        },
+        /// Installs a configuration if it is newer than the stored one —
+        /// the amcoordd ensemble gossips its *own* ring's reconfigurations
+        /// this way (the one ring that cannot be coordinated through
+        /// itself).
+        InstallConfig {
+            /// The candidate configuration.
+            cfg: RingConfigWire,
+        },
+        /// Records that `node` delivers from `ring`.
+        Subscribe {
+            /// The ring.
+            ring: RingId,
+            /// The subscribing learner.
+            node: NodeId,
+        },
+        /// Lists the learners subscribed to `ring`.
+        Subscribers {
+            /// The ring.
+            ring: RingId,
+        },
+        /// Registers a service partition (fails if taken).
+        RegisterPartition {
+            /// The partition description.
+            part: PartitionWire,
+        },
+        /// Idempotent partition bootstrap (see [`CoordOp::EnsureRing`]).
+        EnsurePartition {
+            /// The partition description.
+            part: PartitionWire,
+        },
+        /// The partition a replica belongs to.
+        PartitionOf {
+            /// The replica.
+            replica: NodeId,
+        },
+        /// Reads one partition's description.
+        GetPartition {
+            /// The partition.
+            partition: PartitionId,
+        },
+        /// Lists all partitions.
+        Partitions,
+        /// Writes a versioned metadata blob (a znode). With
+        /// `expected_version` the write is a compare-and-swap on the key's
+        /// version; stale writers are rejected.
+        SetMeta {
+            /// The key.
+            key: String,
+            /// The value.
+            value: Bytes,
+            /// CAS guard: the version the writer read, or `None` for an
+            /// unconditional write.
+            expected_version: Option<u64>,
+        },
+        /// Reads a metadata blob and its version.
+        GetMeta {
+            /// The key.
+            key: String,
+        },
+        /// Registers an ephemeral entry owned by `session`.
+        RegisterEphemeral {
+            /// The owning session.
+            session: SessionId,
+            /// The entry key.
+            key: String,
+            /// The entry value.
+            value: Bytes,
+        },
+        /// Lists ephemeral entries whose key starts with `prefix`.
+        Ephemerals {
+            /// The key prefix (empty for all).
+            prefix: String,
+        },
+        /// Subscribes this connection to all [`CoordEvent`] pushes.
+        WatchAll,
+    }
+
+    impl CoordOp {
+        /// How a serving replica routes this operation.
+        pub fn kind(&self) -> OpKind {
+            match self {
+                CoordOp::GetRing { .. }
+                | CoordOp::RingIds
+                | CoordOp::Subscribers { .. }
+                | CoordOp::PartitionOf { .. }
+                | CoordOp::GetPartition { .. }
+                | CoordOp::Partitions
+                | CoordOp::GetMeta { .. }
+                | CoordOp::Ephemerals { .. } => OpKind::Read,
+                CoordOp::WatchAll | CoordOp::InstallConfig { .. } => OpKind::Local,
+                _ => OpKind::Replicate,
+            }
+        }
+    }
+
+    /// Outcome of a compare-and-swap election.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum ElectOutcome {
+        /// The candidate won; the ring is now at this epoch.
+        Won(Epoch),
+        /// The caller's view was stale; here is the current configuration.
+        Lost(RingConfigWire),
+    }
+
+    /// Successful reply bodies, one variant per result shape.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum CoordOk {
+        /// Nothing to return.
+        Unit,
+        /// A freshly opened session.
+        Session(SessionId),
+        /// A ring's configuration, or `None` if never registered.
+        Ring(Option<RingConfigWire>),
+        /// All ring ids, ascending.
+        RingIds(Vec<RingId>),
+        /// Election outcome.
+        Election(ElectOutcome),
+        /// The resulting configuration (failure report / rejoin).
+        Config(RingConfigWire),
+        /// A list of nodes (subscribers).
+        Nodes(Vec<NodeId>),
+        /// The partition a replica belongs to, if any.
+        PartitionOf(Option<PartitionId>),
+        /// One partition, if registered.
+        Partition(Option<PartitionWire>),
+        /// All partitions, ascending by id.
+        Partitions(Vec<PartitionWire>),
+        /// A metadata blob `(version, value)`, or `None` if absent.
+        Meta(Option<(u64, Bytes)>),
+        /// The version a metadata write produced.
+        Version(u64),
+        /// Matching ephemeral entries, ascending by key.
+        Ephemerals(Vec<EphemeralEntry>),
+    }
+
+    /// A state-change notification pushed to watching sessions.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum CoordEvent {
+        /// A ring's configuration changed (new epoch).
+        RingChanged {
+            /// The new configuration.
+            cfg: RingConfigWire,
+        },
+        /// A ring's subscriber set changed.
+        SubscribersChanged {
+            /// The ring.
+            ring: RingId,
+            /// The new subscriber list.
+            subscribers: Vec<NodeId>,
+        },
+        /// The partition table changed.
+        PartitionsChanged,
+        /// A metadata key changed.
+        MetaChanged {
+            /// The key.
+            key: String,
+            /// Its new version.
+            version: u64,
+        },
+        /// An ephemeral entry appeared (`alive`) or vanished.
+        EphemeralChanged {
+            /// The entry key.
+            key: String,
+            /// True when registered, false when removed.
+            alive: bool,
+        },
+        /// A session expired or was closed.
+        SessionExpired {
+            /// The session.
+            session: SessionId,
+        },
+    }
+
+    /// A client request frame.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct CoordMsg {
+        /// Correlation id echoed in the reply.
+        pub req: u64,
+        /// The operation.
+        pub op: CoordOp,
+    }
+
+    /// A server frame: a correlated reply or an unsolicited event push.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum CoordReply {
+        /// The operation succeeded.
+        Ok {
+            /// Correlation id of the request.
+            req: u64,
+            /// The result.
+            body: CoordOk,
+        },
+        /// The operation failed.
+        Err {
+            /// Correlation id of the request.
+            req: u64,
+            /// Human-readable reason.
+            reason: String,
+        },
+        /// A watch notification (no correlation id).
+        Event(CoordEvent),
+    }
+
+    /// One command in the amcoord ensemble's replicated log: the operation
+    /// plus the proposing replica and its sequence number (which replica
+    /// answers the waiting client, and dedup under retries).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct CoordCmd {
+        /// The amcoordd replica that proposed the command.
+        pub origin: NodeId,
+        /// The origin's command sequence number.
+        pub seq: u64,
+        /// The replicated operation.
+        pub op: CoordOp,
+    }
+
+    impl Wire for RingConfigWire {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.ring.encode(buf);
+            self.members.encode(buf);
+            self.acceptors.encode(buf);
+            self.coordinator.encode(buf);
+            self.epoch.encode(buf);
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(RingConfigWire {
+                ring: RingId::decode(buf)?,
+                members: Vec::decode(buf)?,
+                acceptors: Vec::decode(buf)?,
+                coordinator: NodeId::decode(buf)?,
+                epoch: Epoch::decode(buf)?,
+            })
+        }
+    }
+
+    impl Wire for PartitionWire {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.partition.encode(buf);
+            self.rings.encode(buf);
+            self.replicas.encode(buf);
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(PartitionWire {
+                partition: PartitionId::decode(buf)?,
+                rings: Vec::decode(buf)?,
+                replicas: Vec::decode(buf)?,
+            })
+        }
+    }
+
+    impl Wire for EphemeralEntry {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.key.encode(buf);
+            self.session.encode(buf);
+            self.value.encode(buf);
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(EphemeralEntry {
+                key: String::decode(buf)?,
+                session: SessionId::decode(buf)?,
+                value: Bytes::decode(buf)?,
+            })
+        }
+    }
+
+    impl Wire for CoordOp {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                CoordOp::OpenSession { ttl_ms } => {
+                    buf.put_u8(0);
+                    put_varint(buf, *ttl_ms);
+                }
+                CoordOp::KeepAlive { session } => {
+                    buf.put_u8(1);
+                    session.encode(buf);
+                }
+                CoordOp::CloseSession { session } => {
+                    buf.put_u8(2);
+                    session.encode(buf);
+                }
+                CoordOp::ExpireSession {
+                    session,
+                    seen_refresh,
+                } => {
+                    buf.put_u8(3);
+                    session.encode(buf);
+                    put_varint(buf, *seen_refresh);
+                }
+                CoordOp::RegisterRing { cfg } => {
+                    buf.put_u8(4);
+                    cfg.encode(buf);
+                }
+                CoordOp::EnsureRing { cfg } => {
+                    buf.put_u8(5);
+                    cfg.encode(buf);
+                }
+                CoordOp::GetRing { ring } => {
+                    buf.put_u8(6);
+                    ring.encode(buf);
+                }
+                CoordOp::RingIds => buf.put_u8(7),
+                CoordOp::ElectCoordinator {
+                    ring,
+                    candidate,
+                    seen_epoch,
+                } => {
+                    buf.put_u8(8);
+                    ring.encode(buf);
+                    candidate.encode(buf);
+                    seen_epoch.encode(buf);
+                }
+                CoordOp::ReportFailure {
+                    ring,
+                    failed,
+                    seen_epoch,
+                } => {
+                    buf.put_u8(9);
+                    ring.encode(buf);
+                    failed.encode(buf);
+                    seen_epoch.encode(buf);
+                }
+                CoordOp::Rejoin {
+                    ring,
+                    node,
+                    as_acceptor,
+                } => {
+                    buf.put_u8(10);
+                    ring.encode(buf);
+                    node.encode(buf);
+                    as_acceptor.encode(buf);
+                }
+                CoordOp::InstallConfig { cfg } => {
+                    buf.put_u8(11);
+                    cfg.encode(buf);
+                }
+                CoordOp::Subscribe { ring, node } => {
+                    buf.put_u8(12);
+                    ring.encode(buf);
+                    node.encode(buf);
+                }
+                CoordOp::Subscribers { ring } => {
+                    buf.put_u8(13);
+                    ring.encode(buf);
+                }
+                CoordOp::RegisterPartition { part } => {
+                    buf.put_u8(14);
+                    part.encode(buf);
+                }
+                CoordOp::EnsurePartition { part } => {
+                    buf.put_u8(15);
+                    part.encode(buf);
+                }
+                CoordOp::PartitionOf { replica } => {
+                    buf.put_u8(16);
+                    replica.encode(buf);
+                }
+                CoordOp::GetPartition { partition } => {
+                    buf.put_u8(17);
+                    partition.encode(buf);
+                }
+                CoordOp::Partitions => buf.put_u8(18),
+                CoordOp::SetMeta {
+                    key,
+                    value,
+                    expected_version,
+                } => {
+                    buf.put_u8(19);
+                    key.encode(buf);
+                    value.encode(buf);
+                    expected_version.encode(buf);
+                }
+                CoordOp::GetMeta { key } => {
+                    buf.put_u8(20);
+                    key.encode(buf);
+                }
+                CoordOp::RegisterEphemeral {
+                    session,
+                    key,
+                    value,
+                } => {
+                    buf.put_u8(21);
+                    session.encode(buf);
+                    key.encode(buf);
+                    value.encode(buf);
+                }
+                CoordOp::Ephemerals { prefix } => {
+                    buf.put_u8(22);
+                    prefix.encode(buf);
+                }
+                CoordOp::WatchAll => buf.put_u8(23),
+            }
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(match get_tag(buf, "coord op")? {
+                0 => CoordOp::OpenSession {
+                    ttl_ms: get_varint(buf)?,
+                },
+                1 => CoordOp::KeepAlive {
+                    session: SessionId::decode(buf)?,
+                },
+                2 => CoordOp::CloseSession {
+                    session: SessionId::decode(buf)?,
+                },
+                3 => CoordOp::ExpireSession {
+                    session: SessionId::decode(buf)?,
+                    seen_refresh: get_varint(buf)?,
+                },
+                4 => CoordOp::RegisterRing {
+                    cfg: RingConfigWire::decode(buf)?,
+                },
+                5 => CoordOp::EnsureRing {
+                    cfg: RingConfigWire::decode(buf)?,
+                },
+                6 => CoordOp::GetRing {
+                    ring: RingId::decode(buf)?,
+                },
+                7 => CoordOp::RingIds,
+                8 => CoordOp::ElectCoordinator {
+                    ring: RingId::decode(buf)?,
+                    candidate: NodeId::decode(buf)?,
+                    seen_epoch: Epoch::decode(buf)?,
+                },
+                9 => CoordOp::ReportFailure {
+                    ring: RingId::decode(buf)?,
+                    failed: NodeId::decode(buf)?,
+                    seen_epoch: Epoch::decode(buf)?,
+                },
+                10 => CoordOp::Rejoin {
+                    ring: RingId::decode(buf)?,
+                    node: NodeId::decode(buf)?,
+                    as_acceptor: bool::decode(buf)?,
+                },
+                11 => CoordOp::InstallConfig {
+                    cfg: RingConfigWire::decode(buf)?,
+                },
+                12 => CoordOp::Subscribe {
+                    ring: RingId::decode(buf)?,
+                    node: NodeId::decode(buf)?,
+                },
+                13 => CoordOp::Subscribers {
+                    ring: RingId::decode(buf)?,
+                },
+                14 => CoordOp::RegisterPartition {
+                    part: PartitionWire::decode(buf)?,
+                },
+                15 => CoordOp::EnsurePartition {
+                    part: PartitionWire::decode(buf)?,
+                },
+                16 => CoordOp::PartitionOf {
+                    replica: NodeId::decode(buf)?,
+                },
+                17 => CoordOp::GetPartition {
+                    partition: PartitionId::decode(buf)?,
+                },
+                18 => CoordOp::Partitions,
+                19 => CoordOp::SetMeta {
+                    key: String::decode(buf)?,
+                    value: Bytes::decode(buf)?,
+                    expected_version: Option::decode(buf)?,
+                },
+                20 => CoordOp::GetMeta {
+                    key: String::decode(buf)?,
+                },
+                21 => CoordOp::RegisterEphemeral {
+                    session: SessionId::decode(buf)?,
+                    key: String::decode(buf)?,
+                    value: Bytes::decode(buf)?,
+                },
+                22 => CoordOp::Ephemerals {
+                    prefix: String::decode(buf)?,
+                },
+                23 => CoordOp::WatchAll,
+                tag => {
+                    return Err(WireError::BadTag {
+                        context: "coord op",
+                        tag,
+                    })
+                }
+            })
+        }
+    }
+
+    impl Wire for ElectOutcome {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                ElectOutcome::Won(epoch) => {
+                    buf.put_u8(0);
+                    epoch.encode(buf);
+                }
+                ElectOutcome::Lost(cfg) => {
+                    buf.put_u8(1);
+                    cfg.encode(buf);
+                }
+            }
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(match get_tag(buf, "elect outcome")? {
+                0 => ElectOutcome::Won(Epoch::decode(buf)?),
+                1 => ElectOutcome::Lost(RingConfigWire::decode(buf)?),
+                tag => {
+                    return Err(WireError::BadTag {
+                        context: "elect outcome",
+                        tag,
+                    })
+                }
+            })
+        }
+    }
+
+    impl Wire for CoordOk {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                CoordOk::Unit => buf.put_u8(0),
+                CoordOk::Session(s) => {
+                    buf.put_u8(1);
+                    s.encode(buf);
+                }
+                CoordOk::Ring(cfg) => {
+                    buf.put_u8(2);
+                    cfg.encode(buf);
+                }
+                CoordOk::RingIds(ids) => {
+                    buf.put_u8(3);
+                    ids.encode(buf);
+                }
+                CoordOk::Election(outcome) => {
+                    buf.put_u8(4);
+                    outcome.encode(buf);
+                }
+                CoordOk::Config(cfg) => {
+                    buf.put_u8(5);
+                    cfg.encode(buf);
+                }
+                CoordOk::Nodes(nodes) => {
+                    buf.put_u8(6);
+                    nodes.encode(buf);
+                }
+                CoordOk::PartitionOf(p) => {
+                    buf.put_u8(7);
+                    p.encode(buf);
+                }
+                CoordOk::Partition(p) => {
+                    buf.put_u8(8);
+                    p.encode(buf);
+                }
+                CoordOk::Partitions(ps) => {
+                    buf.put_u8(9);
+                    ps.encode(buf);
+                }
+                CoordOk::Meta(m) => {
+                    buf.put_u8(10);
+                    match m {
+                        None => buf.put_u8(0),
+                        Some((version, value)) => {
+                            buf.put_u8(1);
+                            put_varint(buf, *version);
+                            value.encode(buf);
+                        }
+                    }
+                }
+                CoordOk::Version(v) => {
+                    buf.put_u8(11);
+                    put_varint(buf, *v);
+                }
+                CoordOk::Ephemerals(es) => {
+                    buf.put_u8(12);
+                    es.encode(buf);
+                }
+            }
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(match get_tag(buf, "coord ok")? {
+                0 => CoordOk::Unit,
+                1 => CoordOk::Session(SessionId::decode(buf)?),
+                2 => CoordOk::Ring(Option::decode(buf)?),
+                3 => CoordOk::RingIds(Vec::decode(buf)?),
+                4 => CoordOk::Election(ElectOutcome::decode(buf)?),
+                5 => CoordOk::Config(RingConfigWire::decode(buf)?),
+                6 => CoordOk::Nodes(Vec::decode(buf)?),
+                7 => CoordOk::PartitionOf(Option::decode(buf)?),
+                8 => CoordOk::Partition(Option::decode(buf)?),
+                9 => CoordOk::Partitions(Vec::decode(buf)?),
+                10 => CoordOk::Meta(match get_tag(buf, "coord meta")? {
+                    0 => None,
+                    1 => Some((get_varint(buf)?, Bytes::decode(buf)?)),
+                    tag => {
+                        return Err(WireError::BadTag {
+                            context: "coord meta",
+                            tag,
+                        })
+                    }
+                }),
+                11 => CoordOk::Version(get_varint(buf)?),
+                12 => CoordOk::Ephemerals(Vec::decode(buf)?),
+                tag => {
+                    return Err(WireError::BadTag {
+                        context: "coord ok",
+                        tag,
+                    })
+                }
+            })
+        }
+    }
+
+    impl Wire for CoordEvent {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                CoordEvent::RingChanged { cfg } => {
+                    buf.put_u8(0);
+                    cfg.encode(buf);
+                }
+                CoordEvent::SubscribersChanged { ring, subscribers } => {
+                    buf.put_u8(1);
+                    ring.encode(buf);
+                    subscribers.encode(buf);
+                }
+                CoordEvent::PartitionsChanged => buf.put_u8(2),
+                CoordEvent::MetaChanged { key, version } => {
+                    buf.put_u8(3);
+                    key.encode(buf);
+                    put_varint(buf, *version);
+                }
+                CoordEvent::EphemeralChanged { key, alive } => {
+                    buf.put_u8(4);
+                    key.encode(buf);
+                    alive.encode(buf);
+                }
+                CoordEvent::SessionExpired { session } => {
+                    buf.put_u8(5);
+                    session.encode(buf);
+                }
+            }
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(match get_tag(buf, "coord event")? {
+                0 => CoordEvent::RingChanged {
+                    cfg: RingConfigWire::decode(buf)?,
+                },
+                1 => CoordEvent::SubscribersChanged {
+                    ring: RingId::decode(buf)?,
+                    subscribers: Vec::decode(buf)?,
+                },
+                2 => CoordEvent::PartitionsChanged,
+                3 => CoordEvent::MetaChanged {
+                    key: String::decode(buf)?,
+                    version: get_varint(buf)?,
+                },
+                4 => CoordEvent::EphemeralChanged {
+                    key: String::decode(buf)?,
+                    alive: bool::decode(buf)?,
+                },
+                5 => CoordEvent::SessionExpired {
+                    session: SessionId::decode(buf)?,
+                },
+                tag => {
+                    return Err(WireError::BadTag {
+                        context: "coord event",
+                        tag,
+                    })
+                }
+            })
+        }
+    }
+
+    impl Wire for CoordMsg {
+        fn encode(&self, buf: &mut BytesMut) {
+            put_varint(buf, self.req);
+            self.op.encode(buf);
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(CoordMsg {
+                req: get_varint(buf)?,
+                op: CoordOp::decode(buf)?,
+            })
+        }
+    }
+
+    impl Wire for CoordReply {
+        fn encode(&self, buf: &mut BytesMut) {
+            match self {
+                CoordReply::Ok { req, body } => {
+                    buf.put_u8(0);
+                    put_varint(buf, *req);
+                    body.encode(buf);
+                }
+                CoordReply::Err { req, reason } => {
+                    buf.put_u8(1);
+                    put_varint(buf, *req);
+                    reason.encode(buf);
+                }
+                CoordReply::Event(e) => {
+                    buf.put_u8(2);
+                    e.encode(buf);
+                }
+            }
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(match get_tag(buf, "coord reply")? {
+                0 => CoordReply::Ok {
+                    req: get_varint(buf)?,
+                    body: CoordOk::decode(buf)?,
+                },
+                1 => CoordReply::Err {
+                    req: get_varint(buf)?,
+                    reason: String::decode(buf)?,
+                },
+                2 => CoordReply::Event(CoordEvent::decode(buf)?),
+                tag => {
+                    return Err(WireError::BadTag {
+                        context: "coord reply",
+                        tag,
+                    })
+                }
+            })
+        }
+    }
+
+    impl Wire for CoordCmd {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.origin.encode(buf);
+            put_varint(buf, self.seq);
+            self.op.encode(buf);
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(CoordCmd {
+                origin: NodeId::decode(buf)?,
+                seq: get_varint(buf)?,
+                op: CoordOp::decode(buf)?,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use bytes::Buf;
+
+        fn rt<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+            let mut b = v.to_bytes();
+            assert_eq!(T::decode(&mut b).unwrap(), v);
+            assert_eq!(b.remaining(), 0);
+        }
+
+        fn cfg() -> RingConfigWire {
+            RingConfigWire {
+                ring: RingId::new(2),
+                members: vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+                acceptors: vec![NodeId::new(0), NodeId::new(1)],
+                coordinator: NodeId::new(1),
+                epoch: Epoch::new(4),
+            }
+        }
+
+        #[test]
+        fn coord_protocol_round_trips() {
+            for op in [
+                CoordOp::OpenSession { ttl_ms: 3000 },
+                CoordOp::KeepAlive {
+                    session: SessionId::new(9),
+                },
+                CoordOp::CloseSession {
+                    session: SessionId::new(9),
+                },
+                CoordOp::ExpireSession {
+                    session: SessionId::new(9),
+                    seen_refresh: 17,
+                },
+                CoordOp::RegisterRing { cfg: cfg() },
+                CoordOp::EnsureRing { cfg: cfg() },
+                CoordOp::GetRing {
+                    ring: RingId::new(2),
+                },
+                CoordOp::RingIds,
+                CoordOp::ElectCoordinator {
+                    ring: RingId::new(2),
+                    candidate: NodeId::new(1),
+                    seen_epoch: Epoch::new(3),
+                },
+                CoordOp::ReportFailure {
+                    ring: RingId::new(2),
+                    failed: NodeId::new(0),
+                    seen_epoch: Epoch::new(3),
+                },
+                CoordOp::Rejoin {
+                    ring: RingId::new(2),
+                    node: NodeId::new(0),
+                    as_acceptor: true,
+                },
+                CoordOp::InstallConfig { cfg: cfg() },
+                CoordOp::Subscribe {
+                    ring: RingId::new(2),
+                    node: NodeId::new(5),
+                },
+                CoordOp::Subscribers {
+                    ring: RingId::new(2),
+                },
+                CoordOp::RegisterPartition {
+                    part: PartitionWire {
+                        partition: PartitionId::new(1),
+                        rings: vec![RingId::new(1), RingId::new(2)],
+                        replicas: vec![NodeId::new(3)],
+                    },
+                },
+                CoordOp::PartitionOf {
+                    replica: NodeId::new(3),
+                },
+                CoordOp::Partitions,
+                CoordOp::SetMeta {
+                    key: "partitioning".into(),
+                    value: Bytes::from_static(b"hash:3"),
+                    expected_version: Some(2),
+                },
+                CoordOp::GetMeta {
+                    key: "partitioning".into(),
+                },
+                CoordOp::RegisterEphemeral {
+                    session: SessionId::new(4),
+                    key: "nodes/3".into(),
+                    value: Bytes::from_static(b"127.0.0.1:7400"),
+                },
+                CoordOp::Ephemerals {
+                    prefix: "nodes/".into(),
+                },
+                CoordOp::WatchAll,
+            ] {
+                rt(op.clone());
+                rt(CoordMsg { req: 77, op });
+            }
+            rt(CoordReply::Ok {
+                req: 1,
+                body: CoordOk::Election(ElectOutcome::Won(Epoch::new(5))),
+            });
+            rt(CoordReply::Ok {
+                req: 2,
+                body: CoordOk::Election(ElectOutcome::Lost(cfg())),
+            });
+            rt(CoordReply::Ok {
+                req: 3,
+                body: CoordOk::Meta(Some((4, Bytes::from_static(b"x")))),
+            });
+            rt(CoordReply::Ok {
+                req: 4,
+                body: CoordOk::Meta(None),
+            });
+            rt(CoordReply::Ok {
+                req: 5,
+                body: CoordOk::Ephemerals(vec![EphemeralEntry {
+                    key: "nodes/0".into(),
+                    session: SessionId::new(1),
+                    value: Bytes::from_static(b"addr"),
+                }]),
+            });
+            rt(CoordReply::Err {
+                req: 6,
+                reason: "unknown ring".into(),
+            });
+            rt(CoordReply::Event(CoordEvent::RingChanged { cfg: cfg() }));
+            rt(CoordReply::Event(CoordEvent::EphemeralChanged {
+                key: "nodes/0".into(),
+                alive: false,
+            }));
+            rt(CoordCmd {
+                origin: NodeId::new(0),
+                seq: 42,
+                op: CoordOp::RingIds,
+            });
+        }
+
+        #[test]
+        fn op_kinds_route_correctly() {
+            assert_eq!(
+                CoordOp::GetRing {
+                    ring: RingId::new(0)
+                }
+                .kind(),
+                OpKind::Read
+            );
+            assert_eq!(CoordOp::WatchAll.kind(), OpKind::Local);
+            assert_eq!(CoordOp::InstallConfig { cfg: cfg() }.kind(), OpKind::Local);
+            assert_eq!(
+                CoordOp::ReportFailure {
+                    ring: RingId::new(0),
+                    failed: NodeId::new(1),
+                    seen_epoch: Epoch::new(1),
+                }
+                .kind(),
+                OpKind::Replicate
+            );
+            assert_eq!(CoordOp::OpenSession { ttl_ms: 1 }.kind(), OpKind::Replicate);
+        }
     }
 }
 

@@ -1,25 +1,35 @@
-//! Coordination service — the workspace's Zookeeper stand-in.
+//! Coordination service — the workspace's Zookeeper counterpart.
 //!
 //! The paper keeps all *configuration* concerns out of the ordering
 //! protocol: "automatic ring management and configuration management is
 //! handled by Zookeeper" (§7.1), and the MRP-Store partitioning schema is
-//! "stored in Zookeeper and accessible to all processes" (§7.2). This crate
-//! plays that role: a linearizable in-process registry holding
+//! "stored in Zookeeper and accessible to all processes" (§7.2). This
+//! crate plays that role, split into client and server halves around one
+//! deterministic state machine:
 //!
-//! * [`RingConfig`]s — ring membership, acceptor sets and the elected
-//!   coordinator with its epoch,
-//! * ring subscriptions (which learners deliver which groups — the basis
-//!   for trim quorums and partition membership),
-//! * service partitions ([`PartitionInfo`]), and
-//! * free-form metadata blobs (like ZK znodes) for service-specific
-//!   configuration such as the partitioning scheme.
+//! * [`state`] — [`CoordState`], the replicated state: ring
+//!   configurations with epochs, ring subscriptions, service partitions,
+//!   versioned metadata znodes, TTL sessions and their ephemeral entries.
+//! * [`registry`] — the [`Registry`] facade every other crate holds, over
+//!   the [`Coord`] backend trait.
+//! * [`local`] — [`LocalCoord`]: the state machine behind a lock, for
+//!   simulations, tests and single-process deployments.
+//! * [`client`] — [`RemoteCoord`]: the framed-TCP client of a replicated
+//!   `amcoordd` ensemble (which lives in `liverun`, the crate that can
+//!   see Ring Paxos — the service self-hosts its log on a ring).
 //!
 //! Like Zookeeper in the paper, the registry sits *off* the critical
 //! message path: processes consult it at configuration time and during
 //! failover, never per-request.
 
+pub mod client;
+pub mod local;
 pub mod registry;
 pub mod ring_config;
+pub mod state;
 
-pub use registry::{PartitionInfo, Registry};
+pub use client::{CoordClientOptions, RemoteCoord};
+pub use local::LocalCoord;
+pub use registry::{Coord, PartitionInfo, Registry};
 pub use ring_config::RingConfig;
+pub use state::{CoordState, Session};

@@ -1,13 +1,55 @@
-//! The shared configuration registry.
+//! The shared configuration registry facade.
+//!
+//! [`Registry`] is the one handle the rest of the workspace holds: ring
+//! state machines read their membership through it, hosts consult
+//! partitions and subscriptions, services publish metadata. It delegates
+//! to a [`Coord`] backend:
+//!
+//! * [`LocalCoord`](crate::local::LocalCoord) — the in-process state
+//!   machine (simulator, unit tests, single-process deployments);
+//! * [`RemoteCoord`](crate::client::RemoteCoord) — a framed-TCP client of
+//!   an `amcoordd` ensemble, with a watch-updated configuration cache so
+//!   the per-heartbeat reads every ring node performs stay local.
+//!
+//! Like Zookeeper in the paper (§7.1), the registry sits *off* the
+//! critical message path: processes consult it at configuration time and
+//! during failover, never per-request.
+
+use std::sync::Arc;
 
 use bytes::Bytes;
 use common::error::{Error, Result};
-use common::ids::{Epoch, NodeId, PartitionId, RingId};
-use parking_lot::RwLock;
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use common::ids::{Epoch, NodeId, PartitionId, RingId, SessionId};
+use common::wire::coord::{
+    CoordEvent, CoordOk, CoordOp, ElectOutcome, EphemeralEntry, PartitionWire, RingConfigWire,
+};
+use crossbeam::channel::Receiver;
 
 use crate::ring_config::RingConfig;
+
+/// A coordination backend: somewhere [`CoordOp`]s can be applied and
+/// state-change events observed.
+pub trait Coord: Send + Sync + std::fmt::Debug {
+    /// Applies one operation and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operation is refused by the state machine or (for
+    /// remote backends) the service cannot be reached in time.
+    fn call(&self, op: CoordOp) -> Result<CoordOk>;
+
+    /// Subscribes to all state-change events from this backend.
+    fn watch(&self) -> Receiver<CoordEvent>;
+
+    /// The backend's own session with the service, if it maintains one
+    /// (remote backends keep a TTL session alive; the local backend has
+    /// no liveness to prove).
+    fn session(&self) -> Option<SessionId>;
+}
+
+/// The TTL used for sessions the registry opens on behalf of callers
+/// that do not manage one themselves (see [`Registry::announce`]).
+pub const DEFAULT_SESSION_TTL_MS: u64 = 3_000;
 
 /// A service partition: the set of replicas that subscribe to the same set
 /// of multicast groups (paper §5.2).
@@ -26,30 +68,61 @@ impl PartitionInfo {
     pub fn quorum(&self) -> usize {
         self.replicas.len() / 2 + 1
     }
-}
 
-#[derive(Debug, Default)]
-struct Inner {
-    rings: BTreeMap<RingId, RingConfig>,
-    subscribers: BTreeMap<RingId, Vec<NodeId>>,
-    partitions: BTreeMap<PartitionId, PartitionInfo>,
-    replica_partition: BTreeMap<NodeId, PartitionId>,
-    meta: BTreeMap<String, Bytes>,
+    fn to_wire(&self, partition: PartitionId) -> PartitionWire {
+        PartitionWire {
+            partition,
+            rings: self.rings.clone(),
+            replicas: self.replicas.clone(),
+        }
+    }
+
+    fn from_wire(wire: &PartitionWire) -> Self {
+        PartitionInfo {
+            rings: wire.rings.clone(),
+            replicas: wire.replicas.clone(),
+        }
+    }
 }
 
 /// Cheaply clonable handle to the shared registry.
 ///
-/// All methods take `&self`; interior mutability mirrors how every process
-/// talks to the same Zookeeper ensemble.
-#[derive(Clone, Debug, Default)]
+/// All methods take `&self`; clones share the backend, mirroring how every
+/// process talks to the same coordination ensemble.
+#[derive(Clone, Debug)]
 pub struct Registry {
-    inner: Arc<RwLock<Inner>>,
+    backend: Arc<dyn Coord>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty in-process registry.
     pub fn new() -> Self {
-        Self::default()
+        Registry {
+            backend: Arc::new(crate::local::LocalCoord::new()),
+        }
+    }
+
+    /// A registry over an explicit backend (a shared
+    /// [`LocalCoord`](crate::local::LocalCoord), a
+    /// [`RemoteCoord`](crate::client::RemoteCoord), a test double).
+    pub fn from_backend(backend: Arc<dyn Coord>) -> Self {
+        Registry { backend }
+    }
+
+    /// The underlying backend.
+    pub fn backend(&self) -> &Arc<dyn Coord> {
+        &self.backend
+    }
+
+    /// Subscribes to all configuration-change events.
+    pub fn watch(&self) -> Receiver<CoordEvent> {
+        self.backend.watch()
     }
 
     /// Registers a ring configuration.
@@ -58,13 +131,28 @@ impl Registry {
     ///
     /// Fails if the ring id is already registered.
     pub fn register_ring(&self, cfg: RingConfig) -> Result<()> {
-        let mut inner = self.inner.write();
-        let ring = cfg.ring();
-        if inner.rings.contains_key(&ring) {
-            return Err(Error::Config(format!("ring {ring} already registered")));
+        self.backend
+            .call(CoordOp::RegisterRing { cfg: cfg.to_wire() })
+            .map(|_| ())
+    }
+
+    /// Idempotent ring bootstrap: registers `cfg`, or adopts whatever
+    /// configuration the service already holds for the ring (one-
+    /// process-per-node deployments seed concurrently; first writer wins,
+    /// the rest adopt). Returns the live configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `cfg` is structurally invalid or the service is
+    /// unreachable.
+    pub fn ensure_ring(&self, cfg: RingConfig) -> Result<RingConfig> {
+        match self
+            .backend
+            .call(CoordOp::EnsureRing { cfg: cfg.to_wire() })?
+        {
+            CoordOk::Config(wire) => RingConfig::from_wire(&wire),
+            other => Err(unexpected("EnsureRing", &other)),
         }
-        inner.rings.insert(ring, cfg);
-        Ok(())
     }
 
     /// A snapshot of the configuration of `ring`.
@@ -73,17 +161,19 @@ impl Registry {
     ///
     /// Fails with [`Error::UnknownRing`] if never registered.
     pub fn ring(&self, ring: RingId) -> Result<RingConfig> {
-        self.inner
-            .read()
-            .rings
-            .get(&ring)
-            .cloned()
-            .ok_or(Error::UnknownRing(ring))
+        match self.backend.call(CoordOp::GetRing { ring })? {
+            CoordOk::Ring(Some(wire)) => RingConfig::from_wire(&wire),
+            CoordOk::Ring(None) => Err(Error::UnknownRing(ring)),
+            other => Err(unexpected("GetRing", &other)),
+        }
     }
 
     /// All registered ring ids, ascending.
     pub fn ring_ids(&self) -> Vec<RingId> {
-        self.inner.read().rings.keys().copied().collect()
+        match self.backend.call(CoordOp::RingIds) {
+            Ok(CoordOk::RingIds(ids)) => ids,
+            _ => Vec::new(),
+        }
     }
 
     /// Elects `candidate` coordinator of `ring` *if* the caller's view is
@@ -100,13 +190,15 @@ impl Registry {
         candidate: NodeId,
         seen_epoch: Epoch,
     ) -> Result<std::result::Result<Epoch, RingConfig>> {
-        let mut inner = self.inner.write();
-        let cfg = inner.rings.get_mut(&ring).ok_or(Error::UnknownRing(ring))?;
-        if cfg.epoch() != seen_epoch {
-            return Ok(Err(cfg.clone()));
+        match self.backend.call(CoordOp::ElectCoordinator {
+            ring,
+            candidate,
+            seen_epoch,
+        })? {
+            CoordOk::Election(ElectOutcome::Won(epoch)) => Ok(Ok(epoch)),
+            CoordOk::Election(ElectOutcome::Lost(wire)) => Ok(Err(RingConfig::from_wire(&wire)?)),
+            other => Err(unexpected("ElectCoordinator", &other)),
         }
-        let epoch = cfg.set_coordinator(candidate)?;
-        Ok(Ok(epoch))
     }
 
     /// Reports `node` as failed in `ring`: removes it from the membership
@@ -123,13 +215,14 @@ impl Registry {
         failed: NodeId,
         seen_epoch: Epoch,
     ) -> Result<RingConfig> {
-        let mut inner = self.inner.write();
-        let cfg = inner.rings.get_mut(&ring).ok_or(Error::UnknownRing(ring))?;
-        if cfg.epoch() != seen_epoch || !cfg.contains(failed) {
-            return Ok(cfg.clone());
+        match self.backend.call(CoordOp::ReportFailure {
+            ring,
+            failed,
+            seen_epoch,
+        })? {
+            CoordOk::Config(wire) => RingConfig::from_wire(&wire),
+            other => Err(unexpected("ReportFailure", &other)),
         }
-        cfg.remove_member(failed)?;
-        Ok(cfg.clone())
     }
 
     /// Re-admits a recovered `node` into `ring` (idempotent). Returns the
@@ -139,32 +232,40 @@ impl Registry {
     ///
     /// Fails if the ring is unknown.
     pub fn rejoin(&self, ring: RingId, node: NodeId, as_acceptor: bool) -> Result<RingConfig> {
-        let mut inner = self.inner.write();
-        let cfg = inner.rings.get_mut(&ring).ok_or(Error::UnknownRing(ring))?;
-        if !cfg.contains(node) {
-            cfg.add_member(node, as_acceptor)?;
+        match self.backend.call(CoordOp::Rejoin {
+            ring,
+            node,
+            as_acceptor,
+        })? {
+            CoordOk::Config(wire) => RingConfig::from_wire(&wire),
+            other => Err(unexpected("Rejoin", &other)),
         }
-        Ok(cfg.clone())
+    }
+
+    /// Installs `cfg` if it is newer than the stored configuration —
+    /// the gossip path the `amcoordd` ensemble uses for its own ring.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `cfg` is structurally invalid.
+    pub fn install_config(&self, cfg: RingConfigWire) -> Result<()> {
+        self.backend
+            .call(CoordOp::InstallConfig { cfg })
+            .map(|_| ())
     }
 
     /// Records that `node` subscribes to (delivers from) `ring`.
     pub fn subscribe(&self, ring: RingId, node: NodeId) {
-        let subs = &mut self.inner.write().subscribers;
-        let list = subs.entry(ring).or_default();
-        if !list.contains(&node) {
-            list.push(node);
-        }
+        let _ = self.backend.call(CoordOp::Subscribe { ring, node });
     }
 
     /// The learners subscribed to `ring` — the electorate of the trim
     /// protocol for that ring.
     pub fn subscribers(&self, ring: RingId) -> Vec<NodeId> {
-        self.inner
-            .read()
-            .subscribers
-            .get(&ring)
-            .cloned()
-            .unwrap_or_default()
+        match self.backend.call(CoordOp::Subscribers { ring }) {
+            Ok(CoordOk::Nodes(nodes)) => nodes,
+            _ => Vec::new(),
+        }
     }
 
     /// Registers a service partition and its replica set, and records each
@@ -175,66 +276,184 @@ impl Registry {
     /// Fails if the partition id is taken or a replica already belongs to
     /// another partition.
     pub fn register_partition(&self, partition: PartitionId, info: PartitionInfo) -> Result<()> {
-        let mut inner = self.inner.write();
-        if inner.partitions.contains_key(&partition) {
-            return Err(Error::Config(format!(
-                "partition {partition} already registered"
-            )));
-        }
-        for r in &info.replicas {
-            if inner.replica_partition.contains_key(r) {
-                return Err(Error::Config(format!(
-                    "replica {r} already belongs to a partition"
-                )));
-            }
-        }
-        for r in &info.replicas {
-            inner.replica_partition.insert(*r, partition);
-            for ring in &info.rings {
-                let list = inner.subscribers.entry(*ring).or_default();
-                if !list.contains(r) {
-                    list.push(*r);
-                }
-            }
-        }
-        inner.partitions.insert(partition, info);
-        Ok(())
+        self.backend
+            .call(CoordOp::RegisterPartition {
+                part: info.to_wire(partition),
+            })
+            .map(|_| ())
+    }
+
+    /// Idempotent partition bootstrap (see [`Registry::ensure_ring`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the definition is invalid or the service unreachable.
+    pub fn ensure_partition(&self, partition: PartitionId, info: PartitionInfo) -> Result<()> {
+        self.backend
+            .call(CoordOp::EnsurePartition {
+                part: info.to_wire(partition),
+            })
+            .map(|_| ())
     }
 
     /// The partition `replica` belongs to, if any.
     pub fn partition_of(&self, replica: NodeId) -> Option<PartitionId> {
-        self.inner.read().replica_partition.get(&replica).copied()
+        match self.backend.call(CoordOp::PartitionOf { replica }) {
+            Ok(CoordOk::PartitionOf(p)) => p,
+            _ => None,
+        }
     }
 
     /// The partition's info.
     pub fn partition(&self, partition: PartitionId) -> Option<PartitionInfo> {
-        self.inner.read().partitions.get(&partition).cloned()
+        match self.backend.call(CoordOp::GetPartition { partition }) {
+            Ok(CoordOk::Partition(p)) => p.as_ref().map(PartitionInfo::from_wire),
+            _ => None,
+        }
     }
 
     /// All partitions, ascending by id.
     pub fn partitions(&self) -> Vec<(PartitionId, PartitionInfo)> {
-        self.inner
-            .read()
-            .partitions
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect()
+        match self.backend.call(CoordOp::Partitions) {
+            Ok(CoordOk::Partitions(ps)) => ps
+                .iter()
+                .map(|p| (p.partition, PartitionInfo::from_wire(p)))
+                .collect(),
+            _ => Vec::new(),
+        }
     }
 
-    /// Stores a metadata blob under `key` (like writing a znode).
+    /// Stores a metadata blob under `key` (like writing a znode),
+    /// unconditionally.
     pub fn set_meta(&self, key: impl Into<String>, value: Bytes) {
-        self.inner.write().meta.insert(key.into(), value);
+        let _ = self.backend.call(CoordOp::SetMeta {
+            key: key.into(),
+            value,
+            expected_version: None,
+        });
+    }
+
+    /// Versioned metadata write: succeeds only if the key's current
+    /// version equals `expected` (0 for "must not exist yet"). Returns the
+    /// new version.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the writer's view is stale.
+    pub fn set_meta_cas(&self, key: impl Into<String>, value: Bytes, expected: u64) -> Result<u64> {
+        match self.backend.call(CoordOp::SetMeta {
+            key: key.into(),
+            value,
+            expected_version: Some(expected),
+        })? {
+            CoordOk::Version(v) => Ok(v),
+            other => Err(unexpected("SetMeta", &other)),
+        }
     }
 
     /// Reads the metadata blob at `key`.
     pub fn meta(&self, key: &str) -> Option<Bytes> {
-        self.inner.read().meta.get(key).cloned()
+        self.meta_versioned(key).map(|(_, value)| value)
     }
+
+    /// Reads the metadata blob at `key` with its version.
+    pub fn meta_versioned(&self, key: &str) -> Option<(u64, Bytes)> {
+        match self.backend.call(CoordOp::GetMeta { key: key.into() }) {
+            Ok(CoordOk::Meta(m)) => m,
+            _ => None,
+        }
+    }
+
+    /// Opens a session with the given TTL.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the service is unreachable.
+    pub fn open_session(&self, ttl_ms: u64) -> Result<SessionId> {
+        match self.backend.call(CoordOp::OpenSession { ttl_ms })? {
+            CoordOk::Session(id) => Ok(id),
+            other => Err(unexpected("OpenSession", &other)),
+        }
+    }
+
+    /// Refreshes a session's liveness.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the session is unknown (expired).
+    pub fn keep_alive(&self, session: SessionId) -> Result<()> {
+        self.backend
+            .call(CoordOp::KeepAlive { session })
+            .map(|_| ())
+    }
+
+    /// Closes a session, dropping its ephemeral entries.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the service is unreachable.
+    pub fn close_session(&self, session: SessionId) -> Result<()> {
+        self.backend
+            .call(CoordOp::CloseSession { session })
+            .map(|_| ())
+    }
+
+    /// Registers an ephemeral entry under `session`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the session is unknown.
+    pub fn register_ephemeral(
+        &self,
+        session: SessionId,
+        key: impl Into<String>,
+        value: Bytes,
+    ) -> Result<()> {
+        self.backend
+            .call(CoordOp::RegisterEphemeral {
+                session,
+                key: key.into(),
+                value,
+            })
+            .map(|_| ())
+    }
+
+    /// Registers an ephemeral entry under the backend's own session (the
+    /// "I am alive, here is how to reach me" advertisement every live node
+    /// publishes). Backends without a session of their own get a fresh one
+    /// with the default TTL. Returns the owning session.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the service is unreachable.
+    pub fn announce(&self, key: impl Into<String>, value: Bytes) -> Result<SessionId> {
+        let session = match self.backend.session() {
+            Some(s) => s,
+            None => self.open_session(DEFAULT_SESSION_TTL_MS)?,
+        };
+        self.register_ephemeral(session, key, value)?;
+        Ok(session)
+    }
+
+    /// Lists ephemeral entries whose key starts with `prefix`.
+    pub fn ephemerals(&self, prefix: &str) -> Vec<EphemeralEntry> {
+        match self.backend.call(CoordOp::Ephemerals {
+            prefix: prefix.into(),
+        }) {
+            Ok(CoordOk::Ephemerals(es)) => es,
+            _ => Vec::new(),
+        }
+    }
+}
+
+fn unexpected(op: &str, body: &CoordOk) -> Error {
+    Error::Config(format!("{op}: unexpected reply shape {body:?}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use common::wire::coord::CoordEvent;
 
     fn nodes(ids: &[u32]) -> Vec<NodeId> {
         ids.iter().map(|i| NodeId::new(*i)).collect()
@@ -310,6 +529,9 @@ mod tests {
             replicas: nodes(&[11]),
         };
         assert!(reg.register_partition(PartitionId::new(1), bad).is_err());
+
+        // Idempotent bootstrap tolerates the re-registration race.
+        reg.ensure_partition(PartitionId::new(0), info).unwrap();
     }
 
     #[test]
@@ -324,10 +546,71 @@ mod tests {
     }
 
     #[test]
+    fn versioned_meta_cas() {
+        let reg = Registry::new();
+        let v1 = reg
+            .set_meta_cas("scheme", Bytes::from_static(b"a"), 0)
+            .unwrap();
+        assert_eq!(v1, 1);
+        assert!(reg
+            .set_meta_cas("scheme", Bytes::from_static(b"b"), 0)
+            .is_err());
+        let v2 = reg
+            .set_meta_cas("scheme", Bytes::from_static(b"b"), v1)
+            .unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(
+            reg.meta_versioned("scheme"),
+            Some((2, Bytes::from_static(b"b")))
+        );
+    }
+
+    #[test]
     fn registry_clones_share_state() {
         let a = Registry::new();
         let b = a.clone();
         a.register_ring(ring0()).unwrap();
         assert!(b.ring(RingId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn watches_fire_exactly_once_per_epoch_bump() {
+        let reg = Registry::new();
+        reg.register_ring(ring0()).unwrap();
+        let rx = reg.watch();
+
+        let e0 = reg.ring(RingId::new(0)).unwrap().epoch();
+        reg.elect_coordinator(RingId::new(0), NodeId::new(2), e0)
+            .unwrap()
+            .expect("wins");
+        // The losing CAS must not produce a second event.
+        reg.elect_coordinator(RingId::new(0), NodeId::new(3), e0)
+            .unwrap()
+            .expect_err("stale epoch loses");
+
+        let event = rx.try_recv().expect("one event");
+        match event {
+            CoordEvent::RingChanged { cfg } => {
+                assert_eq!(cfg.coordinator, NodeId::new(2));
+                assert_eq!(cfg.epoch, Epoch::new(2));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(rx.try_recv().is_err(), "exactly one event per bump");
+    }
+
+    #[test]
+    fn announce_registers_ephemeral_under_fresh_session() {
+        let reg = Registry::new();
+        let session = reg
+            .announce("nodes/7", Bytes::from_static(b"127.0.0.1:7400"))
+            .unwrap();
+        let entries = reg.ephemerals("nodes/");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, "nodes/7");
+        assert_eq!(entries[0].session, session);
+
+        reg.close_session(session).unwrap();
+        assert!(reg.ephemerals("nodes/").is_empty());
     }
 }

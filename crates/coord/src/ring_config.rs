@@ -2,6 +2,7 @@
 
 use common::error::{Error, Result};
 use common::ids::{Epoch, NodeId, RingId};
+use common::wire::coord::RingConfigWire;
 
 /// Membership and roles of one ring.
 ///
@@ -55,6 +56,38 @@ impl RingConfig {
             coordinator,
             epoch: Epoch::new(1),
         })
+    }
+
+    /// Reconstructs a configuration from its wire form, trusting every
+    /// field (the coordination service is the authority on epochs and
+    /// elected coordinators; [`RingConfig::new`] would reset both).
+    ///
+    /// # Errors
+    ///
+    /// Fails on structurally invalid configurations (empty membership,
+    /// acceptors outside the membership, duplicates).
+    pub fn from_wire(wire: &RingConfigWire) -> Result<Self> {
+        let mut cfg = RingConfig::new(wire.ring, wire.members.clone(), wire.acceptors.clone())?;
+        if !cfg.is_acceptor(wire.coordinator) {
+            return Err(Error::Config(format!(
+                "ring {}: wire coordinator {} is not an acceptor",
+                wire.ring, wire.coordinator
+            )));
+        }
+        cfg.coordinator = wire.coordinator;
+        cfg.epoch = wire.epoch;
+        Ok(cfg)
+    }
+
+    /// This configuration's wire form.
+    pub fn to_wire(&self) -> RingConfigWire {
+        RingConfigWire {
+            ring: self.ring,
+            members: self.members.clone(),
+            acceptors: self.acceptors.clone(),
+            coordinator: self.coordinator,
+            epoch: self.epoch,
+        }
     }
 
     /// The ring id (= multicast group id).
@@ -249,6 +282,21 @@ mod tests {
         assert!(e1 > e0);
         assert_eq!(cfg.coordinator(), NodeId::new(2));
         assert!(cfg.set_coordinator(NodeId::new(3)).is_err()); // not an acceptor
+    }
+
+    #[test]
+    fn wire_form_round_trips_epoch_and_coordinator() {
+        let mut cfg = RingConfig::new(RingId::new(3), nodes(&[1, 2, 3]), nodes(&[1, 2])).unwrap();
+        cfg.set_coordinator(NodeId::new(2)).unwrap();
+        let back = RingConfig::from_wire(&cfg.to_wire()).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.epoch(), Epoch::new(2));
+        assert_eq!(back.coordinator(), NodeId::new(2));
+
+        // A wire config whose coordinator is not an acceptor is rejected.
+        let mut bad = cfg.to_wire();
+        bad.coordinator = NodeId::new(3);
+        assert!(RingConfig::from_wire(&bad).is_err());
     }
 
     #[test]

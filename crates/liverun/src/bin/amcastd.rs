@@ -13,25 +13,25 @@
 //! amcastd run --config amcast.toml --all
 //! ```
 //!
-//! Each process loads the same deployment document (the stand-in for the
-//! paper's Zookeeper-held configuration), builds its registry from it,
-//! and serves peers and clients on the addresses configured for its
-//! node. `--restart` brings a node back through the recovery path
-//! (checkpoint fetch from partition peers plus acceptor catch-up, §5.2).
+//! Each process loads the same deployment document and serves peers and
+//! clients on the addresses configured for its node. `--restart` brings a
+//! node back through the recovery path (checkpoint fetch from partition
+//! peers plus acceptor catch-up, §5.2).
 //!
-//! **Known limitation (multi-process mode):** each process holds its own
-//! registry, so ring *reconfiguration* after a node failure does not
-//! propagate across processes — single-partition operations stay
-//! available through an outage, but full membership change + rejoin is
-//! only supported with the shared registry of `--all` (one process) until
-//! the registry is backed by a real coordination service. The paper uses
-//! Zookeeper for exactly this (§7.1).
+//! With a `coord = "addr,addr,..."` key in `[deployment]`, every process
+//! bootstraps from the named `amcoordd` ensemble — the paper's Zookeeper
+//! role (§7.1): nodes seed the configuration idempotently, register
+//! ephemeral liveness entries on TTL sessions, and learn ring
+//! reconfigurations through pushed watch events, so membership changes
+//! propagate *across processes*. Without the key each process holds a
+//! private in-process registry and reconfiguration only works in `--all`
+//! mode (every node in one address space).
 
 use std::process::ExitCode;
 
 use common::ids::NodeId;
 use common::transport::WallClock;
-use liverun::deployment::start_node;
+use liverun::deployment::{connect_registry, start_node};
 use liverun::{Deployment, DeploymentConfig};
 
 fn usage() -> &'static str {
@@ -143,7 +143,7 @@ fn run(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         };
         let node = NodeId::new(node);
-        let registry = match config.build_registry() {
+        let registry = match connect_registry(&config) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("amcastd: {e}");

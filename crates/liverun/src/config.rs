@@ -110,6 +110,12 @@ pub struct DeploymentConfig {
     pub checkpoint_interval: Option<Duration>,
     /// Directory for per-node write-ahead logs (`None` disables WALs).
     pub wal_dir: Option<PathBuf>,
+    /// The `amcoordd` ensemble serving this deployment's configuration
+    /// (`coord = "addr,addr,..."`). Empty means in-process registry: every
+    /// node must then share one address space (`--all` / [`crate::Deployment`]).
+    pub coord_addrs: Vec<SocketAddr>,
+    /// TTL for each node's coordination session (`session_ttl_ms`).
+    pub session_ttl: Duration,
     /// The nodes.
     pub nodes: Vec<NodeSpec>,
     /// The rings.
@@ -181,6 +187,21 @@ impl DeploymentConfig {
             });
         }
 
+        let coord_addrs = match deployment.values.get("coord") {
+            None => Vec::new(),
+            Some(v) => {
+                let raw = v.as_str();
+                let mut addrs = Vec::new();
+                for part in raw.split(',').filter(|p| !p.trim().is_empty()) {
+                    addrs.push(
+                        part.trim()
+                            .parse()
+                            .map_err(|_| Error::Config(format!("bad coord address {part:?}")))?,
+                    );
+                }
+                addrs
+            }
+        };
         let config = DeploymentConfig {
             service,
             batch_max: deployment.int_or("batch_max", 64)? as usize,
@@ -193,6 +214,8 @@ impl DeploymentConfig {
                 .values
                 .get("wal_dir")
                 .map(|v| PathBuf::from(v.as_str())),
+            coord_addrs,
+            session_ttl: Duration::from_millis(deployment.int_or("session_ttl_ms", 3000)?),
             nodes,
             rings,
             partitions,
@@ -265,6 +288,42 @@ impl DeploymentConfig {
             Partitioning::Hash { partitions }.publish(&registry);
         }
         Ok(registry)
+    }
+
+    /// Idempotently seeds `registry` with this deployment's rings,
+    /// partitions and partitioning scheme. One-process-per-node
+    /// deployments race every node through this at startup: the first
+    /// writer registers, the rest adopt whatever the coordination service
+    /// already holds (including post-failover configurations — seeding
+    /// never resets a live ring).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a definition is structurally invalid or the service is
+    /// unreachable.
+    pub fn seed_registry(&self, registry: &Registry) -> Result<()> {
+        for r in &self.rings {
+            registry.ensure_ring(RingConfig::new(
+                r.id,
+                r.members.clone(),
+                r.acceptors.clone(),
+            )?)?;
+        }
+        for p in &self.partitions {
+            registry.ensure_partition(
+                p.id,
+                PartitionInfo {
+                    rings: p.rings.clone(),
+                    replicas: p.replicas.clone(),
+                },
+            )?;
+        }
+        if let ServiceKind::MrpStore { partitions } = self.service {
+            if Partitioning::load(registry).is_none() {
+                Partitioning::Hash { partitions }.publish(registry);
+            }
+        }
+        Ok(())
     }
 
     /// Rings `node` is a member of, ascending.
@@ -517,6 +576,26 @@ pub fn generate_localhost_mrpstore(
     out
 }
 
+/// Points a deployment document at an `amcoordd` ensemble: inserts
+/// `coord = "a,b,c"` (and the session TTL) into its `[deployment]`
+/// section. Used by tests and tools that generate a localhost document
+/// first and decide on coordination separately.
+pub fn with_coord(doc: &str, addrs: &[SocketAddr], session_ttl: Duration) -> String {
+    let list = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    doc.replacen(
+        "[deployment]\n",
+        &format!(
+            "[deployment]\ncoord = \"{list}\"\nsession_ttl_ms = {}\n",
+            session_ttl.as_millis()
+        ),
+        1,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +696,39 @@ acceptors = [0]
 "#;
         assert!(DeploymentConfig::parse(unknown_member).is_err());
         assert!(DeploymentConfig::parse("junk line\n").is_err());
+    }
+
+    #[test]
+    fn coord_section_round_trips() {
+        let plain = DeploymentConfig::parse(SAMPLE).unwrap();
+        assert!(plain.coord_addrs.is_empty());
+        assert_eq!(plain.session_ttl, Duration::from_millis(3000));
+
+        let addrs: Vec<std::net::SocketAddr> = vec![
+            "127.0.0.1:7710".parse().unwrap(),
+            "127.0.0.1:7711".parse().unwrap(),
+        ];
+        let doc = with_coord(SAMPLE, &addrs, Duration::from_millis(1500));
+        let cfg = DeploymentConfig::parse(&doc).unwrap();
+        assert_eq!(cfg.coord_addrs, addrs);
+        assert_eq!(cfg.session_ttl, Duration::from_millis(1500));
+
+        assert!(DeploymentConfig::parse(&SAMPLE.replacen(
+            "[deployment]\n",
+            "[deployment]\ncoord = \"junk\"\n",
+            1
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn seeding_is_idempotent() {
+        let cfg = DeploymentConfig::parse(SAMPLE).unwrap();
+        let registry = Registry::new();
+        cfg.seed_registry(&registry).unwrap();
+        cfg.seed_registry(&registry).unwrap(); // concurrent-bootstrap shape
+        assert_eq!(registry.ring_ids(), vec![RingId::new(0), RingId::new(2)]);
+        assert!(mrpstore::Partitioning::load(&registry).is_some());
     }
 
     #[test]

@@ -1,0 +1,654 @@
+//! `amcoord` — the replicated coordination service (`amcoordd` runtime).
+//!
+//! Each `amcoordd` replica is one member of a dedicated Ring Paxos ring
+//! that serves as the service's replicated log — the stack is
+//! self-hosting: the consensus protocol whose deployments amcoord
+//! coordinates also orders amcoord's own state changes. No new consensus
+//! code exists here; a replica is
+//!
+//! * one [`ringpaxos::live::spawn_tcp_member`] node (the log),
+//! * one [`coord::CoordState`] applied in decided order (the state),
+//! * a framed-TCP front end speaking [`common::wire::coord`] to clients
+//!   (liverun nodes, CLIs, fellow replicas).
+//!
+//! Mutating operations are proposed to the ring tagged with the serving
+//! replica and a sequence number; when the decision comes back around,
+//! *every* replica applies it and the proposer answers its waiting
+//! client. Reads are answered from applied state (the Zookeeper
+//! consistency model). Watch events fan out to every connection that sent
+//! [`CoordOp::WatchAll`].
+//!
+//! **Sessions.** TTL liveness is tracked per replica off the *applied*
+//! keep-alive stream (every replica sees every keep-alive, so any replica
+//! can time any session against its own clock). When a TTL lapses, the
+//! observing replica proposes [`CoordOp::ExpireSession`] carrying the
+//! refresh counter it saw — a keep-alive racing through the log wins the
+//! CAS and the session survives.
+//!
+//! **The bootstrap ring.** The one ring amcoord cannot coordinate through
+//! itself is its own: members gossip deterministic, epoch-guarded
+//! reconfigurations ([`CoordOp::InstallConfig`]) to each other instead.
+//! This mirrors Zookeeper's statically configured ensemble (§7.1): the
+//! replica list is fixed at launch, and losing a minority only costs the
+//! gossiped failover hop.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use common::error::{Error, Result};
+use common::ids::{NodeId, RingId, SessionId};
+use common::transport::{encode_frame, FrameBuf};
+use common::value::Value;
+use common::wire::coord::{CoordCmd, CoordEvent, CoordMsg, CoordOp, CoordReply, OpKind};
+use common::wire::Wire;
+use coord::{CoordState, Registry, RingConfig};
+use ringpaxos::live::{spawn_tcp_member, LiveNode};
+use ringpaxos::options::RingOptions;
+use storage::wal::{SyncPolicy, Wal};
+
+use crate::node::{spawn_listener, ListenerHandle};
+
+/// The ring id the ensemble replicates its own log on (a private
+/// namespace — this ring never appears in any deployment's registry).
+pub const COORD_RING: RingId = RingId::new(0);
+
+/// Static description of one amcoordd ensemble, identical in every
+/// replica (like a Zookeeper server list).
+#[derive(Clone, Debug)]
+pub struct CoordServerConfig {
+    /// This replica's id (an index into the address lists).
+    pub id: NodeId,
+    /// Ring (replica ↔ replica consensus) addresses, one per replica.
+    pub ring_addrs: Vec<SocketAddr>,
+    /// Client-serving addresses, one per replica.
+    pub client_addrs: Vec<SocketAddr>,
+    /// Directory for the replica's log WAL (`None` disables it).
+    pub wal_dir: Option<PathBuf>,
+    /// How often the replica sweeps for lapsed sessions.
+    pub session_check: Duration,
+}
+
+impl CoordServerConfig {
+    /// A localhost ensemble of `n` replicas with sequential ports from
+    /// `base_port` (ring ports first, then client ports); `id` names this
+    /// replica.
+    pub fn localhost(id: u32, n: u16, base_port: u16) -> Self {
+        let ring_addrs = (0..n)
+            .map(|i| format!("127.0.0.1:{}", base_port + i).parse().unwrap())
+            .collect();
+        let client_addrs = (0..n)
+            .map(|i| format!("127.0.0.1:{}", base_port + n + i).parse().unwrap())
+            .collect();
+        CoordServerConfig {
+            id: NodeId::new(id),
+            ring_addrs,
+            client_addrs,
+            wal_dir: None,
+            session_check: Duration::from_millis(500),
+        }
+    }
+
+    /// The replica ids, in ring order.
+    pub fn members(&self) -> Vec<NodeId> {
+        (0..self.ring_addrs.len() as u32).map(NodeId::new).collect()
+    }
+
+    /// This replica's client-serving address.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is out of range or the address lists disagree.
+    pub fn my_client_addr(&self) -> Result<SocketAddr> {
+        self.validate()?;
+        Ok(self.client_addrs[self.id.raw() as usize])
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.ring_addrs.is_empty() || self.ring_addrs.len() != self.client_addrs.len() {
+            return Err(Error::Config(
+                "amcoordd needs equal, non-empty ring/client address lists".into(),
+            ));
+        }
+        if self.id.raw() as usize >= self.ring_addrs.len() {
+            return Err(Error::Config(format!(
+                "amcoordd id {} out of range for {} replicas",
+                self.id,
+                self.ring_addrs.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Write half of one client connection (bounded, never blocks the loop).
+#[derive(Clone)]
+struct ConnWriter {
+    tx: Sender<CoordReply>,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded::<CoordReply>(4096);
+        std::thread::spawn(move || {
+            let mut stream = stream;
+            while let Ok(reply) = rx.recv() {
+                if stream.write_all(&encode_frame(&reply)).is_err() {
+                    break;
+                }
+            }
+            // Close the *socket*, not just our fd: the reader thread
+            // holds a clone, and the client must observe EOF (and
+            // reconnect with a fresh watch + cache) when this half dies.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        });
+        ConnWriter { tx }
+    }
+
+    /// Queues a frame; false when the connection's queue is full (stalled
+    /// client). Correlated replies may shed — the client times out and
+    /// retries — but a dropped *watch event* must kill the connection,
+    /// or the client's config cache would go silently stale forever.
+    #[must_use]
+    fn send(&self, reply: CoordReply) -> bool {
+        self.tx.try_send(reply).is_ok()
+    }
+}
+
+struct ConnState {
+    writer: ConnWriter,
+    watch_all: bool,
+}
+
+enum SrvEvent {
+    /// A client connection opened.
+    Conn(u64, ConnWriter),
+    /// A frame arrived on a connection.
+    Msg(u64, CoordMsg),
+    /// A connection closed.
+    Gone(u64),
+    /// The replicated log decided a value.
+    Deliver(Value),
+    /// Our own consensus ring reconfigured; gossip it to the peers.
+    Gossip(common::wire::coord::RingConfigWire),
+    /// Stop the replica.
+    Shutdown,
+}
+
+/// Handle to one running amcoordd replica.
+pub struct CoordServerHandle {
+    tx: Sender<SrvEvent>,
+    join: Option<JoinHandle<()>>,
+    listener: Option<ListenerHandle>,
+    client_addr: SocketAddr,
+}
+
+impl CoordServerHandle {
+    /// The address clients connect to.
+    pub fn client_addr(&self) -> SocketAddr {
+        self.client_addr
+    }
+
+    /// Stops the replica: closes the listener, stops the loop (which
+    /// stops the ring member), joins the loop thread.
+    pub fn shutdown(mut self) {
+        if let Some(l) = self.listener.take() {
+            l.stop();
+        }
+        let _ = self.tx.send(SrvEvent::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Starts one amcoordd replica of `config`.
+///
+/// # Errors
+///
+/// Fails if the configuration is inconsistent, a listener cannot bind or
+/// the WAL cannot open.
+pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle> {
+    config.validate()?;
+    let me = config.id;
+    let members = config.members();
+
+    // The ensemble's own ring lives in a local registry seeded from the
+    // static replica list; InstallConfig gossip keeps replicas aligned
+    // across failovers (see module docs).
+    let ring_registry = Registry::new();
+    ring_registry.register_ring(RingConfig::new(
+        COORD_RING,
+        members.clone(),
+        members.clone(),
+    )?)?;
+
+    let ring_addr_map: HashMap<NodeId, SocketAddr> = members
+        .iter()
+        .copied()
+        .zip(config.ring_addrs.iter().copied())
+        .collect();
+    let wal = match &config.wal_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            Some(Wal::open(
+                dir.join(format!("amcoord-{}.wal", me.raw())),
+                SyncPolicy::EveryWrite,
+            )?)
+        }
+        None => None,
+    };
+    let opts = RingOptions {
+        heartbeat_interval: Duration::from_millis(25),
+        failure_timeout: Duration::from_millis(400),
+        proposal_retry: Duration::from_millis(300),
+        ..RingOptions::default()
+    };
+    let live = Arc::new(spawn_tcp_member(
+        me,
+        COORD_RING,
+        ring_registry.clone(),
+        &ring_addr_map,
+        opts,
+        wal,
+    )?);
+
+    let (tx, rx) = unbounded::<SrvEvent>();
+
+    // Delivery pump: decided log entries into the server loop.
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let live = Arc::clone(&live);
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("amcoord-pump-{}", me.raw()))
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    if let Ok(d) = live.recv_delivery(Duration::from_millis(200)) {
+                        if tx.send(SrvEvent::Deliver(d.value)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })
+            .map_err(Error::Io)?;
+    }
+
+    // Gossip feed: watch our own registry for coord-ring epoch bumps.
+    {
+        let watch = ring_registry.watch();
+        let tx = tx.clone();
+        std::thread::Builder::new()
+            .name(format!("amcoord-gossip-{}", me.raw()))
+            .spawn(move || {
+                while let Ok(event) = watch.recv() {
+                    if let CoordEvent::RingChanged { cfg } = event {
+                        if cfg.ring == COORD_RING && tx.send(SrvEvent::Gossip(cfg)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })
+            .map_err(Error::Io)?;
+    }
+
+    let client_addr = config.client_addrs[me.raw() as usize];
+    let listener = TcpListener::bind(client_addr)?;
+    let client_addr = listener.local_addr()?;
+    let tx_conns = tx.clone();
+    let next_conn = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let listener = spawn_listener(
+        listener,
+        format!("amcoord-clients-{}", me.raw()),
+        move |stream| {
+            let conn = next_conn.fetch_add(1, Ordering::SeqCst);
+            spawn_conn_reader(conn, stream, tx_conns.clone());
+        },
+    );
+
+    let peer_clients: Vec<SocketAddr> = config
+        .client_addrs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i as u32 != me.raw())
+        .map(|(_, a)| *a)
+        .collect();
+    let session_check = config.session_check;
+    let join = std::thread::Builder::new()
+        .name(format!("amcoord-srv-{}", me.raw()))
+        .spawn(move || {
+            server_loop(me, live, ring_registry, rx, peer_clients, session_check);
+            stop.store(true, Ordering::SeqCst);
+        })
+        .map_err(Error::Io)?;
+
+    Ok(CoordServerHandle {
+        tx,
+        join: Some(join),
+        listener: Some(listener),
+        client_addr,
+    })
+}
+
+/// Reads [`CoordMsg`] frames off one accepted client connection.
+fn spawn_conn_reader(conn: u64, mut stream: TcpStream, tx: Sender<SrvEvent>) {
+    std::thread::spawn(move || {
+        let _ = stream.set_nodelay(true);
+        let writer = match stream.try_clone() {
+            Ok(w) => ConnWriter::new(w),
+            Err(_) => return,
+        };
+        if tx.send(SrvEvent::Conn(conn, writer)).is_err() {
+            return;
+        }
+        let mut buf = FrameBuf::new();
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    buf.extend(&chunk[..n]);
+                    loop {
+                        match buf.try_next::<CoordMsg>() {
+                            Ok(Some(msg)) => {
+                                if tx.send(SrvEvent::Msg(conn, msg)).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return, // corrupt stream: drop it
+                        }
+                    }
+                }
+            }
+        }
+        let _ = tx.send(SrvEvent::Gone(conn));
+    });
+}
+
+fn server_loop(
+    me: NodeId,
+    live: Arc<LiveNode>,
+    ring_registry: Registry,
+    rx: Receiver<SrvEvent>,
+    peer_clients: Vec<SocketAddr>,
+    session_check: Duration,
+) {
+    let mut state = CoordState::new();
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    /// A replicated command this replica proposed for a waiting client.
+    struct Pending {
+        conn: u64,
+        req: u64,
+        at: Instant,
+    }
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    // Command sequence numbers become ValueIds in the replicated log and
+    // the ring dedups by id, so they must never repeat across replica
+    // incarnations (a restarted replica re-proposing seq 1 would see its
+    // command silently swallowed). Wall-clock microseconds since the
+    // epoch are monotone across restarts for any realistic downtime.
+    let mut next_cmd: u64 = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(1);
+    // Wall-clock session liveness, driven by *applied* keep-alives.
+    let mut session_seen: HashMap<SessionId, Instant> = HashMap::new();
+    // Sessions with an expiry proposal in flight (don't re-propose every
+    // sweep).
+    let mut expiring: HashSet<SessionId> = HashSet::new();
+    let mut gossip_conns: HashMap<SocketAddr, TcpStream> = HashMap::new();
+    let mut next_sweep = Instant::now() + session_check;
+
+    loop {
+        let sleep = next_sweep
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(200));
+        let event = match rx.recv_timeout(sleep) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match event {
+            None => {}
+            Some(SrvEvent::Shutdown) => break,
+            Some(SrvEvent::Conn(conn, writer)) => {
+                conns.insert(
+                    conn,
+                    ConnState {
+                        writer,
+                        watch_all: false,
+                    },
+                );
+            }
+            Some(SrvEvent::Gone(conn)) => {
+                conns.remove(&conn);
+                pending.retain(|_, p| p.conn != conn);
+            }
+            Some(SrvEvent::Msg(conn, CoordMsg { req, op })) => match op.kind() {
+                OpKind::Local => {
+                    if let CoordOp::InstallConfig { cfg } = &op {
+                        let _ = ring_registry.install_config(cfg.clone());
+                    }
+                    if let Some(c) = conns.get_mut(&conn) {
+                        if matches!(op, CoordOp::WatchAll) {
+                            c.watch_all = true;
+                        }
+                        let _ = c.writer.send(CoordReply::Ok {
+                            req,
+                            body: common::wire::coord::CoordOk::Unit,
+                        });
+                    }
+                }
+                OpKind::Read => {
+                    // Reads never mutate state or emit events.
+                    let (result, _) = state.apply(&op);
+                    if let Some(c) = conns.get(&conn) {
+                        let _ = c.writer.send(reply_of(req, result));
+                    }
+                }
+                OpKind::Replicate => {
+                    next_cmd += 1;
+                    let seq = next_cmd;
+                    let cmd = CoordCmd {
+                        origin: me,
+                        seq,
+                        op,
+                    };
+                    pending.insert(
+                        seq,
+                        Pending {
+                            conn,
+                            req,
+                            at: Instant::now(),
+                        },
+                    );
+                    if live.propose(Value::app(me, seq, cmd.to_bytes())).is_err() {
+                        pending.remove(&seq);
+                        if let Some(c) = conns.get(&conn) {
+                            let _ = c.writer.send(CoordReply::Err {
+                                req,
+                                reason: "replica shutting down".into(),
+                            });
+                        }
+                    }
+                }
+            },
+            Some(SrvEvent::Deliver(value)) => {
+                let Some(bytes) = value.payload() else {
+                    continue; // no-op / skip filler
+                };
+                let mut raw = bytes.clone();
+                let Ok(cmd) = CoordCmd::decode(&mut raw) else {
+                    continue; // foreign payload; not ours to apply
+                };
+                let (result, events) = state.apply(&cmd.op);
+                track_sessions(&cmd.op, &result, &state, &mut session_seen, &mut expiring);
+                if cmd.origin == me {
+                    if let Some(p) = pending.remove(&cmd.seq) {
+                        if let Some(c) = conns.get(&p.conn) {
+                            let _ = c.writer.send(reply_of(p.req, result));
+                        }
+                    }
+                }
+                if !events.is_empty() {
+                    // A watcher whose queue overflows is disconnected on
+                    // the spot: its cache would otherwise miss this event
+                    // and serve stale configuration forever. Reconnecting
+                    // re-arms the watch and clears the client's cache.
+                    let mut stalled = Vec::new();
+                    for (id, c) in conns.iter().filter(|(_, c)| c.watch_all) {
+                        for e in &events {
+                            if !c.writer.send(CoordReply::Event(e.clone())) {
+                                stalled.push(*id);
+                                break;
+                            }
+                        }
+                    }
+                    for id in stalled {
+                        conns.remove(&id);
+                        pending.retain(|_, p| p.conn != id);
+                    }
+                }
+            }
+            Some(SrvEvent::Gossip(cfg)) => {
+                for addr in &peer_clients {
+                    gossip_config(&mut gossip_conns, *addr, &cfg);
+                }
+            }
+        }
+
+        if Instant::now() >= next_sweep {
+            next_sweep = Instant::now() + session_check;
+            let now = Instant::now();
+            let overdue: Vec<(SessionId, u64)> = state
+                .sessions()
+                .filter(|(id, s)| {
+                    !expiring.contains(id)
+                        && session_seen.get(id).is_none_or(|at| {
+                            now.duration_since(*at) > Duration::from_millis(s.ttl_ms)
+                        })
+                })
+                .map(|(id, s)| (id, s.refresh_seq))
+                .collect();
+            for (session, seen_refresh) in overdue {
+                next_cmd += 1;
+                let cmd = CoordCmd {
+                    origin: me,
+                    seq: next_cmd,
+                    op: CoordOp::ExpireSession {
+                        session,
+                        seen_refresh,
+                    },
+                };
+                if live
+                    .propose(Value::app(me, next_cmd, cmd.to_bytes()))
+                    .is_ok()
+                {
+                    expiring.insert(session);
+                }
+            }
+            // Stale pendings (e.g. the ring lost quorum): fail the client
+            // so it can retry another replica rather than hang.
+            let stale: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| p.at.elapsed() > Duration::from_secs(10))
+                .map(|(seq, _)| *seq)
+                .collect();
+            for seq in stale {
+                if let Some(p) = pending.remove(&seq) {
+                    if let Some(c) = conns.get(&p.conn) {
+                        let _ = c.writer.send(CoordReply::Err {
+                            req: p.req,
+                            reason: "command not decided in time".into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    live.stop();
+}
+
+fn reply_of(req: u64, result: coord::state::ApplyResult) -> CoordReply {
+    match result {
+        Ok(body) => CoordReply::Ok { req, body },
+        Err(reason) => CoordReply::Err { req, reason },
+    }
+}
+
+/// Keeps the wall-clock liveness table in step with the applied command
+/// stream.
+fn track_sessions(
+    op: &CoordOp,
+    result: &coord::state::ApplyResult,
+    state: &CoordState,
+    session_seen: &mut HashMap<SessionId, Instant>,
+    expiring: &mut HashSet<SessionId>,
+) {
+    match (op, result) {
+        (CoordOp::OpenSession { .. }, Ok(common::wire::coord::CoordOk::Session(id))) => {
+            session_seen.insert(*id, Instant::now());
+        }
+        (CoordOp::KeepAlive { session }, Ok(_)) => {
+            session_seen.insert(*session, Instant::now());
+        }
+        (CoordOp::CloseSession { session }, _) => {
+            expiring.remove(session);
+            session_seen.remove(session);
+        }
+        (CoordOp::ExpireSession { session, .. }, _) => {
+            expiring.remove(session);
+            if state.session(*session).is_some() {
+                // A racing keep-alive won the CAS: the session is alive.
+                // Count the survival as a sighting — treating it as
+                // "never seen" would re-propose expiry immediately and
+                // could race the next keep-alive to a false positive.
+                session_seen.insert(*session, Instant::now());
+            } else {
+                session_seen.remove(session);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Sends an [`CoordOp::InstallConfig`] to a peer replica over a lazily
+/// maintained connection (fire-and-forget; the next gossip retries).
+fn gossip_config(
+    conns: &mut HashMap<SocketAddr, TcpStream>,
+    addr: SocketAddr,
+    cfg: &common::wire::coord::RingConfigWire,
+) {
+    let frame = encode_frame(&CoordMsg {
+        req: 0,
+        op: CoordOp::InstallConfig { cfg: cfg.clone() },
+    });
+    for _attempt in 0..2 {
+        if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(addr) {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    e.insert(s);
+                }
+                Err(_) => return,
+            }
+        }
+        let ok = conns
+            .get_mut(&addr)
+            .map(|s| s.write_all(&frame).is_ok())
+            .unwrap_or(false);
+        if ok {
+            return;
+        }
+        conns.remove(&addr);
+    }
+}

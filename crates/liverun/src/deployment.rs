@@ -9,13 +9,14 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
 use common::error::{Error, Result};
 use common::ids::NodeId;
 use common::transport::WallClock;
-use coord::Registry;
+use coord::{CoordClientOptions, Registry};
 use multiring::{HostOptions, ServiceApp};
-use storage::wal::{SyncPolicy, Wal};
+use storage::wal::{lock_path, SyncPolicy, Wal};
 
 use crate::batch::BatchOptions;
 use crate::config::{DeploymentConfig, ServiceKind};
@@ -85,6 +86,29 @@ fn host_options(config: &DeploymentConfig) -> HostOptions {
     }
 }
 
+/// Builds the registry a node of `config` should consult: a connection
+/// to the configured `amcoordd` ensemble (seeding it idempotently), or a
+/// freshly built in-process registry when the deployment names no
+/// coordination service.
+///
+/// # Errors
+///
+/// Fails if no `amcoordd` replica is reachable or seeding is rejected.
+pub fn connect_registry(config: &DeploymentConfig) -> Result<Registry> {
+    if config.coord_addrs.is_empty() {
+        return config.build_registry();
+    }
+    let registry = Registry::connect(
+        &config.coord_addrs,
+        CoordClientOptions {
+            session_ttl: config.session_ttl,
+            ..CoordClientOptions::default()
+        },
+    )?;
+    config.seed_registry(&registry)?;
+    Ok(registry)
+}
+
 /// Starts one node of `config` against `registry` (cold start or
 /// recovery restart). `amcastd` calls this once per process; the
 /// in-process [`Deployment`] calls it per node with a shared registry.
@@ -144,18 +168,29 @@ pub struct Deployment {
 impl Deployment {
     /// Starts every node of `config`.
     ///
+    /// Without a `coord` section every node shares one in-process
+    /// registry. With one, each node gets its *own* connection (and TTL
+    /// session) to the `amcoordd` ensemble — in-process only in the sense
+    /// that the nodes share a pid; their coordination traffic, sessions
+    /// and failover flows are exactly the one-process-per-node paths.
+    ///
     /// # Errors
     ///
     /// Fails if the configuration is inconsistent or an address cannot
     /// bind.
     pub fn launch(config: DeploymentConfig) -> Result<Self> {
-        let registry = config.build_registry()?;
+        let registry = connect_registry(&config)?;
         let clock = WallClock::start();
         let mut nodes = Vec::new();
         for spec in &config.nodes {
+            let node_registry = if config.coord_addrs.is_empty() {
+                registry.clone()
+            } else {
+                connect_registry(&config)?
+            };
             nodes.push(Some(start_node(
                 &config,
-                registry.clone(),
+                node_registry,
                 clock,
                 spec.id,
                 false,
@@ -200,21 +235,40 @@ impl Deployment {
     /// state is gone. Peers detect the silence and reconfigure the rings
     /// around it (paper §5.1).
     ///
+    /// The node's WAL lock is verified released before returning, so a
+    /// restart-in-place never races the dying node for the log file.
+    ///
     /// # Errors
     ///
-    /// Fails if the node is unknown or already dead.
+    /// Fails if the node is unknown, already dead, or its WAL lock
+    /// outlives the shutdown (a bug this method exists to surface).
     pub fn kill(&mut self, node: NodeId) -> Result<()> {
         let i = self.index_of(node)?;
         let handle = self.nodes[i]
             .take()
             .ok_or_else(|| Error::Config(format!("node {node} is not running")))?;
         handle.shutdown();
+        if let Some(dir) = &self.config.wal_dir {
+            let lock = lock_path(dir.join(format!("node-{}.wal", node.raw())));
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while lock.exists() {
+                if Instant::now() >= deadline {
+                    return Err(Error::Storage(format!(
+                        "node {node} wal lock {} survived shutdown",
+                        lock.display()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
         Ok(())
     }
 
     /// Restarts a killed `node` through the recovery path: it rejoins its
     /// rings, installs the freshest reachable checkpoint and catches up
-    /// from the acceptors (paper §5.2).
+    /// from the acceptors (paper §5.2). Against an `amcoordd` ensemble
+    /// the node comes back with a fresh connection and session (the old
+    /// one died with the node, exactly like a restarted process).
     ///
     /// # Errors
     ///
@@ -224,13 +278,12 @@ impl Deployment {
         if self.nodes[i].is_some() {
             return Err(Error::Config(format!("node {node} is still running")));
         }
-        self.nodes[i] = Some(start_node(
-            &self.config,
-            self.registry.clone(),
-            self.clock,
-            node,
-            true,
-        )?);
+        let registry = if self.config.coord_addrs.is_empty() {
+            self.registry.clone()
+        } else {
+            connect_registry(&self.config)?
+        };
+        self.nodes[i] = Some(start_node(&self.config, registry, self.clock, node, true)?);
         Ok(())
     }
 

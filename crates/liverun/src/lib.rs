@@ -40,6 +40,7 @@
 pub mod batch;
 pub mod client;
 pub mod config;
+pub mod coordsvc;
 pub mod deployment;
 pub mod durable;
 pub mod node;
@@ -48,7 +49,8 @@ pub mod service;
 pub use batch::{BatchOptions, Batcher};
 pub use client::{ClientOptions, LiveClient};
 pub use config::{DeploymentConfig, ServiceKind};
-pub use deployment::{start_node, Deployment};
+pub use coordsvc::{start_coord_server, CoordServerConfig, CoordServerHandle};
+pub use deployment::{connect_registry, start_node, Deployment};
 pub use durable::{DurableApp, WalRecord};
 pub use node::{client_node_id, client_of_node, NodeHandle, CLIENT_NODE_BASE};
 pub use service::{LogClient, StoreClient};

@@ -212,14 +212,14 @@ fn peer_writer_loop(me: NodeId, addr: SocketAddr, rx: Receiver<Msg>) {
 }
 
 /// A listener whose accept loop can be stopped from outside.
-struct ListenerHandle {
+pub(crate) struct ListenerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
 }
 
 impl ListenerHandle {
-    fn stop(mut self) {
+    pub(crate) fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
@@ -229,7 +229,7 @@ impl ListenerHandle {
     }
 }
 
-fn spawn_listener(
+pub(crate) fn spawn_listener(
     listener: TcpListener,
     name: String,
     mut on_conn: impl FnMut(TcpStream) + Send + 'static,
@@ -521,6 +521,15 @@ fn node_loop(
         host.on_start(&mut ctx)
     });
     route!();
+
+    // Advertise liveness: an ephemeral entry on the node's coordination
+    // session. Against amcoord the entry lives exactly as long as the
+    // session's TTL is kept alive — a killed process disappears from
+    // `nodes/` without anyone reporting it.
+    let _ = setup.registry.announce(
+        format!("nodes/{}", me.raw()),
+        Bytes::from(setup.peer_addr.to_string()),
+    );
 
     macro_rules! handle_event {
         ($ev:expr) => {

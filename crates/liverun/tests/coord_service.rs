@@ -1,0 +1,201 @@
+//! Integration tests for the replicated coordination service: a real
+//! 3-replica `amcoordd` ensemble (in this process, over localhost TCP)
+//! serving [`coord::Registry`] clients through the remote backend.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use common::ids::{NodeId, RingId};
+use common::wire::coord::CoordEvent;
+use coord::{CoordClientOptions, Registry, RingConfig};
+use liverun::coordsvc::{start_coord_server, CoordServerConfig, CoordServerHandle};
+
+/// Ports 6000..8800 — below the Linux ephemeral range (32768+) so an
+/// outgoing connection's source port can never steal a listener bind,
+/// and disjoint from every other test binary's range.
+fn base_port(offset: u16) -> u16 {
+    6000 + (std::process::id() % 350) as u16 * 8 + offset
+}
+
+fn start_ensemble(n: u16, base: u16) -> (Vec<CoordServerHandle>, Vec<SocketAddr>) {
+    let mut handles = Vec::new();
+    for id in 0..n {
+        let config = CoordServerConfig::localhost(u32::from(id), n, base);
+        handles.push(start_coord_server(config).expect("replica starts"));
+    }
+    let addrs = handles.iter().map(|h| h.client_addr()).collect();
+    (handles, addrs)
+}
+
+fn wait_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+fn nodes(ids: &[u32]) -> Vec<NodeId> {
+    ids.iter().map(|i| NodeId::new(*i)).collect()
+}
+
+#[test]
+fn ensemble_replicates_writes_and_pushes_watches() {
+    let (handles, addrs) = start_ensemble(3, base_port(0));
+    // Two clients on *different* replicas.
+    let a = Registry::connect(&addrs[..1], CoordClientOptions::default()).unwrap();
+    let b = Registry::connect(&addrs[1..2], CoordClientOptions::default()).unwrap();
+    let watch_a = a.watch();
+
+    // A write through A becomes visible to B (replicated, then applied on
+    // B's replica).
+    a.register_ring(RingConfig::new(RingId::new(7), nodes(&[0, 1, 2]), nodes(&[0, 1, 2])).unwrap())
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || b.ring(RingId::new(7)).is_ok()),
+        "write through replica 0 must reach replica 1"
+    );
+
+    // A CAS election through B; A learns the new epoch through its watch.
+    let epoch = b.ring(RingId::new(7)).unwrap().epoch();
+    b.elect_coordinator(RingId::new(7), NodeId::new(1), epoch)
+        .unwrap()
+        .expect("first election wins");
+    // The same CAS from the stale epoch loses against replicated state.
+    let lost = b
+        .elect_coordinator(RingId::new(7), NodeId::new(2), epoch)
+        .unwrap();
+    assert!(lost.is_err(), "stale-epoch writer must be rejected");
+
+    let saw_epoch_bump = wait_until(Duration::from_secs(10), || {
+        watch_a.try_iter().any(|e| {
+            matches!(
+                &e,
+                CoordEvent::RingChanged { cfg }
+                    if cfg.ring == RingId::new(7) && cfg.coordinator == NodeId::new(1)
+            )
+        })
+    });
+    assert!(saw_epoch_bump, "watcher on replica 0 must see the election");
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            a.ring(RingId::new(7))
+                .map(|cfg| cfg.coordinator() == NodeId::new(1))
+                .unwrap_or(false)
+        }),
+        "A's cached config must follow the watch"
+    );
+
+    // Versioned meta CAS across replicas.
+    let v = a
+        .set_meta_cas("scheme", Bytes::from_static(b"one"), 0)
+        .unwrap();
+    assert!(b
+        .set_meta_cas("scheme", Bytes::from_static(b"two"), 0)
+        .is_err());
+    b.set_meta_cas("scheme", Bytes::from_static(b"two"), v)
+        .unwrap();
+
+    drop(a);
+    drop(b);
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn session_expiry_drops_ephemeral_entries() {
+    let (handles, addrs) = start_ensemble(3, base_port(8 * 350));
+    let short = CoordClientOptions {
+        session_ttl: Duration::from_millis(600),
+        ..CoordClientOptions::default()
+    };
+    let transient = Registry::connect(&addrs[..1], short).unwrap();
+    let observer = Registry::connect(&addrs[2..], CoordClientOptions::default()).unwrap();
+    let events = observer.watch();
+
+    transient
+        .announce("nodes/9", Bytes::from_static(b"127.0.0.1:1"))
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            observer
+                .ephemerals("nodes/")
+                .iter()
+                .any(|e| e.key == "nodes/9")
+        }),
+        "announcement must replicate"
+    );
+
+    // While the client lives, keep-alives hold the session open well past
+    // its TTL.
+    std::thread::sleep(Duration::from_millis(1500));
+    assert!(
+        observer
+            .ephemerals("nodes/")
+            .iter()
+            .any(|e| e.key == "nodes/9"),
+        "kept-alive session must not expire"
+    );
+
+    // Kill the client (keep-alives stop): the TTL lapses, the ensemble
+    // expires the session, the ephemeral disappears everywhere and the
+    // watcher hears about it.
+    drop(transient);
+    assert!(
+        wait_until(Duration::from_secs(15), || observer
+            .ephemerals("nodes/")
+            .is_empty()),
+        "ephemeral must vanish after its session's TTL"
+    );
+    let saw_down = events.try_iter().any(
+        |e| matches!(&e, CoordEvent::EphemeralChanged { key, alive: false } if key == "nodes/9"),
+    );
+    assert!(saw_down, "watcher must see the ephemeral go down");
+
+    drop(observer);
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn client_and_ensemble_survive_replica_failure() {
+    let (mut handles, addrs) = start_ensemble(3, base_port(2 * 8 * 350));
+    // This client starts on replica 0's address.
+    let client = Registry::connect(&addrs, CoordClientOptions::default()).unwrap();
+    client
+        .register_ring(RingConfig::new(RingId::new(1), nodes(&[5, 6]), nodes(&[5, 6])).unwrap())
+        .unwrap();
+
+    // Kill replica 0 — the replica the client is connected to AND the
+    // coordinator of the ensemble's own consensus ring. The survivors
+    // must reconfigure their ring (local CAS + gossip), and the client
+    // must fail over to another replica.
+    handles.remove(0).shutdown();
+
+    let ok = wait_until(Duration::from_secs(20), || {
+        client
+            .ensure_ring(RingConfig::new(RingId::new(2), nodes(&[7, 8]), nodes(&[7, 8])).unwrap())
+            .is_ok()
+    });
+    assert!(ok, "writes must succeed after replica 0 dies");
+
+    // Reads of pre-kill state still answer (replicated, not lost with the
+    // dead replica).
+    assert!(
+        wait_until(Duration::from_secs(10), || client
+            .ring(RingId::new(1))
+            .is_ok()),
+        "pre-kill state must survive"
+    );
+
+    drop(client);
+    for h in handles {
+        h.shutdown();
+    }
+}

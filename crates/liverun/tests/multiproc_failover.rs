@@ -1,0 +1,283 @@
+//! The multi-process failover end-to-end: a real cluster of OS processes
+//! — a 3-replica `amcoordd` ensemble plus one `amcastd` process per data
+//! node — exercising the full §7.1 deployment shape:
+//!
+//! * every node bootstraps its configuration from amcoord (idempotent
+//!   concurrent seeding) and advertises an ephemeral liveness entry;
+//! * SIGKILLing the ring coordinator drives a *cross-process* membership
+//!   change: the survivor's failure report flows through `amcoordd`, the
+//!   other nodes learn the new epoch via watches, and the dead node's
+//!   session TTL expires its advertisement;
+//! * reads stay linearizable before and after the kill (reads are
+//!   ordered commands: a read observing v implies every later read does);
+//! * the killed node restarts *in place* — same WAL directory, the lock
+//!   left by the SIGKILLed pid is stolen deterministically — rejoins
+//!   through amcoord and serves fresh state.
+//!
+//! A watchdog aborts the whole test hard if anything wedges, so a hung
+//! cluster fails CI fast instead of stalling the runner.
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use common::ids::{ClientId, NodeId, RingId};
+use coord::{CoordClientOptions, Registry};
+use liverun::config::{generate_localhost_mrpstore, with_coord};
+use liverun::{ClientOptions, DeploymentConfig, StoreClient};
+
+/// Kills its children on drop so a failing assertion never leaks
+/// processes into the CI runner.
+struct Cluster {
+    children: Vec<(String, Child)>,
+}
+
+impl Cluster {
+    fn new() -> Self {
+        Cluster {
+            children: Vec::new(),
+        }
+    }
+
+    fn spawn(&mut self, name: &str, mut cmd: Command) {
+        let child = cmd
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        self.children.push((name.to_string(), child));
+    }
+
+    fn kill(&mut self, name: &str) {
+        let (_, child) = self
+            .children
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .expect("known child");
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn wait_until(what: &str, deadline: Duration, mut check: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if check() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn coordinator_kill_and_restart_through_amcoordd() {
+    // Hard watchdog: a wedged cluster must fail fast, not hang the runner.
+    std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_secs(150));
+        eprintln!("multiproc_failover: watchdog fired, aborting");
+        std::process::abort();
+    });
+
+    // Ports 9000..15000 — below the Linux ephemeral range (32768+) so an
+    // outgoing connection's source port can never steal a listener bind,
+    // and disjoint from every other test binary's range.
+    let base = 9000 + (std::process::id() % 300) as u16 * 20;
+    let coord_ring: Vec<SocketAddr> = (0..3)
+        .map(|i| format!("127.0.0.1:{}", base + i).parse().unwrap())
+        .collect();
+    let coord_serve: Vec<SocketAddr> = (0..3)
+        .map(|i| format!("127.0.0.1:{}", base + 3 + i).parse().unwrap())
+        .collect();
+    let ring_list = coord_ring
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let serve_list = coord_serve
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let dir = std::env::temp_dir().join(format!("amcast-mpf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_dir = dir.join("wal");
+
+    let mut cluster = Cluster::new();
+    for id in 0..3u32 {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_amcoordd"));
+        cmd.args([
+            "--id",
+            &id.to_string(),
+            "--ring",
+            &ring_list,
+            "--serve",
+            &serve_list,
+            "--session-check-ms",
+            "250",
+        ]);
+        cluster.spawn(&format!("amcoordd-{id}"), cmd);
+    }
+
+    // One partition of three replicas: ring 0 (members 0,1,2) carries the
+    // partition's commands, ring 1 is the global ring.
+    let doc = with_coord(
+        &generate_localhost_mrpstore(1, 3, base + 8, wal_dir.to_str()),
+        &coord_serve,
+        Duration::from_millis(1200),
+    );
+    let config_path = dir.join("deployment.toml");
+    let mut f = std::fs::File::create(&config_path).unwrap();
+    f.write_all(doc.as_bytes()).unwrap();
+    drop(f);
+    let config = DeploymentConfig::parse(&doc).unwrap();
+
+    // Observe the cluster through our own coordination client; its
+    // session opening doubles as "the ensemble's ring has formed".
+    let registry = Registry::connect(&coord_serve, CoordClientOptions::default())
+        .expect("amcoordd ensemble reachable");
+
+    for id in 0..3u32 {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_amcastd"));
+        cmd.args([
+            "run",
+            "--config",
+            config_path.to_str().unwrap(),
+            "--node",
+            &id.to_string(),
+        ]);
+        cluster.spawn(&format!("amcastd-{id}"), cmd);
+    }
+    wait_until(
+        "all nodes to advertise themselves",
+        Duration::from_secs(30),
+        || registry.ephemerals("nodes/").len() == 3,
+    );
+    let ring0 = RingId::new(0);
+    let before = registry.ring(ring0).expect("ring 0 seeded");
+    assert_eq!(before.coordinator(), NodeId::new(0));
+
+    let mut store = StoreClient::connect(
+        &config,
+        ClientId::new(1),
+        ClientOptions {
+            timeout: Duration::from_secs(10),
+            retry_every: Duration::from_secs(1),
+        },
+    )
+    .expect("store client connects");
+
+    // Linearizable reads before the kill: a write followed by a read
+    // (both ordered commands) observes the write.
+    store
+        .insert("k", Bytes::from_static(b"v1"))
+        .expect("insert v1");
+    assert_eq!(
+        store.read("k").expect("read v1"),
+        Some(Bytes::from_static(b"v1"))
+    );
+
+    // SIGKILL the coordinator of ring 0 (node 0). Membership change must
+    // flow through amcoordd: survivors report the failure, the service
+    // CASes the config, watches spread the new epoch.
+    cluster.kill("amcastd-0");
+    wait_until(
+        "amcoordd to remove node 0 from ring 0",
+        Duration::from_secs(30),
+        || {
+            registry
+                .ring(ring0)
+                .map(|cfg| !cfg.contains(NodeId::new(0)) && cfg.coordinator() != NodeId::new(0))
+                .unwrap_or(false)
+        },
+    );
+    // The killed process's session TTL lapses: its advertisement is gone.
+    wait_until(
+        "node 0's ephemeral entry to expire",
+        Duration::from_secs(30),
+        || {
+            !registry
+                .ephemerals("nodes/")
+                .iter()
+                .any(|e| e.key == "nodes/0")
+        },
+    );
+
+    // Linearizable reads after the kill.
+    store
+        .insert("k", Bytes::from_static(b"v2"))
+        .expect("insert v2");
+    assert_eq!(
+        store.read("k").expect("read v2"),
+        Some(Bytes::from_static(b"v2"))
+    );
+
+    // Restart node 0 in place: same WAL dir (the SIGKILLed pid's lock is
+    // stolen), recovery path, rejoin through amcoordd.
+    {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_amcastd"));
+        cmd.args([
+            "run",
+            "--config",
+            config_path.to_str().unwrap(),
+            "--node",
+            "0",
+            "--restart",
+        ]);
+        cluster.spawn("amcastd-0r", cmd);
+    }
+    wait_until(
+        "node 0 to rejoin ring 0 through amcoordd",
+        Duration::from_secs(30),
+        || {
+            registry
+                .ring(ring0)
+                .map(|cfg| cfg.contains(NodeId::new(0)))
+                .unwrap_or(false)
+                && registry
+                    .ephemerals("nodes/")
+                    .iter()
+                    .any(|e| e.key == "nodes/0")
+        },
+    );
+
+    // The recovered replica answers with up-to-date state.
+    use common::wire::Wire as _;
+    let cmd = mrpstore::KvCommand::Read { key: "k".into() };
+    let end = Instant::now() + Duration::from_secs(45);
+    loop {
+        match store
+            .raw()
+            .request_from(ring0, cmd.to_bytes(), NodeId::new(0))
+        {
+            Ok(raw) => {
+                let resp = mrpstore::KvResponse::decode(&mut raw.clone()).expect("decodes");
+                assert_eq!(
+                    resp,
+                    mrpstore::KvResponse::Value(Some(Bytes::from_static(b"v2")))
+                );
+                break;
+            }
+            Err(_) if Instant::now() < end => continue,
+            Err(e) => panic!("recovered replica never answered: {e}"),
+        }
+    }
+
+    drop(store);
+    drop(registry);
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -72,11 +72,21 @@ impl Transport for ChannelTransport {
     }
 }
 
+/// Patient (sleeping) connect attempts granted per peer over the
+/// transport's lifetime — enough to wait out a peer binding its listener
+/// at startup (~500 ms), after which connects are single-shot so a peer
+/// that never comes up cannot keep stalling the node loop on every send.
+const CONNECT_PATIENCE: u32 = 50;
+
 struct TcpTransport {
     me: NodeId,
     ring: RingId,
     addrs: HashMap<NodeId, SocketAddr>,
     conns: HashMap<NodeId, TcpStream>,
+    /// Remaining patient connect attempts per peer (see
+    /// [`CONNECT_PATIENCE`]); reaching a peer once spends the rest — a
+    /// later death is a failure for the detector, not worth waiting on.
+    patience: HashMap<NodeId, u32>,
 }
 
 impl Transport for TcpTransport {
@@ -84,23 +94,29 @@ impl Transport for TcpTransport {
         let Some(addr) = self.addrs.get(&to).copied() else {
             return;
         };
-        let stream = self.conns.entry(to).or_insert_with(|| {
-            // Retry briefly: peers may still be binding their listeners.
-            let mut last_err = None;
-            for _ in 0..50 {
+        if !self.conns.contains_key(&to) {
+            let budget = self.patience.entry(to).or_insert(CONNECT_PATIENCE);
+            loop {
                 match TcpStream::connect(addr) {
                     Ok(s) => {
                         let _ = s.set_nodelay(true);
-                        return s;
+                        self.conns.insert(to, s);
+                        *budget = 0;
+                        break;
                     }
-                    Err(e) => {
-                        last_err = Some(e);
+                    Err(_) if *budget > 0 => {
+                        *budget -= 1;
                         std::thread::sleep(Duration::from_millis(10));
                     }
+                    Err(_) => break,
                 }
             }
-            panic!("cannot connect to {addr}: {last_err:?}");
-        });
+        }
+        let Some(stream) = self.conns.get_mut(&to) else {
+            // Unreachable peer: drop the message; retries, TTL'd
+            // circulation and reconfiguration absorb the loss.
+            return;
+        };
         let framed = PeerFrame {
             from: self.me,
             msg: Msg::Ring(self.ring, msg),
@@ -151,6 +167,68 @@ impl LiveNode {
     pub fn drain_deliveries(&self) -> Vec<Delivery> {
         self.deliveries.try_iter().collect()
     }
+
+    /// Stops this node and joins its loop thread. Used by processes that
+    /// run a *single* member of a ring (see [`spawn_tcp_member`]); whole
+    /// in-process rings go through [`LiveRing::shutdown`].
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Event::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Signals the node loop to stop without consuming the handle (for
+    /// callers sharing the node behind an `Arc`). The loop thread exits
+    /// promptly but is not joined.
+    pub fn stop(&self) {
+        let _ = self.tx.send(Event::Shutdown);
+    }
+}
+
+/// Starts **one** member of a TCP ring in this process — the deployment
+/// shape where every ring member is its own OS process (`amcoordd`
+/// replicas self-host their replicated log this way). `addrs` maps every
+/// member to its peer address; this node binds `addrs[&me]` and connects
+/// to the others lazily. `registry` must already hold the ring's
+/// configuration (each process seeds its own local registry from the
+/// static ensemble description, like a Zookeeper server list).
+///
+/// # Errors
+///
+/// Fails if the listener cannot bind or the registry lacks the ring.
+pub fn spawn_tcp_member(
+    me: NodeId,
+    ring: RingId,
+    registry: Registry,
+    addrs: &HashMap<NodeId, SocketAddr>,
+    opts: RingOptions,
+    wal: Option<Wal>,
+) -> Result<LiveNode> {
+    let my_addr = *addrs
+        .get(&me)
+        .ok_or_else(|| Error::Config(format!("node {me} has no ring address")))?;
+    let (tx, rx) = unbounded();
+    let listener = TcpListener::bind(my_addr)?;
+    spawn_acceptor_loop(listener, tx.clone());
+    let transport = TcpTransport {
+        me,
+        ring,
+        addrs: addrs.clone(),
+        conns: HashMap::new(),
+        patience: HashMap::new(),
+    };
+    spawn_node(
+        me,
+        ring,
+        registry,
+        opts,
+        rx,
+        tx.clone(),
+        transport,
+        WallClock::start(),
+        wal,
+    )
 }
 
 /// A running ring of live nodes.
@@ -225,6 +303,7 @@ impl LiveRing {
                 ring,
                 addrs: addr_map.clone(),
                 conns: HashMap::new(),
+                patience: HashMap::new(),
             };
             let wal = match &wal_dir {
                 Some(dir) => {

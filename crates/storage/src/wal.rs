@@ -29,6 +29,69 @@ pub enum SyncPolicy {
     OsDecides,
 }
 
+/// The advisory lock file guarding `path` against concurrent writers.
+pub fn lock_path(path: impl AsRef<Path>) -> PathBuf {
+    let mut p = path.as_ref().as_os_str().to_owned();
+    p.push(".lock");
+    PathBuf::from(p)
+}
+
+fn pid_alive(pid: u32) -> bool {
+    // Advisory check, good enough for "did the previous owner crash":
+    // on Linux a live pid has a /proc entry. Elsewhere, err on the side
+    // of stealing — a stale lock must never brick a restart.
+    cfg!(target_os = "linux") && Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Held for the lifetime of a [`Wal`]; removing the file on drop is what
+/// makes kill → restart-in-place deterministic (the restarting process
+/// must never find its own WAL "busy").
+#[derive(Debug)]
+struct WalLock {
+    path: PathBuf,
+}
+
+impl WalLock {
+    fn acquire(wal_path: &Path) -> Result<Self> {
+        let path = lock_path(wal_path);
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = f.write_all(std::process::id().to_string().as_bytes());
+                    return Ok(WalLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder: Option<u32> = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse().ok());
+                    match holder {
+                        // A crashed owner (SIGKILL skips Drop) leaves the
+                        // file behind; its pid is gone, so steal the lock.
+                        Some(pid) if pid != std::process::id() && !pid_alive(pid) => {
+                            let _ = std::fs::remove_file(&path);
+                            continue;
+                        }
+                        _ => {
+                            return Err(Error::Storage(format!(
+                                "wal {} is locked by pid {}",
+                                wal_path.display(),
+                                holder.map_or("?".into(), |p| p.to_string()),
+                            )))
+                        }
+                    }
+                }
+                Err(e) => return Err(Error::Io(e)),
+            }
+        }
+    }
+}
+
+impl Drop for WalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// An append-only, length-framed log file.
 #[derive(Debug)]
 pub struct Wal {
@@ -41,16 +104,22 @@ pub struct Wal {
     pending_records: u64,
     /// Reused frame-encoding scratch buffer.
     scratch: BytesMut,
+    /// Exclusive-writer guard, released (file removed) on drop.
+    _lock: WalLock,
 }
 
 impl Wal {
-    /// Opens (creating if absent) the log at `path`.
+    /// Opens (creating if absent) the log at `path`, taking the exclusive
+    /// writer lock (`<path>.lock`). The lock is released when the `Wal`
+    /// drops; a lock left by a *crashed* process (dead pid) is stolen.
     ///
     /// # Errors
     ///
-    /// Fails if the file cannot be opened for append.
+    /// Fails if the file cannot be opened for append or another live
+    /// process holds the lock.
     pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
+        let lock = WalLock::acquire(&path)?;
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -64,6 +133,7 @@ impl Wal {
             buffered: BytesMut::new(),
             pending_records: 0,
             scratch: BytesMut::new(),
+            _lock: lock,
         })
     }
 
@@ -274,6 +344,28 @@ mod tests {
         }
         let records: Vec<AcceptedEntry> = Wal::replay(&path).unwrap();
         assert_eq!(records, vec![entry(3)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lock_excludes_second_writer_and_releases_on_drop() {
+        let path = tmp("lock");
+        let wal = Wal::open(&path, SyncPolicy::OsDecides).unwrap();
+        assert!(lock_path(&path).exists());
+        // A second writer in this (live) process is refused.
+        match Wal::open(&path, SyncPolicy::OsDecides) {
+            Err(Error::Storage(msg)) => assert!(msg.contains("locked"), "{msg}"),
+            other => panic!("second open must fail with Storage, got {other:?}"),
+        }
+        drop(wal);
+        assert!(
+            !lock_path(&path).exists(),
+            "lock must be released deterministically on drop"
+        );
+        // A lock left by a dead pid is stolen, not fatal.
+        std::fs::write(lock_path(&path), "999999999").unwrap();
+        let wal = Wal::open(&path, SyncPolicy::OsDecides).unwrap();
+        drop(wal);
         std::fs::remove_file(&path).unwrap();
     }
 

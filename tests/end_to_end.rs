@@ -257,9 +257,10 @@ fn live_mrpstore_survives_replica_restart_with_closed_loop_clients() {
     use atomic_multicast::liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
     use atomic_multicast::mrpstore::{KvCommand, KvResponse, Partitioning};
 
-    // Ports 28000..34000 — disjoint from crates/liverun's test range
-    // (20000..26000) so parallel test binaries never collide.
-    let base = 28000 + (std::process::id() % 150) as u16 * 40;
+    // Ports 28000..32400 — disjoint from crates/liverun's test range
+    // (20000..26000) and capped below the Linux ephemeral range (32768+)
+    // so parallel test binaries and outgoing source ports never collide.
+    let base = 28000 + (std::process::id() % 110) as u16 * 40;
     let text = generate_localhost_mrpstore(2, 3, base, None);
     let config = DeploymentConfig::parse(&text).unwrap();
     let mut deployment = Deployment::launch(config.clone()).unwrap();
@@ -363,6 +364,114 @@ fn live_mrpstore_survives_replica_restart_with_closed_loop_clients() {
     assert_eq!(entries.len() as u64, total + 1, "scan covers all writes");
 
     deployment.shutdown();
+}
+
+/// The amcoord-backed deployment end-to-end: the same liverun stack, but
+/// every node bootstraps from a replicated `amcoordd` ensemble instead of
+/// a shared in-process registry — the paper's Zookeeper deployment shape
+/// (§7.1). Kill and restart flow through the coordination service: the
+/// survivor's failure report is a replicated CAS, the restarted node
+/// rejoins with a fresh session, and its WAL lock must have been released
+/// deterministically for the restart-in-place to succeed.
+#[test]
+fn live_mrpstore_reconfigures_through_amcoord_ensemble() {
+    use atomic_multicast::coord::{CoordClientOptions, Registry};
+    use atomic_multicast::liverun::config::{generate_localhost_mrpstore, with_coord};
+    use atomic_multicast::liverun::coordsvc::{start_coord_server, CoordServerConfig};
+    use atomic_multicast::liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
+    use atomic_multicast::mrpstore::{KvCommand, KvResponse};
+
+    // Ports 15200..20000 with stride 32 — below the Linux ephemeral range
+    // (32768+, where an outgoing connection's source port can steal a
+    // listener bind) and disjoint from the other live test ranges.
+    let base = 15200 + (std::process::id() % 150) as u16 * 32;
+    let mut coord_handles = Vec::new();
+    for id in 0..3u32 {
+        coord_handles.push(start_coord_server(CoordServerConfig::localhost(id, 3, base)).unwrap());
+    }
+    let coord_serve: Vec<std::net::SocketAddr> =
+        coord_handles.iter().map(|h| h.client_addr()).collect();
+
+    let wal_dir = std::env::temp_dir().join(format!("amcoord-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let text = with_coord(
+        &generate_localhost_mrpstore(1, 3, base + 8, wal_dir.to_str()),
+        &coord_serve,
+        Duration::from_millis(1500),
+    );
+    let config = DeploymentConfig::parse(&text).unwrap();
+    assert_eq!(config.coord_addrs, coord_serve);
+    let mut deployment = Deployment::launch(config.clone()).unwrap();
+
+    let mut control = StoreClient::connect(
+        &config,
+        ClientId::new(1),
+        ClientOptions {
+            timeout: Duration::from_secs(30),
+            retry_every: Duration::from_secs(2),
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        control.insert("k", Bytes::from_static(b"before")).unwrap(),
+        KvResponse::Ok
+    );
+    assert_eq!(
+        control.read("k").unwrap(),
+        Some(Bytes::from_static(b"before"))
+    );
+
+    // Kill the ring coordinator. The membership change must land in the
+    // *coordination service* (not any process-local registry).
+    let observer = Registry::connect(&coord_serve, CoordClientOptions::default()).unwrap();
+    deployment.kill(NodeId::new(0)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let cfg = observer.ring(RingId::new(0)).unwrap();
+        if !cfg.contains(NodeId::new(0)) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "amcoord never learned of the coordinator's death"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Linearizable operation through the reconfigured ring.
+    assert_eq!(
+        control.update("k", Bytes::from_static(b"during")).unwrap(),
+        KvResponse::Ok
+    );
+    assert_eq!(
+        control.read("k").unwrap(),
+        Some(Bytes::from_static(b"during"))
+    );
+
+    // Restart in place (same WAL dir — kill verified the lock release).
+    deployment.restart(NodeId::new(0)).unwrap();
+    control.raw().reconnect(NodeId::new(0)).unwrap();
+    let raw = control
+        .raw()
+        .request_from(
+            RingId::new(0),
+            KvCommand::Read { key: "k".into() }.to_bytes(),
+            NodeId::new(0),
+        )
+        .unwrap();
+    let mut raw = raw.clone();
+    assert_eq!(
+        KvResponse::decode(&mut raw).unwrap(),
+        KvResponse::Value(Some(Bytes::from_static(b"during"))),
+        "recovered replica must serve the post-crash write"
+    );
+
+    deployment.shutdown();
+    drop(observer);
+    for h in coord_handles {
+        h.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
 }
 
 /// Geo topology sanity: a WAN deployment commits at WAN latency while a
