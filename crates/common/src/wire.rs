@@ -545,11 +545,13 @@ pub mod coord {
             /// registration always starts at epoch 1, first acceptor).
             cfg: RingConfigWire,
         },
-        /// Idempotent ring bootstrap: registers the ring, or verifies a
-        /// compatible registration already exists (concurrent seeding by
-        /// every node of a deployment).
+        /// Idempotent ring bootstrap: registers the ring, or — when the
+        /// id is already registered (concurrent seeding by every node of
+        /// a deployment, possibly reconfigured since) — returns whatever
+        /// configuration the service holds, which the caller adopts. No
+        /// compatibility check is made; the service is the authority.
         EnsureRing {
-            /// The configuration to register or verify.
+            /// The configuration to register if absent.
             cfg: RingConfigWire,
         },
         /// Reads one ring's current configuration.
@@ -662,6 +664,12 @@ pub mod coord {
         },
         /// Subscribes this connection to all [`CoordEvent`] pushes.
         WatchAll,
+        /// Asks a replica for a full snapshot of its applied
+        /// [`CoordState`](../../../coord) — the catch-up RPC a restarting
+        /// `amcoordd` replica sends a live peer before serving (the
+        /// Zookeeper fuzzy-snapshot shape). Answered with
+        /// [`CoordOk::Snapshot`] from the replica's applied state.
+        SnapshotRequest,
     }
 
     impl CoordOp {
@@ -675,7 +683,8 @@ pub mod coord {
                 | CoordOp::GetPartition { .. }
                 | CoordOp::Partitions
                 | CoordOp::GetMeta { .. }
-                | CoordOp::Ephemerals { .. } => OpKind::Read,
+                | CoordOp::Ephemerals { .. }
+                | CoordOp::SnapshotRequest => OpKind::Read,
                 CoordOp::WatchAll | CoordOp::InstallConfig { .. } => OpKind::Local,
                 _ => OpKind::Replicate,
             }
@@ -720,6 +729,22 @@ pub mod coord {
         Version(u64),
         /// Matching ephemeral entries, ascending by key.
         Ephemerals(Vec<EphemeralEntry>),
+        /// A full state snapshot: the replica's applied log position
+        /// (the next instance it will apply) and the wire-encoded
+        /// `CoordState` at that position. `ensemble_ring` is the serving
+        /// replica's view of its own consensus ring — per-replica local
+        /// state (the one ring the service cannot store in itself), which
+        /// a restarting replica needs to rejoin after the survivors
+        /// reconfigured it out.
+        Snapshot {
+            /// Next log instance the snapshot's state will apply.
+            applied: u64,
+            /// The serving replica's own-consensus-ring configuration
+            /// (`None` from backends without one, e.g. the local one).
+            ensemble_ring: Option<RingConfigWire>,
+            /// The wire-encoded state (see `CoordState::encode_snapshot`).
+            state: Bytes,
+        },
     }
 
     /// A state-change notification pushed to watching sessions.
@@ -980,6 +1005,7 @@ pub mod coord {
                     prefix.encode(buf);
                 }
                 CoordOp::WatchAll => buf.put_u8(23),
+                CoordOp::SnapshotRequest => buf.put_u8(24),
             }
         }
 
@@ -1063,6 +1089,7 @@ pub mod coord {
                     prefix: String::decode(buf)?,
                 },
                 23 => CoordOp::WatchAll,
+                24 => CoordOp::SnapshotRequest,
                 tag => {
                     return Err(WireError::BadTag {
                         context: "coord op",
@@ -1160,6 +1187,16 @@ pub mod coord {
                     buf.put_u8(12);
                     es.encode(buf);
                 }
+                CoordOk::Snapshot {
+                    applied,
+                    ensemble_ring,
+                    state,
+                } => {
+                    buf.put_u8(13);
+                    put_varint(buf, *applied);
+                    ensemble_ring.encode(buf);
+                    state.encode(buf);
+                }
             }
         }
 
@@ -1187,6 +1224,11 @@ pub mod coord {
                 }),
                 11 => CoordOk::Version(get_varint(buf)?),
                 12 => CoordOk::Ephemerals(Vec::decode(buf)?),
+                13 => CoordOk::Snapshot {
+                    applied: get_varint(buf)?,
+                    ensemble_ring: Option::decode(buf)?,
+                    state: Bytes::decode(buf)?,
+                },
                 tag => {
                     return Err(WireError::BadTag {
                         context: "coord ok",
@@ -1421,6 +1463,7 @@ pub mod coord {
                     prefix: "nodes/".into(),
                 },
                 CoordOp::WatchAll,
+                CoordOp::SnapshotRequest,
             ] {
                 rt(op.clone());
                 rt(CoordMsg { req: 77, op });
@@ -1449,6 +1492,22 @@ pub mod coord {
                     value: Bytes::from_static(b"addr"),
                 }]),
             });
+            rt(CoordReply::Ok {
+                req: 6,
+                body: CoordOk::Snapshot {
+                    applied: 4096,
+                    ensemble_ring: Some(cfg()),
+                    state: Bytes::from_static(b"encoded-coord-state"),
+                },
+            });
+            rt(CoordReply::Ok {
+                req: 7,
+                body: CoordOk::Snapshot {
+                    applied: 0,
+                    ensemble_ring: None,
+                    state: Bytes::new(),
+                },
+            });
             rt(CoordReply::Err {
                 req: 6,
                 reason: "unknown ring".into(),
@@ -1475,6 +1534,7 @@ pub mod coord {
                 OpKind::Read
             );
             assert_eq!(CoordOp::WatchAll.kind(), OpKind::Local);
+            assert_eq!(CoordOp::SnapshotRequest.kind(), OpKind::Read);
             assert_eq!(CoordOp::InstallConfig { cfg: cfg() }.kind(), OpKind::Local);
             assert_eq!(
                 CoordOp::ReportFailure {

@@ -33,7 +33,7 @@ use common::transport::{encode_frame, FrameBuf};
 use common::wire::coord::{
     CoordEvent, CoordMsg, CoordOk, CoordOp, CoordReply, ElectOutcome, PartitionWire, RingConfigWire,
 };
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::registry::{Coord, Registry};
@@ -72,6 +72,10 @@ struct Conn {
     next_addr: usize,
     next_req: u64,
     backoff_until: Option<Instant>,
+    /// Bumped per established connection; reader threads carry the
+    /// generation they serve so a stale reader's death cannot tear down
+    /// a newer connection's state.
+    generation: u64,
 }
 
 #[derive(Debug, Default)]
@@ -153,7 +157,8 @@ impl Shared {
             let Ok(reader) = stream.try_clone() else {
                 continue;
             };
-            spawn_reader(Arc::downgrade(self), reader);
+            conn.generation += 1;
+            spawn_reader(Arc::downgrade(self), reader, conn.generation);
             *self.cache.lock() = Cache::default();
             let req = conn.next_req;
             conn.next_req += 1;
@@ -188,12 +193,13 @@ impl Shared {
     fn rpc(self: &Arc<Self>, op: CoordOp) -> Result<CoordOk> {
         let mut last = Error::Timeout("coordination service unreachable");
         for _ in 0..2 {
-            let (req, rx) = {
+            let (req, rx, sent_gen) = {
                 let mut conn = self.conn.lock();
                 if let Err(e) = self.ensure_conn(&mut conn) {
                     last = e;
                     continue;
                 }
+                let sent_gen = conn.generation;
                 let req = conn.next_req;
                 conn.next_req += 1;
                 let (tx, rx) = bounded::<ReplyResult>(1);
@@ -213,16 +219,32 @@ impl Shared {
                     last = Error::Timeout("coordination connection broke");
                     continue;
                 }
-                (req, rx)
+                (req, rx, sent_gen)
             };
             match rx.recv_timeout(self.opts.timeout) {
                 Ok(Ok(body)) => return Ok(body),
                 Ok(Err(reason)) => return Err(Error::Config(reason)),
-                Err(_) => {
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Our sender was dropped by `on_disconnect`: the
+                    // connection is already torn down (and may have been
+                    // *replaced* by a healthy one a concurrent caller
+                    // opened — do not touch it, and do not back off:
+                    // `ensure_conn` rotates to the next replica at once).
+                    last = Error::Timeout("coordination connection lost");
+                    if op.kind() != common::wire::coord::OpKind::Read {
+                        return Err(last);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
                     self.pending.lock().remove(&req);
                     let mut conn = self.conn.lock();
-                    Self::drop_conn(&mut conn);
-                    conn.backoff_until = Some(Instant::now() + self.opts.backoff);
+                    // Only punish the connection this call was sent on;
+                    // a newer one belongs to callers that already
+                    // failed over.
+                    if conn.generation == sent_gen {
+                        Self::drop_conn(&mut conn);
+                        conn.backoff_until = Some(Instant::now() + self.opts.backoff);
+                    }
                     last = Error::Timeout("coordination request timed out");
                     if op.kind() != common::wire::coord::OpKind::Read {
                         return Err(last);
@@ -231,6 +253,30 @@ impl Shared {
             }
         }
         Err(last)
+    }
+
+    /// Tears down connection state when the reader serving `generation`
+    /// observes EOF or corruption. The config cache dies *with the
+    /// watch feeding it*: events missed between the disconnect and the
+    /// next reconnect would otherwise leave `ring()` serving stale
+    /// configuration from the cache — silently, and for as long as no
+    /// cache-missing call happened to reconnect (replica failover made
+    /// this a real staleness window, not a theoretical one).
+    fn on_disconnect(&self, generation: u64) {
+        let mut conn = self.conn.lock();
+        if conn.generation != generation {
+            return; // a newer connection replaced this one already
+        }
+        Self::drop_conn(&mut conn);
+        *self.cache.lock() = Cache::default();
+        // Fail in-flight calls immediately (dropping a sender wakes its
+        // waiter with Disconnected): their replies can never arrive on
+        // this connection, and waiting out the full RPC timeout only
+        // delays the caller's failover to the next replica. The matched
+        // generation guarantees every pending entry belongs to the
+        // connection that just died — `rpc` registers pendings under the
+        // same conn lock we hold.
+        self.pending.lock().clear();
     }
 
     /// Applies a pushed event to the cache, then fans it out to watchers.
@@ -354,49 +400,78 @@ impl Shared {
 
 /// Reads frames off one connection: correlated replies are routed to
 /// their waiting callers, events to the cache + watchers. Holds only a
-/// weak handle so a dropped client tears the thread down with it.
-fn spawn_reader(shared: Weak<Shared>, mut stream: TcpStream) {
+/// weak handle so a dropped client tears the thread down with it. On
+/// exit (EOF, error, corruption) the connection's cache is invalidated
+/// eagerly via [`Shared::on_disconnect`] — the watch feeding it is dead.
+fn spawn_reader(shared: Weak<Shared>, stream: TcpStream, generation: u64) {
     std::thread::Builder::new()
         .name("amcoord-client-reader".into())
         .spawn(move || {
-            let mut buf = FrameBuf::new();
-            let mut chunk = [0u8; 64 * 1024];
-            loop {
-                match stream.read(&mut chunk) {
-                    Ok(0) | Err(_) => return,
-                    Ok(n) => {
-                        buf.extend(&chunk[..n]);
-                        loop {
-                            let frame = match buf.try_next::<CoordReply>() {
-                                Ok(Some(f)) => f,
-                                Ok(None) => break,
-                                Err(_) => return, // corrupt stream: drop it
-                            };
-                            let Some(shared) = shared.upgrade() else {
-                                return;
-                            };
-                            if shared.stop.load(Ordering::SeqCst) {
-                                return;
+            reader_loop(&shared, stream, generation);
+            if let Some(shared) = shared.upgrade() {
+                if !shared.stop.load(Ordering::SeqCst) {
+                    shared.on_disconnect(generation);
+                }
+            }
+        })
+        .expect("spawn coord reader");
+}
+
+fn reader_loop(shared: &Weak<Shared>, mut stream: TcpStream, generation: u64) {
+    let mut buf = FrameBuf::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => {
+                buf.extend(&chunk[..n]);
+                loop {
+                    let frame = match buf.try_next::<CoordReply>() {
+                        Ok(Some(f)) => f,
+                        Ok(None) => break,
+                        Err(_) => return, // corrupt stream: drop it
+                    };
+                    let Some(shared) = shared.upgrade() else {
+                        return;
+                    };
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match frame {
+                        CoordReply::Ok { req, body } => {
+                            if let Some(tx) = shared.pending.lock().remove(&req) {
+                                let _ = tx.send(Ok(body));
                             }
-                            match frame {
-                                CoordReply::Ok { req, body } => {
-                                    if let Some(tx) = shared.pending.lock().remove(&req) {
-                                        let _ = tx.send(Ok(body));
-                                    }
-                                }
-                                CoordReply::Err { req, reason } => {
-                                    if let Some(tx) = shared.pending.lock().remove(&req) {
-                                        let _ = tx.send(Err(reason));
-                                    }
-                                }
-                                CoordReply::Event(event) => shared.handle_event(event),
+                        }
+                        CoordReply::Err { req, reason } => {
+                            if let Some(tx) = shared.pending.lock().remove(&req) {
+                                let _ = tx.send(Err(reason));
+                            }
+                        }
+                        CoordReply::Event(event) => {
+                            // A superseded reader may still be draining
+                            // frames buffered before its socket died;
+                            // applying them would overwrite cache state
+                            // the *replacement* connection's fresh watch
+                            // just installed (only RingChanged is
+                            // epoch-guarded). Correlated replies above
+                            // are safe — req ids never repeat across
+                            // connections — but events are last-writer-
+                            // wins, so stale readers must not write. The
+                            // conn lock is held *across* the write:
+                            // bumping the generation requires it, so
+                            // check-and-apply is atomic (lock order
+                            // conn → cache matches every other path).
+                            let conn = shared.conn.lock();
+                            if conn.generation == generation {
+                                shared.handle_event(event);
                             }
                         }
                     }
                 }
             }
-        })
-        .expect("spawn coord reader");
+        }
+    }
 }
 
 /// A connected coordination-service client (the remote [`Coord`]

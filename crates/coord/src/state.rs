@@ -15,11 +15,13 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
+use common::error::{Error, Result};
 use common::ids::{NodeId, PartitionId, RingId, SessionId};
 use common::wire::coord::{
     CoordEvent, CoordOk, CoordOp, ElectOutcome, EphemeralEntry, PartitionWire,
 };
+use common::wire::{get_tag, get_varint, get_vec, put_varint, put_vec, Wire};
 
 use crate::registry::PartitionInfo;
 use crate::ring_config::RingConfig;
@@ -39,7 +41,7 @@ pub struct Session {
 pub type ApplyResult = std::result::Result<CoordOk, String>;
 
 /// The replicated coordination state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct CoordState {
     rings: BTreeMap<RingId, RingConfig>,
     subscribers: BTreeMap<RingId, Vec<NodeId>>,
@@ -292,7 +294,140 @@ impl CoordState {
                     .collect(),
             )),
             CoordOp::WatchAll => Ok(CoordOk::Unit),
+            CoordOp::SnapshotRequest => {
+                // `applied` and `ensemble_ring` are properties of the
+                // *driver* (the replica's position in its replicated log
+                // and its own consensus ring), not of the state machine;
+                // replicated servers overwrite both before answering.
+                // The local backend has neither, so the defaults are
+                // exact there.
+                Ok(CoordOk::Snapshot {
+                    applied: 0,
+                    ensemble_ring: None,
+                    state: self.snapshot(),
+                })
+            }
         }
+    }
+
+    /// The current snapshot format version (first byte of the encoding).
+    const SNAPSHOT_VERSION: u8 = 1;
+
+    /// Appends a deterministic, wire-encodable snapshot of the whole
+    /// state to `buf`. Two replicas holding equal state produce
+    /// byte-identical snapshots (all maps iterate in key order), so the
+    /// encoding doubles as a cheap state-divergence check.
+    pub fn encode_snapshot(&self, buf: &mut BytesMut) {
+        buf.extend_from_slice(&[Self::SNAPSHOT_VERSION]);
+        let rings: Vec<_> = self.rings.values().map(RingConfig::to_wire).collect();
+        put_vec(buf, &rings);
+        put_varint(buf, self.subscribers.len() as u64);
+        for (ring, subs) in &self.subscribers {
+            ring.encode(buf);
+            subs.encode(buf);
+        }
+        let partitions: Vec<PartitionWire> = self
+            .partitions
+            .iter()
+            .map(|(id, info)| PartitionWire {
+                partition: *id,
+                rings: info.rings.clone(),
+                replicas: info.replicas.clone(),
+            })
+            .collect();
+        put_vec(buf, &partitions);
+        put_varint(buf, self.meta.len() as u64);
+        for (key, (version, value)) in &self.meta {
+            key.encode(buf);
+            put_varint(buf, *version);
+            value.encode(buf);
+        }
+        put_varint(buf, self.sessions.len() as u64);
+        for (id, s) in &self.sessions {
+            id.encode(buf);
+            put_varint(buf, s.ttl_ms);
+            put_varint(buf, s.refresh_seq);
+        }
+        let ephemerals: Vec<EphemeralEntry> = self
+            .ephemerals
+            .iter()
+            .map(|(k, (session, value))| EphemeralEntry {
+                key: k.clone(),
+                session: *session,
+                value: value.clone(),
+            })
+            .collect();
+        put_vec(buf, &ephemerals);
+        put_varint(buf, self.next_session);
+    }
+
+    /// The snapshot as a fresh buffer (see [`CoordState::encode_snapshot`]).
+    pub fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode_snapshot(&mut buf);
+        buf.freeze()
+    }
+
+    /// Reconstructs a state from an encoded snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated/corrupt encoding, an unknown snapshot
+    /// version, or a structurally invalid ring configuration.
+    pub fn decode_snapshot(buf: &mut Bytes) -> Result<Self> {
+        let version = get_tag(buf, "coord snapshot")?;
+        if version != Self::SNAPSHOT_VERSION {
+            return Err(Error::Config(format!(
+                "unknown coord snapshot version {version}"
+            )));
+        }
+        let mut state = CoordState::new();
+        for wire in get_vec::<common::wire::coord::RingConfigWire>(buf)? {
+            state.rings.insert(wire.ring, RingConfig::from_wire(&wire)?);
+        }
+        let n_subs = get_varint(buf)?;
+        for _ in 0..n_subs {
+            let ring = RingId::decode(buf)?;
+            let subs = Vec::<NodeId>::decode(buf)?;
+            state.subscribers.insert(ring, subs);
+        }
+        for part in get_vec::<PartitionWire>(buf)? {
+            for r in &part.replicas {
+                state.replica_partition.insert(*r, part.partition);
+            }
+            state.partitions.insert(
+                part.partition,
+                PartitionInfo {
+                    rings: part.rings,
+                    replicas: part.replicas,
+                },
+            );
+        }
+        let n_meta = get_varint(buf)?;
+        for _ in 0..n_meta {
+            let key = String::decode(buf)?;
+            let version = get_varint(buf)?;
+            let value = Bytes::decode(buf)?;
+            state.meta.insert(key, (version, value));
+        }
+        let n_sessions = get_varint(buf)?;
+        for _ in 0..n_sessions {
+            let id = SessionId::decode(buf)?;
+            let ttl_ms = get_varint(buf)?;
+            let refresh_seq = get_varint(buf)?;
+            state.sessions.insert(
+                id,
+                Session {
+                    ttl_ms,
+                    refresh_seq,
+                },
+            );
+        }
+        for e in get_vec::<EphemeralEntry>(buf)? {
+            state.ephemerals.insert(e.key, (e.session, e.value));
+        }
+        state.next_session = get_varint(buf)?;
+        Ok(state)
     }
 
     fn admit_partition(

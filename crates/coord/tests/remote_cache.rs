@@ -1,0 +1,180 @@
+//! Regression test: the `RemoteCoord` watch-pushed config cache must die
+//! *with the connection feeding it*. After a replica failover the client
+//! used to keep serving `ring()` from the cache until some cache-missing
+//! call happened to reconnect — a silent staleness window in exactly the
+//! moment (failover) when configuration is changing.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::ids::{Epoch, NodeId, RingId};
+use common::transport::{encode_frame, FrameBuf};
+use common::wire::coord::{CoordEvent, CoordMsg, CoordOk, CoordOp, CoordReply, RingConfigWire};
+use coord::{CoordClientOptions, Registry};
+use parking_lot::Mutex;
+
+fn cfg(epoch: u64, coordinator: u32) -> RingConfigWire {
+    let members: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+    RingConfigWire {
+        ring: RingId::new(7),
+        members: members.clone(),
+        acceptors: members,
+        coordinator: NodeId::new(coordinator),
+        epoch: Epoch::new(epoch),
+    }
+}
+
+/// A scripted amcoordd stand-in: answers the handful of ops the client
+/// sends, pushes the current ring config to watchers, and can kill its
+/// accepted connections to simulate a replica crash/failover.
+struct FakeReplica {
+    current: Arc<Mutex<RingConfigWire>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl FakeReplica {
+    fn serve(listener: TcpListener, initial: RingConfigWire) -> Self {
+        let current = Arc::new(Mutex::new(initial));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let cur = Arc::clone(&current);
+        let held = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                let Ok(reader) = stream.try_clone() else {
+                    continue;
+                };
+                held.lock().push(stream);
+                let cur = Arc::clone(&cur);
+                std::thread::spawn(move || serve_conn(reader, &cur));
+            }
+        });
+        FakeReplica { current, conns }
+    }
+
+    fn set_config(&self, cfg: RingConfigWire) {
+        *self.current.lock() = cfg;
+    }
+
+    /// Simulates the replica dying under the client: every accepted
+    /// connection is torn down (the client's reader sees EOF).
+    fn kill_conns(&self) {
+        for s in self.conns.lock().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+fn serve_conn(mut stream: TcpStream, current: &Mutex<RingConfigWire>) {
+    use std::io::{Read, Write};
+    let mut buf = FrameBuf::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => {
+                buf.extend(&chunk[..n]);
+                while let Ok(Some(CoordMsg { req, op })) = buf.try_next::<CoordMsg>() {
+                    let reply = match op {
+                        CoordOp::OpenSession { .. } => CoordReply::Ok {
+                            req,
+                            body: CoordOk::Session(common::ids::SessionId::new(1)),
+                        },
+                        CoordOp::WatchAll => {
+                            // Arm the watch: ack, then push the current
+                            // config like the real server does on change.
+                            let push = CoordReply::Event(CoordEvent::RingChanged {
+                                cfg: current.lock().clone(),
+                            });
+                            let ack = CoordReply::Ok {
+                                req,
+                                body: CoordOk::Unit,
+                            };
+                            if stream.write_all(&encode_frame(&ack)).is_err()
+                                || stream.write_all(&encode_frame(&push)).is_err()
+                            {
+                                return;
+                            }
+                            continue;
+                        }
+                        CoordOp::GetRing { .. } => CoordReply::Ok {
+                            req,
+                            body: CoordOk::Ring(Some(current.lock().clone())),
+                        },
+                        _ => CoordReply::Ok {
+                            req,
+                            body: CoordOk::Unit,
+                        },
+                    };
+                    if stream.write_all(&encode_frame(&reply)).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn wait_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+#[test]
+fn reconnect_invalidates_watch_cache_before_serving_reads() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake replica");
+    let addr: SocketAddr = listener.local_addr().unwrap();
+    let replica = FakeReplica::serve(listener, cfg(5, 0));
+
+    // A long session TTL keeps the keep-alive thread quiet for the whole
+    // test: nothing reconnects (and thereby flushes the cache) behind
+    // our back, so any fresh read below is attributable to the eager
+    // disconnect invalidation, not to background traffic.
+    let registry = Registry::connect(
+        &[addr],
+        CoordClientOptions {
+            session_ttl: Duration::from_secs(120),
+            ..CoordClientOptions::default()
+        },
+    )
+    .expect("connect");
+
+    // The watch push fills the cache; reads serve from it.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            registry
+                .ring(RingId::new(7))
+                .map(|c| c.epoch() == Epoch::new(5))
+                .unwrap_or(false)
+        }),
+        "watch-pushed config must reach the cache"
+    );
+
+    // Failover: the configuration moves on *while the client's replica
+    // connection dies* — the event announcing epoch 7 is exactly what
+    // the dead watch can no longer deliver.
+    replica.set_config(cfg(7, 1));
+    replica.kill_conns();
+
+    // The client must notice the dead watch, drop the cache, and serve
+    // the post-failover config from a fresh connection — not the stale
+    // epoch 5 entry. (Before the fix the cache survived until the next
+    // cache-missing RPC; with keep-alives quiet, reads stayed stale
+    // indefinitely and this wait times out.)
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            registry
+                .ring(RingId::new(7))
+                .map(|c| c.epoch() == Epoch::new(7))
+                .unwrap_or(false)
+        }),
+        "ring() served the dead watch's cached config after failover"
+    );
+}

@@ -24,7 +24,7 @@ use liverun::coordsvc::{start_coord_server, CoordServerConfig};
 fn usage() -> &'static str {
     "usage:
   amcoordd --id N --ring ADDR,ADDR,... --serve ADDR,ADDR,...
-           [--wal-dir DIR] [--session-check-ms MS]"
+           [--wal-dir DIR] [--session-check-ms MS] [--checkpoint-every N]"
 }
 
 fn arg(name: &str) -> Option<String> {
@@ -61,6 +61,9 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(500),
         ),
+        checkpoint_every: arg("--checkpoint-every")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256),
     };
     match start_coord_server(config) {
         Ok(handle) => {

@@ -31,6 +31,23 @@
 //! This mirrors Zookeeper's statically configured ensemble (§7.1): the
 //! replica list is fixed at launch, and losing a minority only costs the
 //! gossiped failover hop.
+//!
+//! **Durability & restart-in-place.** With a `wal_dir`, a replica's
+//! decided log is group-committed through [`storage::Wal`] (guarded by
+//! the `<path>.lock` writer lock) and its applied [`CoordState`] is
+//! checkpointed every [`CoordServerConfig::checkpoint_every`] applied
+//! records via [`storage::CheckpointFile`]. Boot follows Zookeeper's
+//! snapshot + log-replay recipe: load the latest checkpoint, replay the
+//! WAL suffix at or beyond its cursor, spawn the ring member with the
+//! recovered delivery cursor, then — before serving clients — fetch a
+//! [`CoordOp::SnapshotRequest`] snapshot from a live peer and install it
+//! if it is ahead (the jump is checkpointed before the learner cursor
+//! moves, so a crash never leaves a hole between checkpoint and log). A
+//! sweep-time watchdog repeats the peer fetch if the learner ever blocks
+//! on a gap the ring will not re-circulate. One caveat remains: the
+//! acceptor's *vote* log is volatile, so safety across a restart leans on
+//! the surviving majority's intact logs (the usual minority-failure
+//! assumption), not on the restarted replica's own promises.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
@@ -44,15 +61,17 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use common::error::{Error, Result};
-use common::ids::{NodeId, RingId, SessionId};
+use common::ids::{InstanceId, NodeId, RingId, SessionId};
+use common::msg::AcceptedEntry;
 use common::transport::{encode_frame, FrameBuf};
 use common::value::Value;
-use common::wire::coord::{CoordCmd, CoordEvent, CoordMsg, CoordOp, CoordReply, OpKind};
+use common::wire::coord::{CoordCmd, CoordEvent, CoordMsg, CoordOk, CoordOp, CoordReply, OpKind};
 use common::wire::Wire;
 use coord::{CoordState, Registry, RingConfig};
-use ringpaxos::live::{spawn_tcp_member, LiveNode};
+use ringpaxos::live::{spawn_tcp_member, Delivery, LiveNode};
 use ringpaxos::options::RingOptions;
-use storage::wal::{SyncPolicy, Wal};
+use storage::checkpoint::CheckpointFile;
+use storage::wal::{lock_path, SyncPolicy, Wal};
 
 use crate::node::{spawn_listener, ListenerHandle};
 
@@ -70,10 +89,17 @@ pub struct CoordServerConfig {
     pub ring_addrs: Vec<SocketAddr>,
     /// Client-serving addresses, one per replica.
     pub client_addrs: Vec<SocketAddr>,
-    /// Directory for the replica's log WAL (`None` disables it).
+    /// Directory for the replica's durable state — the decided-log WAL
+    /// (`amcoord-<id>.wal`) and the state checkpoint (`amcoord-<id>.ckpt`).
+    /// `None` disables durability (a restarted replica then relies
+    /// entirely on peer catch-up).
     pub wal_dir: Option<PathBuf>,
     /// How often the replica sweeps for lapsed sessions.
     pub session_check: Duration,
+    /// Write a `CoordState` checkpoint every this many applied log
+    /// records (0 disables checkpointing; replay then walks the whole
+    /// WAL). Only meaningful with `wal_dir`.
+    pub checkpoint_every: u64,
 }
 
 impl CoordServerConfig {
@@ -93,6 +119,7 @@ impl CoordServerConfig {
             client_addrs,
             wal_dir: None,
             session_check: Duration::from_millis(500),
+            checkpoint_every: 256,
         }
     }
 
@@ -174,12 +201,87 @@ enum SrvEvent {
     Msg(u64, CoordMsg),
     /// A connection closed.
     Gone(u64),
-    /// The replicated log decided a value.
-    Deliver(Value),
+    /// The replicated log decided a value at an instance.
+    Deliver(Delivery),
     /// Our own consensus ring reconfigured; gossip it to the peers.
     Gossip(common::wire::coord::RingConfigWire),
+    /// A gap-watchdog peer fetch finished (off-thread — the fetch can
+    /// block seconds and must not stall serving), `None` if no peer
+    /// answered.
+    CatchUp(Option<PeerSnapshot>),
     /// Stop the replica.
     Shutdown,
+}
+
+/// Adopts a peer's view of the ensemble's own consensus ring and
+/// re-admits `me` if that view no longer contains it (the survivors
+/// detected our death and reconfigured around us). Both steps are
+/// epoch-guarded local CASes whose RingChanged events the gossip feed
+/// relays to the peers.
+fn rejoin_ensemble_ring(
+    ring_registry: &Registry,
+    me: NodeId,
+    peer_ring: Option<common::wire::coord::RingConfigWire>,
+) {
+    let Some(wire) = peer_ring else { return };
+    let _ = ring_registry.install_config(wire);
+    if let Ok(cur) = ring_registry.ring(COORD_RING) {
+        if !cur.contains(me) {
+            let _ = ring_registry.rejoin(COORD_RING, me, true);
+        }
+    }
+}
+
+/// Writes a checkpoint of the applied state if the cadence marked one
+/// due. Failures (full disk, torn rename target) leave `due` set so the
+/// next applied record retries; the WAL remains authoritative either way.
+fn checkpoint_if_due(durable: &mut ReplicaDurability, since_ckpt: &mut u64, due: &mut bool) {
+    if !*due {
+        return;
+    }
+    let Some(slot) = &durable.ckpt else {
+        *since_ckpt = 0;
+        *due = false;
+        return;
+    };
+    if slot
+        .save(durable.applied.raw(), &durable.state.snapshot())
+        .is_ok()
+    {
+        *since_ckpt = 0;
+        *due = false;
+    }
+}
+
+/// Installs a peer snapshot into `durable` if it is ahead. The jump is
+/// checkpointed durably *before* the state and learner cursor move:
+/// subsequent WAL appends continue from the new cursor, so a replay must
+/// never have to cross the hole between the old cursor and the snapshot.
+///
+/// Returns `Ok(true)` when our state is now at least as current as the
+/// peer's answer (installed, or we were already ahead). `Ok(false)`
+/// means the peer is ahead but its snapshot did not decode (version
+/// skew, corruption) — the caller must keep trying, **not** conclude it
+/// caught up.
+fn install_snapshot(
+    durable: &mut ReplicaDurability,
+    live: &LiveNode,
+    peer_applied: u64,
+    bytes: &bytes::Bytes,
+) -> Result<bool> {
+    if peer_applied <= durable.applied.raw() {
+        return Ok(true);
+    }
+    let Ok(state) = CoordState::decode_snapshot(&mut bytes.clone()) else {
+        return Ok(false);
+    };
+    if let Some(slot) = &durable.ckpt {
+        slot.save(peer_applied, bytes)?;
+    }
+    durable.state = state;
+    durable.applied = InstanceId::new(peer_applied);
+    live.set_delivery_cursor(durable.applied);
+    Ok(true)
 }
 
 /// Handle to one running amcoordd replica.
@@ -209,12 +311,169 @@ impl CoordServerHandle {
     }
 }
 
+/// The WAL path of replica `id` under `dir`.
+pub fn wal_path(dir: &std::path::Path, id: NodeId) -> PathBuf {
+    dir.join(format!("amcoord-{}.wal", id.raw()))
+}
+
+/// The checkpoint path of replica `id` under `dir`.
+pub fn checkpoint_path(dir: &std::path::Path, id: NodeId) -> PathBuf {
+    dir.join(format!("amcoord-{}.ckpt", id.raw()))
+}
+
+/// Replays one decided-log record into `state`, advancing `applied`.
+/// Records below the cursor (already covered by a checkpoint or a peer
+/// snapshot) are skipped; non-[`CoordCmd`] payloads (no-ops, skips)
+/// advance the cursor without touching state. Events are discarded —
+/// nobody is watching a replica that has not started serving.
+///
+/// Returns `false` on a **hole**: a record *beyond* the cursor. The log
+/// is contiguous in normal operation, but a peer-snapshot install jumps
+/// the cursor past instances this replica never logged; if the
+/// checkpoint recording that jump is later lost (corrupt slot falls
+/// back to whole-log replay), crossing the hole would silently build
+/// divergent state. The caller must stop replaying — a consistent
+/// prefix plus peer catch-up is correct, a gapped replay is not.
+#[must_use]
+fn apply_log_entry(
+    state: &mut CoordState,
+    applied: &mut InstanceId,
+    inst: InstanceId,
+    value: &Value,
+) -> bool {
+    if inst < *applied {
+        return true;
+    }
+    if inst > *applied {
+        return false;
+    }
+    if let Some(bytes) = value.payload() {
+        let mut raw = bytes.clone();
+        if let Ok(cmd) = CoordCmd::decode(&mut raw) {
+            let _ = state.apply(&cmd.op);
+        }
+    }
+    *applied = inst.plus(value.instance_span());
+    true
+}
+
+/// A peer's answer to the catch-up RPC.
+struct PeerSnapshot {
+    /// The peer's applied log cursor.
+    applied: u64,
+    /// The peer's view of the ensemble's own consensus ring.
+    ensemble_ring: Option<common::wire::coord::RingConfigWire>,
+    /// The encoded `CoordState` at `applied`.
+    state: bytes::Bytes,
+}
+
+/// Fetches a [`CoordOk::Snapshot`] from **every** reachable peer
+/// (waiting up to `timeout` per peer) and keeps the one with the
+/// highest applied cursor — judging "caught up" against whichever peer
+/// happens to answer first could adopt a *behind* peer's view and stop
+/// looking (e.g. two freshly restarted replicas electing each other's
+/// empty state while the one up-to-date peer is transiently
+/// unreachable). The ensemble-ring view is taken from the
+/// highest-epoch answer; installs of both are guarded anyway.
+fn fetch_peer_snapshot(peers: &[SocketAddr], timeout: Duration) -> Option<PeerSnapshot> {
+    let mut best: Option<PeerSnapshot> = None;
+    for addr in peers {
+        let Some(snap) = fetch_one_snapshot(*addr, timeout) else {
+            continue;
+        };
+        match &mut best {
+            None => best = Some(snap),
+            Some(b) => {
+                if snap
+                    .ensemble_ring
+                    .as_ref()
+                    .map(|c| c.epoch)
+                    .cmp(&b.ensemble_ring.as_ref().map(|c| c.epoch))
+                    .is_gt()
+                {
+                    b.ensemble_ring = snap.ensemble_ring.clone();
+                }
+                if snap.applied > b.applied {
+                    b.applied = snap.applied;
+                    b.state = snap.state;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// One peer's catch-up answer, or `None` if unreachable/unresponsive.
+fn fetch_one_snapshot(addr: SocketAddr, timeout: Duration) -> Option<PeerSnapshot> {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) else {
+        return None;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let frame = encode_frame(&CoordMsg {
+        req: 1,
+        op: CoordOp::SnapshotRequest,
+    });
+    if stream.write_all(&frame).is_err() {
+        return None;
+    }
+    let mut buf = FrameBuf::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => {
+                buf.extend(&chunk[..n]);
+                loop {
+                    match buf.try_next::<CoordReply>() {
+                        Ok(Some(CoordReply::Ok {
+                            req: 1,
+                            body:
+                                CoordOk::Snapshot {
+                                    applied,
+                                    ensemble_ring,
+                                    state,
+                                },
+                        })) => {
+                            return Some(PeerSnapshot {
+                                applied,
+                                ensemble_ring,
+                                state,
+                            })
+                        }
+                        Ok(Some(_)) => {}
+                        Ok(None) => break,
+                        Err(_) => return None,
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Everything the server loop needs to drive durable state.
+struct ReplicaDurability {
+    state: CoordState,
+    applied: InstanceId,
+    ckpt: Option<CheckpointFile>,
+    checkpoint_every: u64,
+}
+
 /// Starts one amcoordd replica of `config`.
+///
+/// With a `wal_dir`, boot is the recovery path: latest checkpoint + WAL
+/// suffix are replayed into the state machine, the ring member comes up
+/// at the recovered delivery cursor, and a live peer's snapshot is
+/// fetched (and installed if ahead) *before* the client listener binds —
+/// a restarted replica never serves reads older than what the ensemble
+/// committed while it was down, and never needs a fresh ensemble.
 ///
 /// # Errors
 ///
 /// Fails if the configuration is inconsistent, a listener cannot bind or
-/// the WAL cannot open.
+/// the WAL cannot open (e.g. another live process holds its lock).
 pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle> {
     config.validate()?;
     let me = config.id;
@@ -235,16 +494,48 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
         .copied()
         .zip(config.ring_addrs.iter().copied())
         .collect();
+
+    // Durable recovery: checkpoint, then the WAL suffix at/beyond its
+    // cursor (Zookeeper's snapshot + log replay, §7.1 analogue).
+    let mut durable = ReplicaDurability {
+        state: CoordState::new(),
+        applied: InstanceId::ZERO,
+        ckpt: None,
+        checkpoint_every: config.checkpoint_every,
+    };
     let wal = match &config.wal_dir {
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
-            Some(Wal::open(
-                dir.join(format!("amcoord-{}.wal", me.raw())),
-                SyncPolicy::EveryWrite,
-            )?)
+            let wal_path = wal_path(dir, me);
+            // Take the writer lock *before* reading anything: a
+            // previous owner still flushing its final group commit
+            // would otherwise race our replay to the log tail (open
+            // refuses a live holder and steals only dead-pid locks).
+            let wal = Wal::open(&wal_path, SyncPolicy::EveryWrite)?;
+            let slot = CheckpointFile::new(checkpoint_path(dir, me));
+            if let Some((cursor, bytes)) = slot.load() {
+                if let Ok(st) = CoordState::decode_snapshot(&mut bytes.clone()) {
+                    durable.state = st;
+                    durable.applied = InstanceId::new(cursor);
+                }
+                // A corrupt checkpoint falls back to whole-log replay.
+            }
+            for rec in Wal::replay::<AcceptedEntry>(&wal_path)? {
+                if !apply_log_entry(
+                    &mut durable.state,
+                    &mut durable.applied,
+                    rec.inst,
+                    &rec.value,
+                ) {
+                    break; // hole: stop at the consistent prefix
+                }
+            }
+            durable.ckpt = Some(slot);
+            Some(wal)
         }
         None => None,
     };
+
     let opts = RingOptions {
         heartbeat_interval: Duration::from_millis(25),
         failure_timeout: Duration::from_millis(400),
@@ -258,7 +549,44 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
         &ring_addr_map,
         opts,
         wal,
+        durable.applied,
     )?);
+
+    // Catch the tail up from a live peer before serving: everything the
+    // ensemble decided while this replica was down is in some peer's
+    // applied state, and the ring will not re-circulate old decisions.
+    let peer_clients: Vec<SocketAddr> = config
+        .client_addrs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i as u32 != me.raw())
+        .map(|(_, a)| *a)
+        .collect();
+    // If no peer answers (whole-ensemble restart, transient blip), the
+    // sweep keeps retrying the fetch until one does — without this, an
+    // idle ensemble would never trigger the gap watchdog (no new
+    // decisions → no buffered gap) and a behind replica could serve
+    // stale reads indefinitely.
+    let mut catchup_needed = !peer_clients.is_empty();
+    let peer_ring = match fetch_peer_snapshot(&peer_clients, Duration::from_secs(2)) {
+        Some(snap) => {
+            match install_snapshot(&mut durable, &live, snap.applied, &snap.state) {
+                // Caught up only if we are now at least as current as
+                // the answering peer — an undecodable snapshot from an
+                // ahead peer must keep the sweep retrying.
+                Ok(current) => catchup_needed = !current,
+                Err(e) => {
+                    // The ring member is already running; leaving it up
+                    // would hold its port and WAL lock for the life of
+                    // the process even though this start failed.
+                    live.stop();
+                    return Err(e);
+                }
+            }
+            snap.ensemble_ring
+        }
+        None => None,
+    };
 
     let (tx, rx) = unbounded::<SrvEvent>();
 
@@ -273,7 +601,7 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
             .spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     if let Ok(d) = live.recv_delivery(Duration::from_millis(200)) {
-                        if tx.send(SrvEvent::Deliver(d.value)).is_err() {
+                        if tx.send(SrvEvent::Deliver(d)).is_err() {
                             return;
                         }
                     }
@@ -300,9 +628,29 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
             .map_err(Error::Io)?;
     }
 
+    // Rejoin the ensemble's own consensus ring if the survivors
+    // reconfigured this replica out while it was down: adopt their
+    // (newer-epoch) view, then re-admit ourselves with the same
+    // deterministic local CAS data rings use. The RingChanged events
+    // flow through the gossip feed just armed above, so the survivors
+    // install the rejoined config and their coordinator re-runs Phase 1
+    // around us.
+    rejoin_ensemble_ring(&ring_registry, me, peer_ring);
+
     let client_addr = config.client_addrs[me.raw() as usize];
-    let listener = TcpListener::bind(client_addr)?;
-    let client_addr = listener.local_addr()?;
+    let (client_addr, listener) =
+        match TcpListener::bind(client_addr).and_then(|l| Ok((l.local_addr()?, l))) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // See the install_snapshot error path above — and stop
+                // the pump *first*: with the node loop gone its delivery
+                // channel disconnects, recv_delivery returns instantly,
+                // and the `!stop` loop would hot-spin forever.
+                stop.store(true, Ordering::SeqCst);
+                live.stop();
+                return Err(Error::Io(e));
+            }
+        };
     let tx_conns = tx.clone();
     let next_conn = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let listener = spawn_listener(
@@ -314,18 +662,22 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
         },
     );
 
-    let peer_clients: Vec<SocketAddr> = config
-        .client_addrs
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i as u32 != me.raw())
-        .map(|(_, a)| *a)
-        .collect();
     let session_check = config.session_check;
+    let loop_tx = tx.clone();
     let join = std::thread::Builder::new()
         .name(format!("amcoord-srv-{}", me.raw()))
         .spawn(move || {
-            server_loop(me, live, ring_registry, rx, peer_clients, session_check);
+            server_loop(
+                me,
+                live,
+                ring_registry,
+                rx,
+                loop_tx,
+                peer_clients,
+                session_check,
+                durable,
+                catchup_needed,
+            );
             stop.store(true, Ordering::SeqCst);
         })
         .map_err(Error::Io)?;
@@ -374,15 +726,18 @@ fn spawn_conn_reader(conn: u64, mut stream: TcpStream, tx: Sender<SrvEvent>) {
     });
 }
 
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn server_loop(
     me: NodeId,
     live: Arc<LiveNode>,
     ring_registry: Registry,
     rx: Receiver<SrvEvent>,
+    self_tx: Sender<SrvEvent>,
     peer_clients: Vec<SocketAddr>,
     session_check: Duration,
+    mut durable: ReplicaDurability,
+    mut catchup_needed: bool,
 ) {
-    let mut state = CoordState::new();
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     /// A replicated command this replica proposed for a waiting client.
     struct Pending {
@@ -401,12 +756,28 @@ fn server_loop(
         .map(|d| d.as_micros() as u64)
         .unwrap_or(1);
     // Wall-clock session liveness, driven by *applied* keep-alives.
-    let mut session_seen: HashMap<SessionId, Instant> = HashMap::new();
+    // Sessions recovered from the checkpoint/WAL/peer snapshot get a
+    // fresh grace stamp: their owners may well be alive and
+    // keep-alive'ing — expiring them at boot because *we* never saw a
+    // keep-alive would churn every ephemeral in the system.
+    let mut session_seen: HashMap<SessionId, Instant> = durable
+        .state
+        .sessions()
+        .map(|(id, _)| (id, Instant::now()))
+        .collect();
     // Sessions with an expiry proposal in flight (don't re-propose every
     // sweep).
     let mut expiring: HashSet<SessionId> = HashSet::new();
     let mut gossip_conns: HashMap<SocketAddr, TcpStream> = HashMap::new();
     let mut next_sweep = Instant::now() + session_check;
+    // Applied records since the last checkpoint, and whether the cadence
+    // says one is due (written right after the pending apply lands).
+    let mut since_ckpt: u64 = 0;
+    let mut next_ckpt_due = false;
+    // When the learner first reported being blocked on a delivery gap,
+    // and whether a watchdog fetch is already out.
+    let mut gap_since: Option<Instant> = None;
+    let mut catchup_inflight = false;
 
     loop {
         let sleep = next_sweep
@@ -449,8 +820,28 @@ fn server_loop(
                     }
                 }
                 OpKind::Read => {
+                    if matches!(op, CoordOp::SnapshotRequest) {
+                        // The catch-up RPC: served from applied state
+                        // with *this* replica's log position and its
+                        // view of the ensemble's own ring (the state
+                        // machine itself has neither).
+                        if let Some(c) = conns.get(&conn) {
+                            let _ = c.writer.send(CoordReply::Ok {
+                                req,
+                                body: CoordOk::Snapshot {
+                                    applied: durable.applied.raw(),
+                                    ensemble_ring: ring_registry
+                                        .ring(COORD_RING)
+                                        .ok()
+                                        .map(|c| c.to_wire()),
+                                    state: durable.state.snapshot(),
+                                },
+                            });
+                        }
+                        continue;
+                    }
                     // Reads never mutate state or emit events.
-                    let (result, _) = state.apply(&op);
+                    let (result, _) = durable.state.apply(&op);
                     if let Some(c) = conns.get(&conn) {
                         let _ = c.writer.send(reply_of(req, result));
                     }
@@ -482,16 +873,47 @@ fn server_loop(
                     }
                 }
             },
-            Some(SrvEvent::Deliver(value)) => {
-                let Some(bytes) = value.payload() else {
+            Some(SrvEvent::Deliver(d)) => {
+                if d.inst < durable.applied {
+                    // A straggler from before a snapshot install: the
+                    // installed state already covers it.
+                    continue;
+                }
+                if d.inst > durable.applied {
+                    // A hole: deliveries were lost between learner and
+                    // loop (bounded-channel overflow under extreme
+                    // load). Never cross it silently — skipped ops would
+                    // diverge this replica and then be *checkpointed*.
+                    // Park until a peer snapshot jumps the cursor.
+                    catchup_needed = true;
+                    continue;
+                }
+                durable.applied = d.inst.plus(d.value.instance_span());
+                since_ckpt += 1;
+                if durable.checkpoint_every > 0 && since_ckpt >= durable.checkpoint_every {
+                    // Periodic checkpoint (after the apply below, see the
+                    // end of this arm): replay after a restart is
+                    // snapshot + WAL suffix, not the whole history.
+                    next_ckpt_due = true;
+                }
+                let value = d.value;
+                let applied_op = value.payload().and_then(|bytes| {
+                    let mut raw = bytes.clone();
+                    CoordCmd::decode(&mut raw).ok() // foreign payloads are cursor-only
+                });
+                let Some(cmd) = applied_op else {
+                    checkpoint_if_due(&mut durable, &mut since_ckpt, &mut next_ckpt_due);
                     continue; // no-op / skip filler
                 };
-                let mut raw = bytes.clone();
-                let Ok(cmd) = CoordCmd::decode(&mut raw) else {
-                    continue; // foreign payload; not ours to apply
-                };
-                let (result, events) = state.apply(&cmd.op);
-                track_sessions(&cmd.op, &result, &state, &mut session_seen, &mut expiring);
+                let (result, events) = durable.state.apply(&cmd.op);
+                checkpoint_if_due(&mut durable, &mut since_ckpt, &mut next_ckpt_due);
+                track_sessions(
+                    &cmd.op,
+                    &result,
+                    &durable.state,
+                    &mut session_seen,
+                    &mut expiring,
+                );
                 if cmd.origin == me {
                     if let Some(p) = pending.remove(&cmd.seq) {
                         if let Some(c) = conns.get(&p.conn) {
@@ -524,12 +946,110 @@ fn server_loop(
                     gossip_config(&mut gossip_conns, *addr, &cfg);
                 }
             }
+            Some(SrvEvent::CatchUp(snap)) => {
+                catchup_inflight = false;
+                let Some(snap) = snap else { continue };
+                let before = durable.applied;
+                let peer_applied = snap.applied;
+                let outcome = install_snapshot(&mut durable, &live, peer_applied, &snap.state);
+                if matches!(outcome, Ok(true)) {
+                    // At least as current as the answering peer: a
+                    // pending boot catch-up is satisfied. (Ok(false) —
+                    // an ahead peer whose snapshot did not decode —
+                    // keeps the sweep retrying.)
+                    catchup_needed = false;
+                }
+                if outcome.is_ok() && durable.applied > before {
+                    // install_snapshot wrote a checkpoint at the new
+                    // cursor; restart the periodic cadence from it.
+                    since_ckpt = 0;
+                    next_ckpt_due = false;
+                    for (id, _) in durable.state.sessions() {
+                        session_seen.entry(id).or_insert_with(Instant::now);
+                    }
+                    // The install jumped state without per-op events, so
+                    // connected watchers' caches are silently behind.
+                    // Disconnect them: reconnecting re-arms the watch and
+                    // clears the client cache (the same contract the
+                    // overflow path relies on).
+                    let watching: Vec<u64> = conns
+                        .iter()
+                        .filter(|(_, c)| c.watch_all)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for id in watching {
+                        conns.remove(&id);
+                        pending.retain(|_, p| p.conn != id);
+                    }
+                    // Proposals whose decisions the jump skipped will
+                    // never be answered by the Deliver arm (stragglers
+                    // below the cursor are dropped). Fail the waiting
+                    // clients now instead of letting them ride out the
+                    // 10 s stale sweep — every registry mutation is
+                    // idempotent or epoch/version-guarded, so a retry
+                    // against the caught-up state is safe.
+                    for (_, p) in pending.drain() {
+                        if let Some(c) = conns.get(&p.conn) {
+                            let _ = c.writer.send(CoordReply::Err {
+                                req: p.req,
+                                reason: "state jumped by snapshot catch-up; retry".into(),
+                            });
+                        }
+                    }
+                    // In-flight expiry markers are stale the same way: a
+                    // session whose CAS loss only the snapshot reflects
+                    // would otherwise stay marked forever and never be
+                    // re-proposed for expiry (an immortal session). The
+                    // sweep re-proposes under the CAS guard, so clearing
+                    // is always safe.
+                    expiring.clear();
+                }
+                // A long partition can also have cost us our ring
+                // membership; heal that the same way a restart does.
+                rejoin_ensemble_ring(&ring_registry, me, snap.ensemble_ring);
+            }
         }
 
         if Instant::now() >= next_sweep {
             next_sweep = Instant::now() + session_check;
             let now = Instant::now();
-            let overdue: Vec<(SessionId, u64)> = state
+            // Gap watchdog: a learner blocked on decisions it fully
+            // missed (they circulated while this replica was down or
+            // partitioned) will never heal from the ring alone — old
+            // decisions are not re-sent. A persistent gap is resolved
+            // the same way boot catch-up is: install a live peer's
+            // snapshot and jump the cursor past the hole. The fetch runs
+            // on its own thread (connects + reply wait can block for
+            // seconds; stalling this loop would make the replica appear
+            // dead to its clients exactly while it tries to heal) and
+            // comes back as [`SrvEvent::CatchUp`]. An unanswered *boot*
+            // catch-up also retries here: on an idle ensemble no new
+            // decision would ever surface a buffered gap, yet the
+            // replica may still be behind.
+            if live.first_buffered().is_some() || catchup_needed {
+                let since = *gap_since.get_or_insert(now);
+                if !catchup_inflight
+                    && now.duration_since(since) >= session_check.max(Duration::from_millis(500))
+                {
+                    gap_since = Some(now);
+                    let peers = peer_clients.clone();
+                    let tx = self_tx.clone();
+                    // Armed only if the thread actually started: a
+                    // failed spawn sends no CatchUp, and a stuck
+                    // `catchup_inflight` would disarm healing forever.
+                    catchup_inflight = std::thread::Builder::new()
+                        .name(format!("amcoord-catchup-{}", me.raw()))
+                        .spawn(move || {
+                            let snap = fetch_peer_snapshot(&peers, Duration::from_secs(2));
+                            let _ = tx.send(SrvEvent::CatchUp(snap));
+                        })
+                        .is_ok();
+                }
+            } else {
+                gap_since = None;
+            }
+            let overdue: Vec<(SessionId, u64)> = durable
+                .state
                 .sessions()
                 .filter(|(id, s)| {
                     !expiring.contains(id)
@@ -618,6 +1138,140 @@ fn track_sessions(
             }
         }
         _ => {}
+    }
+}
+
+/// An in-process amcoordd ensemble — the coordination-service
+/// counterpart of [`Deployment`](crate::Deployment): launches `n`
+/// replicas over localhost TCP and drives the same kill /
+/// restart-in-place orchestration for coord nodes that `Deployment`
+/// drives for data nodes. A restart reuses the replica's original
+/// `wal_dir`, so it comes back through the checkpoint + WAL + peer
+/// catch-up recovery path and rejoins its original ensemble.
+pub struct CoordEnsemble {
+    configs: Vec<CoordServerConfig>,
+    replicas: Vec<Option<CoordServerHandle>>,
+}
+
+impl CoordEnsemble {
+    /// Launches one replica per entry of `configs` (all describing the
+    /// same ensemble, differing only in `id`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any replica fails to start; already-started replicas are
+    /// shut down.
+    pub fn launch(configs: Vec<CoordServerConfig>) -> Result<Self> {
+        let mut replicas: Vec<Option<CoordServerHandle>> = Vec::new();
+        for config in &configs {
+            match start_coord_server(config.clone()) {
+                Ok(h) => replicas.push(Some(h)),
+                Err(e) => {
+                    for h in replicas.into_iter().flatten() {
+                        h.shutdown();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(CoordEnsemble { configs, replicas })
+    }
+
+    /// A localhost ensemble of `n` replicas on sequential ports from
+    /// `base_port`, persisting replica state under `wal_dir` when given.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a replica cannot start (port in use, WAL locked).
+    pub fn localhost(n: u16, base_port: u16, wal_dir: Option<&std::path::Path>) -> Result<Self> {
+        let configs = (0..n)
+            .map(|id| {
+                let mut c = CoordServerConfig::localhost(u32::from(id), n, base_port);
+                c.wal_dir = wal_dir.map(std::path::Path::to_path_buf);
+                c
+            })
+            .collect();
+        Self::launch(configs)
+    }
+
+    /// The replica client addresses, in id order (dead replicas included
+    /// — clients rotate past them).
+    pub fn client_addrs(&self) -> Vec<SocketAddr> {
+        self.configs
+            .iter()
+            .filter_map(|c| c.my_client_addr().ok())
+            .collect()
+    }
+
+    fn slot(&self, id: u32) -> Result<usize> {
+        if (id as usize) < self.replicas.len() {
+            Ok(id as usize)
+        } else {
+            Err(Error::Config(format!("no amcoordd replica {id}")))
+        }
+    }
+
+    /// Kills replica `id`: its threads stop and its sockets close. The
+    /// replica's WAL lock is verified released before returning, so a
+    /// restart-in-place never races the dying replica for the log file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replica is unknown, already dead, or its WAL lock
+    /// outlives the shutdown.
+    pub fn kill(&mut self, id: u32) -> Result<()> {
+        let i = self.slot(id)?;
+        let handle = self.replicas[i]
+            .take()
+            .ok_or_else(|| Error::Config(format!("amcoordd replica {id} is not running")))?;
+        handle.shutdown();
+        if let Some(dir) = &self.configs[i].wal_dir {
+            let lock = lock_path(wal_path(dir, NodeId::new(id)));
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while lock.exists() {
+                if Instant::now() >= deadline {
+                    return Err(Error::Storage(format!(
+                        "amcoordd replica {id} wal lock {} survived shutdown",
+                        lock.display()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        Ok(())
+    }
+
+    /// Restarts a killed replica in place: same id, same addresses, same
+    /// `wal_dir` — the durable-recovery boot path (checkpoint + WAL
+    /// replay + peer catch-up) brings it back into its original
+    /// ensemble serving everything committed while it was down.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replica is unknown, still running, or fails to boot.
+    pub fn restart(&mut self, id: u32) -> Result<()> {
+        let i = self.slot(id)?;
+        if self.replicas[i].is_some() {
+            return Err(Error::Config(format!(
+                "amcoordd replica {id} is still running"
+            )));
+        }
+        self.replicas[i] = Some(start_coord_server(self.configs[i].clone())?);
+        Ok(())
+    }
+
+    /// True when replica `id` is currently running.
+    pub fn is_running(&self, id: u32) -> bool {
+        self.slot(id)
+            .map(|i| self.replicas[i].is_some())
+            .unwrap_or(false)
+    }
+
+    /// Stops every running replica.
+    pub fn shutdown(self) {
+        for h in self.replicas.into_iter().flatten() {
+            h.shutdown();
+        }
     }
 }
 

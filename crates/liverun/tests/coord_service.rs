@@ -9,13 +9,15 @@ use bytes::Bytes;
 use common::ids::{NodeId, RingId};
 use common::wire::coord::CoordEvent;
 use coord::{CoordClientOptions, Registry, RingConfig};
-use liverun::coordsvc::{start_coord_server, CoordServerConfig, CoordServerHandle};
+use liverun::coordsvc::{start_coord_server, CoordEnsemble, CoordServerConfig, CoordServerHandle};
 
-/// Ports 6000..8800 — below the Linux ephemeral range (32768+) so an
+/// Ports 6000..8300 — below the Linux ephemeral range (32768+) so an
 /// outgoing connection's source port can never steal a listener bind,
-/// and disjoint from every other test binary's range.
-fn base_port(offset: u16) -> u16 {
-    6000 + (std::process::id() % 350) as u16 * 8 + offset
+/// and disjoint from every other test binary's range (multiproc holds
+/// 9000.., end_to_end 15200.., live_deployment 20000..). Each test in
+/// this file passes its own index; a 3-replica ensemble uses 6 ports.
+fn base_port(test: u16) -> u16 {
+    6000 + (std::process::id() % 70) as u16 * 32 + test * 8
 }
 
 fn start_ensemble(n: u16, base: u16) -> (Vec<CoordServerHandle>, Vec<SocketAddr>) {
@@ -109,7 +111,7 @@ fn ensemble_replicates_writes_and_pushes_watches() {
 
 #[test]
 fn session_expiry_drops_ephemeral_entries() {
-    let (handles, addrs) = start_ensemble(3, base_port(8 * 350));
+    let (handles, addrs) = start_ensemble(3, base_port(1));
     let short = CoordClientOptions {
         session_ttl: Duration::from_millis(600),
         ..CoordClientOptions::default()
@@ -163,9 +165,90 @@ fn session_expiry_drops_ephemeral_entries() {
     }
 }
 
+/// The tentpole of amcoordd durability: a replica killed and restarted
+/// **in the same data dir** rejoins its *original* ensemble (no fresh
+/// ensemble, no id change) and serves coordination reads that include
+/// operations committed while it was down — recovered via checkpoint +
+/// WAL replay plus the peer-snapshot catch-up RPC.
+#[test]
+fn replica_restart_in_place_serves_ops_committed_while_down() {
+    let dir = std::env::temp_dir().join(format!("amcoord-rip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut ensemble =
+        CoordEnsemble::localhost(3, base_port(3), Some(&dir)).expect("ensemble launches");
+    let addrs = ensemble.client_addrs();
+
+    // A client pinned to the replicas that will survive.
+    let client = Registry::connect(&addrs[..2], CoordClientOptions::default()).unwrap();
+    client
+        .register_ring(
+            RingConfig::new(RingId::new(1), nodes(&[0, 1, 2]), nodes(&[0, 1, 2])).unwrap(),
+        )
+        .unwrap();
+    client
+        .set_meta_cas("pre-kill", Bytes::from_static(b"a"), 0)
+        .unwrap();
+
+    ensemble.kill(2).expect("replica 2 dies cleanly");
+    assert!(!ensemble.is_running(2));
+
+    // Ops committed while replica 2 is down — the restart must surface
+    // ALL of them, whether they land in its WAL (they cannot) or come
+    // back via the peer catch-up snapshot.
+    client
+        .register_ring(RingConfig::new(RingId::new(2), nodes(&[7, 8]), nodes(&[7, 8])).unwrap())
+        .unwrap();
+    let v = client
+        .set_meta_cas("during-downtime", Bytes::from_static(b"b"), 0)
+        .unwrap();
+    client
+        .set_meta_cas("during-downtime", Bytes::from_static(b"c"), v)
+        .unwrap();
+
+    // Restart in place: same id, same ports, same wal dir.
+    ensemble.restart(2).expect("replica 2 restarts in place");
+
+    // A client pinned to ONLY the restarted replica: everything above
+    // must be visible there, including the CAS version history.
+    let pinned = Registry::connect(&addrs[2..], CoordClientOptions::default()).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            pinned.ring(RingId::new(1)).is_ok()
+                && pinned.ring(RingId::new(2)).is_ok()
+                && pinned.meta_versioned("during-downtime") == Some((2, Bytes::from_static(b"c")))
+                && pinned.meta("pre-kill") == Some(Bytes::from_static(b"a"))
+        }),
+        "restarted replica must serve ops committed while it was down"
+    );
+
+    // And it must have rejoined the *ensemble* (not just recovered
+    // state): a write proposed through the restarted replica commits.
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            pinned
+                .set_meta_cas("post-restart", Bytes::from_static(b"d"), 0)
+                .is_ok()
+        }),
+        "restarted replica must replicate writes through its ring again"
+    );
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            client.meta("post-restart") == Some(Bytes::from_static(b"d"))
+        }),
+        "write through the restarted replica must reach the survivors"
+    );
+
+    drop(client);
+    drop(pinned);
+    ensemble.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn client_and_ensemble_survive_replica_failure() {
-    let (mut handles, addrs) = start_ensemble(3, base_port(2 * 8 * 350));
+    let (mut handles, addrs) = start_ensemble(3, base_port(2));
     // This client starts on replica 0's address.
     let client = Registry::connect(&addrs, CoordClientOptions::default()).unwrap();
     client

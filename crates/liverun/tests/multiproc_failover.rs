@@ -12,7 +12,11 @@
 //!   ordered commands: a read observing v implies every later read does);
 //! * the killed node restarts *in place* — same WAL directory, the lock
 //!   left by the SIGKILLed pid is stolen deterministically — rejoins
-//!   through amcoord and serves fresh state.
+//!   through amcoord and serves fresh state;
+//! * an `amcoordd` replica is SIGKILLed and restarted in place — same
+//!   `--wal-dir`, checkpoint + WAL replay + peer catch-up — and must
+//!   rejoin its original ensemble serving coordination state committed
+//!   while it was down, with linearizable data-path reads throughout.
 //!
 //! A watchdog aborts the whole test hard if anything wedges, so a hung
 //! cluster fails CI fast instead of stalling the runner.
@@ -85,7 +89,7 @@ fn wait_until(what: &str, deadline: Duration, mut check: impl FnMut() -> bool) {
 fn coordinator_kill_and_restart_through_amcoordd() {
     // Hard watchdog: a wedged cluster must fail fast, not hang the runner.
     std::thread::spawn(|| {
-        std::thread::sleep(Duration::from_secs(150));
+        std::thread::sleep(Duration::from_secs(240));
         eprintln!("multiproc_failover: watchdog fired, aborting");
         std::process::abort();
     });
@@ -116,8 +120,13 @@ fn coordinator_kill_and_restart_through_amcoordd() {
     std::fs::create_dir_all(&dir).unwrap();
     let wal_dir = dir.join("wal");
 
-    let mut cluster = Cluster::new();
-    for id in 0..3u32 {
+    // amcoordd replicas run durable: their decided log and periodic
+    // CoordState checkpoints land under coord_wal, enabling the
+    // SIGKILL → restart-in-place phase at the end of this test. The tiny
+    // checkpoint cadence makes sure the restart exercises checkpoint
+    // load + WAL suffix replay, not just one of the two.
+    let coord_wal = dir.join("coord_wal");
+    let amcoordd = |id: u32| {
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_amcoordd"));
         cmd.args([
             "--id",
@@ -128,8 +137,16 @@ fn coordinator_kill_and_restart_through_amcoordd() {
             &serve_list,
             "--session-check-ms",
             "250",
+            "--wal-dir",
+            coord_wal.to_str().unwrap(),
+            "--checkpoint-every",
+            "8",
         ]);
-        cluster.spawn(&format!("amcoordd-{id}"), cmd);
+        cmd
+    };
+    let mut cluster = Cluster::new();
+    for id in 0..3u32 {
+        cluster.spawn(&format!("amcoordd-{id}"), amcoordd(id));
     }
 
     // One partition of three replicas: ring 0 (members 0,1,2) carries the
@@ -276,6 +293,65 @@ fn coordinator_kill_and_restart_through_amcoordd() {
         }
     }
 
+    // ---- amcoordd durability: SIGKILL a replica, restart in place ----
+    // The ensemble must tolerate the loss (majority survives), commit
+    // coordination state while the replica is down, and re-admit the
+    // replica after a same-dir restart serving that state.
+    cluster.kill("amcoordd-1");
+
+    // A coordination write committed during the downtime. The client may
+    // be connected to the killed replica, so retry around the failover.
+    let mut during_version = 0;
+    wait_until(
+        "coord write to commit during amcoordd downtime",
+        Duration::from_secs(30),
+        || match registry.set_meta_cas("during-coord-downtime", Bytes::from_static(b"x"), 0) {
+            Ok(v) => {
+                during_version = v;
+                true
+            }
+            Err(_) => false,
+        },
+    );
+    // Linearizable data-path reads while the coord replica is down.
+    store
+        .insert("k", Bytes::from_static(b"v3"))
+        .expect("insert v3");
+    assert_eq!(
+        store.read("k").expect("read v3"),
+        Some(Bytes::from_static(b"v3"))
+    );
+
+    // Restart in place: same id, same ports, same --wal-dir. The lock
+    // left by the SIGKILLed pid is stolen; checkpoint + WAL replay +
+    // peer catch-up bring the replica back into its original ensemble.
+    cluster.spawn("amcoordd-1r", amcoordd(1));
+
+    // A client pinned to ONLY the restarted replica: serving a session
+    // at all proves its ring rejoined (OpenSession replicates through
+    // the log, so its applied cursor is advancing again), and the read
+    // below proves catch-up surfaced state committed while it was down.
+    let pinned = Registry::connect(&coord_serve[1..2], CoordClientOptions::default())
+        .expect("restarted amcoordd replica serves clients");
+    wait_until(
+        "restarted amcoordd to serve ops committed while it was down",
+        Duration::from_secs(30),
+        || {
+            pinned.meta_versioned("during-coord-downtime")
+                == Some((during_version, Bytes::from_static(b"x")))
+        },
+    );
+
+    // Data path is still linearizable with the recovered replica serving.
+    store
+        .insert("k", Bytes::from_static(b"v4"))
+        .expect("insert v4");
+    assert_eq!(
+        store.read("k").expect("read v4"),
+        Some(Bytes::from_static(b"v4"))
+    );
+
+    drop(pinned);
     drop(store);
     drop(registry);
     drop(cluster);

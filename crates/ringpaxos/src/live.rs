@@ -52,7 +52,25 @@ pub struct Delivery {
 enum Event {
     Msg(NodeId, RingMsg),
     Propose(Value),
+    /// Repositions the learner's delivery cursor (recovery catch-up: a
+    /// snapshot covering everything below the cursor was installed
+    /// out-of-band, so buffered decisions below it are dropped and
+    /// delivery resumes at the cursor).
+    SetCursor(InstanceId),
     Shutdown,
+}
+
+/// Shared learner-position gauges, updated by the node loop after every
+/// drain. They let a host observe a stuck delivery cursor (decisions
+/// buffered beyond a gap the ring will not re-circulate) without a
+/// round-trip into the loop thread.
+#[derive(Debug, Default)]
+struct LearnerGauges {
+    /// The learner's next delivery instance.
+    next_delivery: std::sync::atomic::AtomicU64,
+    /// First instance buffered beyond an undelivered gap (`u64::MAX`
+    /// when delivery is not blocked).
+    first_buffered: std::sync::atomic::AtomicU64,
 }
 
 /// Where a node's outgoing ring messages go.
@@ -127,11 +145,30 @@ impl Transport for TcpTransport {
     }
 }
 
+/// Stops the accept loop bound to a ring member's peer port. Without
+/// this, the listener thread (blocked in `accept`) holds the port for
+/// the life of the process and a restart-in-place of the same member
+/// *in the same process* fails to bind.
+struct ListenerStop {
+    addr: SocketAddr,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl ListenerStop {
+    fn stop(&self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
 /// Handle to one running live node.
 pub struct LiveNode {
     id: NodeId,
     tx: Sender<Event>,
     deliveries: Receiver<Delivery>,
+    gauges: Arc<LearnerGauges>,
+    ring_listener: Option<ListenerStop>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -168,10 +205,41 @@ impl LiveNode {
         self.deliveries.try_iter().collect()
     }
 
+    /// Repositions the learner to deliver starting at `cursor`,
+    /// dropping decisions buffered below it — used after installing a
+    /// state snapshot that already covers everything before `cursor`.
+    pub fn set_delivery_cursor(&self, cursor: InstanceId) {
+        let _ = self.tx.send(Event::SetCursor(cursor));
+    }
+
+    /// The learner's next delivery instance (as of the last drain).
+    pub fn delivery_cursor(&self) -> InstanceId {
+        InstanceId::new(
+            self.gauges
+                .next_delivery
+                .load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// The first instance buffered beyond an undelivered gap, if the
+    /// learner is currently blocked on one. A gap that persists means
+    /// the missing decisions will not re-circulate on their own — the
+    /// host should fetch a peer snapshot and jump the cursor.
+    pub fn first_buffered(&self) -> Option<InstanceId> {
+        let raw = self
+            .gauges
+            .first_buffered
+            .load(std::sync::atomic::Ordering::Relaxed);
+        (raw != u64::MAX).then(|| InstanceId::new(raw))
+    }
+
     /// Stops this node and joins its loop thread. Used by processes that
     /// run a *single* member of a ring (see [`spawn_tcp_member`]); whole
     /// in-process rings go through [`LiveRing::shutdown`].
     pub fn shutdown(mut self) {
+        if let Some(l) = self.ring_listener.take() {
+            l.stop();
+        }
         let _ = self.tx.send(Event::Shutdown);
         if let Some(j) = self.join.take() {
             let _ = j.join();
@@ -180,8 +248,11 @@ impl LiveNode {
 
     /// Signals the node loop to stop without consuming the handle (for
     /// callers sharing the node behind an `Arc`). The loop thread exits
-    /// promptly but is not joined.
+    /// promptly but is not joined; the peer listener port is released.
     pub fn stop(&self) {
+        if let Some(l) = &self.ring_listener {
+            l.stop();
+        }
         let _ = self.tx.send(Event::Shutdown);
     }
 }
@@ -194,6 +265,11 @@ impl LiveNode {
 /// configuration (each process seeds its own local registry from the
 /// static ensemble description, like a Zookeeper server list).
 ///
+/// `start_at` positions the learner's delivery cursor: a replica that
+/// recovered state covering instances below `start_at` (WAL replay, a
+/// checkpoint) rejoins without re-delivering them; cold starts pass
+/// [`InstanceId::ZERO`].
+///
 /// # Errors
 ///
 /// Fails if the listener cannot bind or the registry lacks the ring.
@@ -204,13 +280,14 @@ pub fn spawn_tcp_member(
     addrs: &HashMap<NodeId, SocketAddr>,
     opts: RingOptions,
     wal: Option<Wal>,
+    start_at: InstanceId,
 ) -> Result<LiveNode> {
     let my_addr = *addrs
         .get(&me)
         .ok_or_else(|| Error::Config(format!("node {me} has no ring address")))?;
     let (tx, rx) = unbounded();
     let listener = TcpListener::bind(my_addr)?;
-    spawn_acceptor_loop(listener, tx.clone());
+    let ring_listener = spawn_acceptor_loop(listener, tx.clone());
     let transport = TcpTransport {
         me,
         ring,
@@ -218,7 +295,7 @@ pub fn spawn_tcp_member(
         conns: HashMap::new(),
         patience: HashMap::new(),
     };
-    spawn_node(
+    let mut node = match spawn_node(
         me,
         ring,
         registry,
@@ -228,7 +305,21 @@ pub fn spawn_tcp_member(
         transport,
         WallClock::start(),
         wal,
-    )
+    ) {
+        Ok(node) => node,
+        Err(e) => {
+            // The accept thread is already running; without this the
+            // port stays held for the life of the process and a retry
+            // of the same member can never bind.
+            ring_listener.stop();
+            return Err(e);
+        }
+    };
+    node.ring_listener = Some(ring_listener);
+    if start_at > InstanceId::ZERO {
+        node.set_delivery_cursor(start_at);
+    }
+    Ok(node)
 }
 
 /// A running ring of live nodes.
@@ -293,11 +384,11 @@ impl LiveRing {
             members.iter().copied().zip(addrs.iter().copied()).collect();
 
         let clock = WallClock::start();
-        let mut nodes = Vec::new();
+        let mut nodes: Vec<LiveNode> = Vec::new();
         for m in &members {
             let (tx, rx) = unbounded();
             let listener = TcpListener::bind(addr_map[m])?;
-            spawn_acceptor_loop(listener, tx.clone());
+            let ring_listener = spawn_acceptor_loop(listener, tx.clone());
             let transport = TcpTransport {
                 me: *m,
                 ring,
@@ -315,7 +406,7 @@ impl LiveRing {
                 }
                 None => None,
             };
-            nodes.push(spawn_node(
+            let mut node = match spawn_node(
                 *m,
                 ring,
                 registry.clone(),
@@ -325,7 +416,21 @@ impl LiveRing {
                 transport,
                 clock,
                 wal,
-            )?);
+            ) {
+                Ok(node) => node,
+                Err(e) => {
+                    ring_listener.stop();
+                    for n in &nodes {
+                        if let Some(l) = &n.ring_listener {
+                            l.stop();
+                        }
+                        let _ = n.tx.send(Event::Shutdown);
+                    }
+                    return Err(e);
+                }
+            };
+            node.ring_listener = Some(ring_listener);
+            nodes.push(node);
         }
         Ok(LiveRing { nodes, registry })
     }
@@ -352,6 +457,9 @@ impl LiveRing {
     /// Stops all nodes and joins their threads.
     pub fn shutdown(mut self) {
         for n in &self.nodes {
+            if let Some(l) = &n.ring_listener {
+                l.stop();
+            }
             let _ = n.tx.send(Event::Shutdown);
         }
         for n in &mut self.nodes {
@@ -363,9 +471,18 @@ impl LiveRing {
 }
 
 /// Reads framed messages off accepted connections, feeding the node loop.
-fn spawn_acceptor_loop(listener: TcpListener, tx: Sender<Event>) {
+/// The returned handle closes the listener (releasing the port).
+fn spawn_acceptor_loop(listener: TcpListener, tx: Sender<Event>) -> ListenerStop {
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
     std::thread::spawn(move || {
         for stream in listener.incoming() {
+            if stop_flag.load(std::sync::atomic::Ordering::SeqCst) {
+                return;
+            }
             let Ok(mut stream) = stream else { break };
             let tx = tx.clone();
             std::thread::spawn(move || {
@@ -389,6 +506,7 @@ fn spawn_acceptor_loop(listener: TcpListener, tx: Sender<Event>) {
             });
         }
     });
+    ListenerStop { addr, stop }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -406,6 +524,8 @@ fn spawn_node<T: Transport>(
     let mut node = RingNode::new(me, ring, registry, opts)?;
     let (dtx, drx) = bounded::<Delivery>(1 << 16);
     let wal = Arc::new(Mutex::new(wal));
+    let gauges = Arc::new(LearnerGauges::default());
+    let loop_gauges = Arc::clone(&gauges);
 
     let join = std::thread::Builder::new()
         .name(format!("ring-node-{}", me.raw()))
@@ -425,6 +545,9 @@ fn spawn_node<T: Transport>(
                     Ok(Event::Propose(value)) => {
                         node.propose(value, clock.now(), &mut out);
                     }
+                    Ok(Event::SetCursor(cursor)) => {
+                        node.set_next_delivery(cursor);
+                    }
                     Err(RecvTimeoutError::Timeout) => {}
                 }
                 // Fire due timers.
@@ -432,6 +555,15 @@ fn spawn_node<T: Transport>(
                     node.on_timer(t, clock.now(), &mut out);
                 }
                 drain(&mut out, &mut transport, &dtx, &mut timers, &wal);
+                use std::sync::atomic::Ordering;
+                loop_gauges
+                    .next_delivery
+                    .store(node.next_delivery().raw(), Ordering::Relaxed);
+                loop_gauges.first_buffered.store(
+                    node.buffered_gap()
+                        .map_or(u64::MAX, |(_, first)| first.raw()),
+                    Ordering::Relaxed,
+                );
             }
         })
         .expect("spawn ring node thread");
@@ -440,6 +572,8 @@ fn spawn_node<T: Transport>(
         id: me,
         tx: _self_tx,
         deliveries: drx,
+        gauges,
+        ring_listener: None,
         join: Some(join),
     })
 }
@@ -516,7 +650,12 @@ mod tests {
 
     #[test]
     fn tcp_ring_writes_wal() {
-        let base = 42000 + (std::process::id() % 500) as u16;
+        // Below the Linux ephemeral range (32768+): an outgoing
+        // connection's source port can never steal the listener bind
+        // (42000 used to sit inside it — a rare AddrInUse flake), and
+        // disjoint from every other test binary's range (end_to_end
+        // holds 28000.., live_deployment 20000..26000).
+        let base = 26000 + (std::process::id() % 500) as u16;
         let addrs: Vec<SocketAddr> = (0..3)
             .map(|i| format!("127.0.0.1:{}", base + i).parse().unwrap())
             .collect();
@@ -548,7 +687,8 @@ mod tests {
 
     #[test]
     fn tcp_ring_delivers() {
-        let base = 41000 + (std::process::id() % 1000) as u16;
+        // Below the ephemeral range and disjoint from tcp_ring_writes_wal.
+        let base = 27000 + (std::process::id() % 500) as u16;
         let addrs: Vec<SocketAddr> = (0..3)
             .map(|i| format!("127.0.0.1:{}", base + i).parse().unwrap())
             .collect();

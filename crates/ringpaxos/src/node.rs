@@ -104,11 +104,16 @@ enum PendingAction {
 }
 
 /// An id-only decision observed before its value: the slow path pulls the
-/// value from the acceptors, re-requesting on the liveness timer.
+/// value from the acceptors, re-requesting on the liveness timer with
+/// per-miss exponential backoff (at most one request is outstanding per
+/// missed `(inst, id)` at any time — re-observing the decision or ticking
+/// the timer inside the backoff window must not add another).
 #[derive(Clone, Copy, Debug)]
 struct PendingValue {
     id: ValueId,
     requested_at: SimTime,
+    /// Pulls sent so far; drives the retry backoff.
+    attempts: u32,
 }
 
 /// The per-ring protocol state machine. See the module docs.
@@ -267,10 +272,15 @@ impl RingNode {
     }
 
     /// Positions the learner to deliver starting at `inst` — used when
-    /// installing a checkpoint during recovery.
+    /// installing a checkpoint during recovery. Value pulls outstanding
+    /// for instances below the cursor die with the buffered decisions:
+    /// the installed state covers them, and their values may no longer
+    /// exist anywhere to resend — left in place they would burn the
+    /// per-tick pull budget (lowest instances first) forever.
     pub fn set_next_delivery(&mut self, inst: InstanceId) {
         self.next_delivery = inst;
         self.decision_buffer = self.decision_buffer.split_off(&inst);
+        self.pending_values = self.pending_values.split_off(&inst);
     }
 
     /// Read access to the acceptor's vote log (for retransmission
@@ -479,6 +489,14 @@ impl RingNode {
             }
         }
         self.learned.get(&id).cloned()
+    }
+
+    /// How long after the `attempts`-th pull the next retry may go out:
+    /// 2·heartbeat doubling per attempt, capped at 32·heartbeat. Slow
+    /// answers (large frames draining a backlog) stop triggering
+    /// redundant pulls after a couple of rounds.
+    fn pull_retry_after(&self, attempts: u32) -> std::time::Duration {
+        self.opts.heartbeat_interval * (2u32 << attempts.saturating_sub(1).min(4))
     }
 
     /// Asks an acceptor (rotating — one may itself have missed the value)
@@ -934,6 +952,7 @@ impl RingNode {
                         PendingValue {
                             id,
                             requested_at: now,
+                            attempts: 1,
                         },
                     );
                     self.send_value_request(inst, id, out);
@@ -1199,16 +1218,25 @@ impl RingNode {
         }
         // Id-only decisions whose value pull went unanswered: re-request
         // from the next acceptor in the rotation (the previous target may
-        // itself have missed the value).
-        let stale_pulls: Vec<(InstanceId, ValueId)> = self
-            .pending_values
-            .iter()
-            .filter(|(_, p)| now.since(p.requested_at) > self.opts.heartbeat_interval * 2)
-            .map(|(inst, p)| (*inst, p.id))
-            .collect();
+        // itself have missed the value). Two brakes keep this from
+        // becoming a storm under large slow frames: per-miss exponential
+        // backoff (a pull whose answer is merely queued behind a fat
+        // resend is not re-sent every tick) and a per-tick budget over
+        // the *lowest* missing instances (the only ones delivery is
+        // actually blocked on — BTreeMap order gives them first).
+        let mut stale_pulls: Vec<(InstanceId, ValueId)> = Vec::new();
+        for (inst, p) in &self.pending_values {
+            if stale_pulls.len() >= self.opts.value_pull_budget {
+                break;
+            }
+            if now.since(p.requested_at) > self.pull_retry_after(p.attempts) {
+                stale_pulls.push((*inst, p.id));
+            }
+        }
         for (inst, id) in stale_pulls {
             if let Some(p) = self.pending_values.get_mut(&inst) {
                 p.requested_at = now;
+                p.attempts = p.attempts.saturating_add(1);
             }
             self.send_value_request(inst, id, out);
         }
@@ -1865,6 +1893,101 @@ mod tests {
         let after = common::metrics::snapshot();
         let delta = before.delta(&after);
         assert_eq!(delta.decision_payload_bytes, 0);
+    }
+
+    /// The recovery-storm brake: for every missed `(inst, id)` at most
+    /// one `ValueRequest` is outstanding per liveness tick — duplicate
+    /// decision observations add none, ticks inside the backoff window
+    /// add none, and a tick that does retry is bounded by the pull
+    /// budget over the lowest (delivery-blocking) instances.
+    #[test]
+    fn value_pull_retries_are_deduped_and_budgeted() {
+        let opts = RingOptions {
+            storage: StorageMode::InMemory,
+            // Keep failure detection armed but far away: this test fires
+            // the liveness timer by hand and must not trigger a
+            // predecessor-failure report.
+            failure_timeout: Duration::from_secs(3600),
+            ..RingOptions::default()
+        };
+        let budget = opts.value_pull_budget;
+        let heartbeat = opts.heartbeat_interval;
+        let (mut h, _) = Harness::new(3, opts);
+        h.start();
+
+        let misses = 3 * budget as u64;
+        let pulls_of = |out: &Output| -> Vec<(InstanceId, ValueId)> {
+            out.sends
+                .iter()
+                .filter_map(|(_, m)| match m {
+                    RingMsg::ValueRequest { inst, id } => Some((*inst, *id)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let decision = |i: u64| RingMsg::Decision {
+            inst: InstanceId::new(i),
+            ballot: Ballot::new(1, NodeId::new(0)),
+            id: ValueId::new(NodeId::new(0), 1000 + i),
+            ttl: 0,
+        };
+
+        // First observation of each id-only decision: exactly one pull
+        // per missed (inst, id).
+        let mut out = Output::new();
+        for i in 0..misses {
+            h.nodes[2].on_msg(NodeId::new(1), decision(i), h.now, &mut out);
+        }
+        let first = pulls_of(&out);
+        assert_eq!(first.len(), misses as usize, "one pull per fresh miss");
+        let unique: HashSet<_> = first.iter().collect();
+        assert_eq!(unique.len(), first.len(), "no duplicate pulls");
+
+        // Re-observing the same decisions (circulation echoes, retries):
+        // zero additional pulls.
+        let mut out = Output::new();
+        for i in 0..misses {
+            h.nodes[2].on_msg(NodeId::new(1), decision(i), h.now, &mut out);
+        }
+        assert!(pulls_of(&out).is_empty(), "duplicate decisions re-pulled");
+
+        // A liveness tick inside the backoff window: zero pulls.
+        let mut out = Output::new();
+        h.nodes[2].on_timer(RingTimer::Liveness, h.now + heartbeat, &mut out);
+        assert!(pulls_of(&out).is_empty(), "tick inside backoff re-pulled");
+
+        // A tick past the first backoff (2·heartbeat): retries flow, but
+        // at most `budget` of them, each (inst, id) at most once, and
+        // they cover the lowest instances (delivery is blocked there).
+        let late = h.now + heartbeat * 3;
+        let mut out = Output::new();
+        h.nodes[2].on_timer(RingTimer::Liveness, late, &mut out);
+        let retried = pulls_of(&out);
+        assert_eq!(retried.len(), budget, "per-tick budget not enforced");
+        let unique: HashSet<_> = retried.iter().collect();
+        assert_eq!(unique.len(), retried.len(), "a miss was pulled twice");
+        for (inst, _) in &retried {
+            assert!(
+                inst.raw() < budget as u64,
+                "budget must go to the lowest blocked instances"
+            );
+        }
+
+        // Immediately ticking again at the same instant: the retried
+        // misses just restarted their (now doubled) backoff — only the
+        // *next* budget-worth of stale misses may go out, never the same
+        // (inst, id) twice in a tick window.
+        let mut out = Output::new();
+        h.nodes[2].on_timer(RingTimer::Liveness, late, &mut out);
+        let second = pulls_of(&out);
+        let second_unique: HashSet<_> = second.iter().collect();
+        assert_eq!(second.len(), second_unique.len());
+        for pull in &second {
+            assert!(
+                !retried.contains(pull),
+                "{pull:?} re-pulled in back-to-back ticks"
+            );
+        }
     }
 
     #[test]

@@ -86,6 +86,14 @@ pub struct RingOptions {
     /// value's Phase 2 pass and its decision — roughly one ring round
     /// trip; misses fall back to the `ValueRequest` pull path.
     pub value_cache_window: usize,
+    /// Maximum `ValueRequest` pulls (re-)issued per liveness tick. Large
+    /// frames decide slowly; without a cap, every tick re-pulled *every*
+    /// outstanding miss from a rotating acceptor while the previous
+    /// resends were still in flight, multiplying the very backlog that
+    /// made the pulls slow (the 8 KiB recovery-storm tail). Delivery is
+    /// blocked on the lowest missing instance, so pulling the first few
+    /// is all that helps anyway.
+    pub value_pull_budget: usize,
 }
 
 impl Default for RingOptions {
@@ -100,6 +108,7 @@ impl Default for RingOptions {
             proposal_retry: Duration::from_millis(1000),
             dedup_window: 64 * 1024,
             value_cache_window: 8 * 1024,
+            value_pull_budget: 8,
         }
     }
 }

@@ -54,29 +54,63 @@ struct WalLock {
 impl WalLock {
     fn acquire(wal_path: &Path) -> Result<Self> {
         let path = lock_path(wal_path);
+        let me = std::process::id();
+        // The pid is staged in a private temp file and the lock created
+        // by hard-linking it into place: link is atomic create-if-absent
+        // *with the content already there*, so no observer can ever read
+        // a lock file whose pid has not been written yet (a SIGKILL
+        // between create and write used to leave an unparsable lock that
+        // bricked every future restart).
+        let tmp = {
+            let mut p = path.as_os_str().to_owned();
+            p.push(format!(".tmp-{me}"));
+            PathBuf::from(p)
+        };
+        std::fs::write(&tmp, me.to_string())?;
+        let result = Self::link_into_place(wal_path, &path, &tmp, me);
+        let _ = std::fs::remove_file(&tmp);
+        result
+    }
+
+    fn link_into_place(wal_path: &Path, path: &Path, tmp: &Path, me: u32) -> Result<Self> {
         loop {
-            match OpenOptions::new().write(true).create_new(true).open(&path) {
-                Ok(mut f) => {
-                    let _ = f.write_all(std::process::id().to_string().as_bytes());
-                    return Ok(WalLock { path });
+            match std::fs::hard_link(tmp, path) {
+                Ok(()) => {
+                    return Ok(WalLock {
+                        path: path.to_path_buf(),
+                    })
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let holder: Option<u32> = std::fs::read_to_string(&path)
+                    let holder: Option<u32> = std::fs::read_to_string(path)
                         .ok()
                         .and_then(|s| s.trim().parse().ok());
                     match holder {
-                        // A crashed owner (SIGKILL skips Drop) leaves the
-                        // file behind; its pid is gone, so steal the lock.
-                        Some(pid) if pid != std::process::id() && !pid_alive(pid) => {
-                            let _ = std::fs::remove_file(&path);
-                            continue;
-                        }
-                        _ => {
+                        // A live owner (possibly ourselves through a
+                        // second handle) keeps the lock.
+                        Some(pid) if pid == me || pid_alive(pid) => {
                             return Err(Error::Storage(format!(
-                                "wal {} is locked by pid {}",
+                                "wal {} is locked by pid {pid}",
                                 wal_path.display(),
-                                holder.map_or("?".into(), |p| p.to_string()),
                             )))
+                        }
+                        // A crashed owner (SIGKILL skips Drop) left the
+                        // file behind, or the content is unreadable
+                        // (which atomic creation rules out for any
+                        // owner that could still be alive): steal it.
+                        // The steal renames the stale file aside —
+                        // atomic, so of two racing stealers exactly one
+                        // wins; the loser loops and re-reads whatever
+                        // lock the winner installed.
+                        _ => {
+                            let aside = {
+                                let mut p = path.as_os_str().to_owned();
+                                p.push(format!(".stale-{me}"));
+                                PathBuf::from(p)
+                            };
+                            if std::fs::rename(path, &aside).is_ok() {
+                                let _ = std::fs::remove_file(&aside);
+                            }
+                            continue;
                         }
                     }
                 }
@@ -366,6 +400,13 @@ mod tests {
         std::fs::write(lock_path(&path), "999999999").unwrap();
         let wal = Wal::open(&path, SyncPolicy::OsDecides).unwrap();
         drop(wal);
+        // So is an unparsable lock: atomic creation (pid staged before
+        // the link) means no *live* owner can have left one, and a
+        // stale lock must never brick a restart.
+        std::fs::write(lock_path(&path), "not-a-pid").unwrap();
+        let wal = Wal::open(&path, SyncPolicy::OsDecides).unwrap();
+        drop(wal);
+        assert!(!lock_path(&path).exists());
         std::fs::remove_file(&path).unwrap();
     }
 
