@@ -144,6 +144,8 @@ fn worker_loop(
         ClientOptions {
             timeout: Duration::from_secs(30),
             retry_every: Duration::from_secs(5),
+            window: window.max(1),
+            ..ClientOptions::default()
         },
     )
     .expect("client connects");
@@ -259,6 +261,21 @@ fn main() {
         ));
     }
 
+    // Windowed closed-loop mode: the same 1 KiB scenario at window 1
+    // (strict closed loop — one outstanding request per client) versus a
+    // pipelined window, quantifying what protocol v2's sliding window
+    // buys a single client connection.
+    let sweep_windows: &[usize] = if smoke { &[] } else { &[1, 8, 32] };
+    let mut window_sweep = Vec::new();
+    for (i, &w) in sweep_windows.iter().enumerate() {
+        let port =
+            base_port + ((payload_sizes.len() + i) as u16) * ((partitions * replicas + 2) * 2);
+        window_sweep.push((
+            w,
+            run_scenario(1024, partitions, replicas, port, clients, w, duration),
+        ));
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"label\": \"{label}\",\n"));
@@ -271,8 +288,33 @@ fn main() {
         let sep = if i + 1 < outcomes.len() { "," } else { "" };
         json.push_str(&format!("    {}{sep}\n", o.json()));
     }
-    json.push_str("  ]\n}\n");
+    if window_sweep.is_empty() {
+        json.push_str("  ]\n}\n");
+    } else {
+        json.push_str("  ],\n");
+        json.push_str("  \"window_sweep\": [\n");
+        for (i, (w, o)) in window_sweep.iter().enumerate() {
+            let sep = if i + 1 < window_sweep.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"window\": {w}, \"result\": {}}}{sep}\n",
+                o.json()
+            ));
+        }
+        json.push_str("  ]\n}\n");
+    }
     print!("{json}");
+
+    if let (Some((_, w1)), Some((wn, wide))) = (
+        window_sweep.iter().find(|(w, _)| *w == 1),
+        window_sweep.iter().find(|(w, _)| *w >= 8),
+    ) {
+        eprintln!(
+            "window sweep: 1 KiB window 1 = {:.1} ops/s, window {wn} = {:.1} ops/s ({:.2}x)",
+            w1.throughput(),
+            wide.throughput(),
+            wide.throughput() / w1.throughput().max(1e-9),
+        );
+    }
 
     if smoke {
         // CI guard: the decision path must be metadata-only. The payload

@@ -418,6 +418,12 @@ pub enum ClientMsg {
         client: ClientId,
         /// Which request this answers.
         client_seq: RequestId,
+        /// The session the command executed under, echoed from the
+        /// delivered envelope ([`crate::value::NO_SESSION`] for v1
+        /// traffic). The echo travels with the reply from the *executing*
+        /// replica, so a straggler answer from an earlier client
+        /// incarnation can never alias a new request's sequence number.
+        session: u64,
         /// Replica that executed the command.
         from_replica: NodeId,
         /// Service-specific response bytes.
@@ -453,12 +459,14 @@ impl Wire for ClientMsg {
             ClientMsg::Response {
                 client,
                 client_seq,
+                session,
                 from_replica,
                 payload,
             } => {
                 buf.put_u8(1);
                 client.encode(buf);
                 client_seq.encode(buf);
+                put_varint(buf, *session);
                 from_replica.encode(buf);
                 put_bytes(buf, payload);
             }
@@ -476,6 +484,7 @@ impl Wire for ClientMsg {
             1 => Ok(ClientMsg::Response {
                 client: ClientId::decode(buf)?,
                 client_seq: RequestId::decode(buf)?,
+                session: get_varint(buf)?,
                 from_replica: NodeId::decode(buf)?,
                 payload: get_bytes(buf)?,
             }),
@@ -998,6 +1007,7 @@ mod tests {
         rt(Msg::Client(ClientMsg::Response {
             client: ClientId::new(5),
             client_seq: RequestId::new(77),
+            session: 3,
             from_replica: NodeId::new(9),
             payload: Bytes::from_static(b"=v"),
         }));

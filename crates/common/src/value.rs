@@ -174,20 +174,65 @@ impl Wire for Value {
     }
 }
 
+/// `Envelope::session` value meaning "no session": the v1 at-least-once
+/// client model (commands execute on every delivery).
+pub const NO_SESSION: u64 = 0;
+
+/// `Envelope::session` value marking a session-*control* command (open /
+/// keep-alive / expire); the command encoding lives in
+/// `multiring::session`.
+pub const SESSION_CTL: u64 = u64::MAX;
+
 /// The service-level request envelope carried inside [`ValueKind::App`].
 ///
 /// Replicas decode the envelope on delivery to know which client to answer
 /// and where to send the (simulated UDP) response.
+///
+/// The `session`/`ack` pair is the protocol-v2 exactly-once identity: it
+/// is replicated *inside* the ordered command stream, so every replica
+/// makes the same executed-before decision for a retried `(session, req)`
+/// and prunes its reply cache at the same point. v1 clients (and the
+/// simulator) leave both at zero.
+///
+/// Adding these fields changed the envelope's *storage* encoding (it is
+/// embedded in acceptor logs and delivered-command WALs): logs written
+/// by pre-v2 builds do not replay on this one. Deployments recover
+/// state from partition peers, so a rolling upgrade recovers rather
+/// than replays; the external client protocol is unaffected (v1 frames
+/// are pinned byte-stable by `ci/wire_vectors_client.txt`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Envelope {
     /// The client issuing the command.
     pub client: ClientId,
-    /// The client's request sequence number.
+    /// The client's request sequence number (per-session under v2).
     pub req: RequestId,
     /// The node the response should be sent to.
     pub reply_to: NodeId,
+    /// The exactly-once session this command executes under
+    /// ([`NO_SESSION`] for v1 traffic, [`SESSION_CTL`] for session
+    /// control commands).
+    pub session: u64,
+    /// Highest per-session seq the client has acknowledged receiving
+    /// replies for (contiguously); replicas prune cached replies up to
+    /// here.
+    pub ack: u64,
     /// The service-specific command encoding.
     pub cmd: Bytes,
+}
+
+impl Envelope {
+    /// A v1 (sessionless, at-least-once) envelope — the simulator's and
+    /// the v1 wire protocol's shape.
+    pub fn v1(client: ClientId, req: RequestId, reply_to: NodeId, cmd: Bytes) -> Self {
+        Envelope {
+            client,
+            req,
+            reply_to,
+            session: NO_SESSION,
+            ack: 0,
+            cmd,
+        }
+    }
 }
 
 impl Wire for Envelope {
@@ -195,6 +240,8 @@ impl Wire for Envelope {
         self.client.encode(buf);
         self.req.encode(buf);
         self.reply_to.encode(buf);
+        put_varint(buf, self.session);
+        put_varint(buf, self.ack);
         put_bytes(buf, &self.cmd);
     }
 
@@ -203,6 +250,8 @@ impl Wire for Envelope {
             client: ClientId::decode(buf)?,
             req: RequestId::decode(buf)?,
             reply_to: NodeId::decode(buf)?,
+            session: get_varint(buf)?,
+            ack: get_varint(buf)?,
             cmd: get_bytes(buf)?,
         })
     }
@@ -333,11 +382,25 @@ mod tests {
 
     #[test]
     fn envelope_round_trips() {
+        let e = Envelope::v1(
+            ClientId::new(8),
+            RequestId::new(99),
+            NodeId::new(3),
+            Bytes::from_static(b"set k v"),
+        );
+        let mut b = e.to_bytes();
+        assert_eq!(Envelope::decode(&mut b).unwrap(), e);
+
+        // A sessioned (v2) envelope carries its exactly-once identity.
         let e = Envelope {
-            client: ClientId::new(8),
-            req: RequestId::new(99),
-            reply_to: NodeId::new(3),
-            cmd: Bytes::from_static(b"set k v"),
+            session: 17,
+            ack: 12,
+            ..Envelope::v1(
+                ClientId::new(8),
+                RequestId::new(13),
+                NodeId::new(3),
+                Bytes::from_static(b"add k 1"),
+            )
         };
         let mut b = e.to_bytes();
         assert_eq!(Envelope::decode(&mut b).unwrap(), e);
@@ -345,11 +408,13 @@ mod tests {
 
     #[test]
     fn payload_round_trips_and_orders_envelopes() {
-        let env = |req: u64| Envelope {
-            client: ClientId::new(1),
-            req: RequestId::new(req),
-            reply_to: NodeId::new(2),
-            cmd: Bytes::from_static(b"cmd"),
+        let env = |req: u64| {
+            Envelope::v1(
+                ClientId::new(1),
+                RequestId::new(req),
+                NodeId::new(2),
+                Bytes::from_static(b"cmd"),
+            )
         };
         for p in [
             Payload::One(env(1)),

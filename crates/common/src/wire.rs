@@ -1551,33 +1551,131 @@ pub mod coord {
 }
 
 pub mod client {
-    //! The live client protocol.
+    //! The live client protocol, versions 1 and 2.
     //!
     //! Clients of a live deployment speak length-framed TCP to any node
     //! (paper §7: clients submit to proposers and receive replica replies
-    //! over the network). A connection opens with [`ClientMsg::Hello`]
-    //! carrying the client's id; afterwards requests and replies flow
-    //! asynchronously — replies may arrive out of request order (commands
-    //! execute when the deterministic merge delivers them) and are
-    //! correlated by sequence number. Duplicated replies are possible
-    //! after retries, exactly like the paper's UDP responses; clients must
-    //! deduplicate by `seq`.
+    //! over the network).
+    //!
+    //! ## Protocol v1 (tags 0–2 / 0–3)
+    //!
+    //! A connection opens with [`ClientMsg::Hello`] carrying the client's
+    //! id; afterwards requests and replies flow asynchronously — replies
+    //! may arrive out of request order (commands execute when the
+    //! deterministic merge delivers them) and are correlated by sequence
+    //! number. Duplicated replies are possible after retries, exactly like
+    //! the paper's UDP responses; clients must deduplicate by `seq` and
+    //! commands must be idempotent or tolerate re-execution.
+    //!
+    //! ## Protocol v2 (tags 3+ / 4+)
+    //!
+    //! v2 keeps every v1 frame byte-identical (old clients keep working —
+    //! the golden vectors under `ci/` pin this) and adds **sessions**:
+    //!
+    //! * [`ClientMsg::HelloV2`] is a versioned handshake with feature
+    //!   negotiation; the server answers [`ClientReply::WelcomeV2`]
+    //!   carrying the granted feature set and a credit **window** — the
+    //!   number of requests the client may keep in flight. Further
+    //!   [`ClientReply::CreditGrant`] frames may resize the window at any
+    //!   time.
+    //! * [`ClientMsg::RequestV2`] tags every command with a replicated
+    //!   **session id** and a per-session sequence number. Sessions are
+    //!   opened through the ordered command stream itself (a control
+    //!   command with `session == SESSION_CTL`), so every replica agrees
+    //!   on session ids and on which `(session, seq)` pairs already
+    //!   executed: a retried request is answered from the replica's reply
+    //!   cache, never executed twice. The `ack` field (highest seq whose
+    //!   reply the client received, contiguously) lets replicas prune
+    //!   their caches deterministically.
+    //! * [`ClientReply::ResponseV2`] echoes the session id, so a
+    //!   straggler reply from a previous client incarnation can never be
+    //!   mis-matched to a new request (v1 needed a wall-clock sequence
+    //!   base for this).
+    //! * [`ClientReply::Redirect`] lets a node that does not serve a
+    //!   group point the client at one that does, instead of failing or
+    //!   silently proxying.
+    //! * Errors carry typed [`ErrorCode`]s ([`ClientReply::ErrorV2`])
+    //!   instead of free-form strings.
 
-    use super::{get_bytes, get_tag, put_bytes, Wire};
+    use super::{get_bytes, get_tag, get_varint, put_bytes, put_varint, Wire};
     use crate::error::WireError;
     use crate::ids::{ClientId, NodeId, RequestId, RingId};
     use bytes::{BufMut, Bytes, BytesMut};
 
+    /// Feature bit: client pipelines many requests per connection.
+    pub const FEAT_PIPELINE: u64 = 1;
+    /// Feature bit: exactly-once sessions (replicated dedup).
+    pub const FEAT_EXACTLY_ONCE: u64 = 2;
+    /// Feature bit: the server may answer [`ClientReply::Redirect`].
+    pub const FEAT_REDIRECT: u64 = 4;
+    /// Every feature this build knows about.
+    pub const FEAT_ALL: u64 = FEAT_PIPELINE | FEAT_EXACTLY_ONCE | FEAT_REDIRECT;
+
+    /// Typed reasons a server rejects a request (v2).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum ErrorCode {
+        /// A request arrived before any hello on the connection.
+        HelloRequired,
+        /// The named multicast group exists nowhere in the deployment.
+        UnknownGroup,
+        /// This node does not serve the group (and no redirect target is
+        /// known).
+        NotServing,
+        /// The server shed the request under load; retry later.
+        Shedding,
+        /// Anything else; see the detail string.
+        Internal,
+    }
+
+    impl ErrorCode {
+        fn to_u8(self) -> u8 {
+            match self {
+                ErrorCode::HelloRequired => 0,
+                ErrorCode::UnknownGroup => 1,
+                ErrorCode::NotServing => 2,
+                ErrorCode::Shedding => 3,
+                ErrorCode::Internal => 4,
+            }
+        }
+
+        fn from_u8(raw: u8) -> Result<Self, WireError> {
+            Ok(match raw {
+                0 => ErrorCode::HelloRequired,
+                1 => ErrorCode::UnknownGroup,
+                2 => ErrorCode::NotServing,
+                3 => ErrorCode::Shedding,
+                4 => ErrorCode::Internal,
+                tag => {
+                    return Err(WireError::BadTag {
+                        context: "error code",
+                        tag,
+                    })
+                }
+            })
+        }
+    }
+
+    impl Wire for ErrorCode {
+        fn encode(&self, buf: &mut BytesMut) {
+            buf.put_u8(self.to_u8());
+        }
+
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            ErrorCode::from_u8(get_tag(buf, "error code")?)
+        }
+    }
+
     /// A frame sent by a client to a serving node.
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum ClientMsg {
-        /// Opens the session: all replies for `client` flow back over the
+        /// Opens a v1 session: all replies for `client` flow back over the
         /// connection that sent the hello.
         Hello {
             /// The connecting client's id (unique per deployment).
             client: ClientId,
         },
-        /// Submit `cmd` for atomic multicast to `group`.
+        /// Submit `cmd` for atomic multicast to `group` (v1: at-least-once
+        /// under retries).
         Request {
             /// Client-chosen sequence number correlating the reply.
             seq: RequestId,
@@ -1592,17 +1690,42 @@ pub mod client {
             /// Echoed token.
             token: u64,
         },
+        /// The v2 handshake: like [`ClientMsg::Hello`] plus feature
+        /// negotiation. Answered with [`ClientReply::WelcomeV2`].
+        HelloV2 {
+            /// The connecting client's id (unique per deployment).
+            client: ClientId,
+            /// Features the client wants ([`FEAT_PIPELINE`], ...).
+            features: u64,
+        },
+        /// Submit `cmd` under an exactly-once session. With
+        /// `session == SESSION_CTL` (see `multiring::session`) the command
+        /// is a session-control operation (open / keep-alive / expire)
+        /// rather than a service command.
+        RequestV2 {
+            /// The replicated session the command executes under.
+            session: u64,
+            /// Per-session sequence number (1, 2, ... within the session).
+            seq: RequestId,
+            /// Highest seq whose replies the client has received without
+            /// gaps — replicas prune their reply caches up to here.
+            ack: u64,
+            /// The multicast group (ring) to order the command on.
+            group: RingId,
+            /// Service-specific command bytes.
+            cmd: Bytes,
+        },
     }
 
     /// A frame sent by a serving node to a client.
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum ClientReply {
-        /// Session accepted; `node` identifies the serving node.
+        /// v1 session accepted; `node` identifies the serving node.
         Welcome {
             /// The serving node.
             node: NodeId,
         },
-        /// A replica executed the request.
+        /// A replica executed the request (v1).
         Response {
             /// The request's sequence number.
             seq: RequestId,
@@ -1611,7 +1734,8 @@ pub mod client {
             /// Service-specific response bytes.
             payload: Bytes,
         },
-        /// The request could not be accepted (unknown group, shedding).
+        /// The request could not be accepted (v1; unknown group,
+        /// shedding).
         Error {
             /// The request's sequence number.
             seq: RequestId,
@@ -1622,6 +1746,52 @@ pub mod client {
         Pong {
             /// Echoed token.
             token: u64,
+        },
+        /// v2 handshake accepted.
+        WelcomeV2 {
+            /// The serving node.
+            node: NodeId,
+            /// Features granted (requested ∩ supported).
+            features: u64,
+            /// Initial credit window: requests the client may keep in
+            /// flight on this connection.
+            window: u32,
+        },
+        /// A replica executed a v2 request. The session echo is what
+        /// makes reply matching safe across client incarnations.
+        ResponseV2 {
+            /// The session the command executed under (as replicated).
+            session: u64,
+            /// The request's per-session sequence number.
+            seq: RequestId,
+            /// The replica that executed the command.
+            from_replica: NodeId,
+            /// Session-framed response bytes (status byte + service
+            /// payload; see `multiring::session`).
+            payload: Bytes,
+        },
+        /// The serving node rejected a v2 request.
+        ErrorV2 {
+            /// The request's sequence number.
+            seq: RequestId,
+            /// Machine-readable reason.
+            code: ErrorCode,
+            /// Human-readable detail.
+            detail: String,
+        },
+        /// This node does not serve `group`; retry the request at `to`.
+        Redirect {
+            /// The rejected request's sequence number.
+            seq: RequestId,
+            /// The group the request named.
+            group: RingId,
+            /// A node that serves the group.
+            to: NodeId,
+        },
+        /// Resizes the client's credit window mid-session.
+        CreditGrant {
+            /// The new window (requests in flight allowed).
+            window: u32,
         },
     }
 
@@ -1642,6 +1812,25 @@ pub mod client {
                     buf.put_u8(2);
                     super::put_varint(buf, *token);
                 }
+                ClientMsg::HelloV2 { client, features } => {
+                    buf.put_u8(3);
+                    client.encode(buf);
+                    put_varint(buf, *features);
+                }
+                ClientMsg::RequestV2 {
+                    session,
+                    seq,
+                    ack,
+                    group,
+                    cmd,
+                } => {
+                    buf.put_u8(4);
+                    put_varint(buf, *session);
+                    seq.encode(buf);
+                    put_varint(buf, *ack);
+                    group.encode(buf);
+                    put_bytes(buf, cmd);
+                }
             }
         }
 
@@ -1657,6 +1846,17 @@ pub mod client {
                 }),
                 2 => Ok(ClientMsg::Ping {
                     token: super::get_varint(buf)?,
+                }),
+                3 => Ok(ClientMsg::HelloV2 {
+                    client: ClientId::decode(buf)?,
+                    features: get_varint(buf)?,
+                }),
+                4 => Ok(ClientMsg::RequestV2 {
+                    session: get_varint(buf)?,
+                    seq: RequestId::decode(buf)?,
+                    ack: get_varint(buf)?,
+                    group: RingId::decode(buf)?,
+                    cmd: get_bytes(buf)?,
                 }),
                 tag => Err(WireError::BadTag {
                     context: "client wire msg",
@@ -1692,6 +1892,44 @@ pub mod client {
                     buf.put_u8(3);
                     super::put_varint(buf, *token);
                 }
+                ClientReply::WelcomeV2 {
+                    node,
+                    features,
+                    window,
+                } => {
+                    buf.put_u8(4);
+                    node.encode(buf);
+                    put_varint(buf, *features);
+                    put_varint(buf, u64::from(*window));
+                }
+                ClientReply::ResponseV2 {
+                    session,
+                    seq,
+                    from_replica,
+                    payload,
+                } => {
+                    buf.put_u8(5);
+                    put_varint(buf, *session);
+                    seq.encode(buf);
+                    from_replica.encode(buf);
+                    put_bytes(buf, payload);
+                }
+                ClientReply::ErrorV2 { seq, code, detail } => {
+                    buf.put_u8(6);
+                    seq.encode(buf);
+                    code.encode(buf);
+                    detail.encode(buf);
+                }
+                ClientReply::Redirect { seq, group, to } => {
+                    buf.put_u8(7);
+                    seq.encode(buf);
+                    group.encode(buf);
+                    to.encode(buf);
+                }
+                ClientReply::CreditGrant { window } => {
+                    buf.put_u8(8);
+                    put_varint(buf, u64::from(*window));
+                }
             }
         }
 
@@ -1711,6 +1949,30 @@ pub mod client {
                 }),
                 3 => Ok(ClientReply::Pong {
                     token: super::get_varint(buf)?,
+                }),
+                4 => Ok(ClientReply::WelcomeV2 {
+                    node: NodeId::decode(buf)?,
+                    features: get_varint(buf)?,
+                    window: get_varint(buf)? as u32,
+                }),
+                5 => Ok(ClientReply::ResponseV2 {
+                    session: get_varint(buf)?,
+                    seq: RequestId::decode(buf)?,
+                    from_replica: NodeId::decode(buf)?,
+                    payload: get_bytes(buf)?,
+                }),
+                6 => Ok(ClientReply::ErrorV2 {
+                    seq: RequestId::decode(buf)?,
+                    code: ErrorCode::decode(buf)?,
+                    detail: String::decode(buf)?,
+                }),
+                7 => Ok(ClientReply::Redirect {
+                    seq: RequestId::decode(buf)?,
+                    group: RingId::decode(buf)?,
+                    to: NodeId::decode(buf)?,
+                }),
+                8 => Ok(ClientReply::CreditGrant {
+                    window: get_varint(buf)? as u32,
                 }),
                 tag => Err(WireError::BadTag {
                     context: "client wire reply",
@@ -1755,6 +2017,58 @@ pub mod client {
                 reason: "unknown group".to_string(),
             });
             rt(ClientReply::Pong { token: 0 });
+        }
+
+        #[test]
+        fn client_protocol_v2_round_trips() {
+            rt(ClientMsg::HelloV2 {
+                client: ClientId::new(77),
+                features: FEAT_ALL,
+            });
+            rt(ClientMsg::RequestV2 {
+                session: 5,
+                seq: RequestId::new(9),
+                ack: 7,
+                group: RingId::new(1),
+                cmd: Bytes::from_static(b"put k v"),
+            });
+            rt(ClientMsg::RequestV2 {
+                session: u64::MAX,
+                seq: RequestId::new(1),
+                ack: 0,
+                group: RingId::new(2),
+                cmd: Bytes::new(),
+            });
+            rt(ClientReply::WelcomeV2 {
+                node: NodeId::new(3),
+                features: FEAT_PIPELINE | FEAT_EXACTLY_ONCE,
+                window: 64,
+            });
+            rt(ClientReply::ResponseV2 {
+                session: 5,
+                seq: RequestId::new(9),
+                from_replica: NodeId::new(2),
+                payload: Bytes::from_static(b"\x00=v"),
+            });
+            for code in [
+                ErrorCode::HelloRequired,
+                ErrorCode::UnknownGroup,
+                ErrorCode::NotServing,
+                ErrorCode::Shedding,
+                ErrorCode::Internal,
+            ] {
+                rt(ClientReply::ErrorV2 {
+                    seq: RequestId::new(10),
+                    code,
+                    detail: "nope".to_string(),
+                });
+            }
+            rt(ClientReply::Redirect {
+                seq: RequestId::new(11),
+                group: RingId::new(2),
+                to: NodeId::new(1),
+            });
+            rt(ClientReply::CreditGrant { window: 128 });
         }
 
         #[test]

@@ -189,12 +189,14 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         (
             any::<u32>(),
             any::<u64>(),
+            any::<u64>(),
             any::<u32>(),
             proptest::collection::vec(any::<u8>(), 0..128)
         )
-            .prop_map(|(c, q, n, p)| Msg::Client(ClientMsg::Response {
+            .prop_map(|(c, q, s, n, p)| Msg::Client(ClientMsg::Response {
                 client: ClientId::new(c),
                 client_seq: RequestId::new(q),
+                session: s,
                 from_replica: NodeId::new(n),
                 payload: p.into(),
             })),
@@ -209,12 +211,16 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
         any::<u32>(),
         any::<u64>(),
         any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
         proptest::collection::vec(any::<u8>(), 0..128),
     )
-        .prop_map(|(c, q, n, cmd)| Envelope {
+        .prop_map(|(c, q, n, session, ack, cmd)| Envelope {
             client: ClientId::new(c),
             req: RequestId::new(q),
             reply_to: NodeId::new(n),
+            session,
+            ack,
             cmd: cmd.into(),
         })
 }
@@ -242,6 +248,26 @@ fn arb_client_wire_msg() -> impl Strategy<Value = wire::client::ClientMsg> {
                 cmd: cmd.into(),
             }),
         any::<u64>().prop_map(|token| wire::client::ClientMsg::Ping { token }),
+        (any::<u32>(), any::<u64>()).prop_map(|(c, f)| wire::client::ClientMsg::HelloV2 {
+            client: ClientId::new(c),
+            features: f,
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(
+                |(session, seq, ack, g, cmd)| wire::client::ClientMsg::RequestV2 {
+                    session,
+                    seq: RequestId::new(seq),
+                    ack,
+                    group: RingId::new(g),
+                    cmd: cmd.into(),
+                }
+            ),
     ]
 }
 
@@ -267,6 +293,35 @@ fn arb_client_wire_reply() -> impl Strategy<Value = wire::client::ClientReply> {
             }
         }),
         any::<u64>().prop_map(|token| wire::client::ClientReply::Pong { token }),
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(n, f, w)| {
+            wire::client::ClientReply::WelcomeV2 {
+                node: NodeId::new(n),
+                features: f,
+                window: w,
+            }
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(
+                |(session, seq, n, payload)| wire::client::ClientReply::ResponseV2 {
+                    session,
+                    seq: RequestId::new(seq),
+                    from_replica: NodeId::new(n),
+                    payload: payload.into(),
+                }
+            ),
+        (any::<u64>(), any::<u16>(), any::<u32>()).prop_map(|(seq, g, n)| {
+            wire::client::ClientReply::Redirect {
+                seq: RequestId::new(seq),
+                group: RingId::new(g),
+                to: NodeId::new(n),
+            }
+        }),
+        any::<u32>().prop_map(|w| wire::client::ClientReply::CreditGrant { window: w }),
     ]
 }
 
@@ -303,12 +358,15 @@ proptest! {
     #[test]
     fn envelope_round_trips(
         c in any::<u32>(), q in any::<u64>(), n in any::<u32>(),
+        session in any::<u64>(), ack in any::<u64>(),
         cmd in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
         let e = Envelope {
             client: ClientId::new(c),
             req: RequestId::new(q),
             reply_to: NodeId::new(n),
+            session,
+            ack,
             cmd: cmd.into(),
         };
         let mut b = e.to_bytes();

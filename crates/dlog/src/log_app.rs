@@ -174,12 +174,12 @@ mod tests {
     use common::ids::{ClientId, NodeId, RequestId};
 
     fn env(cmd: &LogCommand) -> Envelope {
-        Envelope {
-            client: ClientId::new(1),
-            req: RequestId::new(1),
-            reply_to: NodeId::new(0),
-            cmd: cmd.to_bytes(),
-        }
+        Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(1),
+            NodeId::new(0),
+            cmd.to_bytes(),
+        )
     }
 
     fn exec(app: &mut DlogApp, cmd: LogCommand) -> LogResponse {

@@ -137,12 +137,12 @@ mod tests {
     use common::ids::{ClientId, NodeId, RequestId};
 
     fn env(req: u64, size: usize) -> Envelope {
-        Envelope {
-            client: ClientId::new(1),
-            req: RequestId::new(req),
-            reply_to: NodeId::new(9),
-            cmd: Bytes::from(vec![0u8; size]),
-        }
+        Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(req),
+            NodeId::new(9),
+            Bytes::from(vec![0u8; size]),
+        )
     }
 
     #[test]

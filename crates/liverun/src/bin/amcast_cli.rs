@@ -26,6 +26,7 @@ fn usage() -> &'static str {
     "usage: amcast-cli --config FILE [--client ID] COMMAND
 commands (mrpstore):
   put KEY VALUE | update KEY VALUE | get KEY | del KEY | scan FROM [TO]
+  add KEY [DELTA]   # exactly-once counter increment (protocol v2 sessions)
 commands (dlog):
   append LOG VALUE | multi-append LOG,LOG,... VALUE | read LOG POS"
 }
@@ -66,9 +67,12 @@ fn run(args: Vec<String>) -> Result<String, String> {
     let text = std::fs::read_to_string(&config_path)
         .map_err(|e| format!("cannot read {config_path}: {e}"))?;
     let config = DeploymentConfig::parse(&text).map_err(|e| e.to_string())?;
+    // Aggressive retries are safe under protocol v2: the replicated
+    // session table deduplicates re-sent commands.
     let opts = ClientOptions {
         timeout: Duration::from_secs(10),
         retry_every: Duration::from_secs(2),
+        ..ClientOptions::default()
     };
     let id = ClientId::new(client_id);
 
@@ -79,7 +83,7 @@ fn run(args: Vec<String>) -> Result<String, String> {
             .ok_or_else(|| usage().to_string())
     };
     match cmd.as_str() {
-        "put" | "update" | "get" | "del" | "scan" => {
+        "put" | "update" | "get" | "del" | "scan" | "add" => {
             let mut store = StoreClient::connect(&config, id, opts).map_err(|e| e.to_string())?;
             match cmd.as_str() {
                 "put" => {
@@ -101,6 +105,16 @@ fn run(args: Vec<String>) -> Result<String, String> {
                 "del" => {
                     let r = store.delete(arg(1)?).map_err(|e| e.to_string())?;
                     Ok(format!("{r:?}"))
+                }
+                "add" => {
+                    // Non-idempotent on purpose: the session layer's
+                    // exactly-once dedup is what makes it safe to retry.
+                    let delta: u64 = match rest.get(2) {
+                        Some(v) => v.parse().map_err(|_| usage().to_string())?,
+                        None => 1,
+                    };
+                    let v = store.add(arg(1)?, delta).map_err(|e| e.to_string())?;
+                    Ok(v.to_string())
                 }
                 _ => {
                     let to = rest.get(2).map(String::as_str).unwrap_or("");

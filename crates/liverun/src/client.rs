@@ -1,14 +1,30 @@
-//! The live network client.
+//! The live network client: protocol v2, pipelined, exactly-once.
 //!
-//! A [`LiveClient`] opens framed-TCP sessions to every serving node
+//! A [`LiveClient`] opens framed-TCP connections to every serving node
 //! (replicas answer clients *directly*, like the paper's UDP responses —
 //! so the client must be reachable from any replica that may execute its
-//! commands), routes each request to a proposer of the target group, and
-//! matches replies by sequence number. Replies may arrive out of order
-//! and duplicated; unanswered requests are re-sent, so commands should be
-//! idempotent or tolerate re-execution (the paper's client model).
+//! commands), performs the v2 handshake on each, and runs every command
+//! under one replicated **session**:
+//!
+//! * the session is opened through the ordered command stream itself
+//!   (on the deployment's global ring), so its id is unique by
+//!   construction — no wall-clock sequence base, no client-side entropy;
+//! * requests carry `(session, seq)`; replicas deduplicate inside the
+//!   deterministic state machine and answer retries from a reply cache,
+//!   so the client's failover re-send is **safe by design** even for
+//!   non-idempotent commands;
+//! * replies echo the session id, so a straggler answer from an earlier
+//!   client incarnation can never be mis-matched;
+//! * up to `window` requests ride in flight concurrently (credit granted
+//!   by the server at handshake, resizable via `CreditGrant`), and
+//!   completions surface out of submission order.
+//!
+//! The reply-matching and window logic lives in the sans-IO
+//! [`SessionCore`]; [`LiveClient`] wraps it with sockets, retries,
+//! keep-alives and blocking conveniences ([`LiveClient::request`],
+//! [`LiveClient::request_fanout`], [`LiveClient::request_from`]).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -17,16 +33,29 @@ use bytes::Bytes;
 use common::error::{Error, Result};
 use common::ids::{ClientId, NodeId, PartitionId, RequestId, RingId};
 use common::transport::{encode_frame, FrameBuf};
-use common::wire::client::{ClientMsg, ClientReply};
+use common::value::SESSION_CTL;
+use common::wire::client::{ClientMsg, ClientReply, ErrorCode, FEAT_ALL};
+use common::wire::Wire;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use multiring::session::{
+    parse_open_reply, parse_reply, SessionCtl, ST_OK, ST_STALE, ST_UNKNOWN_SESSION,
+    ST_WINDOW_EXCEEDED,
+};
 
 /// How a client finds and talks to a deployment.
 #[derive(Clone, Debug)]
 pub struct ClientOptions {
     /// Give up on a request after this long.
     pub timeout: Duration,
-    /// Re-send an unanswered request this often.
+    /// Re-send an unanswered request this often (safe: retries are
+    /// deduplicated server-side).
     pub retry_every: Duration,
+    /// Requests the client *wants* to keep in flight; the effective
+    /// window is capped by the server's credit grant.
+    pub window: usize,
+    /// Session TTL requested at open: how long the session may sit idle
+    /// (no requests, no keep-alives) before servers expire it.
+    pub session_ttl: Duration,
 }
 
 impl Default for ClientOptions {
@@ -34,30 +63,334 @@ impl Default for ClientOptions {
         ClientOptions {
             timeout: Duration::from_secs(10),
             retry_every: Duration::from_secs(1),
+            window: 64,
+            session_ttl: Duration::from_secs(30),
         }
     }
 }
 
-/// A connected client.
+/// One finished request: every reply that completed it, in arrival
+/// order (one per answering replica for fan-out operations).
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The request's per-session sequence number.
+    pub seq: u64,
+    /// `(replica, service payload)` per reply that counted.
+    pub replies: Vec<(NodeId, Bytes)>,
+}
+
+/// What [`SessionCore::on_reply`] wants the transport driver to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Action {
+    /// Nothing; keep pumping.
+    None,
+    /// A completion is ready to take.
+    Completed(u64),
+    /// The session is gone server-side (expired/evicted); re-open and
+    /// re-submit in-flight requests.
+    SessionLost,
+    /// Re-send `seq` to `to` now (server redirect).
+    Resend(u64, NodeId),
+    /// The server rejected `seq` outright; fail it.
+    Failed(u64, ErrorCode, String),
+}
+
+/// One in-flight request.
+#[derive(Clone, Debug)]
+pub(crate) struct Inflight {
+    /// The multicast group the command targets.
+    pub group: RingId,
+    /// The encoded service command (kept for re-sends).
+    pub cmd: Bytes,
+    /// Partitions that must answer before the request completes; empty
+    /// means the first reply completes it (single-partition rule).
+    pub need: Vec<PartitionId>,
+    /// Complete only on a reply from this specific replica (used to
+    /// observe a recovered replica's state).
+    pub want_replica: Option<NodeId>,
+    /// Replicas that already answered (dedup for fan-out counting).
+    pub answered: HashSet<NodeId>,
+    /// Partitions that answered so far.
+    pub parts: HashSet<PartitionId>,
+    /// Accepted replies (status-stripped service payloads).
+    pub replies: Vec<(NodeId, Bytes)>,
+    /// Last (re-)send time.
+    pub last_sent: Instant,
+    /// Rotates through the group's proposer candidates on re-sends.
+    pub route_pos: usize,
+}
+
+/// The sans-IO session state machine: seq allocation, window accounting,
+/// reply matching (with session echo filtering), out-of-order completion
+/// and cumulative-ack tracking. No sockets, no clocks beyond the
+/// instants the driver passes in — unit-testable in isolation.
+pub(crate) struct SessionCore {
+    /// The replica-assigned session id; 0 until the open completes.
+    pub session: u64,
+    /// Effective window (server grant, capped by the client's wish).
+    pub window: usize,
+    /// The client's wish (grants are clamped to it).
+    wanted_window: usize,
+    /// Next per-session sequence number to allocate (starts at 1).
+    next_seq: u64,
+    /// Highest seq such that all seqs ≤ it completed (reported to
+    /// replicas as the cache-prune ack).
+    pub acked: u64,
+    /// Completed seqs above `acked` (out-of-order completions).
+    done_above_ack: BTreeSet<u64>,
+    /// In-flight requests by seq.
+    pub inflight: BTreeMap<u64, Inflight>,
+    /// Finished requests not yet taken by the caller.
+    ready: VecDeque<Completion>,
+    /// Requests that failed with a server error, by seq.
+    failed: HashMap<u64, (ErrorCode, String)>,
+}
+
+impl SessionCore {
+    pub(crate) fn new(wanted_window: usize) -> Self {
+        SessionCore {
+            session: 0,
+            window: wanted_window.max(1),
+            wanted_window: wanted_window.max(1),
+            next_seq: 1,
+            acked: 0,
+            done_above_ack: BTreeSet::new(),
+            inflight: BTreeMap::new(),
+            ready: VecDeque::new(),
+            failed: HashMap::new(),
+        }
+    }
+
+    /// Adopts a freshly opened session id. In-flight requests (submitted
+    /// against a lost session) **keep their sequence numbers** — callers
+    /// already hold them as correlation handles, so renumbering would
+    /// detach completions from the requests they answer. The new
+    /// session's ack floor starts just below the oldest in-flight seq
+    /// (the skipped-over prefix was never allocated in this session, so
+    /// the cumulative ack must not wait for it).
+    pub(crate) fn adopt_session(&mut self, session: u64) {
+        self.session = session;
+        self.acked = match self.inflight.keys().next() {
+            Some(first) => first - 1,
+            None => self.next_seq - 1,
+        };
+        // Seqs between surviving in-flight requests that already
+        // finished (completed or abandoned) stay marked done, or the
+        // cumulative ack would wait forever for seqs this session will
+        // never execute.
+        self.done_above_ack = (self.acked + 1..self.next_seq)
+            .filter(|s| !self.inflight.contains_key(s))
+            .collect();
+    }
+
+    /// True when another request fits in the window.
+    pub(crate) fn has_capacity(&self) -> bool {
+        self.inflight.len() < self.window.max(1)
+    }
+
+    /// Allocates a seq and registers the in-flight entry. The caller
+    /// checks [`SessionCore::has_capacity`] first (submitting beyond the
+    /// window is allowed but the server may refuse the overhang).
+    pub(crate) fn begin(
+        &mut self,
+        group: RingId,
+        cmd: Bytes,
+        need: Vec<PartitionId>,
+        want_replica: Option<NodeId>,
+        now: Instant,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight.insert(
+            seq,
+            Inflight {
+                group,
+                cmd,
+                need,
+                want_replica,
+                answered: HashSet::new(),
+                parts: HashSet::new(),
+                replies: Vec::new(),
+                last_sent: now,
+                route_pos: 0,
+            },
+        );
+        seq
+    }
+
+    fn mark_done(&mut self, seq: u64) {
+        self.done_above_ack.insert(seq);
+        while self.done_above_ack.remove(&(self.acked + 1)) {
+            self.acked += 1;
+        }
+    }
+
+    /// Abandons an in-flight request (caller timeout). The seq is marked
+    /// done so the cumulative ack keeps advancing — which also tells
+    /// replicas to treat any late delivery of it as stale (at-most-once
+    /// for timed-out requests).
+    pub(crate) fn abandon(&mut self, seq: u64) {
+        if self.inflight.remove(&seq).is_some() {
+            self.mark_done(seq);
+        }
+    }
+
+    /// Feeds one server frame; returns what the driver should do.
+    pub(crate) fn on_reply(
+        &mut self,
+        reply: &ClientReply,
+        replica_partitions: &HashMap<NodeId, PartitionId>,
+    ) -> Action {
+        match reply {
+            ClientReply::WelcomeV2 { window, .. } | ClientReply::CreditGrant { window } => {
+                // The server's grant is authoritative, the client's wish
+                // the ceiling.
+                self.window = (*window as usize).clamp(1, self.wanted_window);
+                Action::None
+            }
+            ClientReply::ResponseV2 {
+                session,
+                seq,
+                from_replica,
+                payload,
+            } => {
+                if *session == SESSION_CTL || *session != self.session {
+                    // Control replies are handled by the driver's open
+                    // path; anything from a different session is a
+                    // straggler of an earlier incarnation — the exact
+                    // mis-match the v1 wall-clock seq base papered over.
+                    return Action::None;
+                }
+                let raw = seq.raw();
+                let Some((status, body)) = parse_reply(payload) else {
+                    return Action::None;
+                };
+                match status {
+                    ST_OK => self.on_ok(raw, *from_replica, body, replica_partitions),
+                    ST_UNKNOWN_SESSION if self.inflight.contains_key(&raw) => Action::SessionLost,
+                    ST_WINDOW_EXCEEDED | ST_STALE => Action::None,
+                    _ => Action::None,
+                }
+            }
+            ClientReply::Redirect { seq, to, .. } => {
+                if self.inflight.contains_key(&seq.raw()) {
+                    Action::Resend(seq.raw(), *to)
+                } else {
+                    Action::None
+                }
+            }
+            ClientReply::ErrorV2 { seq, code, detail } => {
+                let raw = seq.raw();
+                if self.inflight.remove(&raw).is_some() {
+                    self.mark_done(raw);
+                    // Bounded: pipelined callers that never query
+                    // failures (poll_reply-only loops) must not leak one
+                    // entry per rejection for the process lifetime.
+                    if self.failed.len() >= 1024 {
+                        self.failed.clear();
+                    }
+                    self.failed.insert(raw, (*code, detail.clone()));
+                    Action::Failed(raw, *code, detail.clone())
+                } else {
+                    Action::None
+                }
+            }
+            // v1 frames and pongs carry nothing for a v2 session.
+            _ => Action::None,
+        }
+    }
+
+    fn on_ok(
+        &mut self,
+        seq: u64,
+        from: NodeId,
+        body: Bytes,
+        replica_partitions: &HashMap<NodeId, PartitionId>,
+    ) -> Action {
+        let Some(req) = self.inflight.get_mut(&seq) else {
+            return Action::None; // duplicate after completion
+        };
+        if !req.answered.insert(from) {
+            return Action::None; // duplicate reply from the same replica
+        }
+        req.replies.push((from, body));
+        if let Some(p) = replica_partitions.get(&from) {
+            req.parts.insert(*p);
+        }
+        let done = match (&req.want_replica, req.need.is_empty()) {
+            (Some(want), _) => from == *want,
+            (None, true) => true,
+            (None, false) => req.need.iter().all(|p| req.parts.contains(p)),
+        };
+        if !done {
+            return Action::None;
+        }
+        let req = self.inflight.remove(&seq).expect("checked above");
+        self.mark_done(seq);
+        self.ready.push_back(Completion {
+            seq,
+            replies: req.replies,
+        });
+        Action::Completed(seq)
+    }
+
+    /// Takes the oldest finished request, if any.
+    pub(crate) fn take_ready(&mut self) -> Option<Completion> {
+        self.ready.pop_front()
+    }
+
+    /// Takes the completion for one specific seq, if finished.
+    pub(crate) fn take_seq(&mut self, seq: u64) -> Option<Completion> {
+        let at = self.ready.iter().position(|c| c.seq == seq)?;
+        self.ready.remove(at)
+    }
+
+    /// The recorded failure for `seq`, if the server rejected it.
+    pub(crate) fn take_failure(&mut self, seq: u64) -> Option<(ErrorCode, String)> {
+        self.failed.remove(&seq)
+    }
+
+    /// In-flight seqs due for a re-send.
+    pub(crate) fn due_for_retry(&self, now: Instant, every: Duration) -> Vec<u64> {
+        self.inflight
+            .iter()
+            .filter(|(_, r)| now.duration_since(r.last_sent) >= every)
+            .map(|(seq, _)| *seq)
+            .collect()
+    }
+}
+
+/// A connected v2 client.
 pub struct LiveClient {
     id: ClientId,
     opts: ClientOptions,
     addrs: HashMap<NodeId, SocketAddr>,
     conns: HashMap<NodeId, TcpStream>,
+    /// Per-node reconnect backoff: no dial attempts before the marked
+    /// instant. Keeps the retry path fast while a node is down — a
+    /// blocking dial loop here would throttle reply consumption below
+    /// the retry rate and wedge the whole pipeline.
+    down_until: HashMap<NodeId, Instant>,
     replies_tx: Sender<ClientReply>,
     replies_rx: Receiver<ClientReply>,
     /// Candidate proposers per multicast group, in preference order.
     route: HashMap<RingId, Vec<NodeId>>,
-    /// Partition each server replica belongs to (for fan-out completion).
+    /// Partition each server replica belongs to (fan-out completion).
     replica_partitions: HashMap<NodeId, PartitionId>,
-    next_seq: u64,
+    /// The group session control commands ride on — one every replica
+    /// subscribes to (the deployment's global ring).
+    session_group: RingId,
+    core: SessionCore,
+    /// Correlation tokens for session-control commands.
+    next_token: u64,
+    last_keepalive: Instant,
 }
 
 impl LiveClient {
-    /// Connects to every server and opens a session on each.
-    ///
-    /// `route` names the proposer per group; `replica_partitions` is used
-    /// to decide when multi-partition operations are complete.
+    /// Connects to every server, performs the v2 handshake on each, and
+    /// prepares (but does not yet open) the exactly-once session —
+    /// sessions open lazily on the first request, on `session_group`
+    /// (the ring every replica subscribes to).
     ///
     /// Connecting is best-effort per server: a deployment with one node
     /// down still has quorum, so the client comes up as long as *some*
@@ -71,33 +404,33 @@ impl LiveClient {
         servers: &[(NodeId, SocketAddr)],
         route: HashMap<RingId, Vec<NodeId>>,
         replica_partitions: HashMap<NodeId, PartitionId>,
+        session_group: RingId,
         opts: ClientOptions,
     ) -> Result<Self> {
         let (replies_tx, replies_rx) = unbounded();
-        // Distinct invocations (think one CLI call per command) must not
-        // reuse sequence numbers under the same client id, or a straggler
-        // reply to an earlier invocation's request could be mis-matched:
-        // start the sequence space at the current wall-clock microsecond.
-        let seq_base = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_micros() as u64)
-            .unwrap_or(1);
+        let window = opts.window;
         let mut client = LiveClient {
             id,
             opts,
             addrs: servers.iter().copied().collect(),
             conns: HashMap::new(),
+            down_until: HashMap::new(),
             replies_tx,
             replies_rx,
             route,
             replica_partitions,
-            next_seq: seq_base,
+            session_group,
+            core: SessionCore::new(window),
+            next_token: 0,
+            last_keepalive: Instant::now(),
         };
         let mut reached = 0usize;
         let mut last_err = None;
         let nodes: Vec<NodeId> = client.addrs.keys().copied().collect();
         for node in nodes {
-            match client.open_conn(node) {
+            // Patient initial dial: the deployment may still be binding
+            // its listeners.
+            match client.open_conn(node, 10) {
                 Ok(()) => reached += 1,
                 Err(e) => last_err = Some(e),
             }
@@ -113,45 +446,77 @@ impl LiveClient {
         self.id
     }
 
-    fn open_conn(&mut self, node: NodeId) -> Result<()> {
+    /// The open session's id (0 before the first request).
+    pub fn session(&self) -> u64 {
+        self.core.session
+    }
+
+    /// Diagnostics: `(session, in-flight count, lowest in-flight seq,
+    /// cumulative ack)`.
+    pub fn stats(&self) -> (u64, usize, Option<u64>, u64) {
+        (
+            self.core.session,
+            self.core.inflight.len(),
+            self.core.inflight.keys().next().copied(),
+            self.core.acked,
+        )
+    }
+
+    fn open_conn(&mut self, node: NodeId, attempts: u32) -> Result<()> {
         let addr = self
             .addrs
             .get(&node)
             .copied()
             .ok_or(Error::UnknownNode(node))?;
+        if let Some(until) = self.down_until.get(&node) {
+            if Instant::now() < *until {
+                return Err(Error::Timeout("node in reconnect backoff"));
+            }
+        }
         let mut last_err: Option<std::io::Error> = None;
-        for _ in 0..10 {
+        for attempt in 0..attempts.max(1) {
             match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
                 Ok(mut stream) => {
                     let _ = stream.set_nodelay(true);
-                    stream.write_all(&encode_frame(&ClientMsg::Hello { client: self.id }))?;
+                    stream.write_all(&encode_frame(&ClientMsg::HelloV2 {
+                        client: self.id,
+                        features: FEAT_ALL,
+                    }))?;
                     let reader = stream.try_clone()?;
                     spawn_reply_reader(reader, self.replies_tx.clone());
                     self.conns.insert(node, stream);
+                    self.down_until.remove(&node);
                     return Ok(());
                 }
                 Err(e) => {
                     last_err = Some(e);
-                    std::thread::sleep(Duration::from_millis(25));
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
                 }
             }
         }
+        // Back off: a dead node must fail *fast* on the retry path (its
+        // group mates take the traffic) instead of stalling the pump.
+        self.down_until
+            .insert(node, Instant::now() + Duration::from_millis(500));
         Err(Error::Io(last_err.expect("looped at least once")))
     }
 
-    /// Re-establishes the session to `node` (after a server restart).
+    /// Re-establishes the connection to `node` (after a server restart).
     ///
     /// # Errors
     ///
     /// Fails if the server cannot be reached.
     pub fn reconnect(&mut self, node: NodeId) -> Result<()> {
         self.conns.remove(&node);
-        self.open_conn(node)
+        self.down_until.remove(&node);
+        self.open_conn(node, 10)
     }
 
     fn send_to(&mut self, node: NodeId, msg: &ClientMsg) -> Result<()> {
         if !self.conns.contains_key(&node) {
-            self.open_conn(node)?;
+            self.open_conn(node, 1)?;
         }
         let frame = encode_frame(msg);
         let broken = self
@@ -162,7 +527,7 @@ impl LiveClient {
         if broken {
             // One reconnect attempt: the server may have restarted.
             self.conns.remove(&node);
-            self.open_conn(node)?;
+            self.open_conn(node, 1)?;
             self.conns
                 .get_mut(&node)
                 .expect("just connected")
@@ -171,16 +536,23 @@ impl LiveClient {
         Ok(())
     }
 
-    /// Sends `msg` to the first reachable proposer of `group` (members in
-    /// route order); returns which node took it.
-    fn send_routed(&mut self, group: RingId, msg: &ClientMsg) -> Result<NodeId> {
+    /// Sends `msg` to a proposer of `group`; `prefer` rotates through the
+    /// candidate list so retries fail over. Returns the node that took it.
+    fn send_routed(&mut self, group: RingId, prefer: usize, msg: &ClientMsg) -> Result<NodeId> {
         let candidates = self
             .route
             .get(&group)
             .cloned()
             .ok_or_else(|| Error::Config(format!("no proposer routed for group {group}")))?;
+        if candidates.is_empty() {
+            return Err(Error::Config(format!(
+                "no proposer routed for group {group}"
+            )));
+        }
+        let n = candidates.len();
         let mut last_err = None;
-        for node in candidates {
+        for i in 0..n {
+            let node = candidates[(prefer + i) % n];
             match self.send_to(node, msg) {
                 Ok(()) => return Ok(node),
                 Err(e) => last_err = Some(e),
@@ -190,53 +562,274 @@ impl LiveClient {
             .unwrap_or_else(|| Error::Config(format!("no proposer routed for group {group}"))))
     }
 
-    /// Submits `cmd` to `group` and waits for the first reply.
+    fn request_frame(&self, seq: u64, group: RingId, cmd: Bytes) -> ClientMsg {
+        ClientMsg::RequestV2 {
+            session: self.core.session,
+            seq: RequestId::new(seq),
+            ack: self.core.acked,
+            group,
+            cmd,
+        }
+    }
+
+    /// Ensures the exactly-once session is open, opening (or re-opening
+    /// after an expiry) it through the ordered stream if not.
+    fn ensure_session(&mut self, deadline: Instant) -> Result<()> {
+        if self.core.session != 0 {
+            return Ok(());
+        }
+        self.next_token += 1;
+        let token = self.next_token;
+        let open = SessionCtl::Open {
+            token,
+            ttl_ms: self.opts.session_ttl.as_millis() as u64,
+        }
+        .to_bytes();
+        let msg = ClientMsg::RequestV2 {
+            session: SESSION_CTL,
+            seq: RequestId::new(token),
+            ack: 0,
+            group: self.session_group,
+            cmd: open,
+        };
+        let mut prefer = 0usize;
+        self.send_routed(self.session_group, prefer, &msg)?;
+        let mut next_retry = Instant::now() + self.opts.retry_every;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Error::Timeout("session open"));
+            }
+            if now >= next_retry {
+                prefer += 1;
+                self.send_routed(self.session_group, prefer, &msg)?;
+                next_retry = now + self.opts.retry_every;
+            }
+            let wait = deadline
+                .min(next_retry)
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(50));
+            match self.replies_rx.recv_timeout(wait) {
+                Ok(ClientReply::ResponseV2 {
+                    session: SESSION_CTL,
+                    seq,
+                    payload,
+                    ..
+                }) if seq.raw() == token => {
+                    if let Some(id) = parse_open_reply(&payload) {
+                        self.core.adopt_session(id);
+                        self.last_keepalive = Instant::now();
+                        // Re-send surviving in-flight requests under the
+                        // new session (failover re-open path).
+                        let seqs: Vec<u64> = self.core.inflight.keys().copied().collect();
+                        for seq in seqs {
+                            let _ = self.resend(seq);
+                        }
+                        return Ok(());
+                    }
+                }
+                Ok(other) => {
+                    let _ = self.core.on_reply(&other, &self.replica_partitions);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(Error::Timeout("all client connections closed"));
+                }
+            }
+        }
+    }
+
+    fn resend(&mut self, seq: u64) -> Result<()> {
+        let Some(req) = self.core.inflight.get(&seq) else {
+            return Ok(());
+        };
+        let (group, cmd, pos) = (req.group, req.cmd.clone(), req.route_pos);
+        let frame = self.request_frame(seq, group, cmd);
+        let taken = self.send_routed(group, pos, &frame);
+        if let Some(req) = self.core.inflight.get_mut(&seq) {
+            req.last_sent = Instant::now();
+            req.route_pos = pos.wrapping_add(1);
+        }
+        taken.map(|_| ())
+    }
+
+    fn resend_to(&mut self, seq: u64, node: NodeId) {
+        let Some(req) = self.core.inflight.get(&seq) else {
+            return;
+        };
+        let frame = self.request_frame(seq, req.group, req.cmd.clone());
+        // Prefer the redirect target for this group from now on.
+        if let Some(candidates) = self.route.get_mut(&req.group) {
+            if let Some(at) = candidates.iter().position(|n| *n == node) {
+                candidates.swap(0, at);
+            }
+        }
+        if self.send_to(node, &frame).is_ok() {
+            if let Some(req) = self.core.inflight.get_mut(&seq) {
+                req.last_sent = Instant::now();
+                req.route_pos = 0;
+            }
+        }
+    }
+
+    /// One pump step: waits up to `wait` for a frame, then greedily
+    /// drains everything queued behind it (replies arrive in redundant
+    /// bursts — one per replica per retry — and consumption must always
+    /// outpace production or the pipeline wedges behind a growing
+    /// backlog), feeds the core, performs the resulting actions, and
+    /// fires due retries and keep-alives.
+    fn pump(&mut self, wait: Duration) -> Result<()> {
+        let mut first = true;
+        loop {
+            let reply = if first {
+                match self.replies_rx.recv_timeout(wait) {
+                    Ok(r) => r,
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(Error::Timeout("all client connections closed"));
+                    }
+                }
+            } else {
+                match self.replies_rx.try_recv() {
+                    Ok(r) => r,
+                    Err(_) => break,
+                }
+            };
+            first = false;
+            let action = self.core.on_reply(&reply, &self.replica_partitions);
+            match action {
+                Action::Resend(seq, to) => self.resend_to(seq, to),
+                Action::SessionLost => {
+                    // The session expired or was evicted: open a new
+                    // one; ensure_session re-sends the in-flight
+                    // requests (same seqs) under it.
+                    self.core.session = 0;
+                    let deadline = Instant::now() + self.opts.timeout;
+                    self.ensure_session(deadline)?;
+                }
+                Action::None | Action::Completed(_) | Action::Failed(..) => {}
+            }
+        }
+        let now = Instant::now();
+        for seq in self.core.due_for_retry(now, self.opts.retry_every) {
+            let _ = self.resend(seq);
+        }
+        if self.core.session != 0
+            && now.duration_since(self.last_keepalive) >= self.opts.session_ttl / 3
+        {
+            self.last_keepalive = now;
+            self.next_token += 1;
+            let msg = ClientMsg::RequestV2 {
+                session: SESSION_CTL,
+                seq: RequestId::new(self.next_token),
+                ack: 0,
+                group: self.session_group,
+                cmd: SessionCtl::KeepAlive {
+                    session: self.core.session,
+                }
+                .to_bytes(),
+            };
+            let _ = self.send_routed(self.session_group, 0, &msg);
+        }
+        Ok(())
+    }
+
+    fn submit_with(
+        &mut self,
+        group: RingId,
+        cmd: Bytes,
+        need: Vec<PartitionId>,
+        want_replica: Option<NodeId>,
+    ) -> Result<u64> {
+        let deadline = Instant::now() + self.opts.timeout;
+        self.ensure_session(deadline)?;
+        // Respect the credit window: drain completions until a slot
+        // frees (replies both free slots and advance the ack).
+        while !self.core.has_capacity() {
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout("client window full"));
+            }
+            self.pump(Duration::from_millis(10))?;
+        }
+        let seq = self
+            .core
+            .begin(group, cmd, need, want_replica, Instant::now());
+        self.resend(seq)?;
+        Ok(seq)
+    }
+
+    /// Fire-and-forget submit for pipelined callers: sends the request
+    /// and returns its sequence number without waiting. Completions
+    /// surface through [`LiveClient::poll_reply`], possibly out of
+    /// submission order. Blocks only while the credit window is full.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no proposer for `group` is reachable or the window stays
+    /// full past the configured timeout.
+    pub fn submit(&mut self, group: RingId, cmd: Bytes) -> Result<RequestId> {
+        self.submit_with(group, cmd, Vec::new(), None)
+            .map(RequestId::new)
+    }
+
+    /// The next completed request, if one finishes within `timeout`.
+    /// Returns the completing reply `(seq, replica, payload)`. Unlike
+    /// protocol v1 there are no duplicate completions to filter: each
+    /// submitted request completes exactly once.
+    pub fn poll_reply(&mut self, timeout: Duration) -> Option<(RequestId, NodeId, Bytes)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(c) = self.core.take_ready() {
+                let (replica, payload) = c.replies.into_iter().next()?;
+                return Some((RequestId::new(c.seq), replica, payload));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let wait = (deadline - now).min(Duration::from_millis(50));
+            if self.pump(wait).is_err() {
+                return None;
+            }
+        }
+    }
+
+    /// Blocks until `seq` finishes (or the deadline passes). A timed-out
+    /// request is abandoned: the cumulative ack advances past it, which
+    /// also marks any late delivery stale server-side (at-most-once for
+    /// timed-out requests).
+    fn wait_for(&mut self, seq: u64, context: &'static str) -> Result<Completion> {
+        let deadline = Instant::now() + self.opts.timeout;
+        loop {
+            if let Some(c) = self.core.take_seq(seq) {
+                return Ok(c);
+            }
+            if let Some((code, detail)) = self.core.take_failure(seq) {
+                return Err(Error::Config(format!(
+                    "server rejected request ({code:?}): {detail}"
+                )));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.core.abandon(seq);
+                return Err(Error::Timeout(context));
+            }
+            let wait = (deadline - now).min(Duration::from_millis(50));
+            self.pump(wait)?;
+        }
+    }
+
+    /// Submits `cmd` to `group` and waits for the first reply. Safe for
+    /// non-idempotent commands: retries and failover re-sends are
+    /// deduplicated by the replicated session table.
     ///
     /// # Errors
     ///
     /// Fails with [`Error::Timeout`] when no replica answers in time.
     pub fn request(&mut self, group: RingId, cmd: Bytes) -> Result<Bytes> {
-        self.request_fanout(group, cmd, &[])
-            .map(|mut replies| replies.pop().expect("at least one reply").1)
-    }
-
-    /// Fire-and-forget submit for pipelined clients: sends the request and
-    /// returns its sequence number without waiting. Match replies via
-    /// [`LiveClient::poll_reply`].
-    ///
-    /// # Errors
-    ///
-    /// Fails if the proposer for `group` cannot be reached.
-    pub fn submit(&mut self, group: RingId, cmd: Bytes) -> Result<RequestId> {
-        self.next_seq += 1;
-        let seq = RequestId::new(self.next_seq);
-        self.send_routed(group, &ClientMsg::Request { seq, group, cmd })?;
-        Ok(seq)
-    }
-
-    /// The next service response, if one arrives within `timeout`.
-    /// Replicas answer redundantly (one reply per replica of the
-    /// executing partition), so pipelined callers must ignore sequence
-    /// numbers they already completed.
-    pub fn poll_reply(&mut self, timeout: Duration) -> Option<(RequestId, NodeId, Bytes)> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            match self.replies_rx.recv_timeout(deadline - now) {
-                Ok(ClientReply::Response {
-                    seq,
-                    from_replica,
-                    payload,
-                }) => return Some((seq, from_replica, payload)),
-                Ok(_) => {}
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    return None;
-                }
-            }
-        }
+        let seq = self.submit_with(group, cmd, Vec::new(), None)?;
+        let c = self.wait_for(seq, "client request")?;
+        Ok(c.replies.into_iter().next().expect("completed").1)
     }
 
     /// Submits `cmd` to `group` and waits for a reply from one *specific*
@@ -248,45 +841,21 @@ impl LiveClient {
     /// Fails with [`Error::Timeout`] when `replica` does not answer in
     /// time.
     pub fn request_from(&mut self, group: RingId, cmd: Bytes, replica: NodeId) -> Result<Bytes> {
-        self.next_seq += 1;
-        let seq = RequestId::new(self.next_seq);
-        let msg = ClientMsg::Request { seq, group, cmd };
-        self.send_routed(group, &msg)?;
-
-        let deadline = Instant::now() + self.opts.timeout;
-        let mut next_retry = Instant::now() + self.opts.retry_every;
-        loop {
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(Error::Timeout("client request (specific replica)"));
-            }
-            if now >= next_retry {
-                self.send_routed(group, &msg)?;
-                next_retry = now + self.opts.retry_every;
-            }
-            let wait = deadline
-                .min(next_retry)
-                .saturating_duration_since(now)
-                .min(Duration::from_millis(50));
-            match self.replies_rx.recv_timeout(wait) {
-                Ok(ClientReply::Response {
-                    seq: got,
-                    from_replica,
-                    payload,
-                }) if got == seq && from_replica == replica => return Ok(payload),
-                Ok(_) => {}
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(Error::Timeout("all client connections closed"));
-                }
-            }
-        }
+        let seq = self.submit_with(group, cmd, Vec::new(), Some(replica))?;
+        let c = self.wait_for(seq, "client request (specific replica)")?;
+        let payload = c
+            .replies
+            .into_iter()
+            .find(|(n, _)| *n == replica)
+            .map(|(_, p)| p)
+            .expect("completed on the wanted replica");
+        Ok(payload)
     }
 
     /// Submits `cmd` to `group` and waits until every partition in
     /// `partitions` answered (pass an empty slice for "any one reply") —
     /// the completion rule of the paper's multi-partition scans (§7.2).
-    /// Returns `(replica, payload)` per answering partition.
+    /// Returns `(replica, payload)` per answering replica.
     ///
     /// # Errors
     ///
@@ -298,71 +867,25 @@ impl LiveClient {
         cmd: Bytes,
         partitions: &[PartitionId],
     ) -> Result<Vec<(NodeId, Bytes)>> {
-        self.next_seq += 1;
-        let seq = RequestId::new(self.next_seq);
-        let msg = ClientMsg::Request { seq, group, cmd };
-        self.send_routed(group, &msg)?;
-
-        let deadline = Instant::now() + self.opts.timeout;
-        let mut next_retry = Instant::now() + self.opts.retry_every;
-        let mut answered: HashSet<PartitionId> = HashSet::new();
-        let mut replied_replicas: HashSet<NodeId> = HashSet::new();
-        let mut replies: Vec<(NodeId, Bytes)> = Vec::new();
-        loop {
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(Error::Timeout("client request"));
-            }
-            if now >= next_retry {
-                // Unanswered: re-send (replicas may re-execute, as with
-                // the paper's retried UDP requests).
-                self.send_routed(group, &msg)?;
-                next_retry = now + self.opts.retry_every;
-            }
-            let wait = deadline
-                .min(next_retry)
-                .saturating_duration_since(now)
-                .min(Duration::from_millis(50));
-            match self.replies_rx.recv_timeout(wait) {
-                Ok(ClientReply::Response {
-                    seq: got,
-                    from_replica,
-                    payload,
-                }) => {
-                    if got != seq || !replied_replicas.insert(from_replica) {
-                        continue; // stale or duplicate reply
-                    }
-                    replies.push((from_replica, payload));
-                    if partitions.is_empty() {
-                        return Ok(replies);
-                    }
-                    if let Some(p) = self.replica_partitions.get(&from_replica) {
-                        answered.insert(*p);
-                    }
-                    if partitions.iter().all(|p| answered.contains(p)) {
-                        return Ok(replies);
-                    }
-                }
-                Ok(ClientReply::Error { seq: got, reason }) if got == seq => {
-                    return Err(Error::Config(format!("server rejected request: {reason}")));
-                }
-                Ok(_) => {} // Welcome / Pong / stale errors
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(Error::Timeout("all client connections closed"));
-                }
-            }
-        }
+        let seq = self.submit_with(group, cmd, partitions.to_vec(), None)?;
+        let c = self.wait_for(seq, "client request")?;
+        Ok(c.replies)
     }
 }
 
 fn spawn_reply_reader(mut stream: TcpStream, tx: Sender<ClientReply>) {
     std::thread::spawn(move || {
+        let dbg = std::env::var_os("MRP_DEBUG").is_some();
         let mut buf = FrameBuf::new();
         let mut chunk = [0u8; 64 * 1024];
         loop {
             match stream.read(&mut chunk) {
-                Ok(0) | Err(_) => return,
+                Ok(0) | Err(_) => {
+                    if dbg {
+                        eprintln!("[client reader] eof/err from {:?}", stream.peer_addr());
+                    }
+                    return;
+                }
                 Ok(n) => {
                     buf.extend(&chunk[..n]);
                     loop {
@@ -373,11 +896,220 @@ fn spawn_reply_reader(mut stream: TcpStream, tx: Sender<ClientReply>) {
                                 }
                             }
                             Ok(None) => break,
-                            Err(_) => return,
+                            Err(e) => {
+                                if dbg {
+                                    eprintln!(
+                                        "[client reader] decode error {e:?} from {:?}",
+                                        stream.peer_addr()
+                                    );
+                                }
+                                return;
+                            }
                         }
                     }
                 }
             }
         }
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiring::session::frame_ok;
+
+    fn resp(session: u64, seq: u64, from: u32, body: &'static [u8]) -> ClientReply {
+        ClientReply::ResponseV2 {
+            session,
+            seq: RequestId::new(seq),
+            from_replica: NodeId::new(from),
+            payload: frame_ok(&Bytes::from_static(body)),
+        }
+    }
+
+    fn parts() -> HashMap<NodeId, PartitionId> {
+        [
+            (NodeId::new(0), PartitionId::new(0)),
+            (NodeId::new(1), PartitionId::new(0)),
+            (NodeId::new(2), PartitionId::new(1)),
+            (NodeId::new(3), PartitionId::new(1)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn begin(core: &mut SessionCore, group: u16) -> u64 {
+        core.begin(
+            RingId::new(group),
+            Bytes::from_static(b"cmd"),
+            Vec::new(),
+            None,
+            Instant::now(),
+        )
+    }
+
+    /// The satellite regression for the deleted wall-clock `seq_base`
+    /// hack: a straggler reply from a *previous invocation* (same client
+    /// id, same seq number, different session) must never complete a new
+    /// invocation's request. Under v1 both invocations shared one
+    /// unstructured seq space, so only the wall-clock base kept them
+    /// apart; under v2 the session echo makes the filter structural.
+    #[test]
+    fn straggler_reply_from_previous_session_is_ignored() {
+        let mut core = SessionCore::new(8);
+        core.adopt_session(7); // this invocation's session
+        let seq = begin(&mut core, 0);
+        assert_eq!(seq, 1, "fresh sessions start their seq space at 1");
+
+        // A reply to the previous invocation's seq 1 (session 3) arrives
+        // late — same client id, same seq number.
+        let action = core.on_reply(&resp(3, 1, 0, b"stale"), &parts());
+        assert_eq!(action, Action::None);
+        assert!(core.take_ready().is_none(), "straggler must not complete");
+        assert!(core.inflight.contains_key(&1), "request still in flight");
+
+        // The genuine reply (session echo matches) completes it.
+        let action = core.on_reply(&resp(7, 1, 0, b"real"), &parts());
+        assert_eq!(action, Action::Completed(1));
+        let c = core.take_ready().expect("completed");
+        assert_eq!(c.replies[0].1, Bytes::from_static(b"real"));
+    }
+
+    #[test]
+    fn completions_surface_out_of_order_and_ack_is_cumulative() {
+        let mut core = SessionCore::new(8);
+        core.adopt_session(1);
+        let s1 = begin(&mut core, 0);
+        let s2 = begin(&mut core, 0);
+        let s3 = begin(&mut core, 0);
+        core.on_reply(&resp(1, s3, 0, b"c"), &parts());
+        core.on_reply(&resp(1, s2, 0, b"b"), &parts());
+        assert_eq!(core.take_ready().unwrap().seq, s3);
+        assert_eq!(core.take_ready().unwrap().seq, s2);
+        assert_eq!(core.acked, 0, "ack waits for the contiguous prefix");
+        core.on_reply(&resp(1, s1, 0, b"a"), &parts());
+        assert_eq!(core.acked, 3, "ack jumps over the out-of-order window");
+    }
+
+    #[test]
+    fn duplicate_replies_complete_once() {
+        let mut core = SessionCore::new(8);
+        core.adopt_session(1);
+        let seq = begin(&mut core, 0);
+        assert_eq!(
+            core.on_reply(&resp(1, seq, 0, b"x"), &parts()),
+            Action::Completed(seq)
+        );
+        // Redundant replica answers after completion: dropped.
+        assert_eq!(
+            core.on_reply(&resp(1, seq, 1, b"x"), &parts()),
+            Action::None
+        );
+        assert!(core.take_ready().is_some());
+        assert!(core.take_ready().is_none());
+    }
+
+    #[test]
+    fn fanout_completes_when_every_partition_answered() {
+        let mut core = SessionCore::new(8);
+        core.adopt_session(1);
+        let seq = core.begin(
+            RingId::new(2),
+            Bytes::from_static(b"scan"),
+            vec![PartitionId::new(0), PartitionId::new(1)],
+            None,
+            Instant::now(),
+        );
+        assert_eq!(
+            core.on_reply(&resp(1, seq, 0, b"p0"), &parts()),
+            Action::None
+        );
+        // Second replica of the same partition does not finish the scan.
+        assert_eq!(
+            core.on_reply(&resp(1, seq, 1, b"p0"), &parts()),
+            Action::None
+        );
+        assert_eq!(
+            core.on_reply(&resp(1, seq, 2, b"p1"), &parts()),
+            Action::Completed(seq)
+        );
+        let c = core.take_ready().unwrap();
+        assert_eq!(c.replies.len(), 3, "every counted reply is kept");
+    }
+
+    #[test]
+    fn window_capacity_and_credit_grants() {
+        let mut core = SessionCore::new(4);
+        core.adopt_session(1);
+        // The server narrows the window to 2.
+        core.on_reply(&ClientReply::CreditGrant { window: 2 }, &parts());
+        assert_eq!(core.window, 2);
+        begin(&mut core, 0);
+        begin(&mut core, 0);
+        assert!(!core.has_capacity());
+        // A grant beyond the client's wish is clamped.
+        core.on_reply(&ClientReply::CreditGrant { window: 1000 }, &parts());
+        assert_eq!(core.window, 4);
+    }
+
+    #[test]
+    fn unknown_session_reply_signals_reopen_and_resubmission() {
+        let mut core = SessionCore::new(8);
+        core.adopt_session(5);
+        let s1 = begin(&mut core, 0);
+        let s2 = begin(&mut core, 0);
+        let s3 = begin(&mut core, 0);
+        // s2 completes before the session is lost.
+        core.on_reply(&resp(5, s2, 0, b"done"), &parts());
+        let lost = ClientReply::ResponseV2 {
+            session: 5,
+            seq: RequestId::new(s1),
+            from_replica: NodeId::new(0),
+            payload: Bytes::from_static(&[ST_UNKNOWN_SESSION]),
+        };
+        assert_eq!(core.on_reply(&lost, &parts()), Action::SessionLost);
+        // Re-open: in-flight requests KEEP their seqs — callers hold
+        // them as correlation handles.
+        core.adopt_session(9);
+        assert_eq!(core.session, 9);
+        assert!(core.inflight.contains_key(&s1) && core.inflight.contains_key(&s3));
+        assert_eq!(
+            core.on_reply(&resp(9, s1, 0, b"again"), &parts()),
+            Action::Completed(s1)
+        );
+        // The already-finished s2 does not wedge the cumulative ack.
+        assert_eq!(
+            core.on_reply(&resp(9, s3, 0, b"tail"), &parts()),
+            Action::Completed(s3)
+        );
+        assert_eq!(core.acked, s3);
+    }
+
+    #[test]
+    fn abandoned_requests_unblock_the_cumulative_ack() {
+        let mut core = SessionCore::new(8);
+        core.adopt_session(1);
+        let s1 = begin(&mut core, 0);
+        let s2 = begin(&mut core, 0);
+        core.on_reply(&resp(1, s2, 0, b"b"), &parts());
+        assert_eq!(core.acked, 0);
+        core.abandon(s1); // caller timed out on s1
+        assert_eq!(core.acked, 2, "ack advances past the abandoned seq");
+    }
+
+    #[test]
+    fn redirect_targets_the_named_node() {
+        let mut core = SessionCore::new(8);
+        core.adopt_session(1);
+        let seq = begin(&mut core, 3);
+        let action = core.on_reply(
+            &ClientReply::Redirect {
+                seq: RequestId::new(seq),
+                group: RingId::new(3),
+                to: NodeId::new(2),
+            },
+            &parts(),
+        );
+        assert_eq!(action, Action::Resend(seq, NodeId::new(2)));
+    }
 }

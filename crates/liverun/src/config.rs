@@ -106,6 +106,9 @@ pub struct DeploymentConfig {
     pub batch_max: usize,
     /// Maximum time a non-empty batch waits before proposing.
     pub batch_delay: Duration,
+    /// Credit window granted to protocol-v2 clients at the handshake
+    /// (`client_window`, requests in flight per client).
+    pub client_window: u32,
     /// Replica checkpoint cadence (`None` disables checkpointing).
     pub checkpoint_interval: Option<Duration>,
     /// Directory for per-node write-ahead logs (`None` disables WALs).
@@ -206,6 +209,7 @@ impl DeploymentConfig {
             service,
             batch_max: deployment.int_or("batch_max", 64)? as usize,
             batch_delay: Duration::from_millis(deployment.int_or("batch_delay_ms", 2)?),
+            client_window: deployment.int_or("client_window", 64)? as u32,
             checkpoint_interval: {
                 let ms = deployment.int_or("checkpoint_ms", 0)?;
                 (ms > 0).then(|| Duration::from_millis(ms))

@@ -33,11 +33,16 @@
 //! gossiped failover hop.
 //!
 //! **Durability & restart-in-place.** With a `wal_dir`, a replica's
-//! decided log is group-committed through [`storage::Wal`] (guarded by
-//! the `<path>.lock` writer lock) and its applied [`CoordState`] is
-//! checkpointed every [`CoordServerConfig::checkpoint_every`] applied
-//! records via [`storage::CheckpointFile`]. Boot follows Zookeeper's
-//! snapshot + log-replay recipe: load the latest checkpoint, replay the
+//! decided log is group-committed through a rotated
+//! [`storage::wal::SegmentedWal`] (bounded `seg-*.wal` files under
+//! `amcoord-<id>.walseg/`, guarded by writer locks) and its applied
+//! [`CoordState`] is checkpointed every
+//! [`CoordServerConfig::checkpoint_every`] applied records via
+//! [`storage::CheckpointFile`]. Each successful periodic checkpoint also
+//! *prunes* the log: closed segments whose records all sit below the
+//! checkpoint cursor are deleted, so checkpoints bound replay **and**
+//! rotation bounds disk. Boot follows Zookeeper's snapshot + log-replay
+//! recipe: load the latest checkpoint, replay the
 //! WAL suffix at or beyond its cursor, spawn the ring member with the
 //! recovered delivery cursor, then — before serving clients — fetch a
 //! [`CoordOp::SnapshotRequest`] snapshot from a live peer and install it
@@ -71,7 +76,7 @@ use coord::{CoordState, Registry, RingConfig};
 use ringpaxos::live::{spawn_tcp_member, Delivery, LiveNode};
 use ringpaxos::options::RingOptions;
 use storage::checkpoint::CheckpointFile;
-use storage::wal::{lock_path, SyncPolicy, Wal};
+use storage::wal::{SegmentedWal, SyncPolicy};
 
 use crate::node::{spawn_listener, ListenerHandle};
 
@@ -89,10 +94,11 @@ pub struct CoordServerConfig {
     pub ring_addrs: Vec<SocketAddr>,
     /// Client-serving addresses, one per replica.
     pub client_addrs: Vec<SocketAddr>,
-    /// Directory for the replica's durable state — the decided-log WAL
-    /// (`amcoord-<id>.wal`) and the state checkpoint (`amcoord-<id>.ckpt`).
-    /// `None` disables durability (a restarted replica then relies
-    /// entirely on peer catch-up).
+    /// Directory for the replica's durable state — the rotated
+    /// decided-log segments (`amcoord-<id>.walseg/seg-*.wal`) and the
+    /// state checkpoint (`amcoord-<id>.ckpt`). `None` disables
+    /// durability (a restarted replica then relies entirely on peer
+    /// catch-up).
     pub wal_dir: Option<PathBuf>,
     /// How often the replica sweeps for lapsed sessions.
     pub session_check: Duration,
@@ -234,8 +240,15 @@ fn rejoin_ensemble_ring(
 
 /// Writes a checkpoint of the applied state if the cadence marked one
 /// due. Failures (full disk, torn rename target) leave `due` set so the
-/// next applied record retries; the WAL remains authoritative either way.
-fn checkpoint_if_due(durable: &mut ReplicaDurability, since_ckpt: &mut u64, due: &mut bool) {
+/// next applied record retries; the WAL remains authoritative either
+/// way. On success the decided log is pruned: segments wholly below the
+/// durably checkpointed cursor can never be needed by a replay again.
+fn checkpoint_if_due(
+    durable: &mut ReplicaDurability,
+    live: &LiveNode,
+    since_ckpt: &mut u64,
+    due: &mut bool,
+) {
     if !*due {
         return;
     }
@@ -250,6 +263,7 @@ fn checkpoint_if_due(durable: &mut ReplicaDurability, since_ckpt: &mut u64, due:
     {
         *since_ckpt = 0;
         *due = false;
+        live.prune_decided_log(durable.applied);
     }
 }
 
@@ -277,6 +291,9 @@ fn install_snapshot(
     };
     if let Some(slot) = &durable.ckpt {
         slot.save(peer_applied, bytes)?;
+        // The jump is durable: everything below it is checkpoint-covered,
+        // so rotated log segments below the new cursor can go.
+        live.prune_decided_log(InstanceId::new(peer_applied));
     }
     durable.state = state;
     durable.applied = InstanceId::new(peer_applied);
@@ -311,9 +328,12 @@ impl CoordServerHandle {
     }
 }
 
-/// The WAL path of replica `id` under `dir`.
-pub fn wal_path(dir: &std::path::Path, id: NodeId) -> PathBuf {
-    dir.join(format!("amcoord-{}.wal", id.raw()))
+/// The decided-log segment directory of replica `id` under `dir`. The
+/// log is rotated: bounded `seg-<first-instance>.wal` files, closed
+/// segments wholly below the checkpoint cursor deleted on each periodic
+/// checkpoint (checkpoints bound *replay*; rotation bounds *disk*).
+pub fn wal_seg_dir(dir: &std::path::Path, id: NodeId) -> PathBuf {
+    dir.join(format!("amcoord-{}.walseg", id.raw()))
 }
 
 /// The checkpoint path of replica `id` under `dir`.
@@ -503,15 +523,22 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
         ckpt: None,
         checkpoint_every: config.checkpoint_every,
     };
-    let wal = match &config.wal_dir {
+    let wal: Option<Box<dyn storage::wal::DecidedLog>> = match &config.wal_dir {
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
-            let wal_path = wal_path(dir, me);
-            // Take the writer lock *before* reading anything: a
-            // previous owner still flushing its final group commit
-            // would otherwise race our replay to the log tail (open
-            // refuses a live holder and steals only dead-pid locks).
-            let wal = Wal::open(&wal_path, SyncPolicy::EveryWrite)?;
+            let seg_dir = wal_seg_dir(dir, me);
+            // Open (taking the directory's writer lock) *before* reading
+            // anything: a previous owner still flushing its final group
+            // commit would otherwise race our replay to the log tail
+            // (open refuses a live holder and steals only dead-pid
+            // locks). Segments roll every `checkpoint_every` records so
+            // each periodic checkpoint retires roughly one segment.
+            let roll_every = if config.checkpoint_every > 0 {
+                config.checkpoint_every
+            } else {
+                4096
+            };
+            let wal = SegmentedWal::open(&seg_dir, SyncPolicy::EveryWrite, roll_every)?;
             let slot = CheckpointFile::new(checkpoint_path(dir, me));
             if let Some((cursor, bytes)) = slot.load() {
                 if let Ok(st) = CoordState::decode_snapshot(&mut bytes.clone()) {
@@ -520,7 +547,7 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
                 }
                 // A corrupt checkpoint falls back to whole-log replay.
             }
-            for rec in Wal::replay::<AcceptedEntry>(&wal_path)? {
+            for (_, rec) in SegmentedWal::replay::<AcceptedEntry>(&seg_dir)? {
                 if !apply_log_entry(
                     &mut durable.state,
                     &mut durable.applied,
@@ -531,7 +558,7 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
                 }
             }
             durable.ckpt = Some(slot);
-            Some(wal)
+            Some(Box::new(wal))
         }
         None => None,
     };
@@ -902,11 +929,11 @@ fn server_loop(
                     CoordCmd::decode(&mut raw).ok() // foreign payloads are cursor-only
                 });
                 let Some(cmd) = applied_op else {
-                    checkpoint_if_due(&mut durable, &mut since_ckpt, &mut next_ckpt_due);
+                    checkpoint_if_due(&mut durable, &live, &mut since_ckpt, &mut next_ckpt_due);
                     continue; // no-op / skip filler
                 };
                 let (result, events) = durable.state.apply(&cmd.op);
-                checkpoint_if_due(&mut durable, &mut since_ckpt, &mut next_ckpt_due);
+                checkpoint_if_due(&mut durable, &live, &mut since_ckpt, &mut next_ckpt_due);
                 track_sessions(
                     &cmd.op,
                     &result,
@@ -1226,13 +1253,27 @@ impl CoordEnsemble {
             .ok_or_else(|| Error::Config(format!("amcoordd replica {id} is not running")))?;
         handle.shutdown();
         if let Some(dir) = &self.configs[i].wal_dir {
-            let lock = lock_path(wal_path(dir, NodeId::new(id)));
+            // Both the directory-level lock and the active segment's
+            // per-file lock must be gone before a restart-in-place may
+            // race the dying replica for the log.
+            let seg_dir = wal_seg_dir(dir, NodeId::new(id));
+            let locks_left = || -> Vec<PathBuf> {
+                let mut left: Vec<PathBuf> = std::fs::read_dir(&seg_dir)
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|e| e == "lock"))
+                    .collect();
+                left.sort();
+                left
+            };
             let deadline = Instant::now() + Duration::from_secs(5);
-            while lock.exists() {
+            while !locks_left().is_empty() {
                 if Instant::now() >= deadline {
                     return Err(Error::Storage(format!(
-                        "amcoordd replica {id} wal lock {} survived shutdown",
-                        lock.display()
+                        "amcoordd replica {id} wal locks {:?} survived shutdown",
+                        locks_left()
                     )));
                 }
                 std::thread::sleep(Duration::from_millis(10));

@@ -46,6 +46,16 @@ fn build_app(config: &DeploymentConfig, node: NodeId) -> Result<Box<dyn ServiceA
         }
         ServiceKind::Echo => Box::new(multiring::EchoApp::new()),
     };
+    // Every service runs under the exactly-once session table (protocol
+    // v2); v1 traffic passes through it untouched. The reply-cache cap
+    // tracks the credit window so a full window always fits.
+    let sessions = Box::new(multiring::SessionApp::with_limits(
+        inner,
+        multiring::SessionLimits {
+            max_cached: (config.client_window as usize * 2).max(256),
+            ..multiring::SessionLimits::default()
+        },
+    ));
     match &config.wal_dir {
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
@@ -55,9 +65,9 @@ fn build_app(config: &DeploymentConfig, node: NodeId) -> Result<Box<dyn ServiceA
                 dir.join(format!("node-{}.wal", node.raw())),
                 SyncPolicy::EveryWrite,
             )?;
-            Ok(Box::new(DurableApp::new(inner, wal)))
+            Ok(Box::new(DurableApp::new(sessions, wal)))
         }
-        None => Ok(inner),
+        None => Ok(sessions),
     }
 }
 
@@ -140,9 +150,11 @@ pub fn start_node(
         .filter(|r| r.acceptors.contains(&node))
         .map(|r| r.id)
         .collect();
+    let member_of = config.member_of(node);
+    let session_ring = Some(config.global_ring()).filter(|r| member_of.contains(r));
     let setup = NodeSetup {
         me: node,
-        member_of: config.member_of(node),
+        member_of,
         acceptor_of,
         subscribe_to: config.subscribe_to(node),
         partition: spec.partition,
@@ -153,6 +165,8 @@ pub fn start_node(
         peer_addr: spec.peer_addr,
         client_addr: spec.client_addr,
         clock,
+        client_window: config.client_window,
+        session_ring,
     };
     spawn_node(setup, build_app(config, node)?, restart)
 }

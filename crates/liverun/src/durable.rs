@@ -98,6 +98,14 @@ impl ServiceApp for DurableApp {
     fn reset(&mut self) {
         self.inner.reset();
     }
+
+    fn session_probe(&self, session: u64) -> Option<(u64, u64)> {
+        self.inner.session_probe(session)
+    }
+
+    fn session_ids(&self) -> Vec<u64> {
+        self.inner.session_ids()
+    }
 }
 
 #[cfg(test)]
@@ -117,12 +125,12 @@ mod tests {
             Box::new(EchoApp::new()),
             Wal::open(&path, SyncPolicy::OsDecides).unwrap(),
         );
-        let env = Envelope {
-            client: ClientId::new(1),
-            req: RequestId::new(7),
-            reply_to: NodeId::new(2),
-            cmd: Bytes::from_static(b"cmd"),
-        };
+        let env = Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(7),
+            NodeId::new(2),
+            Bytes::from_static(b"cmd"),
+        );
         app.execute(RingId::new(3), &env);
         app.execute(RingId::new(4), &env);
         // Group commit: nothing on disk until the batch boundary.

@@ -31,9 +31,12 @@
 //! * [`batch`] — proposer-side request batching: many client commands
 //!   share one consensus value ([`common::value::Payload::Batch`]).
 //! * [`deployment`] — launch/kill/restart whole localhost deployments
-//!   in-process (tests, examples, benchmarks).
-//! * [`client`] / [`service`] — the framed-TCP network client and the
-//!   MRP-Store / dLog convenience layers on top.
+//!   in-process (tests, examples, benchmarks); wraps every service in
+//!   the [`multiring::SessionApp`] exactly-once session table.
+//! * [`client`] / [`service`] — the protocol-v2 network client
+//!   (pipelined sliding window, replicated exactly-once sessions,
+//!   failover re-send that cannot re-execute) and the typed MRP-Store /
+//!   dLog facades on top.
 //! * [`durable`] — the WAL decorator recording every delivered command
 //!   through [`storage::wal::Wal`].
 
@@ -47,7 +50,7 @@ pub mod node;
 pub mod service;
 
 pub use batch::{BatchOptions, Batcher};
-pub use client::{ClientOptions, LiveClient};
+pub use client::{ClientOptions, Completion, LiveClient};
 pub use config::{DeploymentConfig, ServiceKind};
 pub use coordsvc::{start_coord_server, CoordServerConfig, CoordServerHandle};
 pub use deployment::{connect_registry, start_node, Deployment};

@@ -35,6 +35,7 @@ use common::msg::{ClientMsg as SimClientMsg, Msg};
 use common::transport::{encode_frame, FrameBuf, PeerFrame, TimerHeap, WallClock};
 use common::value::Envelope;
 use common::wire::client::{ClientMsg, ClientReply};
+use common::wire::Wire;
 use coord::Registry;
 use multiring::{HostOptions, MultiRingHost, ServiceApp};
 use rand::{rngs::StdRng, SeedableRng};
@@ -60,14 +61,30 @@ pub fn client_of_node(node: NodeId) -> Option<ClientId> {
 pub(crate) enum Event {
     /// A protocol message from a peer (or from this node to itself).
     Peer(NodeId, Msg),
-    /// A client opened a session on this node.
-    ClientHello(ClientId, ClientWriter),
-    /// A client submitted a command.
+    /// A client said hello on this node; `v2` marks a protocol-v2
+    /// handshake (replies go out as `ResponseV2`/`ErrorV2` frames).
+    ClientHello(ClientId, ClientWriter, bool),
+    /// A client submitted a v1 command.
     ClientRequest {
         /// The submitting client.
         client: ClientId,
         /// Client-chosen sequence number.
         seq: RequestId,
+        /// Target multicast group.
+        group: RingId,
+        /// Service command bytes.
+        cmd: Bytes,
+    },
+    /// A client submitted a v2 (sessioned) command.
+    ClientRequestV2 {
+        /// The submitting client.
+        client: ClientId,
+        /// The exactly-once session (or a `SESSION_CTL` control frame).
+        session: u64,
+        /// Per-session sequence number.
+        seq: RequestId,
+        /// The client's cumulative reply ack (cache pruning).
+        ack: u64,
         /// Target multicast group.
         group: RingId,
         /// Service command bytes.
@@ -79,6 +96,13 @@ pub(crate) enum Event {
     Shutdown,
 }
 
+/// One client's connection state at the node loop: its reply writer and
+/// which protocol version the hello negotiated.
+pub(crate) struct ClientConn {
+    writer: ClientWriter,
+    v2: bool,
+}
+
 /// Write half of one client connection.
 ///
 /// Like peer sends, client replies must never block the node loop: a
@@ -86,7 +110,8 @@ pub(crate) enum Event {
 /// would stall the loop (and with it this node's heartbeats). Replies
 /// therefore go through a bounded queue to a dedicated writer thread;
 /// when the queue fills, replies are dropped — the same semantics as the
-/// paper's UDP responses, which clients already retry around.
+/// paper's UDP responses, which clients already retry around (v2 retries
+/// are deduplicated, so shedding stays safe).
 #[derive(Clone)]
 pub(crate) struct ClientWriter {
     tx: Sender<ClientReply>,
@@ -285,8 +310,11 @@ fn spawn_peer_reader(mut stream: TcpStream, tx: Sender<Event>) {
     });
 }
 
-/// Speaks the client protocol on one accepted client connection.
-fn spawn_client_reader(mut stream: TcpStream, me: NodeId, tx: Sender<Event>) {
+/// Speaks the client protocol (v1 and v2) on one accepted client
+/// connection. `window` is the credit this node grants v2 clients at
+/// the handshake.
+fn spawn_client_reader(mut stream: TcpStream, me: NodeId, window: u32, tx: Sender<Event>) {
+    use common::wire::client::{ErrorCode, FEAT_ALL};
     std::thread::spawn(move || {
         let _ = stream.set_nodelay(true);
         let writer = match stream.try_clone() {
@@ -305,10 +333,32 @@ fn spawn_client_reader(mut stream: TcpStream, me: NodeId, tx: Sender<Event>) {
                         match buf.try_next::<ClientMsg>() {
                             Ok(Some(ClientMsg::Hello { client })) => {
                                 session = Some(client);
-                                if tx.send(Event::ClientHello(client, writer.clone())).is_err() {
+                                if tx
+                                    .send(Event::ClientHello(client, writer.clone(), false))
+                                    .is_err()
+                                {
                                     return;
                                 }
                                 writer.send(&ClientReply::Welcome { node: me });
+                            }
+                            Ok(Some(ClientMsg::HelloV2 { client, features })) => {
+                                session = Some(client);
+                                if tx
+                                    .send(Event::ClientHello(client, writer.clone(), true))
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                                writer.send(&ClientReply::WelcomeV2 {
+                                    node: me,
+                                    features: features & FEAT_ALL,
+                                    window,
+                                });
+                                // Grants are decoupled from the hello: the
+                                // server may resize the window any time.
+                                // Exercise that path from day one so
+                                // clients must handle it.
+                                writer.send(&ClientReply::CreditGrant { window });
                             }
                             Ok(Some(ClientMsg::Request { seq, group, cmd })) => {
                                 let Some(client) = session else {
@@ -322,6 +372,35 @@ fn spawn_client_reader(mut stream: TcpStream, me: NodeId, tx: Sender<Event>) {
                                     .send(Event::ClientRequest {
                                         client,
                                         seq,
+                                        group,
+                                        cmd,
+                                    })
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                            Ok(Some(ClientMsg::RequestV2 {
+                                session: sid,
+                                seq,
+                                ack,
+                                group,
+                                cmd,
+                            })) => {
+                                let Some(client) = session else {
+                                    writer.send(&ClientReply::ErrorV2 {
+                                        seq,
+                                        code: ErrorCode::HelloRequired,
+                                        detail: "hello required before requests".into(),
+                                    });
+                                    continue;
+                                };
+                                if tx
+                                    .send(Event::ClientRequestV2 {
+                                        client,
+                                        session: sid,
+                                        seq,
+                                        ack,
                                         group,
                                         cmd,
                                     })
@@ -373,6 +452,12 @@ pub(crate) struct NodeSetup {
     pub client_addr: SocketAddr,
     /// Shared deployment clock.
     pub clock: WallClock,
+    /// Credit window granted to v2 clients at the handshake.
+    pub client_window: u32,
+    /// The ring session-control commands ride on (the deployment's
+    /// global ring), when this node is a member of it — the ring this
+    /// node proposes session expiries to. `None` disables the sweep.
+    pub session_ring: Option<RingId>,
 }
 
 /// Handle to one running live node.
@@ -430,10 +515,11 @@ pub(crate) fn spawn_node(
     let client_listener = TcpListener::bind(setup.client_addr)?;
     let tx_clients = tx.clone();
     let me = setup.me;
+    let window = setup.client_window.max(1);
     let client_listener = spawn_listener(
         client_listener,
         format!("amcast-clients-{}", setup.me.raw()),
-        move |stream| spawn_client_reader(stream, me, tx_clients.clone()),
+        move |stream| spawn_client_reader(stream, me, window, tx_clients.clone()),
     );
 
     let loop_tx = tx.clone();
@@ -484,8 +570,14 @@ fn node_loop(
         addrs: setup.peer_addrs,
         links: HashMap::new(),
     };
-    let mut clients: HashMap<ClientId, ClientWriter> = HashMap::new();
+    let mut clients: HashMap<ClientId, ClientConn> = HashMap::new();
     let mut batcher = Batcher::new(setup.batch_opts);
+    // Session-expiry sweep state: last refresh reading per session and
+    // when it last moved (the amcoord TTL-session shape applied to the
+    // app-level client sessions).
+    let mut session_seen: HashMap<u64, (u64, Instant)> = HashMap::new();
+    let mut next_session_sweep = Instant::now() + Duration::from_secs(1);
+    let mut expire_seq: u64 = 0;
     let mut timers: TimerHeap<Timer> = TimerHeap::new();
     let mut rng = StdRng::seed_from_u64(u64::from(me.raw()) ^ 0xa3c59ac2f1f0b7d1);
     let mut outbox: Vec<(NodeId, Msg)> = Vec::new();
@@ -538,8 +630,8 @@ fn node_loop(
                 Event::Peer(from, msg) => {
                     with_ctx!(|ctx| host.on_message(from, msg, &mut ctx));
                 }
-                Event::ClientHello(client, writer) => {
-                    clients.insert(client, writer);
+                Event::ClientHello(client, writer, v2) => {
+                    clients.insert(client, ClientConn { writer, v2 });
                 }
                 Event::ClientGone(client) => {
                     clients.remove(&client);
@@ -554,17 +646,63 @@ fn node_loop(
                         // Fail fast instead of silently dropping: the client
                         // can re-route immediately rather than burn its
                         // timeout (the wire protocol's documented Error path).
-                        if let Some(writer) = clients.get(&client) {
-                            writer.send(&common::wire::client::ClientReply::Error {
+                        if let Some(conn) = clients.get(&client) {
+                            conn.writer.send(&common::wire::client::ClientReply::Error {
                                 seq,
                                 reason: format!("node {me} does not serve group {group}"),
                             });
+                        }
+                    } else {
+                        let env = Envelope::v1(client, seq, client_node_id(client), cmd);
+                        if let Some(batch) = batcher.push(group, env, Instant::now()) {
+                            with_ctx!(|ctx| host.propose_envelopes(group, batch, &mut ctx));
+                        }
+                    }
+                }
+                Event::ClientRequestV2 {
+                    client,
+                    session,
+                    seq,
+                    ack,
+                    group,
+                    cmd,
+                } => {
+                    if !setup.member_of.contains(&group) {
+                        // v2: point the client at a node that serves the
+                        // group instead of making it guess (or silently
+                        // proxying on its behalf).
+                        if let Some(conn) = clients.get(&client) {
+                            let target =
+                                setup.registry.ring(group).ok().and_then(|cfg| {
+                                    cfg.members().iter().copied().find(|m| *m != me)
+                                });
+                            match target {
+                                Some(to) => {
+                                    conn.writer.send(
+                                        &common::wire::client::ClientReply::Redirect {
+                                            seq,
+                                            group,
+                                            to,
+                                        },
+                                    );
+                                }
+                                None => {
+                                    conn.writer
+                                        .send(&common::wire::client::ClientReply::ErrorV2 {
+                                            seq,
+                                            code: common::wire::client::ErrorCode::UnknownGroup,
+                                            detail: format!("no node serves group {group}"),
+                                        });
+                                }
+                            }
                         }
                     } else {
                         let env = Envelope {
                             client,
                             req: seq,
                             reply_to: client_node_id(client),
+                            session,
+                            ack,
                             cmd,
                         };
                         if let Some(batch) = batcher.push(group, env, Instant::now()) {
@@ -610,6 +748,48 @@ fn node_loop(
         for (ring, batch) in batcher.take_due(Instant::now()) {
             with_ctx!(|ctx| host.propose_envelopes(ring, batch, &mut ctx));
         }
+        // Session-expiry sweep: the replicated session table's liveness
+        // counters advance only through ordered keep-alives, so every
+        // replica reads the same values. A counter that has sat still
+        // for its TTL gets an expiry proposed on the session ring; a
+        // keep-alive racing through the log wins the CAS and the session
+        // survives (the amcoord TTL-session shape).
+        if Instant::now() >= next_session_sweep {
+            next_session_sweep = Instant::now() + Duration::from_secs(1);
+            if let Some(ring) = setup.session_ring {
+                let now = Instant::now();
+                let ids = host.app().session_ids();
+                session_seen.retain(|id, _| ids.contains(id));
+                for id in ids {
+                    let Some((refresh, ttl_ms)) = host.app().session_probe(id) else {
+                        continue;
+                    };
+                    let entry = session_seen.entry(id).or_insert((refresh, now));
+                    if entry.0 != refresh {
+                        *entry = (refresh, now);
+                    } else if now.duration_since(entry.1) > Duration::from_millis(ttl_ms.max(1)) {
+                        expire_seq += 1;
+                        let env = Envelope {
+                            client: ClientId::new(0),
+                            req: RequestId::new(expire_seq),
+                            // Replies route back to this node's own loop,
+                            // where client-less responses are dropped.
+                            reply_to: me,
+                            session: common::value::SESSION_CTL,
+                            ack: 0,
+                            cmd: multiring::session::SessionCtl::Expire {
+                                session: id,
+                                seen_refresh: refresh,
+                            }
+                            .to_bytes(),
+                        };
+                        with_ctx!(|ctx| host.propose_envelopes(ring, vec![env], &mut ctx));
+                        // Back off a full TTL before re-proposing.
+                        entry.1 = now;
+                    }
+                }
+            }
+        }
         route!();
     }
 }
@@ -622,16 +802,18 @@ fn route_effects(
     outbox: &mut Vec<(NodeId, Msg)>,
     timer_reqs: &mut Vec<(common::SimTime, Timer)>,
     transport: &mut PeerTransport,
-    clients: &HashMap<ClientId, ClientWriter>,
+    clients: &HashMap<ClientId, ClientConn>,
     self_tx: &Sender<Event>,
     timers: &mut TimerHeap<Timer>,
     clock: &WallClock,
     me: NodeId,
 ) {
+    use common::value::NO_SESSION;
     for (to, msg) in outbox.drain(..) {
         if let Some(client) = client_of_node(to) {
             let Msg::Client(SimClientMsg::Response {
                 client_seq,
+                session,
                 from_replica,
                 payload,
                 ..
@@ -640,13 +822,25 @@ fn route_effects(
                 continue;
             };
             // Client not connected here (or gone): reply dropped, exactly
-            // like the paper's UDP responses; the client retries.
-            if let Some(writer) = clients.get(&client) {
-                writer.send(&ClientReply::Response {
-                    seq: client_seq,
-                    from_replica,
-                    payload,
-                });
+            // like the paper's UDP responses; the client retries (safely,
+            // under v2 — retries are deduplicated).
+            if let Some(conn) = clients.get(&client) {
+                if conn.v2 {
+                    conn.writer.send(&ClientReply::ResponseV2 {
+                        session,
+                        seq: client_seq,
+                        from_replica,
+                        payload,
+                    });
+                } else if session == NO_SESSION {
+                    conn.writer.send(&ClientReply::Response {
+                        seq: client_seq,
+                        from_replica,
+                        payload,
+                    });
+                }
+                // A sessioned reply to a v1 connection can only be a
+                // stale cross-incarnation straggler: drop it.
             }
         } else if to == me {
             let _ = self_tx.send(Event::Peer(me, msg));

@@ -17,7 +17,9 @@ use crate::client::{ClientOptions, LiveClient};
 use crate::config::{DeploymentConfig, ServiceKind};
 
 /// Builds a [`LiveClient`] for `config`, routing each ring to its first
-/// configured member.
+/// configured member. The exactly-once session rides the deployment's
+/// global ring (the one every replica subscribes to), so session opens
+/// and keep-alives reach every partition.
 fn connect_routed(
     config: &DeploymentConfig,
     id: ClientId,
@@ -34,7 +36,14 @@ fn connect_routed(
         .iter()
         .filter_map(|n| n.partition.map(|p| (n.id, p)))
         .collect();
-    LiveClient::connect(id, &servers, route, replica_partitions, opts)
+    LiveClient::connect(
+        id,
+        &servers,
+        route,
+        replica_partitions,
+        config.global_ring(),
+        opts,
+    )
 }
 
 /// An MRP-Store client: put/get/delete routed by the hash scheme, scans
@@ -124,6 +133,23 @@ impl StoreClient {
         self.exec_single(&KvCommand::Delete {
             key: key.to_string(),
         })
+    }
+
+    /// `add(k, d)`: increments the counter at `k` and returns its new
+    /// value. Non-idempotent — safe here because the session layer
+    /// executes retried commands exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeout or a malformed reply.
+    pub fn add(&mut self, key: &str, delta: u64) -> Result<u64> {
+        match self.exec_single(&KvCommand::Add {
+            key: key.to_string(),
+            delta,
+        })? {
+            KvResponse::Counter(v) => Ok(v),
+            other => Err(Error::Config(format!("unexpected add reply {other:?}"))),
+        }
     }
 
     /// `scan(from, to)`: multicast on the global ring, answered by every

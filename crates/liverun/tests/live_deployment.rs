@@ -13,6 +13,7 @@ fn client_opts() -> ClientOptions {
     ClientOptions {
         timeout: Duration::from_secs(20),
         retry_every: Duration::from_secs(2),
+        ..ClientOptions::default()
     }
 }
 
@@ -150,6 +151,192 @@ fn replica_restart_recovers_and_serves_fresh_reads() {
     // And the whole keyspace is intact.
     let entries = client.scan("", "").unwrap();
     assert_eq!(entries.len(), 21, "10 pre + 10 mid + probe key");
+
+    deployment.shutdown();
+}
+
+/// The protocol-v2 exactly-once acceptance: a non-idempotent counter is
+/// incremented through a pipelined session while the serving ring
+/// coordinator is killed mid-pipeline; the client retries through the
+/// failover, yet every increment executes exactly once on **every**
+/// replica — including one that is itself killed and restarted in place
+/// afterwards (the session table rides the app snapshot).
+#[test]
+fn exactly_once_counter_across_coordinator_kill_and_restart() {
+    use common::ids::{NodeId, RingId};
+    use mrpstore::{KvCommand, KvResponse, Partitioning};
+
+    let text = generate_localhost_mrpstore(2, 3, base_port(40), None);
+    let config = DeploymentConfig::parse(&text).unwrap();
+    let mut deployment = Deployment::launch(config.clone()).unwrap();
+    let mut client = StoreClient::connect(
+        &config,
+        ClientId::new(3),
+        ClientOptions {
+            timeout: Duration::from_secs(30),
+            // Aggressive retries on purpose: under v1 this would
+            // over-count; under v2 the session table dedups them.
+            retry_every: Duration::from_millis(300),
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+
+    // A counter key owned by partition 0 (nodes 0..=2, ring 0 — whose
+    // coordinator is node 0, the kill victim).
+    let scheme = Partitioning::Hash { partitions: 2 };
+    let key: String = (0..)
+        .map(|i| format!("ctr{i}"))
+        .find(|k| scheme.partition_of(k).raw() == 0)
+        .unwrap();
+    let ring0 = RingId::new(0);
+    let add = KvCommand::Add {
+        key: key.clone(),
+        delta: 1,
+    }
+    .to_bytes();
+
+    // Fill the window, then kill the coordinator mid-pipeline.
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    for _ in 0..8 {
+        client.raw().submit(ring0, add.clone()).expect("submit");
+        submitted += 1;
+    }
+    deployment.kill(NodeId::new(0)).unwrap();
+    let dump_rings = |deployment: &Deployment| {
+        for r in [0u16, 1, 2] {
+            eprintln!(
+                "ring {r}: {:?}",
+                deployment.registry().ring(RingId::new(r)).map(|c| (
+                    c.members().to_vec(),
+                    c.coordinator(),
+                    c.epoch()
+                ))
+            );
+        }
+    };
+
+    // Keep the pipeline full through the failover, then drain.
+    while submitted < 32 {
+        if client
+            .raw()
+            .poll_reply(Duration::from_millis(250))
+            .is_some()
+        {
+            completed += 1;
+        }
+        if client.raw().submit(ring0, add.clone()).is_ok() {
+            submitted += 1;
+        }
+    }
+    let drain_end = std::time::Instant::now() + Duration::from_secs(60);
+    while completed < submitted && std::time::Instant::now() < drain_end {
+        if client
+            .raw()
+            .poll_reply(Duration::from_millis(500))
+            .is_some()
+        {
+            completed += 1;
+        }
+    }
+    if completed < submitted {
+        dump_rings(&deployment);
+    }
+    assert_eq!(
+        completed,
+        submitted,
+        "every pipelined request completes (client state: {:?})",
+        client.raw().stats()
+    );
+
+    // Exactly-once on every *surviving* replica of the partition: each
+    // answers the same count from its own state machine.
+    let read = KvCommand::Read { key: key.clone() }.to_bytes();
+    for replica in [1u32, 2] {
+        let raw = client
+            .raw()
+            .request_from(ring0, read.clone(), NodeId::new(replica))
+            .unwrap();
+        assert_eq!(
+            KvResponse::decode(&mut raw.clone()).unwrap(),
+            KvResponse::Value(Some(Bytes::copy_from_slice(&submitted.to_le_bytes()))),
+            "replica {replica} executed each increment exactly once"
+        );
+    }
+
+    // Restart the killed replica in place; it recovers state (and the
+    // session dedup table, which rides the snapshot) from its partition
+    // peers. More increments land exactly once, and the *recovered*
+    // replica agrees on the total.
+    deployment.restart(NodeId::new(0)).unwrap();
+    client.raw().reconnect(NodeId::new(0)).unwrap();
+    let total = submitted + 5;
+    for _ in 0..5 {
+        client.add(&key, 1).expect("post-restart add");
+    }
+    let raw = client
+        .raw()
+        .request_from(ring0, read.clone(), NodeId::new(0))
+        .unwrap();
+    assert_eq!(
+        KvResponse::decode(&mut raw.clone()).unwrap(),
+        KvResponse::Value(Some(Bytes::copy_from_slice(&total.to_le_bytes()))),
+        "restarted replica recovered the exactly-once counter"
+    );
+
+    deployment.shutdown();
+}
+
+/// The multi-partition fan-out completion rule under a replica kill
+/// mid-fanout: a scan multicast on the global ring completes once one
+/// replica of *every* partition answered — a dead replica of a
+/// partition must not wedge it as long as a sibling survives.
+#[test]
+fn fanout_completes_despite_replica_kill_mid_fanout() {
+    use common::ids::NodeId;
+
+    let text = generate_localhost_mrpstore(2, 2, base_port(60), None);
+    let config = DeploymentConfig::parse(&text).unwrap();
+    let mut deployment = Deployment::launch(config.clone()).unwrap();
+
+    let mut setup = StoreClient::connect(&config, ClientId::new(4), client_opts()).unwrap();
+    for i in 0..16 {
+        assert_eq!(
+            setup
+                .insert(&format!("fan{i:02}"), Bytes::from(vec![i as u8]))
+                .unwrap(),
+            KvResponse::Ok
+        );
+    }
+
+    // Run the scan on its own thread and kill a partition-1 replica
+    // while it is in flight: the fan-out must complete from the
+    // surviving replicas (one answer per partition), retrying through
+    // the global ring's reconfiguration if the kill interrupts it.
+    let cfg = config.clone();
+    let scanner = std::thread::spawn(move || {
+        let mut c = StoreClient::connect(
+            &cfg,
+            ClientId::new(5),
+            ClientOptions {
+                timeout: Duration::from_secs(30),
+                retry_every: Duration::from_millis(300),
+                ..ClientOptions::default()
+            },
+        )
+        .unwrap();
+        c.scan("fan", "")
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    deployment.kill(NodeId::new(3)).unwrap();
+    let entries = scanner.join().expect("scanner thread").expect("scan");
+    assert_eq!(entries.len(), 16, "scan merged both partitions");
+
+    // And a scan issued after the kill (deterministically one replica
+    // down) still completes: partition 1's surviving replica answers.
+    let entries = setup.scan("fan", "").unwrap();
+    assert_eq!(entries.len(), 16);
 
     deployment.shutdown();
 }

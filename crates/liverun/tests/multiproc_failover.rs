@@ -193,6 +193,7 @@ fn coordinator_kill_and_restart_through_amcoordd() {
         ClientOptions {
             timeout: Duration::from_secs(10),
             retry_every: Duration::from_secs(1),
+            ..ClientOptions::default()
         },
     )
     .expect("store client connects");
@@ -207,10 +208,56 @@ fn coordinator_kill_and_restart_through_amcoordd() {
         Some(Bytes::from_static(b"v1"))
     );
 
-    // SIGKILL the coordinator of ring 0 (node 0). Membership change must
-    // flow through amcoordd: survivors report the failure, the service
-    // CASes the config, watches spread the new epoch.
+    // ---- Pipelined v2 exactly-once through the SIGKILL ----
+    // Fill the session's sliding window with non-idempotent counter
+    // increments, SIGKILL the ring coordinator while they are in
+    // flight, and keep the pipeline full through the cross-process
+    // failover. Every re-send the client fires while the ring
+    // reconfigures is deduplicated by the replicated session table, so
+    // the counter must land on *exactly* the number submitted.
+    use common::wire::Wire as _;
+    let add = mrpstore::KvCommand::Add {
+        key: "hits".into(),
+        delta: 1,
+    }
+    .to_bytes();
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    for _ in 0..8 {
+        store.raw().submit(ring0, add.clone()).expect("submit");
+        submitted += 1;
+    }
+
+    // SIGKILL the coordinator of ring 0 (node 0) mid-pipeline.
+    // Membership change must flow through amcoordd: survivors report the
+    // failure, the service CASes the config, watches spread the new
+    // epoch.
     cluster.kill("amcastd-0");
+
+    while submitted < 40 {
+        if store.raw().poll_reply(Duration::from_millis(250)).is_some() {
+            completed += 1;
+        }
+        if store.raw().submit(ring0, add.clone()).is_ok() {
+            submitted += 1;
+        }
+    }
+    let drain_end = Instant::now() + Duration::from_secs(60);
+    while completed < submitted && Instant::now() < drain_end {
+        if store.raw().poll_reply(Duration::from_millis(500)).is_some() {
+            completed += 1;
+        }
+    }
+    assert_eq!(
+        completed, submitted,
+        "every pipelined request completes through the failover"
+    );
+    assert_eq!(
+        store.add("hits", 0).expect("read counter"),
+        submitted,
+        "non-idempotent increments executed exactly once across the SIGKILL"
+    );
+
     wait_until(
         "amcoordd to remove node 0 from ring 0",
         Duration::from_secs(30),
@@ -272,7 +319,6 @@ fn coordinator_kill_and_restart_through_amcoordd() {
     );
 
     // The recovered replica answers with up-to-date state.
-    use common::wire::Wire as _;
     let cmd = mrpstore::KvCommand::Read { key: "k".into() };
     let end = Instant::now() + Duration::from_secs(45);
     loop {

@@ -2,7 +2,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use common::error::WireError;
-use common::wire::{get_bytes, get_tag, get_vec, put_bytes, put_vec, Wire};
+use common::wire::{get_bytes, get_tag, get_varint, get_vec, put_bytes, put_varint, put_vec, Wire};
 
 /// A key-value store operation.
 ///
@@ -41,6 +41,16 @@ pub enum KvCommand {
         /// The key.
         key: String,
     },
+    /// `add(k, d)`: increment the counter at `k` by `d`, creating it at
+    /// zero if absent; returns the new value. Deliberately
+    /// **non-idempotent** — the protocol-v2 exactly-once sessions are
+    /// what make it safe to expose over a retrying client.
+    Add {
+        /// The key.
+        key: String,
+        /// The increment.
+        delta: u64,
+    },
 }
 
 impl KvCommand {
@@ -50,7 +60,8 @@ impl KvCommand {
             KvCommand::Read { key }
             | KvCommand::Update { key, .. }
             | KvCommand::Insert { key, .. }
-            | KvCommand::Delete { key } => key,
+            | KvCommand::Delete { key }
+            | KvCommand::Add { key, .. } => key,
             KvCommand::Scan { from, .. } => from,
         }
     }
@@ -88,6 +99,11 @@ impl Wire for KvCommand {
                 buf.put_u8(4);
                 key.encode(buf);
             }
+            KvCommand::Add { key, delta } => {
+                buf.put_u8(5);
+                key.encode(buf);
+                put_varint(buf, *delta);
+            }
         }
     }
 
@@ -111,6 +127,10 @@ impl Wire for KvCommand {
             4 => KvCommand::Delete {
                 key: String::decode(buf)?,
             },
+            5 => KvCommand::Add {
+                key: String::decode(buf)?,
+                delta: get_varint(buf)?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     context: "kv command",
@@ -133,6 +153,8 @@ pub enum KvResponse {
     Ok,
     /// Update/delete on a missing key.
     NotFound,
+    /// The counter's new value after an [`KvCommand::Add`].
+    Counter(u64),
 }
 
 impl Wire for KvResponse {
@@ -148,6 +170,10 @@ impl Wire for KvResponse {
             }
             KvResponse::Ok => buf.put_u8(2),
             KvResponse::NotFound => buf.put_u8(3),
+            KvResponse::Counter(v) => {
+                buf.put_u8(4);
+                put_varint(buf, *v);
+            }
         }
     }
 
@@ -157,6 +183,7 @@ impl Wire for KvResponse {
             1 => KvResponse::Entries(get_vec(buf)?),
             2 => KvResponse::Ok,
             3 => KvResponse::NotFound,
+            4 => KvResponse::Counter(get_varint(buf)?),
             tag => {
                 return Err(WireError::BadTag {
                     context: "kv response",
@@ -192,6 +219,10 @@ mod tests {
             value: Bytes::new(),
         });
         rt(KvCommand::Delete { key: "gone".into() });
+        rt(KvCommand::Add {
+            key: "hits".into(),
+            delta: 3,
+        });
     }
 
     #[test]
@@ -202,6 +233,7 @@ mod tests {
             KvResponse::Entries(vec![("k".to_string(), Bytes::from_static(b"v"))]),
             KvResponse::Ok,
             KvResponse::NotFound,
+            KvResponse::Counter(u64::MAX),
         ] {
             let mut b = r.to_bytes();
             assert_eq!(KvResponse::decode(&mut b).unwrap(), r);

@@ -114,6 +114,23 @@ impl KvApp {
                     KvResponse::NotFound
                 }
             }
+            KvCommand::Add { key, delta } => {
+                if !self.owns(key) {
+                    return KvResponse::NotFound;
+                }
+                // Counters are stored as 8-byte little-endian values; an
+                // absent (or foreign-shaped) entry counts from zero.
+                let current = self
+                    .data
+                    .get(key)
+                    .and_then(|v| v.get(..8))
+                    .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+                    .unwrap_or(0);
+                let next = current.wrapping_add(*delta);
+                self.data
+                    .insert(key.clone(), Bytes::copy_from_slice(&next.to_le_bytes()));
+                KvResponse::Counter(next)
+            }
         }
     }
 }
@@ -164,12 +181,12 @@ mod tests {
     use common::ids::{ClientId, NodeId, RequestId};
 
     fn env(cmd: &KvCommand) -> Envelope {
-        Envelope {
-            client: ClientId::new(1),
-            req: RequestId::new(1),
-            reply_to: NodeId::new(0),
-            cmd: cmd.to_bytes(),
-        }
+        Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(1),
+            NodeId::new(0),
+            cmd.to_bytes(),
+        )
     }
 
     fn single_partition_app() -> KvApp {
@@ -230,6 +247,37 @@ mod tests {
         assert_eq!(
             exec(&mut app, KvCommand::Delete { key: "a".into() }),
             KvResponse::NotFound
+        );
+    }
+
+    #[test]
+    fn add_counts_from_zero_and_is_not_idempotent() {
+        let mut app = single_partition_app();
+        assert_eq!(
+            exec(
+                &mut app,
+                KvCommand::Add {
+                    key: "hits".into(),
+                    delta: 2
+                }
+            ),
+            KvResponse::Counter(2)
+        );
+        // Re-execution moves the counter again — exactly why the session
+        // layer must deduplicate retries of this command.
+        assert_eq!(
+            exec(
+                &mut app,
+                KvCommand::Add {
+                    key: "hits".into(),
+                    delta: 2
+                }
+            ),
+            KvResponse::Counter(4)
+        );
+        assert_eq!(
+            exec(&mut app, KvCommand::Read { key: "hits".into() }),
+            KvResponse::Value(Some(Bytes::copy_from_slice(&4u64.to_le_bytes())))
         );
     }
 

@@ -39,6 +39,18 @@ pub trait ServiceApp: Send + 'static {
     /// `restore(&empty snapshot)` semantics and should be overridden when
     /// that is not the right behaviour.
     fn reset(&mut self);
+
+    /// The `(refresh, ttl_ms)` liveness reading of an exactly-once client
+    /// session, if this app (or a decorator) tracks it — consulted by
+    /// serving nodes to propose session expiry. Default: no sessions.
+    fn session_probe(&self, _session: u64) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Ids of every live exactly-once session. Default: none.
+    fn session_ids(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 /// The paper's dummy service: commands execute no operation; the reply
@@ -90,12 +102,12 @@ mod tests {
 
     #[test]
     fn echo_app_counts_and_snapshots() {
-        let env = Envelope {
-            client: ClientId::new(1),
-            req: RequestId::new(1),
-            reply_to: NodeId::new(0),
-            cmd: Bytes::from_static(b"anything"),
-        };
+        let env = Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(1),
+            NodeId::new(0),
+            Bytes::from_static(b"anything"),
+        );
         let mut app = EchoApp::new();
         assert_eq!(app.execute(RingId::new(0), &env), Bytes::from_static(b"ok"));
         app.execute(RingId::new(0), &env);

@@ -334,6 +334,7 @@ impl MultiRingHost {
                     Msg::Client(ClientMsg::Response {
                         client: env.client,
                         client_seq: env.req,
+                        session: env.session,
                         from_replica: self.me,
                         payload: reply,
                     }),
@@ -823,12 +824,7 @@ impl Process for MultiRingHost {
                 group,
                 cmd,
             }) => {
-                let env = Envelope {
-                    client,
-                    req: client_seq,
-                    reply_to: from,
-                    cmd,
-                };
+                let env = Envelope::v1(client, client_seq, from, cmd);
                 self.propose_envelopes(group, vec![env], ctx);
             }
             Msg::Client(_) => {}

@@ -26,8 +26,10 @@ pub mod client;
 pub mod host;
 pub mod merge;
 pub mod recovery;
+pub mod session;
 
 pub use app::{EchoApp, ServiceApp};
 pub use client::{ClientStats, ClosedLoopClient, CommandGen, SharedClientStats};
 pub use host::{HostOptions, MultiRingHost};
 pub use merge::MergeLearner;
+pub use session::{SessionApp, SessionCtl, SessionLimits};

@@ -1,0 +1,715 @@
+//! Exactly-once client sessions: the replicated session table.
+//!
+//! [`SessionApp`] decorates any [`ServiceApp`] with protocol-v2 session
+//! semantics. It runs *inside* the merge-delivered command stream — the
+//! only place where every replica of a partition sees the same commands
+//! in the same order — so all replicas make identical decisions about
+//! which `(session, seq)` pairs already executed. A retried request is
+//! answered from the per-session reply cache, never executed a second
+//! time; that is what makes non-idempotent commands (counters, CAS,
+//! queue pops) safe under the client's aggressive failover re-send.
+//!
+//! The table is part of [`ServiceApp::snapshot`], so checkpoints (and
+//! restart-in-place recovery) carry the dedup state: a replica restored
+//! from a checkpoint cut at instance *k* replays exactly the commands
+//! after *k* against a table that is also cut at *k*.
+//!
+//! ## Session identity
+//!
+//! Sessions are opened through the ordered stream itself: a control
+//! command ([`SessionCtl::Open`]) delivered on the multicast group that
+//! *every* partition subscribes to (the deployment's global ring)
+//! allocates the next id from a replicated counter. Since all replicas
+//! apply global-ring commands in the same relative order, the allocation
+//! is deterministic — collision-free by construction, with no wall-clock
+//! or randomness anywhere (protocol v1 needed a wall-clock `seq_base`
+//! precisely because it lacked this).
+//!
+//! ## Liveness and expiry
+//!
+//! A session's `refresh` counter is bumped **only** by global-ring
+//! control commands ([`SessionCtl::KeepAlive`]), never by per-partition
+//! executions — so the counter is identical on every partition, and one
+//! [`SessionCtl::Expire`]`{session, seen_refresh}` CAS (the amcoord
+//! session shape) removes the session everywhere or nowhere. Serving
+//! nodes propose the expiry when a session's refresh counter stops
+//! moving for its TTL; a keep-alive racing through the log wins the CAS
+//! and the session survives.
+//!
+//! ## Bounded memory
+//!
+//! Cached replies are pruned by the client's replicated `ack` (highest
+//! contiguously-received seq), the per-session cache is capped by the
+//! credit window the server grants, and the table itself is capped with
+//! deterministic least-recently-used eviction.
+
+use std::collections::BTreeMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use common::error::WireError;
+use common::ids::RingId;
+use common::value::{Envelope, NO_SESSION, SESSION_CTL};
+use common::wire::{get_bytes, get_tag, get_varint, put_bytes, put_varint, Wire};
+
+use crate::app::ServiceApp;
+
+/// First byte of every sessioned reply payload: the request executed and
+/// the rest of the payload is the service's response.
+pub const ST_OK: u8 = 0;
+/// The session is unknown (expired, evicted, or never opened). The
+/// command was **not** executed; the client must re-open.
+pub const ST_UNKNOWN_SESSION: u8 = 1;
+/// The seq is beyond `ack + window cap`; not executed. The client must
+/// drain completions (advancing its ack) before retrying.
+pub const ST_WINDOW_EXCEEDED: u8 = 2;
+/// The seq is at or below the client's own ack — a duplicate of a
+/// command whose reply the client already confirmed. Not executed.
+pub const ST_STALE: u8 = 3;
+
+/// Session-control commands, carried in `Envelope::cmd` when
+/// `Envelope::session == SESSION_CTL`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionCtl {
+    /// Allocates a new session. Every delivered open allocates a *fresh*
+    /// id — deliberately not deduplicated by any client-chosen token,
+    /// because a token reused by a later client incarnation would alias
+    /// it to the dead incarnation's session (exactly the cross-invocation
+    /// confusion sessions exist to kill). A retried open whose original
+    /// got delivered leaks one idle session; TTL expiry collects it.
+    Open {
+        /// Client-chosen correlation token echoed as the reply's seq.
+        token: u64,
+        /// Session TTL in milliseconds: how long the refresh counter may
+        /// sit still before servers propose expiry.
+        ttl_ms: u64,
+    },
+    /// Bumps the session's replicated liveness counter.
+    KeepAlive {
+        /// The session.
+        session: u64,
+    },
+    /// Removes the session iff its refresh counter still reads
+    /// `seen_refresh` — proposed by serving nodes, raced (and beaten) by
+    /// in-flight keep-alives, exactly like amcoord's `ExpireSession`.
+    Expire {
+        /// The session.
+        session: u64,
+        /// The refresh count the proposing node observed.
+        seen_refresh: u64,
+    },
+}
+
+impl Wire for SessionCtl {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SessionCtl::Open { token, ttl_ms } => {
+                buf.put_u8(0);
+                put_varint(buf, *token);
+                put_varint(buf, *ttl_ms);
+            }
+            SessionCtl::KeepAlive { session } => {
+                buf.put_u8(1);
+                put_varint(buf, *session);
+            }
+            SessionCtl::Expire {
+                session,
+                seen_refresh,
+            } => {
+                buf.put_u8(2);
+                put_varint(buf, *session);
+                put_varint(buf, *seen_refresh);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match get_tag(buf, "session ctl")? {
+            0 => SessionCtl::Open {
+                token: get_varint(buf)?,
+                ttl_ms: get_varint(buf)?,
+            },
+            1 => SessionCtl::KeepAlive {
+                session: get_varint(buf)?,
+            },
+            2 => SessionCtl::Expire {
+                session: get_varint(buf)?,
+                seen_refresh: get_varint(buf)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "session ctl",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Frames a service reply as a successful sessioned payload.
+pub fn frame_ok(inner: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + inner.len());
+    buf.put_u8(ST_OK);
+    buf.extend_from_slice(inner);
+    buf.freeze()
+}
+
+/// A one-byte status payload.
+fn status(st: u8) -> Bytes {
+    Bytes::copy_from_slice(&[st])
+}
+
+/// The successful reply to [`SessionCtl::Open`]: status byte + the
+/// allocated session id.
+fn open_reply(session: u64) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(ST_OK);
+    put_varint(&mut buf, session);
+    buf.freeze()
+}
+
+/// Splits a sessioned reply payload into its status byte and the service
+/// payload. Returns `None` on an empty payload (malformed).
+pub fn parse_reply(payload: &Bytes) -> Option<(u8, Bytes)> {
+    if payload.is_empty() {
+        return None;
+    }
+    Some((payload[0], payload.slice(1..)))
+}
+
+/// Parses the payload of a successful [`SessionCtl::Open`] reply.
+pub fn parse_open_reply(payload: &Bytes) -> Option<u64> {
+    let (st, mut rest) = parse_reply(payload)?;
+    if st != ST_OK {
+        return None;
+    }
+    get_varint(&mut rest).ok()
+}
+
+/// Size caps for the replicated session table.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionLimits {
+    /// Maximum live sessions; beyond it the deterministically
+    /// least-recently-used session is evicted.
+    pub max_sessions: usize,
+    /// Maximum cached replies per session — the server-side ceiling on
+    /// the credit window (a seq further than this beyond the client's
+    /// ack is refused, not executed).
+    pub max_cached: usize,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            max_sessions: 4096,
+            max_cached: 256,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct SessionState {
+    /// Highest seq the client confirmed receiving replies for.
+    ack: u64,
+    /// Replicated liveness counter (global-ring keep-alives only).
+    refresh: u64,
+    /// Deterministic LRU stamp (the app's execute tick).
+    last_tick: u64,
+    /// TTL the session was opened with.
+    ttl_ms: u64,
+    /// Cached replies for executed seqs above `ack`.
+    executed: BTreeMap<u64, Bytes>,
+}
+
+/// The exactly-once decorator. See the module docs.
+pub struct SessionApp {
+    inner: Box<dyn ServiceApp>,
+    limits: SessionLimits,
+    /// Next session id to allocate (ids start at 1; 0 and `u64::MAX` are
+    /// wire sentinels).
+    next_id: u64,
+    /// Deterministic logical clock: bumped once per executed envelope.
+    tick: u64,
+    sessions: BTreeMap<u64, SessionState>,
+}
+
+impl SessionApp {
+    /// Decorates `inner` with the default limits.
+    pub fn new(inner: Box<dyn ServiceApp>) -> Self {
+        Self::with_limits(inner, SessionLimits::default())
+    }
+
+    /// Decorates `inner` with explicit limits.
+    pub fn with_limits(inner: Box<dyn ServiceApp>, limits: SessionLimits) -> Self {
+        SessionApp {
+            inner,
+            limits,
+            next_id: 1,
+            tick: 0,
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// Live sessions (diagnostics/tests).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The inner service (tests).
+    pub fn inner(&self) -> &dyn ServiceApp {
+        &*self.inner
+    }
+
+    fn evict_if_full(&mut self) {
+        while self.sessions.len() >= self.limits.max_sessions.max(1) {
+            // Deterministic LRU: smallest (last_tick, id). Ticks advance
+            // identically on every replica of the partition, so eviction
+            // does too.
+            let victim = self
+                .sessions
+                .iter()
+                .min_by_key(|(id, s)| (s.last_tick, **id))
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    self.sessions.remove(&id);
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn control(&mut self, env: &Envelope) -> Bytes {
+        let Ok(ctl) = SessionCtl::decode(&mut env.cmd.clone()) else {
+            return status(ST_STALE); // foreign/corrupt control payload
+        };
+        match ctl {
+            SessionCtl::Open { token: _, ttl_ms } => {
+                self.evict_if_full();
+                let id = self.next_id;
+                self.next_id += 1;
+                self.sessions.insert(
+                    id,
+                    SessionState {
+                        ack: 0,
+                        refresh: 0,
+                        last_tick: self.tick,
+                        ttl_ms,
+                        executed: BTreeMap::new(),
+                    },
+                );
+                open_reply(id)
+            }
+            SessionCtl::KeepAlive { session } => match self.sessions.get_mut(&session) {
+                Some(s) => {
+                    s.refresh += 1;
+                    s.last_tick = self.tick;
+                    status(ST_OK)
+                }
+                None => status(ST_UNKNOWN_SESSION),
+            },
+            SessionCtl::Expire {
+                session,
+                seen_refresh,
+            } => {
+                if self
+                    .sessions
+                    .get(&session)
+                    .is_some_and(|s| s.refresh == seen_refresh)
+                {
+                    // The CAS held: no keep-alive slipped in between the
+                    // proposer's observation and this delivery.
+                    self.sessions.remove(&session);
+                }
+                status(ST_OK)
+            }
+        }
+    }
+
+    fn exec_sessioned(&mut self, group: RingId, session: u64, env: &Envelope) -> Bytes {
+        let seq = env.req.raw();
+        let tick = self.tick;
+        let max_cached = self.limits.max_cached as u64;
+        {
+            let Some(s) = self.sessions.get_mut(&session) else {
+                return status(ST_UNKNOWN_SESSION);
+            };
+            s.last_tick = tick;
+            if env.ack > s.ack {
+                // The client confirmed receipt up to env.ack: replies at
+                // or below it can never be re-requested. Pruned
+                // incrementally — on the hot path the ack advances with
+                // nearly every request, and a tree rebuild per command
+                // is measurable at six-figure op rates.
+                s.ack = env.ack;
+                while let Some((&k, _)) = s.executed.first_key_value() {
+                    if k > s.ack {
+                        break;
+                    }
+                    s.executed.pop_first();
+                }
+            }
+            if seq <= s.ack {
+                return status(ST_STALE);
+            }
+            if let Some(cached) = s.executed.get(&seq) {
+                return cached.clone(); // retry: cached reply, no re-execution
+            }
+            if seq > s.ack + max_cached.max(1) {
+                return status(ST_WINDOW_EXCEEDED);
+            }
+        }
+        let reply = frame_ok(&self.inner.execute(group, env));
+        if let Some(s) = self.sessions.get_mut(&session) {
+            s.executed.insert(seq, reply.clone());
+        }
+        reply
+    }
+}
+
+impl ServiceApp for SessionApp {
+    fn execute(&mut self, group: RingId, env: &Envelope) -> Bytes {
+        self.tick += 1;
+        match env.session {
+            NO_SESSION => self.inner.execute(group, env),
+            SESSION_CTL => self.control(env),
+            session => self.exec_sessioned(group, session, env),
+        }
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, self.next_id);
+        put_varint(&mut buf, self.tick);
+        put_varint(&mut buf, self.sessions.len() as u64);
+        for (id, s) in &self.sessions {
+            put_varint(&mut buf, *id);
+            put_varint(&mut buf, s.ack);
+            put_varint(&mut buf, s.refresh);
+            put_varint(&mut buf, s.last_tick);
+            put_varint(&mut buf, s.ttl_ms);
+            put_varint(&mut buf, s.executed.len() as u64);
+            for (seq, reply) in &s.executed {
+                put_varint(&mut buf, *seq);
+                put_bytes(&mut buf, reply);
+            }
+        }
+        put_bytes(&mut buf, &self.inner.snapshot());
+        buf.freeze()
+    }
+
+    fn restore(&mut self, state: &Bytes) {
+        fn decode(
+            raw: &mut Bytes,
+        ) -> Result<(u64, u64, BTreeMap<u64, SessionState>, Bytes), WireError> {
+            let next_id = get_varint(raw)?;
+            let tick = get_varint(raw)?;
+            let n = get_varint(raw)?;
+            let mut sessions = BTreeMap::new();
+            for _ in 0..n {
+                let id = get_varint(raw)?;
+                let ack = get_varint(raw)?;
+                let refresh = get_varint(raw)?;
+                let last_tick = get_varint(raw)?;
+                let ttl_ms = get_varint(raw)?;
+                let m = get_varint(raw)?;
+                let mut executed = BTreeMap::new();
+                for _ in 0..m {
+                    let seq = get_varint(raw)?;
+                    executed.insert(seq, get_bytes(raw)?);
+                }
+                sessions.insert(
+                    id,
+                    SessionState {
+                        ack,
+                        refresh,
+                        last_tick,
+                        ttl_ms,
+                        executed,
+                    },
+                );
+            }
+            let inner = get_bytes(raw)?;
+            Ok((next_id, tick, sessions, inner))
+        }
+        let Ok((next_id, tick, sessions, inner)) = decode(&mut state.clone()) else {
+            return; // corrupt snapshot: keep current state (caller retries)
+        };
+        self.next_id = next_id;
+        self.tick = tick;
+        self.sessions = sessions;
+        self.inner.restore(&inner);
+    }
+
+    fn reset(&mut self) {
+        self.next_id = 1;
+        self.tick = 0;
+        self.sessions.clear();
+        self.inner.reset();
+    }
+
+    fn session_probe(&self, session: u64) -> Option<(u64, u64)> {
+        self.sessions.get(&session).map(|s| (s.refresh, s.ttl_ms))
+    }
+
+    fn session_ids(&self) -> Vec<u64> {
+        self.sessions.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EchoApp;
+    use common::ids::{ClientId, NodeId, RequestId};
+
+    /// A deliberately non-idempotent service: every execution increments
+    /// a counter and echoes it.
+    #[derive(Default)]
+    struct CountApp {
+        executed: u64,
+    }
+
+    impl ServiceApp for CountApp {
+        fn execute(&mut self, _group: RingId, _env: &Envelope) -> Bytes {
+            self.executed += 1;
+            Bytes::copy_from_slice(&self.executed.to_le_bytes())
+        }
+
+        fn snapshot(&self) -> Bytes {
+            Bytes::copy_from_slice(&self.executed.to_le_bytes())
+        }
+
+        fn restore(&mut self, state: &Bytes) {
+            let mut raw = [0u8; 8];
+            raw[..state.len().min(8)].copy_from_slice(&state[..state.len().min(8)]);
+            self.executed = u64::from_le_bytes(raw);
+        }
+
+        fn reset(&mut self) {
+            self.executed = 0;
+        }
+    }
+
+    fn ctl(client: u32, token: u64, ctl: SessionCtl) -> Envelope {
+        Envelope {
+            client: ClientId::new(client),
+            req: RequestId::new(token),
+            reply_to: NodeId::new(0),
+            session: SESSION_CTL,
+            ack: 0,
+            cmd: ctl.to_bytes(),
+        }
+    }
+
+    fn req(client: u32, session: u64, seq: u64, ack: u64) -> Envelope {
+        Envelope {
+            client: ClientId::new(client),
+            req: RequestId::new(seq),
+            reply_to: NodeId::new(0),
+            session,
+            ack,
+            cmd: Bytes::from_static(b"bump"),
+        }
+    }
+
+    fn open(app: &mut SessionApp, client: u32, token: u64) -> u64 {
+        let reply = app.execute(
+            RingId::new(9),
+            &ctl(
+                client,
+                token,
+                SessionCtl::Open {
+                    token,
+                    ttl_ms: 30_000,
+                },
+            ),
+        );
+        parse_open_reply(&reply).expect("open reply")
+    }
+
+    fn new_app() -> SessionApp {
+        SessionApp::new(Box::new(CountApp::default()))
+    }
+
+    #[test]
+    fn retried_requests_execute_exactly_once() {
+        let mut app = new_app();
+        let s = open(&mut app, 1, 100);
+        let g = RingId::new(0);
+        let first = app.execute(g, &req(1, s, 1, 0));
+        assert_eq!(parse_reply(&first).unwrap().0, ST_OK);
+        // The retry returns the *cached* reply; the counter does not move.
+        let retry = app.execute(g, &req(1, s, 1, 0));
+        assert_eq!(retry, first);
+        let second = app.execute(g, &req(1, s, 2, 0));
+        assert_ne!(second, first);
+        let (st, counter) = parse_reply(&second).unwrap();
+        assert_eq!(st, ST_OK);
+        assert_eq!(u64::from_le_bytes(counter[..8].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn ack_prunes_cache_and_stale_seqs_do_not_execute() {
+        let mut app = new_app();
+        let s = open(&mut app, 1, 100);
+        let g = RingId::new(0);
+        for seq in 1..=4 {
+            app.execute(g, &req(1, s, seq, 0));
+        }
+        // Ack 3: replies 1..=3 pruned; a duplicate of seq 2 is stale.
+        let stale = app.execute(g, &req(1, s, 2, 3));
+        assert_eq!(parse_reply(&stale).unwrap().0, ST_STALE);
+        // Seq 4 is still cached (above the ack floor).
+        let cached = app.execute(g, &req(1, s, 4, 3));
+        assert_eq!(parse_reply(&cached).unwrap().0, ST_OK);
+        // Counter never moved past 4 executions.
+        let fresh = app.execute(g, &req(1, s, 5, 3));
+        let (_, counter) = parse_reply(&fresh).unwrap();
+        assert_eq!(u64::from_le_bytes(counter[..8].try_into().unwrap()), 5);
+    }
+
+    #[test]
+    fn unknown_session_and_window_are_refused_without_executing() {
+        let mut app = SessionApp::with_limits(
+            Box::new(CountApp::default()),
+            SessionLimits {
+                max_sessions: 8,
+                max_cached: 4,
+            },
+        );
+        let g = RingId::new(0);
+        let r = app.execute(g, &req(1, 77, 1, 0));
+        assert_eq!(parse_reply(&r).unwrap().0, ST_UNKNOWN_SESSION);
+        let s = open(&mut app, 1, 100);
+        let r = app.execute(g, &req(1, s, 9, 0)); // far beyond ack+cap
+        assert_eq!(parse_reply(&r).unwrap().0, ST_WINDOW_EXCEEDED);
+        // Nothing executed so far.
+        let ok = app.execute(g, &req(1, s, 1, 0));
+        let (_, counter) = parse_reply(&ok).unwrap();
+        assert_eq!(u64::from_le_bytes(counter[..8].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn every_open_allocates_a_fresh_id() {
+        // Fresh ids even for a repeated (client, token) pair: reusing the
+        // old session would hand a new client incarnation the dead
+        // incarnation's ack floor and reply cache.
+        let mut app = new_app();
+        let a = open(&mut app, 1, 100);
+        let b = open(&mut app, 1, 100);
+        let c = open(&mut app, 2, 100);
+        assert!(a < b && b < c, "ids are unique and monotone: {a} {b} {c}");
+    }
+
+    #[test]
+    fn expire_cas_loses_to_keepalive() {
+        let mut app = new_app();
+        let s = open(&mut app, 1, 100);
+        let g = RingId::new(9);
+        app.execute(g, &ctl(1, 1, SessionCtl::KeepAlive { session: s }));
+        // A node that observed refresh 0 proposes expiry: CAS fails.
+        app.execute(
+            g,
+            &ctl(
+                0,
+                2,
+                SessionCtl::Expire {
+                    session: s,
+                    seen_refresh: 0,
+                },
+            ),
+        );
+        assert_eq!(app.session_probe(s).map(|(r, _)| r), Some(1));
+        // With the current refresh, the expiry lands.
+        app.execute(
+            g,
+            &ctl(
+                0,
+                3,
+                SessionCtl::Expire {
+                    session: s,
+                    seen_refresh: 1,
+                },
+            ),
+        );
+        assert!(app.session_probe(s).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_keeps_dedup_across_restart() {
+        let mut app = new_app();
+        let s = open(&mut app, 1, 100);
+        let g = RingId::new(0);
+        let first = app.execute(g, &req(1, s, 1, 0));
+        let snap = app.snapshot();
+
+        let mut restored = new_app();
+        restored.restore(&snap);
+        assert_eq!(restored.session_count(), 1);
+        // The retry against the restored replica is still deduplicated.
+        let retry = restored.execute(g, &req(1, s, 1, 0));
+        assert_eq!(retry, first);
+        // And fresh commands continue the counter where it left off.
+        let next = restored.execute(g, &req(1, s, 2, 0));
+        let (_, counter) = parse_reply(&next).unwrap();
+        assert_eq!(u64::from_le_bytes(counter[..8].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn table_cap_evicts_least_recently_used() {
+        let mut app = SessionApp::with_limits(
+            Box::new(EchoApp::new()),
+            SessionLimits {
+                max_sessions: 2,
+                max_cached: 16,
+            },
+        );
+        let a = open(&mut app, 1, 1);
+        let b = open(&mut app, 2, 1);
+        // Touch `a` so `b` is the LRU when the cap forces an eviction.
+        app.execute(RingId::new(0), &req(1, a, 1, 0));
+        let c = open(&mut app, 3, 1);
+        assert_eq!(app.session_count(), 2);
+        assert!(app.session_probe(a).is_some());
+        assert!(app.session_probe(b).is_none(), "LRU session evicted");
+        assert!(app.session_probe(c).is_some());
+    }
+
+    #[test]
+    fn v1_traffic_passes_through_untouched() {
+        let mut app = new_app();
+        let env = Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(7),
+            NodeId::new(0),
+            Bytes::from_static(b"x"),
+        );
+        let r1 = app.execute(RingId::new(0), &env);
+        let r2 = app.execute(RingId::new(0), &env);
+        // v1 semantics: re-delivery re-executes (at-least-once).
+        assert_eq!(u64::from_le_bytes(r1[..8].try_into().unwrap()), 1);
+        assert_eq!(u64::from_le_bytes(r2[..8].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn session_ctl_round_trips() {
+        for c in [
+            SessionCtl::Open {
+                token: 9,
+                ttl_ms: 30_000,
+            },
+            SessionCtl::KeepAlive { session: 3 },
+            SessionCtl::Expire {
+                session: 3,
+                seen_refresh: 17,
+            },
+        ] {
+            let mut b = c.to_bytes();
+            assert_eq!(SessionCtl::decode(&mut b).unwrap(), c);
+        }
+    }
+}

@@ -34,7 +34,7 @@ use common::value::Value;
 use common::wire::Wire;
 use common::Ballot;
 use coord::{Registry, RingConfig};
-use storage::wal::{SyncPolicy, Wal};
+use storage::wal::{DecidedLog, SyncPolicy, Wal};
 
 use crate::node::{Output, RingNode};
 use crate::options::RingOptions;
@@ -168,6 +168,9 @@ pub struct LiveNode {
     tx: Sender<Event>,
     deliveries: Receiver<Delivery>,
     gauges: Arc<LearnerGauges>,
+    /// The decided log shared with the loop thread (kept here so hosts
+    /// can prune rotated segments below their checkpoint cursor).
+    wal: Arc<Mutex<Option<Box<dyn DecidedLog>>>>,
     ring_listener: Option<ListenerStop>,
     join: Option<JoinHandle<()>>,
 }
@@ -219,6 +222,18 @@ impl LiveNode {
                 .next_delivery
                 .load(std::sync::atomic::Ordering::Relaxed),
         )
+    }
+
+    /// Prunes the node's decided log below `pos` (a durable checkpoint
+    /// covers everything before it). Returns the number of rotated
+    /// segments deleted; 0 for single-file logs or when nothing is old
+    /// enough.
+    pub fn prune_decided_log(&self, pos: InstanceId) -> usize {
+        let mut guard = self.wal.lock();
+        match guard.as_mut() {
+            Some(w) => w.prune_below(pos.raw()).unwrap_or(0),
+            None => 0,
+        }
     }
 
     /// The first instance buffered beyond an undelivered gap, if the
@@ -279,7 +294,7 @@ pub fn spawn_tcp_member(
     registry: Registry,
     addrs: &HashMap<NodeId, SocketAddr>,
     opts: RingOptions,
-    wal: Option<Wal>,
+    wal: Option<Box<dyn DecidedLog>>,
     start_at: InstanceId,
 ) -> Result<LiveNode> {
     let my_addr = *addrs
@@ -396,13 +411,13 @@ impl LiveRing {
                 conns: HashMap::new(),
                 patience: HashMap::new(),
             };
-            let wal = match &wal_dir {
+            let wal: Option<Box<dyn DecidedLog>> = match &wal_dir {
                 Some(dir) => {
                     std::fs::create_dir_all(dir)?;
-                    Some(Wal::open(
+                    Some(Box::new(Wal::open(
                         dir.join(format!("node-{}.wal", m.raw())),
                         SyncPolicy::OsDecides,
-                    )?)
+                    )?))
                 }
                 None => None,
             };
@@ -519,11 +534,12 @@ fn spawn_node<T: Transport>(
     _self_tx: Sender<Event>,
     mut transport: T,
     clock: WallClock,
-    wal: Option<Wal>,
+    wal: Option<Box<dyn DecidedLog>>,
 ) -> Result<LiveNode> {
     let mut node = RingNode::new(me, ring, registry, opts)?;
     let (dtx, drx) = bounded::<Delivery>(1 << 16);
     let wal = Arc::new(Mutex::new(wal));
+    let loop_wal = Arc::clone(&wal);
     let gauges = Arc::new(LearnerGauges::default());
     let loop_gauges = Arc::clone(&gauges);
 
@@ -533,7 +549,7 @@ fn spawn_node<T: Transport>(
             let mut timers: TimerHeap<RingTimer> = TimerHeap::new();
             let mut out = Output::new();
             node.start(clock.now(), &mut out);
-            drain(&mut out, &mut transport, &dtx, &mut timers, &wal);
+            drain(&mut out, &mut transport, &dtx, &mut timers, &loop_wal);
 
             loop {
                 let timeout = timers.sleep_for(Duration::from_millis(100));
@@ -554,7 +570,7 @@ fn spawn_node<T: Transport>(
                 while let Some(t) = timers.pop_due(Instant::now()) {
                     node.on_timer(t, clock.now(), &mut out);
                 }
-                drain(&mut out, &mut transport, &dtx, &mut timers, &wal);
+                drain(&mut out, &mut transport, &dtx, &mut timers, &loop_wal);
                 use std::sync::atomic::Ordering;
                 loop_gauges
                     .next_delivery
@@ -573,6 +589,7 @@ fn spawn_node<T: Transport>(
         tx: _self_tx,
         deliveries: drx,
         gauges,
+        wal,
         ring_listener: None,
         join: Some(join),
     })
@@ -583,7 +600,7 @@ fn drain<T: Transport>(
     transport: &mut T,
     dtx: &Sender<Delivery>,
     timers: &mut TimerHeap<RingTimer>,
-    wal: &Arc<Mutex<Option<Wal>>>,
+    wal: &Arc<Mutex<Option<Box<dyn DecidedLog>>>>,
 ) {
     for (to, msg) in out.sends.drain(..) {
         transport.send(to, msg);
@@ -594,7 +611,7 @@ fn drain<T: Transport>(
         let mut guard = wal.lock();
         if let Some(w) = guard.as_mut() {
             for (inst, value) in &out.decided {
-                w.append_buffered_with(|buf| {
+                w.stage(inst.raw(), &mut |buf| {
                     AcceptedEntry {
                         inst: *inst,
                         vballot: Ballot::ZERO,

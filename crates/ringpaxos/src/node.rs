@@ -558,7 +558,12 @@ impl RingNode {
             let inst = self.next_instance;
             self.next_instance = inst.plus(value.instance_span());
             if value.is_deliverable() && std::env::var_os("MRP_DEBUG").is_some() {
-                eprintln!("[{now} {}] coord assigns {inst} to {}", self.me, value.id);
+                eprintln!(
+                    "[{now} {} r{}] coord assigns {inst} to {}",
+                    self.me,
+                    self.ring.raw(),
+                    value.id
+                );
             }
             self.phase2_self_vote(inst, value, now, out);
         }
@@ -1096,7 +1101,12 @@ impl RingNode {
             self.next_delivery = inst.plus(value.instance_span());
             let value = self.dedup_delivery(inst, value);
             if value.is_deliverable() && std::env::var_os("MRP_DEBUG").is_some() {
-                eprintln!("[{}] learner delivers {inst} {}", self.me, value.id);
+                eprintln!(
+                    "[{} r{}] learner delivers {inst} {}",
+                    self.me,
+                    self.ring.raw(),
+                    value.id
+                );
             }
             if self.subscribed {
                 out.decided.push((inst, value));

@@ -281,6 +281,272 @@ impl Wal {
     }
 }
 
+/// A sink for a node's *decided log*: records tagged with their log
+/// position, group-committed, and (where the backend supports it)
+/// prunable below a durable checkpoint cursor. [`Wal`] implements it as
+/// a single ever-growing file; [`SegmentedWal`] adds rotation.
+pub trait DecidedLog: Send + 'static {
+    /// Stages one record at log position `pos` for group commit.
+    fn stage(&mut self, pos: u64, encode: &mut dyn FnMut(&mut BytesMut));
+
+    /// Group-commits every staged record (one write, one sync).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors; staged records are dropped either way.
+    fn commit(&mut self) -> Result<()>;
+
+    /// Deletes storage that only holds records below `pos` (a durable
+    /// checkpoint covers them). Returns how many segments were dropped;
+    /// backends without rotation return 0.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    fn prune_below(&mut self, _pos: u64) -> Result<usize> {
+        Ok(0)
+    }
+}
+
+impl DecidedLog for Wal {
+    fn stage(&mut self, _pos: u64, encode: &mut dyn FnMut(&mut BytesMut)) {
+        self.append_buffered_with(|buf| encode(buf));
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        Wal::commit(self)
+    }
+}
+
+/// One record of a [`SegmentedWal`] segment: the log position followed
+/// by the raw record bytes (the rest of the frame). Self-describing, so
+/// pruning can read positions without knowing the record type.
+struct PosRecord {
+    pos: u64,
+    body: bytes::Bytes,
+}
+
+impl Wire for PosRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.pos);
+        buf.extend_from_slice(&self.body);
+    }
+
+    fn decode(buf: &mut bytes::Bytes) -> std::result::Result<Self, common::error::WireError> {
+        let pos = common::wire::get_varint(buf)?;
+        let body = buf.split_to(buf.len());
+        Ok(PosRecord { pos, body })
+    }
+}
+
+/// A rotated write-ahead log: records land in bounded segment files
+/// (`seg-<first-pos>.wal` under one directory), the writer rolls to a
+/// fresh segment every `roll_every` records, and [`DecidedLog::prune_below`]
+/// deletes closed segments whose records all sit below the given cursor
+/// — bounding *disk*, where checkpoints alone only bound replay.
+///
+/// Each segment is an ordinary [`Wal`] (same framing, same `.lock`
+/// writer guard) whose frames carry a position prefix ([`PosRecord`]),
+/// so safety of a prune never depends on in-memory bookkeeping: the
+/// candidate segment is re-read and dropped only if every record in it
+/// is below the cursor.
+#[derive(Debug)]
+pub struct SegmentedWal {
+    dir: PathBuf,
+    policy: SyncPolicy,
+    roll_every: u64,
+    /// The active segment: its first position, records appended this
+    /// incarnation, and the backing file.
+    active: Option<(u64, u64, Wal)>,
+    /// Records lost because no segment could be opened; surfaced as an
+    /// error by the next [`DecidedLog::commit`].
+    dropped_since_commit: u64,
+    /// Directory-level writer guard (`segments.lock`): taking it at open
+    /// — before any replay — means a successor never reads the directory
+    /// while a live predecessor could still be flushing into it.
+    _lock: WalLock,
+}
+
+impl SegmentedWal {
+    /// Opens (creating if needed) the segment directory. No segment file
+    /// is opened until the first [`DecidedLog::stage`]: a reopened log
+    /// always starts a *fresh* segment at the next staged position, so
+    /// pre-existing segments are immutable from then on.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>, policy: SyncPolicy, roll_every: u64) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let lock = WalLock::acquire(&dir.join("segments"))?;
+        Ok(SegmentedWal {
+            dir,
+            policy,
+            roll_every: roll_every.max(1),
+            active: None,
+            dropped_since_commit: 0,
+            _lock: lock,
+        })
+    }
+
+    /// The directory-level lock file guarding `dir` (for tests and
+    /// shutdown checks).
+    pub fn dir_lock_path(dir: impl AsRef<Path>) -> PathBuf {
+        lock_path(dir.as_ref().join("segments"))
+    }
+
+    /// Segment files under `dir`, sorted by first position.
+    pub fn segments(dir: impl AsRef<Path>) -> Vec<PathBuf> {
+        let mut named: Vec<(u64, PathBuf)> = std::fs::read_dir(dir.as_ref())
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                let first = Self::segment_pos(&path)?;
+                Some((first, path))
+            })
+            .collect();
+        named.sort();
+        named.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn segment_pos(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        name.strip_prefix("seg-")?
+            .strip_suffix(".wal")?
+            .parse()
+            .ok()
+    }
+
+    fn segment_path(&self, first: u64) -> PathBuf {
+        self.dir.join(format!("seg-{first:020}.wal"))
+    }
+
+    /// Replays every record across all segments, in segment order
+    /// (skipping torn tails per segment). Returns `(pos, record)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or if a complete frame fails to decode.
+    pub fn replay<T: Wire>(dir: impl AsRef<Path>) -> Result<Vec<(u64, T)>> {
+        let mut out = Vec::new();
+        for seg in Self::segments(dir) {
+            for rec in Wal::replay::<PosRecord>(&seg)? {
+                let mut body = rec.body;
+                out.push((rec.pos, T::decode(&mut body).map_err(Error::Wire)?));
+            }
+        }
+        Ok(out)
+    }
+
+    fn roll_to(&mut self, pos: u64) {
+        // Open the next segment, then close (committing) the current one.
+        // A same-or-lower position never rolls (see stage), so segment
+        // names sort in creation order.
+        let mut path = self.segment_path(pos);
+        if path.exists() {
+            // A reopened log staging the same position again (replayed
+            // suffix): keep the old segment immutable, start a sibling
+            // one position up — positions inside stay authoritative.
+            let mut bump = pos;
+            while path.exists() {
+                bump += 1;
+                path = self.segment_path(bump);
+            }
+        }
+        match Wal::open(&path, self.policy) {
+            Ok(new) => {
+                if let Some((_, _, mut old)) = self.active.take() {
+                    let _ = Wal::commit(&mut old);
+                }
+                self.active = Some((pos, 0, new));
+            }
+            Err(_) => {
+                // Keep appending to the (oversized) current segment and
+                // retry the roll on the next stage — a failed open must
+                // never silently drop decided records. With no current
+                // segment at all, the record is lost; `commit` reports
+                // it.
+                if self.active.is_none() {
+                    self.dropped_since_commit += 1;
+                }
+            }
+        }
+    }
+}
+
+impl DecidedLog for SegmentedWal {
+    fn stage(&mut self, pos: u64, encode: &mut dyn FnMut(&mut BytesMut)) {
+        let need_roll = match &self.active {
+            None => true,
+            // Roll only forward: a late record below the active segment's
+            // first position stays in the active segment, so no segment
+            // ever holds positions above a *later* segment's name.
+            Some((first, n, _)) => *n >= self.roll_every && pos > *first,
+        };
+        if need_roll {
+            self.roll_to(pos);
+        }
+        if let Some((_, n, wal)) = &mut self.active {
+            wal.append_buffered_with(|buf| {
+                put_varint(buf, pos);
+                encode(buf);
+            });
+            *n += 1;
+        }
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        if self.dropped_since_commit > 0 {
+            let n = self.dropped_since_commit;
+            self.dropped_since_commit = 0;
+            let _ = self.active.as_mut().map(|(_, _, w)| Wal::commit(w));
+            return Err(Error::Storage(format!(
+                "segmented wal dropped {n} record(s): no segment could be opened"
+            )));
+        }
+        match &mut self.active {
+            Some((_, _, wal)) => Wal::commit(wal),
+            None => Ok(()),
+        }
+    }
+
+    fn prune_below(&mut self, pos: u64) -> Result<usize> {
+        // Guard the *actual* open file: its name can sit above the
+        // active first-position when a roll had to bump past an existing
+        // segment name.
+        let active_path = self.active.as_ref().map(|(_, _, w)| w.path().to_path_buf());
+        let mut dropped = 0usize;
+        for seg in Self::segments(&self.dir) {
+            if Some(&seg) == active_path.as_ref() {
+                continue; // never the open segment
+            }
+            // Cheap name filter: a roll names the new segment at (or,
+            // when bumping past an existing name, slightly above) its
+            // first record, so a name below the cursor is a necessary
+            // condition for "all records below the cursor" — except for
+            // bumped segments, where skipping merely *retains* a
+            // prunable segment (conservative, never unsafe). This avoids
+            // re-reading the whole surviving log on every checkpoint.
+            if Self::segment_pos(&seg).is_none_or(|first| first >= pos) {
+                continue;
+            }
+            // Safety check by content, not by name: drop the segment only
+            // if every record in it is below the checkpoint cursor.
+            let all_below = match Wal::replay::<PosRecord>(&seg) {
+                Ok(records) => !records.is_empty() && records.iter().all(|r| r.pos < pos),
+                Err(_) => false, // unreadable: keep it for forensics
+            };
+            if all_below && std::fs::remove_file(&seg).is_ok() {
+                dropped += 1;
+            }
+        }
+        Ok(dropped)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +673,124 @@ mod tests {
         let wal = Wal::open(&path, SyncPolicy::OsDecides).unwrap();
         drop(wal);
         assert!(!lock_path(&path).exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn seg_tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("segwal-test-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn stage_entry(w: &mut SegmentedWal, i: u64) {
+        let e = entry(i);
+        w.stage(i, &mut |buf| e.encode(buf));
+    }
+
+    #[test]
+    fn segmented_wal_rolls_replays_and_prunes() {
+        let dir = seg_tmp("roll");
+        {
+            let mut w = SegmentedWal::open(&dir, SyncPolicy::OsDecides, 4).unwrap();
+            for i in 0..10 {
+                stage_entry(&mut w, i);
+            }
+            DecidedLog::commit(&mut w).unwrap();
+            // 10 records at 4 per segment: 3 segments.
+            assert_eq!(SegmentedWal::segments(&dir).len(), 3);
+            let replayed: Vec<(u64, AcceptedEntry)> = SegmentedWal::replay(&dir).unwrap();
+            assert_eq!(replayed.len(), 10);
+            assert_eq!(replayed[7].0, 7);
+            assert_eq!(replayed[7].1, entry(7));
+
+            // A checkpoint at 8 retires the two closed all-below segments
+            // ([0..4), [4..8)) but never the active one.
+            assert_eq!(w.prune_below(8).unwrap(), 2);
+            assert_eq!(SegmentedWal::segments(&dir).len(), 1);
+            let replayed: Vec<(u64, AcceptedEntry)> = SegmentedWal::replay(&dir).unwrap();
+            assert_eq!(replayed.first().map(|(p, _)| *p), Some(8));
+
+            // A cursor below the surviving segment's records deletes
+            // nothing.
+            assert_eq!(w.prune_below(9).unwrap(), 0);
+        }
+        // Restart over the rotated directory: replay sees the suffix,
+        // and new appends land in a fresh segment.
+        {
+            let mut w = SegmentedWal::open(&dir, SyncPolicy::OsDecides, 4).unwrap();
+            assert_eq!(
+                SegmentedWal::replay::<AcceptedEntry>(&dir).unwrap().len(),
+                2
+            );
+            stage_entry(&mut w, 10);
+            DecidedLog::commit(&mut w).unwrap();
+            let replayed: Vec<(u64, AcceptedEntry)> = SegmentedWal::replay(&dir).unwrap();
+            assert_eq!(replayed.len(), 3);
+            assert_eq!(replayed.last().map(|(p, _)| *p), Some(10));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bumped_active_segment_survives_prune() {
+        // A reopened log staging a position that collides with an
+        // existing segment name bumps the new file's name past it; a
+        // prune must guard the file actually open — not the file the
+        // un-bumped position would name — or it deletes the live log.
+        let dir = seg_tmp("bump");
+        {
+            let mut w = SegmentedWal::open(&dir, SyncPolicy::OsDecides, 2).unwrap();
+            for i in 0..3 {
+                stage_entry(&mut w, i); // seg-0 (0,1) + seg-2 (2)
+            }
+            DecidedLog::commit(&mut w).unwrap();
+        }
+        {
+            let mut w = SegmentedWal::open(&dir, SyncPolicy::OsDecides, 2).unwrap();
+            stage_entry(&mut w, 2); // collides with seg-2: bumped file name
+            DecidedLog::commit(&mut w).unwrap();
+            assert_eq!(SegmentedWal::segments(&dir).len(), 3);
+            // Cursor above everything: the immutable segments go, the
+            // open (bumped) one must survive.
+            w.prune_below(100).unwrap();
+            stage_entry(&mut w, 5);
+            DecidedLog::commit(&mut w).unwrap();
+            let replayed: Vec<(u64, AcceptedEntry)> = SegmentedWal::replay(&dir).unwrap();
+            assert_eq!(
+                replayed.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+                vec![2, 5],
+                "the active segment's records survived the prune"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segmented_wal_dir_lock_excludes_second_writer() {
+        let dir = seg_tmp("lock");
+        let w = SegmentedWal::open(&dir, SyncPolicy::OsDecides, 4).unwrap();
+        assert!(SegmentedWal::dir_lock_path(&dir).exists());
+        match SegmentedWal::open(&dir, SyncPolicy::OsDecides, 4) {
+            Err(Error::Storage(msg)) => assert!(msg.contains("locked"), "{msg}"),
+            other => panic!("second open must fail with Storage, got {other:?}"),
+        }
+        drop(w);
+        assert!(!SegmentedWal::dir_lock_path(&dir).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_wal_decided_log_ignores_prune() {
+        let path = tmp("plainlog");
+        let mut wal = Wal::open(&path, SyncPolicy::OsDecides).unwrap();
+        let e = entry(1);
+        DecidedLog::stage(&mut wal, 1, &mut |buf| e.encode(buf));
+        DecidedLog::commit(&mut wal).unwrap();
+        assert_eq!(wal.prune_below(100).unwrap(), 0);
+        let records: Vec<AcceptedEntry> = Wal::replay(&path).unwrap();
+        assert_eq!(records, vec![entry(1)]);
+        drop(wal);
         std::fs::remove_file(&path).unwrap();
     }
 

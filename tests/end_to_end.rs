@@ -268,6 +268,7 @@ fn live_mrpstore_survives_replica_restart_with_closed_loop_clients() {
     let opts = || ClientOptions {
         timeout: Duration::from_secs(30),
         retry_every: Duration::from_secs(2),
+        ..ClientOptions::default()
     };
 
     // Closed-loop writer clients on their own threads: each writes its
@@ -409,6 +410,7 @@ fn live_mrpstore_reconfigures_through_amcoord_ensemble() {
         ClientOptions {
             timeout: Duration::from_secs(30),
             retry_every: Duration::from_secs(2),
+            ..ClientOptions::default()
         },
     )
     .unwrap();
