@@ -4,22 +4,35 @@
 //!
 //! The ordering hot path is supposed to ship every application payload
 //! around the ring exactly once (inside Phase 2) and keep all later
-//! ordering traffic — decisions in particular — metadata-only. The
-//! [`common::metrics`] counters, incremented by the wire encoder, let this
-//! probe verify that property on a real deployment and track the
-//! throughput it buys across payload sizes.
+//! ordering traffic — decisions in particular — metadata-only. Every
+//! node counts its own outgoing wire traffic in its per-node metrics
+//! registry; this probe scrapes those registries over the client
+//! protocol's stats plane after each sweep, so the guard holds *per
+//! node*, not just in aggregate.
 //!
 //! ```text
 //! cargo run --release -p bench --bin live_loopback -- \
 //!     [--clients 8] [--window 32] [--duration-ms 3000] \
 //!     [--partitions 2] [--replicas 2] [--label current] \
-//!     [--out BENCH_live_loopback.json] [--smoke] \
+//!     [--out BENCH_live_loopback.json] [--smoke] [--stages] \
 //!     [--baseline BENCH_live_loopback.json] [--tolerance 0.20]
 //! ```
 //!
 //! `--smoke` runs one short 1 KiB scenario and exits non-zero if any
-//! decision on the wire carried payload bytes — the CI guard against the
-//! decision path regressing back to full-value shipping.
+//! node put a decision on the wire carrying payload bytes — the CI
+//! guard against the decision path regressing back to full-value
+//! shipping.
+//!
+//! `--stages` runs the 1 KiB scenario with tracing off and with stage
+//! tracing on (1-in-32 sampling), writes the per-node per-stage
+//! latency breakdown into the results file, and exits non-zero if
+//! tracing cost more than `--stages-tolerance` (default 3%) throughput.
+//! Loopback throughput on a shared box swings far more run-to-run than
+//! the true tracing cost, so the gate interleaves up to
+//! `--stages-attempts` (default 3) plain/traced pairs and compares
+//! *peak* throughput per side — a systematic tracing cost depresses
+//! every attempt, while noise does not survive the max — stopping at
+//! the first pair that lands within tolerance.
 //!
 //! `--baseline FILE` compares the fresh 1 KiB throughput against the
 //! committed baseline and exits non-zero if it dropped more than the
@@ -32,16 +45,31 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use common::hist::Histogram;
 use common::ids::ClientId;
-use common::metrics::{self, WireCounters};
+use common::msg::WireStats;
+use common::obs::ObsSnapshot;
 use liverun::config::generate_localhost_mrpstore;
-use liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
+use liverun::{fetch_stats, ClientOptions, Deployment, DeploymentConfig, StoreClient};
+
+/// The pipeline stages, in hot-path order. Histogram names carry the
+/// `stage_` prefix and `_nanos` suffix; samples are *cumulative* nanos
+/// since the command's origin stamp, so adjacent p50 differences read
+/// as per-stage cost.
+const STAGES: &[&str] = &[
+    "seal", "propose", "p2send", "decide", "deliver", "execute", "reply",
+];
 
 struct Outcome {
     payload_bytes: usize,
     completed: u64,
     elapsed: Duration,
     latency: Histogram,
-    wire: WireCounters,
+    /// Post-sweep metrics snapshot per node, via the stats plane.
+    nodes: Vec<ObsSnapshot>,
+}
+
+/// Sums one wire counter over every node's snapshot.
+fn wire_total(nodes: &[ObsSnapshot], name: &str) -> u64 {
+    nodes.iter().filter_map(|s| s.counter(name)).sum()
 }
 
 impl Outcome {
@@ -49,7 +77,20 @@ impl Outcome {
         self.completed as f64 / self.elapsed.as_secs_f64()
     }
 
+    fn wire(&self) -> WireStats {
+        WireStats {
+            decision_msgs: wire_total(&self.nodes, "decision_msgs"),
+            decision_wire_bytes: wire_total(&self.nodes, "decision_wire_bytes"),
+            decision_payload_bytes: wire_total(&self.nodes, "decision_payload_bytes"),
+            phase2_msgs: wire_total(&self.nodes, "phase2_msgs"),
+            phase2_wire_bytes: wire_total(&self.nodes, "phase2_wire_bytes"),
+            phase2_payload_bytes: wire_total(&self.nodes, "phase2_payload_bytes"),
+            value_requests: wire_total(&self.nodes, "value_requests"),
+        }
+    }
+
     fn json(&self) -> String {
+        let wire = self.wire();
         format!(
             concat!(
                 "{{\"payload_bytes\": {}, \"completed\": {}, \"elapsed_s\": {:.3}, ",
@@ -68,14 +109,48 @@ impl Outcome {
             self.latency.quantile(0.50) as f64 / 1e3,
             self.latency.quantile(0.95) as f64 / 1e3,
             self.latency.quantile(0.99) as f64 / 1e3,
-            self.wire.decision_msgs,
-            self.wire.decision_wire_bytes,
-            self.wire.decision_payload_bytes,
-            self.wire.phase2_msgs,
-            self.wire.phase2_wire_bytes,
-            self.wire.phase2_payload_bytes,
-            self.wire.value_requests,
+            wire.decision_msgs,
+            wire.decision_wire_bytes,
+            wire.decision_payload_bytes,
+            wire.phase2_msgs,
+            wire.phase2_wire_bytes,
+            wire.phase2_payload_bytes,
+            wire.value_requests,
         )
+    }
+
+    /// Per-node per-stage breakdown (only meaningful for traced runs):
+    /// one object per node with each stage's cumulative p50/p95/p99 in
+    /// microseconds.
+    fn stages_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, snap) in self.nodes.iter().enumerate() {
+            let sep = if i + 1 < self.nodes.len() { "," } else { "" };
+            out.push_str(&format!("      {{\"node\": {}, \"stages\": {{", snap.node));
+            let mut first = true;
+            for stage in STAGES {
+                let Some(h) = snap.hist(&format!("stage_{stage}_nanos")) else {
+                    continue;
+                };
+                if h.count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\"{stage}\": {{\"count\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+                    h.count,
+                    h.p50 as f64 / 1e3,
+                    h.p95 as f64 / 1e3,
+                    h.p99 as f64 / 1e3,
+                ));
+            }
+            out.push_str(&format!("}}}}{sep}\n"));
+        }
+        out.push_str("    ]");
+        out
     }
 }
 
@@ -199,13 +274,14 @@ fn run_scenario(
     clients: u32,
     window: usize,
     duration: Duration,
+    trace_sample: u64,
 ) -> Outcome {
     let text = generate_localhost_mrpstore(partitions, replicas, base_port, None);
-    let config = DeploymentConfig::parse(&text).expect("generated config parses");
+    let mut config = DeploymentConfig::parse(&text).expect("generated config parses");
+    config.trace_sample = trace_sample;
     let deployment = Deployment::launch(config.clone()).expect("deployment launches");
     let payload = Bytes::from(vec![0x5au8; payload_bytes]);
 
-    let before = metrics::snapshot();
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let mut workers = Vec::new();
@@ -228,36 +304,150 @@ fn run_scenario(
         latency.merge(&h);
     }
     let elapsed = started.elapsed();
+    // Scrape every node's registry through the client protocol before
+    // tearing the deployment down.
+    let nodes = deployment
+        .client_addrs()
+        .into_iter()
+        .map(|(node, addr)| {
+            fetch_stats(addr, Duration::from_secs(5))
+                .unwrap_or_else(|e| panic!("stats from node {node}: {e}"))
+        })
+        .collect();
     deployment.shutdown();
-    let wire = before.delta(&metrics::snapshot());
     Outcome {
         payload_bytes,
         completed,
         elapsed,
         latency,
-        wire,
+        nodes,
     }
 }
 
 fn main() {
     let smoke = flag("--smoke");
+    let stages = flag("--stages");
     let partitions = arg("--partitions", 2) as u16;
     let replicas = arg("--replicas", 2) as u16;
     let clients = arg("--clients", 8) as u32;
     let window = arg("--window", 32) as usize;
-    let default_ms = if smoke { 800 } else { 3000 };
+    let default_ms = if smoke || stages { 800 } else { 3000 };
     let duration = Duration::from_millis(arg("--duration-ms", default_ms));
     let base_port = arg("--base-port", 26000) as u16;
     let label = arg_str("--label", "current");
     let out = arg_str("--out", "BENCH_live_loopback.json");
+    let ports_per_scenario = (partitions * replicas + 2) * 2;
+    let port_of = |i: usize| base_port + (i as u16) * ports_per_scenario;
+
+    if stages {
+        // Tracing-overhead gate + per-stage breakdown: the same 1 KiB
+        // scenario with tracing off versus 1-in-32 stage sampling.
+        //
+        // A single 800 ms loopback run swings ±20% with machine load —
+        // far more than tracing could plausibly cost — so one paired
+        // run cannot resolve a 3% budget. Interleave pairs and compare
+        // the best attempt per side: noise suppresses individual runs
+        // but not the max, while a real tracing cost caps every traced
+        // attempt. Stop as soon as the peaks agree within tolerance.
+        let sample = arg("--trace-sample", 32);
+        let attempts = arg("--stages-attempts", 3).max(1) as usize;
+        let tolerance = arg_str("--stages-tolerance", "0.03")
+            .parse::<f64>()
+            .expect("--stages-tolerance is a fraction");
+        let mut plain_runs: Vec<Outcome> = Vec::new();
+        let mut traced_runs: Vec<Outcome> = Vec::new();
+        let mut overhead = f64::INFINITY;
+        for attempt in 0..attempts {
+            plain_runs.push(run_scenario(
+                1024,
+                partitions,
+                replicas,
+                port_of(2 * attempt),
+                clients,
+                window,
+                duration,
+                0,
+            ));
+            traced_runs.push(run_scenario(
+                1024,
+                partitions,
+                replicas,
+                port_of(2 * attempt + 1),
+                clients,
+                window,
+                duration,
+                sample,
+            ));
+            let peak = |runs: &[Outcome]| {
+                runs.iter()
+                    .map(Outcome::throughput)
+                    .fold(f64::MIN, f64::max)
+            };
+            overhead = 1.0 - peak(&traced_runs) / peak(&plain_runs).max(1e-9);
+            if overhead <= tolerance {
+                break;
+            }
+        }
+        let best = |runs: Vec<Outcome>| {
+            runs.into_iter()
+                .max_by(|a, b| a.throughput().total_cmp(&b.throughput()))
+                .expect("at least one attempt ran")
+        };
+        let pairs = plain_runs.len();
+        let plain = best(plain_runs);
+        let traced = best(traced_runs);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str(&format!("  \"label\": \"{label}\",\n"));
+        json.push_str(&format!("  \"trace_sample\": {sample},\n"));
+        json.push_str(&format!("  \"pairs_run\": {pairs},\n"));
+        json.push_str(&format!("  \"plain\": {},\n", plain.json()));
+        json.push_str(&format!("  \"traced\": {},\n", traced.json()));
+        json.push_str(&format!("  \"overhead\": {overhead:.4},\n"));
+        json.push_str(&format!(
+            "  \"stage_breakdown\": {}\n",
+            traced.stages_json()
+        ));
+        json.push_str("}\n");
+        print!("{json}");
+        std::fs::write(&out, &json).expect("write results file");
+        eprintln!(
+            "stages: plain {:.1} ops/s, traced {:.1} ops/s over {pairs} pair(s), \
+             overhead {:.2}% (tolerance {:.0}%)",
+            plain.throughput(),
+            traced.throughput(),
+            overhead * 100.0,
+            tolerance * 100.0,
+        );
+        let sampled: u64 = traced
+            .nodes
+            .iter()
+            .filter_map(|s| s.hist("stage_propose_nanos").map(|h| h.count))
+            .sum();
+        if sampled == 0 {
+            eprintln!("stages FAILED: tracing on but no stage samples recorded");
+            std::process::exit(1);
+        }
+        if overhead > tolerance {
+            eprintln!("stages FAILED: tracing overhead above tolerance");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let payload_sizes: &[usize] = if smoke { &[1024] } else { &[64, 1024, 8192] };
 
     let mut outcomes = Vec::new();
     for (i, &size) in payload_sizes.iter().enumerate() {
-        let port = base_port + (i as u16) * ((partitions * replicas + 2) * 2);
         outcomes.push(run_scenario(
-            size, partitions, replicas, port, clients, window, duration,
+            size,
+            partitions,
+            replicas,
+            port_of(i),
+            clients,
+            window,
+            duration,
+            0,
         ));
     }
 
@@ -268,11 +458,18 @@ fn main() {
     let sweep_windows: &[usize] = if smoke { &[] } else { &[1, 8, 32] };
     let mut window_sweep = Vec::new();
     for (i, &w) in sweep_windows.iter().enumerate() {
-        let port =
-            base_port + ((payload_sizes.len() + i) as u16) * ((partitions * replicas + 2) * 2);
         window_sweep.push((
             w,
-            run_scenario(1024, partitions, replicas, port, clients, w, duration),
+            run_scenario(
+                1024,
+                partitions,
+                replicas,
+                port_of(payload_sizes.len() + i),
+                clients,
+                w,
+                duration,
+                0,
+            ),
         ));
     }
 
@@ -317,24 +514,39 @@ fn main() {
     }
 
     if smoke {
-        // CI guard: the decision path must be metadata-only. The payload
-        // counter catches a re-added payload field that reports itself;
-        // the measured bytes-per-decision bound is the structural check —
-        // an id-only decision is ~10 bytes, so any payload (the scenario
-        // runs 1 KiB values) blows far past the threshold.
-        let total: u64 = outcomes.iter().map(|o| o.wire.decision_payload_bytes).sum();
-        let msgs: u64 = outcomes.iter().map(|o| o.wire.decision_msgs).sum();
-        let wire: u64 = outcomes.iter().map(|o| o.wire.decision_wire_bytes).sum();
+        // CI guard: the decision path must be metadata-only, on every
+        // node. The payload counter catches a re-added payload field
+        // that reports itself; the measured bytes-per-decision bound is
+        // the structural check — an id-only decision is ~10 bytes, so
+        // any payload (the scenario runs 1 KiB values) blows far past
+        // the threshold.
         let done: u64 = outcomes.iter().map(|o| o.completed).sum();
+        let mut msgs = 0u64;
+        let mut wire = 0u64;
+        let mut dirty = Vec::new();
+        for o in &outcomes {
+            for snap in &o.nodes {
+                let payload = snap.counter("decision_payload_bytes").unwrap_or(0);
+                if payload > 0 {
+                    dirty.push((snap.node, payload));
+                }
+                msgs += snap.counter("decision_msgs").unwrap_or(0);
+                wire += snap.counter("decision_wire_bytes").unwrap_or(0);
+            }
+        }
         let per_decision = wire as f64 / msgs.max(1) as f64;
         eprintln!(
-            "smoke: {done} ops, {msgs} decisions, {total} decision payload bytes, {per_decision:.1} B/decision"
+            "smoke: {done} ops, {msgs} decisions, {} nodes with decision payload bytes, {per_decision:.1} B/decision",
+            dirty.len()
         );
         if done == 0 {
             eprintln!("smoke FAILED: no operations completed");
             std::process::exit(1);
         }
-        if total > 0 || per_decision > 64.0 {
+        if !dirty.is_empty() || per_decision > 64.0 {
+            for (node, bytes) in &dirty {
+                eprintln!("  node {node}: {bytes} decision payload bytes");
+            }
             eprintln!("smoke FAILED: decisions on the wire still carry payload bytes");
             std::process::exit(1);
         }

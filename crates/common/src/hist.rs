@@ -39,7 +39,11 @@ impl Histogram {
         }
     }
 
-    fn bucket_of(v: u64) -> usize {
+    /// Number of buckets, shared with the sharded atomic recorder in
+    /// [`crate::obs`].
+    pub(crate) const BUCKET_COUNT: usize = BUCKETS;
+
+    pub(crate) fn bucket_of(v: u64) -> usize {
         if v < SUB_BUCKETS as u64 {
             return v as usize;
         }
@@ -53,9 +57,31 @@ impl Histogram {
         if idx < SUB_BUCKETS {
             return idx as u64;
         }
-        let base = idx / SUB_BUCKETS + 3;
-        let sub = idx % SUB_BUCKETS;
-        (1u64 << base) + ((sub as u64) << (base - 4))
+        let base = (idx / SUB_BUCKETS + 3) as u32;
+        let sub = (idx % SUB_BUCKETS) as u128;
+        // Computed in u128: the topmost buckets' lower bounds do not fit
+        // in u64 (`1 << base` overflows for idx >= 976), and merged-in
+        // foreign counts can populate them even though `record` cannot.
+        let low = (1u128 << base) + (sub << (base - 4));
+        low.min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Rebuilds a histogram from raw bucket counts plus the tracked
+    /// aggregate stats — how [`crate::obs::Hist`] snapshots collapse
+    /// their atomic shards back into this type. Extra input buckets
+    /// beyond [`Self::BUCKET_COUNT`] are ignored.
+    pub(crate) fn from_raw(counts: &[u64], sum: u128, min: u64, max: u64) -> Histogram {
+        let mut h = Histogram::new();
+        let mut total = 0u64;
+        for (into, &c) in h.counts.iter_mut().zip(counts) {
+            *into = c;
+            total += c;
+        }
+        h.total = total;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        h
     }
 
     /// Records one sample.
@@ -80,6 +106,12 @@ impl Histogram {
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.total == 0
+    }
+
+    /// Sum of all samples, saturating at `u64::MAX` (the internal
+    /// accumulator is wider).
+    pub fn sum_saturating(&self) -> u64 {
+        self.sum.min(u128::from(u64::MAX)) as u64
     }
 
     /// Mean of the samples, 0 when empty.
@@ -116,6 +148,10 @@ impl Histogram {
             return 0;
         }
         let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        if rank >= self.total {
+            // The highest-ranked sample is the tracked max, exactly.
+            return self.max;
+        }
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -245,6 +281,38 @@ mod tests {
             prev = f;
         }
         assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_samples_do_not_overflow_bucket_bounds() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+        // The topmost buckets are unreachable through `record` (bucket_of
+        // caps at the 63-bit band) but reachable through raw rebuilds;
+        // their lower bounds must clamp instead of overflowing.
+        let mut counts = vec![0u64; BUCKETS];
+        counts[BUCKETS - 1] = 1;
+        let raw = Histogram::from_raw(&counts, u128::from(u64::MAX), u64::MAX, u64::MAX);
+        assert_eq!(raw.quantile(0.5), u64::MAX);
+        assert_eq!(raw.cdf_points().len(), 1);
+    }
+
+    #[test]
+    fn from_raw_round_trips_a_recorded_histogram() {
+        let mut h = Histogram::new();
+        for v in [3u64, 900, 1_000_000, u64::MAX / 2] {
+            h.record(v);
+        }
+        let counts: Vec<u64> = h.counts.to_vec();
+        let back = Histogram::from_raw(&counts, h.sum, h.min, h.max);
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.quantile(0.99), h.quantile(0.99));
+        assert_eq!(back.sum_saturating(), h.sum_saturating());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   heaps and peer-frame reassembly.
 //! * [`hist`] — a log-bucketed latency histogram shared by the simulator
 //!   metrics and the benchmark harnesses.
+//! * [`obs`] — the per-node observability registry (counters, gauges,
+//!   sharded histograms) and the snapshot type the stats plane ships.
 //!
 //! # Example
 //!
@@ -36,8 +38,8 @@
 pub mod error;
 pub mod hist;
 pub mod ids;
-pub mod metrics;
 pub mod msg;
+pub mod obs;
 pub mod time;
 pub mod transport;
 pub mod value;

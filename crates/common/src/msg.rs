@@ -262,6 +262,70 @@ impl RingMsg {
             | RingMsg::ValueResend { .. } => None,
         }
     }
+
+    /// Tallies this message's hot-path wire footprint into `stats`,
+    /// recursing into [`RingMsg::Batch`] packets. Called by the live
+    /// transports at their encode points, where the sending *node* is
+    /// known — the per-node replacement for the old process-global wire
+    /// counters. Sizes come from [`RingMsg::wire_size`], which is exact.
+    pub fn tally_wire(&self, stats: &mut WireStats) {
+        match self {
+            RingMsg::Phase2 { value, .. } => {
+                stats.phase2_msgs += 1;
+                stats.phase2_wire_bytes += self.wire_size() as u64;
+                stats.phase2_payload_bytes += value.payload().map(|b| b.len()).unwrap_or(0) as u64;
+            }
+            RingMsg::Decision { .. } => {
+                stats.decision_msgs += 1;
+                stats.decision_wire_bytes += self.wire_size() as u64;
+                // Id-only by construction: a decision cannot carry payload
+                // bytes; the (always-zero) counter records that fact.
+            }
+            RingMsg::ValueRequest { .. } => stats.value_requests += 1,
+            RingMsg::Batch(msgs) => {
+                for m in msgs {
+                    m.tally_wire(stats);
+                }
+            }
+            RingMsg::Proposal { .. }
+            | RingMsg::Phase1 { .. }
+            | RingMsg::ValueResend { .. }
+            | RingMsg::Heartbeat { .. } => {}
+        }
+    }
+}
+
+/// Wire-footprint tally of the ordering hot path, accumulated via
+/// [`RingMsg::tally_wire`]. The benchmarks and the CI smoke test ask one
+/// specific question of it: *how many payload bytes does the decision
+/// path still carry?* With id-only decisions the answer must be zero —
+/// the value circulates the ring once inside Phase 2 and every later
+/// ordering message is metadata.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Decision messages sent.
+    pub decision_msgs: u64,
+    /// Total encoded bytes of those decisions.
+    pub decision_wire_bytes: u64,
+    /// Application payload bytes carried inside decisions (zero with
+    /// id-only decisions).
+    pub decision_payload_bytes: u64,
+    /// Phase 2 messages sent.
+    pub phase2_msgs: u64,
+    /// Total encoded bytes of those Phase 2 messages.
+    pub phase2_wire_bytes: u64,
+    /// Application payload bytes carried inside Phase 2 messages (the
+    /// one legitimate payload circulation).
+    pub phase2_payload_bytes: u64,
+    /// Slow-path value pulls sent (misses of the id→value resolution).
+    pub value_requests: u64,
+}
+
+impl WireStats {
+    /// Tallies one outgoing message.
+    pub fn tally(&mut self, msg: &RingMsg) {
+        msg.tally_wire(self);
+    }
 }
 
 impl Wire for RingMsg {
@@ -295,15 +359,12 @@ impl Wire for RingMsg {
                 votes,
                 ttl,
             } => {
-                let before = buf.len();
                 buf.put_u8(2);
                 inst.encode(buf);
                 ballot.encode(buf);
                 value.encode(buf);
                 put_varint(buf, u64::from(*votes));
                 put_varint(buf, u64::from(*ttl));
-                let payload = value.payload().map(|b| b.len()).unwrap_or(0);
-                crate::metrics::record_phase2(buf.len() - before, payload);
             }
             RingMsg::Decision {
                 inst,
@@ -311,15 +372,11 @@ impl Wire for RingMsg {
                 id,
                 ttl,
             } => {
-                let before = buf.len();
                 buf.put_u8(3);
                 inst.encode(buf);
                 ballot.encode(buf);
                 id.encode(buf);
                 put_varint(buf, u64::from(*ttl));
-                // Id-only by construction: a decision cannot carry payload
-                // bytes any more; the counter records that fact.
-                crate::metrics::record_decision(buf.len() - before, 0);
             }
             RingMsg::Batch(msgs) => {
                 buf.put_u8(4);
@@ -333,7 +390,6 @@ impl Wire for RingMsg {
                 buf.put_u8(6);
                 inst.encode(buf);
                 id.encode(buf);
-                crate::metrics::record_value_request();
             }
             RingMsg::ValueResend {
                 inst,

@@ -216,6 +216,15 @@ pub struct Envelope {
     /// replies for (contiguously); replicas prune cached replies up to
     /// here.
     pub ack: u64,
+    /// Stage-trace origin stamp: wall-clock nanoseconds at which the
+    /// serving node admitted the command, or 0 for the (vast) unsampled
+    /// majority. Carried through ordering so every process touching the
+    /// command records its stage latency against the same origin — the
+    /// deterministic sample bit that lines spans up across nodes. Like
+    /// `session`/`ack` above, adding this field changed the envelope's
+    /// storage encoding; pre-change logs recover from peers rather than
+    /// replay.
+    pub trace: u64,
     /// The service-specific command encoding.
     pub cmd: Bytes,
 }
@@ -230,6 +239,7 @@ impl Envelope {
             reply_to,
             session: NO_SESSION,
             ack: 0,
+            trace: 0,
             cmd,
         }
     }
@@ -242,6 +252,7 @@ impl Wire for Envelope {
         self.reply_to.encode(buf);
         put_varint(buf, self.session);
         put_varint(buf, self.ack);
+        put_varint(buf, self.trace);
         put_bytes(buf, &self.cmd);
     }
 
@@ -252,6 +263,7 @@ impl Wire for Envelope {
             reply_to: NodeId::decode(buf)?,
             session: get_varint(buf)?,
             ack: get_varint(buf)?,
+            trace: get_varint(buf)?,
             cmd: get_bytes(buf)?,
         })
     }
@@ -293,6 +305,35 @@ impl Payload {
             Payload::One(env) => vec![env],
             Payload::Batch(envs) => envs,
         }
+    }
+
+    /// Reads the first envelope's trace stamp out of an *encoded* payload
+    /// without decoding commands: a few varints off the front of the
+    /// buffer. The mid-pipeline stages (Phase 2 send, decision) see only
+    /// encoded value bytes; this lets them record stage latency for
+    /// sampled batches without paying a full decode on the hot path.
+    /// Returns 0 (unsampled) for anything that does not parse — a
+    /// non-payload value or a foreign encoding.
+    pub fn peek_trace(encoded: &Bytes) -> u64 {
+        fn inner(buf: &mut Bytes) -> Result<u64, WireError> {
+            let tag = get_tag(buf, "payload")?;
+            if tag == 1 {
+                let n = get_varint(buf)?; // batch length
+                if n == 0 {
+                    return Ok(0);
+                }
+            } else if tag != 0 {
+                return Ok(0);
+            }
+            ClientId::decode(buf)?;
+            RequestId::decode(buf)?;
+            NodeId::decode(buf)?;
+            get_varint(buf)?; // session
+            get_varint(buf)?; // ack
+            get_varint(buf)
+        }
+        let mut buf = encoded.clone();
+        inner(&mut buf).unwrap_or(0)
     }
 }
 
@@ -428,5 +469,43 @@ mod tests {
         assert_eq!(batch.len(), 2);
         let reqs: Vec<u64> = batch.into_envelopes().iter().map(|e| e.req.raw()).collect();
         assert_eq!(reqs, vec![5, 6], "execution order preserved");
+    }
+
+    #[test]
+    fn peek_trace_reads_the_first_envelope_without_decoding() {
+        let stamped = Envelope {
+            trace: 123_456_789,
+            ..Envelope::v1(
+                ClientId::new(1),
+                RequestId::new(2),
+                NodeId::new(3),
+                Bytes::from(vec![0u8; 4096]),
+            )
+        };
+        let plain = Envelope::v1(
+            ClientId::new(4),
+            RequestId::new(5),
+            NodeId::new(6),
+            Bytes::from_static(b"x"),
+        );
+        assert_eq!(
+            Payload::peek_trace(&Payload::One(stamped.clone()).to_bytes()),
+            123_456_789
+        );
+        assert_eq!(
+            Payload::peek_trace(&Payload::Batch(vec![stamped, plain.clone()]).to_bytes()),
+            123_456_789,
+            "a batch reports its first envelope's stamp"
+        );
+        assert_eq!(Payload::peek_trace(&Payload::One(plain).to_bytes()), 0);
+        assert_eq!(
+            Payload::peek_trace(&Payload::Batch(Vec::new()).to_bytes()),
+            0
+        );
+        assert_eq!(
+            Payload::peek_trace(&Bytes::from_static(b"\xff junk")),
+            0,
+            "foreign bytes are unsampled, not an error"
+        );
     }
 }

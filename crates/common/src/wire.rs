@@ -670,6 +670,10 @@ pub mod coord {
         /// Zookeeper fuzzy-snapshot shape). Answered with
         /// [`CoordOk::Snapshot`] from the replica's applied state.
         SnapshotRequest,
+        /// Asks the serving replica for its metrics snapshot — the stats
+        /// plane's request on the coordination protocol. Answered locally
+        /// (never replicated) with [`CoordOk::Stats`].
+        Stats,
     }
 
     impl CoordOp {
@@ -684,7 +688,8 @@ pub mod coord {
                 | CoordOp::Partitions
                 | CoordOp::GetMeta { .. }
                 | CoordOp::Ephemerals { .. }
-                | CoordOp::SnapshotRequest => OpKind::Read,
+                | CoordOp::SnapshotRequest
+                | CoordOp::Stats => OpKind::Read,
                 CoordOp::WatchAll | CoordOp::InstallConfig { .. } => OpKind::Local,
                 _ => OpKind::Replicate,
             }
@@ -745,6 +750,8 @@ pub mod coord {
             /// The wire-encoded state (see `CoordState::encode_snapshot`).
             state: Bytes,
         },
+        /// The serving replica's metrics ([`CoordOp::Stats`]).
+        Stats(crate::obs::ObsSnapshot),
     }
 
     /// A state-change notification pushed to watching sessions.
@@ -1006,6 +1013,7 @@ pub mod coord {
                 }
                 CoordOp::WatchAll => buf.put_u8(23),
                 CoordOp::SnapshotRequest => buf.put_u8(24),
+                CoordOp::Stats => buf.put_u8(25),
             }
         }
 
@@ -1090,6 +1098,7 @@ pub mod coord {
                 },
                 23 => CoordOp::WatchAll,
                 24 => CoordOp::SnapshotRequest,
+                25 => CoordOp::Stats,
                 tag => {
                     return Err(WireError::BadTag {
                         context: "coord op",
@@ -1197,6 +1206,10 @@ pub mod coord {
                     ensemble_ring.encode(buf);
                     state.encode(buf);
                 }
+                CoordOk::Stats(snap) => {
+                    buf.put_u8(14);
+                    snap.encode(buf);
+                }
             }
         }
 
@@ -1229,6 +1242,7 @@ pub mod coord {
                     ensemble_ring: Option::decode(buf)?,
                     state: Bytes::decode(buf)?,
                 },
+                14 => CoordOk::Stats(crate::obs::ObsSnapshot::decode(buf)?),
                 tag => {
                     return Err(WireError::BadTag {
                         context: "coord ok",
@@ -1464,6 +1478,7 @@ pub mod coord {
                 },
                 CoordOp::WatchAll,
                 CoordOp::SnapshotRequest,
+                CoordOp::Stats,
             ] {
                 rt(op.clone());
                 rt(CoordMsg { req: 77, op });
@@ -1508,6 +1523,15 @@ pub mod coord {
                     state: Bytes::new(),
                 },
             });
+            rt(CoordReply::Ok {
+                req: 8,
+                body: CoordOk::Stats(crate::obs::ObsSnapshot {
+                    node: 1,
+                    counters: vec![("coord_applied".into(), 512)],
+                    gauges: vec![("wal_segments".into(), 3)],
+                    hists: Vec::new(),
+                }),
+            });
             rt(CoordReply::Err {
                 req: 6,
                 reason: "unknown ring".into(),
@@ -1535,6 +1559,7 @@ pub mod coord {
             );
             assert_eq!(CoordOp::WatchAll.kind(), OpKind::Local);
             assert_eq!(CoordOp::SnapshotRequest.kind(), OpKind::Read);
+            assert_eq!(CoordOp::Stats.kind(), OpKind::Read);
             assert_eq!(CoordOp::InstallConfig { cfg: cfg() }.kind(), OpKind::Local);
             assert_eq!(
                 CoordOp::ReportFailure {
@@ -1608,8 +1633,11 @@ pub mod client {
     pub const FEAT_EXACTLY_ONCE: u64 = 2;
     /// Feature bit: the server may answer [`ClientReply::Redirect`].
     pub const FEAT_REDIRECT: u64 = 4;
+    /// Feature bit: the server answers [`ClientMsg::StatsRequest`] with
+    /// its node's metrics snapshot ([`ClientReply::Stats`]).
+    pub const FEAT_STATS: u64 = 8;
     /// Every feature this build knows about.
-    pub const FEAT_ALL: u64 = FEAT_PIPELINE | FEAT_EXACTLY_ONCE | FEAT_REDIRECT;
+    pub const FEAT_ALL: u64 = FEAT_PIPELINE | FEAT_EXACTLY_ONCE | FEAT_REDIRECT | FEAT_STATS;
 
     /// Typed reasons a server rejects a request (v2).
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -1715,6 +1743,15 @@ pub mod client {
             /// Service-specific command bytes.
             cmd: Bytes,
         },
+        /// Asks the serving node for its metrics snapshot (the stats
+        /// plane). Answered immediately with [`ClientReply::Stats`]; no
+        /// hello is required, so monitoring can probe any node with a
+        /// bare connection. v2-only ([`FEAT_STATS`]): v1 bytes are
+        /// untouched.
+        StatsRequest {
+            /// Echoed token correlating the snapshot (watch loops).
+            token: u64,
+        },
     }
 
     /// A frame sent by a serving node to a client.
@@ -1793,6 +1830,14 @@ pub mod client {
             /// The new window (requests in flight allowed).
             window: u32,
         },
+        /// The serving node's metrics snapshot — the `StatsResponse`
+        /// answering [`ClientMsg::StatsRequest`].
+        Stats {
+            /// The request's token, echoed.
+            token: u64,
+            /// The node's metrics at the moment of the request.
+            snapshot: crate::obs::ObsSnapshot,
+        },
     }
 
     impl Wire for ClientMsg {
@@ -1831,6 +1876,10 @@ pub mod client {
                     group.encode(buf);
                     put_bytes(buf, cmd);
                 }
+                ClientMsg::StatsRequest { token } => {
+                    buf.put_u8(5);
+                    put_varint(buf, *token);
+                }
             }
         }
 
@@ -1857,6 +1906,9 @@ pub mod client {
                     ack: get_varint(buf)?,
                     group: RingId::decode(buf)?,
                     cmd: get_bytes(buf)?,
+                }),
+                5 => Ok(ClientMsg::StatsRequest {
+                    token: get_varint(buf)?,
                 }),
                 tag => Err(WireError::BadTag {
                     context: "client wire msg",
@@ -1930,6 +1982,11 @@ pub mod client {
                     buf.put_u8(8);
                     put_varint(buf, u64::from(*window));
                 }
+                ClientReply::Stats { token, snapshot } => {
+                    buf.put_u8(9);
+                    put_varint(buf, *token);
+                    snapshot.encode(buf);
+                }
             }
         }
 
@@ -1973,6 +2030,10 @@ pub mod client {
                 }),
                 8 => Ok(ClientReply::CreditGrant {
                     window: get_varint(buf)? as u32,
+                }),
+                9 => Ok(ClientReply::Stats {
+                    token: get_varint(buf)?,
+                    snapshot: crate::obs::ObsSnapshot::decode(buf)?,
                 }),
                 tag => Err(WireError::BadTag {
                     context: "client wire reply",
@@ -2069,6 +2130,30 @@ pub mod client {
                 to: NodeId::new(1),
             });
             rt(ClientReply::CreditGrant { window: 128 });
+            rt(ClientMsg::StatsRequest { token: 42 });
+            rt(ClientReply::Stats {
+                token: 42,
+                snapshot: crate::obs::ObsSnapshot {
+                    node: 2,
+                    counters: vec![
+                        ("proposed_cmds".into(), 1000),
+                        ("executed_cmds".into(), 998),
+                    ],
+                    gauges: vec![("batcher_depth".into(), 4), ("merge_lag".into(), -1)],
+                    hists: vec![(
+                        "stage_decide_nanos".into(),
+                        crate::obs::HistSummary {
+                            count: 998,
+                            sum: 1_000_000,
+                            min: 120,
+                            max: 9_000,
+                            p50: 900,
+                            p95: 4_000,
+                            p99: 8_000,
+                        },
+                    )],
+                },
+            });
         }
 
         #[test]

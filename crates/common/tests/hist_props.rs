@@ -1,0 +1,103 @@
+//! Property tests for the log-bucketed histogram (`common::hist`).
+//!
+//! The histogram backs every latency figure the stats plane reports, so
+//! its algebra has to hold for arbitrary sample sets, not just the
+//! hand-picked ones in the unit tests:
+//!
+//! * quantiles are monotone in `q`,
+//! * merging two histograms is indistinguishable from recording the
+//!   concatenation of their samples,
+//! * min/max survive merges exactly (they are tracked outside the
+//!   buckets, so no bucket rounding may leak in).
+
+use common::Histogram;
+use proptest::prelude::*;
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+// The vendored proptest has no f64 range strategy; quantiles are driven
+// as permille values instead.
+fn q(permille: u32) -> f64 {
+    f64::from(permille) / 1000.0
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+        qs in proptest::collection::vec(0u32..=1000, 2..16),
+    ) {
+        let h = record_all(&samples);
+        let mut qs = qs;
+        qs.sort_unstable();
+        let mut prev = 0u64;
+        for &pm in &qs {
+            let v = h.quantile(q(pm));
+            prop_assert!(v >= prev, "quantile({}) = {} < previous {}", q(pm), v, prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_is_bracketed_by_min_and_max(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+        pm in 0u32..=1000,
+    ) {
+        let h = record_all(&samples);
+        let v = h.quantile(q(pm));
+        prop_assert!(v >= h.min() && v <= h.max());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+        prop_assert_eq!(h.quantile(0.0), h.min());
+    }
+
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let concat = record_all(&[a.clone(), b.clone()].concat());
+        prop_assert_eq!(merged.count(), concat.count());
+        prop_assert_eq!(merged.min(), concat.min());
+        prop_assert_eq!(merged.max(), concat.max());
+        prop_assert_eq!(merged.sum_saturating(), concat.sum_saturating());
+        for pm in [0u32, 250, 500, 900, 950, 990, 1000] {
+            prop_assert_eq!(merged.quantile(q(pm)), concat.quantile(q(pm)), "q = {}", q(pm));
+        }
+    }
+
+    #[test]
+    fn min_and_max_are_exact_under_merge(
+        a in proptest::collection::vec(any::<u64>(), 1..100),
+        b in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let true_min = a.iter().chain(&b).copied().min().unwrap();
+        let true_max = a.iter().chain(&b).copied().max().unwrap();
+        prop_assert_eq!(merged.min(), true_min);
+        prop_assert_eq!(merged.max(), true_max);
+    }
+
+    #[test]
+    fn quantile_never_panics_and_counts_add_up(
+        samples in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let h = record_all(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        for pm in (0..=1000).step_by(10) {
+            let _ = h.quantile(q(pm));
+        }
+        let pts = h.cdf_points();
+        if let Some(&(_, last)) = pts.last() {
+            prop_assert!((last - 1.0).abs() < 1e-9);
+        }
+    }
+}

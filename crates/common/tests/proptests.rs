@@ -213,14 +213,16 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
         any::<u32>(),
         any::<u64>(),
         any::<u64>(),
+        any::<u64>(),
         proptest::collection::vec(any::<u8>(), 0..128),
     )
-        .prop_map(|(c, q, n, session, ack, cmd)| Envelope {
+        .prop_map(|(c, q, n, session, ack, trace, cmd)| Envelope {
             client: ClientId::new(c),
             req: RequestId::new(q),
             reply_to: NodeId::new(n),
             session,
             ack,
+            trace,
             cmd: cmd.into(),
         })
 }
@@ -358,7 +360,7 @@ proptest! {
     #[test]
     fn envelope_round_trips(
         c in any::<u32>(), q in any::<u64>(), n in any::<u32>(),
-        session in any::<u64>(), ack in any::<u64>(),
+        session in any::<u64>(), ack in any::<u64>(), trace in any::<u64>(),
         cmd in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
         let e = Envelope {
@@ -367,6 +369,7 @@ proptest! {
             reply_to: NodeId::new(n),
             session,
             ack,
+            trace,
             cmd: cmd.into(),
         };
         let mut b = e.to_bytes();

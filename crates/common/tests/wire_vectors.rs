@@ -21,6 +21,7 @@
 
 use bytes::Bytes;
 use common::ids::{ClientId, NodeId, RequestId, RingId};
+use common::obs::{HistSummary, ObsSnapshot};
 use common::wire::client::{
     ClientMsg, ClientReply, ErrorCode, FEAT_ALL, FEAT_EXACTLY_ONCE, FEAT_PIPELINE,
 };
@@ -167,6 +168,39 @@ fn vectors() -> Vec<(&'static str, Frame)> {
         (
             "v2_credit_grant",
             Reply(ClientReply::CreditGrant { window: 128 }),
+        ),
+        (
+            "v2_stats_request",
+            Msg(ClientMsg::StatsRequest { token: 0x0123_4567 }),
+        ),
+        (
+            "v2_stats_response",
+            Reply(ClientReply::Stats {
+                token: 0x0123_4567,
+                snapshot: ObsSnapshot {
+                    node: 2,
+                    counters: vec![
+                        ("proposed_cmds".to_string(), 1000),
+                        ("executed_cmds".to_string(), 998),
+                    ],
+                    gauges: vec![
+                        ("batcher_depth".to_string(), 4),
+                        ("merge_lag".to_string(), -1),
+                    ],
+                    hists: vec![(
+                        "stage_decide_nanos".to_string(),
+                        HistSummary {
+                            count: 998,
+                            sum: 1_000_000,
+                            min: 120,
+                            max: 9_000,
+                            p50: 900,
+                            p95: 4_000,
+                            p99: 8_000,
+                        },
+                    )],
+                },
+            }),
         ),
     ]
 }

@@ -444,6 +444,21 @@ impl Registry {
             _ => Vec::new(),
         }
     }
+
+    /// The metrics snapshot of the serving node (per-process, not
+    /// replicated — different replicas answer with different numbers).
+    /// A local backend has no process-wide registry and returns an
+    /// empty snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the service is unreachable.
+    pub fn node_stats(&self) -> Result<common::obs::ObsSnapshot> {
+        match self.backend.call(CoordOp::Stats)? {
+            CoordOk::Stats(snap) => Ok(snap),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
 }
 
 fn unexpected(op: &str, body: &CoordOk) -> Error {

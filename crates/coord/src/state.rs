@@ -307,6 +307,14 @@ impl CoordState {
                     state: self.snapshot(),
                 })
             }
+            CoordOp::Stats => {
+                // Per-node metrics live with the driver (the server
+                // process), not in the replicated state machine; the
+                // replicated server answers from its own registry before
+                // this default is seen. The local backend has no metrics
+                // of its own, so an empty snapshot is exact there.
+                Ok(CoordOk::Stats(Default::default()))
+            }
         }
     }
 

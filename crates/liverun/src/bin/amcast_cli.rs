@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use common::ids::ClientId;
+use common::obs::ObsSnapshot;
 use liverun::{ClientOptions, DeploymentConfig, LogClient, StoreClient};
 
 fn usage() -> &'static str {
@@ -28,7 +29,9 @@ commands (mrpstore):
   put KEY VALUE | update KEY VALUE | get KEY | del KEY | scan FROM [TO]
   add KEY [DELTA]   # exactly-once counter increment (protocol v2 sessions)
 commands (dlog):
-  append LOG VALUE | multi-append LOG,LOG,... VALUE | read LOG POS"
+  append LOG VALUE | multi-append LOG,LOG,... VALUE | read LOG POS
+commands (any deployment):
+  stats [--watch] [--json | --prometheus]   # per-node metrics snapshot"
 }
 
 fn main() -> ExitCode {
@@ -162,6 +165,128 @@ fn run(args: Vec<String>) -> Result<String, String> {
                 }
             }
         }
+        "stats" => {
+            let json = rest.iter().any(|a| a == "--json");
+            let prom = rest.iter().any(|a| a == "--prometheus");
+            let watch = rest.iter().any(|a| a == "--watch");
+            loop {
+                let mut out = String::new();
+                for (i, node) in config.nodes.iter().enumerate() {
+                    match liverun::fetch_stats(node.client_addr, Duration::from_secs(5)) {
+                        Ok(snap) if json => {
+                            format_stats_json(&mut out, &snap, i + 1 == config.nodes.len())
+                        }
+                        Ok(snap) if prom => snap.to_prometheus(&mut out),
+                        Ok(snap) => format_stats_text(&mut out, &snap),
+                        Err(e) => out.push_str(&format!(
+                            "node {} ({}): unreachable: {e}\n",
+                            node.id, node.client_addr
+                        )),
+                    }
+                }
+                if !watch {
+                    return Ok(out.trim_end().to_string());
+                }
+                println!("--- {}\n{out}", config_path);
+                std::thread::sleep(Duration::from_secs(2));
+            }
+        }
         _ => Err(usage().to_string()),
     }
+}
+
+/// The pipeline stages in hot-path order. Each histogram records
+/// *cumulative* nanoseconds since the command's origin stamp, so the
+/// difference between adjacent rows reads as that stage's cost.
+const STAGES: &[&str] = &[
+    "seal", "propose", "p2send", "decide", "deliver", "execute", "reply",
+];
+
+fn format_stats_text(out: &mut String, snap: &ObsSnapshot) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "node {}", snap.node);
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "  counters:");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "    {name:<28} {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "  gauges:");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "    {name:<28} {v}");
+        }
+    }
+    let staged: Vec<_> = STAGES
+        .iter()
+        .filter_map(|s| snap.hist(&format!("stage_{s}_nanos")).map(|h| (*s, h)))
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    if !staged.is_empty() {
+        let _ = writeln!(
+            out,
+            "  stages (cumulative µs since submit):\n    {:<10} {:>8} {:>10} {:>10} {:>10}",
+            "stage", "count", "p50", "p95", "p99"
+        );
+        for (stage, h) in staged {
+            let _ = writeln!(
+                out,
+                "    {stage:<10} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+                h.count,
+                h.p50 as f64 / 1e3,
+                h.p95 as f64 / 1e3,
+                h.p99 as f64 / 1e3,
+            );
+        }
+    }
+    let other: Vec<_> = snap
+        .hists
+        .iter()
+        .filter(|(name, h)| !name.starts_with("stage_") && h.count > 0)
+        .collect();
+    if !other.is_empty() {
+        let _ = writeln!(
+            out,
+            "  histograms (µs):\n    {:<28} {:>8} {:>10} {:>10} {:>10}",
+            "name", "count", "p50", "p95", "p99"
+        );
+        for (name, h) in other {
+            let _ = writeln!(
+                out,
+                "    {name:<28} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+                h.count,
+                h.p50 as f64 / 1e3,
+                h.p95 as f64 / 1e3,
+                h.p99 as f64 / 1e3,
+            );
+        }
+    }
+}
+
+fn format_stats_json(out: &mut String, snap: &ObsSnapshot, last: bool) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"node\": {}, \"counters\": {{", snap.node);
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        let sep = if i + 1 < snap.counters.len() {
+            ", "
+        } else {
+            ""
+        };
+        let _ = write!(out, "\"{name}\": {v}{sep}");
+    }
+    let _ = write!(out, "}}, \"gauges\": {{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        let sep = if i + 1 < snap.gauges.len() { ", " } else { "" };
+        let _ = write!(out, "\"{name}\": {v}{sep}");
+    }
+    let _ = write!(out, "}}, \"histograms\": {{");
+    for (i, (name, h)) in snap.hists.iter().enumerate() {
+        let sep = if i + 1 < snap.hists.len() { ", " } else { "" };
+        let _ = write!(
+            out,
+            "\"{name}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}{sep}",
+            h.count, h.min, h.max, h.p50, h.p95, h.p99
+        );
+    }
+    let _ = writeln!(out, "}}}}{}", if last { "" } else { "," });
 }

@@ -873,6 +873,48 @@ impl LiveClient {
     }
 }
 
+/// Fetches one node's metrics snapshot over the client protocol: dials
+/// `addr`, sends a [`ClientMsg::StatsRequest`], and waits for the
+/// matching [`ClientReply::Stats`]. No hello, no session — the stats
+/// plane is a read-only side channel any connection may use.
+///
+/// # Errors
+///
+/// Fails if the node is unreachable or does not answer within `timeout`.
+pub fn fetch_stats(addr: SocketAddr, timeout: Duration) -> Result<common::obs::ObsSnapshot> {
+    let deadline = Instant::now() + timeout;
+    let stream = TcpStream::connect_timeout(&addr, timeout.min(Duration::from_secs(2)))?;
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let token = 0x57A75;
+    stream.write_all(&encode_frame(&ClientMsg::StatsRequest { token }))?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut buf = FrameBuf::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if Instant::now() >= deadline {
+            return Err(Error::Timeout("stats reply"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(Error::Timeout("stats connection closed")),
+            Ok(n) => {
+                buf.extend(&chunk[..n]);
+                while let Some(reply) = buf.try_next::<ClientReply>()? {
+                    if let ClientReply::Stats { token: t, snapshot } = reply {
+                        if t == token {
+                            return Ok(snapshot);
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+}
+
 fn spawn_reply_reader(mut stream: TcpStream, tx: Sender<ClientReply>) {
     std::thread::spawn(move || {
         let dbg = std::env::var_os("MRP_DEBUG").is_some();

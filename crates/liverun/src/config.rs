@@ -119,6 +119,10 @@ pub struct DeploymentConfig {
     pub coord_addrs: Vec<SocketAddr>,
     /// TTL for each node's coordination session (`session_ttl_ms`).
     pub session_ttl: Duration,
+    /// Stage-latency trace sampling: stamp one in `trace_sample`
+    /// submitted commands with an origin timestamp (`trace_sample`,
+    /// 0 disables tracing entirely).
+    pub trace_sample: u64,
     /// The nodes.
     pub nodes: Vec<NodeSpec>,
     /// The rings.
@@ -220,6 +224,7 @@ impl DeploymentConfig {
                 .map(|v| PathBuf::from(v.as_str())),
             coord_addrs,
             session_ttl: Duration::from_millis(deployment.int_or("session_ttl_ms", 3000)?),
+            trace_sample: deployment.int_or("trace_sample", 0)?,
             nodes,
             rings,
             partitions,

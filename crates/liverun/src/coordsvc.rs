@@ -563,10 +563,19 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
         None => None,
     };
 
+    // Per-process metrics registry. Restart-in-place semantics: the
+    // monotonic apply counter is re-seeded from the recovered delivery
+    // cursor (it survives the restart the same way the state does),
+    // while volatile gauges start from zero.
+    let obs = common::obs::Obs::for_node(me.raw());
+    obs.reset_gauges();
+    obs.counter("coord_applied").seed(durable.applied.raw());
+
     let opts = RingOptions {
         heartbeat_interval: Duration::from_millis(25),
         failure_timeout: Duration::from_millis(400),
         proposal_retry: Duration::from_millis(300),
+        obs: obs.clone(),
         ..RingOptions::default()
     };
     let live = Arc::new(spawn_tcp_member(
@@ -704,6 +713,7 @@ pub fn start_coord_server(config: CoordServerConfig) -> Result<CoordServerHandle
                 session_check,
                 durable,
                 catchup_needed,
+                obs,
             );
             stop.store(true, Ordering::SeqCst);
         })
@@ -764,7 +774,10 @@ fn server_loop(
     session_check: Duration,
     mut durable: ReplicaDurability,
     mut catchup_needed: bool,
+    obs: common::obs::Obs,
 ) {
+    let coord_applied = obs.counter("coord_applied");
+    let session_count = obs.gauge("session_count");
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     /// A replicated command this replica proposed for a waiting client.
     struct Pending {
@@ -867,6 +880,17 @@ fn server_loop(
                         }
                         continue;
                     }
+                    if matches!(op, CoordOp::Stats) {
+                        // Metrics live in the process, not the replicated
+                        // state machine: answer from the local registry.
+                        if let Some(c) = conns.get(&conn) {
+                            let _ = c.writer.send(CoordReply::Ok {
+                                req,
+                                body: CoordOk::Stats(obs.snapshot()),
+                            });
+                        }
+                        continue;
+                    }
                     // Reads never mutate state or emit events.
                     let (result, _) = durable.state.apply(&op);
                     if let Some(c) = conns.get(&conn) {
@@ -916,6 +940,7 @@ fn server_loop(
                     continue;
                 }
                 durable.applied = d.inst.plus(d.value.instance_span());
+                coord_applied.inc();
                 since_ckpt += 1;
                 if durable.checkpoint_every > 0 && since_ckpt >= durable.checkpoint_every {
                     // Periodic checkpoint (after the apply below, see the
@@ -1040,6 +1065,7 @@ fn server_loop(
         if Instant::now() >= next_sweep {
             next_sweep = Instant::now() + session_check;
             let now = Instant::now();
+            session_count.set(durable.state.sessions().count() as i64);
             // Gap watchdog: a learner blocked on decisions it fully
             // missed (they circulated while this replica was down or
             // partitioned) will never heal from the ring alone — old

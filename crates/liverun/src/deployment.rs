@@ -152,6 +152,12 @@ pub fn start_node(
         .collect();
     let member_of = config.member_of(node);
     let session_ring = Some(config.global_ring()).filter(|r| member_of.contains(r));
+    // One registry per node, shared by every layer of its stack: the
+    // same instance rides `host_opts.ring.obs` into the host and rings.
+    let obs = common::obs::Obs::for_node(node.raw());
+    obs.set_trace_every(config.trace_sample);
+    let mut host_opts = host_options(config);
+    host_opts.ring.obs = obs.clone();
     let setup = NodeSetup {
         me: node,
         member_of,
@@ -159,7 +165,7 @@ pub fn start_node(
         subscribe_to: config.subscribe_to(node),
         partition: spec.partition,
         registry,
-        host_opts: host_options(config),
+        host_opts,
         batch_opts,
         peer_addrs,
         peer_addr: spec.peer_addr,
@@ -167,6 +173,7 @@ pub fn start_node(
         clock,
         client_window: config.client_window,
         session_ring,
+        obs,
     };
     spawn_node(setup, build_app(config, node)?, restart)
 }

@@ -50,7 +50,7 @@ pub mod node;
 pub mod service;
 
 pub use batch::{BatchOptions, Batcher};
-pub use client::{ClientOptions, Completion, LiveClient};
+pub use client::{fetch_stats, ClientOptions, Completion, LiveClient};
 pub use config::{DeploymentConfig, ServiceKind};
 pub use coordsvc::{start_coord_server, CoordServerConfig, CoordServerHandle};
 pub use deployment::{connect_registry, start_node, Deployment};

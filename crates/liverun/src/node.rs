@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -32,6 +32,7 @@ use bytes::Bytes;
 use common::error::{Error, Result};
 use common::ids::{ClientId, NodeId, RequestId, RingId};
 use common::msg::{ClientMsg as SimClientMsg, Msg};
+use common::obs::{Hist, Obs, WireCounters};
 use common::transport::{encode_frame, FrameBuf, PeerFrame, TimerHeap, WallClock};
 use common::value::Envelope;
 use common::wire::client::{ClientMsg, ClientReply};
@@ -115,24 +116,36 @@ pub(crate) struct ClientConn {
 #[derive(Clone)]
 pub(crate) struct ClientWriter {
     tx: Sender<ClientReply>,
+    depth: Arc<AtomicUsize>,
 }
 
 impl ClientWriter {
     fn new(stream: TcpStream) -> Self {
         let (tx, rx) = crossbeam::channel::bounded::<ClientReply>(4096);
-        std::thread::spawn(move || client_writer_loop(stream, rx));
-        ClientWriter { tx }
+        let depth = Arc::new(AtomicUsize::new(0));
+        let loop_depth = Arc::clone(&depth);
+        std::thread::spawn(move || client_writer_loop(stream, rx, loop_depth));
+        ClientWriter { tx, depth }
     }
 
     fn send(&self, reply: &ClientReply) {
-        let _ = self.tx.try_send(reply.clone());
+        if self.tx.try_send(reply.clone()).is_ok() {
+            self.depth.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Replies queued behind the writer thread — the per-connection
+    /// share of the `reply_queue_depth` gauge.
+    fn queued(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 }
 
 /// Owns the write half of one client socket; exits when every handle to
 /// the queue is gone or the socket breaks.
-fn client_writer_loop(mut stream: TcpStream, rx: Receiver<ClientReply>) {
+fn client_writer_loop(mut stream: TcpStream, rx: Receiver<ClientReply>, depth: Arc<AtomicUsize>) {
     while let Ok(reply) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
         if stream.write_all(&encode_frame(&reply)).is_err() {
             return;
         }
@@ -153,6 +166,8 @@ struct PeerTransport {
     me: NodeId,
     addrs: HashMap<NodeId, SocketAddr>,
     links: HashMap<NodeId, Sender<Msg>>,
+    /// Per-node wire accounting for everything this node sends.
+    wire: WireCounters,
 }
 
 impl PeerTransport {
@@ -160,6 +175,9 @@ impl PeerTransport {
         let Some(addr) = self.addrs.get(&to).copied() else {
             return;
         };
+        if let Msg::Ring(_, rm) = &msg {
+            self.wire.note(rm);
+        }
         let me = self.me;
         let link = self.links.entry(to).or_insert_with(|| {
             let (tx, rx) = crossbeam::channel::bounded::<Msg>(4096);
@@ -313,7 +331,13 @@ fn spawn_peer_reader(mut stream: TcpStream, tx: Sender<Event>) {
 /// Speaks the client protocol (v1 and v2) on one accepted client
 /// connection. `window` is the credit this node grants v2 clients at
 /// the handshake.
-fn spawn_client_reader(mut stream: TcpStream, me: NodeId, window: u32, tx: Sender<Event>) {
+fn spawn_client_reader(
+    mut stream: TcpStream,
+    me: NodeId,
+    window: u32,
+    obs: Obs,
+    tx: Sender<Event>,
+) {
     use common::wire::client::{ErrorCode, FEAT_ALL};
     std::thread::spawn(move || {
         let _ = stream.set_nodelay(true);
@@ -412,6 +436,15 @@ fn spawn_client_reader(mut stream: TcpStream, me: NodeId, window: u32, tx: Sende
                             Ok(Some(ClientMsg::Ping { token })) => {
                                 writer.send(&ClientReply::Pong { token });
                             }
+                            Ok(Some(ClientMsg::StatsRequest { token })) => {
+                                // Stats are a read-only plane: answer
+                                // straight off the registry, no hello and
+                                // no trip through the node loop needed.
+                                writer.send(&ClientReply::Stats {
+                                    token,
+                                    snapshot: obs.snapshot(),
+                                });
+                            }
                             Ok(None) => break,
                             Err(_) => return, // corrupt stream: drop it
                         }
@@ -458,6 +491,10 @@ pub(crate) struct NodeSetup {
     /// global ring), when this node is a member of it — the ring this
     /// node proposes session expiries to. `None` disables the sweep.
     pub session_ring: Option<RingId>,
+    /// This node's metrics registry. The same registry rides
+    /// `host_opts.ring.obs` into the host and rings, so every layer of
+    /// this node reports into one place.
+    pub obs: Obs,
 }
 
 /// Handle to one running live node.
@@ -516,10 +553,11 @@ pub(crate) fn spawn_node(
     let tx_clients = tx.clone();
     let me = setup.me;
     let window = setup.client_window.max(1);
+    let obs = setup.obs.clone();
     let client_listener = spawn_listener(
         client_listener,
         format!("amcast-clients-{}", setup.me.raw()),
-        move |stream| spawn_client_reader(stream, me, window, tx_clients.clone()),
+        move |stream| spawn_client_reader(stream, me, window, obs.clone(), tx_clients.clone()),
     );
 
     let loop_tx = tx.clone();
@@ -565,11 +603,18 @@ fn node_loop(
         app,
         setup.host_opts,
     );
+    let obs = setup.obs.clone();
     let mut transport = PeerTransport {
         me,
         addrs: setup.peer_addrs,
         links: HashMap::new(),
+        wire: WireCounters::new(&obs),
     };
+    let stage_seal = obs.hist("stage_seal_nanos");
+    let batcher_depth = obs.gauge("batcher_depth");
+    let reply_queue_depth = obs.gauge("reply_queue_depth");
+    let session_count = obs.gauge("session_count");
+    let session_cached_replies = obs.gauge("session_cached_replies");
     let mut clients: HashMap<ClientId, ClientConn> = HashMap::new();
     let mut batcher = Batcher::new(setup.batch_opts);
     // Session-expiry sweep state: last refresh reading per session and
@@ -653,8 +698,10 @@ fn node_loop(
                             });
                         }
                     } else {
-                        let env = Envelope::v1(client, seq, client_node_id(client), cmd);
+                        let mut env = Envelope::v1(client, seq, client_node_id(client), cmd);
+                        env.trace = obs.trace_stamp();
                         if let Some(batch) = batcher.push(group, env, Instant::now()) {
+                            note_seal(&stage_seal, &batch);
                             with_ctx!(|ctx| host.propose_envelopes(group, batch, &mut ctx));
                         }
                     }
@@ -703,9 +750,11 @@ fn node_loop(
                             reply_to: client_node_id(client),
                             session,
                             ack,
+                            trace: obs.trace_stamp(),
                             cmd,
                         };
                         if let Some(batch) = batcher.push(group, env, Instant::now()) {
+                            note_seal(&stage_seal, &batch);
                             with_ctx!(|ctx| host.propose_envelopes(group, batch, &mut ctx));
                         }
                     }
@@ -746,6 +795,7 @@ fn node_loop(
         }
         // Flush batches that aged out.
         for (ring, batch) in batcher.take_due(Instant::now()) {
+            note_seal(&stage_seal, &batch);
             with_ctx!(|ctx| host.propose_envelopes(ring, batch, &mut ctx));
         }
         // Session-expiry sweep: the replicated session table's liveness
@@ -756,6 +806,11 @@ fn node_loop(
         // survives (the amcoord TTL-session shape).
         if Instant::now() >= next_session_sweep {
             next_session_sweep = Instant::now() + Duration::from_secs(1);
+            // Periodic gauges ride the sweep's once-a-second cadence.
+            batcher_depth.set(batcher.pending_len() as i64);
+            reply_queue_depth.set(clients.values().map(|c| c.writer.queued() as i64).sum());
+            session_count.set(host.app().session_ids().len() as i64);
+            session_cached_replies.set(host.app().cached_reply_count() as i64);
             if let Some(ring) = setup.session_ring {
                 let now = Instant::now();
                 let ids = host.app().session_ids();
@@ -777,6 +832,7 @@ fn node_loop(
                             reply_to: me,
                             session: common::value::SESSION_CTL,
                             ack: 0,
+                            trace: 0,
                             cmd: multiring::session::SessionCtl::Expire {
                                 session: id,
                                 seen_refresh: refresh,
@@ -791,6 +847,17 @@ fn node_loop(
             }
         }
         route!();
+    }
+}
+
+/// Records the batch-seal stage for every sampled envelope in a batch
+/// about to be proposed: cumulative nanoseconds from the envelope's
+/// origin stamp to the moment its batch sealed.
+fn note_seal(seal: &Hist, batch: &[Envelope]) {
+    for env in batch {
+        if env.trace != 0 {
+            seal.record_since(env.trace);
+        }
     }
 }
 

@@ -288,6 +288,81 @@ fn exactly_once_counter_across_coordinator_kill_and_restart() {
     deployment.shutdown();
 }
 
+/// The stats plane end to end: a 3-node deployment answers
+/// `StatsRequest` on every node, and the per-node pipeline counters
+/// reconcile with the submitted command count — each command is
+/// proposed by exactly one node and executed by all three, so per-node
+/// proposal counts *sum* to the (common) per-node executed count.
+#[test]
+fn stats_plane_reports_per_node_pipeline_counts() {
+    use std::time::Instant;
+
+    let text = generate_localhost_mrpstore(1, 3, base_port(80), None);
+    let config = DeploymentConfig::parse(&text).unwrap();
+    let deployment = Deployment::launch(config.clone()).unwrap();
+    let mut client = StoreClient::connect(&config, ClientId::new(9), client_opts()).unwrap();
+
+    const N: u64 = 24;
+    for i in 0..N {
+        assert_eq!(
+            client
+                .insert(&format!("obs{i:02}"), Bytes::from(vec![i as u8]))
+                .unwrap(),
+            KvResponse::Ok
+        );
+    }
+
+    // Every replica applies the same totally-ordered log, so executed
+    // counts converge to one common value ≥ N (session-control traffic
+    // may add a few commands on top of the client's). Poll: the replica
+    // that answered the client runs a beat ahead of its peers.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let snaps = loop {
+        let snaps: Vec<common::obs::ObsSnapshot> = config
+            .nodes
+            .iter()
+            .map(|n| liverun::fetch_stats(n.client_addr, Duration::from_secs(5)).expect("stats"))
+            .collect();
+        let execs: Vec<u64> = snaps
+            .iter()
+            .map(|s| s.counter("executed_cmds").unwrap_or(0))
+            .collect();
+        if execs.iter().all(|&e| e >= N && e == execs[0]) {
+            break snaps;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "per-node executed counts never converged: {execs:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    let proposed: u64 = snaps
+        .iter()
+        .map(|s| s.counter("proposed_cmds").unwrap_or(0))
+        .sum();
+    assert_eq!(
+        proposed,
+        snaps[0].counter("executed_cmds").unwrap(),
+        "per-node proposal counts sum to the common executed count"
+    );
+    for snap in &snaps {
+        assert!(
+            snap.counter("instances_decided").unwrap_or(0) > 0,
+            "node {} decided nothing",
+            snap.node
+        );
+        assert_eq!(
+            snap.counter("decision_payload_bytes"),
+            Some(0),
+            "node {} circulated payload bytes in decisions",
+            snap.node
+        );
+    }
+
+    deployment.shutdown();
+}
+
 /// The multi-partition fan-out completion rule under a replica kill
 /// mid-fanout: a scan multicast on the global ring completes once one
 /// replica of *every* partition answered — a dead replica of a

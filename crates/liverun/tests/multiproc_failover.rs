@@ -397,6 +397,52 @@ fn coordinator_kill_and_restart_through_amcoordd() {
         Some(Bytes::from_static(b"v4"))
     );
 
+    // ---- Stats plane after both failovers (the CI live-e2e guard) ----
+    // Every amcastd node — including the SIGKILLed-and-restarted one —
+    // must answer a StatsRequest, report zero decision-payload bytes
+    // (decisions stayed id-only through two reconfigurations), and show
+    // a delivery cursor that still advances: a committed write must bump
+    // executed_cmds on every node, not just the one serving the client.
+    let baseline: Vec<u64> = config
+        .nodes
+        .iter()
+        .map(|n| {
+            let snap = liverun::fetch_stats(n.client_addr, Duration::from_secs(5))
+                .unwrap_or_else(|e| panic!("stats from node {}: {e}", n.id));
+            assert_eq!(
+                snap.counter("decision_payload_bytes"),
+                Some(0),
+                "node {} circulated payload bytes in decisions",
+                n.id
+            );
+            snap.counter("executed_cmds").unwrap_or(0)
+        })
+        .collect();
+    store
+        .insert("k", Bytes::from_static(b"v5"))
+        .expect("insert v5");
+    wait_until(
+        "every node's delivery cursor to advance past the failovers",
+        Duration::from_secs(30),
+        || {
+            config.nodes.iter().zip(&baseline).all(|(n, before)| {
+                liverun::fetch_stats(n.client_addr, Duration::from_secs(5))
+                    .map(|s| s.counter("executed_cmds").unwrap_or(0) > *before)
+                    .unwrap_or(false)
+            })
+        },
+    );
+    // The restarted amcoordd replica serves its own per-process registry
+    // through the replicated protocol: the apply counter was re-seeded
+    // from the recovered cursor, so it is nonzero immediately.
+    let coord_stats = pinned
+        .node_stats()
+        .expect("restarted amcoordd serves stats");
+    assert!(
+        coord_stats.counter("coord_applied").unwrap_or(0) > 0,
+        "restarted amcoordd lost its recovered apply counter"
+    );
+
     drop(pinned);
     drop(store);
     drop(registry);

@@ -51,6 +51,13 @@ pub trait ServiceApp: Send + 'static {
     fn session_ids(&self) -> Vec<u64> {
         Vec::new()
     }
+
+    /// Replies cached for retry deduplication across all sessions, if
+    /// this app (or a decorator) keeps any — the `session_cached_replies`
+    /// gauge. Default: none.
+    fn cached_reply_count(&self) -> usize {
+        0
+    }
 }
 
 /// The paper's dummy service: commands execute no operation; the reply

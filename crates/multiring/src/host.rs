@@ -14,7 +14,8 @@ use std::time::Duration;
 use bytes::{Bytes, BytesMut};
 use common::ids::{InstanceId, NodeId, PartitionId, RingId};
 use common::msg::CheckpointTuple;
-use common::msg::{ClientMsg, Msg, RecoveryMsg};
+use common::msg::{ClientMsg, Msg, RecoveryMsg, RingMsg};
+use common::obs::{Counter, Gauge, Hist, Obs};
 use common::time::SimTime;
 use common::value::{Envelope, Payload, Value, ValueId};
 use common::wire::{get_varint, get_vec, put_varint, put_vec, Wire};
@@ -123,6 +124,73 @@ impl Wire for Snapshot {
     }
 }
 
+/// Cached handles into the node's observability registry for the
+/// ordering hot path: one registry lookup at construction, relaxed
+/// atomics per event after that.
+///
+/// The `stage_*` histograms record *cumulative* nanoseconds since the
+/// envelope's origin stamp ([`Envelope::trace`]), so a stage's own cost
+/// reads as the difference between adjacent stage p50s.
+struct HostObs {
+    obs: Obs,
+    proposed_cmds: Counter,
+    instances_decided: Counter,
+    executed_cmds: Counter,
+    value_pulls: Counter,
+    liveness_fires: Counter,
+    merge_skips: Counter,
+    merge_lag: Gauge,
+    stage_propose: Hist,
+    stage_p2send: Hist,
+    stage_decide: Hist,
+    stage_deliver: Hist,
+    stage_execute: Hist,
+    stage_reply: Hist,
+}
+
+impl HostObs {
+    fn new(obs: &Obs) -> Self {
+        HostObs {
+            obs: obs.clone(),
+            proposed_cmds: obs.counter("proposed_cmds"),
+            instances_decided: obs.counter("instances_decided"),
+            executed_cmds: obs.counter("executed_cmds"),
+            value_pulls: obs.counter("value_pulls"),
+            liveness_fires: obs.counter("liveness_fires"),
+            merge_skips: obs.counter("merge_skips"),
+            merge_lag: obs.gauge("merge_lag"),
+            stage_propose: obs.hist("stage_propose_nanos"),
+            stage_p2send: obs.hist("stage_p2send_nanos"),
+            stage_decide: obs.hist("stage_decide_nanos"),
+            stage_deliver: obs.hist("stage_deliver_nanos"),
+            stage_execute: obs.hist("stage_execute_nanos"),
+            stage_reply: obs.hist("stage_reply_nanos"),
+        }
+    }
+}
+
+/// Counts value pulls and stamps the Phase 2 send stage for one outgoing
+/// ring message, recursing into packed batches.
+fn note_ring_send(hobs: &HostObs, tracing: bool, msg: &RingMsg) {
+    match msg {
+        RingMsg::ValueRequest { .. } => hobs.value_pulls.inc(),
+        RingMsg::Phase2 { value, .. } if tracing => {
+            if let Some(payload) = value.payload() {
+                let t = Payload::peek_trace(payload);
+                if t != 0 {
+                    hobs.stage_p2send.record_since(t);
+                }
+            }
+        }
+        RingMsg::Batch(msgs) => {
+            for m in msgs {
+                note_ring_send(hobs, tracing, m);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// The per-process host. See the module docs.
 pub struct MultiRingHost {
     me: NodeId,
@@ -156,6 +224,7 @@ pub struct MultiRingHost {
     retransmit_rr: u64,
     executed: u64,
     out: Output,
+    hobs: HostObs,
 }
 
 impl MultiRingHost {
@@ -204,6 +273,7 @@ impl MultiRingHost {
             Some(MergeLearner::new(subscribe_to, opts.m))
         };
         let ckpt_store = CheckpointStore::new(opts.checkpoint_storage);
+        let hobs = HostObs::new(&opts.ring.obs);
         MultiRingHost {
             me,
             registry,
@@ -225,6 +295,7 @@ impl MultiRingHost {
             retransmit_rr: 0,
             executed: 0,
             out: Output::new(),
+            hobs,
         }
     }
 
@@ -266,6 +337,12 @@ impl MultiRingHost {
             return;
         }
         let now = ctx.now();
+        self.hobs.proposed_cmds.add(envs.len() as u64);
+        for env in &envs {
+            if env.trace != 0 {
+                self.hobs.stage_propose.record_since(env.trace);
+            }
+        }
         let mut out = Output::new();
         if let Some(node) = self.rings.get_mut(&group) {
             let payload = if envs.len() == 1 {
@@ -299,7 +376,20 @@ impl MultiRingHost {
         // Move decided values into the merge, sends onto the wire, timers
         // into the host timer space.
         let decided: Vec<_> = self.out.decided.drain(..).collect();
+        self.hobs.instances_decided.add(decided.len() as u64);
+        let tracing = self.hobs.obs.tracing();
+        if tracing {
+            for (_, value) in &decided {
+                if let Some(payload) = value.payload() {
+                    let t = Payload::peek_trace(payload);
+                    if t != 0 {
+                        self.hobs.stage_decide.record_since(t);
+                    }
+                }
+            }
+        }
         for (to, msg) in self.out.sends.drain(..) {
+            note_ring_send(&self.hobs, tracing, &msg);
             ctx.send(to, Msg::Ring(ring, msg));
         }
         for (after, t) in self.out.timers.drain(..) {
@@ -326,9 +416,16 @@ impl MultiRingHost {
             // A batch executes as its envelopes in order: every replica
             // sees the same envelope sequence, so determinism holds.
             for env in payload.into_envelopes() {
+                if env.trace != 0 {
+                    self.hobs.stage_deliver.record_since(env.trace);
+                }
                 let reply = self.app.execute(delivery.ring, &env);
                 self.executed += 1;
                 executed_any = true;
+                self.hobs.executed_cmds.inc();
+                if env.trace != 0 {
+                    self.hobs.stage_execute.record_since(env.trace);
+                }
                 ctx.send(
                     env.reply_to,
                     Msg::Client(ClientMsg::Response {
@@ -339,12 +436,22 @@ impl MultiRingHost {
                         payload: reply,
                     }),
                 );
+                if env.trace != 0 {
+                    self.hobs.stage_reply.record_since(env.trace);
+                }
             }
         }
         if executed_any {
             // Group-commit boundary: everything this drain delivered is
             // flushed (one write + one sync in a durable decorator).
             self.app.flush();
+        }
+        if let Some(learner) = &self.learner {
+            // The skip counter mirrors the merge's own monotonic tally
+            // (seeded, not incremented, so replayed pumps cannot double
+            // count); the lag gauge is volatile by design.
+            self.hobs.merge_skips.seed(learner.skips_consumed());
+            self.hobs.merge_lag.set(learner.queued_lag() as i64);
         }
     }
 
@@ -905,6 +1012,9 @@ impl Process for MultiRingHost {
                 let Some(t) = RingTimer::from_words(tag, timer.b) else {
                     return;
                 };
+                if matches!(t, RingTimer::Liveness) {
+                    self.hobs.liveness_fires.inc();
+                }
                 let now = ctx.now();
                 let mut out = Output::new();
                 if let Some(node) = self.rings.get_mut(&ring) {

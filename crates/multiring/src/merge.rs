@@ -47,6 +47,10 @@ pub struct MergeLearner {
     turn: usize,
     /// Instances to consume per ring per turn (the paper's `M`).
     m: u64,
+    /// Non-deliverable values (skip tokens, no-op fillers) consumed by
+    /// the merge since construction — how much rate-leveling traffic the
+    /// merge chewed through to keep slow rings from stalling it.
+    skips_consumed: u64,
 }
 
 impl MergeLearner {
@@ -76,6 +80,7 @@ impl MergeLearner {
             streams,
             turn: 0,
             m,
+            skips_consumed: 0,
         }
     }
 
@@ -141,7 +146,21 @@ impl MergeLearner {
             if value.is_deliverable() {
                 return Some(MulticastDelivery { ring, inst, value });
             }
+            self.skips_consumed += 1;
         }
+    }
+
+    /// Skip tokens and no-op fillers consumed so far (diagnostics; feeds
+    /// the `merge_skips` counter in the stats plane).
+    pub fn skips_consumed(&self) -> u64 {
+        self.skips_consumed
+    }
+
+    /// Decided-but-undelivered instances buffered across all streams —
+    /// how far the merge lags behind the rings feeding it (the
+    /// `merge_lag` gauge; a stuck slow ring shows up as growth here).
+    pub fn queued_lag(&self) -> u64 {
+        self.streams.values().map(|s| s.queue.len() as u64).sum()
     }
 
     /// The checkpoint tuple `k_p`: per ring, the next unconsumed instance.

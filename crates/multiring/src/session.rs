@@ -458,6 +458,10 @@ impl ServiceApp for SessionApp {
     fn session_ids(&self) -> Vec<u64> {
         self.sessions.keys().copied().collect()
     }
+
+    fn cached_reply_count(&self) -> usize {
+        self.sessions.values().map(|s| s.executed.len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -501,6 +505,7 @@ mod tests {
             reply_to: NodeId::new(0),
             session: SESSION_CTL,
             ack: 0,
+            trace: 0,
             cmd: ctl.to_bytes(),
         }
     }
@@ -512,6 +517,7 @@ mod tests {
             reply_to: NodeId::new(0),
             session,
             ack,
+            trace: 0,
             cmd: Bytes::from_static(b"bump"),
         }
     }

@@ -29,6 +29,7 @@ use std::sync::Arc;
 use common::error::{Error, Result};
 use common::ids::{InstanceId, NodeId, RingId};
 use common::msg::{AcceptedEntry, Msg, RingMsg};
+use common::obs::WireCounters;
 use common::transport::{encode_frame, FrameBuf, PeerFrame, TimerHeap, WallClock};
 use common::value::Value;
 use common::wire::Wire;
@@ -105,6 +106,8 @@ struct TcpTransport {
     /// [`CONNECT_PATIENCE`]); reaching a peer once spends the rest — a
     /// later death is a failure for the detector, not worth waiting on.
     patience: HashMap<NodeId, u32>,
+    /// Per-node wire accounting for everything this member sends.
+    wire: WireCounters,
 }
 
 impl Transport for TcpTransport {
@@ -135,6 +138,7 @@ impl Transport for TcpTransport {
             // circulation and reconfiguration absorb the loss.
             return;
         };
+        self.wire.note(&msg);
         let framed = PeerFrame {
             from: self.me,
             msg: Msg::Ring(self.ring, msg),
@@ -309,6 +313,7 @@ pub fn spawn_tcp_member(
         addrs: addrs.clone(),
         conns: HashMap::new(),
         patience: HashMap::new(),
+        wire: WireCounters::new(&opts.obs),
     };
     let mut node = match spawn_node(
         me,
@@ -410,6 +415,7 @@ impl LiveRing {
                 addrs: addr_map.clone(),
                 conns: HashMap::new(),
                 patience: HashMap::new(),
+                wire: WireCounters::new(&opts.obs),
             };
             let wal: Option<Box<dyn DecidedLog>> = match &wal_dir {
                 Some(dir) => {
@@ -534,8 +540,11 @@ fn spawn_node<T: Transport>(
     _self_tx: Sender<Event>,
     mut transport: T,
     clock: WallClock,
-    wal: Option<Box<dyn DecidedLog>>,
+    mut wal: Option<Box<dyn DecidedLog>>,
 ) -> Result<LiveNode> {
+    if let Some(w) = wal.as_mut() {
+        w.instrument(&opts.obs);
+    }
     let mut node = RingNode::new(me, ring, registry, opts)?;
     let (dtx, drx) = bounded::<Delivery>(1 << 16);
     let wal = Arc::new(Mutex::new(wal));

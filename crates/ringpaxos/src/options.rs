@@ -1,6 +1,8 @@
 //! Tunables for a ring deployment.
 
 use std::time::Duration;
+
+use common::obs::Obs;
 use storage::StorageMode;
 
 /// Packet batching of ring messages (paper §4: message types for several
@@ -94,6 +96,10 @@ pub struct RingOptions {
     /// blocked on the lowest missing instance, so pulling the first few
     /// is all that helps anyway.
     pub value_pull_budget: usize,
+    /// The node's observability registry. Rings and the hosts built on
+    /// them record into it; the default is a fresh private registry, so
+    /// nothing is shared until a deployment installs the per-node one.
+    pub obs: Obs,
 }
 
 impl Default for RingOptions {
@@ -109,6 +115,7 @@ impl Default for RingOptions {
             dedup_window: 64 * 1024,
             value_cache_window: 8 * 1024,
             value_pull_budget: 8,
+            obs: Obs::default(),
         }
     }
 }

@@ -15,10 +15,30 @@
 
 use bytes::BytesMut;
 use common::error::{Error, Result};
+use common::obs::{Counter, Hist, Obs};
 use common::wire::{frame, put_varint, Wire};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Cached stats-plane handles for one WAL writer: appended records and
+/// the latency of each durable commit (write + fsync — the disk half of
+/// every decided instance under synchronous storage).
+#[derive(Clone, Debug)]
+struct WalInstr {
+    appends: Counter,
+    commit_nanos: Hist,
+}
+
+impl WalInstr {
+    fn new(obs: &Obs) -> Self {
+        WalInstr {
+            appends: obs.counter("wal_appends"),
+            commit_nanos: obs.hist("wal_commit_nanos"),
+        }
+    }
+}
 
 /// Whether appends force data to the platter before returning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,6 +158,8 @@ pub struct Wal {
     pending_records: u64,
     /// Reused frame-encoding scratch buffer.
     scratch: BytesMut,
+    /// Stats-plane handles, absent until [`Wal::instrument`].
+    instr: Option<WalInstr>,
     /// Exclusive-writer guard, released (file removed) on drop.
     _lock: WalLock,
 }
@@ -167,8 +189,15 @@ impl Wal {
             buffered: BytesMut::new(),
             pending_records: 0,
             scratch: BytesMut::new(),
+            instr: None,
             _lock: lock,
         })
+    }
+
+    /// Points this writer's metrics (append counts, commit latency) at
+    /// `obs`. Without this, the WAL records nothing.
+    pub fn instrument(&mut self, obs: &Obs) {
+        self.instr = Some(WalInstr::new(obs));
     }
 
     /// Appends one record.
@@ -181,6 +210,7 @@ impl Wal {
         // Flush any staged group-commit records first so the file always
         // reflects logical append order, even when the two APIs mix.
         self.commit()?;
+        let started = self.instr.as_ref().map(|_| Instant::now());
         let mut buf = BytesMut::new();
         frame::write(&mut buf, record);
         self.file.write_all(&buf)?;
@@ -188,6 +218,11 @@ impl Wal {
             self.file.sync_data()?;
         }
         self.appended += 1;
+        if let (Some(i), Some(t0)) = (&self.instr, started) {
+            i.appends.inc();
+            i.commit_nanos
+                .record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
         Ok(())
     }
 
@@ -221,6 +256,7 @@ impl Wal {
         }
         let staged = self.pending_records;
         self.pending_records = 0;
+        let started = self.instr.as_ref().map(|_| Instant::now());
         let result = self.file.write_all(&self.buffered);
         self.buffered.clear();
         result?;
@@ -228,6 +264,11 @@ impl Wal {
             self.file.sync_data()?;
         }
         self.appended += staged;
+        if let (Some(i), Some(t0)) = (&self.instr, started) {
+            i.appends.add(staged);
+            i.commit_nanos
+                .record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
         Ok(())
     }
 
@@ -306,11 +347,18 @@ pub trait DecidedLog: Send + 'static {
     fn prune_below(&mut self, _pos: u64) -> Result<usize> {
         Ok(0)
     }
+
+    /// Points the log's metrics at `obs`. Default: records nothing.
+    fn instrument(&mut self, _obs: &Obs) {}
 }
 
 impl DecidedLog for Wal {
     fn stage(&mut self, _pos: u64, encode: &mut dyn FnMut(&mut BytesMut)) {
         self.append_buffered_with(|buf| encode(buf));
+    }
+
+    fn instrument(&mut self, obs: &Obs) {
+        Wal::instrument(self, obs);
     }
 
     fn commit(&mut self) -> Result<()> {
@@ -361,6 +409,9 @@ pub struct SegmentedWal {
     /// Records lost because no segment could be opened; surfaced as an
     /// error by the next [`DecidedLog::commit`].
     dropped_since_commit: u64,
+    /// Registry handed to each segment's [`Wal`] plus the on-disk
+    /// segment-count gauge; absent until [`SegmentedWal::instrument`].
+    obs: Option<Obs>,
     /// Directory-level writer guard (`segments.lock`): taking it at open
     /// — before any replay — means a successor never reads the directory
     /// while a live predecessor could still be flushing into it.
@@ -386,8 +437,20 @@ impl SegmentedWal {
             roll_every: roll_every.max(1),
             active: None,
             dropped_since_commit: 0,
+            obs: None,
             _lock: lock,
         })
+    }
+
+    /// Points this log's metrics at `obs`: every segment's append/commit
+    /// stats plus a `wal_segments` gauge maintained at rolls and prunes.
+    pub fn instrument(&mut self, obs: &Obs) {
+        if let Some((_, _, wal)) = &mut self.active {
+            wal.instrument(obs);
+        }
+        obs.gauge("wal_segments")
+            .set(Self::segments(&self.dir).len() as i64);
+        self.obs = Some(obs.clone());
     }
 
     /// The directory-level lock file guarding `dir` (for tests and
@@ -457,9 +520,16 @@ impl SegmentedWal {
             }
         }
         match Wal::open(&path, self.policy) {
-            Ok(new) => {
+            Ok(mut new) => {
                 if let Some((_, _, mut old)) = self.active.take() {
                     let _ = Wal::commit(&mut old);
+                }
+                if let Some(obs) = &self.obs {
+                    new.instrument(obs);
+                    // `Wal::open` created the file, so it is already in
+                    // the directory listing.
+                    obs.gauge("wal_segments")
+                        .set(Self::segments(&self.dir).len() as i64);
                 }
                 self.active = Some((pos, 0, new));
             }
@@ -478,6 +548,10 @@ impl SegmentedWal {
 }
 
 impl DecidedLog for SegmentedWal {
+    fn instrument(&mut self, obs: &Obs) {
+        SegmentedWal::instrument(self, obs);
+    }
+
     fn stage(&mut self, pos: u64, encode: &mut dyn FnMut(&mut BytesMut)) {
         let need_roll = match &self.active {
             None => true,
@@ -541,6 +615,12 @@ impl DecidedLog for SegmentedWal {
             };
             if all_below && std::fs::remove_file(&seg).is_ok() {
                 dropped += 1;
+            }
+        }
+        if let Some(obs) = &self.obs {
+            if dropped > 0 {
+                obs.gauge("wal_segments")
+                    .set(Self::segments(&self.dir).len() as i64);
             }
         }
         Ok(dropped)
