@@ -13,7 +13,8 @@
 //! ```text
 //! cargo run --release -p bench --bin live_loopback -- \
 //!     [--clients 8] [--window 32] [--duration-ms 3000] \
-//!     [--partitions 2] [--replicas 2] [--label current] \
+//!     [--partitions 2] [--replicas 2] [--executor-shards 1] \
+//!     [--label current] \
 //!     [--out BENCH_live_loopback.json] [--smoke] [--stages] \
 //!     [--baseline BENCH_live_loopback.json] [--tolerance 0.20]
 //! ```
@@ -34,9 +35,11 @@
 //! every attempt, while noise does not survive the max — stopping at
 //! the first pair that lands within tolerance.
 //!
-//! `--baseline FILE` compares the fresh 1 KiB throughput against the
-//! committed baseline and exits non-zero if it dropped more than the
-//! tolerance (default 20%) — the CI perf-regression gate.
+//! `--baseline FILE` compares the fresh 64 B and 1 KiB throughputs
+//! against the committed baseline and exits non-zero if either dropped
+//! more than the tolerance (default 20%) — the CI perf-regression gate.
+//! The 64 B row is the execution-dominated one the sharded executor
+//! (`--executor-shards N`) is meant to move; 1 KiB is wire-dominated.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -60,6 +63,7 @@ const STAGES: &[&str] = &[
 
 struct Outcome {
     payload_bytes: usize,
+    executor_shards: u32,
     completed: u64,
     elapsed: Duration,
     latency: Histogram,
@@ -93,15 +97,17 @@ impl Outcome {
         let wire = self.wire();
         format!(
             concat!(
-                "{{\"payload_bytes\": {}, \"completed\": {}, \"elapsed_s\": {:.3}, ",
+                "{{\"payload_bytes\": {}, \"executor_shards\": {}, \"completed\": {}, ",
+                "\"elapsed_s\": {:.3}, ",
                 "\"throughput_ops_s\": {:.1}, \"latency_us\": ",
                 "{{\"mean\": {:.1}, \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}}, ",
                 "\"wire\": {{\"decision_msgs\": {}, \"decision_wire_bytes\": {}, ",
                 "\"decision_payload_bytes\": {}, \"phase2_msgs\": {}, ",
                 "\"phase2_wire_bytes\": {}, \"phase2_payload_bytes\": {}, ",
-                "\"value_requests\": {}}}}}"
+                "\"value_requests\": {}}}, \"shards\": {}}}"
             ),
             self.payload_bytes,
+            self.executor_shards,
             self.completed,
             self.elapsed.as_secs_f64(),
             self.throughput(),
@@ -116,7 +122,48 @@ impl Outcome {
             wire.phase2_wire_bytes,
             wire.phase2_payload_bytes,
             wire.value_requests,
+            self.shards_json(),
         )
+    }
+
+    /// Per-node executor-shard telemetry: residual hand-off queue depth
+    /// and each shard's execute-latency summary. Inline nodes
+    /// (`executor_shards = 1`) publish no per-shard histograms and are
+    /// skipped, so the array is `[]` for inline runs.
+    fn shards_json(&self) -> String {
+        let mut out = String::from("[");
+        let mut first_node = true;
+        for snap in &self.nodes {
+            let mut shards = String::new();
+            for i in 0usize.. {
+                let Some(h) = snap.hist(&format!("shard{i}_execute_nanos")) else {
+                    break;
+                };
+                if !shards.is_empty() {
+                    shards.push_str(", ");
+                }
+                shards.push_str(&format!(
+                    "\"shard{i}\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+                    h.count,
+                    h.p50 as f64 / 1e3,
+                    h.p99 as f64 / 1e3,
+                ));
+            }
+            if shards.is_empty() {
+                continue;
+            }
+            if !first_node {
+                out.push_str(", ");
+            }
+            first_node = false;
+            out.push_str(&format!(
+                "{{\"node\": {}, \"queue_depth\": {}, \"execute\": {{{shards}}}}}",
+                snap.node,
+                snap.gauge("shard_queue_depth").unwrap_or(0),
+            ));
+        }
+        out.push(']');
+        out
     }
 
     /// Per-node per-stage breakdown (only meaningful for traced runs):
@@ -176,17 +223,17 @@ fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
-/// Pulls the recorded 1 KiB `throughput_ops_s` out of a results file
-/// written by this binary. Hand-rolled (the offline build has no JSON
-/// parser): finds the result object whose `payload_bytes` is 1024 and
-/// reads the number after its `"throughput_ops_s": ` key.
-fn baseline_1k_throughput(text: &str) -> Option<f64> {
+/// Pulls a recorded `throughput_ops_s` out of a results file written by
+/// this binary. Hand-rolled (the offline build has no JSON parser):
+/// finds the first result object whose `payload_bytes` equals
+/// `payload_bytes` and reads the number after its `"throughput_ops_s": `
+/// key. The payload sweep is emitted before the window sweep, so the
+/// first match is the sweep row.
+fn baseline_throughput(text: &str, payload_bytes: usize) -> Option<f64> {
+    let needle = payload_bytes.to_string();
     let obj = text.split("\"payload_bytes\"").find(|chunk| {
-        chunk
-            .trim_start()
-            .trim_start_matches(':')
-            .trim_start()
-            .starts_with("1024")
+        let rest = chunk.trim_start().trim_start_matches(':').trim_start();
+        rest.starts_with(&needle) && !rest[needle.len()..].starts_with(|c: char| c.is_ascii_digit())
     })?;
     let after = obj.split("\"throughput_ops_s\":").nth(1)?;
     let number: String = after
@@ -275,10 +322,12 @@ fn run_scenario(
     window: usize,
     duration: Duration,
     trace_sample: u64,
+    executor_shards: u32,
 ) -> Outcome {
     let text = generate_localhost_mrpstore(partitions, replicas, base_port, None);
     let mut config = DeploymentConfig::parse(&text).expect("generated config parses");
     config.trace_sample = trace_sample;
+    config.executor_shards = executor_shards.max(1);
     let deployment = Deployment::launch(config.clone()).expect("deployment launches");
     let payload = Bytes::from(vec![0x5au8; payload_bytes]);
 
@@ -317,6 +366,7 @@ fn run_scenario(
     deployment.shutdown();
     Outcome {
         payload_bytes,
+        executor_shards: executor_shards.max(1),
         completed,
         elapsed,
         latency,
@@ -334,6 +384,7 @@ fn main() {
     let default_ms = if smoke || stages { 800 } else { 3000 };
     let duration = Duration::from_millis(arg("--duration-ms", default_ms));
     let base_port = arg("--base-port", 26000) as u16;
+    let executor_shards = arg("--executor-shards", 1) as u32;
     let label = arg_str("--label", "current");
     let out = arg_str("--out", "BENCH_live_loopback.json");
     let ports_per_scenario = (partitions * replicas + 2) * 2;
@@ -367,6 +418,7 @@ fn main() {
                 window,
                 duration,
                 0,
+                executor_shards,
             ));
             traced_runs.push(run_scenario(
                 1024,
@@ -377,6 +429,7 @@ fn main() {
                 window,
                 duration,
                 sample,
+                executor_shards,
             ));
             let peak = |runs: &[Outcome]| {
                 runs.iter()
@@ -448,6 +501,7 @@ fn main() {
             window,
             duration,
             0,
+            executor_shards,
         ));
     }
 
@@ -469,6 +523,7 @@ fn main() {
                 w,
                 duration,
                 0,
+                executor_shards,
             ),
         ));
     }
@@ -477,7 +532,7 @@ fn main() {
     json.push_str("{\n");
     json.push_str(&format!("  \"label\": \"{label}\",\n"));
     json.push_str(&format!(
-        "  \"config\": {{\"partitions\": {partitions}, \"replicas\": {replicas}, \"clients\": {clients}, \"window\": {window}, \"duration_ms\": {}}},\n",
+        "  \"config\": {{\"partitions\": {partitions}, \"replicas\": {replicas}, \"clients\": {clients}, \"window\": {window}, \"duration_ms\": {}, \"executor_shards\": {executor_shards}}},\n",
         duration.as_millis()
     ));
     json.push_str("  \"results\": [\n");
@@ -568,24 +623,33 @@ fn main() {
             .expect("--tolerance is a fraction");
         let text = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-        let baseline = baseline_1k_throughput(&text)
-            .expect("baseline file has a 1 KiB result with throughput_ops_s");
-        let fresh = outcomes
-            .iter()
-            .find(|o| o.payload_bytes == 1024)
-            .expect("sweep includes the 1 KiB scenario")
-            .throughput();
-        let floor = baseline * (1.0 - tolerance);
-        eprintln!(
-            "regression gate: 1 KiB {fresh:.1} ops/s vs baseline {baseline:.1} \
-             (floor {floor:.1}, tolerance {:.0}%)",
-            tolerance * 100.0
-        );
-        if fresh < floor {
+        // Gate both the small-payload row (execution-dominated — the one
+        // the sharded executor moves) and the 1 KiB row (wire-dominated).
+        let mut failed = false;
+        for (size, name) in [(64usize, "64 B"), (1024, "1 KiB")] {
+            let baseline = baseline_throughput(&text, size).unwrap_or_else(|| {
+                panic!("baseline file has a {name} result with throughput_ops_s")
+            });
+            let fresh = outcomes
+                .iter()
+                .find(|o| o.payload_bytes == size)
+                .unwrap_or_else(|| panic!("sweep includes the {name} scenario"))
+                .throughput();
+            let floor = baseline * (1.0 - tolerance);
             eprintln!(
-                "regression gate FAILED: 1 KiB throughput dropped {:.1}% below the baseline",
-                (1.0 - fresh / baseline) * 100.0
+                "regression gate: {name} {fresh:.1} ops/s vs baseline {baseline:.1} \
+                 (floor {floor:.1}, tolerance {:.0}%)",
+                tolerance * 100.0
             );
+            if fresh < floor {
+                eprintln!(
+                    "regression gate FAILED: {name} throughput dropped {:.1}% below the baseline",
+                    (1.0 - fresh / baseline) * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

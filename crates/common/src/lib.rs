@@ -36,6 +36,7 @@
 //! ```
 
 pub mod error;
+pub mod hash;
 pub mod hist;
 pub mod ids;
 pub mod msg;

@@ -1,0 +1,189 @@
+//! Executor sharding for dLog: how one replica's hosted logs split
+//! across [`multiring::exec::ShardedExec`] worker shards.
+//!
+//! Sub-shard `k` of `n` hosts the logs whose (remixed) id hashes to
+//! `k`, so a
+//! single-log command routes to one shard while `multi-append` — the
+//! paper's atomic cross-log operation — becomes a cross-shard barrier:
+//! each shard appends to its own addressed logs, and the barrier
+//! combiner stitches the per-shard position lists back into the exact
+//! reply an unsharded replica would produce (command order, duplicates
+//! included). Snapshot split/merge partitions by the same rule.
+
+use bytes::Bytes;
+use common::ids::RingId;
+use common::value::Envelope;
+use common::wire::Wire;
+use multiring::exec::{Route, ShardPlan};
+
+use crate::command::{LogCommand, LogId, LogResponse};
+use crate::log_app::snapshot_codec;
+
+/// Splits a replica's [`crate::DlogApp`] across executor shards by
+/// remixed log id. Sub-shard `k` must be constructed as
+/// `DlogApp::new(&plan.logs_of_shard(k))`.
+pub struct DlogShardPlan {
+    shards: usize,
+    /// Every log this replica hosts (any shard), for snapshot splitting.
+    hosted: Vec<LogId>,
+}
+
+impl DlogShardPlan {
+    /// A plan over `shards` sub-shards of a replica hosting `hosted`.
+    pub fn new(shards: usize, hosted: &[LogId]) -> Self {
+        DlogShardPlan {
+            shards: shards.max(1),
+            hosted: hosted.to_vec(),
+        }
+    }
+
+    /// The logs sub-shard `k` hosts.
+    pub fn logs_of_shard(&self, shard: usize) -> Vec<LogId> {
+        self.hosted
+            .iter()
+            .copied()
+            .filter(|l| self.shard_of(*l) == shard)
+            .collect()
+    }
+
+    fn shard_of(&self, log: LogId) -> usize {
+        // Deployments place logs on partitions by id modulus, so the
+        // hosted set is one residue class — remix before the shard
+        // modulus or shards would sit empty whenever the partition
+        // count and shard count share a factor.
+        (common::hash::mix64(u64::from(log)) % self.shards as u64) as usize
+    }
+}
+
+impl ShardPlan for DlogShardPlan {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn route(&self, _group: RingId, env: &Envelope) -> Route {
+        match LogCommand::decode(&mut env.cmd.clone()) {
+            Ok(LogCommand::MultiAppend { .. }) => Route::All,
+            Ok(
+                LogCommand::Append { log, .. }
+                | LogCommand::Read { log, .. }
+                | LogCommand::Trim { log, .. },
+            ) => Route::One(self.shard_of(log)),
+            // Undecodable commands answer `Appended([])` from any shard;
+            // pin them to shard 0 so the reply is deterministic.
+            Err(_) => Route::One(0),
+        }
+    }
+
+    fn combine(&self, _group: RingId, env: &Envelope, partials: Vec<Bytes>) -> Bytes {
+        // Only multi-appends route to all shards. The unsharded reply
+        // lists (log, pos) pairs in *command* order over the hosted
+        // addressed logs; each shard produced its own pairs in command
+        // order, so walk the command's log list and pull each log's next
+        // pair from its owner shard's cursor. A log with no matching
+        // pair was not hosted; duplicates consume successive pairs.
+        let Ok(LogCommand::MultiAppend { logs, .. }) = LogCommand::decode(&mut env.cmd.clone())
+        else {
+            return LogResponse::Appended(Vec::new()).to_bytes();
+        };
+        let mut cursors: Vec<std::iter::Peekable<std::vec::IntoIter<(LogId, u64)>>> = partials
+            .into_iter()
+            .map(|mut partial| {
+                let pairs = match LogResponse::decode(&mut partial) {
+                    Ok(LogResponse::Appended(pairs)) => pairs,
+                    _ => Vec::new(),
+                };
+                pairs.into_iter().peekable()
+            })
+            .collect();
+        let mut merged = Vec::new();
+        for log in &logs {
+            let cursor = &mut cursors[self.shard_of(*log)];
+            if cursor.peek().is_some_and(|(l, _)| l == log) {
+                merged.push(cursor.next().expect("peeked"));
+            }
+        }
+        LogResponse::Appended(merged).to_bytes()
+    }
+
+    fn merge_snapshots(&self, parts: Vec<Bytes>) -> Bytes {
+        // Per-shard snapshots hold disjoint log-id sets; the unsharded
+        // snapshot lists logs in ascending id order.
+        let mut merged = Vec::new();
+        for part in &parts {
+            merged.extend(snapshot_codec::decode(part));
+        }
+        merged.sort_by_key(|(id, _, _)| *id);
+        snapshot_codec::encode(&merged)
+    }
+
+    fn split_snapshot(&self, state: &Bytes) -> Vec<Bytes> {
+        let mut per_shard: Vec<Vec<snapshot_codec::LogImage>> = vec![Vec::new(); self.shards];
+        for image in snapshot_codec::decode(state) {
+            let shard = self.shard_of(image.0);
+            per_shard[shard].push(image);
+        }
+        per_shard
+            .iter()
+            .map(|images| snapshot_codec::encode(images))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log_app::DlogApp;
+    use common::ids::{ClientId, NodeId, RequestId};
+    use multiring::ServiceApp;
+
+    fn env(cmd: &LogCommand) -> Envelope {
+        Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(1),
+            NodeId::new(0),
+            cmd.to_bytes(),
+        )
+    }
+
+    #[test]
+    fn sharded_multi_append_matches_mono() {
+        let hosted: Vec<LogId> = vec![0, 1, 2, 4, 5];
+        let plan = DlogShardPlan::new(2, &hosted);
+        let mut mono = DlogApp::new(&hosted);
+        let mut shards: Vec<DlogApp> = (0..2)
+            .map(|k| DlogApp::new(&plan.logs_of_shard(k)))
+            .collect();
+        let g = RingId::new(0);
+
+        // Warm the positions unevenly first.
+        for _ in 0..3 {
+            let e = env(&LogCommand::Append {
+                log: 1,
+                value: Bytes::from_static(b"w"),
+            });
+            mono.execute(g, &e);
+            match plan.route(g, &e) {
+                Route::One(s) => {
+                    shards[s].execute(g, &e);
+                }
+                Route::All => unreachable!(),
+            }
+        }
+
+        // Multi-append addressing a mix: hosted, unhosted (3), duplicate.
+        let e = env(&LogCommand::MultiAppend {
+            logs: vec![2, 3, 1, 1, 5],
+            value: Bytes::from_static(b"x"),
+        });
+        assert_eq!(plan.route(g, &e), Route::All);
+        let mono_reply = mono.execute(g, &e);
+        let partials: Vec<Bytes> = shards.iter_mut().map(|s| s.execute(g, &e)).collect();
+        assert_eq!(plan.combine(g, &e, partials), mono_reply);
+
+        // Snapshots: merge of shard parts equals the mono snapshot, and
+        // the split of the mono snapshot matches the shard states.
+        let parts: Vec<Bytes> = shards.iter().map(|s| s.snapshot()).collect();
+        assert_eq!(plan.merge_snapshots(parts.clone()), mono.snapshot());
+        assert_eq!(plan.split_snapshot(&mono.snapshot()), parts);
+    }
+}

@@ -123,6 +123,15 @@ pub struct DeploymentConfig {
     /// submitted commands with an origin timestamp (`trace_sample`,
     /// 0 disables tracing entirely).
     pub trace_sample: u64,
+    /// Executor shards per node (`executor_shards`): 1 executes
+    /// delivered commands inline on the merge thread (the classic
+    /// stack); >1 splits each node's service state across that many
+    /// worker threads behind the deterministic merge.
+    pub executor_shards: u32,
+    /// Records per delivered-command WAL segment before it rolls
+    /// (`wal_roll_every`); checkpoint-cadence pruning reclaims whole
+    /// segments below the durable cut.
+    pub wal_roll_every: u64,
     /// The nodes.
     pub nodes: Vec<NodeSpec>,
     /// The rings.
@@ -225,6 +234,8 @@ impl DeploymentConfig {
             coord_addrs,
             session_ttl: Duration::from_millis(deployment.int_or("session_ttl_ms", 3000)?),
             trace_sample: deployment.int_or("trace_sample", 0)?,
+            executor_shards: (deployment.int_or("executor_shards", 1)? as u32).max(1),
+            wal_roll_every: (deployment.int_or("wal_roll_every", 4096)?).max(1),
             nodes,
             rings,
             partitions,
@@ -601,6 +612,17 @@ pub fn with_coord(doc: &str, addrs: &[SocketAddr], session_ttl: Duration) -> Str
             "[deployment]\ncoord = \"{list}\"\nsession_ttl_ms = {}\n",
             session_ttl.as_millis()
         ),
+        1,
+    )
+}
+
+/// Sets `executor_shards = n` in a deployment document's `[deployment]`
+/// section. Used by tests and the bench to run the same document with
+/// different executor layouts.
+pub fn with_executor_shards(doc: &str, n: u32) -> String {
+    doc.replacen(
+        "[deployment]\n",
+        &format!("[deployment]\nexecutor_shards = {n}\n"),
         1,
     )
 }

@@ -9,65 +9,126 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use common::error::{Error, Result};
 use common::ids::NodeId;
 use common::transport::WallClock;
 use coord::{CoordClientOptions, Registry};
-use multiring::{HostOptions, ServiceApp};
-use storage::wal::{lock_path, SyncPolicy, Wal};
+use multiring::{HostOptions, ServiceApp, SessionLimits, ShardPlan};
+use storage::wal::{SegmentedWal, SyncPolicy};
 
 use crate::batch::BatchOptions;
 use crate::config::{DeploymentConfig, ServiceKind};
 use crate::durable::DurableApp;
-use crate::node::{spawn_node, NodeHandle, NodeSetup};
+use crate::node::{spawn_node, AppStack, NodeHandle, NodeSetup};
 
-/// Builds the service state machine for one node of `config`.
-fn build_app(config: &DeploymentConfig, node: NodeId) -> Result<Box<dyn ServiceApp>> {
+/// The segment directory holding executor shard `shard`'s
+/// delivered-command WAL for `node`: `<wal_dir>/node-<id>/shard-<k>/`.
+/// Shard 0 is the whole stream when `executor_shards = 1`.
+pub fn shard_wal_dir(wal_dir: &Path, node: NodeId, shard: usize) -> PathBuf {
+    wal_dir
+        .join(format!("node-{}", node.raw()))
+        .join(format!("shard-{shard}"))
+}
+
+/// Wraps one (sub-)shard's state in its own rotated, group-committed
+/// WAL when the deployment is durable.
+fn durable(
+    config: &DeploymentConfig,
+    node: NodeId,
+    shard: usize,
+    inner: Box<dyn ServiceApp>,
+) -> Result<Box<dyn ServiceApp>> {
+    let Some(dir) = &config.wal_dir else {
+        return Ok(inner);
+    };
+    let seg_dir = shard_wal_dir(dir, node, shard);
+    // Resume the position counter past everything ever written, so
+    // pruning cutoffs and segment names stay monotone across a
+    // restart-in-place.
+    let start = SegmentedWal::end_pos(&seg_dir)?;
+    // Group commit (one fdatasync per delivered batch) makes the
+    // paper's synchronous mode affordable on the delivery path;
+    // rotation plus checkpoint-cadence pruning bounds the directory.
+    let wal = SegmentedWal::open(&seg_dir, SyncPolicy::EveryWrite, config.wal_roll_every)?;
+    Ok(Box::new(DurableApp::with_log(inner, Box::new(wal), start)))
+}
+
+/// Builds the service stack for one node of `config`: per-sub-shard
+/// service states plus the plan routing commands between them, each
+/// sub-shard under its own WAL. With `executor_shards = 1` this
+/// collapses to the classic inline decorator chain.
+fn build_stack(config: &DeploymentConfig, node: NodeId) -> Result<AppStack> {
     let spec = config
         .node(node)
         .ok_or_else(|| Error::Config(format!("node {node} not in configuration")))?;
-    let inner: Box<dyn ServiceApp> = match &config.service {
+    let shards = config.executor_shards.max(1) as usize;
+    // The reply-cache cap tracks the credit window so a full window
+    // always fits.
+    let limits = SessionLimits {
+        max_cached: (config.client_window as usize * 2).max(256),
+        ..SessionLimits::default()
+    };
+    let (mut inners, plan): (Vec<Box<dyn ServiceApp>>, Arc<dyn ShardPlan>) = match &config.service {
         ServiceKind::MrpStore { partitions } => {
             let partition = spec
                 .partition
                 .ok_or_else(|| Error::Config(format!("mrpstore node {node} needs a partition")))?;
-            Box::new(mrpstore::KvApp::new(
-                partition,
-                mrpstore::Partitioning::Hash {
-                    partitions: *partitions,
-                },
-            ))
+            // Every sub-shard owns the partition's whole key *predicate*
+            // but only ever sees the keys the plan routes to it, so the
+            // sub-states stay disjoint.
+            let inners = (0..shards)
+                .map(|_| {
+                    Box::new(mrpstore::KvApp::new(
+                        partition,
+                        mrpstore::Partitioning::Hash {
+                            partitions: *partitions,
+                        },
+                    )) as Box<dyn ServiceApp>
+                })
+                .collect();
+            (inners, Arc::new(mrpstore::KvShardPlan::new(shards)))
         }
         ServiceKind::Dlog { logs } => {
             let all: Vec<u16> = (0..*logs).collect();
-            Box::new(dlog::DlogApp::new(&all))
+            let plan = dlog::DlogShardPlan::new(shards, &all);
+            let inners = (0..shards)
+                .map(|k| {
+                    Box::new(dlog::DlogApp::new(&plan.logs_of_shard(k))) as Box<dyn ServiceApp>
+                })
+                .collect();
+            (inners, Arc::new(plan))
         }
-        ServiceKind::Echo => Box::new(multiring::EchoApp::new()),
+        ServiceKind::Echo => (
+            (0..shards)
+                .map(|_| Box::new(multiring::EchoApp::new()) as Box<dyn ServiceApp>)
+                .collect(),
+            Arc::new(multiring::EchoShardPlan::new(shards)),
+        ),
     };
-    // Every service runs under the exactly-once session table (protocol
-    // v2); v1 traffic passes through it untouched. The reply-cache cap
-    // tracks the credit window so a full window always fits.
-    let sessions = Box::new(multiring::SessionApp::with_limits(
-        inner,
-        multiring::SessionLimits {
-            max_cached: (config.client_window as usize * 2).max(256),
-            ..multiring::SessionLimits::default()
-        },
-    ));
-    match &config.wal_dir {
-        Some(dir) => {
-            std::fs::create_dir_all(dir)?;
-            // Group commit (one fdatasync per delivered batch) makes the
-            // paper's synchronous mode affordable on the delivery path.
-            let wal = Wal::open(
-                dir.join(format!("node-{}.wal", node.raw())),
-                SyncPolicy::EveryWrite,
-            )?;
-            Ok(Box::new(DurableApp::new(sessions, wal)))
-        }
-        None => Ok(sessions),
+    if shards == 1 {
+        // Inline: the session table decorates the service on the node
+        // loop (protocol v2; v1 traffic passes through untouched), the
+        // WAL logs the full delivered stream outside it.
+        let inner = inners.pop().expect("one sub-state");
+        let sessions = Box::new(multiring::SessionApp::with_limits(inner, limits));
+        Ok(AppStack::Inline(durable(config, node, 0, sessions)?))
+    } else {
+        // Sharded: the session table lives in the executor (admission on
+        // the merge thread); each shard stages and fsyncs its own WAL.
+        let shards = inners
+            .into_iter()
+            .enumerate()
+            .map(|(k, inner)| durable(config, node, k, inner))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AppStack::Sharded {
+            shards,
+            plan,
+            limits,
+        })
     }
 }
 
@@ -175,7 +236,7 @@ pub fn start_node(
         session_ring,
         obs,
     };
-    spawn_node(setup, build_app(config, node)?, restart)
+    spawn_node(setup, build_stack(config, node)?, restart)
 }
 
 /// A whole deployment running in this process over localhost TCP.
@@ -256,12 +317,13 @@ impl Deployment {
     /// state is gone. Peers detect the silence and reconfigure the rings
     /// around it (paper §5.1).
     ///
-    /// The node's WAL lock is verified released before returning, so a
-    /// restart-in-place never races the dying node for the log file.
+    /// Every shard WAL lock of the node is verified released before
+    /// returning, so a restart-in-place never races the dying node (or
+    /// its executor shard threads) for the log directories.
     ///
     /// # Errors
     ///
-    /// Fails if the node is unknown, already dead, or its WAL lock
+    /// Fails if the node is unknown, already dead, or a WAL lock
     /// outlives the shutdown (a bug this method exists to surface).
     pub fn kill(&mut self, node: NodeId) -> Result<()> {
         let i = self.index_of(node)?;
@@ -270,16 +332,25 @@ impl Deployment {
             .ok_or_else(|| Error::Config(format!("node {node} is not running")))?;
         handle.shutdown();
         if let Some(dir) = &self.config.wal_dir {
-            let lock = lock_path(dir.join(format!("node-{}.wal", node.raw())));
+            let node_dir = dir.join(format!("node-{}", node.raw()));
+            let locks: Vec<PathBuf> = std::fs::read_dir(&node_dir)
+                .into_iter()
+                .flatten()
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().starts_with("shard-"))
+                .map(|e| SegmentedWal::dir_lock_path(e.path()))
+                .collect();
             let deadline = Instant::now() + Duration::from_secs(2);
-            while lock.exists() {
-                if Instant::now() >= deadline {
-                    return Err(Error::Storage(format!(
-                        "node {node} wal lock {} survived shutdown",
-                        lock.display()
-                    )));
+            for lock in locks {
+                while lock.exists() {
+                    if Instant::now() >= deadline {
+                        return Err(Error::Storage(format!(
+                            "node {node} wal lock {} survived shutdown",
+                            lock.display()
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
                 }
-                std::thread::sleep(Duration::from_millis(10));
             }
         }
         Ok(())

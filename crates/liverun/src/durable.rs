@@ -1,11 +1,10 @@
 //! Durability for delivered commands: a [`ServiceApp`] decorator that
-//! appends every executed envelope to a real [`storage::wal::Wal`].
+//! appends every executed envelope to a real write-ahead log.
 //!
 //! The WAL records the replica's *delivered sequence* — the deterministic
 //! merge of its subscribed rings — which is exactly what must agree
-//! across the replicas of a partition. Tests replay the files with
-//! [`Wal::replay`] to check agreement, and operators can audit a node's
-//! history offline.
+//! across the replicas of a partition. Tests replay the files to check
+//! agreement, and operators can audit a node's history offline.
 //!
 //! ## Group commit
 //!
@@ -18,6 +17,25 @@
 //! of truth: the service state is recovered from partition-peer
 //! checkpoints plus acceptor retransmission (paper §5.2), which
 //! re-derives exactly the lost suffix.
+//!
+//! ## Rotation and pruning
+//!
+//! Through the [`DecidedLog`] trait the decorator also drives
+//! [`storage::wal::SegmentedWal`]: records carry a monotone delivery
+//! position, segments roll at a configured cadence, and once the host
+//! reports a checkpoint durable ([`ServiceApp::checkpoint_durable`]) the
+//! log prunes every segment wholly below the position marked at snapshot
+//! time — closing the "single ever-growing file" caveat without ever
+//! touching a segment a restart might still replay.
+//!
+//! Under the sharded executor each shard owns one `DurableApp` over its
+//! own segment directory, so group commits fsync concurrently across
+//! shards. Cross-shard commands appear in *every* addressed shard's log
+//! (the barrier executes on each), which is correct for an audit log and
+//! deliberate: each shard's log is the full delivered stream of the
+//! state it owns.
+
+use std::cell::Cell;
 
 use bytes::{Bytes, BytesMut};
 use common::error::WireError;
@@ -25,7 +43,7 @@ use common::ids::RingId;
 use common::value::Envelope;
 use common::wire::Wire;
 use multiring::ServiceApp;
-use storage::wal::Wal;
+use storage::wal::{DecidedLog, Wal};
 
 /// One delivered command: the ring it arrived on plus the envelope.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,13 +71,32 @@ impl Wire for WalRecord {
 /// Wraps a service so every delivered envelope hits the WAL first.
 pub struct DurableApp {
     inner: Box<dyn ServiceApp>,
-    wal: Wal,
+    log: Box<dyn DecidedLog>,
+    /// Position of the next staged record (counts this decorator's own
+    /// delivered stream).
+    pos: u64,
+    /// The position the state covered when the last snapshot was cut;
+    /// once that checkpoint is durable, records below it are prunable.
+    /// `Cell` because the mark is taken inside `&self` snapshot calls.
+    ckpt_mark: Cell<u64>,
 }
 
 impl DurableApp {
-    /// Decorates `inner` with `wal`.
+    /// Decorates `inner` with a single-file `wal` (no rotation).
     pub fn new(inner: Box<dyn ServiceApp>, wal: Wal) -> Self {
-        DurableApp { inner, wal }
+        Self::with_log(inner, Box::new(wal), 0)
+    }
+
+    /// Decorates `inner` with any [`DecidedLog`], resuming the position
+    /// counter at `start_pos` (use [`storage::wal::SegmentedWal::end_pos`]
+    /// when reopening a rotated directory).
+    pub fn with_log(inner: Box<dyn ServiceApp>, log: Box<dyn DecidedLog>, start_pos: u64) -> Self {
+        DurableApp {
+            inner,
+            log,
+            pos: start_pos,
+            ckpt_mark: Cell::new(start_pos),
+        }
     }
 }
 
@@ -67,8 +104,10 @@ impl ServiceApp for DurableApp {
     fn execute(&mut self, group: RingId, env: &Envelope) -> Bytes {
         // Stage through WalRecord's own encoder (the clone is refcounted,
         // not a payload copy) so the staged bytes can never drift from
-        // what `Wal::replay::<WalRecord>` expects.
-        self.wal.append_buffered_with(|buf| {
+        // what replay expects.
+        let pos = self.pos;
+        self.pos += 1;
+        self.log.stage(pos, &mut |buf| {
             WalRecord {
                 ring: group,
                 env: env.clone(),
@@ -83,11 +122,15 @@ impl ServiceApp for DurableApp {
         // write failure must not diverge this replica from its peers:
         // execution continues, only durability (and the audit trail) is
         // degraded.
-        let _ = self.wal.commit();
+        let _ = self.log.commit();
         self.inner.flush();
     }
 
     fn snapshot(&self) -> Bytes {
+        // Everything staged so far is covered by the snapshot being cut;
+        // remember the position so a later durable checkpoint can prune
+        // up to (but never past) it.
+        self.ckpt_mark.set(self.pos);
         self.inner.snapshot()
     }
 
@@ -99,12 +142,22 @@ impl ServiceApp for DurableApp {
         self.inner.reset();
     }
 
+    fn checkpoint_durable(&mut self) {
+        // Best effort, like commit: pruning is an optimization.
+        let _ = self.log.prune_below(self.ckpt_mark.get());
+        self.inner.checkpoint_durable();
+    }
+
     fn session_probe(&self, session: u64) -> Option<(u64, u64)> {
         self.inner.session_probe(session)
     }
 
     fn session_ids(&self) -> Vec<u64> {
         self.inner.session_ids()
+    }
+
+    fn cached_reply_count(&self) -> usize {
+        self.inner.cached_reply_count()
     }
 }
 
@@ -113,7 +166,16 @@ mod tests {
     use super::*;
     use common::ids::{ClientId, NodeId, RequestId};
     use multiring::EchoApp;
-    use storage::wal::SyncPolicy;
+    use storage::wal::{SegmentedWal, SyncPolicy};
+
+    fn env(seq: u64) -> Envelope {
+        Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(seq),
+            NodeId::new(2),
+            Bytes::from_static(b"cmd"),
+        )
+    }
 
     #[test]
     fn executed_envelopes_land_in_the_wal() {
@@ -125,12 +187,7 @@ mod tests {
             Box::new(EchoApp::new()),
             Wal::open(&path, SyncPolicy::OsDecides).unwrap(),
         );
-        let env = Envelope::v1(
-            ClientId::new(1),
-            RequestId::new(7),
-            NodeId::new(2),
-            Bytes::from_static(b"cmd"),
-        );
+        let env = env(7);
         app.execute(RingId::new(3), &env);
         app.execute(RingId::new(4), &env);
         // Group commit: nothing on disk until the batch boundary.
@@ -144,6 +201,45 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].ring, RingId::new(3));
         assert_eq!(records[1].env, env);
+        drop(app);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segmented_log_rotates_prunes_and_resumes_position() {
+        let dir = std::env::temp_dir().join(format!(
+            "durable-seg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let wal = SegmentedWal::open(&dir, SyncPolicy::OsDecides, 2).unwrap();
+            let mut app = DurableApp::with_log(Box::new(EchoApp::new()), Box::new(wal), 0);
+            for seq in 0..5 {
+                app.execute(RingId::new(0), &env(seq));
+            }
+            app.flush();
+            // The snapshot marks pos 5; once durable, segments wholly
+            // below it are pruned (the active segment survives).
+            let _ = app.snapshot();
+            app.checkpoint_durable();
+            let remaining = SegmentedWal::replay::<WalRecord>(&dir).unwrap();
+            assert!(
+                remaining.iter().all(|(pos, _)| *pos >= 4),
+                "pruned records below the checkpoint mark: {:?}",
+                remaining.iter().map(|(p, _)| *p).collect::<Vec<_>>()
+            );
+        }
+        // Reopen: positions resume past everything ever written.
+        let resume = SegmentedWal::end_pos(&dir).unwrap();
+        assert_eq!(resume, 5);
+        let wal = SegmentedWal::open(&dir, SyncPolicy::OsDecides, 2).unwrap();
+        let mut app = DurableApp::with_log(Box::new(EchoApp::new()), Box::new(wal), resume);
+        app.execute(RingId::new(0), &env(99));
+        app.flush();
+        let records = SegmentedWal::replay::<WalRecord>(&dir).unwrap();
+        assert_eq!(records.last().map(|(p, _)| *p), Some(5));
         drop(app);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -53,7 +53,7 @@ pub use batch::{BatchOptions, Batcher};
 pub use client::{fetch_stats, ClientOptions, Completion, LiveClient};
 pub use config::{DeploymentConfig, ServiceKind};
 pub use coordsvc::{start_coord_server, CoordServerConfig, CoordServerHandle};
-pub use deployment::{connect_registry, start_node, Deployment};
+pub use deployment::{connect_registry, shard_wal_dir, start_node, Deployment};
 pub use durable::{DurableApp, WalRecord};
 pub use node::{client_node_id, client_of_node, NodeHandle, CLIENT_NODE_BASE};
 pub use service::{LogClient, StoreClient};

@@ -19,7 +19,7 @@
 //! writes a [`ClientReply::Response`] frame.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -27,18 +27,21 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 
 use bytes::Bytes;
 use common::error::{Error, Result};
 use common::ids::{ClientId, NodeId, RequestId, RingId};
 use common::msg::{ClientMsg as SimClientMsg, Msg};
-use common::obs::{Hist, Obs, WireCounters};
+use common::obs::{Counter, Hist, Obs, WireCounters};
 use common::transport::{encode_frame, FrameBuf, PeerFrame, TimerHeap, WallClock};
 use common::value::Envelope;
 use common::wire::client::{ClientMsg, ClientReply};
 use common::wire::Wire;
 use coord::Registry;
-use multiring::{HostOptions, MultiRingHost, ServiceApp};
+use multiring::{
+    HostOptions, MultiRingHost, ReplySink, ServiceApp, SessionLimits, ShardPlan, ShardedExec,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use simnet::{Ctx, Process, Timer};
 
@@ -120,11 +123,11 @@ pub(crate) struct ClientWriter {
 }
 
 impl ClientWriter {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, vectored: Counter) -> Self {
         let (tx, rx) = crossbeam::channel::bounded::<ClientReply>(4096);
         let depth = Arc::new(AtomicUsize::new(0));
         let loop_depth = Arc::clone(&depth);
-        std::thread::spawn(move || client_writer_loop(stream, rx, loop_depth));
+        std::thread::spawn(move || client_writer_loop(stream, rx, loop_depth, vectored));
         ClientWriter { tx, depth }
     }
 
@@ -143,13 +146,68 @@ impl ClientWriter {
 
 /// Owns the write half of one client socket; exits when every handle to
 /// the queue is gone or the socket breaks.
-fn client_writer_loop(mut stream: TcpStream, rx: Receiver<ClientReply>, depth: Arc<AtomicUsize>) {
+///
+/// Replies queued behind the first one coalesce into a single
+/// `write_vectored` syscall — under load (many shards finishing at
+/// once) the per-frame write cost amortizes across the burst.
+fn client_writer_loop(
+    mut stream: TcpStream,
+    rx: Receiver<ClientReply>,
+    depth: Arc<AtomicUsize>,
+    vectored: Counter,
+) {
+    let mut frames: Vec<Bytes> = Vec::new();
     while let Ok(reply) = rx.recv() {
         depth.fetch_sub(1, Ordering::Relaxed);
-        if stream.write_all(&encode_frame(&reply)).is_err() {
+        frames.clear();
+        frames.push(encode_frame(&reply));
+        while frames.len() < 64 {
+            match rx.try_recv() {
+                Ok(reply) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    frames.push(encode_frame(&reply));
+                }
+                Err(_) => break,
+            }
+        }
+        if frames.len() > 1 {
+            vectored.add(frames.len() as u64);
+        }
+        if write_all_vectored(&mut stream, &frames).is_err() {
             return;
         }
     }
+}
+
+/// Writes every frame fully with `write_vectored`, rebuilding the slice
+/// list from the unwritten remainder after short writes (std's
+/// `write_all_vectored` is unstable).
+fn write_all_vectored(stream: &mut TcpStream, frames: &[Bytes]) -> std::io::Result<()> {
+    let mut idx = 0;
+    let mut off = 0;
+    while idx < frames.len() {
+        let slices: Vec<IoSlice> = std::iter::once(IoSlice::new(&frames[idx][off..]))
+            .chain(frames[idx + 1..].iter().map(|f| IoSlice::new(f)))
+            .collect();
+        let mut n = match stream.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write frames",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        while idx < frames.len() && n >= frames[idx].len() - off {
+            n -= frames[idx].len() - off;
+            idx += 1;
+            off = 0;
+        }
+        off += n;
+    }
+    Ok(())
 }
 
 /// Outgoing peer connections.
@@ -168,6 +226,8 @@ struct PeerTransport {
     links: HashMap<NodeId, Sender<Msg>>,
     /// Per-node wire accounting for everything this node sends.
     wire: WireCounters,
+    /// Frames that left in multi-frame `write_vectored` bursts.
+    vectored: Counter,
 }
 
 impl PeerTransport {
@@ -179,11 +239,12 @@ impl PeerTransport {
             self.wire.note(rm);
         }
         let me = self.me;
+        let vectored = self.vectored.clone();
         let link = self.links.entry(to).or_insert_with(|| {
             let (tx, rx) = crossbeam::channel::bounded::<Msg>(4096);
             std::thread::Builder::new()
                 .name(format!("amcast-link-{}-{}", me.raw(), to.raw()))
-                .spawn(move || peer_writer_loop(me, addr, rx))
+                .spawn(move || peer_writer_loop(me, addr, rx, vectored))
                 .expect("spawn peer writer");
             tx
         });
@@ -194,25 +255,36 @@ impl PeerTransport {
 /// Owns the outgoing socket to one peer: connects (with back-off), writes
 /// queued frames, reconnects once on a failed write. Exits when the node
 /// loop drops its sender.
-fn peer_writer_loop(me: NodeId, addr: SocketAddr, rx: Receiver<Msg>) {
+fn peer_writer_loop(me: NodeId, addr: SocketAddr, rx: Receiver<Msg>, vectored: Counter) {
     let mut conn: Option<TcpStream> = None;
     let mut ever_connected = false;
-    let mut buf = bytes::BytesMut::new();
+    let mut frames: Vec<Bytes> = Vec::new();
     loop {
         let Ok(msg) = rx.recv() else { return };
         // Write coalescing: everything queued behind this message goes
-        // out in the same syscall — no added latency, and under load the
-        // per-frame write cost amortizes across the burst. The cap bounds
-        // how much a failed write can lose at once (a dropped buffer is
-        // healed by TTL'd circulation, retries and the value-pull path,
-        // but smaller losses heal faster).
-        buf.clear();
-        buf.extend_from_slice(&encode_frame(&PeerFrame { from: me, msg }));
-        while buf.len() < 64 * 1024 {
+        // out in the same `write_vectored` syscall — no added latency,
+        // no copy into a staging buffer, and under load the per-frame
+        // write cost amortizes across the burst. The cap bounds how much
+        // a failed write can lose at once (a dropped burst is healed by
+        // TTL'd circulation, retries and the value-pull path, but
+        // smaller losses heal faster).
+        frames.clear();
+        let mut total = 0usize;
+        let first = encode_frame(&PeerFrame { from: me, msg });
+        total += first.len();
+        frames.push(first);
+        while total < 64 * 1024 {
             match rx.try_recv() {
-                Ok(msg) => buf.extend_from_slice(&encode_frame(&PeerFrame { from: me, msg })),
+                Ok(msg) => {
+                    let frame = encode_frame(&PeerFrame { from: me, msg });
+                    total += frame.len();
+                    frames.push(frame);
+                }
                 Err(_) => break,
             }
+        }
+        if frames.len() > 1 {
+            vectored.add(frames.len() as u64);
         }
         // (Re)connect if needed, then write; a failed write drops the
         // socket and retries once with a fresh connection.
@@ -244,7 +316,7 @@ fn peer_writer_loop(me: NodeId, addr: SocketAddr, rx: Receiver<Msg>) {
                 }
             }
             if let Some(s) = conn.as_mut() {
-                if s.write_all(&buf).is_ok() {
+                if write_all_vectored(s, &frames).is_ok() {
                     break;
                 }
                 conn = None;
@@ -342,7 +414,7 @@ fn spawn_client_reader(
     std::thread::spawn(move || {
         let _ = stream.set_nodelay(true);
         let writer = match stream.try_clone() {
-            Ok(w) => ClientWriter::new(w),
+            Ok(w) => ClientWriter::new(w, obs.counter("writer_vectored_frames")),
             Err(_) => return,
         };
         let mut session: Option<ClientId> = None;
@@ -458,6 +530,62 @@ fn spawn_client_reader(
     });
 }
 
+/// The service stack one node runs: either the classic inline decorator
+/// chain (everything executes on the node loop) or the sharded runtime —
+/// per-shard sub-states plus the plan that routes commands between them.
+/// Built by the deployment layer from the `executor_shards` config key.
+pub(crate) enum AppStack {
+    /// `executor_shards = 1`: the single-threaded stack.
+    Inline(Box<dyn ServiceApp>),
+    /// `executor_shards > 1`: sub-state `i` (with its own durability
+    /// decorator) executes on executor shard `i`.
+    Sharded {
+        shards: Vec<Box<dyn ServiceApp>>,
+        plan: Arc<dyn ShardPlan>,
+        limits: SessionLimits,
+    },
+}
+
+/// Routes executed replies from executor-shard threads straight to the
+/// owning client connection's writer queue — response framing and the
+/// client lookup happen on the shard's thread, not the merge thread.
+/// Mirrors the client branch of [`route_effects`] exactly.
+struct NodeReplySink {
+    me: NodeId,
+    clients: Arc<Mutex<HashMap<ClientId, ClientConn>>>,
+}
+
+impl ReplySink for NodeReplySink {
+    fn reply(&self, _ring: RingId, env: &Envelope, payload: Bytes) {
+        use common::value::NO_SESSION;
+        let Some(client) = client_of_node(env.reply_to) else {
+            // Not a live client (e.g. a sweep-proposed expiry replying
+            // to the node itself): dropped, same as route_effects.
+            return;
+        };
+        let clients = self.clients.lock();
+        let Some(conn) = clients.get(&client) else {
+            return;
+        };
+        if conn.v2 {
+            conn.writer.send(&ClientReply::ResponseV2 {
+                session: env.session,
+                seq: env.req,
+                from_replica: self.me,
+                payload,
+            });
+        } else if env.session == NO_SESSION {
+            conn.writer.send(&ClientReply::Response {
+                seq: env.req,
+                from_replica: self.me,
+                payload,
+            });
+        }
+        // A sessioned reply to a v1 connection can only be a stale
+        // cross-incarnation straggler: drop it.
+    }
+}
+
 /// Everything needed to (re)build one node's host.
 pub(crate) struct NodeSetup {
     /// This node's id.
@@ -534,11 +662,7 @@ impl NodeHandle {
 /// With `restart: true` the host comes up through the crash/recovery path
 /// (rejoin rings, install the freshest checkpoint, catch up from the
 /// acceptors — paper §5.2) instead of the cold-start path.
-pub(crate) fn spawn_node(
-    setup: NodeSetup,
-    app: Box<dyn ServiceApp>,
-    restart: bool,
-) -> Result<NodeHandle> {
+pub(crate) fn spawn_node(setup: NodeSetup, stack: AppStack, restart: bool) -> Result<NodeHandle> {
     let (tx, rx) = unbounded::<Event>();
 
     let peer_listener = TcpListener::bind(setup.peer_addr)?;
@@ -563,7 +687,7 @@ pub(crate) fn spawn_node(
     let loop_tx = tx.clone();
     let join = std::thread::Builder::new()
         .name(format!("amcast-node-{}", setup.me.raw()))
-        .spawn(move || node_loop(setup, app, restart, rx, loop_tx))
+        .spawn(move || node_loop(setup, stack, restart, rx, loop_tx))
         .map_err(Error::Io)?;
 
     Ok(NodeHandle {
@@ -577,7 +701,7 @@ pub(crate) fn spawn_node(
 
 fn node_loop(
     setup: NodeSetup,
-    app: Box<dyn ServiceApp>,
+    stack: AppStack,
     restart: bool,
     rx: Receiver<Event>,
     self_tx: Sender<Event>,
@@ -594,28 +718,55 @@ fn node_loop(
                 .rejoin(*ring, me, setup.acceptor_of.contains(ring));
         }
     }
-    let mut host = MultiRingHost::new(
-        me,
-        setup.registry.clone(),
-        &setup.member_of,
-        &setup.subscribe_to,
-        setup.partition,
-        app,
-        setup.host_opts,
-    );
     let obs = setup.obs.clone();
+    // The client map is shared with executor-shard threads (when
+    // sharded): shards frame and enqueue replies themselves, so a reply
+    // never crosses back through the node loop.
+    let clients: Arc<Mutex<HashMap<ClientId, ClientConn>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut host = match stack {
+        AppStack::Inline(app) => MultiRingHost::new(
+            me,
+            setup.registry.clone(),
+            &setup.member_of,
+            &setup.subscribe_to,
+            setup.partition,
+            app,
+            setup.host_opts,
+        ),
+        AppStack::Sharded {
+            shards,
+            plan,
+            limits,
+        } => {
+            let sink = Arc::new(NodeReplySink {
+                me,
+                clients: Arc::clone(&clients),
+            });
+            let exec = ShardedExec::new(shards, plan, limits, sink, &obs, 1024);
+            MultiRingHost::new_sharded(
+                me,
+                setup.registry.clone(),
+                &setup.member_of,
+                &setup.subscribe_to,
+                setup.partition,
+                exec,
+                setup.host_opts,
+            )
+        }
+    };
     let mut transport = PeerTransport {
         me,
         addrs: setup.peer_addrs,
         links: HashMap::new(),
         wire: WireCounters::new(&obs),
+        vectored: obs.counter("writer_vectored_frames"),
     };
     let stage_seal = obs.hist("stage_seal_nanos");
     let batcher_depth = obs.gauge("batcher_depth");
     let reply_queue_depth = obs.gauge("reply_queue_depth");
     let session_count = obs.gauge("session_count");
     let session_cached_replies = obs.gauge("session_cached_replies");
-    let mut clients: HashMap<ClientId, ClientConn> = HashMap::new();
+    let shard_queue_depth = obs.gauge("shard_queue_depth");
     let mut batcher = Batcher::new(setup.batch_opts);
     // Session-expiry sweep state: last refresh reading per session and
     // when it last moved (the amcoord TTL-session shape applied to the
@@ -676,10 +827,10 @@ fn node_loop(
                     with_ctx!(|ctx| host.on_message(from, msg, &mut ctx));
                 }
                 Event::ClientHello(client, writer, v2) => {
-                    clients.insert(client, ClientConn { writer, v2 });
+                    clients.lock().insert(client, ClientConn { writer, v2 });
                 }
                 Event::ClientGone(client) => {
-                    clients.remove(&client);
+                    clients.lock().remove(&client);
                 }
                 Event::ClientRequest {
                     client,
@@ -691,7 +842,7 @@ fn node_loop(
                         // Fail fast instead of silently dropping: the client
                         // can re-route immediately rather than burn its
                         // timeout (the wire protocol's documented Error path).
-                        if let Some(conn) = clients.get(&client) {
+                        if let Some(conn) = clients.lock().get(&client) {
                             conn.writer.send(&common::wire::client::ClientReply::Error {
                                 seq,
                                 reason: format!("node {me} does not serve group {group}"),
@@ -718,7 +869,7 @@ fn node_loop(
                         // v2: point the client at a node that serves the
                         // group instead of making it guess (or silently
                         // proxying on its behalf).
-                        if let Some(conn) = clients.get(&client) {
+                        if let Some(conn) = clients.lock().get(&client) {
                             let target =
                                 setup.registry.ring(group).ok().and_then(|cfg| {
                                     cfg.members().iter().copied().find(|m| *m != me)
@@ -808,15 +959,22 @@ fn node_loop(
             next_session_sweep = Instant::now() + Duration::from_secs(1);
             // Periodic gauges ride the sweep's once-a-second cadence.
             batcher_depth.set(batcher.pending_len() as i64);
-            reply_queue_depth.set(clients.values().map(|c| c.writer.queued() as i64).sum());
-            session_count.set(host.app().session_ids().len() as i64);
-            session_cached_replies.set(host.app().cached_reply_count() as i64);
+            reply_queue_depth.set(
+                clients
+                    .lock()
+                    .values()
+                    .map(|c| c.writer.queued() as i64)
+                    .sum(),
+            );
+            session_count.set(host.session_ids().len() as i64);
+            session_cached_replies.set(host.cached_reply_count() as i64);
+            shard_queue_depth.set(host.executor_queue_depth() as i64);
             if let Some(ring) = setup.session_ring {
                 let now = Instant::now();
-                let ids = host.app().session_ids();
+                let ids = host.session_ids();
                 session_seen.retain(|id, _| ids.contains(id));
                 for id in ids {
-                    let Some((refresh, ttl_ms)) = host.app().session_probe(id) else {
+                    let Some((refresh, ttl_ms)) = host.session_probe(id) else {
                         continue;
                     };
                     let entry = session_seen.entry(id).or_insert((refresh, now));
@@ -869,7 +1027,7 @@ fn route_effects(
     outbox: &mut Vec<(NodeId, Msg)>,
     timer_reqs: &mut Vec<(common::SimTime, Timer)>,
     transport: &mut PeerTransport,
-    clients: &HashMap<ClientId, ClientConn>,
+    clients: &Mutex<HashMap<ClientId, ClientConn>>,
     self_tx: &Sender<Event>,
     timers: &mut TimerHeap<Timer>,
     clock: &WallClock,
@@ -891,7 +1049,7 @@ fn route_effects(
             // Client not connected here (or gone): reply dropped, exactly
             // like the paper's UDP responses; the client retries (safely,
             // under v2 — retries are deduplicated).
-            if let Some(conn) = clients.get(&client) {
+            if let Some(conn) = clients.lock().get(&client) {
                 if conn.v2 {
                     conn.writer.send(&ClientReply::ResponseV2 {
                         session,

@@ -53,16 +53,122 @@ fn mrpstore_put_get_scan_over_tcp() {
 
     // Replicas of the same partition must have recorded identical
     // delivered sequences in their WALs (nodes 0,1 = partition 0; nodes
-    // 2,3 = partition 1 in the generated layout).
+    // 2,3 = partition 1 in the generated layout). With the default
+    // `executor_shards = 1` the whole stream lives in shard 0's
+    // segment directory.
+    use common::ids::NodeId;
     for pair in [[0u32, 1u32], [2, 3]] {
-        let replay = |n: u32| -> Vec<liverun::WalRecord> {
-            storage::wal::Wal::replay(wal_dir.join(format!("node-{n}.wal"))).unwrap()
+        let replay = |n: u32| -> Vec<(u64, liverun::WalRecord)> {
+            storage::wal::SegmentedWal::replay(liverun::shard_wal_dir(&wal_dir, NodeId::new(n), 0))
+                .unwrap()
         };
         let a = replay(pair[0]);
         let b = replay(pair[1]);
         assert!(!a.is_empty(), "node {} executed nothing", pair[0]);
         assert_eq!(a, b, "nodes {pair:?} diverged");
     }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// Satellite of the rotated-WAL port: a durable deployment with an
+/// aggressive segment-roll cadence rotates its delivered-command logs,
+/// prunes them at checkpoint cuts, and a killed replica restarts in
+/// place *over the rotated directory*, resuming its position counter
+/// past everything ever written.
+#[test]
+fn restart_in_place_over_rotated_wal_dir() {
+    use common::ids::NodeId;
+    use storage::wal::SegmentedWal;
+
+    let wal_dir = std::env::temp_dir().join(format!("liverun-rotwal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let text = generate_localhost_mrpstore(1, 3, base_port(100), wal_dir.to_str()).replacen(
+        "[deployment]\n",
+        "[deployment]\nwal_roll_every = 8\n",
+        1,
+    );
+    let config = DeploymentConfig::parse(&text).unwrap();
+    assert_eq!(config.wal_roll_every, 8);
+    let mut deployment = Deployment::launch(config.clone()).unwrap();
+    let mut client = StoreClient::connect(&config, ClientId::new(11), client_opts()).unwrap();
+
+    for i in 0..40 {
+        assert_eq!(
+            client
+                .insert(&format!("rot{i:02}"), Bytes::from(vec![i as u8]))
+                .unwrap(),
+            KvResponse::Ok
+        );
+    }
+
+    // The roll cadence (8) is far below the delivered count, so the log
+    // must have rotated: either several segments survive, or pruning
+    // already dropped the oldest ones and the first surviving segment
+    // starts past position 0 (segment names carry their first position).
+    let victim = NodeId::new(2);
+    let victim_dir = liverun::shard_wal_dir(&wal_dir, victim, 0);
+    let segments = SegmentedWal::segments(&victim_dir);
+    let first_pos = segments
+        .first()
+        .and_then(|p| {
+            p.file_name()?
+                .to_str()?
+                .strip_prefix("seg-")?
+                .strip_suffix(".wal")?
+                .parse::<u64>()
+                .ok()
+        })
+        .unwrap_or(0);
+    assert!(
+        segments.len() > 1 || first_pos > 0,
+        "wal never rotated: {segments:?}"
+    );
+    let pre_end = SegmentedWal::end_pos(&victim_dir).unwrap();
+    assert!(pre_end > 0);
+
+    deployment.kill(victim).unwrap();
+    for i in 0..10 {
+        assert_eq!(
+            client
+                .insert(&format!("mid{i:02}"), Bytes::from(vec![i as u8]))
+                .unwrap(),
+            KvResponse::Ok
+        );
+    }
+    deployment.restart(victim).unwrap();
+    client.raw().reconnect(victim).unwrap();
+
+    // The recovered replica serves fresh reads...
+    let raw = client
+        .raw()
+        .request_from(
+            common::ids::RingId::new(0),
+            mrpstore::KvCommand::Read {
+                key: "mid09".into(),
+            }
+            .to_bytes(),
+            victim,
+        )
+        .unwrap();
+    assert_eq!(
+        KvResponse::decode(&mut raw.clone()).unwrap(),
+        KvResponse::Value(Some(Bytes::from(vec![9]))),
+        "recovered replica must serve post-crash writes"
+    );
+    deployment.shutdown();
+
+    // ...and its reopened log resumed *past* the pre-kill positions:
+    // strictly increasing, never reusing a position.
+    let records = SegmentedWal::replay::<liverun::WalRecord>(&victim_dir).unwrap();
+    let positions: Vec<u64> = records.iter().map(|(p, _)| *p).collect();
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "positions must stay strictly monotone across the restart"
+    );
+    assert!(
+        positions.last().copied().unwrap_or(0) >= pre_end,
+        "restarted writer resumed below its pre-kill end position"
+    );
     let _ = std::fs::remove_dir_all(&wal_dir);
 }
 
@@ -414,4 +520,112 @@ fn fanout_completes_despite_replica_kill_mid_fanout() {
     assert_eq!(entries.len(), 16);
 
     deployment.shutdown();
+}
+
+/// The sharded runtime under the exactly-once acceptance: with
+/// `executor_shards = 4` a replica is killed mid-run and restarted in
+/// place. The recovered node must agree with its peers on the
+/// non-idempotent counter (session table and state ride the checkpoint —
+/// no lost and no double-executed increment), serve cross-shard scans,
+/// and resume each of its per-shard WAL cursors monotonically.
+#[test]
+fn sharded_executor_restart_in_place_is_exactly_once() {
+    use common::ids::{NodeId, RingId};
+    use liverun::config::with_executor_shards;
+    use mrpstore::{KvCommand, Partitioning};
+    use storage::wal::SegmentedWal;
+
+    let wal_dir = std::env::temp_dir().join(format!("liverun-shardwal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let text = with_executor_shards(
+        &generate_localhost_mrpstore(2, 3, base_port(120), wal_dir.to_str()),
+        4,
+    );
+    let config = DeploymentConfig::parse(&text).unwrap();
+    assert_eq!(config.executor_shards, 4);
+    let mut deployment = Deployment::launch(config.clone()).unwrap();
+    let mut client = StoreClient::connect(&config, ClientId::new(21), client_opts()).unwrap();
+
+    // A counter key owned by partition 0, incremented through the v2
+    // session — the non-idempotent probe for double-execution.
+    let scheme = Partitioning::Hash { partitions: 2 };
+    let key: String = (0..)
+        .map(|i| format!("sctr{i}"))
+        .find(|k| scheme.partition_of(k).raw() == 0)
+        .unwrap();
+    for _ in 0..8 {
+        client.add(&key, 1).unwrap();
+    }
+    // Spread writes across every executor shard of both partitions.
+    for i in 0..24 {
+        assert_eq!(
+            client
+                .insert(&format!("sh{i:02}"), Bytes::from(vec![i as u8]))
+                .unwrap(),
+            KvResponse::Ok
+        );
+    }
+
+    let victim = NodeId::new(2);
+    let pre_ends: Vec<u64> = (0..4)
+        .map(|k| SegmentedWal::end_pos(liverun::shard_wal_dir(&wal_dir, victim, k)).unwrap())
+        .collect();
+    deployment.kill(victim).unwrap();
+
+    // Increments and writes continue while the replica is down.
+    for _ in 0..7 {
+        client.add(&key, 1).unwrap();
+    }
+    deployment.restart(victim).unwrap();
+    client.raw().reconnect(victim).unwrap();
+
+    // Post-restart increments land exactly once.
+    for _ in 0..5 {
+        client.add(&key, 1).unwrap();
+    }
+
+    // Cross-shard barrier after recovery: the scan merges every shard of
+    // every partition (and, being Route::All, lands one post-restart
+    // record in every shard WAL of the recovered node).
+    let entries = client.scan("sh", "").unwrap();
+    assert_eq!(entries.len(), 24, "scan merged all executor shards");
+
+    // The *recovered* replica answers the counter total from its own
+    // sharded state. Ring delivery is totally ordered, so the victim
+    // answering this read (proposed after the scan) proves it has
+    // dispatched the scan to all four of its executor shards; shutdown
+    // then joins the shard threads, flushing their WALs.
+    let total: u64 = 8 + 7 + 5;
+    let read = KvCommand::Read { key: key.clone() }.to_bytes();
+    let raw = client
+        .raw()
+        .request_from(RingId::new(0), read, victim)
+        .unwrap();
+    assert_eq!(
+        KvResponse::decode(&mut raw.clone()).unwrap(),
+        KvResponse::Value(Some(Bytes::copy_from_slice(&total.to_le_bytes()))),
+        "restarted sharded replica must recover the exactly-once counter"
+    );
+
+    deployment.shutdown();
+
+    // Every shard WAL cursor resumed past its pre-kill end — positions
+    // stay strictly monotone per shard, never reused.
+    for (k, pre_end) in pre_ends.iter().enumerate() {
+        let dir = liverun::shard_wal_dir(&wal_dir, victim, k);
+        let positions: Vec<u64> = SegmentedWal::replay::<liverun::WalRecord>(&dir)
+            .unwrap()
+            .iter()
+            .map(|(p, _)| *p)
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "shard {k} positions must stay strictly monotone across restart"
+        );
+        assert!(
+            positions.last().copied().unwrap_or(0) >= *pre_end,
+            "shard {k} cursor resumed below its pre-kill end"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
 }

@@ -91,7 +91,7 @@ impl Partitioning {
 }
 
 /// FNV-1a over the key bytes (stable across processes).
-fn fnv1a_str(s: &str) -> u64 {
+pub(crate) fn fnv1a_str(s: &str) -> u64 {
     const PRIME: u64 = 0x100_0000_01b3;
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {

@@ -1,0 +1,230 @@
+//! Executor sharding for MRP-Store: how one partition's key space splits
+//! across [`multiring::exec::ShardedExec`] worker shards.
+//!
+//! The shard plan is a second level of the paper's hash partitioning,
+//! applied *inside* a partition: sub-shard `i` of `n` owns the partition
+//! keys with `mix64(fnv1a(key)) % n == i` — the remix keeps shard
+//! placement independent of the deployment partitioner, which consumed
+//! the raw hash already. Single-key commands route to the
+//! owning shard; scans — already a cross-partition fan-out at the
+//! deployment level — become a cross-shard barrier whose per-shard
+//! slices merge back into exactly the entries an unsharded replica
+//! would return. Snapshot split/merge uses the same hash, so checkpoint
+//! bytes are identical whatever the shard count (including 1).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use common::ids::RingId;
+use common::value::Envelope;
+use common::wire::{get_varint, put_varint, put_vec, Wire};
+use multiring::exec::{Route, ShardPlan};
+
+use crate::command::{KvCommand, KvResponse};
+use crate::partitioning::fnv1a_str;
+
+/// Splits a partition's [`crate::KvApp`] across executor shards by key
+/// hash. Each sub-shard must be constructed as a full `KvApp` of the
+/// same partition and scheme — the plan's routing keeps their contents
+/// disjoint.
+pub struct KvShardPlan {
+    shards: usize,
+}
+
+impl KvShardPlan {
+    /// A plan over `shards` sub-shards.
+    pub fn new(shards: usize) -> Self {
+        KvShardPlan {
+            shards: shards.max(1),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        // The deployment partitioner is `fnv1a(key) % partitions`, so
+        // one partition only ever holds keys from a single residue
+        // class of the raw hash — `% shards` straight off the same hash
+        // would leave whole shards empty whenever the moduli share a
+        // factor. Remix first so shard choice is independent of
+        // partition choice.
+        (common::hash::mix64(fnv1a_str(key)) % self.shards as u64) as usize
+    }
+
+    fn encode_entries(entries: &[(String, Bytes)]) -> Bytes {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, entries.len() as u64);
+        for (k, v) in entries {
+            k.encode(&mut buf);
+            v.encode(&mut buf);
+        }
+        buf.freeze()
+    }
+}
+
+impl ShardPlan for KvShardPlan {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn route(&self, _group: RingId, env: &Envelope) -> Route {
+        match KvCommand::decode(&mut env.cmd.clone()) {
+            Ok(KvCommand::Scan { .. }) => Route::All,
+            Ok(cmd) => Route::One(self.shard_of(cmd.key())),
+            // Undecodable commands answer NotFound from any shard; pin
+            // them to shard 0 so the reply is deterministic.
+            Err(_) => Route::One(0),
+        }
+    }
+
+    fn combine(&self, _group: RingId, _env: &Envelope, partials: Vec<Bytes>) -> Bytes {
+        // Each partial is one shard's sorted slice of the scan; shards
+        // hold disjoint keys, so sorting the union by key reproduces the
+        // unsharded BTreeMap range scan entry-for-entry.
+        let mut merged: Vec<(String, Bytes)> = Vec::new();
+        for mut partial in partials {
+            match KvResponse::decode(&mut partial) {
+                Ok(KvResponse::Entries(entries)) => merged.extend(entries),
+                // Only scans route to all shards, so every partial
+                // decodes as Entries; anything else is foreign bytes.
+                _ => return KvResponse::NotFound.to_bytes(),
+            }
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut buf = BytesMut::new();
+        buf.put_u8(1); // KvResponse::Entries tag
+        put_vec(&mut buf, &merged);
+        buf.freeze()
+    }
+
+    fn merge_snapshots(&self, parts: Vec<Bytes>) -> Bytes {
+        // Per-shard snapshots are sorted (key, value) lists with a count
+        // prefix; disjoint keys sort into the unsharded snapshot.
+        let mut merged: Vec<(String, Bytes)> = Vec::new();
+        for part in &parts {
+            merged.extend(decode_snapshot(part));
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        Self::encode_entries(&merged)
+    }
+
+    fn split_snapshot(&self, state: &Bytes) -> Vec<Bytes> {
+        let mut per_shard: Vec<Vec<(String, Bytes)>> = vec![Vec::new(); self.shards];
+        for (k, v) in decode_snapshot(state) {
+            let shard = self.shard_of(&k);
+            per_shard[shard].push((k, v));
+        }
+        per_shard
+            .iter()
+            .map(|entries| Self::encode_entries(entries))
+            .collect()
+    }
+}
+
+/// Decodes a [`crate::KvApp`] snapshot into its (sorted) entry list.
+/// Truncated input yields the decodable prefix (mirrors `KvApp::restore`
+/// tolerance).
+fn decode_snapshot(state: &Bytes) -> Vec<(String, Bytes)> {
+    let mut raw = state.clone();
+    let Ok(n) = get_varint(&mut raw) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for _ in 0..n {
+        let Ok(k) = String::decode(&mut raw) else {
+            break;
+        };
+        let Ok(v) = Bytes::decode(&mut raw) else {
+            break;
+        };
+        entries.push((k, v));
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioning::Partitioning;
+    use crate::store::KvApp;
+    use common::ids::{ClientId, NodeId, PartitionId, RequestId};
+    use multiring::ServiceApp;
+
+    fn env(cmd: &KvCommand) -> Envelope {
+        Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(1),
+            NodeId::new(0),
+            cmd.to_bytes(),
+        )
+    }
+
+    fn mono_and_shards(n: usize) -> (KvApp, Vec<KvApp>, KvShardPlan) {
+        let scheme = Partitioning::Hash { partitions: 1 };
+        let mono = KvApp::new(PartitionId::new(0), scheme.clone());
+        let shards = (0..n)
+            .map(|_| KvApp::new(PartitionId::new(0), scheme.clone()))
+            .collect();
+        (mono, shards, KvShardPlan::new(n))
+    }
+
+    #[test]
+    fn routed_execution_matches_mono_scan_and_snapshot() {
+        let (mut mono, mut shards, plan) = mono_and_shards(3);
+        let g = RingId::new(0);
+        for i in 0..40 {
+            let cmd = KvCommand::Insert {
+                key: format!("k{i:02}"),
+                value: Bytes::from(vec![i as u8; 4]),
+            };
+            let e = env(&cmd);
+            let mono_reply = mono.execute(g, &e);
+            let routed = match plan.route(g, &e) {
+                Route::One(s) => shards[s].execute(g, &e),
+                Route::All => unreachable!("inserts route to one shard"),
+            };
+            assert_eq!(mono_reply, routed);
+        }
+
+        // Scan: the barrier's combined partials equal the mono reply.
+        let scan = env(&KvCommand::Scan {
+            from: "k05".into(),
+            to: "k30".into(),
+        });
+        assert_eq!(plan.route(g, &scan), Route::All);
+        let partials: Vec<Bytes> = shards.iter_mut().map(|s| s.execute(g, &scan)).collect();
+        assert_eq!(plan.combine(g, &scan, partials), mono.execute(g, &scan));
+
+        // Snapshots: merged shard parts equal the mono snapshot, and the
+        // split of the mono snapshot restores each shard exactly.
+        let parts: Vec<Bytes> = shards.iter().map(|s| s.snapshot()).collect();
+        assert_eq!(plan.merge_snapshots(parts.clone()), mono.snapshot());
+        assert_eq!(plan.split_snapshot(&mono.snapshot()), parts);
+    }
+
+    #[test]
+    fn shard_choice_is_decorrelated_from_partition_choice() {
+        // A 2-partition deployment hands partition 0 only the keys with
+        // even fnv1a hashes; a 4-way shard split of that partition must
+        // still use all four shards.
+        let scheme = Partitioning::Hash { partitions: 2 };
+        let plan = KvShardPlan::new(4);
+        let mut hit = [false; 4];
+        for i in 0..256 {
+            let key = format!("key-{i}");
+            if scheme.partition_of(&key).raw() != 0 {
+                continue;
+            }
+            hit[plan.shard_of(&key)] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "a shard sat empty: {hit:?}");
+    }
+
+    #[test]
+    fn undecodable_commands_pin_to_shard_zero() {
+        let plan = KvShardPlan::new(4);
+        let garbage = Envelope::v1(
+            ClientId::new(1),
+            RequestId::new(1),
+            NodeId::new(0),
+            Bytes::from_static(&[250, 1, 2]),
+        );
+        assert_eq!(plan.route(RingId::new(0), &garbage), Route::One(0));
+    }
+}

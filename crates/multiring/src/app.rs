@@ -40,6 +40,11 @@ pub trait ServiceApp: Send + 'static {
     /// that is not the right behaviour.
     fn reset(&mut self);
 
+    /// A checkpoint covering this app's state is now durable (saved and
+    /// advertised). Durability decorators use it to prune their logs up
+    /// to the checkpoint cut; plain services ignore it. Default: no-op.
+    fn checkpoint_durable(&mut self) {}
+
     /// The `(refresh, ttl_ms)` liveness reading of an exactly-once client
     /// session, if this app (or a decorator) tracks it — consulted by
     /// serving nodes to propose session expiry. Default: no sessions.

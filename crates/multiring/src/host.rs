@@ -27,8 +27,57 @@ use simnet::{Ctx, Process, Timer};
 use storage::{CheckpointStore, StorageMode};
 
 use crate::app::ServiceApp;
+use crate::exec::ShardedExec;
 use crate::merge::MergeLearner;
 use crate::recovery::{RecoveryPhase, TrimRound};
+
+/// The host's execution engine: either the classic inline service stack
+/// (execute on the merge thread) or the sharded executor (admission on
+/// the merge thread, execution on per-shard workers). Both produce
+/// byte-identical replicated state; see [`crate::exec`].
+pub enum ExecEngine {
+    /// Single-threaded: delivered commands execute inline.
+    Inline(Box<dyn ServiceApp>),
+    /// Sharded: delivered commands dispatch to executor shards.
+    Sharded(ShardedExec),
+}
+
+impl ExecEngine {
+    fn snapshot(&mut self) -> Bytes {
+        match self {
+            ExecEngine::Inline(app) => app.snapshot(),
+            ExecEngine::Sharded(exec) => exec.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, state: &Bytes) {
+        match self {
+            ExecEngine::Inline(app) => app.restore(state),
+            ExecEngine::Sharded(exec) => exec.restore(state),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            ExecEngine::Inline(app) => app.reset(),
+            ExecEngine::Sharded(exec) => exec.reset(),
+        }
+    }
+
+    fn checkpoint_durable(&mut self) {
+        match self {
+            ExecEngine::Inline(app) => app.checkpoint_durable(),
+            ExecEngine::Sharded(exec) => exec.checkpoint_durable(),
+        }
+    }
+
+    fn flush(&mut self) {
+        match self {
+            ExecEngine::Inline(app) => app.flush(),
+            ExecEngine::Sharded(exec) => exec.flush_batch(),
+        }
+    }
+}
 
 /// Timer kinds used by the host.
 const TIMER_RING: u32 = 1;
@@ -204,7 +253,7 @@ pub struct MultiRingHost {
     learner: Option<MergeLearner>,
     /// The replica's partition (for recovery quorums).
     partition: Option<PartitionId>,
-    app: Box<dyn ServiceApp>,
+    exec: ExecEngine,
     ckpt_store: CheckpointStore,
     /// The checkpoint advertised to the trim protocol (durably written).
     advertised: Option<CheckpointTuple>,
@@ -248,6 +297,53 @@ impl MultiRingHost {
         app: Box<dyn ServiceApp>,
         opts: HostOptions,
     ) -> Self {
+        Self::with_engine(
+            me,
+            registry,
+            member_of,
+            subscribe_to,
+            partition,
+            ExecEngine::Inline(app),
+            opts,
+        )
+    }
+
+    /// Like [`MultiRingHost::new`] but executing through the sharded
+    /// executor: delivery admission stays on the host's thread, command
+    /// execution runs on the executor's worker shards, and client
+    /// replies for executed commands leave through the executor's
+    /// [`crate::exec::ReplySink`] rather than the host's output. Live
+    /// deployments with `executor_shards > 1` use this; the simulator
+    /// keeps the inline engine.
+    pub fn new_sharded(
+        me: NodeId,
+        registry: Registry,
+        member_of: &[RingId],
+        subscribe_to: &[RingId],
+        partition: Option<PartitionId>,
+        exec: ShardedExec,
+        opts: HostOptions,
+    ) -> Self {
+        Self::with_engine(
+            me,
+            registry,
+            member_of,
+            subscribe_to,
+            partition,
+            ExecEngine::Sharded(exec),
+            opts,
+        )
+    }
+
+    fn with_engine(
+        me: NodeId,
+        registry: Registry,
+        member_of: &[RingId],
+        subscribe_to: &[RingId],
+        partition: Option<PartitionId>,
+        exec: ExecEngine,
+        opts: HostOptions,
+    ) -> Self {
         let mut rings = BTreeMap::new();
         let mut acceptor_of = Vec::new();
         for ring in member_of {
@@ -282,7 +378,7 @@ impl MultiRingHost {
             acceptor_of,
             learner,
             partition,
-            app,
+            exec,
             ckpt_store,
             advertised: None,
             pending_ckpt: None,
@@ -315,8 +411,52 @@ impl MultiRingHost {
     }
 
     /// Immutable access to the service state machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the sharded engine, where no single `ServiceApp`
+    /// holds the state — use the host's session accessors instead.
     pub fn app(&self) -> &dyn ServiceApp {
-        &*self.app
+        match &self.exec {
+            ExecEngine::Inline(app) => &**app,
+            ExecEngine::Sharded(_) => {
+                panic!("no inline app under the sharded executor")
+            }
+        }
+    }
+
+    /// The `(refresh, ttl_ms)` liveness reading of an exactly-once
+    /// session, whichever engine tracks it.
+    pub fn session_probe(&self, session: u64) -> Option<(u64, u64)> {
+        match &self.exec {
+            ExecEngine::Inline(app) => app.session_probe(session),
+            ExecEngine::Sharded(exec) => exec.session_probe(session),
+        }
+    }
+
+    /// Ids of every live exactly-once session.
+    pub fn session_ids(&self) -> Vec<u64> {
+        match &self.exec {
+            ExecEngine::Inline(app) => app.session_ids(),
+            ExecEngine::Sharded(exec) => exec.session_ids(),
+        }
+    }
+
+    /// Replies cached for retry deduplication across all sessions.
+    pub fn cached_reply_count(&self) -> usize {
+        match &self.exec {
+            ExecEngine::Inline(app) => app.cached_reply_count(),
+            ExecEngine::Sharded(exec) => exec.cached_reply_count(),
+        }
+    }
+
+    /// Commands queued on executor shard hand-off queues right now
+    /// (0 under the inline engine).
+    pub fn executor_queue_depth(&self) -> usize {
+        match &self.exec {
+            ExecEngine::Inline(_) => 0,
+            ExecEngine::Sharded(exec) => exec.queue_depth(),
+        }
     }
 
     /// The ring node for `ring` (tests/diagnostics).
@@ -419,13 +559,23 @@ impl MultiRingHost {
                 if env.trace != 0 {
                     self.hobs.stage_deliver.record_since(env.trace);
                 }
-                let reply = self.app.execute(delivery.ring, &env);
                 self.executed += 1;
                 executed_any = true;
                 self.hobs.executed_cmds.inc();
-                if env.trace != 0 {
-                    self.hobs.stage_execute.record_since(env.trace);
-                }
+                let reply = match &mut self.exec {
+                    ExecEngine::Inline(app) => {
+                        let reply = app.execute(delivery.ring, &env);
+                        if env.trace != 0 {
+                            self.hobs.stage_execute.record_since(env.trace);
+                        }
+                        Some(reply)
+                    }
+                    // The sharded engine answers refusals and session
+                    // control here; executed replies leave through the
+                    // executor's sink from the owning shard's thread.
+                    ExecEngine::Sharded(exec) => exec.deliver(delivery.ring, &env),
+                };
+                let Some(reply) = reply else { continue };
                 ctx.send(
                     env.reply_to,
                     Msg::Client(ClientMsg::Response {
@@ -443,8 +593,9 @@ impl MultiRingHost {
         }
         if executed_any {
             // Group-commit boundary: everything this drain delivered is
-            // flushed (one write + one sync in a durable decorator).
-            self.app.flush();
+            // flushed (one write + one sync in a durable decorator; the
+            // sharded engine forwards flush tokens to the touched shards).
+            self.exec.flush();
         }
         if let Some(learner) = &self.learner {
             // The skip counter mirrors the merge's own monotonic tally
@@ -473,8 +624,13 @@ impl MultiRingHost {
             return; // nothing new to checkpoint
         }
         let (merge_turn, merge_credits) = learner.scheduler_state();
+        // Under the sharded engine this snapshot is the rendezvous the
+        // batch-boundary flush deliberately is not: every shard drains
+        // the ops dispatched before this instant, so the cut is exactly
+        // the merge's delivery cursor.
+        let app_state = self.exec.snapshot();
         let snapshot = Snapshot {
-            app: self.app.snapshot(),
+            app: app_state,
             // Snapshot each ring's dedup window at the *merge's* cut for
             // that ring: the ring learner may have emitted deliveries the
             // merge has not consumed yet, and those must not poison a
@@ -507,7 +663,7 @@ impl MultiRingHost {
     fn install_snapshot(&mut self, tuple: &CheckpointTuple, state: &Bytes) {
         let snap = Snapshot::decode(&mut state.clone()).ok();
         if let Some(snap) = &snap {
-            self.app.restore(&snap.app);
+            self.exec.restore(&snap.app);
             for (ring, ids) in &snap.dedup {
                 if let Some(node) = self.rings.get_mut(ring) {
                     node.restore_dedup(ids.clone());
@@ -1035,6 +1191,10 @@ impl Process for MultiRingHost {
                 if let Some((seq, tuple)) = self.pending_ckpt.take() {
                     if seq == timer.a {
                         self.advertised = Some(tuple);
+                        // The checkpoint is durable: durability
+                        // decorators may prune their logs to the cut
+                        // they marked when the snapshot was taken.
+                        self.exec.checkpoint_durable();
                     } else {
                         self.pending_ckpt = Some((seq, tuple));
                     }
@@ -1106,7 +1266,7 @@ impl Process for MultiRingHost {
             node.on_crash(now);
         }
         self.ckpt_store.crash(now);
-        self.app.reset();
+        self.exec.reset();
         self.learner = self
             .learner
             .as_ref()

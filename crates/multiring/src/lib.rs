@@ -23,6 +23,7 @@
 
 pub mod app;
 pub mod client;
+pub mod exec;
 pub mod host;
 pub mod merge;
 pub mod recovery;
@@ -30,6 +31,7 @@ pub mod session;
 
 pub use app::{EchoApp, ServiceApp};
 pub use client::{ClientStats, ClosedLoopClient, CommandGen, SharedClientStats};
+pub use exec::{EchoShardPlan, ReplySink, Route, ShardPlan, ShardedExec};
 pub use host::{HostOptions, MultiRingHost};
 pub use merge::MergeLearner;
 pub use session::{SessionApp, SessionCtl, SessionLimits};

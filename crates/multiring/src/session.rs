@@ -14,6 +14,19 @@
 //! from a checkpoint cut at instance *k* replays exactly the commands
 //! after *k* against a table that is also cut at *k*.
 //!
+//! ## One table, two execution engines
+//!
+//! The session bookkeeping itself is factored into [`SessionTable`]: a
+//! pure, ordered admission core that decides — in delivery order — what
+//! each envelope *is* (fresh execution, cached retry, stale, refused)
+//! without executing anything. [`SessionApp`] drives it inline (the
+//! classic single-threaded stack); the sharded executor
+//! ([`crate::exec::ShardedExec`]) drives the same table from the merge
+//! thread and hands the actual execution to per-partition shards. Cached
+//! replies are held as [`ReplySlot`]s — single-assignment cells that the
+//! executing side fills — so an admission decision never has to wait for
+//! the execution it admitted.
+//!
 //! ## Session identity
 //!
 //! Sessions are opened through the ordered stream itself: a control
@@ -44,6 +57,7 @@
 //! deterministic least-recently-used eviction.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
 
 use bytes::{BufMut, Bytes, BytesMut};
 use common::error::WireError;
@@ -206,6 +220,60 @@ impl Default for SessionLimits {
     }
 }
 
+/// A single-assignment reply cell shared between the session table (the
+/// admission side) and whoever executes the admitted command.
+///
+/// Inline execution fills the slot synchronously, so readers never wait.
+/// Under the sharded executor a slot may be observed *before* its
+/// execution finished — a retried request racing its original down a
+/// different shard queue — and [`ReplySlot::wait`] blocks until the
+/// executing shard fills it. Filling is idempotent in effect (a slot is
+/// only ever filled once, by the single executor that owns the command).
+#[derive(Clone, Debug, Default)]
+pub struct ReplySlot(Arc<SlotCell>);
+
+#[derive(Debug, Default)]
+struct SlotCell {
+    reply: Mutex<Option<Bytes>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    /// An empty slot awaiting its reply.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A slot born filled (snapshot restore, inline execution).
+    pub fn filled(reply: Bytes) -> Self {
+        ReplySlot(Arc::new(SlotCell {
+            reply: Mutex::new(Some(reply)),
+            ready: Condvar::new(),
+        }))
+    }
+
+    /// Fills the slot and wakes every waiter.
+    pub fn fill(&self, reply: Bytes) {
+        let mut guard = self.0.reply.lock().expect("reply slot lock");
+        *guard = Some(reply);
+        self.0.ready.notify_all();
+    }
+
+    /// Blocks until the slot is filled and returns the reply.
+    pub fn wait(&self) -> Bytes {
+        let mut guard = self.0.reply.lock().expect("reply slot lock");
+        while guard.is_none() {
+            guard = self.0.ready.wait(guard).expect("reply slot lock");
+        }
+        guard.clone().expect("slot filled")
+    }
+
+    /// The reply, if already filled.
+    pub fn try_get(&self) -> Option<Bytes> {
+        self.0.reply.lock().expect("reply slot lock").clone()
+    }
+}
+
 #[derive(Clone, Debug, Default)]
 struct SessionState {
     /// Highest seq the client confirmed receiving replies for.
@@ -216,13 +284,30 @@ struct SessionState {
     last_tick: u64,
     /// TTL the session was opened with.
     ttl_ms: u64,
-    /// Cached replies for executed seqs above `ack`.
-    executed: BTreeMap<u64, Bytes>,
+    /// Cached (or in-flight, under the sharded executor) replies for
+    /// executed seqs above `ack`.
+    executed: BTreeMap<u64, ReplySlot>,
 }
 
-/// The exactly-once decorator. See the module docs.
-pub struct SessionApp {
-    inner: Box<dyn ServiceApp>,
+/// What the ordered admission core decided about one sessioned envelope.
+pub(crate) enum Admission {
+    /// Answer with this payload immediately; nothing executes (unknown
+    /// session, stale seq, window refusal).
+    Reply(Bytes),
+    /// A retry of an already-admitted seq: answer from this cached slot
+    /// (which may still be in flight under the sharded executor).
+    Cached(ReplySlot),
+    /// A fresh seq: execute the command and fill this slot (already
+    /// inserted into the reply cache) with the framed reply.
+    Execute(ReplySlot),
+}
+
+/// The ordered admission core of the exactly-once table: every decision
+/// that must be made in delivery order — id allocation, ack pruning,
+/// dedup lookups, window checks, liveness control, LRU eviction — with
+/// execution itself left to the caller. Both the inline [`SessionApp`]
+/// and the sharded executor are thin drivers around this.
+pub(crate) struct SessionTable {
     limits: SessionLimits,
     /// Next session id to allocate (ids start at 1; 0 and `u64::MAX` are
     /// wire sentinels).
@@ -232,16 +317,17 @@ pub struct SessionApp {
     sessions: BTreeMap<u64, SessionState>,
 }
 
-impl SessionApp {
-    /// Decorates `inner` with the default limits.
-    pub fn new(inner: Box<dyn ServiceApp>) -> Self {
-        Self::with_limits(inner, SessionLimits::default())
-    }
+/// Decoded snapshot fields of a [`SessionTable`] (limits are config, not
+/// state, and are never serialized).
+pub(crate) struct TableImage {
+    next_id: u64,
+    tick: u64,
+    sessions: BTreeMap<u64, SessionState>,
+}
 
-    /// Decorates `inner` with explicit limits.
-    pub fn with_limits(inner: Box<dyn ServiceApp>, limits: SessionLimits) -> Self {
-        SessionApp {
-            inner,
+impl SessionTable {
+    pub(crate) fn new(limits: SessionLimits) -> Self {
+        SessionTable {
             limits,
             next_id: 1,
             tick: 0,
@@ -249,14 +335,14 @@ impl SessionApp {
         }
     }
 
-    /// Live sessions (diagnostics/tests).
-    pub fn session_count(&self) -> usize {
-        self.sessions.len()
+    /// Advances the deterministic logical clock; call once per delivered
+    /// envelope, before admission.
+    pub(crate) fn tick(&mut self) {
+        self.tick += 1;
     }
 
-    /// The inner service (tests).
-    pub fn inner(&self) -> &dyn ServiceApp {
-        &*self.inner
+    pub(crate) fn session_count(&self) -> usize {
+        self.sessions.len()
     }
 
     fn evict_if_full(&mut self) {
@@ -278,7 +364,7 @@ impl SessionApp {
         }
     }
 
-    fn control(&mut self, env: &Envelope) -> Bytes {
+    pub(crate) fn control(&mut self, env: &Envelope) -> Bytes {
         let Ok(ctl) = SessionCtl::decode(&mut env.cmd.clone()) else {
             return status(ST_STALE); // foreign/corrupt control payload
         };
@@ -325,54 +411,179 @@ impl SessionApp {
         }
     }
 
-    fn exec_sessioned(&mut self, group: RingId, session: u64, env: &Envelope) -> Bytes {
+    /// The ordered admission decision for one sessioned envelope. On
+    /// [`Admission::Execute`] the returned slot is already inserted into
+    /// the reply cache, so a later duplicate — admitted after this call
+    /// but possibly *answered* before the execution finishes — observes
+    /// the same slot.
+    pub(crate) fn admit(&mut self, session: u64, env: &Envelope) -> Admission {
         let seq = env.req.raw();
         let tick = self.tick;
         let max_cached = self.limits.max_cached as u64;
-        {
-            let Some(s) = self.sessions.get_mut(&session) else {
-                return status(ST_UNKNOWN_SESSION);
-            };
-            s.last_tick = tick;
-            if env.ack > s.ack {
-                // The client confirmed receipt up to env.ack: replies at
-                // or below it can never be re-requested. Pruned
-                // incrementally — on the hot path the ack advances with
-                // nearly every request, and a tree rebuild per command
-                // is measurable at six-figure op rates.
-                s.ack = env.ack;
-                while let Some((&k, _)) = s.executed.first_key_value() {
-                    if k > s.ack {
-                        break;
-                    }
-                    s.executed.pop_first();
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return Admission::Reply(status(ST_UNKNOWN_SESSION));
+        };
+        s.last_tick = tick;
+        if env.ack > s.ack {
+            // The client confirmed receipt up to env.ack: replies at
+            // or below it can never be re-requested. Pruned
+            // incrementally — on the hot path the ack advances with
+            // nearly every request, and a tree rebuild per command
+            // is measurable at six-figure op rates.
+            s.ack = env.ack;
+            while let Some((&k, _)) = s.executed.first_key_value() {
+                if k > s.ack {
+                    break;
                 }
-            }
-            if seq <= s.ack {
-                return status(ST_STALE);
-            }
-            if let Some(cached) = s.executed.get(&seq) {
-                return cached.clone(); // retry: cached reply, no re-execution
-            }
-            if seq > s.ack + max_cached.max(1) {
-                return status(ST_WINDOW_EXCEEDED);
+                s.executed.pop_first();
             }
         }
-        let reply = frame_ok(&self.inner.execute(group, env));
-        if let Some(s) = self.sessions.get_mut(&session) {
-            s.executed.insert(seq, reply.clone());
+        if seq <= s.ack {
+            return Admission::Reply(status(ST_STALE));
         }
-        reply
+        if let Some(slot) = s.executed.get(&seq) {
+            return Admission::Cached(slot.clone()); // retry: no re-execution
+        }
+        if seq > s.ack + max_cached.max(1) {
+            return Admission::Reply(status(ST_WINDOW_EXCEEDED));
+        }
+        let slot = ReplySlot::new();
+        s.executed.insert(seq, slot.clone());
+        Admission::Execute(slot)
+    }
+
+    /// Serializes the table (without any inner-service state). Callers
+    /// must have rendezvoused with outstanding executions first: an
+    /// unfilled slot snapshots as an empty reply.
+    pub(crate) fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.next_id);
+        put_varint(buf, self.tick);
+        put_varint(buf, self.sessions.len() as u64);
+        for (id, s) in &self.sessions {
+            put_varint(buf, *id);
+            put_varint(buf, s.ack);
+            put_varint(buf, s.refresh);
+            put_varint(buf, s.last_tick);
+            put_varint(buf, s.ttl_ms);
+            put_varint(buf, s.executed.len() as u64);
+            for (seq, slot) in &s.executed {
+                put_varint(buf, *seq);
+                put_bytes(buf, &slot.try_get().unwrap_or_default());
+            }
+        }
+    }
+
+    /// Decodes the table fields written by [`SessionTable::encode`],
+    /// leaving `raw` positioned after them.
+    pub(crate) fn decode_image(raw: &mut Bytes) -> Result<TableImage, WireError> {
+        let next_id = get_varint(raw)?;
+        let tick = get_varint(raw)?;
+        let n = get_varint(raw)?;
+        let mut sessions = BTreeMap::new();
+        for _ in 0..n {
+            let id = get_varint(raw)?;
+            let ack = get_varint(raw)?;
+            let refresh = get_varint(raw)?;
+            let last_tick = get_varint(raw)?;
+            let ttl_ms = get_varint(raw)?;
+            let m = get_varint(raw)?;
+            let mut executed = BTreeMap::new();
+            for _ in 0..m {
+                let seq = get_varint(raw)?;
+                executed.insert(seq, ReplySlot::filled(get_bytes(raw)?));
+            }
+            sessions.insert(
+                id,
+                SessionState {
+                    ack,
+                    refresh,
+                    last_tick,
+                    ttl_ms,
+                    executed,
+                },
+            );
+        }
+        Ok(TableImage {
+            next_id,
+            tick,
+            sessions,
+        })
+    }
+
+    /// Installs decoded snapshot fields, keeping the configured limits.
+    pub(crate) fn install(&mut self, image: TableImage) {
+        self.next_id = image.next_id;
+        self.tick = image.tick;
+        self.sessions = image.sessions;
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.next_id = 1;
+        self.tick = 0;
+        self.sessions.clear();
+    }
+
+    pub(crate) fn session_probe(&self, session: u64) -> Option<(u64, u64)> {
+        self.sessions.get(&session).map(|s| (s.refresh, s.ttl_ms))
+    }
+
+    pub(crate) fn session_ids(&self) -> Vec<u64> {
+        self.sessions.keys().copied().collect()
+    }
+
+    pub(crate) fn cached_reply_count(&self) -> usize {
+        self.sessions.values().map(|s| s.executed.len()).sum()
+    }
+}
+
+/// The exactly-once decorator. See the module docs.
+pub struct SessionApp {
+    inner: Box<dyn ServiceApp>,
+    table: SessionTable,
+}
+
+impl SessionApp {
+    /// Decorates `inner` with the default limits.
+    pub fn new(inner: Box<dyn ServiceApp>) -> Self {
+        Self::with_limits(inner, SessionLimits::default())
+    }
+
+    /// Decorates `inner` with explicit limits.
+    pub fn with_limits(inner: Box<dyn ServiceApp>, limits: SessionLimits) -> Self {
+        SessionApp {
+            inner,
+            table: SessionTable::new(limits),
+        }
+    }
+
+    /// Live sessions (diagnostics/tests).
+    pub fn session_count(&self) -> usize {
+        self.table.session_count()
+    }
+
+    /// The inner service (tests).
+    pub fn inner(&self) -> &dyn ServiceApp {
+        &*self.inner
     }
 }
 
 impl ServiceApp for SessionApp {
     fn execute(&mut self, group: RingId, env: &Envelope) -> Bytes {
-        self.tick += 1;
+        self.table.tick();
         match env.session {
             NO_SESSION => self.inner.execute(group, env),
-            SESSION_CTL => self.control(env),
-            session => self.exec_sessioned(group, session, env),
+            SESSION_CTL => self.table.control(env),
+            session => match self.table.admit(session, env) {
+                Admission::Reply(payload) => payload,
+                Admission::Cached(slot) => {
+                    slot.try_get().expect("inline replies fill synchronously")
+                }
+                Admission::Execute(slot) => {
+                    let reply = frame_ok(&self.inner.execute(group, env));
+                    slot.fill(reply.clone());
+                    reply
+                }
+            },
         }
     }
 
@@ -382,85 +593,44 @@ impl ServiceApp for SessionApp {
 
     fn snapshot(&self) -> Bytes {
         let mut buf = BytesMut::new();
-        put_varint(&mut buf, self.next_id);
-        put_varint(&mut buf, self.tick);
-        put_varint(&mut buf, self.sessions.len() as u64);
-        for (id, s) in &self.sessions {
-            put_varint(&mut buf, *id);
-            put_varint(&mut buf, s.ack);
-            put_varint(&mut buf, s.refresh);
-            put_varint(&mut buf, s.last_tick);
-            put_varint(&mut buf, s.ttl_ms);
-            put_varint(&mut buf, s.executed.len() as u64);
-            for (seq, reply) in &s.executed {
-                put_varint(&mut buf, *seq);
-                put_bytes(&mut buf, reply);
-            }
-        }
+        self.table.encode(&mut buf);
         put_bytes(&mut buf, &self.inner.snapshot());
         buf.freeze()
     }
 
     fn restore(&mut self, state: &Bytes) {
-        fn decode(
-            raw: &mut Bytes,
-        ) -> Result<(u64, u64, BTreeMap<u64, SessionState>, Bytes), WireError> {
-            let next_id = get_varint(raw)?;
-            let tick = get_varint(raw)?;
-            let n = get_varint(raw)?;
-            let mut sessions = BTreeMap::new();
-            for _ in 0..n {
-                let id = get_varint(raw)?;
-                let ack = get_varint(raw)?;
-                let refresh = get_varint(raw)?;
-                let last_tick = get_varint(raw)?;
-                let ttl_ms = get_varint(raw)?;
-                let m = get_varint(raw)?;
-                let mut executed = BTreeMap::new();
-                for _ in 0..m {
-                    let seq = get_varint(raw)?;
-                    executed.insert(seq, get_bytes(raw)?);
-                }
-                sessions.insert(
-                    id,
-                    SessionState {
-                        ack,
-                        refresh,
-                        last_tick,
-                        ttl_ms,
-                        executed,
-                    },
-                );
-            }
-            let inner = get_bytes(raw)?;
-            Ok((next_id, tick, sessions, inner))
-        }
-        let Ok((next_id, tick, sessions, inner)) = decode(&mut state.clone()) else {
-            return; // corrupt snapshot: keep current state (caller retries)
+        let mut raw = state.clone();
+        // All-or-nothing: a corrupt snapshot keeps the current state
+        // (the caller retries with a different checkpoint).
+        let Ok(image) = SessionTable::decode_image(&mut raw) else {
+            return;
         };
-        self.next_id = next_id;
-        self.tick = tick;
-        self.sessions = sessions;
+        let Ok(inner) = get_bytes(&mut raw) else {
+            return;
+        };
+        self.table.install(image);
         self.inner.restore(&inner);
     }
 
     fn reset(&mut self) {
-        self.next_id = 1;
-        self.tick = 0;
-        self.sessions.clear();
+        self.table.reset();
         self.inner.reset();
     }
 
+    fn checkpoint_durable(&mut self) {
+        self.inner.checkpoint_durable();
+    }
+
     fn session_probe(&self, session: u64) -> Option<(u64, u64)> {
-        self.sessions.get(&session).map(|s| (s.refresh, s.ttl_ms))
+        self.table.session_probe(session)
     }
 
     fn session_ids(&self) -> Vec<u64> {
-        self.sessions.keys().copied().collect()
+        self.table.session_ids()
     }
 
     fn cached_reply_count(&self) -> usize {
-        self.sessions.values().map(|s| s.executed.len()).sum()
+        self.table.cached_reply_count()
     }
 }
 
@@ -717,5 +887,17 @@ mod tests {
             let mut b = c.to_bytes();
             assert_eq!(SessionCtl::decode(&mut b).unwrap(), c);
         }
+    }
+
+    #[test]
+    fn reply_slot_blocks_until_filled() {
+        let slot = ReplySlot::new();
+        assert!(slot.try_get().is_none());
+        let waiter = slot.clone();
+        let handle = std::thread::spawn(move || waiter.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        slot.fill(Bytes::from_static(b"done"));
+        assert_eq!(handle.join().unwrap(), Bytes::from_static(b"done"));
+        assert_eq!(slot.try_get(), Some(Bytes::from_static(b"done")));
     }
 }

@@ -504,6 +504,24 @@ impl SegmentedWal {
         Ok(out)
     }
 
+    /// One past the highest position recorded across all segments
+    /// (0 for an empty or absent directory). A reopened writer resumes
+    /// its position counter here so pruning cutoffs and segment names
+    /// stay monotone across restarts.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or if a complete frame fails to decode.
+    pub fn end_pos(dir: impl AsRef<Path>) -> Result<u64> {
+        let mut end = 0;
+        for seg in Self::segments(dir) {
+            for rec in Wal::replay::<PosRecord>(&seg)? {
+                end = end.max(rec.pos + 1);
+            }
+        }
+        Ok(end)
+    }
+
     fn roll_to(&mut self, pos: u64) {
         // Open the next segment, then close (committing) the current one.
         // A same-or-lower position never rolls (see stage), so segment
