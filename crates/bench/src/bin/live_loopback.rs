@@ -35,11 +35,13 @@
 //! every attempt, while noise does not survive the max — stopping at
 //! the first pair that lands within tolerance.
 //!
-//! `--baseline FILE` compares the fresh 64 B and 1 KiB throughputs
-//! against the committed baseline and exits non-zero if either dropped
-//! more than the tolerance (default 20%) — the CI perf-regression gate.
-//! The 64 B row is the execution-dominated one the sharded executor
-//! (`--executor-shards N`) is meant to move; 1 KiB is wire-dominated.
+//! `--baseline FILE` compares the fresh 64 B, 1 KiB and 8 KiB
+//! throughputs against the committed baseline and exits non-zero if any
+//! dropped more than the tolerance (default 20%) — the CI
+//! perf-regression gate. The 64 B row is the execution-dominated one
+//! the sharded executor (`--executor-shards N`) is meant to move; 1 KiB
+//! is wire-dominated; 8 KiB exercises the large-value path (byte-aware
+//! batch sealing + concurrent value dissemination).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -90,6 +92,8 @@ impl Outcome {
             phase2_wire_bytes: wire_total(&self.nodes, "phase2_wire_bytes"),
             phase2_payload_bytes: wire_total(&self.nodes, "phase2_payload_bytes"),
             value_requests: wire_total(&self.nodes, "value_requests"),
+            value_push_msgs: wire_total(&self.nodes, "value_push_msgs"),
+            value_push_bytes: wire_total(&self.nodes, "value_push_bytes"),
         }
     }
 
@@ -104,7 +108,9 @@ impl Outcome {
                 "\"wire\": {{\"decision_msgs\": {}, \"decision_wire_bytes\": {}, ",
                 "\"decision_payload_bytes\": {}, \"phase2_msgs\": {}, ",
                 "\"phase2_wire_bytes\": {}, \"phase2_payload_bytes\": {}, ",
-                "\"value_requests\": {}}}, \"shards\": {}}}"
+                "\"value_requests\": {}, \"value_push_msgs\": {}, ",
+                "\"value_prefetch_hits\": {}, \"value_pull_misses\": {}}}, ",
+                "\"shards\": {}}}"
             ),
             self.payload_bytes,
             self.executor_shards,
@@ -122,6 +128,9 @@ impl Outcome {
             wire.phase2_wire_bytes,
             wire.phase2_payload_bytes,
             wire.value_requests,
+            wire.value_push_msgs,
+            wire_total(&self.nodes, "value_prefetch_hits"),
+            wire_total(&self.nodes, "value_pull_misses"),
             self.shards_json(),
         )
     }
@@ -623,10 +632,12 @@ fn main() {
             .expect("--tolerance is a fraction");
         let text = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-        // Gate both the small-payload row (execution-dominated — the one
-        // the sharded executor moves) and the 1 KiB row (wire-dominated).
+        // Gate the small-payload row (execution-dominated — the one the
+        // sharded executor moves), the 1 KiB row (wire-dominated), and
+        // the 8 KiB row (large-value path: byte-aware batch sealing +
+        // concurrent value dissemination).
         let mut failed = false;
-        for (size, name) in [(64usize, "64 B"), (1024, "1 KiB")] {
+        for (size, name) in [(64usize, "64 B"), (1024, "1 KiB"), (8192, "8 KiB")] {
             let baseline = baseline_throughput(&text, size).unwrap_or_else(|| {
                 panic!("baseline file has a {name} result with throughput_ops_s")
             });

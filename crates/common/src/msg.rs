@@ -183,6 +183,17 @@ pub enum RingMsg {
         /// The sender's view of the configuration epoch.
         epoch: u64,
     },
+    /// Eager dissemination of a large value, sent point-to-point by the
+    /// proposer to every other ring member *concurrently with* ordering
+    /// (never forwarded). By the time the id-only [`RingMsg::Decision`]
+    /// arrives, the value is usually already resident in the receiver's
+    /// learned cache, so [`RingMsg::ValueRequest`] stays the slow path.
+    /// Purely an optimization: dropping every `ValuePush` only costs the
+    /// pull round-trip, never correctness.
+    ValuePush {
+        /// The value being disseminated ahead of its decision.
+        value: Value,
+    },
 }
 
 impl RingMsg {
@@ -246,6 +257,7 @@ impl RingMsg {
                     + msgs.iter().map(RingMsg::wire_size).sum::<usize>()
             }
             RingMsg::Heartbeat { epoch } => 1 + varint_len(*epoch),
+            RingMsg::ValuePush { value } => 1 + value.encoded_len(),
         }
     }
 
@@ -259,7 +271,8 @@ impl RingMsg {
             RingMsg::Batch(_)
             | RingMsg::Heartbeat { .. }
             | RingMsg::ValueRequest { .. }
-            | RingMsg::ValueResend { .. } => None,
+            | RingMsg::ValueResend { .. }
+            | RingMsg::ValuePush { .. } => None,
         }
     }
 
@@ -282,6 +295,10 @@ impl RingMsg {
                 // bytes; the (always-zero) counter records that fact.
             }
             RingMsg::ValueRequest { .. } => stats.value_requests += 1,
+            RingMsg::ValuePush { value } => {
+                stats.value_push_msgs += 1;
+                stats.value_push_bytes += value.payload().map(|b| b.len()).unwrap_or(0) as u64;
+            }
             RingMsg::Batch(msgs) => {
                 for m in msgs {
                     m.tally_wire(stats);
@@ -319,6 +336,11 @@ pub struct WireStats {
     pub phase2_payload_bytes: u64,
     /// Slow-path value pulls sent (misses of the id→value resolution).
     pub value_requests: u64,
+    /// Eager [`RingMsg::ValuePush`] disseminations sent (large values
+    /// pushed to members concurrently with ordering).
+    pub value_push_msgs: u64,
+    /// Application payload bytes carried inside those pushes.
+    pub value_push_bytes: u64,
 }
 
 impl WireStats {
@@ -401,6 +423,10 @@ impl Wire for RingMsg {
                 ballot.encode(buf);
                 value.encode(buf);
             }
+            RingMsg::ValuePush { value } => {
+                buf.put_u8(8);
+                value.encode(buf);
+            }
         }
     }
 
@@ -442,6 +468,9 @@ impl Wire for RingMsg {
             7 => Ok(RingMsg::ValueResend {
                 inst: InstanceId::decode(buf)?,
                 ballot: Ballot::decode(buf)?,
+                value: Value::decode(buf)?,
+            }),
+            8 => Ok(RingMsg::ValuePush {
                 value: Value::decode(buf)?,
             }),
             tag => Err(WireError::BadTag {
@@ -983,6 +1012,10 @@ mod tests {
             },
         ));
         rt(Msg::Ring(
+            RingId::new(4),
+            RingMsg::ValuePush { value: v.clone() },
+        ));
+        rt(Msg::Ring(
             RingId::new(3),
             RingMsg::Batch(vec![
                 RingMsg::Decision {
@@ -1042,6 +1075,7 @@ mod tests {
                 value: Value::skip(NodeId::new(1), 5, 1000),
             },
             RingMsg::Heartbeat { epoch: 1 << 40 },
+            RingMsg::ValuePush { value: v.clone() },
         ];
         let batch = RingMsg::Batch(variants.clone());
         for m in variants.into_iter().chain([batch]) {

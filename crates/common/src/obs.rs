@@ -143,7 +143,7 @@ struct HistInner {
 }
 
 /// A concurrent log-bucketed histogram (same buckets as [`Histogram`])
-/// recorded with relaxed atomics across [`HIST_SHARDS`] shards.
+/// recorded with relaxed atomics across `HIST_SHARDS` shards.
 #[derive(Clone)]
 pub struct Hist(Arc<HistInner>);
 
@@ -528,10 +528,12 @@ pub struct WireCounters {
     phase2_wire_bytes: Counter,
     phase2_payload_bytes: Counter,
     value_requests: Counter,
+    value_push_msgs: Counter,
+    value_push_bytes: Counter,
 }
 
 impl WireCounters {
-    /// Handles into `obs` for the seven wire counters.
+    /// Handles into `obs` for the wire counters.
     pub fn new(obs: &Obs) -> WireCounters {
         WireCounters {
             decision_msgs: obs.counter("decision_msgs"),
@@ -541,6 +543,8 @@ impl WireCounters {
             phase2_wire_bytes: obs.counter("phase2_wire_bytes"),
             phase2_payload_bytes: obs.counter("phase2_payload_bytes"),
             value_requests: obs.counter("value_requests"),
+            value_push_msgs: obs.counter("value_push_msgs"),
+            value_push_bytes: obs.counter("value_push_bytes"),
         }
     }
 
@@ -560,6 +564,8 @@ impl WireCounters {
         self.phase2_wire_bytes.add(s.phase2_wire_bytes);
         self.phase2_payload_bytes.add(s.phase2_payload_bytes);
         self.value_requests.add(s.value_requests);
+        self.value_push_msgs.add(s.value_push_msgs);
+        self.value_push_bytes.add(s.value_push_bytes);
     }
 }
 

@@ -2,16 +2,47 @@
 //!
 //! Messages are persisted in acceptor logs and shipped over TCP in live
 //! deployments, so the encoding must be compact, stable and allocation-light.
-//! We use:
 //!
-//! * LEB128 varints for all integers (instances, lengths, counts),
-//! * fixed-width little-endian for ids that are nearly always large,
-//! * a single tag byte per enum,
-//! * length-prefixed [`Bytes`] payloads (zero-copy on decode via
-//!   [`Bytes::split_to`]).
+//! ## Wire layout conventions
 //!
-//! The codec is exercised by round-trip property tests in every crate that
-//! defines messages.
+//! Every frame in this workspace is built from four primitives:
+//!
+//! * **varint** — LEB128, 7 data bits per byte, low bits first
+//!   ([`put_varint`]/[`get_varint`]); used for all integers (instances,
+//!   lengths, counts, tokens). At most 10 bytes; overlong encodings are
+//!   rejected.
+//! * **tag** — a single leading byte selecting an enum variant. Tags are
+//!   assigned in declaration order starting at 0 and are **append-only**:
+//!   a new variant takes the next free tag, existing tags never renumber.
+//! * **bytes** — `varint(len) ++ payload` ([`put_bytes`]/[`get_bytes`]),
+//!   zero-copy on decode (the payload is a refcounted view into the
+//!   receive buffer via [`Bytes::split_to`]). Lengths above [`MAX_LEN`]
+//!   are rejected before allocating.
+//! * **vec** — `varint(count) ++ element*` ([`put_vec`]/[`get_vec`]).
+//!
+//! Derived from those: ids (`NodeId`, `RingId`, `SessionId`, ...) are
+//! varints of their raw value; `String` is **bytes** holding UTF-8;
+//! `bool` is one byte `0`/`1`; `Option<T>` is a presence byte `0`/`1`
+//! followed by `T` when present; tuples are the elements in order.
+//!
+//! Streams and on-disk logs frame messages as `varint(len) ++ body`
+//! ([`frame`]).
+//!
+//! ## Byte-stability contract
+//!
+//! `decode(encode(x)) == x` holds for every value (round-trip property
+//! tests in every crate that defines messages), and — stronger — the
+//! *encoded bytes themselves* are stable across releases: frames are
+//! persisted in acceptor logs and WALs and exchanged between nodes of
+//! different builds, so an encoding change is a compatibility break.
+//! Golden-vector corpora under `ci/` pin the exact bytes of every public
+//! frame shape: `ci/wire_vectors_client.txt` for the [`client`] protocol
+//! (checked by `crates/common/tests/wire_vectors.rs`) and
+//! `ci/wire_vectors_coord.txt` for the [`coord`] protocol (checked by
+//! `crates/common/tests/wire_vectors_coord.rs`). Intentional changes must
+//! regenerate the corpus (`REGEN_WIRE_VECTORS=1`) and review the diff as
+//! an interface change; frames an already-released client or replica can
+//! emit must never change bytes.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -455,6 +486,20 @@ pub mod coord {
     //! Configuration objects cross the wire in flattened form
     //! ([`RingConfigWire`], [`PartitionWire`]) so this protocol can live in
     //! `common` below the `coord` crate that owns the rich types.
+    //!
+    //! ## Wire layout & stability
+    //!
+    //! Every frame follows the crate-wide conventions (see [`super`]):
+    //! a single tag byte per enum, varint integers, length-prefixed
+    //! bytes/strings. [`CoordCmd`] frames are additionally **persisted**
+    //! in the amcoord ensemble's replicated log and replayed on restart,
+    //! so the encoding is part of the on-disk format, not just the RPC
+    //! format: tags are append-only and existing layouts never change.
+    //! The exact bytes of every frame shape are pinned by the golden
+    //! corpus `ci/wire_vectors_coord.txt`
+    //! (`crates/common/tests/wire_vectors_coord.rs`); regenerate with
+    //! `REGEN_WIRE_VECTORS=1 cargo test -p common --test
+    //! wire_vectors_coord` and review the diff as an interface change.
 
     use super::{get_tag, get_varint, put_varint, Wire};
     use crate::error::WireError;
@@ -463,6 +508,10 @@ pub mod coord {
 
     /// Flattened [`coord::RingConfig`](../../../coord) — membership, roles
     /// and epoch of one ring.
+    ///
+    /// Wire layout: `ring ++ members(vec) ++ acceptors(vec) ++
+    /// coordinator ++ epoch`, all varint-based (no tag byte — this is a
+    /// struct, embedded in the frames that carry it).
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct RingConfigWire {
         /// The ring id.
@@ -479,6 +528,9 @@ pub mod coord {
 
     /// Flattened partition description: the rings its replicas subscribe
     /// to and the replica set.
+    ///
+    /// Wire layout: `partition ++ rings(vec) ++ replicas(vec)` (no tag
+    /// byte).
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct PartitionWire {
         /// The partition id.
@@ -490,6 +542,9 @@ pub mod coord {
     }
 
     /// One ephemeral registry entry (alive only while its session is).
+    ///
+    /// Wire layout: `key(string) ++ session ++ value(bytes)` (no tag
+    /// byte).
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct EphemeralEntry {
         /// The entry's key (e.g. `nodes/3`).
@@ -512,6 +567,44 @@ pub mod coord {
     }
 
     /// One coordination operation.
+    ///
+    /// ## Wire layout
+    ///
+    /// One tag byte (declaration order, append-only), then the variant's
+    /// fields encoded in declaration order:
+    ///
+    /// | tag | variant | body |
+    /// |----:|---------|------|
+    /// | 0 | `OpenSession` | `ttl_ms(varint)` |
+    /// | 1 | `KeepAlive` | `session` |
+    /// | 2 | `CloseSession` | `session` |
+    /// | 3 | `ExpireSession` | `session ++ seen_refresh(varint)` |
+    /// | 4 | `RegisterRing` | `cfg` ([`RingConfigWire`]) |
+    /// | 5 | `EnsureRing` | `cfg` |
+    /// | 6 | `GetRing` | `ring` |
+    /// | 7 | `RingIds` | — |
+    /// | 8 | `ElectCoordinator` | `ring ++ candidate ++ seen_epoch` |
+    /// | 9 | `ReportFailure` | `ring ++ failed ++ seen_epoch` |
+    /// | 10 | `Rejoin` | `ring ++ node ++ as_acceptor(bool)` |
+    /// | 11 | `InstallConfig` | `cfg` |
+    /// | 12 | `Subscribe` | `ring ++ node` |
+    /// | 13 | `Subscribers` | `ring` |
+    /// | 14 | `RegisterPartition` | `part` ([`PartitionWire`]) |
+    /// | 15 | `EnsurePartition` | `part` |
+    /// | 16 | `PartitionOf` | `replica` |
+    /// | 17 | `GetPartition` | `partition` |
+    /// | 18 | `Partitions` | — |
+    /// | 19 | `SetMeta` | `key(string) ++ value(bytes) ++ expected_version(option varint)` |
+    /// | 20 | `GetMeta` | `key(string)` |
+    /// | 21 | `RegisterEphemeral` | `session ++ key(string) ++ value(bytes)` |
+    /// | 22 | `Ephemerals` | `prefix(string)` |
+    /// | 23 | `WatchAll` | — |
+    /// | 24 | `SnapshotRequest` | — |
+    /// | 25 | `Stats` | — |
+    ///
+    /// Replicated variants ride inside [`CoordCmd`] through the amcoord
+    /// log, so this layout is also an on-disk format; bytes are pinned by
+    /// `ci/wire_vectors_coord.txt`.
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum CoordOp {
         /// Opens a session with the given TTL; ephemeral entries registered
@@ -697,6 +790,8 @@ pub mod coord {
     }
 
     /// Outcome of a compare-and-swap election.
+    ///
+    /// Wire layout: tag `0` = `Won ++ epoch`, tag `1` = `Lost ++ cfg`.
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum ElectOutcome {
         /// The candidate won; the ring is now at this epoch.
@@ -706,6 +801,28 @@ pub mod coord {
     }
 
     /// Successful reply bodies, one variant per result shape.
+    ///
+    /// ## Wire layout
+    ///
+    /// One tag byte, then the payload:
+    ///
+    /// | tag | variant | body |
+    /// |----:|---------|------|
+    /// | 0 | `Unit` | — |
+    /// | 1 | `Session` | `session` |
+    /// | 2 | `Ring` | `option(cfg)` |
+    /// | 3 | `RingIds` | `vec(ring)` |
+    /// | 4 | `Election` | [`ElectOutcome`] |
+    /// | 5 | `Config` | `cfg` |
+    /// | 6 | `Nodes` | `vec(node)` |
+    /// | 7 | `PartitionOf` | `option(partition)` |
+    /// | 8 | `Partition` | `option(part)` |
+    /// | 9 | `Partitions` | `vec(part)` |
+    /// | 10 | `Meta` | presence byte, then `version(varint) ++ value(bytes)` |
+    /// | 11 | `Version` | `version(varint)` |
+    /// | 12 | `Ephemerals` | `vec(entry)` |
+    /// | 13 | `Snapshot` | `applied(varint) ++ option(ensemble_ring) ++ state(bytes)` |
+    /// | 14 | `Stats` | `ObsSnapshot` |
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum CoordOk {
         /// Nothing to return.
@@ -755,6 +872,19 @@ pub mod coord {
     }
 
     /// A state-change notification pushed to watching sessions.
+    ///
+    /// ## Wire layout
+    ///
+    /// One tag byte, then the fields in declaration order:
+    ///
+    /// | tag | variant | body |
+    /// |----:|---------|------|
+    /// | 0 | `RingChanged` | `cfg` |
+    /// | 1 | `SubscribersChanged` | `ring ++ vec(node)` |
+    /// | 2 | `PartitionsChanged` | — |
+    /// | 3 | `MetaChanged` | `key(string) ++ version(varint)` |
+    /// | 4 | `EphemeralChanged` | `key(string) ++ alive(bool)` |
+    /// | 5 | `SessionExpired` | `session` |
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum CoordEvent {
         /// A ring's configuration changed (new epoch).
@@ -793,6 +923,9 @@ pub mod coord {
     }
 
     /// A client request frame.
+    ///
+    /// Wire layout: `req(varint) ++ op` ([`CoordOp`]); no tag byte of its
+    /// own — it is the only frame a coord client sends.
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct CoordMsg {
         /// Correlation id echoed in the reply.
@@ -802,6 +935,14 @@ pub mod coord {
     }
 
     /// A server frame: a correlated reply or an unsolicited event push.
+    ///
+    /// ## Wire layout
+    ///
+    /// | tag | variant | body |
+    /// |----:|---------|------|
+    /// | 0 | `Ok` | `req(varint) ++ body` ([`CoordOk`]) |
+    /// | 1 | `Err` | `req(varint) ++ reason(string)` |
+    /// | 2 | `Event` | [`CoordEvent`] |
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum CoordReply {
         /// The operation succeeded.
@@ -825,6 +966,12 @@ pub mod coord {
     /// One command in the amcoord ensemble's replicated log: the operation
     /// plus the proposing replica and its sequence number (which replica
     /// answers the waiting client, and dedup under retries).
+    ///
+    /// Wire layout: `origin ++ seq(varint) ++ op` ([`CoordOp`]), no tag
+    /// byte. This frame is what the ensemble **persists** in its Paxos
+    /// log and replays after restart — its bytes are an on-disk contract,
+    /// pinned like the rest of the protocol by
+    /// `ci/wire_vectors_coord.txt`.
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct CoordCmd {
         /// The amcoordd replica that proposed the command.
@@ -1621,6 +1768,29 @@ pub mod client {
     //!   silently proxying.
     //! * Errors carry typed [`ErrorCode`]s ([`ClientReply::ErrorV2`])
     //!   instead of free-form strings.
+    //!
+    //! ## Version gating
+    //!
+    //! v2 frames are usable only after feature negotiation: the client
+    //! requests a [`FEAT_PIPELINE`]`|`[`FEAT_EXACTLY_ONCE`]`|`... bitset
+    //! in [`ClientMsg::HelloV2`] and the server grants the intersection
+    //! with its own support in [`ClientReply::WelcomeV2`]. A server never
+    //! sends a v2 reply on a connection that opened with a v1
+    //! [`ClientMsg::Hello`], and never sends a frame whose feature bit it
+    //! did not grant ([`ClientReply::Redirect`] needs [`FEAT_REDIRECT`],
+    //! [`ClientReply::Stats`] needs [`FEAT_STATS`] — except for the
+    //! hello-less [`ClientMsg::StatsRequest`] probe, which is answered
+    //! unconditionally). Unknown tags are a decode error, never skipped.
+    //!
+    //! ## Byte stability
+    //!
+    //! The exact bytes of every frame shape below are pinned by the
+    //! golden corpus `ci/wire_vectors_client.txt`, checked by
+    //! `crates/common/tests/wire_vectors.rs`. v1 frames are byte-stable
+    //! forever; new frames may only append tags. Intentional changes
+    //! regenerate the corpus (`REGEN_WIRE_VECTORS=1 cargo test -p common
+    //! --test wire_vectors`) and the diff is reviewed as an interface
+    //! change — a changed v1 line is a bug, not a refresh.
 
     use super::{get_bytes, get_tag, get_varint, put_bytes, put_varint, Wire};
     use crate::error::WireError;
@@ -1640,6 +1810,9 @@ pub mod client {
     pub const FEAT_ALL: u64 = FEAT_PIPELINE | FEAT_EXACTLY_ONCE | FEAT_REDIRECT | FEAT_STATS;
 
     /// Typed reasons a server rejects a request (v2).
+    ///
+    /// Wire layout: one byte — `HelloRequired` = 0, `UnknownGroup` = 1,
+    /// `NotServing` = 2, `Shedding` = 3, `Internal` = 4. Append-only.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub enum ErrorCode {
         /// A request arrived before any hello on the connection.
@@ -1694,6 +1867,23 @@ pub mod client {
     }
 
     /// A frame sent by a client to a serving node.
+    ///
+    /// ## Wire layout
+    ///
+    /// One tag byte, then the fields in declaration order (ids and
+    /// integers are varints, `cmd` is length-prefixed bytes):
+    ///
+    /// | tag | variant | body | since |
+    /// |----:|---------|------|-------|
+    /// | 0 | `Hello` | `client` | v1 |
+    /// | 1 | `Request` | `seq ++ group ++ cmd(bytes)` | v1 |
+    /// | 2 | `Ping` | `token(varint)` | v1 |
+    /// | 3 | `HelloV2` | `client ++ features(varint)` | v2 |
+    /// | 4 | `RequestV2` | `session(varint) ++ seq ++ ack(varint) ++ group ++ cmd(bytes)` | v2, [`FEAT_EXACTLY_ONCE`] |
+    /// | 5 | `StatsRequest` | `token(varint)` | v2, [`FEAT_STATS`] |
+    ///
+    /// v1 tags (0–2) are byte-stable forever; the corpus
+    /// `ci/wire_vectors_client.txt` pins every row.
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum ClientMsg {
         /// Opens a v1 session: all replies for `client` flow back over the
@@ -1755,6 +1945,26 @@ pub mod client {
     }
 
     /// A frame sent by a serving node to a client.
+    ///
+    /// ## Wire layout
+    ///
+    /// One tag byte, then the fields in declaration order:
+    ///
+    /// | tag | variant | body | since |
+    /// |----:|---------|------|-------|
+    /// | 0 | `Welcome` | `node` | v1 |
+    /// | 1 | `Response` | `seq ++ from_replica ++ payload(bytes)` | v1 |
+    /// | 2 | `Error` | `seq ++ reason(string)` | v1 |
+    /// | 3 | `Pong` | `token(varint)` | v1 |
+    /// | 4 | `WelcomeV2` | `node ++ features(varint) ++ window(varint)` | v2 |
+    /// | 5 | `ResponseV2` | `session(varint) ++ seq ++ from_replica ++ payload(bytes)` | v2, [`FEAT_EXACTLY_ONCE`] |
+    /// | 6 | `ErrorV2` | `seq ++ code` ([`ErrorCode`]) ` ++ detail(string)` | v2 |
+    /// | 7 | `Redirect` | `seq ++ group ++ to` | v2, [`FEAT_REDIRECT`] |
+    /// | 8 | `CreditGrant` | `window(varint)` | v2, [`FEAT_PIPELINE`] |
+    /// | 9 | `Stats` | `token(varint) ++ snapshot` | v2, [`FEAT_STATS`] |
+    ///
+    /// v1 tags (0–3) are byte-stable forever; the corpus
+    /// `ci/wire_vectors_client.txt` pins every row.
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub enum ClientReply {
         /// v1 session accepted; `node` identifies the serving node.

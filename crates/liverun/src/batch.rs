@@ -68,8 +68,16 @@ impl Batcher {
         }
     }
 
-    /// Adds an envelope bound for `ring`. Returns the completed batch if
-    /// this push filled it.
+    /// Adds an envelope bound for `ring`. Returns a completed batch if
+    /// this push sealed one.
+    ///
+    /// Batch sizing adapts to payload size rather than envelope count
+    /// alone: an envelope that would carry the open batch past
+    /// `max_bytes` seals that batch *first* and starts the next one, so
+    /// every proposed value stays under `max_bytes` — a multi-KiB
+    /// command never glues onto an almost-full batch to produce an
+    /// oversized consensus value. An envelope that alone reaches
+    /// `max_bytes` proposes as a batch of one.
     pub fn push(&mut self, ring: RingId, env: Envelope, now: Instant) -> Option<Vec<Envelope>> {
         let entry = self.pending.entry(ring).or_insert_with(|| Pending {
             envelopes: Vec::new(),
@@ -79,7 +87,15 @@ impl Batcher {
         if entry.envelopes.is_empty() {
             entry.opened_at = now;
         }
-        entry.bytes += env.cmd.len();
+        let bytes = env.cmd.len();
+        if !entry.envelopes.is_empty() && entry.bytes + bytes > self.opts.max_bytes {
+            let done = std::mem::take(&mut entry.envelopes);
+            entry.bytes = bytes;
+            entry.opened_at = now;
+            entry.envelopes.push(env);
+            return Some(done);
+        }
+        entry.bytes += bytes;
         entry.envelopes.push(env);
         if entry.envelopes.len() >= self.opts.max_envelopes || entry.bytes >= self.opts.max_bytes {
             let done = self.pending.remove(&ring).expect("just inserted");
@@ -172,7 +188,46 @@ mod tests {
         let now = Instant::now();
         let r = RingId::new(1);
         assert!(b.push(r, env(1, 60), now).is_none());
-        assert!(b.push(r, env(2, 60), now).is_some(), "120 bytes > 100");
+        let sealed = b.push(r, env(2, 60), now).expect("second push overflows");
+        // The overflowing envelope seals the open batch and starts the
+        // next one — each proposed value stays under max_bytes.
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].req.raw(), 1);
+        assert_eq!(b.pending_len(), 1, "overflowing envelope still pending");
+    }
+
+    #[test]
+    fn oversized_command_proposes_alone() {
+        let mut b = Batcher::new(BatchOptions {
+            max_envelopes: 1000,
+            max_bytes: 100,
+            max_delay: Duration::from_secs(10),
+        });
+        let now = Instant::now();
+        let r = RingId::new(1);
+        let batch = b.push(r, env(1, 250), now).expect("immediate flush");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn large_command_never_glues_onto_a_full_batch() {
+        let mut b = Batcher::new(BatchOptions {
+            max_envelopes: 1000,
+            max_bytes: 100,
+            max_delay: Duration::from_secs(10),
+        });
+        let now = Instant::now();
+        let r = RingId::new(2);
+        assert!(b.push(r, env(1, 30), now).is_none());
+        assert!(b.push(r, env(2, 30), now).is_none());
+        // 95 would push the open batch to 155 bytes: it seals the open
+        // batch instead and immediately fills the next one by itself.
+        let sealed = b.push(r, env(3, 95), now).expect("open batch sealed");
+        assert_eq!(sealed.len(), 2);
+        let solo = b.push(r, env(4, 10), now);
+        assert!(solo.is_some(), "95-byte batch sealed by the next push");
+        assert_eq!(solo.unwrap().len(), 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   completions surface out of submission order.
 //!
 //! The reply-matching and window logic lives in the sans-IO
-//! [`SessionCore`]; [`LiveClient`] wraps it with sockets, retries,
+//! `SessionCore`; [`LiveClient`] wraps it with sockets, retries,
 //! keep-alives and blocking conveniences ([`LiveClient::request`],
 //! [`LiveClient::request_fanout`], [`LiveClient::request_from`]).
 
@@ -449,6 +449,14 @@ impl LiveClient {
     /// The open session's id (0 before the first request).
     pub fn session(&self) -> u64 {
         self.core.session
+    }
+
+    /// The session's effective pipeline window right now: the server's
+    /// latest `CreditGrant` clamped to the client's wish.
+    /// Shrinks while the serving node sheds load and re-expands once its
+    /// backlog drains.
+    pub fn current_window(&self) -> usize {
+        self.core.window
     }
 
     /// Diagnostics: `(session, in-flight count, lowest in-flight seq,

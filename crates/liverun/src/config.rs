@@ -104,11 +104,28 @@ pub struct DeploymentConfig {
     pub service: ServiceKind,
     /// Maximum client commands batched into one consensus value.
     pub batch_max: usize,
+    /// Maximum command-payload bytes per consensus value
+    /// (`batch_max_bytes`): a batch seals before an envelope would carry
+    /// it past this size, so batch sizing adapts to payload size rather
+    /// than count alone.
+    pub batch_max_bytes: usize,
     /// Maximum time a non-empty batch waits before proposing.
     pub batch_delay: Duration,
     /// Credit window granted to protocol-v2 clients at the handshake
-    /// (`client_window`, requests in flight per client).
+    /// (`client_window`, requests in flight per client). Also the ceiling
+    /// the credit controller expands back to after overload clears.
     pub client_window: u32,
+    /// Floor the credit controller never shrinks a session window below
+    /// (`credit_min_window`).
+    pub credit_min_window: u32,
+    /// Proposal backlog (envelopes queued in the batcher plus the event
+    /// queue) above which credit halves (`credit_backlog_high`); 0 lets
+    /// the node derive a default from `batch_max`.
+    pub credit_backlog_high: u32,
+    /// Payload size at or above which a non-coordinating proposer eagerly
+    /// pushes a value to every ring member concurrently with ordering
+    /// (`value_push_bytes`); 0 disables eager dissemination.
+    pub value_push_bytes: usize,
     /// Replica checkpoint cadence (`None` disables checkpointing).
     pub checkpoint_interval: Option<Duration>,
     /// Directory for per-node write-ahead logs (`None` disables WALs).
@@ -221,8 +238,12 @@ impl DeploymentConfig {
         let config = DeploymentConfig {
             service,
             batch_max: deployment.int_or("batch_max", 64)? as usize,
+            batch_max_bytes: (deployment.int_or("batch_max_bytes", 32 * 1024)? as usize).max(1),
             batch_delay: Duration::from_millis(deployment.int_or("batch_delay_ms", 2)?),
             client_window: deployment.int_or("client_window", 64)? as u32,
+            credit_min_window: (deployment.int_or("credit_min_window", 1)? as u32).max(1),
+            credit_backlog_high: deployment.int_or("credit_backlog_high", 0)? as u32,
+            value_push_bytes: deployment.int_or("value_push_bytes", 16 * 1024)? as usize,
             checkpoint_interval: {
                 let ms = deployment.int_or("checkpoint_ms", 0)?;
                 (ms > 0).then(|| Duration::from_millis(ms))

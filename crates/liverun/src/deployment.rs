@@ -149,6 +149,7 @@ fn host_options(config: &DeploymentConfig) -> HostOptions {
                 delta: Duration::from_millis(1),
                 lambda: 9000,
             }),
+            value_push_bytes: config.value_push_bytes,
             ..ringpaxos::options::RingOptions::default()
         },
         checkpoint_interval: config.checkpoint_interval,
@@ -200,8 +201,8 @@ pub fn start_node(
         .ok_or_else(|| Error::Config(format!("node {node} not in configuration")))?;
     let batch_opts = BatchOptions {
         max_envelopes: config.batch_max.max(1),
+        max_bytes: config.batch_max_bytes.max(1),
         max_delay: config.batch_delay,
-        ..BatchOptions::default()
     };
     let peer_addrs: HashMap<NodeId, SocketAddr> =
         config.nodes.iter().map(|n| (n.id, n.peer_addr)).collect();
@@ -233,6 +234,8 @@ pub fn start_node(
         client_addr: spec.client_addr,
         clock,
         client_window: config.client_window,
+        credit_min_window: config.credit_min_window,
+        credit_backlog_high: config.credit_backlog_high,
         session_ring,
         obs,
     };

@@ -42,7 +42,7 @@ use common::error::WireError;
 use common::ids::RingId;
 use common::value::Envelope;
 use common::wire::Wire;
-use multiring::ServiceApp;
+use multiring::{ServiceApp, SnapshotCut};
 use storage::wal::{DecidedLog, Wal};
 
 /// One delivered command: the ring it arrived on plus the envelope.
@@ -132,6 +132,19 @@ impl ServiceApp for DurableApp {
         // up to (but never past) it.
         self.ckpt_mark.set(self.pos);
         self.inner.snapshot()
+    }
+
+    fn snapshot_into(&self, buf: &mut BytesMut) {
+        // Same cut-marking contract as `snapshot`.
+        self.ckpt_mark.set(self.pos);
+        self.inner.snapshot_into(buf);
+    }
+
+    fn snapshot_cut(&self) -> Box<dyn SnapshotCut> {
+        // Same cut-marking contract as `snapshot`: everything staged so
+        // far is covered by the cut being taken now.
+        self.ckpt_mark.set(self.pos);
+        self.inner.snapshot_cut()
     }
 
     fn restore(&mut self, state: &Bytes) {

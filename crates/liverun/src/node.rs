@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -401,12 +401,13 @@ fn spawn_peer_reader(mut stream: TcpStream, tx: Sender<Event>) {
 }
 
 /// Speaks the client protocol (v1 and v2) on one accepted client
-/// connection. `window` is the credit this node grants v2 clients at
-/// the handshake.
+/// connection. `grant` is the node's *live* credit window: the node loop
+/// resizes it with backpressure, and a client connecting mid-overload is
+/// admitted at the clamped window, not the configured maximum.
 fn spawn_client_reader(
     mut stream: TcpStream,
     me: NodeId,
-    window: u32,
+    grant: Arc<AtomicU32>,
     obs: Obs,
     tx: Sender<Event>,
 ) {
@@ -445,6 +446,7 @@ fn spawn_client_reader(
                                 {
                                     return;
                                 }
+                                let window = grant.load(Ordering::Relaxed).max(1);
                                 writer.send(&ClientReply::WelcomeV2 {
                                     node: me,
                                     features: features & FEAT_ALL,
@@ -615,6 +617,11 @@ pub(crate) struct NodeSetup {
     pub clock: WallClock,
     /// Credit window granted to v2 clients at the handshake.
     pub client_window: u32,
+    /// Floor the credit controller never shrinks the window below.
+    pub credit_min_window: u32,
+    /// Proposal backlog (batcher + event queue, in envelopes) above which
+    /// credit halves; `0` derives a default from the batch size.
+    pub credit_backlog_high: u32,
     /// The ring session-control commands ride on (the deployment's
     /// global ring), when this node is a member of it — the ring this
     /// node proposes session expiries to. `None` disables the sweep.
@@ -623,6 +630,80 @@ pub(crate) struct NodeSetup {
     /// `host_opts.ring.obs` into the host and rings, so every layer of
     /// this node reports into one place.
     pub obs: Obs,
+}
+
+/// How often the node re-computes per-session credit from its backlog
+/// gauges. Fast enough that overload clamps within a client RTT or two;
+/// slow enough that the gauge reads (a lock and two histogram snapshots)
+/// cost nothing.
+const CREDIT_TICK: Duration = Duration::from_millis(100);
+
+/// Reply-writer backlog (frames across all connections) above which the
+/// node is considered overloaded on the egress side.
+const CREDIT_REPLY_HIGH: i64 = 1024;
+
+/// WAL group-commit mean (over one credit tick) above which the node is
+/// considered overloaded on the durability side.
+const CREDIT_WAL_HIGH: Duration = Duration::from_millis(25);
+
+/// Admission control: turns the node's own backlog gauges into the credit
+/// window granted to protocol-v2 sessions (AIMD — halve under pressure,
+/// climb back additively once every signal clears).
+///
+/// Inputs are the signals the stats plane already exports: the proposal
+/// backlog (`batcher_depth` plus the unprocessed event queue), the reply
+/// backlog (`reply_queue_depth`), and the `wal_commit_nanos` delta-mean
+/// since the previous tick. Overload therefore degrades into *queueing at
+/// the client* (shrunken pipelines) instead of dropped frames and
+/// recovery storms.
+struct CreditController {
+    max: u32,
+    min: u32,
+    backlog_high: i64,
+    window: u32,
+    wal_count: u64,
+    wal_sum: u64,
+}
+
+impl CreditController {
+    fn new(max: u32, min: u32, backlog_high: i64) -> Self {
+        let min = min.clamp(1, max);
+        CreditController {
+            max,
+            min,
+            backlog_high: backlog_high.max(1),
+            window: max,
+            wal_count: 0,
+            wal_sum: 0,
+        }
+    }
+
+    /// One controller step. `wal` is the cumulative commit histogram; the
+    /// controller keeps the previous totals so it reacts to the *recent*
+    /// mean, not the lifetime average.
+    fn tick(&mut self, backlog: i64, reply_backlog: i64, wal: &common::hist::Histogram) -> u32 {
+        let (count, sum) = (wal.count(), wal.sum_saturating());
+        let delta_n = count.saturating_sub(self.wal_count);
+        let wal_mean_nanos = sum
+            .saturating_sub(self.wal_sum)
+            .checked_div(delta_n)
+            .unwrap_or(0);
+        self.wal_count = count;
+        self.wal_sum = sum;
+        let wal_slow = wal_mean_nanos > CREDIT_WAL_HIGH.as_nanos() as u64;
+        if backlog > self.backlog_high || reply_backlog > CREDIT_REPLY_HIGH || wal_slow {
+            self.window = (self.window / 2).max(self.min);
+        } else if backlog <= self.backlog_high / 4
+            && reply_backlog <= CREDIT_REPLY_HIGH / 4
+            && self.window < self.max
+        {
+            self.window = self
+                .window
+                .saturating_add((self.max / 8).max(1))
+                .min(self.max);
+        }
+        self.window
+    }
 }
 
 /// Handle to one running live node.
@@ -676,18 +757,31 @@ pub(crate) fn spawn_node(setup: NodeSetup, stack: AppStack, restart: bool) -> Re
     let client_listener = TcpListener::bind(setup.client_addr)?;
     let tx_clients = tx.clone();
     let me = setup.me;
-    let window = setup.client_window.max(1);
+    // Live credit grant, shared between the node loop (which adjusts it)
+    // and client readers (which hand it to connecting sessions): a client
+    // arriving mid-overload is admitted at the clamped window, not the
+    // configured maximum.
+    let grant = Arc::new(AtomicU32::new(setup.client_window.max(1)));
+    let reader_grant = Arc::clone(&grant);
     let obs = setup.obs.clone();
     let client_listener = spawn_listener(
         client_listener,
         format!("amcast-clients-{}", setup.me.raw()),
-        move |stream| spawn_client_reader(stream, me, window, obs.clone(), tx_clients.clone()),
+        move |stream| {
+            spawn_client_reader(
+                stream,
+                me,
+                Arc::clone(&reader_grant),
+                obs.clone(),
+                tx_clients.clone(),
+            )
+        },
     );
 
     let loop_tx = tx.clone();
     let join = std::thread::Builder::new()
         .name(format!("amcast-node-{}", setup.me.raw()))
-        .spawn(move || node_loop(setup, stack, restart, rx, loop_tx))
+        .spawn(move || node_loop(setup, stack, restart, rx, loop_tx, grant))
         .map_err(Error::Io)?;
 
     Ok(NodeHandle {
@@ -705,6 +799,7 @@ fn node_loop(
     restart: bool,
     rx: Receiver<Event>,
     self_tx: Sender<Event>,
+    grant: Arc<AtomicU32>,
 ) {
     let me = setup.me;
     let clock = setup.clock;
@@ -768,6 +863,22 @@ fn node_loop(
     let session_cached_replies = obs.gauge("session_cached_replies");
     let shard_queue_depth = obs.gauge("shard_queue_depth");
     let mut batcher = Batcher::new(setup.batch_opts);
+    // Credit controller: backlog threshold defaults to four full batches
+    // of headroom when the config leaves it at 0.
+    let credit_window = obs.gauge("credit_window");
+    let wal_commit = obs.hist("wal_commit_nanos");
+    let backlog_high = if setup.credit_backlog_high > 0 {
+        setup.credit_backlog_high as i64
+    } else {
+        (setup.batch_opts.max_envelopes as i64).saturating_mul(4)
+    };
+    let mut credit = CreditController::new(
+        setup.client_window.max(1),
+        setup.credit_min_window,
+        backlog_high,
+    );
+    credit_window.set(credit.window as i64);
+    let mut next_credit_tick = Instant::now() + CREDIT_TICK;
     // Session-expiry sweep state: last refresh reading per session and
     // when it last moved (the amcoord TTL-session shape applied to the
     // app-level client sessions).
@@ -1000,6 +1111,29 @@ fn node_loop(
                         with_ctx!(|ctx| host.propose_envelopes(ring, vec![env], &mut ctx));
                         // Back off a full TTL before re-proposing.
                         entry.1 = now;
+                    }
+                }
+            }
+        }
+        // Credit tick: re-derive the per-session window from this node's
+        // own backlog and broadcast the change to every v2 connection.
+        if Instant::now() >= next_credit_tick {
+            next_credit_tick = Instant::now() + CREDIT_TICK;
+            let backlog = batcher.pending_len() as i64 + rx.len() as i64;
+            batcher_depth.set(batcher.pending_len() as i64);
+            let reply_backlog: i64 = clients
+                .lock()
+                .values()
+                .map(|c| c.writer.queued() as i64)
+                .sum();
+            reply_queue_depth.set(reply_backlog);
+            let w = credit.tick(backlog, reply_backlog, &wal_commit.snapshot());
+            if w != grant.load(Ordering::Relaxed) {
+                grant.store(w, Ordering::Relaxed);
+                credit_window.set(w as i64);
+                for conn in clients.lock().values() {
+                    if conn.v2 {
+                        conn.writer.send(&ClientReply::CreditGrant { window: w });
                     }
                 }
             }

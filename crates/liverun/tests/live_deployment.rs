@@ -522,6 +522,112 @@ fn fanout_completes_despite_replica_kill_mid_fanout() {
     deployment.shutdown();
 }
 
+/// Credit-based backpressure end to end: a node driven into proposal
+/// backlog shrinks the session window via `CreditGrant` (overload
+/// degrades into queueing at the client), and the window re-expands once
+/// the backlog drains — with every pipelined request completing exactly
+/// once and no typed-error storm.
+///
+/// The overload is made deterministic through the config: a long batch
+/// delay with count/byte seals out of reach keeps submitted envelopes
+/// sitting in the batcher, and `credit_backlog_high = 4` trips the
+/// controller as soon as a handful are pending.
+#[test]
+fn overload_shrinks_credit_window_and_drain_restores_it() {
+    use common::ids::RingId;
+    use mrpstore::KvCommand;
+    use std::time::Instant;
+
+    // Replace the generator's batching line outright: the hand-parsed
+    // TOML lets a later duplicate key win, so prepending would be inert.
+    let text = generate_localhost_mrpstore(1, 3, base_port(160), None).replacen(
+        "batch_max = 64\nbatch_delay_ms = 2\n",
+        "batch_max = 10000\nbatch_max_bytes = 1048576\nbatch_delay_ms = 150\n\
+         client_window = 64\ncredit_min_window = 1\ncredit_backlog_high = 4\n",
+        1,
+    );
+    let config = DeploymentConfig::parse(&text).unwrap();
+    assert_eq!(config.credit_backlog_high, 4);
+    assert_eq!(config.batch_delay, Duration::from_millis(150));
+    let deployment = Deployment::launch(config.clone()).unwrap();
+    let mut client = StoreClient::connect(&config, ClientId::new(31), client_opts()).unwrap();
+
+    let ring0 = RingId::new(0);
+    let add = KvCommand::Add {
+        key: "pressure".into(),
+        delta: 1,
+    }
+    .to_bytes();
+
+    // Pipeline hard: keep the window full so envelopes pile up in the
+    // batcher faster than the 150 ms seal cadence drains them.
+    const TOTAL: u64 = 96;
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut min_window = usize::MAX;
+    while submitted < TOTAL {
+        client.raw().submit(ring0, add.clone()).expect("submit");
+        submitted += 1;
+        if client.raw().poll_reply(Duration::ZERO).is_some() {
+            completed += 1;
+        }
+        min_window = min_window.min(client.raw().current_window());
+    }
+    let drain_end = Instant::now() + Duration::from_secs(60);
+    while completed < submitted && Instant::now() < drain_end {
+        if client
+            .raw()
+            .poll_reply(Duration::from_millis(250))
+            .is_some()
+        {
+            completed += 1;
+        }
+        min_window = min_window.min(client.raw().current_window());
+    }
+    assert_eq!(
+        completed,
+        submitted,
+        "every pipelined request completes despite the clamp (client state: {:?})",
+        client.raw().stats()
+    );
+    assert!(
+        min_window <= 16,
+        "overload never clamped the window (min observed: {min_window})"
+    );
+
+    // Backlog drained: the controller climbs back additively. Keep
+    // pumping so the client sees the grants.
+    let expand_end = Instant::now() + Duration::from_secs(10);
+    while client.raw().current_window() < 64 && Instant::now() < expand_end {
+        let _ = client.raw().poll_reply(Duration::from_millis(100));
+    }
+    assert_eq!(
+        client.raw().current_window(),
+        64,
+        "window re-expands to the full grant after the backlog drains"
+    );
+
+    // Exactly-once under the clamp: the counter saw each increment once —
+    // no retry was re-executed, none was lost.
+    let raw = client
+        .raw()
+        .request(
+            ring0,
+            KvCommand::Read {
+                key: "pressure".into(),
+            }
+            .to_bytes(),
+        )
+        .unwrap();
+    assert_eq!(
+        KvResponse::decode(&mut raw.clone()).unwrap(),
+        KvResponse::Value(Some(Bytes::copy_from_slice(&TOTAL.to_le_bytes()))),
+        "each clamped-pipeline increment executed exactly once"
+    );
+
+    deployment.shutdown();
+}
+
 /// The sharded runtime under the exactly-once acceptance: with
 /// `executor_shards = 4` a replica is killed mid-run and restarted in
 /// place. The recovered node must agree with its peers on the

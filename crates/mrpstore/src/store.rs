@@ -12,7 +12,7 @@ use bytes::{Bytes, BytesMut};
 use common::ids::{PartitionId, RingId};
 use common::value::Envelope;
 use common::wire::{get_varint, put_varint, Wire};
-use multiring::ServiceApp;
+use multiring::{ServiceApp, SnapshotCut};
 
 use crate::command::{KvCommand, KvResponse};
 use crate::partitioning::Partitioning;
@@ -146,12 +146,36 @@ impl ServiceApp for KvApp {
 
     fn snapshot(&self) -> Bytes {
         let mut buf = BytesMut::new();
-        put_varint(&mut buf, self.data.len() as u64);
-        for (k, v) in &self.data {
-            k.encode(&mut buf);
-            v.encode(&mut buf);
-        }
+        self.snapshot_into(&mut buf);
         buf.freeze()
+    }
+
+    fn snapshot_into(&self, buf: &mut BytesMut) {
+        // Reserve the whole encoding up front (10 bytes covers any
+        // varint length prefix) so a multi-megabyte store serializes in
+        // one pass instead of through doubling reallocations.
+        let mut size = 10;
+        for (k, v) in &self.data {
+            size += k.len() + v.len() + 20;
+        }
+        buf.reserve(size);
+        put_varint(buf, self.data.len() as u64);
+        for (k, v) in &self.data {
+            k.encode(buf);
+            v.encode(buf);
+        }
+    }
+
+    fn snapshot_cut(&self) -> Box<dyn SnapshotCut> {
+        // O(entries), not O(bytes): keys are small strings and values are
+        // refcounted, so cloning the tree is cheap. Serialization — the
+        // expensive part for a multi-megabyte store — happens chunk by
+        // chunk in `KvCut::write_chunk`, off the critical delivery burst.
+        Box::new(KvCut {
+            count: self.data.len(),
+            header_written: false,
+            iter: self.data.clone().into_iter(),
+        })
     }
 
     fn restore(&mut self, state: &Bytes) {
@@ -172,6 +196,36 @@ impl ServiceApp for KvApp {
 
     fn reset(&mut self) {
         self.data.clear();
+    }
+}
+
+/// An incremental [`SnapshotCut`] over a cloned entry tree: emits the
+/// same bytes as [`KvApp::snapshot`] (count prefix, then sorted
+/// `key ++ value` pairs), a budget's worth of entries per chunk.
+struct KvCut {
+    count: usize,
+    header_written: bool,
+    iter: std::collections::btree_map::IntoIter<String, Bytes>,
+}
+
+impl SnapshotCut for KvCut {
+    fn write_chunk(&mut self, buf: &mut BytesMut, budget: usize) -> bool {
+        buf.reserve(budget + 1024);
+        let start = buf.len();
+        if !self.header_written {
+            put_varint(buf, self.count as u64);
+            self.header_written = true;
+        }
+        while buf.len() - start < budget {
+            match self.iter.next() {
+                Some((k, v)) => {
+                    k.encode(buf);
+                    v.encode(buf);
+                }
+                None => return false,
+            }
+        }
+        true
     }
 }
 

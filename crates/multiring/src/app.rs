@@ -7,7 +7,7 @@
 //! trait; [`EchoApp`] is the paper's "dummy service" used for the
 //! Figure 3 baseline.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use common::ids::RingId;
 use common::value::Envelope;
 
@@ -30,6 +30,33 @@ pub trait ServiceApp: Send + 'static {
 
     /// Serializes the full service state for a checkpoint.
     fn snapshot(&self) -> Bytes;
+
+    /// Appends exactly the bytes [`ServiceApp::snapshot`] would return to
+    /// `buf`. Checkpoints of large services are dominated by state
+    /// serialization (it runs on the delivery thread), so the host
+    /// streams the whole checkpoint blob into one buffer; services with
+    /// non-trivial state should override this with a direct, presized
+    /// encode (reserve the encoded size up front, then write once). The
+    /// default funnels through `snapshot()` and pays one extra copy.
+    fn snapshot_into(&self, buf: &mut BytesMut) {
+        buf.extend_from_slice(&self.snapshot());
+    }
+
+    /// Begins a checkpoint at the current state: returns an owned,
+    /// immutable cut that serializes itself incrementally through
+    /// [`SnapshotCut::write_chunk`], so the host can interleave delivery
+    /// with checkpoint serialization instead of stalling on one big
+    /// encode. Concatenating every chunk must yield exactly the bytes
+    /// [`ServiceApp::snapshot`] would have returned at this instant.
+    ///
+    /// The default serializes eagerly (the full cost lands here, fine
+    /// for small states). Services with large state should override with
+    /// a cheap structural clone — refcounted values make cloning a map
+    /// O(entries), not O(bytes) — and serialize entry by entry per
+    /// chunk.
+    fn snapshot_cut(&self) -> Box<dyn SnapshotCut> {
+        Box::new(EagerCut::new(self.snapshot()))
+    }
 
     /// Replaces the service state with a checkpoint produced by
     /// [`ServiceApp::snapshot`].
@@ -62,6 +89,76 @@ pub trait ServiceApp: Send + 'static {
     /// gauge. Default: none.
     fn cached_reply_count(&self) -> usize {
         0
+    }
+}
+
+/// An owned, immutable cut of a service's state, serialized
+/// incrementally: the host calls [`SnapshotCut::write_chunk`] across
+/// separate events (bounded work per call) so a multi-megabyte
+/// checkpoint does not stall delivery for its full serialization time.
+pub trait SnapshotCut: Send {
+    /// Appends roughly `budget` more bytes of the serialized state to
+    /// `buf`; returns `true` while more remains (a chunk may overshoot
+    /// the budget by up to one entry). Chunk boundaries are invisible in
+    /// the output: the concatenation of all chunks is the complete
+    /// serialized state at the cut.
+    fn write_chunk(&mut self, buf: &mut BytesMut, budget: usize) -> bool;
+}
+
+/// A [`SnapshotCut`] over state serialized eagerly at creation — the
+/// default for services with small state. The full encode cost was paid
+/// when the cut was taken; chunks are plain copies out of the finished
+/// blob.
+pub struct EagerCut {
+    state: Bytes,
+    off: usize,
+}
+
+impl EagerCut {
+    /// A cut over an already-serialized state.
+    pub fn new(state: Bytes) -> Self {
+        EagerCut { state, off: 0 }
+    }
+}
+
+impl SnapshotCut for EagerCut {
+    fn write_chunk(&mut self, buf: &mut BytesMut, budget: usize) -> bool {
+        let end = (self.off + budget.max(1)).min(self.state.len());
+        buf.extend_from_slice(&self.state[self.off..end]);
+        self.off = end;
+        self.off < self.state.len()
+    }
+}
+
+/// A [`SnapshotCut`] that prefixes an inner cut with an eagerly
+/// serialized header. Decorators ([`crate::SessionApp`], WAL wrappers)
+/// own small state of their own; the bulk is the wrapped service, which
+/// keeps chunking through its own cut.
+pub struct ChainCut {
+    head: Bytes,
+    head_written: bool,
+    inner: Box<dyn SnapshotCut>,
+}
+
+impl ChainCut {
+    /// `head` first, then every chunk of `inner`.
+    pub fn new(head: Bytes, inner: Box<dyn SnapshotCut>) -> Self {
+        ChainCut {
+            head,
+            head_written: false,
+            inner,
+        }
+    }
+}
+
+impl SnapshotCut for ChainCut {
+    fn write_chunk(&mut self, buf: &mut BytesMut, budget: usize) -> bool {
+        if !self.head_written {
+            buf.extend_from_slice(&self.head);
+            self.head_written = true;
+            return true;
+        }
+        self.inner.write_chunk(buf, budget)
     }
 }
 

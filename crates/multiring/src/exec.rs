@@ -8,7 +8,7 @@
 //! service state into `N` disjoint sub-shards, each owned by one worker
 //! thread with a bounded SPSC queue, and turns the merge thread into a
 //! thin dispatcher: per delivered envelope it performs only the ordered
-//! session-table admission (see [`crate::session::SessionTable`]) and a
+//! session-table admission (see `crate::session::SessionTable`) and a
 //! routing decision, then hands the execution — service state
 //! transition, reply framing, reply-slot fill, WAL staging — to the
 //! owning shard.
@@ -29,7 +29,7 @@
 //!
 //! A command addressing several sub-shards (e.g. an MRP-Store scan, or
 //! dLog's multi-log append) becomes a *sequence barrier*: an
-//! [`AllJoin`] op is enqueued to every shard in the same dispatch step,
+//! `AllJoin` op is enqueued to every shard in the same dispatch step,
 //! so each shard executes it after exactly the commands delivered
 //! before it and before any delivered after — the white-box "join only
 //! the addressed groups" discipline, applied inside the node. The last
@@ -54,7 +54,6 @@ use bytes::{Bytes, BytesMut};
 use common::ids::RingId;
 use common::obs::{now_nanos, Counter, Hist, Obs};
 use common::value::{Envelope, NO_SESSION, SESSION_CTL};
-use common::wire::{get_bytes, put_bytes};
 
 use crate::app::ServiceApp;
 use crate::session::{frame_ok, Admission, ReplySlot, SessionLimits, SessionTable};
@@ -438,6 +437,16 @@ impl ShardedExec {
     /// stack would produce. By the same FIFO argument, every reply slot
     /// admitted before the cut is filled when this returns.
     pub fn snapshot(&mut self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.snapshot_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// [`ShardedExec::snapshot`], appended to an existing buffer. Layout
+    /// matches the unsharded [`crate::SessionApp`] byte for byte:
+    /// session-table image, then the merged service state as the
+    /// trailing rest of the buffer (no length prefix).
+    pub fn snapshot_into(&mut self, buf: &mut BytesMut) {
         let mut rxs = VecDeque::new();
         for i in 0..self.shards.len() {
             let (tx, rx) = mpsc::channel();
@@ -448,10 +457,10 @@ impl ShardedExec {
             .into_iter()
             .map(|rx| rx.recv().expect("executor shard alive"))
             .collect();
-        let mut buf = BytesMut::new();
-        self.table.encode(&mut buf);
-        put_bytes(&mut buf, &self.plan.merge_snapshots(parts));
-        buf.freeze()
+        self.table.encode(buf);
+        let merged = self.plan.merge_snapshots(parts);
+        buf.reserve(merged.len());
+        buf.extend_from_slice(&merged);
     }
 
     /// Rendezvous restore from a [`ShardedExec::snapshot`] (or an
@@ -462,10 +471,8 @@ impl ShardedExec {
         let Ok(image) = SessionTable::decode_image(&mut raw) else {
             return;
         };
-        let Ok(inner) = get_bytes(&mut raw) else {
-            return;
-        };
-        let parts = self.plan.split_snapshot(&inner);
+        // The remainder of the blob is the merged service state.
+        let parts = self.plan.split_snapshot(&raw);
         assert_eq!(parts.len(), self.shards.len(), "plan split arity");
         let mut acks = VecDeque::new();
         for (i, part) in parts.into_iter().enumerate() {

@@ -26,7 +26,7 @@ use ringpaxos::timer::RingTimer;
 use simnet::{Ctx, Process, Timer};
 use storage::{CheckpointStore, StorageMode};
 
-use crate::app::ServiceApp;
+use crate::app::{EagerCut, ServiceApp, SnapshotCut};
 use crate::exec::ShardedExec;
 use crate::merge::MergeLearner;
 use crate::recovery::{RecoveryPhase, TrimRound};
@@ -43,10 +43,16 @@ pub enum ExecEngine {
 }
 
 impl ExecEngine {
-    fn snapshot(&mut self) -> Bytes {
+    /// Takes an owned cut of the engine's state for incremental
+    /// checkpoint serialization (see [`SnapshotCut`]).
+    fn snapshot_cut(&mut self) -> Box<dyn SnapshotCut> {
         match self {
-            ExecEngine::Inline(app) => app.snapshot(),
-            ExecEngine::Sharded(exec) => exec.snapshot(),
+            ExecEngine::Inline(app) => app.snapshot_cut(),
+            // The sharded engine already serializes off the delivery
+            // thread: each shard encodes its part on its own worker
+            // during the rendezvous. The merged blob is drained out
+            // chunk by chunk like any other cut.
+            ExecEngine::Sharded(exec) => Box::new(EagerCut::new(exec.snapshot())),
         }
     }
 
@@ -86,9 +92,32 @@ const TIMER_CHECKPOINT_DONE: u32 = 3;
 const TIMER_TRIM: u32 = 4;
 const TIMER_RECOVERY: u32 = 5;
 const TIMER_GAP: u32 = 6;
+const TIMER_CHECKPOINT_STEP: u32 = 7;
 
 /// Maximum decisions per retransmission reply.
 const RETRANSMIT_CHUNK: u64 = 4096;
+
+/// Bytes serialized per checkpoint step. Each step runs as its own
+/// timer event, so deliveries interleave between chunks instead of
+/// stalling behind one monolithic serialization of a large state. A
+/// chunk is well under a millisecond of memcpy; the dominant per-step
+/// cost is the event-loop round trip, so chunks are sized large enough
+/// that a multi-megabyte snapshot finishes in tens of steps.
+const CKPT_CHUNK_BYTES: usize = 1024 * 1024;
+
+/// Gap between checkpoint serialization steps — long enough to drain
+/// queued deliveries, short enough that a multi-megabyte snapshot still
+/// completes within a fraction of the checkpoint cadence.
+const CKPT_STEP_DELAY: Duration = Duration::from_micros(200);
+
+/// Checkpoint duty-cycle bound: the next checkpoint is scheduled no
+/// sooner than this many multiples of the last checkpoint's measured
+/// wall window — cut to final chunk, step delays included — so at most
+/// ~2.5% of a node's time sits inside a serialization window. Large
+/// service states stretch the cadence automatically instead of
+/// overlapping their windows across replicas back to back; small states
+/// never notice (the configured interval dominates).
+const CKPT_DUTY_FACTOR: u32 = 40;
 
 /// Host configuration.
 #[derive(Clone, Debug)]
@@ -122,10 +151,15 @@ impl Default for HostOptions {
     }
 }
 
-/// Checkpoint blob layout: service snapshot, per-ring dedup windows, and
-/// the merge scheduler state (turn + per-ring skip credit) so a replica
-/// restored from a mid-round cut resumes the round-robin exactly where
-/// its peers are.
+/// Checkpoint blob layout: per-ring dedup windows and the merge
+/// scheduler state (turn + per-ring skip credit, so a replica restored
+/// from a mid-round cut resumes the round-robin exactly where its peers
+/// are) first, then the service snapshot as the **trailing rest** of the
+/// blob. The service state goes last and unprefixed so
+/// [`MultiRingHost::take_checkpoint`] can stream it straight into the
+/// checkpoint buffer (via [`SnapshotCut`]) without materializing it
+/// separately — checkpoint cost is dominated by serializing that state
+/// on the delivery thread.
 struct Snapshot {
     app: Bytes,
     dedup: Vec<(RingId, Vec<ValueId>)>,
@@ -133,24 +167,35 @@ struct Snapshot {
     merge_credits: Vec<(RingId, u64)>,
 }
 
+/// Encodes everything *except* the trailing service state — shared by
+/// [`Snapshot::encode`] and the streaming path in
+/// [`MultiRingHost::take_checkpoint`] so the two cannot drift.
+fn encode_snapshot_meta(
+    buf: &mut BytesMut,
+    dedup: &[(RingId, Vec<ValueId>)],
+    merge_turn: u64,
+    merge_credits: &[(RingId, u64)],
+) {
+    put_varint(buf, dedup.len() as u64);
+    for (ring, ids) in dedup {
+        ring.encode(buf);
+        put_vec(buf, ids);
+    }
+    put_varint(buf, merge_turn);
+    put_varint(buf, merge_credits.len() as u64);
+    for (ring, credit) in merge_credits {
+        ring.encode(buf);
+        put_varint(buf, *credit);
+    }
+}
+
 impl Wire for Snapshot {
     fn encode(&self, buf: &mut BytesMut) {
-        self.app.encode(buf);
-        put_varint(buf, self.dedup.len() as u64);
-        for (ring, ids) in &self.dedup {
-            ring.encode(buf);
-            put_vec(buf, ids);
-        }
-        put_varint(buf, self.merge_turn);
-        put_varint(buf, self.merge_credits.len() as u64);
-        for (ring, credit) in &self.merge_credits {
-            ring.encode(buf);
-            put_varint(buf, *credit);
-        }
+        encode_snapshot_meta(buf, &self.dedup, self.merge_turn, &self.merge_credits);
+        buf.extend_from_slice(&self.app);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, common::error::WireError> {
-        let app = Bytes::decode(buf)?;
         let n = get_varint(buf)?;
         let mut dedup = Vec::new();
         for _ in 0..n {
@@ -164,6 +209,8 @@ impl Wire for Snapshot {
             let ring = RingId::decode(buf)?;
             merge_credits.push((ring, get_varint(buf)?));
         }
+        // The rest of the blob is the service state.
+        let app = buf.split_to(buf.len());
         Ok(Snapshot {
             app,
             dedup,
@@ -189,6 +236,8 @@ struct HostObs {
     liveness_fires: Counter,
     merge_skips: Counter,
     merge_lag: Gauge,
+    ckpt_bytes: Gauge,
+    ckpt_window_us: Gauge,
     stage_propose: Hist,
     stage_p2send: Hist,
     stage_decide: Hist,
@@ -208,6 +257,8 @@ impl HostObs {
             liveness_fires: obs.counter("liveness_fires"),
             merge_skips: obs.counter("merge_skips"),
             merge_lag: obs.gauge("merge_lag"),
+            ckpt_bytes: obs.gauge("ckpt_bytes"),
+            ckpt_window_us: obs.gauge("ckpt_window_us"),
             stage_propose: obs.hist("stage_propose_nanos"),
             stage_p2send: obs.hist("stage_p2send_nanos"),
             stage_decide: obs.hist("stage_decide_nanos"),
@@ -240,6 +291,21 @@ fn note_ring_send(hobs: &HostObs, tracing: bool, msg: &RingMsg) {
     }
 }
 
+/// An in-flight incremental checkpoint. The *cut* is taken
+/// synchronously at the delivery cursor (so it is a consistent point in
+/// the merge), but serialization proceeds in [`CKPT_CHUNK_BYTES`]
+/// chunks across [`TIMER_CHECKPOINT_STEP`] events, letting deliveries
+/// interleave with a multi-megabyte snapshot instead of stalling behind
+/// one monolithic encode.
+struct ActiveCkpt {
+    tuple: CheckpointTuple,
+    buf: BytesMut,
+    cut: Box<dyn SnapshotCut>,
+    /// When the cut was taken; final-chunk minus this is the window
+    /// that feeds the [`CKPT_DUTY_FACTOR`] duty-cycle bound.
+    started: std::time::Instant,
+}
+
 /// The per-process host. See the module docs.
 pub struct MultiRingHost {
     me: NodeId,
@@ -259,7 +325,19 @@ pub struct MultiRingHost {
     advertised: Option<CheckpointTuple>,
     /// A checkpoint whose synchronous write is still in flight.
     pending_ckpt: Option<(u64, CheckpointTuple)>,
+    /// A checkpoint cut whose serialization is still being chunked
+    /// across [`TIMER_CHECKPOINT_STEP`] events.
+    active_ckpt: Option<ActiveCkpt>,
     ckpt_seq: u64,
+    /// Presize hint for the next checkpoint buffer (last blob + 12.5%).
+    ckpt_capacity: usize,
+    /// Measured wall window of the last checkpoint (cut to final
+    /// chunk). Bounds the checkpoint duty cycle: the next checkpoint is
+    /// scheduled at least [`CKPT_DUTY_FACTOR`] × this far out, so a
+    /// large service state cannot keep the node inside a serialization
+    /// window — and replicas whose windows would otherwise align drift
+    /// apart instead of stalling every ring at once.
+    ckpt_cost: Duration,
     /// Trim rounds for rings this node coordinates.
     trims: BTreeMap<RingId, TrimRound>,
     trim_seq: u64,
@@ -382,7 +460,10 @@ impl MultiRingHost {
             ckpt_store,
             advertised: None,
             pending_ckpt: None,
+            active_ckpt: None,
             ckpt_seq: 0,
+            ckpt_capacity: 0,
+            ckpt_cost: Duration::ZERO,
             trims: BTreeMap::new(),
             trim_seq: 0,
             recovery: RecoveryPhase::Idle,
@@ -616,7 +697,10 @@ impl MultiRingHost {
 
     fn take_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
         let Some(learner) = &self.learner else { return };
-        if self.pending_ckpt.is_some() || self.recovery.is_recovering() {
+        if self.pending_ckpt.is_some()
+            || self.active_ckpt.is_some()
+            || self.recovery.is_recovering()
+        {
             return; // one at a time; never checkpoint mid-recovery
         }
         let tuple = learner.checkpoint_tuple();
@@ -624,40 +708,104 @@ impl MultiRingHost {
             return; // nothing new to checkpoint
         }
         let (merge_turn, merge_credits) = learner.scheduler_state();
-        // Under the sharded engine this snapshot is the rendezvous the
+        // Snapshot each ring's dedup window at the *merge's* cut for
+        // that ring: the ring learner may have emitted deliveries the
+        // merge has not consumed yet, and those must not poison a
+        // restored replica's duplicate suppression (they will be
+        // re-delivered during catch-up).
+        let dedup: Vec<(RingId, Vec<ValueId>)> = self
+            .rings
+            .iter()
+            .map(|(r, n)| {
+                let cut = tuple.get(*r).unwrap_or_else(|| n.next_delivery());
+                (*r, n.dedup_snapshot(cut))
+            })
+            .collect();
+        // Take the cut *now* — a cheap structural capture at the merge's
+        // delivery cursor — then serialize it chunk by chunk across
+        // timer events (layout per [`Snapshot`]: meta first, then the
+        // service state as the trailing rest). Presized from the
+        // previous checkpoint so a large store does not churn through
+        // doubling reallocations on the delivery thread.
+        //
+        // Under the sharded engine the snapshot is the rendezvous the
         // batch-boundary flush deliberately is not: every shard drains
         // the ops dispatched before this instant, so the cut is exactly
         // the merge's delivery cursor.
-        let app_state = self.exec.snapshot();
-        let snapshot = Snapshot {
-            app: app_state,
-            // Snapshot each ring's dedup window at the *merge's* cut for
-            // that ring: the ring learner may have emitted deliveries the
-            // merge has not consumed yet, and those must not poison a
-            // restored replica's duplicate suppression (they will be
-            // re-delivered during catch-up).
-            dedup: self
-                .rings
-                .iter()
-                .map(|(r, n)| {
-                    let cut = tuple.get(*r).unwrap_or_else(|| n.next_delivery());
-                    (*r, n.dedup_snapshot(cut))
-                })
-                .collect(),
-            merge_turn,
-            merge_credits,
+        let t0 = std::time::Instant::now();
+        let mut buf = BytesMut::with_capacity(self.ckpt_capacity.max(1024));
+        encode_snapshot_meta(&mut buf, &dedup, merge_turn, &merge_credits);
+        let cut = self.exec.snapshot_cut();
+        self.active_ckpt = Some(ActiveCkpt {
+            tuple,
+            buf,
+            cut,
+            started: t0,
+        });
+        // First chunk runs synchronously: small states (and the
+        // deterministic simulator) complete the whole checkpoint inside
+        // this event; only large states spill onto step timers.
+        self.step_checkpoint(ctx);
+    }
+
+    /// Serializes one [`CKPT_CHUNK_BYTES`] chunk of the active
+    /// checkpoint cut; reschedules itself until the cut is drained, then
+    /// hands the finished blob to the checkpoint store.
+    fn step_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(mut active) = self.active_ckpt.take() else {
+            return;
         };
-        let state = snapshot.to_bytes();
+        if self.recovery.is_recovering() {
+            return; // recovery reset the merge; abandon the stale cut
+        }
+        let more = active.cut.write_chunk(&mut active.buf, CKPT_CHUNK_BYTES);
+        if more {
+            self.active_ckpt = Some(active);
+            ctx.schedule(CKPT_STEP_DELAY, Timer::of_kind(TIMER_CHECKPOINT_STEP));
+            return;
+        }
+        let state = active.buf.freeze();
+        // Real wall from cut to final chunk, deliberately: contention
+        // (other replicas' windows, client load) inflating the window is
+        // exactly the signal to back off and de-align.
+        self.ckpt_cost = active.started.elapsed();
+        self.hobs.ckpt_bytes.set(state.len() as i64);
+        self.hobs
+            .ckpt_window_us
+            .set(self.ckpt_cost.as_micros() as i64);
+        self.ckpt_capacity = state.len() + state.len() / 8;
         let now = ctx.now();
-        let receipt = self.ckpt_store.save(tuple.clone(), state, now);
+        let receipt = self.ckpt_store.save(active.tuple.clone(), state, now);
         self.ckpt_seq += 1;
-        self.pending_ckpt = Some((self.ckpt_seq, tuple));
+        self.pending_ckpt = Some((self.ckpt_seq, active.tuple));
         // Synchronous write: the checkpoint is advertised (and counted by
         // the trim protocol) only once the write completes.
         ctx.schedule_at(
             receipt.ack_at,
             Timer::with(TIMER_CHECKPOINT_DONE, self.ckpt_seq),
         );
+    }
+
+    /// First-checkpoint delay: the configured interval plus a
+    /// deterministic per-node phase offset (0–75% of the interval).
+    /// Replicas of a partition start together and share a cadence;
+    /// without the offset they all serialize their state at the same
+    /// instant, stalling every ring at once. The offset only shifts the
+    /// *phase* — steady-state cadence is unchanged.
+    fn ckpt_phase(&self, interval: Duration) -> Duration {
+        interval + interval * (self.me.raw() % 4) / 4
+    }
+
+    /// Steady-state cadence spread: pushes the next checkpoint out by a
+    /// deterministic 0–87.5% of `base`, keyed on node id *and*
+    /// checkpoint sequence. The initial phase offsets de-align the first
+    /// round, but identical configured cadences would let the windows
+    /// re-converge a few rounds later; varying the slot each round keeps
+    /// replicas' serialization windows drifting apart instead. Purely
+    /// arithmetic, so the deterministic simulator stays deterministic.
+    fn ckpt_spread(&self, base: Duration) -> Duration {
+        let slot = (u64::from(self.me.raw()) * 5 + self.ckpt_seq * 3) % 8;
+        base + base * (slot as u32) / 8
     }
 
     fn install_snapshot(&mut self, tuple: &CheckpointTuple, state: &Bytes) {
@@ -1056,7 +1204,7 @@ impl Process for MultiRingHost {
             self.drain_ring(ring, ctx);
         }
         if let Some(interval) = self.opts.checkpoint_interval {
-            ctx.schedule(interval, Timer::of_kind(TIMER_CHECKPOINT));
+            ctx.schedule(self.ckpt_phase(interval), Timer::of_kind(TIMER_CHECKPOINT));
         }
         if let Some(interval) = self.opts.trim_interval {
             for ring in self.rings.keys() {
@@ -1184,8 +1332,16 @@ impl Process for MultiRingHost {
             TIMER_CHECKPOINT => {
                 self.take_checkpoint(ctx);
                 if let Some(interval) = self.opts.checkpoint_interval {
-                    ctx.schedule(interval, Timer::of_kind(TIMER_CHECKPOINT));
+                    // Duty-cycle bound: a checkpoint whose serialization
+                    // window ran long pushes the next one proportionally
+                    // out, and the per-round spread keeps the replicas'
+                    // windows from re-aligning.
+                    let delay = interval.max(self.ckpt_cost * CKPT_DUTY_FACTOR);
+                    ctx.schedule(self.ckpt_spread(delay), Timer::of_kind(TIMER_CHECKPOINT));
                 }
+            }
+            TIMER_CHECKPOINT_STEP => {
+                self.step_checkpoint(ctx);
             }
             TIMER_CHECKPOINT_DONE => {
                 if let Some((seq, tuple)) = self.pending_ckpt.take() {
@@ -1273,6 +1429,7 @@ impl Process for MultiRingHost {
             .map(|l| MergeLearner::new(&l.rings(), l.m()));
         self.advertised = None;
         self.pending_ckpt = None;
+        self.active_ckpt = None;
         self.trims.clear();
         self.recovery = RecoveryPhase::Idle;
         self.restart_recovery = false;
@@ -1306,7 +1463,7 @@ impl Process for MultiRingHost {
         }
         self.begin_recovery(ctx);
         if let Some(interval) = self.opts.checkpoint_interval {
-            ctx.schedule(interval, Timer::of_kind(TIMER_CHECKPOINT));
+            ctx.schedule(self.ckpt_phase(interval), Timer::of_kind(TIMER_CHECKPOINT));
         }
         if let Some(interval) = self.opts.trim_interval {
             for ring in self.rings.keys() {

@@ -29,7 +29,7 @@ pub mod merge;
 pub mod recovery;
 pub mod session;
 
-pub use app::{EchoApp, ServiceApp};
+pub use app::{ChainCut, EagerCut, EchoApp, ServiceApp, SnapshotCut};
 pub use client::{ClientStats, ClosedLoopClient, CommandGen, SharedClientStats};
 pub use exec::{EchoShardPlan, ReplySink, Route, ShardPlan, ShardedExec};
 pub use host::{HostOptions, MultiRingHost};

@@ -16,7 +16,7 @@
 //!
 //! ## One table, two execution engines
 //!
-//! The session bookkeeping itself is factored into [`SessionTable`]: a
+//! The session bookkeeping itself is factored into `SessionTable`: a
 //! pure, ordered admission core that decides — in delivery order — what
 //! each envelope *is* (fresh execution, cached retry, stale, refused)
 //! without executing anything. [`SessionApp`] drives it inline (the
@@ -65,7 +65,7 @@ use common::ids::RingId;
 use common::value::{Envelope, NO_SESSION, SESSION_CTL};
 use common::wire::{get_bytes, get_tag, get_varint, put_bytes, put_varint, Wire};
 
-use crate::app::ServiceApp;
+use crate::app::{ChainCut, ServiceApp, SnapshotCut};
 
 /// First byte of every sessioned reply payload: the request executed and
 /// the rest of the payload is the service's response.
@@ -593,23 +593,39 @@ impl ServiceApp for SessionApp {
 
     fn snapshot(&self) -> Bytes {
         let mut buf = BytesMut::new();
-        self.table.encode(&mut buf);
-        put_bytes(&mut buf, &self.inner.snapshot());
+        self.snapshot_into(&mut buf);
         buf.freeze()
+    }
+
+    fn snapshot_into(&self, buf: &mut BytesMut) {
+        // Layout: session-table image, then the inner service state as
+        // the trailing rest of the buffer — no length prefix, so the
+        // inner app streams straight into the caller's buffer instead of
+        // materializing an intermediate copy. ShardedExec mirrors this
+        // layout byte for byte.
+        self.table.encode(buf);
+        self.inner.snapshot_into(buf);
+    }
+
+    fn snapshot_cut(&self) -> Box<dyn SnapshotCut> {
+        // The table image is small and serialized eagerly at the cut;
+        // the bulk (the inner service) keeps chunking through its own
+        // cut.
+        let mut head = BytesMut::new();
+        self.table.encode(&mut head);
+        Box::new(ChainCut::new(head.freeze(), self.inner.snapshot_cut()))
     }
 
     fn restore(&mut self, state: &Bytes) {
         let mut raw = state.clone();
-        // All-or-nothing: a corrupt snapshot keeps the current state
-        // (the caller retries with a different checkpoint).
+        // All-or-nothing on the table image: a corrupt snapshot keeps
+        // the current state (the caller retries with a different
+        // checkpoint). The remainder is the inner service state.
         let Ok(image) = SessionTable::decode_image(&mut raw) else {
             return;
         };
-        let Ok(inner) = get_bytes(&mut raw) else {
-            return;
-        };
         self.table.install(image);
-        self.inner.restore(&inner);
+        self.inner.restore(&raw);
     }
 
     fn reset(&mut self) {

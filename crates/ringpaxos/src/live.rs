@@ -10,7 +10,7 @@
 //!
 //! Each node runs an event loop: it waits for messages or the next timer
 //! deadline, feeds them to its [`RingNode`], and routes the emitted sends
-//! to peer queues / sockets. Virtual [`SimTime`] is mapped from a shared
+//! to peer queues / sockets. Virtual `SimTime` is mapped from a shared
 //! wall-clock epoch, so the protocol code is identical to the simulated
 //! world. Decided values can optionally be appended to a real write-ahead
 //! log ([`storage::wal::Wal`]).

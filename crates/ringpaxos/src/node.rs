@@ -43,6 +43,7 @@ use std::time::Duration;
 use common::error::{Error, Result};
 use common::ids::{Ballot, InstanceId, NodeId, RingId};
 use common::msg::{AcceptedEntry, RingMsg};
+use common::obs::Counter;
 use common::time::SimTime;
 use common::value::{Value, ValueId, ValueKind};
 use coord::Registry;
@@ -174,6 +175,15 @@ pub struct RingNode {
     // ---- liveness ----
     last_from_pred: SimTime,
 
+    // ---- dissemination telemetry ----
+    /// Id-only decisions whose value was already resident (learned cache
+    /// or acceptor log) when the decision arrived.
+    prefetch_hits: Counter,
+    /// Id-only decisions that had to fall back to the `ValueRequest` pull.
+    pull_misses: Counter,
+    /// Eager `ValuePush` fan-outs sent by this proposer.
+    value_pushes: Counter,
+
     // ---- batching ----
     batch: Vec<RingMsg>,
     batch_bytes: usize,
@@ -193,6 +203,9 @@ impl RingNode {
             return Err(Error::Config(format!("{me} is not a member of {ring}")));
         }
         let coordinating = cfg.coordinator() == me;
+        let prefetch_hits = opts.obs.counter("value_prefetch_hits");
+        let pull_misses = opts.obs.counter("value_pull_misses");
+        let value_pushes = opts.obs.counter("value_pushes_sent");
         Ok(RingNode {
             me,
             ring,
@@ -224,6 +237,9 @@ impl RingNode {
             unacked: BTreeMap::new(),
             value_seq: 0,
             last_from_pred: SimTime::ZERO,
+            prefetch_hits,
+            pull_misses,
+            value_pushes,
             batch: Vec::new(),
             batch_bytes: 0,
             batch_timer_armed: false,
@@ -431,10 +447,45 @@ impl RingNode {
         }
         if self.coordinating {
             self.enqueue_proposal(value, now, out);
+        } else if self.should_push(&value) {
+            // Eager dissemination: fan the payload out point-to-point to
+            // every member concurrently instead of circulating it hop by
+            // hop toward the coordinator. The push to the coordinator *is*
+            // the proposal (it enqueues deliverable pushed values); the
+            // pushes to everyone else pre-populate their learned caches so
+            // the id-only decision finds the value resident. Lost pushes
+            // are healed by the ordinary proposal-retry slow path.
+            self.value_pushes.inc();
+            let members: Vec<NodeId> = self
+                .cfg
+                .members()
+                .iter()
+                .copied()
+                .filter(|m| *m != self.me)
+                .collect();
+            for member in members {
+                out.sends.push((
+                    member,
+                    RingMsg::ValuePush {
+                        value: value.clone(),
+                    },
+                ));
+            }
         } else {
             let ttl = self.cfg.initial_ttl();
             self.send_ring(RingMsg::Proposal { value, ttl }, now, out);
         }
+    }
+
+    /// Whether `value` is large enough for eager point-to-point
+    /// dissemination (and eligible: only deliverable app payloads).
+    fn should_push(&self, value: &Value) -> bool {
+        self.opts.value_push_bytes > 0
+            && value.is_deliverable()
+            && value
+                .payload()
+                .map(|b| b.len() >= self.opts.value_push_bytes)
+                .unwrap_or(false)
     }
 
     /// Allocates a fresh value id owned by this node.
@@ -925,6 +976,29 @@ impl RingNode {
                     self.on_msg_inner(sender, m, now, out);
                 }
             }
+            RingMsg::ValuePush { value } => self.on_value_push(value, now, out),
+        }
+    }
+
+    /// An eagerly disseminated value from a proposer: cache it so the
+    /// id-only decision resolves locally, resolve any decision already
+    /// waiting on it, and — if this node coordinates — treat it as the
+    /// proposal it replaces.
+    fn on_value_push(&mut self, value: Value, now: SimTime, out: &mut Output) {
+        self.remember_learned(&value);
+        // A decision may have raced ahead of the push (it travels the
+        // batched ring path): resolve any instance blocked on this id.
+        let ready: Vec<InstanceId> = self
+            .pending_values
+            .iter()
+            .filter(|(_, p)| p.id == value.id)
+            .map(|(inst, _)| *inst)
+            .collect();
+        for inst in ready {
+            self.handle_decide(inst, value.clone(), now, out);
+        }
+        if self.coordinating && value.is_deliverable() {
+            self.enqueue_proposal(value, now, out);
         }
     }
 
@@ -946,12 +1020,18 @@ impl RingNode {
             .map(|v| matches!(v.kind, ValueKind::Skip(_)))
             .unwrap_or(false);
         match resolved {
-            Some(value) => self.handle_decide(inst, value, now, out),
+            Some(value) => {
+                if value.is_deliverable() {
+                    self.prefetch_hits.inc();
+                }
+                self.handle_decide(inst, value, now, out)
+            }
             None => {
                 let unknown = inst >= self.next_delivery
                     && !self.decision_buffer.contains_key(&inst)
                     && !self.pending_values.contains_key(&inst);
                 if unknown {
+                    self.pull_misses.inc();
                     self.pending_values.insert(
                         inst,
                         PendingValue {
@@ -1265,13 +1345,25 @@ impl RingNode {
         }
     }
 
+    /// How long a proposer waits before re-sending `value`: the base
+    /// retry, scaled up with payload size. A multi-KiB value legitimately
+    /// takes longer to batch, circulate and fsync than a small one; a
+    /// fixed deadline re-injects the largest payloads exactly when the
+    /// ring is busiest, turning a slow decision into a retry storm.
+    fn retry_deadline(&self, value: &Value) -> Duration {
+        const SIZE_UNIT: usize = 32 * 1024;
+        let payload = value.payload().map(|b| b.len()).unwrap_or(0);
+        let scale = (1 + payload / SIZE_UNIT).min(8) as u32;
+        self.opts.proposal_retry * scale
+    }
+
     fn on_proposal_retry(&mut self, now: SimTime, out: &mut Output) {
         out.timers
             .push((self.opts.proposal_retry, RingTimer::ProposalRetry));
         let stale: Vec<Value> = self
             .unacked
             .iter()
-            .filter(|(_, (_, sent))| now.since(*sent) >= self.opts.proposal_retry)
+            .filter(|(_, (v, sent))| now.since(*sent) >= self.retry_deadline(v))
             .map(|(_, (v, _))| v.clone())
             .collect();
         for value in stale {
@@ -1563,6 +1655,82 @@ mod tests {
             assert_eq!(h.delivered[n].len(), 1, "node {n}");
             assert_eq!(h.delivered[n][0].1, v);
         }
+    }
+
+    #[test]
+    fn large_values_disseminate_via_push() {
+        let mut o = opts();
+        o.value_push_bytes = 16;
+        let obs = o.obs.clone();
+        let (mut h, _) = Harness::new(4, o);
+        h.start();
+        let v = h.app_value(3, b"a payload large enough to cross the push threshold");
+        h.propose(3, v.clone());
+        for n in 0..4 {
+            assert_eq!(h.delivered[n].len(), 1, "node {n}");
+            assert_eq!(h.delivered[n][0].1, v);
+        }
+        // The payload fanned out point-to-point to the 3 other members
+        // instead of circulating inside a Proposal.
+        assert_eq!(h.wire.value_push_msgs, 3);
+        assert_eq!(obs.counter("value_pushes_sent").get(), 1);
+        // Every id-only decision found the value already resident.
+        assert_eq!(h.wire.value_requests, 0);
+        assert!(obs.counter("value_prefetch_hits").get() >= 1);
+        assert_eq!(obs.counter("value_pull_misses").get(), 0);
+    }
+
+    #[test]
+    fn small_values_skip_the_push_path() {
+        let mut o = opts();
+        o.value_push_bytes = 1024;
+        let (mut h, _) = Harness::new(4, o);
+        h.start();
+        let v = h.app_value(3, b"small");
+        h.propose(3, v.clone());
+        for n in 0..4 {
+            assert_eq!(h.delivered[n].len(), 1, "node {n}");
+        }
+        assert_eq!(h.wire.value_push_msgs, 0);
+    }
+
+    #[test]
+    fn push_resolves_a_decision_that_raced_ahead() {
+        let mut o = opts();
+        o.value_push_bytes = 8;
+        let (mut h, _) = Harness::new(3, o);
+        h.start();
+        let v = h.app_value(0, b"raced-payload");
+        // Node 2 sees the id-only decision before it ever learned the
+        // value: the pull path arms.
+        let mut out = Output::new();
+        h.nodes[2].on_msg(
+            NodeId::new(1),
+            RingMsg::Decision {
+                inst: InstanceId::ZERO,
+                ballot: Ballot::new(1, NodeId::new(0)),
+                id: v.id,
+                ttl: 0,
+            },
+            h.now,
+            &mut out,
+        );
+        assert!(out.decided.is_empty());
+        assert!(out
+            .sends
+            .iter()
+            .any(|(_, m)| matches!(m, RingMsg::ValueRequest { .. })));
+        // The proposer's eager push lands: the blocked instance delivers
+        // without waiting for the resend.
+        let mut out = Output::new();
+        h.nodes[2].on_msg(
+            NodeId::new(0),
+            RingMsg::ValuePush { value: v.clone() },
+            h.now,
+            &mut out,
+        );
+        assert_eq!(out.decided.len(), 1);
+        assert_eq!(out.decided[0].1, v);
     }
 
     #[test]

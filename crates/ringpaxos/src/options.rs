@@ -96,6 +96,14 @@ pub struct RingOptions {
     /// blocked on the lowest missing instance, so pulling the first few
     /// is all that helps anyway.
     pub value_pull_budget: usize,
+    /// Payload size (bytes) at or above which a non-coordinating proposer
+    /// disseminates the value to every other ring member with
+    /// [`common::msg::RingMsg::ValuePush`] *instead of* circulating a
+    /// payload-carrying `Proposal` toward the coordinator. The pushes fan
+    /// out point-to-point concurrently with ordering, so by decision time
+    /// the value is already resident everywhere and the `ValueRequest`
+    /// pull stays the slow path. `0` disables eager dissemination.
+    pub value_push_bytes: usize,
     /// The node's observability registry. Rings and the hosts built on
     /// them record into it; the default is a fresh private registry, so
     /// nothing is shared until a deployment installs the per-node one.
@@ -115,6 +123,7 @@ impl Default for RingOptions {
             dedup_window: 64 * 1024,
             value_cache_window: 8 * 1024,
             value_pull_budget: 8,
+            value_push_bytes: 16 * 1024,
             obs: Obs::default(),
         }
     }

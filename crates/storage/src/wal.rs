@@ -394,7 +394,7 @@ impl Wire for PosRecord {
 /// — bounding *disk*, where checkpoints alone only bound replay.
 ///
 /// Each segment is an ordinary [`Wal`] (same framing, same `.lock`
-/// writer guard) whose frames carry a position prefix ([`PosRecord`]),
+/// writer guard) whose frames carry a position prefix (`PosRecord`),
 /// so safety of a prune never depends on in-memory bookkeeping: the
 /// candidate segment is re-read and dropped only if every record in it
 /// is below the cursor.
