@@ -41,7 +41,24 @@
 //! perf-regression gate. The 64 B row is the execution-dominated one
 //! the sharded executor (`--executor-shards N`) is meant to move; 1 KiB
 //! is wire-dominated; 8 KiB exercises the large-value path (byte-aware
-//! batch sealing + concurrent value dissemination).
+//! batch sealing + concurrent value dissemination). The gate also
+//! covers the mixed sweep's single-partition-routing rows (at 1.5x the
+//! tolerance — they run at the tail of the sweep and swing more).
+//!
+//! `--genuineness` runs a single-partition-only workload (every key
+//! pinned to partition 0) against a `--partitions N` deployment and
+//! then scrapes each node's per-ring wire counters: a ring the
+//! workload never addressed must show zero delivered commands and zero
+//! application payload bytes (Phase 2 or decision), and its metadata
+//! traffic (idle-ring skip tokens) must stay under 5% of the addressed
+//! ring's ordering bytes. This is the CI guard for genuine multicast —
+//! a command is ordered only by the partitions it addresses.
+//!
+//! Full runs additionally sweep a mixed single-/multi-partition
+//! workload (1 in 16 operations is a global-ring fanout scan) across
+//! 1, 2 and 4 partitions, recording per-ring delivery and decision
+//! counts so the results file documents where the ordering work
+//! actually ran.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -66,9 +83,13 @@ const STAGES: &[&str] = &[
 struct Outcome {
     payload_bytes: usize,
     executor_shards: u32,
+    /// Single-partition operations completed.
     completed: u64,
+    /// Multi-partition (global-ring fanout) operations completed.
+    multi_completed: u64,
     elapsed: Duration,
     latency: Histogram,
+    multi_latency: Histogram,
     /// Post-sweep metrics snapshot per node, via the stats plane.
     nodes: Vec<ObsSnapshot>,
 }
@@ -78,9 +99,72 @@ fn wire_total(nodes: &[ObsSnapshot], name: &str) -> u64 {
     nodes.iter().filter_map(|s| s.counter(name)).sum()
 }
 
+/// Splits a per-ring metric name (`ring3_decision_msgs`) into the ring
+/// id and the un-prefixed metric name.
+fn ring_metric(name: &str) -> Option<(u32, &str)> {
+    let rest = name.strip_prefix("ring")?;
+    let (id, metric) = rest.split_once('_')?;
+    Some((id.parse().ok()?, metric))
+}
+
+/// Per-ring counter totals summed over every node's snapshot:
+/// `ring -> metric -> value`.
+fn ring_totals(
+    nodes: &[ObsSnapshot],
+) -> std::collections::BTreeMap<u32, std::collections::BTreeMap<String, u64>> {
+    let mut out: std::collections::BTreeMap<u32, std::collections::BTreeMap<String, u64>> =
+        std::collections::BTreeMap::new();
+    for snap in nodes {
+        for (name, v) in &snap.counters {
+            if let Some((ring, metric)) = ring_metric(name) {
+                *out.entry(ring)
+                    .or_default()
+                    .entry(metric.to_string())
+                    .or_insert(0) += v;
+            }
+        }
+    }
+    out
+}
+
 impl Outcome {
     fn throughput(&self) -> f64 {
         self.completed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn multi_throughput(&self) -> f64 {
+        self.multi_completed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Per-ring ordering/delivery attribution summed over nodes — the
+    /// evidence that the routing layer put the work where the commands
+    /// were addressed.
+    fn rings_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (ring, metrics)) in ring_totals(&self.nodes).iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let get = |name: &str| metrics.get(name).copied().unwrap_or(0);
+            out.push_str(&format!(
+                concat!(
+                    "{{\"ring\": {}, \"delivered_cmds\": {}, \"merge_skips\": {}, ",
+                    "\"decision_msgs\": {}, \"decision_wire_bytes\": {}, ",
+                    "\"decision_payload_bytes\": {}, \"phase2_msgs\": {}, ",
+                    "\"phase2_payload_bytes\": {}}}"
+                ),
+                ring,
+                get("delivered_cmds"),
+                get("merge_skips"),
+                get("decision_msgs"),
+                get("decision_wire_bytes"),
+                get("decision_payload_bytes"),
+                get("phase2_msgs"),
+                get("phase2_payload_bytes"),
+            ));
+        }
+        out.push(']');
+        out
     }
 
     fn wire(&self) -> WireStats {
@@ -253,20 +337,46 @@ fn baseline_throughput(text: &str, payload_bytes: usize) -> Option<f64> {
     number.parse().ok()
 }
 
+/// Like [`baseline_throughput`], but for the mixed sweep's
+/// single-partition-routing rows: finds the object whose
+/// `mixed_partitions` equals `partitions` and reads its `single_ops_s`.
+fn baseline_mixed_throughput(text: &str, partitions: u16) -> Option<f64> {
+    let needle = partitions.to_string();
+    let obj = text.split("\"mixed_partitions\"").find(|chunk| {
+        let rest = chunk.trim_start().trim_start_matches(':').trim_start();
+        rest.starts_with(&needle) && !rest[needle.len()..].starts_with(|c: char| c.is_ascii_digit())
+    })?;
+    let after = obj.split("\"single_ops_s\":").nth(1)?;
+    let number: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    number.parse().ok()
+}
+
 /// One pipelined client: keeps `window` requests outstanding, measures
 /// end-to-end latency per completion. Pipelining (rather than strict
 /// closed-loop) is what lets the proposer-side batcher actually see
 /// concurrent commands to pack.
+///
+/// `pin_partition` restricts the key stream to keys hashing to that
+/// partition (the genuineness workload: one addressed ring, everything
+/// else idle). `multi_every > 0` turns every such-numbered round into a
+/// global-ring fanout scan awaiting all partitions — the paper's
+/// multi-partition command — tallied separately.
 fn worker_loop(
     config: &DeploymentConfig,
     w: u32,
     window: usize,
     payload: Bytes,
+    pin_partition: Option<u16>,
+    multi_every: u64,
     stop: &AtomicBool,
-) -> (u64, Histogram) {
-    use common::ids::RingId;
+) -> (u64, u64, Histogram, Histogram) {
+    use common::ids::{PartitionId, RingId};
     use common::wire::Wire;
-    use mrpstore::{KvCommand, Partitioning};
+    use mrpstore::KvCommand;
     use std::collections::HashMap;
 
     let mut store = StoreClient::connect(
@@ -280,14 +390,19 @@ fn worker_loop(
         },
     )
     .expect("client connects");
-    let scheme = match config.service {
-        liverun::ServiceKind::MrpStore { partitions } => Partitioning::Hash { partitions },
+    let scheme = store.scheme().clone();
+    let partitions = match config.service {
+        liverun::ServiceKind::MrpStore { partitions } => partitions,
         _ => unreachable!("probe generates mrpstore deployments"),
     };
+    let all: Vec<PartitionId> = (0..partitions).map(PartitionId::new).collect();
+    let global = config.global_ring();
     let client = store.raw();
 
     let mut hist = Histogram::new();
+    let mut multi_hist = Histogram::new();
     let mut completed = 0u64;
+    let mut multi_completed = 0u64;
     let mut round = 0u64;
     let mut outstanding: HashMap<u64, Instant> = HashMap::new();
     loop {
@@ -297,7 +412,31 @@ fn worker_loop(
         }
         while !draining && outstanding.len() < window {
             round += 1;
-            let key = format!("w{w}-{}", round % 512);
+            if multi_every > 0 && round.is_multiple_of(multi_every) {
+                // A multi-partition command: an (empty-range) scan
+                // multicast to every partition through the global ring,
+                // completing only after all partitions answered. Runs
+                // the full ordering + merge + barrier path; the empty
+                // range keeps execution cost out of the measurement.
+                let cmd = KvCommand::Scan {
+                    from: "zz".to_string(),
+                    to: "zz~".to_string(),
+                };
+                let at = Instant::now();
+                client
+                    .request_fanout(global, cmd.to_bytes(), &all)
+                    .expect("fanout scan");
+                multi_hist.record_duration(at.elapsed());
+                multi_completed += 1;
+                continue;
+            }
+            let key = loop {
+                let key = format!("w{w}-{}", round % 512);
+                match pin_partition {
+                    Some(p) if scheme.partition_of(&key).raw() != p => round += 1,
+                    _ => break key,
+                }
+            };
             let cmd = KvCommand::Insert {
                 key: key.clone(),
                 value: payload.clone(),
@@ -318,7 +457,7 @@ fn worker_loop(
             None => {}
         }
     }
-    (completed, hist)
+    (completed, multi_completed, hist, multi_hist)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -332,6 +471,8 @@ fn run_scenario(
     duration: Duration,
     trace_sample: u64,
     executor_shards: u32,
+    pin_partition: Option<u16>,
+    multi_every: u64,
 ) -> Outcome {
     let text = generate_localhost_mrpstore(partitions, replicas, base_port, None);
     let mut config = DeploymentConfig::parse(&text).expect("generated config parses");
@@ -348,18 +489,30 @@ fn run_scenario(
         let stop = Arc::clone(&stop);
         let payload = payload.clone();
         workers.push(std::thread::spawn(move || {
-            worker_loop(&config, w, window, payload, &stop)
+            worker_loop(
+                &config,
+                w,
+                window,
+                payload,
+                pin_partition,
+                multi_every,
+                &stop,
+            )
         }));
     }
 
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
     let mut latency = Histogram::new();
+    let mut multi_latency = Histogram::new();
     let mut completed = 0;
+    let mut multi_completed = 0;
     for worker in workers {
-        let (n, h) = worker.join().expect("worker");
+        let (n, m, h, mh) = worker.join().expect("worker");
         completed += n;
+        multi_completed += m;
         latency.merge(&h);
+        multi_latency.merge(&mh);
     }
     let elapsed = started.elapsed();
     // Scrape every node's registry through the client protocol before
@@ -377,8 +530,10 @@ fn run_scenario(
         payload_bytes,
         executor_shards: executor_shards.max(1),
         completed,
+        multi_completed,
         elapsed,
         latency,
+        multi_latency,
         nodes,
     }
 }
@@ -428,6 +583,8 @@ fn main() {
                 duration,
                 0,
                 executor_shards,
+                None,
+                0,
             ));
             traced_runs.push(run_scenario(
                 1024,
@@ -439,6 +596,8 @@ fn main() {
                 duration,
                 sample,
                 executor_shards,
+                None,
+                0,
             ));
             let peak = |runs: &[Outcome]| {
                 runs.iter()
@@ -497,6 +656,110 @@ fn main() {
         return;
     }
 
+    if flag("--genuineness") {
+        // Genuine-multicast guard: run a workload whose every command
+        // addresses partition 0 only, then hold each node's per-ring
+        // counters to the paper's property — rings the workload never
+        // addressed ordered and delivered nothing. Idle subscribed
+        // rings still circulate skip tokens (the merge needs their
+        // credit), so metadata traffic is bounded relative to the
+        // addressed ring rather than required to be zero; application
+        // payload bytes and delivered commands ARE required to be zero.
+        let o = run_scenario(
+            1024,
+            partitions.max(2),
+            replicas,
+            base_port,
+            clients,
+            window,
+            duration,
+            0,
+            executor_shards,
+            Some(0),
+            0,
+        );
+        let addressed: u32 = 0;
+        let totals = ring_totals(&o.nodes);
+        let get = |ring: u32, name: &str| {
+            totals
+                .get(&ring)
+                .and_then(|m| m.get(name))
+                .copied()
+                .unwrap_or(0)
+        };
+        let ordering_bytes =
+            |ring: u32| get(ring, "decision_wire_bytes") + get(ring, "phase2_wire_bytes");
+        let mut failed = false;
+        let mut idle_bytes = 0u64;
+        for &ring in totals.keys() {
+            eprintln!(
+                "genuineness: ring {ring}: {} delivered, {} decision msgs, \
+                 {} phase2 payload B, {} decision payload B, {} ordering wire B",
+                get(ring, "delivered_cmds"),
+                get(ring, "decision_msgs"),
+                get(ring, "phase2_payload_bytes"),
+                get(ring, "decision_payload_bytes"),
+                ordering_bytes(ring),
+            );
+            if ring == addressed {
+                continue;
+            }
+            idle_bytes += ordering_bytes(ring);
+            for name in [
+                "delivered_cmds",
+                "phase2_payload_bytes",
+                "decision_payload_bytes",
+            ] {
+                if get(ring, name) != 0 {
+                    eprintln!("genuineness FAILED: non-addressed ring {ring} has {name} != 0");
+                    failed = true;
+                }
+            }
+        }
+        // Per-node zero checks (an aggregate could hide one dirty node).
+        for snap in &o.nodes {
+            for (name, v) in &snap.counters {
+                let Some((ring, metric)) = ring_metric(name) else {
+                    continue;
+                };
+                if ring == addressed || *v == 0 {
+                    continue;
+                }
+                if matches!(
+                    metric,
+                    "delivered_cmds" | "phase2_payload_bytes" | "decision_payload_bytes"
+                ) {
+                    eprintln!(
+                        "genuineness FAILED: node {} ring {ring} {metric} = {v}",
+                        snap.node
+                    );
+                    failed = true;
+                }
+            }
+        }
+        let budget = ordering_bytes(addressed) / 20; // idle metadata < 5%
+        eprintln!(
+            "genuineness: {} ops on partition 0; idle rings carried {idle_bytes} ordering B \
+             (budget {budget} = 5% of addressed ring)",
+            o.completed
+        );
+        if o.completed == 0 || get(addressed, "delivered_cmds") == 0 {
+            eprintln!("genuineness FAILED: workload did not run (0 completions or deliveries)");
+            failed = true;
+        }
+        if idle_bytes > budget {
+            eprintln!(
+                "genuineness FAILED: idle-ring metadata above 5% of addressed ordering bytes"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("genuineness OK: non-addressed rings ordered and delivered nothing");
+        return;
+    }
+
     let payload_sizes: &[usize] = if smoke { &[1024] } else { &[64, 1024, 8192] };
 
     let mut outcomes = Vec::new();
@@ -511,6 +774,8 @@ fn main() {
             duration,
             0,
             executor_shards,
+            None,
+            0,
         ));
     }
 
@@ -533,8 +798,39 @@ fn main() {
                 duration,
                 0,
                 executor_shards,
+                None,
+                0,
             ),
         ));
+    }
+
+    // Mixed single-/multi-partition sweep: the same 1 KiB workload with
+    // 1 in 16 operations a global-ring fanout, across growing partition
+    // counts. Single-partition commands ride their partition's own
+    // ring, so aggregate single-partition throughput should grow with
+    // partitions (modulo the host's core count) — the per-ring counters
+    // recorded alongside prove where the ordering ran.
+    let mixed_partitions: &[u16] = if smoke { &[] } else { &[1, 2, 4] };
+    let mut mixed = Vec::new();
+    let mut mixed_port = base_port + 600;
+    for &p in mixed_partitions {
+        mixed.push((
+            p,
+            run_scenario(
+                1024,
+                p,
+                replicas,
+                mixed_port,
+                clients,
+                window,
+                duration,
+                0,
+                executor_shards,
+                None,
+                16,
+            ),
+        ));
+        mixed_port += (p * replicas + 2) * 2;
     }
 
     let mut json = String::new();
@@ -549,21 +845,54 @@ fn main() {
         let sep = if i + 1 < outcomes.len() { "," } else { "" };
         json.push_str(&format!("    {}{sep}\n", o.json()));
     }
-    if window_sweep.is_empty() {
+    if window_sweep.is_empty() && mixed.is_empty() {
         json.push_str("  ]\n}\n");
     } else {
         json.push_str("  ],\n");
-        json.push_str("  \"window_sweep\": [\n");
-        for (i, (w, o)) in window_sweep.iter().enumerate() {
-            let sep = if i + 1 < window_sweep.len() { "," } else { "" };
-            json.push_str(&format!(
-                "    {{\"window\": {w}, \"result\": {}}}{sep}\n",
-                o.json()
-            ));
+        if !window_sweep.is_empty() {
+            json.push_str("  \"window_sweep\": [\n");
+            for (i, (w, o)) in window_sweep.iter().enumerate() {
+                let sep = if i + 1 < window_sweep.len() { "," } else { "" };
+                json.push_str(&format!(
+                    "    {{\"window\": {w}, \"result\": {}}}{sep}\n",
+                    o.json()
+                ));
+            }
+            json.push_str(if mixed.is_empty() { "  ]\n" } else { "  ],\n" });
         }
-        json.push_str("  ]\n}\n");
+        if !mixed.is_empty() {
+            json.push_str("  \"mixed_partition_sweep\": [\n");
+            for (i, (p, o)) in mixed.iter().enumerate() {
+                let sep = if i + 1 < mixed.len() { "," } else { "" };
+                json.push_str(&format!(
+                    concat!(
+                        "    {{\"mixed_partitions\": {}, \"single_ops_s\": {:.1}, ",
+                        "\"multi_ops_s\": {:.1}, \"multi_p50_us\": {:.1}, ",
+                        "\"rings\": {}, \"result\": {}}}{}\n"
+                    ),
+                    p,
+                    o.throughput(),
+                    o.multi_throughput(),
+                    o.multi_latency.quantile(0.50) as f64 / 1e3,
+                    o.rings_json(),
+                    o.json(),
+                    sep,
+                ));
+            }
+            json.push_str("  ]\n");
+        }
+        json.push_str("}\n");
     }
     print!("{json}");
+
+    for (p, o) in &mixed {
+        eprintln!(
+            "mixed sweep: {p} partition(s): {:.1} single ops/s, {:.1} multi ops/s (p50 {:.1} us)",
+            o.throughput(),
+            o.multi_throughput(),
+            o.multi_latency.quantile(0.50) as f64 / 1e3,
+        );
+    }
 
     if let (Some((_, w1)), Some((wn, wide))) = (
         window_sweep.iter().find(|(w, _)| *w == 1),
@@ -655,6 +984,33 @@ fn main() {
             if fresh < floor {
                 eprintln!(
                     "regression gate FAILED: {name} throughput dropped {:.1}% below the baseline",
+                    (1.0 - fresh / baseline) * 100.0
+                );
+                failed = true;
+            }
+        }
+        // Single-partition-routing rows: the mixed sweep's per-partition
+        // single-command throughput must not regress either — this is
+        // the row partition-local routing is supposed to protect. These
+        // scenarios run at the tail of a long sweep on a warmed-up box
+        // and carry more run-to-run variance than the payload rows, so
+        // they get 1.5x the tolerance.
+        let mixed_tolerance = (tolerance * 1.5).min(0.95);
+        for (p, o) in &mixed {
+            let baseline = baseline_mixed_throughput(&text, *p).unwrap_or_else(|| {
+                panic!("baseline file has a mixed_partitions = {p} row with single_ops_s")
+            });
+            let fresh = o.throughput();
+            let floor = baseline * (1.0 - mixed_tolerance);
+            eprintln!(
+                "regression gate: mixed {p}p single-routing {fresh:.1} ops/s vs baseline \
+                 {baseline:.1} (floor {floor:.1}, tolerance {:.0}%)",
+                mixed_tolerance * 100.0
+            );
+            if fresh < floor {
+                eprintln!(
+                    "regression gate FAILED: mixed {p}-partition single-command throughput \
+                     dropped {:.1}% below the baseline",
                     (1.0 - fresh / baseline) * 100.0
                 );
                 failed = true;

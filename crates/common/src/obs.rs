@@ -535,16 +535,24 @@ pub struct WireCounters {
 impl WireCounters {
     /// Handles into `obs` for the wire counters.
     pub fn new(obs: &Obs) -> WireCounters {
+        Self::with_prefix(obs, "")
+    }
+
+    /// Handles with every counter name prefixed — per-ring wire
+    /// accounting registers one family per ring (`ring3_decision_msgs`,
+    /// ...), alongside the unprefixed node totals.
+    pub fn with_prefix(obs: &Obs, prefix: &str) -> WireCounters {
+        let named = |name: &str| obs.counter(&format!("{prefix}{name}"));
         WireCounters {
-            decision_msgs: obs.counter("decision_msgs"),
-            decision_wire_bytes: obs.counter("decision_wire_bytes"),
-            decision_payload_bytes: obs.counter("decision_payload_bytes"),
-            phase2_msgs: obs.counter("phase2_msgs"),
-            phase2_wire_bytes: obs.counter("phase2_wire_bytes"),
-            phase2_payload_bytes: obs.counter("phase2_payload_bytes"),
-            value_requests: obs.counter("value_requests"),
-            value_push_msgs: obs.counter("value_push_msgs"),
-            value_push_bytes: obs.counter("value_push_bytes"),
+            decision_msgs: named("decision_msgs"),
+            decision_wire_bytes: named("decision_wire_bytes"),
+            decision_payload_bytes: named("decision_payload_bytes"),
+            phase2_msgs: named("phase2_msgs"),
+            phase2_wire_bytes: named("phase2_wire_bytes"),
+            phase2_payload_bytes: named("phase2_payload_bytes"),
+            value_requests: named("value_requests"),
+            value_push_msgs: named("value_push_msgs"),
+            value_push_bytes: named("value_push_bytes"),
         }
     }
 

@@ -202,19 +202,64 @@ const STAGES: &[&str] = &[
     "seal", "propose", "p2send", "decide", "deliver", "execute", "reply",
 ];
 
+/// Splits a `ring{N}_`-prefixed metric name into `(ring, rest)`.
+fn ring_metric(name: &str) -> Option<(u16, &str)> {
+    let rest = name.strip_prefix("ring")?;
+    let (id, rest) = rest.split_once('_')?;
+    Some((id.parse().ok()?, rest))
+}
+
 fn format_stats_text(out: &mut String, snap: &ObsSnapshot) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "node {}", snap.node);
     if !snap.counters.is_empty() {
         let _ = writeln!(out, "  counters:");
         for (name, v) in &snap.counters {
-            let _ = writeln!(out, "    {name:<28} {v}");
+            if ring_metric(name).is_none() {
+                let _ = writeln!(out, "    {name:<28} {v}");
+            }
         }
     }
     if !snap.gauges.is_empty() {
         let _ = writeln!(out, "  gauges:");
         for (name, v) in &snap.gauges {
-            let _ = writeln!(out, "    {name:<28} {v}");
+            if ring_metric(name).is_none() {
+                let _ = writeln!(out, "    {name:<28} {v}");
+            }
+        }
+    }
+    // The per-ring breakdown: merge cost and wire traffic attributed to
+    // each ring this node touched. A genuinely-routed deployment shows
+    // zeros on rings the node's partition is not addressed by.
+    let mut rings: std::collections::BTreeMap<u16, std::collections::BTreeMap<&str, i64>> =
+        std::collections::BTreeMap::new();
+    for (name, v) in &snap.counters {
+        if let Some((ring, rest)) = ring_metric(name) {
+            rings.entry(ring).or_default().insert(rest, *v as i64);
+        }
+    }
+    for (name, v) in &snap.gauges {
+        if let Some((ring, rest)) = ring_metric(name) {
+            rings.entry(ring).or_default().insert(rest, *v);
+        }
+    }
+    if !rings.is_empty() {
+        let _ = writeln!(
+            out,
+            "  per-ring:\n    {:<6} {:>12} {:>10} {:>10} {:>14} {:>16}",
+            "ring", "delivered", "skips", "lag", "decision_msgs", "decision_payload"
+        );
+        for (ring, m) in &rings {
+            let g = |k: &str| m.get(k).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "    {ring:<6} {:>12} {:>10} {:>10} {:>14} {:>16}",
+                g("delivered_cmds"),
+                g("merge_skips"),
+                g("merge_lag"),
+                g("decision_msgs"),
+                g("decision_payload_bytes"),
+            );
         }
     }
     let staged: Vec<_> = STAGES

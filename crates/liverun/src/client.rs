@@ -86,9 +86,10 @@ pub(crate) enum Action {
     None,
     /// A completion is ready to take.
     Completed(u64),
-    /// The session is gone server-side (expired/evicted); re-open and
-    /// re-submit in-flight requests.
-    SessionLost,
+    /// The session homed on this ring is gone server-side
+    /// (expired/evicted); re-open it and re-submit its in-flight
+    /// requests. Sessions on other rings are unaffected.
+    SessionLost(RingId),
     /// Re-send `seq` to `to` now (server redirect).
     Resend(u64, NodeId),
     /// The server rejected `seq` outright; fail it.
@@ -124,9 +125,17 @@ pub(crate) struct Inflight {
 /// reply matching (with session echo filtering), out-of-order completion
 /// and cumulative-ack tracking. No sockets, no clocks beyond the
 /// instants the driver passes in — unit-testable in isolation.
+///
+/// Sessions are **per home ring**: each multicast group the client talks
+/// to gets its own replica-assigned session id, opened through that
+/// ring's own ordered stream — so a single-partition command never drags
+/// the global ring into its session bookkeeping. One global seq space
+/// spans every ring (the cumulative ack only ever covers finished seqs,
+/// so it stays safe to report to any of them).
 pub(crate) struct SessionCore {
-    /// The replica-assigned session id; 0 until the open completes.
-    pub session: u64,
+    /// Replica-assigned session ids by home ring; a ring is absent until
+    /// its open completes.
+    pub sessions: HashMap<RingId, u64>,
     /// Effective window (server grant, capped by the client's wish).
     pub window: usize,
     /// The client's wish (grants are clamped to it).
@@ -149,7 +158,7 @@ pub(crate) struct SessionCore {
 impl SessionCore {
     pub(crate) fn new(wanted_window: usize) -> Self {
         SessionCore {
-            session: 0,
+            sessions: HashMap::new(),
             window: wanted_window.max(1),
             wanted_window: wanted_window.max(1),
             next_seq: 1,
@@ -161,26 +170,20 @@ impl SessionCore {
         }
     }
 
-    /// Adopts a freshly opened session id. In-flight requests (submitted
-    /// against a lost session) **keep their sequence numbers** — callers
-    /// already hold them as correlation handles, so renumbering would
-    /// detach completions from the requests they answer. The new
-    /// session's ack floor starts just below the oldest in-flight seq
-    /// (the skipped-over prefix was never allocated in this session, so
-    /// the cumulative ack must not wait for it).
-    pub(crate) fn adopt_session(&mut self, session: u64) {
-        self.session = session;
-        self.acked = match self.inflight.keys().next() {
-            Some(first) => first - 1,
-            None => self.next_seq - 1,
-        };
-        // Seqs between surviving in-flight requests that already
-        // finished (completed or abandoned) stay marked done, or the
-        // cumulative ack would wait forever for seqs this session will
-        // never execute.
-        self.done_above_ack = (self.acked + 1..self.next_seq)
-            .filter(|s| !self.inflight.contains_key(s))
-            .collect();
+    /// The session id for requests targeting `group` (0 until opened).
+    pub(crate) fn session_for(&self, group: RingId) -> u64 {
+        self.sessions.get(&group).copied().unwrap_or(0)
+    }
+
+    /// Adopts a freshly opened session id for `group`. In-flight requests
+    /// (submitted against a lost session of that ring) **keep their
+    /// sequence numbers** — callers already hold them as correlation
+    /// handles, so renumbering would detach completions from the requests
+    /// they answer. The global ack accounting is untouched: every seq
+    /// that ever left the in-flight map was marked done when it did, so
+    /// the cumulative ack never waits for a seq no session will execute.
+    pub(crate) fn adopt_session(&mut self, group: RingId, session: u64) {
+        self.sessions.insert(group, session);
     }
 
     /// True when another request fits in the window.
@@ -254,20 +257,27 @@ impl SessionCore {
                 from_replica,
                 payload,
             } => {
-                if *session == SESSION_CTL || *session != self.session {
+                if *session == SESSION_CTL {
                     // Control replies are handled by the driver's open
-                    // path; anything from a different session is a
-                    // straggler of an earlier incarnation — the exact
-                    // mis-match the v1 wall-clock seq base papered over.
+                    // path.
                     return Action::None;
                 }
                 let raw = seq.raw();
+                let Some(group) = self.inflight.get(&raw).map(|r| r.group) else {
+                    return Action::None; // completed, abandoned, or foreign
+                };
+                if *session != self.session_for(group) {
+                    // A different session on this request's home ring is
+                    // a straggler of an earlier incarnation — the exact
+                    // mis-match the v1 wall-clock seq base papered over.
+                    return Action::None;
+                }
                 let Some((status, body)) = parse_reply(payload) else {
                     return Action::None;
                 };
                 match status {
                     ST_OK => self.on_ok(raw, *from_replica, body, replica_partitions),
-                    ST_UNKNOWN_SESSION if self.inflight.contains_key(&raw) => Action::SessionLost,
+                    ST_UNKNOWN_SESSION => Action::SessionLost(group),
                     ST_WINDOW_EXCEEDED | ST_STALE => Action::None,
                     _ => Action::None,
                 }
@@ -377,9 +387,6 @@ pub struct LiveClient {
     route: HashMap<RingId, Vec<NodeId>>,
     /// Partition each server replica belongs to (fan-out completion).
     replica_partitions: HashMap<NodeId, PartitionId>,
-    /// The group session control commands ride on — one every replica
-    /// subscribes to (the deployment's global ring).
-    session_group: RingId,
     core: SessionCore,
     /// Correlation tokens for session-control commands.
     next_token: u64,
@@ -388,9 +395,11 @@ pub struct LiveClient {
 
 impl LiveClient {
     /// Connects to every server, performs the v2 handshake on each, and
-    /// prepares (but does not yet open) the exactly-once session —
-    /// sessions open lazily on the first request, on `session_group`
-    /// (the ring every replica subscribes to).
+    /// prepares (but does not yet open) the exactly-once sessions —
+    /// a session opens lazily per multicast group, on the first request
+    /// targeting it, through that group's own ordered stream. A client
+    /// that only ever touches one partition therefore never opens (or
+    /// keeps alive) a session anywhere else.
     ///
     /// Connecting is best-effort per server: a deployment with one node
     /// down still has quorum, so the client comes up as long as *some*
@@ -404,7 +413,6 @@ impl LiveClient {
         servers: &[(NodeId, SocketAddr)],
         route: HashMap<RingId, Vec<NodeId>>,
         replica_partitions: HashMap<NodeId, PartitionId>,
-        session_group: RingId,
         opts: ClientOptions,
     ) -> Result<Self> {
         let (replies_tx, replies_rx) = unbounded();
@@ -419,7 +427,6 @@ impl LiveClient {
             replies_rx,
             route,
             replica_partitions,
-            session_group,
             core: SessionCore::new(window),
             next_token: 0,
             last_keepalive: Instant::now(),
@@ -446,9 +453,17 @@ impl LiveClient {
         self.id
     }
 
-    /// The open session's id (0 before the first request).
-    pub fn session(&self) -> u64 {
-        self.core.session
+    /// The open session id for `group` (0 before the first request
+    /// targeting that group).
+    pub fn session(&self, group: RingId) -> u64 {
+        self.core.session_for(group)
+    }
+
+    /// Every `(home ring, session id)` pair currently open.
+    pub fn sessions(&self) -> Vec<(RingId, u64)> {
+        let mut v: Vec<(RingId, u64)> = self.core.sessions.iter().map(|(r, s)| (*r, *s)).collect();
+        v.sort_unstable_by_key(|(r, _)| *r);
+        v
     }
 
     /// The session's effective pipeline window right now: the server's
@@ -459,11 +474,11 @@ impl LiveClient {
         self.core.window
     }
 
-    /// Diagnostics: `(session, in-flight count, lowest in-flight seq,
-    /// cumulative ack)`.
+    /// Diagnostics: `(open sessions, in-flight count, lowest in-flight
+    /// seq, cumulative ack)`.
     pub fn stats(&self) -> (u64, usize, Option<u64>, u64) {
         (
-            self.core.session,
+            self.core.sessions.len() as u64,
             self.core.inflight.len(),
             self.core.inflight.keys().next().copied(),
             self.core.acked,
@@ -572,7 +587,7 @@ impl LiveClient {
 
     fn request_frame(&self, seq: u64, group: RingId, cmd: Bytes) -> ClientMsg {
         ClientMsg::RequestV2 {
-            session: self.core.session,
+            session: self.core.session_for(group),
             seq: RequestId::new(seq),
             ack: self.core.acked,
             group,
@@ -580,10 +595,11 @@ impl LiveClient {
         }
     }
 
-    /// Ensures the exactly-once session is open, opening (or re-opening
-    /// after an expiry) it through the ordered stream if not.
-    fn ensure_session(&mut self, deadline: Instant) -> Result<()> {
-        if self.core.session != 0 {
+    /// Ensures the exactly-once session homed on `group` is open, opening
+    /// (or re-opening after an expiry) it through that ring's own ordered
+    /// stream if not. Other rings' sessions are untouched.
+    fn ensure_session(&mut self, group: RingId, deadline: Instant) -> Result<()> {
+        if self.core.session_for(group) != 0 {
             return Ok(());
         }
         self.next_token += 1;
@@ -597,11 +613,11 @@ impl LiveClient {
             session: SESSION_CTL,
             seq: RequestId::new(token),
             ack: 0,
-            group: self.session_group,
+            group,
             cmd: open,
         };
         let mut prefer = 0usize;
-        self.send_routed(self.session_group, prefer, &msg)?;
+        self.send_routed(group, prefer, &msg)?;
         let mut next_retry = Instant::now() + self.opts.retry_every;
         loop {
             let now = Instant::now();
@@ -610,7 +626,7 @@ impl LiveClient {
             }
             if now >= next_retry {
                 prefer += 1;
-                self.send_routed(self.session_group, prefer, &msg)?;
+                self.send_routed(group, prefer, &msg)?;
                 next_retry = now + self.opts.retry_every;
             }
             let wait = deadline
@@ -625,11 +641,18 @@ impl LiveClient {
                     ..
                 }) if seq.raw() == token => {
                     if let Some(id) = parse_open_reply(&payload) {
-                        self.core.adopt_session(id);
+                        self.core.adopt_session(group, id);
                         self.last_keepalive = Instant::now();
-                        // Re-send surviving in-flight requests under the
-                        // new session (failover re-open path).
-                        let seqs: Vec<u64> = self.core.inflight.keys().copied().collect();
+                        // Re-send this ring's surviving in-flight
+                        // requests under the new session (failover
+                        // re-open path).
+                        let seqs: Vec<u64> = self
+                            .core
+                            .inflight
+                            .iter()
+                            .filter(|(_, r)| r.group == group)
+                            .map(|(s, _)| *s)
+                            .collect();
                         for seq in seqs {
                             let _ = self.resend(seq);
                         }
@@ -707,13 +730,13 @@ impl LiveClient {
             let action = self.core.on_reply(&reply, &self.replica_partitions);
             match action {
                 Action::Resend(seq, to) => self.resend_to(seq, to),
-                Action::SessionLost => {
-                    // The session expired or was evicted: open a new
-                    // one; ensure_session re-sends the in-flight
-                    // requests (same seqs) under it.
-                    self.core.session = 0;
+                Action::SessionLost(group) => {
+                    // That ring's session expired or was evicted: open a
+                    // new one; ensure_session re-sends the ring's
+                    // in-flight requests (same seqs) under it.
+                    self.core.sessions.remove(&group);
                     let deadline = Instant::now() + self.opts.timeout;
-                    self.ensure_session(deadline)?;
+                    self.ensure_session(group, deadline)?;
                 }
                 Action::None | Action::Completed(_) | Action::Failed(..) => {}
             }
@@ -722,22 +745,28 @@ impl LiveClient {
         for seq in self.core.due_for_retry(now, self.opts.retry_every) {
             let _ = self.resend(seq);
         }
-        if self.core.session != 0
+        if !self.core.sessions.is_empty()
             && now.duration_since(self.last_keepalive) >= self.opts.session_ttl / 3
         {
             self.last_keepalive = now;
-            self.next_token += 1;
-            let msg = ClientMsg::RequestV2 {
-                session: SESSION_CTL,
-                seq: RequestId::new(self.next_token),
-                ack: 0,
-                group: self.session_group,
-                cmd: SessionCtl::KeepAlive {
-                    session: self.core.session,
-                }
-                .to_bytes(),
-            };
-            let _ = self.send_routed(self.session_group, 0, &msg);
+            let open: Vec<(RingId, u64)> = self
+                .core
+                .sessions
+                .iter()
+                .filter(|(_, s)| **s != 0)
+                .map(|(r, s)| (*r, *s))
+                .collect();
+            for (group, session) in open {
+                self.next_token += 1;
+                let msg = ClientMsg::RequestV2 {
+                    session: SESSION_CTL,
+                    seq: RequestId::new(self.next_token),
+                    ack: 0,
+                    group,
+                    cmd: SessionCtl::KeepAlive { session }.to_bytes(),
+                };
+                let _ = self.send_routed(group, 0, &msg);
+            }
         }
         Ok(())
     }
@@ -750,7 +779,7 @@ impl LiveClient {
         want_replica: Option<NodeId>,
     ) -> Result<u64> {
         let deadline = Instant::now() + self.opts.timeout;
-        self.ensure_session(deadline)?;
+        self.ensure_session(group, deadline)?;
         // Respect the credit window: drain completions until a slot
         // frees (replies both free slots and advance the ack).
         while !self.core.has_capacity() {
@@ -1007,7 +1036,7 @@ mod tests {
     #[test]
     fn straggler_reply_from_previous_session_is_ignored() {
         let mut core = SessionCore::new(8);
-        core.adopt_session(7); // this invocation's session
+        core.adopt_session(RingId::new(0), 7); // this invocation's session
         let seq = begin(&mut core, 0);
         assert_eq!(seq, 1, "fresh sessions start their seq space at 1");
 
@@ -1028,7 +1057,7 @@ mod tests {
     #[test]
     fn completions_surface_out_of_order_and_ack_is_cumulative() {
         let mut core = SessionCore::new(8);
-        core.adopt_session(1);
+        core.adopt_session(RingId::new(0), 1);
         let s1 = begin(&mut core, 0);
         let s2 = begin(&mut core, 0);
         let s3 = begin(&mut core, 0);
@@ -1044,7 +1073,7 @@ mod tests {
     #[test]
     fn duplicate_replies_complete_once() {
         let mut core = SessionCore::new(8);
-        core.adopt_session(1);
+        core.adopt_session(RingId::new(0), 1);
         let seq = begin(&mut core, 0);
         assert_eq!(
             core.on_reply(&resp(1, seq, 0, b"x"), &parts()),
@@ -1062,7 +1091,7 @@ mod tests {
     #[test]
     fn fanout_completes_when_every_partition_answered() {
         let mut core = SessionCore::new(8);
-        core.adopt_session(1);
+        core.adopt_session(RingId::new(2), 1);
         let seq = core.begin(
             RingId::new(2),
             Bytes::from_static(b"scan"),
@@ -1090,7 +1119,7 @@ mod tests {
     #[test]
     fn window_capacity_and_credit_grants() {
         let mut core = SessionCore::new(4);
-        core.adopt_session(1);
+        core.adopt_session(RingId::new(0), 1);
         // The server narrows the window to 2.
         core.on_reply(&ClientReply::CreditGrant { window: 2 }, &parts());
         assert_eq!(core.window, 2);
@@ -1105,7 +1134,7 @@ mod tests {
     #[test]
     fn unknown_session_reply_signals_reopen_and_resubmission() {
         let mut core = SessionCore::new(8);
-        core.adopt_session(5);
+        core.adopt_session(RingId::new(0), 5);
         let s1 = begin(&mut core, 0);
         let s2 = begin(&mut core, 0);
         let s3 = begin(&mut core, 0);
@@ -1117,11 +1146,14 @@ mod tests {
             from_replica: NodeId::new(0),
             payload: Bytes::from_static(&[ST_UNKNOWN_SESSION]),
         };
-        assert_eq!(core.on_reply(&lost, &parts()), Action::SessionLost);
+        assert_eq!(
+            core.on_reply(&lost, &parts()),
+            Action::SessionLost(RingId::new(0))
+        );
         // Re-open: in-flight requests KEEP their seqs — callers hold
         // them as correlation handles.
-        core.adopt_session(9);
-        assert_eq!(core.session, 9);
+        core.adopt_session(RingId::new(0), 9);
+        assert_eq!(core.session_for(RingId::new(0)), 9);
         assert!(core.inflight.contains_key(&s1) && core.inflight.contains_key(&s3));
         assert_eq!(
             core.on_reply(&resp(9, s1, 0, b"again"), &parts()),
@@ -1138,7 +1170,7 @@ mod tests {
     #[test]
     fn abandoned_requests_unblock_the_cumulative_ack() {
         let mut core = SessionCore::new(8);
-        core.adopt_session(1);
+        core.adopt_session(RingId::new(0), 1);
         let s1 = begin(&mut core, 0);
         let s2 = begin(&mut core, 0);
         core.on_reply(&resp(1, s2, 0, b"b"), &parts());
@@ -1150,7 +1182,7 @@ mod tests {
     #[test]
     fn redirect_targets_the_named_node() {
         let mut core = SessionCore::new(8);
-        core.adopt_session(1);
+        core.adopt_session(RingId::new(3), 1);
         let seq = begin(&mut core, 3);
         let action = core.on_reply(
             &ClientReply::Redirect {

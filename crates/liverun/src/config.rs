@@ -143,8 +143,14 @@ pub struct DeploymentConfig {
     /// Executor shards per node (`executor_shards`): 1 executes
     /// delivered commands inline on the merge thread (the classic
     /// stack); >1 splits each node's service state across that many
-    /// worker threads behind the deterministic merge.
+    /// worker threads behind the deterministic merge; 0 sizes the
+    /// split to the machine (one shard per available core) — resolve
+    /// through [`DeploymentConfig::resolved_executor_shards`].
     pub executor_shards: u32,
+    /// MRP-Store key placement (`partitioning`): `"hash"` (default) or
+    /// `"range"`, which seeds an evenly split key-range table — the
+    /// scheme live range migration requires.
+    pub range_partitioned: bool,
     /// Records per delivered-command WAL segment before it rolls
     /// (`wal_roll_every`); checkpoint-cadence pruning reclaims whole
     /// segments below the durable cut.
@@ -255,7 +261,14 @@ impl DeploymentConfig {
             coord_addrs,
             session_ttl: Duration::from_millis(deployment.int_or("session_ttl_ms", 3000)?),
             trace_sample: deployment.int_or("trace_sample", 0)?,
-            executor_shards: (deployment.int_or("executor_shards", 1)? as u32).max(1),
+            executor_shards: deployment.int_or("executor_shards", 1)? as u32,
+            range_partitioned: match deployment.str_or("partitioning", "hash").as_str() {
+                "hash" => false,
+                "range" => true,
+                other => {
+                    return Err(Error::Config(format!("unknown partitioning {other:?}")));
+                }
+            },
             wal_roll_every: (deployment.int_or("wal_roll_every", 4096)?).max(1),
             nodes,
             rings,
@@ -325,8 +338,8 @@ impl DeploymentConfig {
                 },
             )?;
         }
-        if let ServiceKind::MrpStore { partitions } = self.service {
-            Partitioning::Hash { partitions }.publish(&registry);
+        if let Some(scheme) = self.initial_scheme() {
+            scheme.publish(&registry);
         }
         Ok(registry)
     }
@@ -359,9 +372,9 @@ impl DeploymentConfig {
                 },
             )?;
         }
-        if let ServiceKind::MrpStore { partitions } = self.service {
+        if let Some(scheme) = self.initial_scheme() {
             if Partitioning::load(registry).is_none() {
-                Partitioning::Hash { partitions }.publish(registry);
+                scheme.publish(registry);
             }
         }
         Ok(())
@@ -389,6 +402,39 @@ impl DeploymentConfig {
             .find(|p| p.id == partition)
             .map(|p| p.rings.clone())
             .unwrap_or_default()
+    }
+
+    /// The executor shard count nodes actually start with:
+    /// `executor_shards` as configured, or — when it is 0 — one shard
+    /// per core the machine offers this process.
+    pub fn resolved_executor_shards(&self) -> u32 {
+        if self.executor_shards != 0 {
+            self.executor_shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1)
+        }
+    }
+
+    /// The partitioning scheme an MRP-Store deployment boots with
+    /// (`None` for other services): hash by default, or — with
+    /// `partitioning = "range"` — a key-range split at evenly spaced
+    /// single-letter bounds, the shape live range migration can
+    /// rewrite.
+    pub fn initial_scheme(&self) -> Option<Partitioning> {
+        let ServiceKind::MrpStore { partitions } = self.service else {
+            return None;
+        };
+        Some(if self.range_partitioned {
+            let n = u32::from(partitions.max(1));
+            let bounds = (1..n)
+                .map(|i| char::from(b'a' + (i * 26 / n) as u8).to_string())
+                .collect();
+            Partitioning::Range { bounds }
+        } else {
+            Partitioning::Hash { partitions }
+        })
     }
 
     /// For MRP-Store layouts: the ring carrying single-key commands of
@@ -644,6 +690,16 @@ pub fn with_executor_shards(doc: &str, n: u32) -> String {
     doc.replacen(
         "[deployment]\n",
         &format!("[deployment]\nexecutor_shards = {n}\n"),
+        1,
+    )
+}
+
+/// Switches a deployment document to range partitioning (`partitioning
+/// = "range"`) — the scheme live key-range migration requires.
+pub fn with_range_partitioning(doc: &str) -> String {
+    doc.replacen(
+        "[deployment]\n",
+        "[deployment]\npartitioning = \"range\"\n",
         1,
     )
 }

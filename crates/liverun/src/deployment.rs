@@ -65,7 +65,7 @@ fn build_stack(config: &DeploymentConfig, node: NodeId) -> Result<AppStack> {
     let spec = config
         .node(node)
         .ok_or_else(|| Error::Config(format!("node {node} not in configuration")))?;
-    let shards = config.executor_shards.max(1) as usize;
+    let shards = config.resolved_executor_shards() as usize;
     // The reply-cache cap tracks the credit window so a full window
     // always fits.
     let limits = SessionLimits {
@@ -73,21 +73,20 @@ fn build_stack(config: &DeploymentConfig, node: NodeId) -> Result<AppStack> {
         ..SessionLimits::default()
     };
     let (mut inners, plan): (Vec<Box<dyn ServiceApp>>, Arc<dyn ShardPlan>) = match &config.service {
-        ServiceKind::MrpStore { partitions } => {
+        ServiceKind::MrpStore { .. } => {
             let partition = spec
                 .partition
                 .ok_or_else(|| Error::Config(format!("mrpstore node {node} needs a partition")))?;
+            let scheme = config.initial_scheme().expect("mrpstore deployment");
             // Every sub-shard owns the partition's whole key *predicate*
             // but only ever sees the keys the plan routes to it, so the
-            // sub-states stay disjoint.
+            // sub-states stay disjoint. Each knows its own hash class:
+            // migration installs fan to every shard and each inserts
+            // only the shipped entries it owns.
             let inners = (0..shards)
-                .map(|_| {
-                    Box::new(mrpstore::KvApp::new(
-                        partition,
-                        mrpstore::Partitioning::Hash {
-                            partitions: *partitions,
-                        },
-                    )) as Box<dyn ServiceApp>
+                .map(|k| {
+                    Box::new(mrpstore::KvApp::new(partition, scheme.clone()).with_shard(k, shards))
+                        as Box<dyn ServiceApp>
                 })
                 .collect();
             (inners, Arc::new(mrpstore::KvShardPlan::new(shards)))
@@ -213,11 +212,23 @@ pub fn start_node(
         .map(|r| r.id)
         .collect();
     let member_of = config.member_of(node);
-    let session_ring = Some(config.global_ring()).filter(|r| member_of.contains(r));
     // One registry per node, shared by every layer of its stack: the
     // same instance rides `host_opts.ring.obs` into the host and rings.
     let obs = common::obs::Obs::for_node(node.raw());
     obs.set_trace_every(config.trace_sample);
+    // Surface the resolved executor layout: with `executor_shards = 0`
+    // the split is sized to the machine, so record what was picked.
+    let shards = config.resolved_executor_shards();
+    obs.gauge("executor_shards").set(i64::from(shards));
+    eprintln!(
+        "node {}: executor_shards = {shards}{}",
+        node.raw(),
+        if config.executor_shards == 0 {
+            " (auto: one per core)"
+        } else {
+            ""
+        }
+    );
     let mut host_opts = host_options(config);
     host_opts.ring.obs = obs.clone();
     let setup = NodeSetup {
@@ -236,7 +247,6 @@ pub fn start_node(
         client_window: config.client_window,
         credit_min_window: config.credit_min_window,
         credit_backlog_high: config.credit_backlog_high,
-        session_ring,
         obs,
     };
     spawn_node(setup, build_stack(config, node)?, restart)

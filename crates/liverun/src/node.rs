@@ -226,6 +226,12 @@ struct PeerTransport {
     links: HashMap<NodeId, Sender<Msg>>,
     /// Per-node wire accounting for everything this node sends.
     wire: WireCounters,
+    /// The same accounting broken down by ring (`ring{r}_*` counters) —
+    /// the observable the genuineness guard checks: a ring this node
+    /// never ordered anything on must show zero here.
+    wire_by_ring: HashMap<RingId, WireCounters>,
+    /// Metrics registry the per-ring counter families register in.
+    obs: Obs,
     /// Frames that left in multi-frame `write_vectored` bursts.
     vectored: Counter,
 }
@@ -235,8 +241,14 @@ impl PeerTransport {
         let Some(addr) = self.addrs.get(&to).copied() else {
             return;
         };
-        if let Msg::Ring(_, rm) = &msg {
+        if let Msg::Ring(ring, rm) = &msg {
             self.wire.note(rm);
+            self.wire_by_ring
+                .entry(*ring)
+                .or_insert_with(|| {
+                    WireCounters::with_prefix(&self.obs, &format!("ring{}_", ring.raw()))
+                })
+                .note(rm);
         }
         let me = self.me;
         let vectored = self.vectored.clone();
@@ -622,10 +634,6 @@ pub(crate) struct NodeSetup {
     /// Proposal backlog (batcher + event queue, in envelopes) above which
     /// credit halves; `0` derives a default from the batch size.
     pub credit_backlog_high: u32,
-    /// The ring session-control commands ride on (the deployment's
-    /// global ring), when this node is a member of it — the ring this
-    /// node proposes session expiries to. `None` disables the sweep.
-    pub session_ring: Option<RingId>,
     /// This node's metrics registry. The same registry rides
     /// `host_opts.ring.obs` into the host and rings, so every layer of
     /// this node reports into one place.
@@ -854,6 +862,8 @@ fn node_loop(
         addrs: setup.peer_addrs,
         links: HashMap::new(),
         wire: WireCounters::new(&obs),
+        wire_by_ring: HashMap::new(),
+        obs: obs.clone(),
         vectored: obs.counter("writer_vectored_frames"),
     };
     let stage_seal = obs.hist("stage_seal_nanos");
@@ -1080,11 +1090,20 @@ fn node_loop(
             session_count.set(host.session_ids().len() as i64);
             session_cached_replies.set(host.cached_reply_count() as i64);
             shard_queue_depth.set(host.executor_queue_depth() as i64);
-            if let Some(ring) = setup.session_ring {
+            {
                 let now = Instant::now();
                 let ids = host.session_ids();
                 session_seen.retain(|id, _| ids.contains(id));
                 for id in ids {
+                    // Expiries ride the session's own home ring (encoded
+                    // in the id), proposed only by that ring's members —
+                    // a session on partition 0's ring never costs the
+                    // other rings an ordered message.
+                    let Some(ring) =
+                        multiring::session_home_ring(id).filter(|r| setup.member_of.contains(r))
+                    else {
+                        continue;
+                    };
                     let Some((refresh, ttl_ms)) = host.session_probe(id) else {
                         continue;
                     };

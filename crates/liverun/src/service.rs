@@ -5,6 +5,7 @@
 //! shared group (§6.1, §7.2).
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use common::error::{Error, Result};
@@ -12,14 +13,15 @@ use common::ids::{ClientId, PartitionId, RingId};
 use common::wire::Wire;
 use dlog::{LogCommand, LogResponse};
 use mrpstore::{KvCommand, KvResponse, Partitioning};
+use multiring::route::{Destination, Route};
 
 use crate::client::{ClientOptions, LiveClient};
 use crate::config::{DeploymentConfig, ServiceKind};
 
 /// Builds a [`LiveClient`] for `config`, routing each ring to its first
-/// configured member. The exactly-once session rides the deployment's
-/// global ring (the one every replica subscribes to), so session opens
-/// and keep-alives reach every partition.
+/// configured member. Exactly-once sessions are opened lazily per home
+/// ring — a client touching only one partition opens one session on that
+/// partition's own ring and never involves the others.
 fn connect_routed(
     config: &DeploymentConfig,
     id: ClientId,
@@ -36,23 +38,51 @@ fn connect_routed(
         .iter()
         .filter_map(|n| n.partition.map(|p| (n.id, p)))
         .collect();
-    LiveClient::connect(
-        id,
-        &servers,
-        route,
-        replica_partitions,
-        config.global_ring(),
-        opts,
-    )
+    LiveClient::connect(id, &servers, route, replica_partitions, opts)
 }
 
-/// An MRP-Store client: put/get/delete routed by the hash scheme, scans
-/// fanned out over the global ring and merged.
+/// [`Route`] over an MRP-Store partitioning scheme: single-key commands
+/// go to their partition's own ring (ring id == partition id, the
+/// genuine fast path), range and migration-control commands fan out on
+/// the shared global ring.
+pub struct KvRouter {
+    /// The (version-stamped) key-placement scheme.
+    pub scheme: Partitioning,
+    /// The deployment's shared ring every partition subscribes to.
+    pub global: RingId,
+}
+
+impl Route for KvRouter {
+    fn route(&self, cmd: &Bytes) -> Destination {
+        match KvCommand::decode(&mut cmd.clone()) {
+            Ok(cmd) if cmd.is_single_key() => {
+                Destination::One(RingId::new(self.scheme.partition_of(cmd.key()).raw()))
+            }
+            Ok(cmd) => Destination::Fanout {
+                ring: self.global,
+                partitions: self.scheme.partitions_for(&cmd),
+            },
+            // Undecodable bytes: the global ring reaches everyone, so
+            // whatever replica logic rejects them sees them.
+            Err(_) => Destination::Fanout {
+                ring: self.global,
+                partitions: Vec::new(),
+            },
+        }
+    }
+}
+
+/// An MRP-Store client: put/get/delete routed by the partitioning
+/// scheme to the owning partition's own ring, scans fanned out over the
+/// global ring and merged. Tracks the version-stamped partition map:
+/// [`KvResponse::Moved`] answers refresh it mid-flight, so clients
+/// re-route automatically after a live range migration.
 pub struct StoreClient {
     inner: LiveClient,
-    scheme: Partitioning,
-    global: RingId,
+    router: KvRouter,
+    version: u64,
     partitions: Vec<PartitionId>,
+    op_timeout: Duration,
 }
 
 impl StoreClient {
@@ -66,11 +96,16 @@ impl StoreClient {
         let ServiceKind::MrpStore { partitions } = config.service else {
             return Err(Error::Config("deployment does not run mrpstore".into()));
         };
+        let op_timeout = opts.timeout;
         Ok(StoreClient {
             inner: connect_routed(config, id, opts)?,
-            scheme: Partitioning::Hash { partitions },
-            global: config.global_ring(),
+            router: KvRouter {
+                scheme: config.initial_scheme().expect("mrpstore deployment"),
+                global: config.global_ring(),
+            },
+            version: 0,
             partitions: (0..partitions).map(PartitionId::new).collect(),
+            op_timeout,
         })
     }
 
@@ -79,11 +114,60 @@ impl StoreClient {
         &mut self.inner
     }
 
+    /// The partition-map version this client last adopted (0 until a
+    /// migration's `Moved` redirect or a map refresh bumps it).
+    pub fn map_version(&self) -> u64 {
+        self.version
+    }
+
+    /// The key-placement scheme the client currently routes by.
+    pub fn scheme(&self) -> &Partitioning {
+        &self.router.scheme
+    }
+
+    /// Re-reads the partition map from the replicas behind `ring` and
+    /// adopts it if newer than the local copy.
+    fn refresh_map(&mut self, ring: RingId) -> Result<()> {
+        let raw = self.inner.request(ring, KvCommand::GetMap.to_bytes())?;
+        match KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)? {
+            KvResponse::Map { version, scheme } => {
+                if version > self.version {
+                    self.router.scheme =
+                        Partitioning::decode(&mut scheme.clone()).map_err(Error::Wire)?;
+                    self.version = version;
+                }
+                Ok(())
+            }
+            other => Err(Error::Config(format!("unexpected map reply {other:?}"))),
+        }
+    }
+
+    /// Executes a single-key command on the owning partition's ring,
+    /// transparently following migrations: `Moved` refreshes the map and
+    /// re-routes, `Busy` (the key's range is frozen mid-migration) backs
+    /// off and retries. Both are deterministic non-executing refusals, so
+    /// each retry is a fresh exactly-once request.
     fn exec_single(&mut self, cmd: &KvCommand) -> Result<KvResponse> {
-        let partition = self.scheme.partition_of(cmd.key());
-        let ring = RingId::new(partition.raw());
-        let raw = self.inner.request(ring, cmd.to_bytes())?;
-        KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            let ring = self.router.route(&cmd.to_bytes()).ring();
+            let raw = self.inner.request(ring, cmd.to_bytes())?;
+            match KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)? {
+                KvResponse::Moved { .. } => {
+                    self.refresh_map(ring)?;
+                }
+                KvResponse::Busy => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::Timeout("key range frozen by migration"));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => return Ok(other),
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout("migration retry budget exhausted"));
+            }
+        }
     }
 
     /// `insert(k, v)`.
@@ -167,7 +251,7 @@ impl StoreClient {
         let partitions = self.partitions.clone();
         let replies = self
             .inner
-            .request_fanout(self.global, cmd.to_bytes(), &partitions)?;
+            .request_fanout(self.router.global, cmd.to_bytes(), &partitions)?;
         let mut merged = Vec::new();
         for (_, raw) in replies {
             match KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)? {
@@ -180,6 +264,112 @@ impl StoreClient {
         merged.sort_by(|a, b| a.0.cmp(&b.0));
         merged.dedup_by(|a, b| a.0 == b.0);
         Ok(merged)
+    }
+
+    /// Live key-range migration (freeze → ship → cutover): moves
+    /// ownership of `from..to` (half-open; empty `to` = +∞) to partition
+    /// `target` while the deployment keeps serving. Returns the new
+    /// partition-map version.
+    ///
+    /// The protocol rides ordinary ordered commands, so no replica needs
+    /// out-of-band coordination:
+    ///
+    /// 1. **Freeze** multicast on the global ring: every partition stamps
+    ///    the migration; writes to the range answer `Busy` from here on,
+    ///    which keeps the shipped snapshot stable (reads are unaffected).
+    /// 2. **Ship**: scan the frozen range from the source partition's own
+    ///    ring and re-send it as chunked `Install` multicasts.
+    /// 3. **Cutover**: the final `Install` (`last = true`) makes every
+    ///    partition atomically adopt the new key-range table at the same
+    ///    delivered cut — the source drops the range, the target takes
+    ///    ownership, and stale clients re-route on `Moved`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the deployment is hash-partitioned (ownership is not
+    /// expressible as key ranges), if the range's owner already is
+    /// `target`, or on timeout.
+    pub fn migrate_range(&mut self, from: &str, to: &str, target: u16) -> Result<u64> {
+        if self.router.scheme.to_table().is_none() {
+            return Err(Error::Config(
+                "range migration requires range partitioning".into(),
+            ));
+        }
+        // Adopt the replicas' current map first: a freeze stamped with a
+        // version the replicas already passed would no-op as a duplicate.
+        self.refresh_map(RingId::new(self.partitions[0].raw()))?;
+        let source = self.router.scheme.partition_of(from);
+        if source.raw() == target {
+            return Err(Error::Config(format!(
+                "partition {target} already owns {from:?}"
+            )));
+        }
+        let version = self.version + 1;
+        let global = self.router.global;
+        let partitions = self.partitions.clone();
+
+        let freeze = KvCommand::Freeze {
+            from: from.to_string(),
+            to: to.to_string(),
+            target,
+            version,
+        };
+        for (_, raw) in self
+            .inner
+            .request_fanout(global, freeze.to_bytes(), &partitions)?
+        {
+            match KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)? {
+                KvResponse::Ok => {}
+                other => return Err(Error::Config(format!("freeze refused: {other:?}"))),
+            }
+        }
+
+        // The range is frozen everywhere: its snapshot is now stable.
+        let scan = KvCommand::Scan {
+            from: from.to_string(),
+            to: to.to_string(),
+        };
+        let raw = self
+            .inner
+            .request(RingId::new(source.raw()), scan.to_bytes())?;
+        let entries = match KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)? {
+            KvResponse::Entries(entries) => entries,
+            other => return Err(Error::Config(format!("unexpected scan reply {other:?}"))),
+        };
+
+        // Ship in bounded chunks; the last one (possibly empty) is the
+        // cutover. `ceil` keeps at least one chunk for an empty range.
+        const CHUNK: usize = 256;
+        let chunks = entries.len().div_ceil(CHUNK).max(1);
+        for i in 0..chunks {
+            let slice =
+                &entries[(i * CHUNK).min(entries.len())..((i + 1) * CHUNK).min(entries.len())];
+            let install = KvCommand::Install {
+                from: from.to_string(),
+                to: to.to_string(),
+                target,
+                version,
+                entries: slice.to_vec(),
+                last: i + 1 == chunks,
+            };
+            for (_, raw) in self
+                .inner
+                .request_fanout(global, install.to_bytes(), &partitions)?
+            {
+                match KvResponse::decode(&mut raw.clone()).map_err(Error::Wire)? {
+                    KvResponse::Ok => {}
+                    other => return Err(Error::Config(format!("install refused: {other:?}"))),
+                }
+            }
+        }
+
+        self.router.scheme = self
+            .router
+            .scheme
+            .with_range_moved(from, to, target)
+            .expect("table scheme");
+        self.version = version;
+        Ok(version)
     }
 }
 

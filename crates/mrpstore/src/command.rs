@@ -51,6 +51,46 @@ pub enum KvCommand {
         /// The increment.
         delta: u64,
     },
+    /// Migration step 1: freeze writes to `from..to` everywhere and
+    /// stamp the migration version. While a range is frozen, writes to
+    /// it answer [`KvResponse::Busy`] (reads are still served); the
+    /// snapshot the orchestrator ships is therefore stable. Fanned out
+    /// to every partition so source, target, and bystanders all learn
+    /// the in-flight migration at a delivered cut.
+    Freeze {
+        /// Range start (inclusive).
+        from: String,
+        /// Range end (exclusive; empty = +∞).
+        to: String,
+        /// The partition the range is moving to.
+        target: u16,
+        /// The partition-map version this migration produces.
+        version: u64,
+    },
+    /// Migration steps 2–3: install a chunk of the frozen range at the
+    /// target. The final chunk (`last`) is the **cutover**: every
+    /// partition atomically adopts the new key-range table (source drops
+    /// the range, target takes ownership, clients re-route on
+    /// [`KvResponse::Moved`]). Chunked so a large range streams through
+    /// ordinary commands instead of one giant value.
+    Install {
+        /// Range start (must match the frozen range).
+        from: String,
+        /// Range end (must match the frozen range).
+        to: String,
+        /// The partition taking ownership.
+        target: u16,
+        /// The partition-map version this migration produces.
+        version: u64,
+        /// Entries of this chunk.
+        entries: Vec<(String, Bytes)>,
+        /// True on the final chunk: adopt the new map and unfreeze.
+        last: bool,
+    },
+    /// Reads the replica's current partition map (scheme + version) —
+    /// how a client that received [`KvResponse::Moved`] refreshes its
+    /// routing without a coordination-service round trip.
+    GetMap,
 }
 
 impl KvCommand {
@@ -63,13 +103,21 @@ impl KvCommand {
             | KvCommand::Delete { key }
             | KvCommand::Add { key, .. } => key,
             KvCommand::Scan { from, .. } => from,
+            KvCommand::Freeze { from, .. } | KvCommand::Install { from, .. } => from,
+            KvCommand::GetMap => "",
         }
     }
 
     /// True for commands addressing a single key (routable to one
-    /// partition); scans may span several.
+    /// partition); scans and migration control span several.
     pub fn is_single_key(&self) -> bool {
-        !matches!(self, KvCommand::Scan { .. })
+        !matches!(
+            self,
+            KvCommand::Scan { .. }
+                | KvCommand::Freeze { .. }
+                | KvCommand::Install { .. }
+                | KvCommand::GetMap
+        )
     }
 }
 
@@ -104,6 +152,35 @@ impl Wire for KvCommand {
                 key.encode(buf);
                 put_varint(buf, *delta);
             }
+            KvCommand::Freeze {
+                from,
+                to,
+                target,
+                version,
+            } => {
+                buf.put_u8(6);
+                from.encode(buf);
+                to.encode(buf);
+                put_varint(buf, u64::from(*target));
+                put_varint(buf, *version);
+            }
+            KvCommand::Install {
+                from,
+                to,
+                target,
+                version,
+                entries,
+                last,
+            } => {
+                buf.put_u8(7);
+                from.encode(buf);
+                to.encode(buf);
+                put_varint(buf, u64::from(*target));
+                put_varint(buf, *version);
+                put_vec(buf, entries);
+                buf.put_u8(u8::from(*last));
+            }
+            KvCommand::GetMap => buf.put_u8(8),
         }
     }
 
@@ -131,6 +208,21 @@ impl Wire for KvCommand {
                 key: String::decode(buf)?,
                 delta: get_varint(buf)?,
             },
+            6 => KvCommand::Freeze {
+                from: String::decode(buf)?,
+                to: String::decode(buf)?,
+                target: get_varint(buf)? as u16,
+                version: get_varint(buf)?,
+            },
+            7 => KvCommand::Install {
+                from: String::decode(buf)?,
+                to: String::decode(buf)?,
+                target: get_varint(buf)? as u16,
+                version: get_varint(buf)?,
+                entries: get_vec(buf)?,
+                last: get_tag(buf, "install last")? != 0,
+            },
+            8 => KvCommand::GetMap,
             tag => {
                 return Err(WireError::BadTag {
                     context: "kv command",
@@ -155,6 +247,29 @@ pub enum KvResponse {
     NotFound,
     /// The counter's new value after an [`KvCommand::Add`].
     Counter(u64),
+    /// The key is owned by another partition under the replica's current
+    /// (version-stamped) map. Not executed; the client refreshes its map
+    /// (at least to `version`) and re-routes. Replaces silent misses
+    /// after a range migration moved the key.
+    Moved {
+        /// The partition that owns the key now.
+        partition: u16,
+        /// The replica's partition-map version.
+        version: u64,
+    },
+    /// The replica's partition map ([`KvCommand::GetMap`]).
+    Map {
+        /// Monotone map version (bumped by each migration cutover).
+        version: u64,
+        /// The partitioning scheme, wire-encoded
+        /// ([`crate::Partitioning`]).
+        scheme: Bytes,
+    },
+    /// The key's range is frozen by an in-flight migration; the write
+    /// was not executed. The client retries after a short backoff (with
+    /// a fresh sequence number — `Busy` is a deterministic refusal, so
+    /// the retry is still exactly-once).
+    Busy,
 }
 
 impl Wire for KvResponse {
@@ -174,6 +289,17 @@ impl Wire for KvResponse {
                 buf.put_u8(4);
                 put_varint(buf, *v);
             }
+            KvResponse::Moved { partition, version } => {
+                buf.put_u8(5);
+                put_varint(buf, u64::from(*partition));
+                put_varint(buf, *version);
+            }
+            KvResponse::Map { version, scheme } => {
+                buf.put_u8(6);
+                put_varint(buf, *version);
+                put_bytes(buf, scheme);
+            }
+            KvResponse::Busy => buf.put_u8(7),
         }
     }
 
@@ -184,6 +310,15 @@ impl Wire for KvResponse {
             2 => KvResponse::Ok,
             3 => KvResponse::NotFound,
             4 => KvResponse::Counter(get_varint(buf)?),
+            5 => KvResponse::Moved {
+                partition: get_varint(buf)? as u16,
+                version: get_varint(buf)?,
+            },
+            6 => KvResponse::Map {
+                version: get_varint(buf)?,
+                scheme: get_bytes(buf)?,
+            },
+            7 => KvResponse::Busy,
             tag => {
                 return Err(WireError::BadTag {
                     context: "kv response",
@@ -223,6 +358,21 @@ mod tests {
             key: "hits".into(),
             delta: 3,
         });
+        rt(KvCommand::Freeze {
+            from: "f".into(),
+            to: "h".into(),
+            target: 1,
+            version: 2,
+        });
+        rt(KvCommand::Install {
+            from: "f".into(),
+            to: "h".into(),
+            target: 1,
+            version: 2,
+            entries: vec![("f1".to_string(), Bytes::from_static(b"v"))],
+            last: true,
+        });
+        rt(KvCommand::GetMap);
     }
 
     #[test]
@@ -234,6 +384,15 @@ mod tests {
             KvResponse::Ok,
             KvResponse::NotFound,
             KvResponse::Counter(u64::MAX),
+            KvResponse::Moved {
+                partition: 3,
+                version: 9,
+            },
+            KvResponse::Map {
+                version: 9,
+                scheme: Bytes::from_static(b"\x00\x02"),
+            },
+            KvResponse::Busy,
         ] {
             let mut b = r.to_bytes();
             assert_eq!(KvResponse::decode(&mut b).unwrap(), r);

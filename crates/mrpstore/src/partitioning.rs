@@ -27,6 +27,16 @@ pub enum Partitioning {
         /// Upper (exclusive) bounds of each partition except the last.
         bounds: Vec<String>,
     },
+    /// A general key-range table: entry `(start, partition)` owns keys in
+    /// `start ..` up to the next entry's start. Entries are sorted by
+    /// `start` ascending and the first entry's start is the empty string
+    /// (−∞). Unlike [`Partitioning::Range`], partitions may own multiple
+    /// non-contiguous ranges — the shape live range migration produces
+    /// when a slice of a hot partition moves elsewhere.
+    Table {
+        /// `(range start, owning partition)`, sorted by start.
+        entries: Vec<(String, u16)>,
+    },
 }
 
 impl Partitioning {
@@ -38,6 +48,12 @@ impl Partitioning {
         match self {
             Partitioning::Hash { partitions } => *partitions,
             Partitioning::Range { bounds } => (bounds.len() + 1) as u16,
+            Partitioning::Table { entries } => entries
+                .iter()
+                .map(|&(_, p)| p)
+                .max()
+                .map(|p| p + 1)
+                .unwrap_or(0),
         }
     }
 
@@ -51,7 +67,66 @@ impl Partitioning {
                 let idx = bounds.partition_point(|b| b.as_str() <= key);
                 PartitionId::new(idx as u16)
             }
+            Partitioning::Table { entries } => {
+                let idx = entries.partition_point(|(s, _)| s.as_str() <= key);
+                PartitionId::new(entries[idx.saturating_sub(1)].1)
+            }
         }
+    }
+
+    /// The [`Partitioning::Table`] equivalent of this scheme: identity
+    /// for tables, the explicit range list for [`Partitioning::Range`].
+    /// `None` for hash partitioning, whose ownership is not expressible
+    /// as key ranges — range migration requires a range-based scheme.
+    pub fn to_table(&self) -> Option<Vec<(String, u16)>> {
+        match self {
+            Partitioning::Hash { .. } => None,
+            Partitioning::Range { bounds } => {
+                let mut entries = vec![(String::new(), 0u16)];
+                for (i, b) in bounds.iter().enumerate() {
+                    entries.push((b.clone(), (i + 1) as u16));
+                }
+                Some(entries)
+            }
+            Partitioning::Table { entries } => Some(entries.clone()),
+        }
+    }
+
+    /// The table scheme after reassigning `from .. to` (half-open; an
+    /// empty `to` means +∞) to `target`. Adjacent same-owner entries are
+    /// coalesced. `None` for hash partitioning.
+    pub fn with_range_moved(&self, from: &str, to: &str, target: u16) -> Option<Partitioning> {
+        let old = self.to_table()?;
+        let mut entries: Vec<(String, u16)> = Vec::with_capacity(old.len() + 2);
+        // Owner of the key space just past the moved range (the old
+        // owner resumes there).
+        let resume = self.partition_of(to).raw();
+        for (start, owner) in &old {
+            if start.as_str() < from {
+                entries.push((start.clone(), *owner));
+            }
+        }
+        entries.push((from.to_string(), target));
+        if !to.is_empty() {
+            entries.push((to.to_string(), resume));
+            for (start, owner) in &old {
+                if start.as_str() >= to {
+                    entries.push((start.clone(), *owner));
+                }
+            }
+        }
+        // Drop duplicate starts (keep the last-pushed authority for the
+        // moved boundary) and coalesce same-owner neighbours.
+        entries.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 = b.1;
+                true
+            } else {
+                false
+            }
+        });
+        entries.dedup_by(|b, a| a.1 == b.1);
+        Some(Partitioning::Table { entries })
     }
 
     /// Partitions that may hold entries for `cmd`: the owning partition
@@ -72,6 +147,23 @@ impl Partitioning {
                         self.partition_of(to).raw()
                     };
                     (first..=last.max(first)).map(PartitionId::new).collect()
+                }
+                Partitioning::Table { entries } => {
+                    // Owners of every range overlapping [from, to): the
+                    // range containing `from`, plus every range starting
+                    // inside the scan. Ownership may be non-contiguous,
+                    // so this is a set, not a span.
+                    let mut parts = vec![self.partition_of(from)];
+                    for (start, owner) in entries {
+                        if start.as_str() > from.as_str()
+                            && (to.is_empty() || start.as_str() < to.as_str())
+                        {
+                            parts.push(PartitionId::new(*owner));
+                        }
+                    }
+                    parts.sort();
+                    parts.dedup();
+                    parts
                 }
             },
             single => vec![self.partition_of(single.key())],
@@ -115,6 +207,14 @@ impl Wire for Partitioning {
                     b.encode(buf);
                 }
             }
+            Partitioning::Table { entries } => {
+                buf.put_u8(2);
+                put_varint(buf, entries.len() as u64);
+                for (start, owner) in entries {
+                    start.encode(buf);
+                    put_varint(buf, u64::from(*owner));
+                }
+            }
         }
     }
 
@@ -130,6 +230,15 @@ impl Wire for Partitioning {
                     bounds.push(String::decode(buf)?);
                 }
                 Partitioning::Range { bounds }
+            }
+            2 => {
+                let n = get_varint(buf)?;
+                let mut entries = Vec::new();
+                for _ in 0..n {
+                    let start = String::decode(buf)?;
+                    entries.push((start, get_varint(buf)? as u16));
+                }
+                Partitioning::Table { entries }
             }
             tag => {
                 return Err(WireError::BadTag {
@@ -190,6 +299,57 @@ mod tests {
         );
         let single = KvCommand::Read { key: "m".into() };
         assert_eq!(range.partitions_for(&single), vec![PartitionId::new(1)]);
+    }
+
+    #[test]
+    fn table_partitioning_routes_and_round_trips() {
+        let p = Partitioning::Table {
+            entries: vec![
+                (String::new(), 0),
+                ("g".to_string(), 1),
+                ("m".to_string(), 0), // non-contiguous: p0 owns two ranges
+                ("p".to_string(), 2),
+            ],
+        };
+        assert_eq!(p.partitions(), 3);
+        assert_eq!(p.partition_of("a"), PartitionId::new(0));
+        assert_eq!(p.partition_of("g"), PartitionId::new(1));
+        assert_eq!(p.partition_of("k"), PartitionId::new(1));
+        assert_eq!(p.partition_of("m"), PartitionId::new(0));
+        assert_eq!(p.partition_of("z"), PartitionId::new(2));
+        let mut raw = p.to_bytes();
+        assert_eq!(Partitioning::decode(&mut raw).unwrap(), p);
+
+        // A scan over [f, n) touches the ranges of p0 and p1 only.
+        let scan = KvCommand::Scan {
+            from: "f".into(),
+            to: "n".into(),
+        };
+        assert_eq!(
+            p.partitions_for(&scan),
+            vec![PartitionId::new(0), PartitionId::new(1)]
+        );
+    }
+
+    #[test]
+    fn range_migration_rewrites_the_table() {
+        let range = Partitioning::Range {
+            bounds: vec!["m".to_string()],
+        };
+        // Move [f, h) from partition 0 to partition 1.
+        let moved = range.with_range_moved("f", "h", 1).unwrap();
+        assert_eq!(moved.partition_of("e"), PartitionId::new(0));
+        assert_eq!(moved.partition_of("f"), PartitionId::new(1));
+        assert_eq!(moved.partition_of("g"), PartitionId::new(1));
+        assert_eq!(moved.partition_of("h"), PartitionId::new(0));
+        assert_eq!(moved.partition_of("z"), PartitionId::new(1));
+        // Moving an open-ended tail works and coalesces.
+        let tail = moved.with_range_moved("m", "", 0).unwrap();
+        assert_eq!(tail.partition_of("z"), PartitionId::new(0));
+        // Hash schemes cannot express ranges.
+        assert!(Partitioning::Hash { partitions: 2 }
+            .with_range_moved("a", "b", 1)
+            .is_none());
     }
 
     #[test]

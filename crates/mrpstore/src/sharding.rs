@@ -21,6 +21,19 @@ use multiring::exec::{Route, ShardPlan};
 use crate::command::{KvCommand, KvResponse};
 use crate::partitioning::fnv1a_str;
 
+/// The executor sub-shard owning `key` in an `shards`-way split.
+///
+/// The deployment partitioner is `fnv1a(key) % partitions`, so one
+/// partition only ever holds keys from a single residue class of the
+/// raw hash — `% shards` straight off the same hash would leave whole
+/// shards empty whenever the moduli share a factor. Remix first so
+/// shard choice is independent of partition choice. Shared with
+/// [`crate::KvApp`]'s migration installs, which must land each shipped
+/// entry on the same sub-shard this plan routes its commands to.
+pub(crate) fn shard_of_key(key: &str, shards: usize) -> usize {
+    (common::hash::mix64(fnv1a_str(key)) % shards.max(1) as u64) as usize
+}
+
 /// Splits a partition's [`crate::KvApp`] across executor shards by key
 /// hash. Each sub-shard must be constructed as a full `KvApp` of the
 /// same partition and scheme — the plan's routing keeps their contents
@@ -38,13 +51,7 @@ impl KvShardPlan {
     }
 
     fn shard_of(&self, key: &str) -> usize {
-        // The deployment partitioner is `fnv1a(key) % partitions`, so
-        // one partition only ever holds keys from a single residue
-        // class of the raw hash — `% shards` straight off the same hash
-        // would leave whole shards empty whenever the moduli share a
-        // factor. Remix first so shard choice is independent of
-        // partition choice.
-        (common::hash::mix64(fnv1a_str(key)) % self.shards as u64) as usize
+        shard_of_key(key, self.shards)
     }
 
     fn encode_entries(entries: &[(String, Bytes)]) -> Bytes {
@@ -65,7 +72,15 @@ impl ShardPlan for KvShardPlan {
 
     fn route(&self, _group: RingId, env: &Envelope) -> Route {
         match KvCommand::decode(&mut env.cmd.clone()) {
-            Ok(KvCommand::Scan { .. }) => Route::All,
+            // Scans gather every shard's slice; migration control must
+            // reach every sub-shard so all copies of the map state
+            // (scheme version, freeze) advance at the same cut.
+            Ok(
+                KvCommand::Scan { .. }
+                | KvCommand::Freeze { .. }
+                | KvCommand::Install { .. }
+                | KvCommand::GetMap,
+            ) => Route::All,
             Ok(cmd) => Route::One(self.shard_of(cmd.key())),
             // Undecodable commands answer NotFound from any shard; pin
             // them to shard 0 so the reply is deterministic.
@@ -73,7 +88,16 @@ impl ShardPlan for KvShardPlan {
         }
     }
 
-    fn combine(&self, _group: RingId, _env: &Envelope, partials: Vec<Bytes>) -> Bytes {
+    fn combine(&self, _group: RingId, env: &Envelope, partials: Vec<Bytes>) -> Bytes {
+        if !matches!(
+            KvCommand::decode(&mut env.cmd.clone()),
+            Ok(KvCommand::Scan { .. })
+        ) {
+            // Migration control: every shard applies the same map
+            // transition deterministically and reports the same status;
+            // any one partial is the partition's answer.
+            return partials.into_iter().next().unwrap_or_default();
+        }
         // Each partial is one shard's sorted slice of the scan; shards
         // hold disjoint keys, so sorting the union by key reproduces the
         // unsharded BTreeMap range scan entry-for-entry.
@@ -81,8 +105,8 @@ impl ShardPlan for KvShardPlan {
         for mut partial in partials {
             match KvResponse::decode(&mut partial) {
                 Ok(KvResponse::Entries(entries)) => merged.extend(entries),
-                // Only scans route to all shards, so every partial
-                // decodes as Entries; anything else is foreign bytes.
+                // Every scan partial decodes as Entries; anything else
+                // is foreign bytes.
                 _ => return KvResponse::NotFound.to_bytes(),
             }
         }
@@ -95,47 +119,64 @@ impl ShardPlan for KvShardPlan {
 
     fn merge_snapshots(&self, parts: Vec<Bytes>) -> Bytes {
         // Per-shard snapshots are sorted (key, value) lists with a count
-        // prefix; disjoint keys sort into the unsharded snapshot.
+        // prefix; disjoint keys sort into the unsharded snapshot. The
+        // scheme trailer is identical on every shard (map transitions
+        // fan to all of them); carry one copy through.
         let mut merged: Vec<(String, Bytes)> = Vec::new();
+        let mut trailer = Bytes::new();
         for part in &parts {
-            merged.extend(decode_snapshot(part));
+            let (entries, rest) = decode_snapshot(part);
+            merged.extend(entries);
+            if !rest.is_empty() {
+                trailer = rest;
+            }
         }
         merged.sort_by(|a, b| a.0.cmp(&b.0));
-        Self::encode_entries(&merged)
+        Self::encode_with_trailer(&merged, &trailer)
     }
 
     fn split_snapshot(&self, state: &Bytes) -> Vec<Bytes> {
+        let (all, trailer) = decode_snapshot(state);
         let mut per_shard: Vec<Vec<(String, Bytes)>> = vec![Vec::new(); self.shards];
-        for (k, v) in decode_snapshot(state) {
+        for (k, v) in all {
             let shard = self.shard_of(&k);
             per_shard[shard].push((k, v));
         }
         per_shard
             .iter()
-            .map(|entries| Self::encode_entries(entries))
+            .map(|entries| Self::encode_with_trailer(entries, &trailer))
             .collect()
     }
 }
 
-/// Decodes a [`crate::KvApp`] snapshot into its (sorted) entry list.
-/// Truncated input yields the decodable prefix (mirrors `KvApp::restore`
-/// tolerance).
-fn decode_snapshot(state: &Bytes) -> Vec<(String, Bytes)> {
+impl KvShardPlan {
+    fn encode_with_trailer(entries: &[(String, Bytes)], trailer: &Bytes) -> Bytes {
+        let mut buf = BytesMut::from(Self::encode_entries(entries).as_ref());
+        buf.extend_from_slice(trailer);
+        buf.freeze()
+    }
+}
+
+/// Decodes a [`crate::KvApp`] snapshot into its (sorted) entry list plus
+/// whatever follows the entries (the scheme trailer; empty on legacy
+/// snapshots). Truncated input yields the decodable prefix (mirrors
+/// `KvApp::restore` tolerance).
+fn decode_snapshot(state: &Bytes) -> (Vec<(String, Bytes)>, Bytes) {
     let mut raw = state.clone();
     let Ok(n) = get_varint(&mut raw) else {
-        return Vec::new();
+        return (Vec::new(), Bytes::new());
     };
     let mut entries = Vec::new();
     for _ in 0..n {
         let Ok(k) = String::decode(&mut raw) else {
-            break;
+            return (entries, Bytes::new());
         };
         let Ok(v) = Bytes::decode(&mut raw) else {
-            break;
+            return (entries, Bytes::new());
         };
         entries.push((k, v));
     }
-    entries
+    (entries, raw)
 }
 
 #[cfg(test)]

@@ -17,11 +17,39 @@ use multiring::{ServiceApp, SnapshotCut};
 use crate::command::{KvCommand, KvResponse};
 use crate::partitioning::Partitioning;
 
+/// An in-flight range migration observed at this replica: writes to
+/// `from..to` answer [`KvResponse::Busy`] until the cutover
+/// ([`KvCommand::Install`] with `last`) adopts the new map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct FrozenRange {
+    pub(crate) from: String,
+    pub(crate) to: String,
+    pub(crate) target: u16,
+    pub(crate) version: u64,
+}
+
+impl FrozenRange {
+    fn contains(&self, key: &str) -> bool {
+        key >= self.from.as_str() && (self.to.is_empty() || key < self.to.as_str())
+    }
+}
+
 /// The MRP-Store replica state machine.
 #[derive(Debug)]
 pub struct KvApp {
     partition: PartitionId,
+    /// The partition map. Mutable: a migration cutover replaces it with
+    /// the next version on every replica at the same delivered cut.
     scheme: Partitioning,
+    /// Monotone map version; bumped by each cutover. Stamped into
+    /// [`KvResponse::Moved`] so clients know how fresh a redirect is.
+    scheme_version: u64,
+    frozen: Option<FrozenRange>,
+    /// This instance's executor sub-shard `(index, count)` — `(0, 1)`
+    /// when unsharded. Migration installs are fanned to every sub-shard
+    /// of the target partition; each inserts only its own hash class,
+    /// keeping shard contents disjoint.
+    shard: (usize, usize),
     data: BTreeMap<String, Bytes>,
 }
 
@@ -31,8 +59,28 @@ impl KvApp {
         KvApp {
             partition,
             scheme,
+            scheme_version: 0,
+            frozen: None,
+            shard: (0, 1),
             data: BTreeMap::new(),
         }
+    }
+
+    /// Marks this instance as executor sub-shard `index` of `count`
+    /// (must match the deployment's `KvShardPlan`).
+    pub fn with_shard(mut self, index: usize, count: usize) -> Self {
+        self.shard = (index, count.max(1));
+        self
+    }
+
+    /// The current partition-map version (diagnostics/tests).
+    pub fn scheme_version(&self) -> u64 {
+        self.scheme_version
+    }
+
+    /// The current partitioning scheme (diagnostics/tests).
+    pub fn scheme(&self) -> &Partitioning {
+        &self.scheme
     }
 
     /// Pre-loads an entry (database initialization before the run, like
@@ -62,9 +110,38 @@ impl KvApp {
         self.scheme.partition_of(key) == self.partition
     }
 
+    /// This sub-shard's slice of a key set (everything, when unsharded).
+    fn in_shard(&self, key: &str) -> bool {
+        crate::sharding::shard_of_key(key, self.shard.1) == self.shard.0
+    }
+
+    /// The redirect for a key this partition does not own under the
+    /// current map.
+    fn moved(&self, key: &str) -> KvResponse {
+        KvResponse::Moved {
+            partition: self.scheme.partition_of(key).raw(),
+            version: self.scheme_version,
+        }
+    }
+
+    /// `Busy` if `key` sits in a frozen (mid-migration) range.
+    fn frozen_check(&self, key: &str) -> Option<KvResponse> {
+        match &self.frozen {
+            Some(f) if f.contains(key) => Some(KvResponse::Busy),
+            _ => None,
+        }
+    }
+
     fn apply(&mut self, cmd: &KvCommand) -> KvResponse {
         match cmd {
-            KvCommand::Read { key } => KvResponse::Value(self.data.get(key).cloned()),
+            KvCommand::Read { key } => {
+                if !self.owns(key) {
+                    // A stale-routed read after a migration must redirect,
+                    // not answer a confident "absent".
+                    return self.moved(key);
+                }
+                KvResponse::Value(self.data.get(key).cloned())
+            }
             KvCommand::Scan { from, to } => {
                 // Answer with this partition's slice; the client merges
                 // one response per partition (paper §7.2).
@@ -84,7 +161,10 @@ impl KvApp {
             }
             KvCommand::Update { key, value } => {
                 if !self.owns(key) {
-                    return KvResponse::NotFound; // misrouted; client bug
+                    return self.moved(key);
+                }
+                if let Some(busy) = self.frozen_check(key) {
+                    return busy;
                 }
                 match self.data.get_mut(key) {
                     Some(slot) => {
@@ -100,7 +180,10 @@ impl KvApp {
             }
             KvCommand::Insert { key, value } => {
                 if !self.owns(key) {
-                    return KvResponse::NotFound;
+                    return self.moved(key);
+                }
+                if let Some(busy) = self.frozen_check(key) {
+                    return busy;
                 }
                 // See Update: unpin the socket-read segment before
                 // retaining the value indefinitely.
@@ -108,6 +191,12 @@ impl KvApp {
                 KvResponse::Ok
             }
             KvCommand::Delete { key } => {
+                if !self.owns(key) {
+                    return self.moved(key);
+                }
+                if let Some(busy) = self.frozen_check(key) {
+                    return busy;
+                }
                 if self.data.remove(key).is_some() {
                     KvResponse::Ok
                 } else {
@@ -116,7 +205,10 @@ impl KvApp {
             }
             KvCommand::Add { key, delta } => {
                 if !self.owns(key) {
-                    return KvResponse::NotFound;
+                    return self.moved(key);
+                }
+                if let Some(busy) = self.frozen_check(key) {
+                    return busy;
                 }
                 // Counters are stored as 8-byte little-endian values; an
                 // absent (or foreign-shaped) entry counts from zero.
@@ -131,6 +223,147 @@ impl KvApp {
                     .insert(key.clone(), Bytes::copy_from_slice(&next.to_le_bytes()));
                 KvResponse::Counter(next)
             }
+            KvCommand::Freeze {
+                from,
+                to,
+                target,
+                version,
+            } => {
+                if self.scheme.to_table().is_none() {
+                    // Hash partitioning has no key ranges to migrate.
+                    return KvResponse::NotFound;
+                }
+                if *version <= self.scheme_version {
+                    return KvResponse::Ok; // duplicate of an applied migration
+                }
+                if self.frozen.is_some() {
+                    return KvResponse::Busy; // one migration at a time
+                }
+                self.frozen = Some(FrozenRange {
+                    from: from.clone(),
+                    to: to.clone(),
+                    target: *target,
+                    version: *version,
+                });
+                KvResponse::Ok
+            }
+            KvCommand::Install {
+                from,
+                to,
+                target,
+                version,
+                entries,
+                last,
+            } => {
+                if *version <= self.scheme_version {
+                    return KvResponse::Ok; // duplicate of an applied migration
+                }
+                let matches = self.frozen.as_ref().is_some_and(|f| {
+                    f.version == *version && f.from == *from && f.to == *to && f.target == *target
+                });
+                if !matches {
+                    return KvResponse::Busy; // install without (or against) a freeze
+                }
+                if self.partition.raw() == *target {
+                    for (k, v) in entries {
+                        if self.in_shard(k) {
+                            self.data.insert(k.clone(), Bytes::copy_from_slice(v));
+                        }
+                    }
+                }
+                if *last {
+                    // Cutover: everyone adopts the new map at this
+                    // delivered cut; the old owner drops its copy.
+                    if let Some(new) = self.scheme.with_range_moved(from, to, *target) {
+                        self.scheme = new;
+                    }
+                    self.scheme_version = *version;
+                    self.frozen = None;
+                    if self.partition.raw() != *target {
+                        let doomed: Vec<String> = self
+                            .data
+                            .range::<str, _>((
+                                std::ops::Bound::Included(from.as_str()),
+                                if to.is_empty() {
+                                    std::ops::Bound::Unbounded
+                                } else {
+                                    std::ops::Bound::Excluded(to.as_str())
+                                },
+                            ))
+                            .map(|(k, _)| k.clone())
+                            .collect();
+                        for k in doomed {
+                            self.data.remove(&k);
+                        }
+                    }
+                }
+                KvResponse::Ok
+            }
+            KvCommand::GetMap => KvResponse::Map {
+                version: self.scheme_version,
+                scheme: self.scheme.to_bytes(),
+            },
+        }
+    }
+}
+
+/// The migration-relevant scheme state a snapshot carries after its
+/// entry list.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct SchemeTrailer {
+    pub(crate) version: u64,
+    pub(crate) scheme: Partitioning,
+    pub(crate) frozen: Option<FrozenRange>,
+}
+
+impl SchemeTrailer {
+    pub(crate) fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.version);
+        self.scheme.encode(buf);
+        match &self.frozen {
+            None => put_varint(buf, 0),
+            Some(f) => {
+                put_varint(buf, 1);
+                f.from.encode(buf);
+                f.to.encode(buf);
+                put_varint(buf, u64::from(f.target));
+                put_varint(buf, f.version);
+            }
+        }
+    }
+
+    /// Decodes the trailer, or `None` for a pre-migration snapshot with
+    /// nothing after its entries (the restore keeps its configured
+    /// scheme in that case).
+    pub(crate) fn decode(raw: &mut Bytes) -> Option<SchemeTrailer> {
+        if raw.is_empty() {
+            return None;
+        }
+        let version = get_varint(raw).ok()?;
+        let scheme = Partitioning::decode(raw).ok()?;
+        let frozen = match get_varint(raw).ok()? {
+            0 => None,
+            _ => Some(FrozenRange {
+                from: String::decode(raw).ok()?,
+                to: String::decode(raw).ok()?,
+                target: get_varint(raw).ok()? as u16,
+                version: get_varint(raw).ok()?,
+            }),
+        };
+        Some(SchemeTrailer {
+            version,
+            scheme,
+            frozen,
+        })
+    }
+}
+
+impl KvApp {
+    fn trailer(&self) -> SchemeTrailer {
+        SchemeTrailer {
+            version: self.scheme_version,
+            scheme: self.scheme.clone(),
+            frozen: self.frozen.clone(),
         }
     }
 }
@@ -164,6 +397,10 @@ impl ServiceApp for KvApp {
             k.encode(buf);
             v.encode(buf);
         }
+        // The map state rides behind the entries so a checkpoint cut
+        // mid-migration restores with the same scheme version and freeze
+        // the rest of the partition delivered against.
+        self.trailer().encode(buf);
     }
 
     fn snapshot_cut(&self) -> Box<dyn SnapshotCut> {
@@ -171,10 +408,13 @@ impl ServiceApp for KvApp {
         // refcounted, so cloning the tree is cheap. Serialization — the
         // expensive part for a multi-megabyte store — happens chunk by
         // chunk in `KvCut::write_chunk`, off the critical delivery burst.
+        let mut trailer = BytesMut::new();
+        self.trailer().encode(&mut trailer);
         Box::new(KvCut {
             count: self.data.len(),
             header_written: false,
             iter: self.data.clone().into_iter(),
+            trailer: trailer.freeze(),
         })
     }
 
@@ -192,10 +432,17 @@ impl ServiceApp for KvApp {
             data.insert(k, v);
         }
         self.data = data;
+        if let Some(t) = SchemeTrailer::decode(&mut raw) {
+            self.scheme_version = t.version;
+            self.scheme = t.scheme;
+            self.frozen = t.frozen;
+        }
     }
 
     fn reset(&mut self) {
         self.data.clear();
+        self.scheme_version = 0;
+        self.frozen = None;
     }
 }
 
@@ -206,6 +453,8 @@ struct KvCut {
     count: usize,
     header_written: bool,
     iter: std::collections::btree_map::IntoIter<String, Bytes>,
+    /// Scheme trailer emitted after the last entry (captured at the cut).
+    trailer: Bytes,
 }
 
 impl SnapshotCut for KvCut {
@@ -222,7 +471,10 @@ impl SnapshotCut for KvCut {
                     k.encode(buf);
                     v.encode(buf);
                 }
-                None => return false,
+                None => {
+                    buf.extend_from_slice(&self.trailer);
+                    return false;
+                }
             }
         }
         true
@@ -404,7 +656,10 @@ mod tests {
                         value: Bytes::from_static(b"v")
                     }
                 ),
-                KvResponse::NotFound
+                KvResponse::Moved {
+                    partition: 0,
+                    version: 0
+                }
             );
         }
         assert_eq!(app.len(), mine.len());
@@ -430,5 +685,227 @@ mod tests {
 
         app.reset();
         assert!(app.is_empty());
+    }
+
+    fn table_app(partition: u16) -> KvApp {
+        // Two partitions: p0 owns [-inf, "m"), p1 owns ["m", +inf).
+        let scheme = Partitioning::Table {
+            entries: vec![(String::new(), 0), ("m".into(), 1)],
+        };
+        KvApp::new(PartitionId::new(partition), scheme)
+    }
+
+    #[test]
+    fn freeze_install_cutover_moves_the_range() {
+        let mut source = table_app(0);
+        let mut target = table_app(1);
+        for k in ["a", "f", "g", "k"] {
+            exec(
+                &mut source,
+                KvCommand::Insert {
+                    key: k.into(),
+                    value: Bytes::from_static(b"v"),
+                },
+            );
+        }
+
+        // Freeze ["f", "m") for migration to partition 1.
+        let freeze = KvCommand::Freeze {
+            from: "f".into(),
+            to: "m".into(),
+            target: 1,
+            version: 1,
+        };
+        assert_eq!(exec(&mut source, freeze.clone()), KvResponse::Ok);
+        assert_eq!(exec(&mut target, freeze), KvResponse::Ok);
+
+        // Frozen range: writes refused, reads still served, writes
+        // outside the range unaffected.
+        assert_eq!(
+            exec(
+                &mut source,
+                KvCommand::Update {
+                    key: "g".into(),
+                    value: Bytes::from_static(b"w")
+                }
+            ),
+            KvResponse::Busy
+        );
+        assert_eq!(
+            exec(&mut source, KvCommand::Read { key: "g".into() }),
+            KvResponse::Value(Some(Bytes::from_static(b"v")))
+        );
+        assert_eq!(
+            exec(
+                &mut source,
+                KvCommand::Update {
+                    key: "a".into(),
+                    value: Bytes::from_static(b"w")
+                }
+            ),
+            KvResponse::Ok
+        );
+
+        // Ship the frozen entries, then cut over on the last chunk.
+        let chunk = KvCommand::Install {
+            from: "f".into(),
+            to: "m".into(),
+            target: 1,
+            version: 1,
+            entries: vec![
+                ("f".to_string(), Bytes::from_static(b"v")),
+                ("g".to_string(), Bytes::from_static(b"v")),
+            ],
+            last: false,
+        };
+        assert_eq!(exec(&mut source, chunk.clone()), KvResponse::Ok);
+        assert_eq!(exec(&mut target, chunk), KvResponse::Ok);
+        let cutover = KvCommand::Install {
+            from: "f".into(),
+            to: "m".into(),
+            target: 1,
+            version: 1,
+            entries: vec![("k".to_string(), Bytes::from_static(b"v"))],
+            last: true,
+        };
+        assert_eq!(exec(&mut source, cutover.clone()), KvResponse::Ok);
+        assert_eq!(exec(&mut target, cutover), KvResponse::Ok);
+
+        // Source dropped the range and redirects; target owns it.
+        assert_eq!(source.scheme_version(), 1);
+        assert_eq!(target.scheme_version(), 1);
+        assert!(source.get("g").is_none());
+        assert_eq!(
+            exec(&mut source, KvCommand::Read { key: "g".into() }),
+            KvResponse::Moved {
+                partition: 1,
+                version: 1
+            }
+        );
+        assert_eq!(
+            exec(&mut target, KvCommand::Read { key: "g".into() }),
+            KvResponse::Value(Some(Bytes::from_static(b"v")))
+        );
+        assert_eq!(
+            exec(
+                &mut target,
+                KvCommand::Update {
+                    key: "g".into(),
+                    value: Bytes::from_static(b"w")
+                }
+            ),
+            KvResponse::Ok,
+            "migrated range is writable at the new owner after cutover"
+        );
+        assert_eq!(exec(&mut source, KvCommand::Read { key: "a".into() }), {
+            KvResponse::Value(Some(Bytes::from_static(b"w")))
+        });
+
+        // Duplicate (retried) migration commands are no-ops.
+        assert_eq!(
+            exec(
+                &mut source,
+                KvCommand::Freeze {
+                    from: "f".into(),
+                    to: "m".into(),
+                    target: 1,
+                    version: 1,
+                }
+            ),
+            KvResponse::Ok
+        );
+        assert_eq!(source.scheme_version(), 1);
+    }
+
+    #[test]
+    fn install_without_matching_freeze_is_refused() {
+        let mut app = table_app(0);
+        assert_eq!(
+            exec(
+                &mut app,
+                KvCommand::Install {
+                    from: "f".into(),
+                    to: "m".into(),
+                    target: 1,
+                    version: 1,
+                    entries: vec![],
+                    last: true,
+                }
+            ),
+            KvResponse::Busy
+        );
+        assert_eq!(app.scheme_version(), 0);
+    }
+
+    #[test]
+    fn hash_partitioning_refuses_migration() {
+        let mut app = single_partition_app();
+        assert_eq!(
+            exec(
+                &mut app,
+                KvCommand::Freeze {
+                    from: "a".into(),
+                    to: "b".into(),
+                    target: 0,
+                    version: 1,
+                }
+            ),
+            KvResponse::NotFound
+        );
+    }
+
+    #[test]
+    fn snapshot_carries_scheme_version_and_freeze() {
+        let mut app = table_app(0);
+        exec(
+            &mut app,
+            KvCommand::Insert {
+                key: "a".into(),
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        exec(
+            &mut app,
+            KvCommand::Freeze {
+                from: "f".into(),
+                to: "m".into(),
+                target: 1,
+                version: 3,
+            },
+        );
+
+        // A replica restored from the snapshot refuses frozen-range
+        // writes exactly like the original.
+        let snap = app.snapshot();
+        let mut other = table_app(0);
+        other.restore(&snap);
+        assert_eq!(
+            exec(
+                &mut other,
+                KvCommand::Insert {
+                    key: "g".into(),
+                    value: Bytes::from_static(b"v")
+                }
+            ),
+            KvResponse::Busy
+        );
+        assert_eq!(other.get("a"), app.get("a"));
+
+        // The incremental cut emits the same bytes, trailer included.
+        let mut cut = app.snapshot_cut();
+        let mut buf = BytesMut::new();
+        while cut.write_chunk(&mut buf, 8) {}
+        assert_eq!(buf.freeze(), snap);
+
+        // A legacy snapshot (entries only, no trailer) keeps the
+        // configured scheme on restore.
+        let mut legacy = BytesMut::new();
+        put_varint(&mut legacy, 1);
+        "a".to_string().encode(&mut legacy);
+        Bytes::from_static(b"v").encode(&mut legacy);
+        let mut fresh = table_app(0);
+        fresh.restore(&legacy.freeze());
+        assert_eq!(fresh.scheme_version(), 0);
+        assert_eq!(fresh.len(), 1);
     }
 }

@@ -391,7 +391,7 @@ impl ShardedExec {
                 self.dispatch(ring, env, None);
                 None
             }
-            SESSION_CTL => Some(self.table.control(env)),
+            SESSION_CTL => Some(self.table.control(ring, env)),
             session => match self.table.admit(session, env) {
                 Admission::Reply(payload) => Some(payload),
                 Admission::Cached(slot) => {

@@ -352,6 +352,34 @@ pub struct MultiRingHost {
     executed: u64,
     out: Output,
     hobs: HostObs,
+    /// Lazily created per-ring merge telemetry (the subscription set can
+    /// change at runtime).
+    ring_stats: BTreeMap<RingId, RingMergeStats>,
+    /// Last (ring, needed-instance) position the starvation nudge fired
+    /// at — one nudge per blocked position, or a slow skip round-trip
+    /// would trigger a nudge storm from every pump.
+    merge_nudge_mark: Option<(RingId, InstanceId)>,
+}
+
+/// Per-ring counters/gauges behind the `merge_skips`/`merge_lag`
+/// aggregates, plus delivered-command attribution (what the genuineness
+/// guard scrapes: a ring this node is not addressed by must show zero
+/// delivered commands).
+struct RingMergeStats {
+    skips: Counter,
+    lag: Gauge,
+    delivered: Counter,
+}
+
+impl RingMergeStats {
+    fn new(obs: &Obs, ring: RingId) -> Self {
+        let r = ring.raw();
+        RingMergeStats {
+            skips: obs.counter(&format!("ring{r}_merge_skips")),
+            lag: obs.gauge(&format!("ring{r}_merge_lag")),
+            delivered: obs.counter(&format!("ring{r}_delivered_cmds")),
+        }
+    }
 }
 
 impl MultiRingHost {
@@ -473,6 +501,8 @@ impl MultiRingHost {
             executed: 0,
             out: Output::new(),
             hobs,
+            ring_stats: BTreeMap::new(),
+            merge_nudge_mark: None,
         }
     }
 
@@ -594,8 +624,16 @@ impl MultiRingHost {
     // ------------------------------------------------------------------
 
     fn drain_ring(&mut self, ring: RingId, ctx: &mut Ctx<'_>) {
-        // Move decided values into the merge, sends onto the wire, timers
-        // into the host timer space.
+        self.drain_ring_outputs(ring, ctx);
+        if self.learner.is_some() {
+            self.pump_merge(ctx);
+        }
+    }
+
+    /// Moves decided values into the merge learner (without pumping it),
+    /// sends onto the wire, timers into the host timer space. Returns
+    /// the number of decided instances fed to the learner.
+    fn drain_ring_outputs(&mut self, ring: RingId, ctx: &mut Ctx<'_>) -> usize {
         let decided: Vec<_> = self.out.decided.drain(..).collect();
         self.hobs.instances_decided.add(decided.len() as u64);
         let tracing = self.hobs.obs.tracing();
@@ -618,15 +656,30 @@ impl MultiRingHost {
             let a = (u64::from(ring.raw()) << 8) | tag;
             ctx.schedule(after, Timer::with2(TIMER_RING, a, payload));
         }
+        let mut fed = 0;
         if let Some(learner) = &mut self.learner {
             for (inst, value) in decided {
                 learner.push(ring, inst, value);
+                fed += 1;
             }
-            self.pump_merge(ctx);
         }
+        fed
     }
 
     fn pump_merge(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            self.pump_merge_once(ctx);
+            // A starvation nudge on a loopback/synchronous ring can
+            // decide new skip credit immediately; keep pumping until the
+            // merge is genuinely blocked (iterative, not recursive — a
+            // deep backlog behind an idle ring must not grow the stack).
+            if self.nudge_starved_ring(ctx) == 0 {
+                return;
+            }
+        }
+    }
+
+    fn pump_merge_once(&mut self, ctx: &mut Ctx<'_>) {
         let mut executed_any = false;
         while let Some(delivery) = self.learner.as_mut().and_then(|l| l.pop()) {
             let Ok(payload) =
@@ -643,6 +696,12 @@ impl MultiRingHost {
                 self.executed += 1;
                 executed_any = true;
                 self.hobs.executed_cmds.inc();
+                let obs = &self.hobs.obs;
+                self.ring_stats
+                    .entry(delivery.ring)
+                    .or_insert_with(|| RingMergeStats::new(obs, delivery.ring))
+                    .delivered
+                    .inc();
                 let reply = match &mut self.exec {
                     ExecEngine::Inline(app) => {
                         let reply = app.execute(delivery.ring, &env);
@@ -684,7 +743,59 @@ impl MultiRingHost {
             // count); the lag gauge is volatile by design.
             self.hobs.merge_skips.seed(learner.skips_consumed());
             self.hobs.merge_lag.set(learner.queued_lag() as i64);
+            let obs = &self.hobs.obs;
+            for (ring, n) in learner.skips_by_ring() {
+                self.ring_stats
+                    .entry(ring)
+                    .or_insert_with(|| RingMergeStats::new(obs, ring))
+                    .skips
+                    .seed(n);
+            }
+            for (ring, n) in learner.lag_by_ring() {
+                self.ring_stats
+                    .entry(ring)
+                    .or_insert_with(|| RingMergeStats::new(obs, ring))
+                    .lag
+                    .set(n as i64);
+            }
         }
+    }
+
+    /// When the merge is parked waiting on a ring this node coordinates
+    /// — typically an idle ring deep in the adaptive skip-stride backoff
+    /// while a neighbour ring just turned busy — propose that ring's
+    /// skip credit immediately instead of waiting out the stride. One
+    /// nudge per blocked (ring, instance) position. Returns the number
+    /// of decided instances the nudge fed back into the learner (only a
+    /// loopback/synchronous ring decides inline; a real deployment's
+    /// skip arrives later through the normal decision path).
+    fn nudge_starved_ring(&mut self, ctx: &mut Ctx<'_>) -> usize {
+        let Some(learner) = &self.learner else {
+            return 0;
+        };
+        let Some(ring) = learner.starved_ring() else {
+            self.merge_nudge_mark = None;
+            return 0;
+        };
+        let needed = learner.next_needed(ring).unwrap_or(InstanceId::ZERO);
+        if self.merge_nudge_mark == Some((ring, needed)) {
+            return 0; // already nudged this position; the skip is in flight
+        }
+        let Some(node) = self.rings.get_mut(&ring) else {
+            return 0;
+        };
+        if !node.is_coordinator() {
+            return 0; // the ring's coordinator will level it on its own Δ
+        }
+        self.merge_nudge_mark = Some((ring, needed));
+        let now = ctx.now();
+        let mut out = Output::new();
+        node.rate_level_now(now, &mut out);
+        if out.is_empty() {
+            return 0;
+        }
+        self.out = out;
+        self.drain_ring_outputs(ring, ctx)
     }
 
     fn ring_mut(&mut self, ring: RingId) -> Option<&mut RingNode> {

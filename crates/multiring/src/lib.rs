@@ -27,6 +27,7 @@ pub mod exec;
 pub mod host;
 pub mod merge;
 pub mod recovery;
+pub mod route;
 pub mod session;
 
 pub use app::{ChainCut, EagerCut, EchoApp, ServiceApp, SnapshotCut};
@@ -34,4 +35,5 @@ pub use client::{ClientStats, ClosedLoopClient, CommandGen, SharedClientStats};
 pub use exec::{EchoShardPlan, ReplySink, Route, ShardPlan, ShardedExec};
 pub use host::{HostOptions, MultiRingHost};
 pub use merge::MergeLearner;
-pub use session::{SessionApp, SessionCtl, SessionLimits};
+pub use route::Destination;
+pub use session::{session_home_ring, SessionApp, SessionCtl, SessionLimits};

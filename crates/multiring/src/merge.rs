@@ -51,6 +51,9 @@ pub struct MergeLearner {
     /// the merge since construction — how much rate-leveling traffic the
     /// merge chewed through to keep slow rings from stalling it.
     skips_consumed: u64,
+    /// Per-ring share of `skips_consumed` (kept for rings even after an
+    /// unsubscribe, so the stats plane never loses history).
+    skips_by_ring: BTreeMap<RingId, u64>,
 }
 
 impl MergeLearner {
@@ -81,7 +84,74 @@ impl MergeLearner {
             turn: 0,
             m,
             skips_consumed: 0,
+            skips_by_ring: BTreeMap::new(),
         }
+    }
+
+    /// Adds `ring` to the subscription set, positioned at `from` (its
+    /// first needed instance). Takes effect immediately — callers invoke
+    /// this at a delivered cut so every replica of the partition mutates
+    /// the subscription at the same point in the delivery order. The ring
+    /// whose turn it currently is keeps its turn (and its banked credit);
+    /// the new ring starts with zero credit. No-op if already subscribed.
+    pub fn subscribe(&mut self, ring: RingId, from: InstanceId) {
+        if self.streams.contains_key(&ring) {
+            return;
+        }
+        let cur = self.current_ring();
+        self.streams.insert(
+            ring,
+            RingStream {
+                next: from,
+                queue: VecDeque::new(),
+                consumed_this_turn: 0,
+            },
+        );
+        self.reanchor_turn(cur);
+    }
+
+    /// Removes `ring` from the subscription set, discarding its buffered
+    /// decisions and banked skip credit (credit for the rings that remain
+    /// is untouched — skip credit is conserved per ring). Takes effect
+    /// immediately; call at a delivered cut like [`MergeLearner::subscribe`].
+    /// If the removed ring held the current turn, the turn passes to the
+    /// next ring in ascending order. Returns `false` (and does nothing)
+    /// when `ring` is not subscribed or is the only subscription — a
+    /// merge must always have at least one ring.
+    pub fn unsubscribe(&mut self, ring: RingId) -> bool {
+        if !self.streams.contains_key(&ring) || self.streams.len() == 1 {
+            return false;
+        }
+        let cur = self.current_ring();
+        self.streams.remove(&ring);
+        if cur == ring {
+            // Turn passes to the next ring after the removed one (wrap).
+            let next = self
+                .streams
+                .keys()
+                .copied()
+                .find(|&k| k > ring)
+                .unwrap_or_else(|| *self.streams.keys().next().expect("non-empty"));
+            self.reanchor_turn(next);
+        } else {
+            self.reanchor_turn(cur);
+        }
+        true
+    }
+
+    /// The ring whose turn it currently is.
+    fn current_ring(&self) -> RingId {
+        let rings: Vec<RingId> = self.streams.keys().copied().collect();
+        rings[self.turn % rings.len()]
+    }
+
+    /// Re-points `turn` at `ring` after the subscription set changed.
+    fn reanchor_turn(&mut self, ring: RingId) {
+        self.turn = self
+            .streams
+            .keys()
+            .position(|&k| k == ring)
+            .expect("anchor ring subscribed");
     }
 
     /// The subscribed rings, ascending.
@@ -147,6 +217,7 @@ impl MergeLearner {
                 return Some(MulticastDelivery { ring, inst, value });
             }
             self.skips_consumed += 1;
+            *self.skips_by_ring.entry(ring).or_insert(0) += 1;
         }
     }
 
@@ -156,11 +227,50 @@ impl MergeLearner {
         self.skips_consumed
     }
 
+    /// Per-ring share of [`MergeLearner::skips_consumed`] (feeds the
+    /// per-ring `merge_skips` breakdown in the stats plane). Rings that
+    /// were unsubscribed keep their historical tally.
+    pub fn skips_by_ring(&self) -> Vec<(RingId, u64)> {
+        self.skips_by_ring.iter().map(|(r, n)| (*r, *n)).collect()
+    }
+
     /// Decided-but-undelivered instances buffered across all streams —
     /// how far the merge lags behind the rings feeding it (the
     /// `merge_lag` gauge; a stuck slow ring shows up as growth here).
     pub fn queued_lag(&self) -> u64 {
         self.streams.values().map(|s| s.queue.len() as u64).sum()
+    }
+
+    /// Per-ring buffered-decision depth (the per-ring `merge_lag`
+    /// breakdown in the stats plane).
+    pub fn lag_by_ring(&self) -> Vec<(RingId, u64)> {
+        self.streams
+            .iter()
+            .map(|(r, s)| (*r, s.queue.len() as u64))
+            .collect()
+    }
+
+    /// The ring the merge is currently blocked on, when other rings have
+    /// decisions buffered behind it: the current-turn ring if its turn is
+    /// unsatisfied and it has nothing ready at its stream position. Call
+    /// after [`MergeLearner::pop`] returns `None` — pop leaves the
+    /// scheduler parked exactly on the blocking ring. The host uses this
+    /// to nudge the blocked ring's coordinator into an immediate skip
+    /// instead of waiting out the rate-leveling interval.
+    pub fn starved_ring(&self) -> Option<RingId> {
+        let ring = self.current_ring();
+        let s = self.streams.get(&ring).expect("stream exists");
+        if s.consumed_this_turn >= self.m {
+            return None; // turn already satisfied; merge isn't parked here
+        }
+        let ready = s.queue.front().map(|&(i, _)| i == s.next).unwrap_or(false);
+        if ready {
+            return None;
+        }
+        if self.queued_lag() == 0 {
+            return None; // everything is idle, nothing is being held up
+        }
+        Some(ring)
     }
 
     /// The checkpoint tuple `k_p`: per ring, the next unconsumed instance.
@@ -419,5 +529,96 @@ mod tests {
     #[should_panic(expected = "at least one ring")]
     fn empty_subscription_panics() {
         let _ = MergeLearner::new(&[], 1);
+    }
+
+    #[test]
+    fn subscribe_keeps_current_turn_and_positions_new_ring() {
+        let mut m = MergeLearner::new(&[r(0), r(2)], 1);
+        m.push(r(0), i(0), app(0, 0));
+        m.push(r(2), i(0), app(2, 0));
+        assert_eq!(m.pop().unwrap().ring, r(0));
+        // The scheduler is still parked on r0 (its turn completes lazily
+        // on the next pop). Subscribing r1 keeps that anchor, so r1 —
+        // inserted right after r0 — takes the next turn, then r2.
+        m.subscribe(r(1), i(5));
+        assert_eq!(m.rings(), vec![r(0), r(1), r(2)]);
+        assert_eq!(m.next_needed(r(1)), Some(i(5)));
+        m.push(r(0), i(1), app(0, 1));
+        m.push(r(1), i(5), app(1, 5));
+        m.push(r(2), i(1), app(2, 1));
+        let order: Vec<(RingId, u64)> = std::iter::from_fn(|| m.pop())
+            .map(|d| (d.ring, d.inst.raw()))
+            .collect();
+        assert_eq!(order, vec![(r(1), 5), (r(2), 0), (r(0), 1)]);
+    }
+
+    #[test]
+    fn unsubscribe_preserves_other_rings_credit() {
+        let mut m = MergeLearner::new(&[r(0), r(1), r(2)], 1);
+        // Bank 4 turns of credit on r2 via one skip token.
+        m.push(r(0), i(0), app(0, 0));
+        m.push(r(1), i(0), app(1, 0));
+        m.push(r(2), i(0), skip(5, 0));
+        for _ in 0..2 {
+            assert!(m.pop().is_some());
+        }
+        assert!(m.pop().is_none()); // r2 credit consumed one turn; parked on r0
+        assert!(m.unsubscribe(r(1)));
+        assert_eq!(m.rings(), vec![r(0), r(2)]);
+        // r2's banked credit survives the removal of r1: two more r0
+        // messages flow without r2 producing anything.
+        m.push(r(0), i(1), app(0, 1));
+        m.push(r(0), i(2), app(0, 2));
+        assert_eq!(m.pop().unwrap().value, app(0, 1));
+        assert_eq!(m.pop().unwrap().value, app(0, 2));
+    }
+
+    #[test]
+    fn unsubscribe_current_turn_passes_to_next_ring() {
+        let mut m = MergeLearner::new(&[r(0), r(1)], 1);
+        m.push(r(0), i(0), app(0, 0));
+        assert_eq!(m.pop().unwrap().ring, r(0));
+        // Parked on r1. Removing r1 hands the turn back to r0.
+        assert!(m.unsubscribe(r(1)));
+        m.push(r(0), i(1), app(0, 1));
+        assert_eq!(m.pop().unwrap().value, app(0, 1));
+    }
+
+    #[test]
+    fn cannot_unsubscribe_last_ring() {
+        let mut m = MergeLearner::new(&[r(0)], 1);
+        assert!(!m.unsubscribe(r(0)));
+        assert!(!m.unsubscribe(r(9)));
+        assert_eq!(m.rings(), vec![r(0)]);
+    }
+
+    #[test]
+    fn per_ring_skip_and_lag_breakdown() {
+        let mut m = MergeLearner::new(&[r(0), r(1)], 1);
+        m.push(r(0), i(0), app(0, 0));
+        m.push(r(1), i(0), skip(1, 0));
+        m.push(r(1), i(1), skip(1, 1));
+        m.push(r(0), i(1), app(0, 1));
+        while m.pop().is_some() {}
+        assert_eq!(m.skips_consumed(), 2);
+        assert_eq!(m.skips_by_ring(), vec![(r(1), 2)]);
+        m.push(r(0), i(2), app(0, 2));
+        let lag = m.lag_by_ring();
+        assert_eq!(lag, vec![(r(0), 1), (r(1), 0)]);
+    }
+
+    #[test]
+    fn starved_ring_names_the_blocker() {
+        let mut m = MergeLearner::new(&[r(0), r(1)], 1);
+        assert_eq!(m.starved_ring(), None); // fully idle — nothing held up
+        m.push(r(0), i(0), app(0, 0));
+        assert_eq!(m.pop().unwrap().ring, r(0));
+        m.push(r(0), i(1), app(0, 1));
+        assert!(m.pop().is_none());
+        // r0 has work buffered but r1's turn is unsatisfied and empty.
+        assert_eq!(m.starved_ring(), Some(r(1)));
+        m.push(r(1), i(0), skip(1, 0));
+        assert!(m.pop().is_some());
+        assert_eq!(m.starved_ring(), None);
     }
 }

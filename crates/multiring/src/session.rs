@@ -27,27 +27,35 @@
 //! executing side fills — so an admission decision never has to wait for
 //! the execution it admitted.
 //!
-//! ## Session identity
+//! ## Session identity: ring-homed ids
 //!
 //! Sessions are opened through the ordered stream itself: a control
-//! command ([`SessionCtl::Open`]) delivered on the multicast group that
-//! *every* partition subscribes to (the deployment's global ring)
-//! allocates the next id from a replicated counter. Since all replicas
-//! apply global-ring commands in the same relative order, the allocation
-//! is deterministic — collision-free by construction, with no wall-clock
-//! or randomness anywhere (protocol v1 needed a wall-clock `seq_base`
-//! precisely because it lacked this).
+//! command ([`SessionCtl::Open`]) delivered on a ring allocates the next
+//! id from that ring's replicated counter and **homes the session on
+//! that ring** — the id carries the home ring in its top 16 bits
+//! ([`session_home_ring`]), and the session's reply cache and dedup
+//! state live only at the replicas that subscribe to the home ring.
+//! Single-partition traffic opens a session on the partition's own ring
+//! (no other partition stores anything for it); cross-partition traffic
+//! opens one on the shared fanout ring, where every partition delivers
+//! the same opens in the same order and therefore allocates the *same*
+//! id — so a fanned-out command's session stamp resolves at every
+//! addressed partition. Allocation is deterministic, collision-free by
+//! construction (counters are per ring, the ring tag disambiguates),
+//! with no wall-clock or randomness anywhere (protocol v1 needed a
+//! wall-clock `seq_base` precisely because it lacked this).
 //!
 //! ## Liveness and expiry
 //!
-//! A session's `refresh` counter is bumped **only** by global-ring
-//! control commands ([`SessionCtl::KeepAlive`]), never by per-partition
-//! executions — so the counter is identical on every partition, and one
+//! A session's `refresh` counter is bumped **only** by control commands
+//! ordered on its home ring ([`SessionCtl::KeepAlive`]), never by
+//! per-partition executions — so the counter is identical on every
+//! replica holding the session, and one
 //! [`SessionCtl::Expire`]`{session, seen_refresh}` CAS (the amcoord
 //! session shape) removes the session everywhere or nowhere. Serving
-//! nodes propose the expiry when a session's refresh counter stops
-//! moving for its TTL; a keep-alive racing through the log wins the CAS
-//! and the session survives.
+//! nodes propose the expiry on the session's home ring when its refresh
+//! counter stops moving for its TTL; a keep-alive racing through the log
+//! wins the CAS and the session survives.
 //!
 //! ## Bounded memory
 //!
@@ -79,6 +87,37 @@ pub const ST_WINDOW_EXCEEDED: u8 = 2;
 /// The seq is at or below the client's own ack — a duplicate of a
 /// command whose reply the client already confirmed. Not executed.
 pub const ST_STALE: u8 = 3;
+
+/// Bits below the home-ring tag in a session id.
+const RING_TAG_SHIFT: u32 = 48;
+
+/// Composes a ring-homed session id: the home ring (plus one, so the
+/// zero tag stays reserved for the v1/no-session namespace) in the top
+/// 16 bits, a per-ring replicated counter below. Ids from different
+/// rings can never collide, and any holder of an id can recover the ring
+/// that owns the session's reply cache.
+fn compose_session_id(ring: RingId, counter: u64) -> u64 {
+    debug_assert!(
+        ring.raw() < u16::MAX,
+        "ring id {ring} too large to home sessions"
+    );
+    debug_assert!(counter < 1 << RING_TAG_SHIFT, "session counter overflow");
+    ((u64::from(ring.raw()) + 1) << RING_TAG_SHIFT) | counter
+}
+
+/// The ring a session id homes on (where its reply cache and dedup state
+/// live, and where keep-alives/expiries must be ordered). `None` for the
+/// reserved sentinels and untagged (pre-homing) ids.
+pub fn session_home_ring(session: u64) -> Option<RingId> {
+    if session == NO_SESSION || session == SESSION_CTL {
+        return None;
+    }
+    let tag = session >> RING_TAG_SHIFT;
+    if tag == 0 || tag > u64::from(u16::MAX) {
+        return None;
+    }
+    Some(RingId::new((tag - 1) as u16))
+}
 
 /// Session-control commands, carried in `Envelope::cmd` when
 /// `Envelope::session == SESSION_CTL`.
@@ -309,9 +348,13 @@ pub(crate) enum Admission {
 /// and the sharded executor are thin drivers around this.
 pub(crate) struct SessionTable {
     limits: SessionLimits,
-    /// Next session id to allocate (ids start at 1; 0 and `u64::MAX` are
-    /// wire sentinels).
-    next_id: u64,
+    /// Next session counter per home ring (counters start at 1; the full
+    /// id is [`compose_session_id`]`(ring, counter)`). Per-ring counters
+    /// make allocation deterministic *per ordered stream*: every replica
+    /// subscribed to a ring delivers that ring's opens in the same order,
+    /// so a shared ring (the fanout/global ring) allocates the same id
+    /// at every partition.
+    next_ids: BTreeMap<RingId, u64>,
     /// Deterministic logical clock: bumped once per executed envelope.
     tick: u64,
     sessions: BTreeMap<u64, SessionState>,
@@ -320,7 +363,7 @@ pub(crate) struct SessionTable {
 /// Decoded snapshot fields of a [`SessionTable`] (limits are config, not
 /// state, and are never serialized).
 pub(crate) struct TableImage {
-    next_id: u64,
+    next_ids: BTreeMap<RingId, u64>,
     tick: u64,
     sessions: BTreeMap<u64, SessionState>,
 }
@@ -329,7 +372,7 @@ impl SessionTable {
     pub(crate) fn new(limits: SessionLimits) -> Self {
         SessionTable {
             limits,
-            next_id: 1,
+            next_ids: BTreeMap::new(),
             tick: 0,
             sessions: BTreeMap::new(),
         }
@@ -364,15 +407,16 @@ impl SessionTable {
         }
     }
 
-    pub(crate) fn control(&mut self, env: &Envelope) -> Bytes {
+    pub(crate) fn control(&mut self, group: RingId, env: &Envelope) -> Bytes {
         let Ok(ctl) = SessionCtl::decode(&mut env.cmd.clone()) else {
             return status(ST_STALE); // foreign/corrupt control payload
         };
         match ctl {
             SessionCtl::Open { token: _, ttl_ms } => {
                 self.evict_if_full();
-                let id = self.next_id;
-                self.next_id += 1;
+                let counter = self.next_ids.entry(group).or_insert(1);
+                let id = compose_session_id(group, *counter);
+                *counter += 1;
                 self.sessions.insert(
                     id,
                     SessionState {
@@ -456,7 +500,11 @@ impl SessionTable {
     /// must have rendezvoused with outstanding executions first: an
     /// unfilled slot snapshots as an empty reply.
     pub(crate) fn encode(&self, buf: &mut BytesMut) {
-        put_varint(buf, self.next_id);
+        put_varint(buf, self.next_ids.len() as u64);
+        for (ring, counter) in &self.next_ids {
+            put_varint(buf, u64::from(ring.raw()));
+            put_varint(buf, *counter);
+        }
         put_varint(buf, self.tick);
         put_varint(buf, self.sessions.len() as u64);
         for (id, s) in &self.sessions {
@@ -476,7 +524,12 @@ impl SessionTable {
     /// Decodes the table fields written by [`SessionTable::encode`],
     /// leaving `raw` positioned after them.
     pub(crate) fn decode_image(raw: &mut Bytes) -> Result<TableImage, WireError> {
-        let next_id = get_varint(raw)?;
+        let rings = get_varint(raw)?;
+        let mut next_ids = BTreeMap::new();
+        for _ in 0..rings {
+            let ring = RingId::new(get_varint(raw)? as u16);
+            next_ids.insert(ring, get_varint(raw)?);
+        }
         let tick = get_varint(raw)?;
         let n = get_varint(raw)?;
         let mut sessions = BTreeMap::new();
@@ -504,7 +557,7 @@ impl SessionTable {
             );
         }
         Ok(TableImage {
-            next_id,
+            next_ids,
             tick,
             sessions,
         })
@@ -512,13 +565,13 @@ impl SessionTable {
 
     /// Installs decoded snapshot fields, keeping the configured limits.
     pub(crate) fn install(&mut self, image: TableImage) {
-        self.next_id = image.next_id;
+        self.next_ids = image.next_ids;
         self.tick = image.tick;
         self.sessions = image.sessions;
     }
 
     pub(crate) fn reset(&mut self) {
-        self.next_id = 1;
+        self.next_ids.clear();
         self.tick = 0;
         self.sessions.clear();
     }
@@ -572,7 +625,7 @@ impl ServiceApp for SessionApp {
         self.table.tick();
         match env.session {
             NO_SESSION => self.inner.execute(group, env),
-            SESSION_CTL => self.table.control(env),
+            SESSION_CTL => self.table.control(group, env),
             session => match self.table.admit(session, env) {
                 Admission::Reply(payload) => payload,
                 Admission::Cached(slot) => {

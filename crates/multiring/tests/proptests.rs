@@ -217,6 +217,117 @@ proptest! {
         }
     }
 
+    /// Dynamic subscription sets: a learner whose ring set changes at
+    /// runtime (subscribe at the stream's next instance, unsubscribe
+    /// anywhere) interleaved with skips and values must (1) deliver each
+    /// ring's messages in stream order, (2) conserve skip credit — the
+    /// aggregate tally always equals the per-ring tallies' sum — and
+    /// (3) end in a state a from-scratch learner of the final ring set
+    /// reproduces exactly: both deliver the identical remaining suffix.
+    #[test]
+    fn dynamic_subscriptions_preserve_order_and_reproduce(
+        s0 in arb_stream(),
+        s1 in arb_stream(),
+        s2 in arb_stream(),
+        ops in proptest::collection::vec((0usize..3, any::<bool>()), 0..12),
+        pops_between in proptest::collection::vec(0usize..6, 1..40),
+        m in 1u64..4,
+    ) {
+        let rings = [RingId::new(0), RingId::new(1), RingId::new(2)];
+        let streams = [
+            decisions(rings[0], &s0),
+            decisions(rings[1], &s1),
+            decisions(rings[2], &s2),
+        ];
+        // The instance a ring's next un-pushed decision starts at (its
+        // cursor position), or one past its stream's end.
+        let next_inst = |s: usize, cursor: usize| -> InstanceId {
+            streams[s].get(cursor).map(|(i, _)| *i).unwrap_or_else(|| {
+                streams[s]
+                    .last()
+                    .map(|(i, v)| match v.kind {
+                        ValueKind::Skip(n) => InstanceId::new(i.raw() + u64::from(n)),
+                        _ => InstanceId::new(i.raw() + 1),
+                    })
+                    .unwrap_or(InstanceId::ZERO)
+            })
+        };
+
+        let mut learner = MergeLearner::new(&rings[..1], m);
+        let mut cursors = [0usize; 3];
+        let mut delivered_per_ring: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut ops_iter = ops.into_iter();
+        for pops in &pops_between {
+            // Mutate the subscription set (a real replica does this at a
+            // delivered cut; a single learner's trajectory is always at
+            // one).
+            if let Some((s, sub)) = ops_iter.next() {
+                if sub {
+                    learner.subscribe(rings[s], next_inst(s, cursors[s]));
+                } else {
+                    learner.unsubscribe(rings[s]);
+                }
+            }
+            // Feed one decision to every currently subscribed ring.
+            for s in 0..3 {
+                if learner.rings().contains(&rings[s]) && cursors[s] < streams[s].len() {
+                    let (inst, value) = streams[s][cursors[s]].clone();
+                    learner.push(rings[s], inst, value);
+                    cursors[s] += 1;
+                }
+            }
+            for _ in 0..*pops {
+                let Some(d) = learner.pop() else { break };
+                delivered_per_ring[d.ring.raw() as usize].push(d.inst.raw());
+            }
+            // Skip credit is conserved: the aggregate equals the sum of
+            // the per-ring shares at every point along the trajectory.
+            let by_ring: u64 = learner.skips_by_ring().iter().map(|(_, n)| n).sum();
+            prop_assert_eq!(learner.skips_consumed(), by_ring);
+        }
+
+        // Per-ring delivery never reorders the stream, across any number
+        // of unsubscribe/resubscribe cycles.
+        for per_ring in &delivered_per_ring {
+            prop_assert!(
+                per_ring.windows(2).all(|w| w[0] < w[1]),
+                "ring deliveries out of stream order: {per_ring:?}"
+            );
+        }
+
+        // From-scratch equivalence: a fresh learner of the final ring
+        // set, restored to this cut, delivers the same suffix from the
+        // same remaining decisions.
+        let final_rings = learner.rings();
+        let tuple = learner.checkpoint_tuple();
+        let (turn, credits) = learner.scheduler_state();
+        let mut fresh = MergeLearner::new(&final_rings, m);
+        fresh.restore(&tuple);
+        fresh.restore_scheduler_state(turn, &credits);
+        for s in 0..3 {
+            if !final_rings.contains(&rings[s]) {
+                continue;
+            }
+            for (inst, value) in &streams[s] {
+                if *inst >= tuple.get(rings[s]).unwrap_or(InstanceId::ZERO) {
+                    fresh.push(rings[s], *inst, value.clone());
+                }
+                if *inst >= next_inst(s, cursors[s]) {
+                    learner.push(rings[s], *inst, value.clone());
+                }
+            }
+        }
+        let mut original_suffix = Vec::new();
+        while let Some(d) = learner.pop() {
+            original_suffix.push((d.ring, d.inst, d.value.id));
+        }
+        let mut fresh_suffix = Vec::new();
+        while let Some(d) = fresh.pop() {
+            fresh_suffix.push((d.ring, d.inst, d.value.id));
+        }
+        prop_assert_eq!(original_suffix, fresh_suffix);
+    }
+
     /// Restoring from any checkpoint cut and replaying the remaining
     /// decisions produces the suffix of the original delivery sequence.
     #[test]

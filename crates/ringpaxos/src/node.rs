@@ -53,6 +53,14 @@ use storage::AcceptorLog;
 use crate::options::RingOptions;
 use crate::timer::RingTimer;
 
+/// Ceiling on the idle-skip stride: a fully idle coordinator settles at
+/// one skip token (covering this many Δ intervals of credit) per this
+/// many Δ intervals, instead of one per Δ. Bounds both the idle
+/// consensus traffic (1/stride of naive) and the worst-case extra
+/// latency a merge waits for an idle ring's credit (stride × Δ; the
+/// host's starvation nudge usually collapses it to one pump cycle).
+pub const MAX_IDLE_SKIP_STRIDE: u64 = 32;
+
 /// Effects emitted by a [`RingNode`] handler; the host runtime drains it
 /// after every call.
 #[derive(Debug, Default)]
@@ -144,6 +152,15 @@ pub struct RingNode {
     next_instance: InstanceId,
     prop_queue: VecDeque<Value>,
     proposals_since_delta: u64,
+    /// Consecutive fully-idle Δ intervals since the last real proposal
+    /// (adaptive skip cadence input).
+    idle_deltas: u64,
+    /// Current idle-skip stride: an idle coordinator proposes one skip
+    /// covering `stride` Δ intervals every `stride` intervals, doubling
+    /// up to [`MAX_IDLE_SKIP_STRIDE`] — so an idle subscribed ring costs
+    /// ~1/stride of the naive one-skip-per-Δ consensus traffic while
+    /// banking exactly the same merge credit.
+    idle_stride: u64,
     seen_ids: HashSet<ValueId>,
     seen_order: VecDeque<ValueId>,
 
@@ -224,6 +241,8 @@ impl RingNode {
             next_instance: InstanceId::ZERO,
             prop_queue: VecDeque::new(),
             proposals_since_delta: 0,
+            idle_deltas: 0,
+            idle_stride: 1,
             seen_ids: HashSet::new(),
             seen_order: VecDeque::new(),
             next_delivery: InstanceId::ZERO,
@@ -1253,6 +1272,16 @@ impl RingNode {
 
     /// Rate leveling (§4): propose one skip token covering the shortfall
     /// between the proposals seen this Δ and the expected λ·Δ.
+    ///
+    /// The cadence is adaptive: a Δ with real proposals resets the
+    /// backoff and skips only the shortfall, while consecutive fully
+    /// idle Δs double a stride (capped at [`MAX_IDLE_SKIP_STRIDE`]) and
+    /// propose one skip covering `stride` intervals every `stride`
+    /// intervals. Merge credit banked per unit time is unchanged; the
+    /// consensus traffic an idle ring generates drops by the stride.
+    /// The host collapses the added idle-transition latency with
+    /// [`RingNode::rate_level_now`] when its merge is starved on this
+    /// ring.
     fn on_rate_level(&mut self, now: SimTime, out: &mut Output) {
         let Some(rl) = self.opts.rate_leveling else {
             return;
@@ -1265,17 +1294,51 @@ impl RingNode {
         let expected = rl.expected_per_delta();
         let got = self.proposals_since_delta;
         self.proposals_since_delta = 0;
-        if got < expected {
-            let n = (expected - got) as u32;
-            let id = self.next_value_id();
-            let skip = Value {
-                id,
-                kind: ValueKind::Skip(n),
-            };
-            self.remember_seen(id);
-            self.prop_queue.push_back(skip);
-            self.pump_proposals(now, out);
+        if got > 0 {
+            self.idle_deltas = 0;
+            self.idle_stride = 1;
+            if got < expected {
+                self.propose_skip((expected - got) as u32, now, out);
+            }
+            return;
         }
+        self.idle_deltas += 1;
+        if self.idle_deltas < self.idle_stride {
+            return; // within the stride: stay silent, owe the credit
+        }
+        let owed = self.idle_deltas;
+        self.idle_deltas = 0;
+        self.idle_stride = (self.idle_stride * 2).min(MAX_IDLE_SKIP_STRIDE);
+        self.propose_skip((expected * owed) as u32, now, out);
+    }
+
+    /// Immediately proposes the skip credit of one Δ interval, outside
+    /// the timer cadence. The host calls this when its deterministic
+    /// merge is parked waiting on this ring (an idle ring deep in stride
+    /// backoff would otherwise make a newly active neighbour ring wait
+    /// out the stride); it also resets the backoff so the cadence stays
+    /// tight while someone is actually waiting.
+    pub fn rate_level_now(&mut self, now: SimTime, out: &mut Output) {
+        let Some(rl) = self.opts.rate_leveling else {
+            return;
+        };
+        if !self.coordinating || !self.phase1_complete || self.proposals_since_delta > 0 {
+            return;
+        }
+        self.idle_deltas = 0;
+        self.idle_stride = 1;
+        self.propose_skip(rl.expected_per_delta().max(1) as u32, now, out);
+    }
+
+    fn propose_skip(&mut self, n: u32, now: SimTime, out: &mut Output) {
+        let id = self.next_value_id();
+        let skip = Value {
+            id,
+            kind: ValueKind::Skip(n),
+        };
+        self.remember_seen(id);
+        self.prop_queue.push_back(skip);
+        self.pump_proposals(now, out);
     }
 
     fn on_liveness(&mut self, now: SimTime, out: &mut Output) {
