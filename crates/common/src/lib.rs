@@ -15,7 +15,9 @@
 //!   varint framing, used for on-disk logs and TCP transport.
 //! * [`transport`] — live-runtime building blocks shared by every real
 //!   (non-simulated) event loop: wall-clock↔[`SimTime`] mapping, timer
-//!   heaps and peer-frame reassembly.
+//!   heaps, peer-frame reassembly and sans-IO link shaping.
+//! * [`geo`] — the shared WAN world: EC2 regions, the 2014 RTT matrix
+//!   and named profiles both `simnet` and `liverun::netem` build from.
 //! * [`hist`] — a log-bucketed latency histogram shared by the simulator
 //!   metrics and the benchmark harnesses.
 //! * [`obs`] — the per-node observability registry (counters, gauges,
@@ -36,6 +38,7 @@
 //! ```
 
 pub mod error;
+pub mod geo;
 pub mod hash;
 pub mod hist;
 pub mod ids;

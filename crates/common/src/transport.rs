@@ -328,6 +328,128 @@ pub fn encode_frame<T: Wire>(msg: &T) -> Bytes {
     buf.freeze()
 }
 
+/// Shaping policy for one *directed* network link.
+///
+/// The same policy type drives both worlds: the discrete-event simulator
+/// derives its per-hop timing from it (via `simnet::Topology`) and the
+/// live netem relays (`liverun::netem`) apply it to real TCP byte
+/// streams. Delay is one-way; a symmetric RTT splits evenly across the
+/// two directed links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkPolicy {
+    /// One-way propagation delay added to every chunk.
+    pub delay: Duration,
+    /// Proportional jitter in percent of `delay`: each chunk gets an
+    /// extra uniform `[0, delay * jitter_pct / 100)` on top.
+    pub jitter_pct: u32,
+    /// Serialization bandwidth in bytes per second; `0` means unlimited.
+    pub bytes_per_sec: u64,
+    /// Percent probability that a chunk transfer kills the connection
+    /// (loss surfaces as a TCP reset, forcing sender-side reconnect).
+    pub loss_pct: u32,
+    /// A blocked link delivers nothing until unblocked (directional
+    /// partition; existing connections are cut, new ones refused).
+    pub blocked: bool,
+}
+
+impl LinkPolicy {
+    /// A policy that forwards everything untouched.
+    pub fn unshaped() -> Self {
+        LinkPolicy {
+            delay: Duration::ZERO,
+            jitter_pct: 0,
+            bytes_per_sec: 0,
+            loss_pct: 0,
+            blocked: false,
+        }
+    }
+
+    /// The same policy with `delay` scaled to `pct` percent (jitter
+    /// scales implicitly, being proportional). Used by fast CI runs that
+    /// keep the *shape* of a WAN (relative latencies) at a fraction of
+    /// the wall-clock cost.
+    pub fn scale_delay(mut self, pct: u64) -> Self {
+        self.delay = Duration::from_nanos((self.delay.as_nanos() as u64).saturating_mul(pct) / 100);
+        self
+    }
+}
+
+impl Default for LinkPolicy {
+    fn default() -> Self {
+        Self::unshaped()
+    }
+}
+
+/// What the shaper decided for one chunk of bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct ShapeDecision {
+    /// Earliest instant the chunk may be written to the far side.
+    pub release: Instant,
+    /// Delay injected beyond `now` (propagation + jitter + queueing).
+    pub delay: Duration,
+    /// True when the bandwidth cap made this chunk queue behind earlier
+    /// bytes still "on the wire".
+    pub throttled: bool,
+}
+
+/// Sans-IO release-time calculator for one directed link.
+///
+/// Models a serialization clock (the link transmits at most
+/// `bytes_per_sec`) followed by a propagation pipe (`delay` + jitter).
+/// Release times are monotone — a later chunk never overtakes an earlier
+/// one even when its jitter draw is smaller — so TCP byte order is
+/// preserved. The caller supplies the jitter sample (`unit` in `[0, 1)`)
+/// so this stays deterministic and testable.
+#[derive(Debug, Default)]
+pub struct LinkShaper {
+    /// When the serialization clock frees up.
+    busy_until: Option<Instant>,
+    /// Release time handed out for the previous chunk (FIFO floor).
+    prev_release: Option<Instant>,
+}
+
+impl LinkShaper {
+    /// A shaper with an idle wire.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes when a `bytes`-sized chunk read at `now` may be delivered
+    /// under `policy`, with `unit` in `[0, 1)` driving the jitter draw.
+    pub fn shape(
+        &mut self,
+        now: Instant,
+        bytes: usize,
+        policy: &LinkPolicy,
+        unit: f64,
+    ) -> ShapeDecision {
+        let start = match self.busy_until {
+            Some(busy) if busy > now => busy,
+            _ => now,
+        };
+        let throttled = start > now;
+        let serialize = (bytes as u64)
+            .saturating_mul(1_000_000_000)
+            .checked_div(policy.bytes_per_sec)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO);
+        let wire_free = start + serialize;
+        self.busy_until = Some(wire_free);
+        let jitter_ns = (policy.delay.as_nanos() as f64 * policy.jitter_pct as f64 / 100.0
+            * unit.clamp(0.0, 1.0)) as u64;
+        let mut release = wire_free + policy.delay + Duration::from_nanos(jitter_ns);
+        if let Some(prev) = self.prev_release {
+            release = release.max(prev);
+        }
+        self.prev_release = Some(release);
+        ShapeDecision {
+            release,
+            delay: release.saturating_duration_since(now),
+            throttled,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +549,66 @@ mod tests {
         // either way the call must return, not panic.
         let _ = rx.try_next::<Msg>();
         assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn link_shaper_adds_one_way_delay() {
+        let mut s = LinkShaper::new();
+        let policy = LinkPolicy {
+            delay: Duration::from_millis(40),
+            ..LinkPolicy::unshaped()
+        };
+        let now = Instant::now();
+        let d = s.shape(now, 1000, &policy, 0.0);
+        assert_eq!(d.release, now + Duration::from_millis(40));
+        assert!(!d.throttled);
+    }
+
+    #[test]
+    fn link_shaper_serializes_at_bandwidth_and_reports_throttling() {
+        let mut s = LinkShaper::new();
+        let policy = LinkPolicy {
+            bytes_per_sec: 1_000_000, // 1 MB/s: 10 KB takes 10 ms on the wire
+            ..LinkPolicy::unshaped()
+        };
+        let now = Instant::now();
+        let first = s.shape(now, 10_000, &policy, 0.0);
+        assert_eq!(first.release, now + Duration::from_millis(10));
+        assert!(!first.throttled, "idle wire: first chunk never queues");
+        // Second chunk read at the same instant queues behind the first.
+        let second = s.shape(now, 10_000, &policy, 0.0);
+        assert_eq!(second.release, now + Duration::from_millis(20));
+        assert!(second.throttled);
+    }
+
+    #[test]
+    fn link_shaper_jitter_never_reorders() {
+        let mut s = LinkShaper::new();
+        let policy = LinkPolicy {
+            delay: Duration::from_millis(10),
+            jitter_pct: 50,
+            ..LinkPolicy::unshaped()
+        };
+        let now = Instant::now();
+        // First chunk draws maximal jitter, second draws none: the
+        // second's release must not undercut the first's (FIFO floor).
+        let first = s.shape(now, 100, &policy, 0.999);
+        let second = s.shape(now + Duration::from_micros(1), 100, &policy, 0.0);
+        assert!(second.release >= first.release);
+        assert!(first.delay >= Duration::from_millis(14));
+    }
+
+    #[test]
+    fn link_policy_scale_delay_keeps_shape() {
+        let p = LinkPolicy {
+            delay: Duration::from_millis(80),
+            jitter_pct: 5,
+            ..LinkPolicy::unshaped()
+        };
+        let scaled = p.scale_delay(25);
+        assert_eq!(scaled.delay, Duration::from_millis(20));
+        assert_eq!(scaled.jitter_pct, 5);
+        assert_eq!(p.scale_delay(100), p);
     }
 
     #[test]

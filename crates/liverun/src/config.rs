@@ -38,7 +38,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use common::error::{Error, Result};
+use common::geo::{Region, WanProfile};
 use common::ids::{NodeId, PartitionId, RingId};
+use common::transport::LinkPolicy;
 use coord::{PartitionInfo, Registry, RingConfig};
 use mrpstore::Partitioning;
 
@@ -95,6 +97,76 @@ pub struct PartitionSpec {
     pub rings: Vec<RingId>,
     /// The replicas.
     pub replicas: Vec<NodeId>,
+}
+
+/// One named region of a geo deployment and the nodes placed in it.
+#[derive(Clone, Debug)]
+pub struct RegionSpec {
+    /// The region's name (an AWS name resolves its links through the
+    /// deployment's WAN profile; any other name needs `[[link]]` entries).
+    pub name: String,
+    /// The nodes living in this region.
+    pub nodes: Vec<NodeId>,
+}
+
+/// The geography of a deployment: named regions, resolved per-link
+/// policies and the profile they came from. Present when the document
+/// declares `[[region]]` sections; [`crate::Deployment`] then shapes
+/// every inter-node TCP link through `liverun::netem`.
+#[derive(Clone, Debug)]
+pub struct GeoSpec {
+    /// The WAN profile links resolve through (`wan_profile`).
+    pub profile: String,
+    /// Percent applied to every link's one-way delay
+    /// (`wan_delay_scale_pct`, default 100): CI smoke runs keep the WAN's
+    /// *shape* at a fraction of its wall-clock cost.
+    pub delay_scale_pct: u64,
+    /// The declared regions.
+    pub regions: Vec<RegionSpec>,
+    /// The region hosting the coordination service (`coord_region`,
+    /// default: the first declared region). Nodes partitioned from it
+    /// lose coordination access — the paper's ZooKeeper becomes
+    /// unreachable with the WAN, so a minority-partitioned replica
+    /// cannot keep evicting healthy members.
+    pub coord_region: String,
+    /// Resolved directed-link policies, delay scaling applied.
+    links: BTreeMap<(String, String), LinkPolicy>,
+}
+
+impl GeoSpec {
+    /// The region `node` was placed in.
+    pub fn region_of(&self, node: NodeId) -> Option<&str> {
+        self.regions
+            .iter()
+            .find(|r| r.nodes.contains(&node))
+            .map(|r| r.name.as_str())
+    }
+
+    /// The resolved policy for the directed link `from` → `to`
+    /// (unshaped for pairs outside the declared world).
+    pub fn policy(&self, from: &str, to: &str) -> LinkPolicy {
+        self.links
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or_else(LinkPolicy::unshaped)
+    }
+
+    /// All resolved directed links.
+    pub fn links(&self) -> impl Iterator<Item = (&str, &str, LinkPolicy)> {
+        self.links
+            .iter()
+            .map(|((a, b), p)| (a.as_str(), b.as_str(), *p))
+    }
+
+    /// The largest one-way delay of any link — what proposal/retry
+    /// timers must out-wait on this geography.
+    pub fn max_one_way(&self) -> Duration {
+        self.links
+            .values()
+            .map(|p| p.delay)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
 }
 
 /// A full deployment description.
@@ -155,6 +227,9 @@ pub struct DeploymentConfig {
     /// (`wal_roll_every`); checkpoint-cadence pruning reclaims whole
     /// segments below the durable cut.
     pub wal_roll_every: u64,
+    /// The deployment's geography, when `[[region]]` sections are
+    /// present: in-process deployments then shape every peer link.
+    pub geo: Option<GeoSpec>,
     /// The nodes.
     pub nodes: Vec<NodeSpec>,
     /// The rings.
@@ -226,6 +301,79 @@ impl DeploymentConfig {
             });
         }
 
+        let mut regions = Vec::new();
+        for t in doc.list("region") {
+            regions.push(RegionSpec {
+                name: t.str_req("name")?,
+                nodes: t.ids("nodes")?,
+            });
+        }
+        let geo = if regions.is_empty() {
+            None
+        } else {
+            let profile_name = deployment.str_or("wan_profile", "ec2-2014");
+            let profile = WanProfile::by_name(&profile_name)
+                .ok_or_else(|| Error::Config(format!("unknown wan_profile {profile_name:?}")))?;
+            let delay_scale_pct = deployment.int_or("wan_delay_scale_pct", 100)?;
+            let mut links = BTreeMap::new();
+            for a in &regions {
+                for b in &regions {
+                    let base = match (Region::from_name(&a.name), Region::from_name(&b.name)) {
+                        (Some(ra), Some(rb)) => profile.policy(ra, rb),
+                        _ if a.name == b.name => LinkPolicy {
+                            delay: profile.intra_rtt / 2,
+                            jitter_pct: profile.jitter_pct,
+                            bytes_per_sec: profile.intra_bytes_per_sec,
+                            loss_pct: 0,
+                            blocked: false,
+                        },
+                        // Non-AWS region names get their inter-region
+                        // links from [[link]] overrides below.
+                        _ => LinkPolicy::unshaped(),
+                    };
+                    links.insert((a.name.clone(), b.name.clone()), base);
+                }
+            }
+            for t in doc.list("link") {
+                let from = t.str_req("from")?;
+                let to = t.str_req("to")?;
+                for name in [&from, &to] {
+                    if !regions.iter().any(|r| &r.name == name) {
+                        return Err(Error::Config(format!(
+                            "[[link]] references undeclared region {name:?}"
+                        )));
+                    }
+                }
+                let policy = LinkPolicy {
+                    delay: Duration::from_millis(t.int("rtt_ms")?) / 2,
+                    jitter_pct: t.int_or("jitter_pct", profile.jitter_pct as u64)? as u32,
+                    bytes_per_sec: t.int_or("mbps", 0)? * 1_000_000 / 8,
+                    loss_pct: t.int_or("loss_pct", 0)? as u32,
+                    blocked: false,
+                };
+                // An RTT is a property of the pair: override both
+                // directed links.
+                links.insert((from.clone(), to.clone()), policy);
+                links.insert((to, from), policy);
+            }
+            for p in links.values_mut() {
+                *p = p.scale_delay(delay_scale_pct);
+            }
+            let coord_region = deployment.str_or("coord_region", &regions[0].name);
+            if !regions.iter().any(|r| r.name == coord_region) {
+                return Err(Error::Config(format!(
+                    "coord_region {coord_region:?} is not a declared region"
+                )));
+            }
+            Some(GeoSpec {
+                profile: profile_name,
+                delay_scale_pct,
+                regions,
+                coord_region,
+                links,
+            })
+        };
+
         let coord_addrs = match deployment.values.get("coord") {
             None => Vec::new(),
             Some(v) => {
@@ -270,6 +418,7 @@ impl DeploymentConfig {
                 }
             },
             wal_roll_every: (deployment.int_or("wal_roll_every", 4096)?).max(1),
+            geo,
             nodes,
             rings,
             partitions,
@@ -303,6 +452,24 @@ impl DeploymentConfig {
                         "partition {} references unknown node {m}",
                         p.id
                     )));
+                }
+            }
+        }
+        if let Some(geo) = &self.geo {
+            let mut placed = std::collections::BTreeSet::new();
+            for r in &geo.regions {
+                for n in &r.nodes {
+                    if !known(n) {
+                        return Err(Error::Config(format!(
+                            "region {:?} references unknown node {n}",
+                            r.name
+                        )));
+                    }
+                    if !placed.insert(*n) {
+                        return Err(Error::Config(format!(
+                            "node {n} placed in more than one region"
+                        )));
+                    }
                 }
             }
         }
@@ -501,6 +668,13 @@ impl Table {
         match self.values.get(key) {
             Some(v) => v.as_str(),
             None => default.to_string(),
+        }
+    }
+
+    fn str_req(&self, key: &str) -> Result<String> {
+        match self.values.get(key) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(Error::Config(format!("missing string key {key:?}"))),
         }
     }
 
@@ -704,6 +878,31 @@ pub fn with_range_partitioning(doc: &str) -> String {
     )
 }
 
+/// Gives a deployment document a geography: appends one `[[region]]`
+/// section per `(name, nodes)` pair and sets the WAN keys in
+/// `[deployment]`. In-process deployments of the resulting document
+/// shape every peer link through `liverun::netem`.
+pub fn with_geo(doc: &str, regions: &[(&str, &[u32])], delay_scale_pct: u64) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = doc.replacen(
+        "[deployment]\n",
+        &format!(
+            "[deployment]\nwan_profile = \"ec2-2014\"\nwan_delay_scale_pct = {delay_scale_pct}\n"
+        ),
+        1,
+    );
+    for (name, nodes) in regions {
+        let ids = nodes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(out, "\n[[region]]\nname = \"{name}\"\nnodes = [{ids}]\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,6 +1036,72 @@ acceptors = [0]
         cfg.seed_registry(&registry).unwrap(); // concurrent-bootstrap shape
         assert_eq!(registry.ring_ids(), vec![RingId::new(0), RingId::new(2)]);
         assert!(mrpstore::Partitioning::load(&registry).is_some());
+    }
+
+    #[test]
+    fn geo_sections_resolve_profile_links() {
+        let base = generate_localhost_mrpstore(3, 2, 7500, None);
+        let doc = with_geo(
+            &base,
+            &[
+                ("eu-west-1", &[0, 1]),
+                ("us-east-1", &[2, 3]),
+                ("us-west-2", &[4, 5]),
+            ],
+            100,
+        );
+        let cfg = DeploymentConfig::parse(&doc).unwrap();
+        let geo = cfg.geo.as_ref().unwrap();
+        assert_eq!(geo.profile, "ec2-2014");
+        assert_eq!(geo.region_of(NodeId::new(2)), Some("us-east-1"));
+        assert_eq!(geo.region_of(NodeId::new(7)), None);
+        // eu-west-1 → us-east-1 is the paper's 80 ms RTT, split one way.
+        let link = geo.policy("eu-west-1", "us-east-1");
+        assert_eq!(link.delay, Duration::from_millis(40));
+        assert!(link.bytes_per_sec > 0);
+        // Intra-region stays sub-millisecond.
+        let local = geo.policy("us-west-2", "us-west-2");
+        assert!(local.delay < Duration::from_millis(1));
+        // Widest declared pair: eu-west-1 ↔ us-west-2 at 140 ms RTT.
+        assert_eq!(geo.max_one_way(), Duration::from_millis(70));
+    }
+
+    #[test]
+    fn geo_delay_scale_and_link_overrides_apply() {
+        let base = generate_localhost_mrpstore(1, 2, 7500, None);
+        let mut doc = with_geo(&base, &[("eu-west-1", &[0]), ("us-east-1", &[1])], 50);
+        doc.push_str("\n[[link]]\nfrom = \"eu-west-1\"\nto = \"us-east-1\"\nrtt_ms = 200\nmbps = 100\nloss_pct = 3\n");
+        let cfg = DeploymentConfig::parse(&doc).unwrap();
+        let geo = cfg.geo.as_ref().unwrap();
+        // Override RTT 200 ms → 100 ms one-way, then scaled to 50%.
+        let link = geo.policy("eu-west-1", "us-east-1");
+        assert_eq!(link.delay, Duration::from_millis(50));
+        assert_eq!(link.bytes_per_sec, 100_000_000 / 8);
+        assert_eq!(link.loss_pct, 3);
+        // Symmetric: the reverse direction got the same override.
+        assert_eq!(geo.policy("us-east-1", "eu-west-1"), link);
+    }
+
+    #[test]
+    fn geo_rejects_bad_documents() {
+        let base = generate_localhost_mrpstore(1, 2, 7500, None);
+        // Unknown node in a region.
+        let doc = with_geo(&base, &[("eu-west-1", &[0, 9])], 100);
+        assert!(DeploymentConfig::parse(&doc).is_err());
+        // Node in two regions.
+        let doc = with_geo(&base, &[("eu-west-1", &[0]), ("us-east-1", &[0])], 100);
+        assert!(DeploymentConfig::parse(&doc).is_err());
+        // Unknown profile.
+        let doc = with_geo(&base, &[("eu-west-1", &[0])], 100).replacen(
+            "wan_profile = \"ec2-2014\"",
+            "wan_profile = \"atlantis-1\"",
+            1,
+        );
+        assert!(DeploymentConfig::parse(&doc).is_err());
+        // Link referencing an undeclared region.
+        let mut doc = with_geo(&base, &[("eu-west-1", &[0])], 100);
+        doc.push_str("\n[[link]]\nfrom = \"eu-west-1\"\nto = \"nowhere\"\nrtt_ms = 10\n");
+        assert!(DeploymentConfig::parse(&doc).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use storage::wal::{SegmentedWal, SyncPolicy};
 use crate::batch::BatchOptions;
 use crate::config::{DeploymentConfig, ServiceKind};
 use crate::durable::DurableApp;
+use crate::netem::{Netem, NetemControl};
 use crate::node::{spawn_node, AppStack, NodeHandle, NodeSetup};
 
 /// The segment directory holding executor shard `shard`'s
@@ -137,7 +138,7 @@ fn build_stack(config: &DeploymentConfig, node: NodeId) -> Result<AppStack> {
 /// checkpoints per the config, recovery retries snappy enough for tests.
 fn host_options(config: &DeploymentConfig) -> HostOptions {
     use std::time::Duration;
-    HostOptions {
+    let mut opts = HostOptions {
         ring: ringpaxos::options::RingOptions {
             heartbeat_interval: Duration::from_millis(25),
             failure_timeout: Duration::from_millis(400),
@@ -154,7 +155,25 @@ fn host_options(config: &DeploymentConfig) -> HostOptions {
         checkpoint_interval: config.checkpoint_interval,
         recovery_retry: Duration::from_millis(100),
         ..HostOptions::default()
+    };
+    if let Some(geo) = &config.geo {
+        // On a shaped WAN the loopback-tuned retries would re-propose
+        // and re-fetch while the first attempt is still in flight:
+        // give every retry timer room for a few shaped round trips.
+        let one_way = geo.max_one_way();
+        opts.ring.proposal_retry = opts
+            .ring
+            .proposal_retry
+            .max(one_way * 4 + Duration::from_millis(200));
+        opts.ring.failure_timeout = opts
+            .ring
+            .failure_timeout
+            .max(one_way * 2 + Duration::from_millis(300));
+        opts.recovery_retry = opts
+            .recovery_retry
+            .max(one_way * 2 + Duration::from_millis(100));
     }
+    opts
 }
 
 /// Builds the registry a node of `config` should consult: a connection
@@ -195,6 +214,21 @@ pub fn start_node(
     node: NodeId,
     restart: bool,
 ) -> Result<NodeHandle> {
+    start_node_shaped(config, registry, clock, node, restart, None)
+}
+
+/// [`start_node`], optionally routing every peer link through a
+/// [`Netem`] shaping fabric — the in-process geo-deployment path.
+/// (`amcastd` processes always take the unshaped path: netem relays
+/// live in the deployment's address space.)
+fn start_node_shaped(
+    config: &DeploymentConfig,
+    registry: Registry,
+    clock: WallClock,
+    node: NodeId,
+    restart: bool,
+    netem: Option<&Netem>,
+) -> Result<NodeHandle> {
     let spec = config
         .node(node)
         .ok_or_else(|| Error::Config(format!("node {node} not in configuration")))?;
@@ -203,8 +237,27 @@ pub fn start_node(
         max_bytes: config.batch_max_bytes.max(1),
         max_delay: config.batch_delay,
     };
-    let peer_addrs: HashMap<NodeId, SocketAddr> =
-        config.nodes.iter().map(|n| (n.id, n.peer_addr)).collect();
+    // Under netem a node dials its peers through the per-link relays;
+    // pairs the fabric does not shape (and the self entry) stay direct.
+    let peer_addrs: HashMap<NodeId, SocketAddr> = config
+        .nodes
+        .iter()
+        .map(|n| {
+            let addr = netem
+                .and_then(|nt| nt.peer_addr(node, n.id))
+                .unwrap_or(n.peer_addr);
+            (n.id, addr)
+        })
+        .collect();
+    // Coordination rides the same WAN: a node partitioned from the
+    // coordination service's region must lose failure reporting and
+    // config reads along with its peer links, or a minority replica
+    // could keep evicting healthy members through an out-of-band
+    // registry (see `netem::ShapedCoord`).
+    let registry = match netem {
+        Some(nt) => nt.shaped_registry(node, &registry),
+        None => registry,
+    };
     let acceptor_of = config
         .rings
         .iter()
@@ -216,6 +269,12 @@ pub fn start_node(
     // same instance rides `host_opts.ring.obs` into the host and rings.
     let obs = common::obs::Obs::for_node(node.raw());
     obs.set_trace_every(config.trace_sample);
+    if let Some(nt) = netem {
+        // The node's relayed links count their shaping into this
+        // registry (visible via `amcast-cli stats`). Attached before the
+        // node loop spawns, so the first relayed chunk already counts.
+        nt.attach_obs(node, obs.clone());
+    }
     // Surface the resolved executor layout: with `executor_shards = 0`
     // the split is sized to the machine, so record what was picked.
     let shards = config.resolved_executor_shards();
@@ -258,6 +317,8 @@ pub struct Deployment {
     registry: Registry,
     clock: WallClock,
     nodes: Vec<Option<NodeHandle>>,
+    /// The shaping fabric, when the configuration carries a geography.
+    netem: Option<Netem>,
 }
 
 impl Deployment {
@@ -276,6 +337,10 @@ impl Deployment {
     pub fn launch(config: DeploymentConfig) -> Result<Self> {
         let registry = connect_registry(&config)?;
         let clock = WallClock::start();
+        let netem = match &config.geo {
+            Some(_) => Some(Netem::start(&config)?),
+            None => None,
+        };
         let mut nodes = Vec::new();
         for spec in &config.nodes {
             let node_registry = if config.coord_addrs.is_empty() {
@@ -283,12 +348,13 @@ impl Deployment {
             } else {
                 connect_registry(&config)?
             };
-            nodes.push(Some(start_node(
+            nodes.push(Some(start_node_shaped(
                 &config,
                 node_registry,
                 clock,
                 spec.id,
                 false,
+                netem.as_ref(),
             )?));
         }
         Ok(Deployment {
@@ -296,6 +362,7 @@ impl Deployment {
             registry,
             clock,
             nodes,
+            netem,
         })
     }
 
@@ -388,8 +455,59 @@ impl Deployment {
         } else {
             connect_registry(&self.config)?
         };
-        self.nodes[i] = Some(start_node(&self.config, registry, self.clock, node, true)?);
+        self.nodes[i] = Some(start_node_shaped(
+            &self.config,
+            registry,
+            self.clock,
+            node,
+            true,
+            self.netem.as_ref(),
+        )?);
         Ok(())
+    }
+
+    /// Runtime control over the deployment's link shaping, when it has a
+    /// geography: scenarios partition, degrade and heal regions mid-run
+    /// through this handle.
+    pub fn netem(&self) -> Option<NetemControl> {
+        self.netem.as_ref().map(Netem::control)
+    }
+
+    /// The address a client *in* `region` should use to reach `node` —
+    /// a shaped relay when the deployment has a geography, the direct
+    /// client address otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown nodes or when the relay cannot bind.
+    pub fn client_addr_from(&self, region: &str, node: NodeId) -> Result<SocketAddr> {
+        let spec = self
+            .config
+            .node(node)
+            .ok_or_else(|| Error::Config(format!("node {node} not in configuration")))?;
+        match &self.netem {
+            Some(nt) => nt.client_addr(region, node),
+            None => Ok(spec.client_addr),
+        }
+    }
+
+    /// A copy of the configuration as seen by a client *in* `region`:
+    /// every client address rewritten to a shaped relay. Hand it to
+    /// [`crate::LiveClient::connect`] (or the service facades) to put
+    /// the client behind the region's WAN links.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a relay cannot bind.
+    pub fn config_from(&self, region: &str) -> Result<DeploymentConfig> {
+        let mut config = self.config.clone();
+        for spec in &mut config.nodes {
+            spec.client_addr = match &self.netem {
+                Some(nt) => nt.client_addr(region, spec.id)?,
+                None => spec.client_addr,
+            };
+        }
+        Ok(config)
     }
 
     /// True when `node` is currently running.
@@ -399,10 +517,13 @@ impl Deployment {
             .unwrap_or(false)
     }
 
-    /// Stops every running node.
+    /// Stops every running node (and the shaping fabric, if any).
     pub fn shutdown(mut self) {
         for handle in self.nodes.iter_mut().filter_map(Option::take) {
             handle.shutdown();
+        }
+        if let Some(netem) = self.netem.take() {
+            netem.stop();
         }
     }
 }

@@ -39,6 +39,9 @@
 //!   dLog facades on top.
 //! * [`durable`] — the WAL decorator recording every delivered command
 //!   through [`storage::wal::Wal`].
+//! * [`netem`] — userspace per-link WAN shaping for geo deployments:
+//!   delay/jitter/bandwidth/loss relays on every peer link, runtime
+//!   region partitions, driven by `[[region]]` config sections.
 
 pub mod batch;
 pub mod client;
@@ -46,14 +49,16 @@ pub mod config;
 pub mod coordsvc;
 pub mod deployment;
 pub mod durable;
+pub mod netem;
 pub mod node;
 pub mod service;
 
 pub use batch::{BatchOptions, Batcher};
 pub use client::{fetch_stats, ClientOptions, Completion, LiveClient};
-pub use config::{DeploymentConfig, ServiceKind};
+pub use config::{DeploymentConfig, GeoSpec, ServiceKind};
 pub use coordsvc::{start_coord_server, CoordServerConfig, CoordServerHandle};
 pub use deployment::{connect_registry, shard_wal_dir, start_node, Deployment};
 pub use durable::{DurableApp, WalRecord};
+pub use netem::{Netem, NetemControl};
 pub use node::{client_node_id, client_of_node, NodeHandle, CLIENT_NODE_BASE};
 pub use service::{LogClient, StoreClient};

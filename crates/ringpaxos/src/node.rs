@@ -1395,6 +1395,11 @@ impl RingNode {
         }
         if now.since(self.last_from_pred) > self.opts.failure_timeout {
             let pred = self.predecessor();
+            // An `Err` here includes "the coordination service is on the
+            // other side of a partition" — the report simply retries on
+            // the next liveness tick, and a replica that cannot reach
+            // the service cannot evict anyone (the arbitration that
+            // keeps mutual accusations from wedging the ring).
             if let Ok(cfg) = self
                 .registry
                 .report_failure(self.ring, pred, self.cfg.epoch())

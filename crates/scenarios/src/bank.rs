@@ -1,0 +1,230 @@
+//! Fault-tolerant bank/ATM: exactly-once money movement under a replica
+//! kill and a region partition.
+//!
+//! One account store (1 partition, one replica per paper region) takes
+//! concurrent transfers from tellers in two regions. A transfer is two
+//! non-idempotent counter bumps — `debit-<a> += amt`, `credit-<b> +=
+//! amt` — sent through the exactly-once session layer, so a teller's
+//! re-sends during failover must land each bump exactly once. Mid-run
+//! the us-east-1 replica is SIGKILLed and restarted, then us-west-2 is
+//! cut off by a netem region partition and healed. Afterwards every
+//! server-side counter must equal the tellers' own tally, and credits
+//! must balance debits to the cent: a double-executed or lost re-send
+//! breaks one of those immediately.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::ids::{ClientId, NodeId};
+use liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::configs::bank_doc;
+use crate::report::Outcome;
+
+/// Bank scenario parameters.
+pub struct BankParams {
+    /// First port of the deployment's port block (6 ports).
+    pub base_port: u16,
+    /// WAN delay scale (`wan_delay_scale_pct`).
+    pub scale_pct: u64,
+    /// Pause between fault-schedule steps.
+    pub phase: Duration,
+}
+
+const ACCOUNTS: u32 = 8;
+
+struct TellerResult {
+    transfers: u64,
+    volume: u64,
+    debit: Vec<u64>,
+    credit: Vec<u64>,
+}
+
+fn teller(
+    config: DeploymentConfig,
+    id: u32,
+    stop: Arc<AtomicBool>,
+) -> Result<TellerResult, String> {
+    let mut client = StoreClient::connect(
+        &config,
+        ClientId::new(id),
+        ClientOptions {
+            timeout: Duration::from_secs(60),
+            retry_every: Duration::from_millis(750),
+            ..ClientOptions::default()
+        },
+    )
+    .map_err(|e| format!("teller {id}: connect: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(42 + u64::from(id));
+    let mut out = TellerResult {
+        transfers: 0,
+        volume: 0,
+        debit: vec![0; ACCOUNTS as usize],
+        credit: vec![0; ACCOUNTS as usize],
+    };
+    // Stop is only checked between transfers: both halves of a started
+    // transfer are pushed to completion, so the books can balance.
+    while !stop.load(Ordering::SeqCst) {
+        let a = rng.random_range(0u32..ACCOUNTS);
+        let b = (a + rng.random_range(1u32..ACCOUNTS)) % ACCOUNTS;
+        let amt = u64::from(rng.random_range(1u32..100));
+        client
+            .add(&format!("debit-{a}"), amt)
+            .map_err(|e| format!("teller {id}: debit: {e}"))?;
+        out.debit[a as usize] += amt;
+        client
+            .add(&format!("credit-{b}"), amt)
+            .map_err(|e| format!("teller {id}: credit: {e}"))?;
+        out.credit[b as usize] += amt;
+        out.transfers += 1;
+        out.volume += amt;
+    }
+    Ok(out)
+}
+
+fn read_counter(client: &mut StoreClient, key: &str) -> Result<u64, String> {
+    Ok(client
+        .read(key)
+        .map_err(|e| format!("read {key}: {e}"))?
+        .map(|b| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&b);
+            u64::from_le_bytes(raw)
+        })
+        .unwrap_or(0))
+}
+
+/// Runs the bank and checks conservation + exactly-once invariants.
+pub fn run(params: &BankParams) -> Outcome {
+    let fail = |detail: String| Outcome {
+        name: "bank",
+        passed: false,
+        detail,
+        json: "{}".into(),
+    };
+    let doc = bank_doc(params.base_port, params.scale_pct);
+    let config = match DeploymentConfig::parse(&doc) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("parse: {e}")),
+    };
+    let mut deployment = match Deployment::launch(config) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("launch: {e}")),
+    };
+    let netem = deployment.netem().expect("geo deployment has netem");
+
+    // Tellers in the two regions that stay in the majority throughout.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for (i, region) in ["eu-west-1", "us-east-1"].iter().enumerate() {
+        let cfg = match deployment.config_from(region) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("config_from {region}: {e}")),
+        };
+        let stop = Arc::clone(&stop);
+        let id = 9300 + i as u32;
+        handles.push(std::thread::spawn(move || teller(cfg, id, stop)));
+    }
+
+    // The fault schedule: a replica dies and comes back, then a whole
+    // region drops off the map and returns.
+    let phase = params.phase;
+    std::thread::sleep(phase);
+    if let Err(e) = deployment.kill(NodeId::new(1)) {
+        return fail(format!("kill node 1: {e}"));
+    }
+    std::thread::sleep(phase);
+    if let Err(e) = deployment.restart(NodeId::new(1)) {
+        return fail(format!("restart node 1: {e}"));
+    }
+    std::thread::sleep(phase);
+    netem.partition("us-west-2");
+    std::thread::sleep(phase);
+    netem.heal("us-west-2");
+    std::thread::sleep(phase);
+    stop.store(true, Ordering::SeqCst);
+
+    let mut tellers = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(t)) => tellers.push(t),
+            Ok(Err(e)) => return fail(e),
+            Err(_) => return fail("teller panicked".into()),
+        }
+    }
+
+    // The books, audited from a fresh client in eu-west-1 — node 0 was
+    // in the surviving majority of both faults, so its replica state is
+    // complete.
+    let verify_config = match deployment.config_from("eu-west-1") {
+        Ok(c) => c,
+        Err(e) => return fail(format!("verify config: {e}")),
+    };
+    let mut auditor = match StoreClient::connect(
+        &verify_config,
+        ClientId::new(9390),
+        ClientOptions {
+            timeout: Duration::from_secs(30),
+            ..ClientOptions::default()
+        },
+    ) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("auditor connect: {e}")),
+    };
+    let mut violations = Vec::new();
+    let mut total_debit = 0u64;
+    let mut total_credit = 0u64;
+    for a in 0..ACCOUNTS as usize {
+        let expect_debit: u64 = tellers.iter().map(|t| t.debit[a]).sum();
+        let expect_credit: u64 = tellers.iter().map(|t| t.credit[a]).sum();
+        let debit = match read_counter(&mut auditor, &format!("debit-{a}")) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        let credit = match read_counter(&mut auditor, &format!("credit-{a}")) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        if debit != expect_debit {
+            violations.push(format!("debit-{a}: server {debit} vs acked {expect_debit}"));
+        }
+        if credit != expect_credit {
+            violations.push(format!(
+                "credit-{a}: server {credit} vs acked {expect_credit}"
+            ));
+        }
+        total_debit += debit;
+        total_credit += credit;
+    }
+    if total_debit != total_credit {
+        violations.push(format!(
+            "conservation broken: {total_debit} debited vs {total_credit} credited"
+        ));
+    }
+    deployment.shutdown();
+
+    let transfers: u64 = tellers.iter().map(|t| t.transfers).sum();
+    let volume: u64 = tellers.iter().map(|t| t.volume).sum();
+    let passed = violations.is_empty() && transfers > 0;
+    let detail = if passed {
+        format!("{transfers} transfers, {volume} moved, books balanced through kill + partition")
+    } else if transfers == 0 {
+        "no transfers completed".into()
+    } else {
+        violations.join("; ")
+    };
+    let json = format!(
+        "{{\"transfers\": {transfers}, \"volume\": {volume}, \"accounts\": {ACCOUNTS}, \
+         \"total_debited\": {total_debit}, \"total_credited\": {total_credit}, \
+         \"violations\": {}}}",
+        violations.len()
+    );
+    Outcome {
+        name: "bank",
+        passed,
+        detail,
+        json,
+    }
+}

@@ -1,0 +1,240 @@
+//! Deployment-document builders for the WAN scenarios.
+//!
+//! Every scenario runs on the paper's three evaluation regions
+//! ([`Region::PAPER_THREE`]) under the `ec2-2014` WAN profile, scaled by
+//! `wan_delay_scale_pct` so the same documents serve both the CI smoke
+//! form (fractional delays, seconds of wall clock) and the full form
+//! (real WAN delays, minutes).
+
+use common::geo::Region;
+use mrpstore::Partitioning;
+use std::fmt::Write as _;
+
+/// The paper's three regions, in partition order: partition `p` of a
+/// placement deployment lives in `paper_regions()[p]`.
+pub fn paper_regions() -> [&'static str; 3] {
+    let [a, b, c] = Region::PAPER_THREE;
+    [a.name(), b.name(), c.name()]
+}
+
+fn push_geo(out: &mut String, scale_pct: u64) {
+    let _ = write!(
+        out,
+        "wan_profile = \"ec2-2014\"\nwan_delay_scale_pct = {scale_pct}\n"
+    );
+}
+
+fn push_regions(out: &mut String, placement: &[(&str, Vec<u16>)]) {
+    for (name, nodes) in placement {
+        let ids = nodes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(out, "\n[[region]]\nname = \"{name}\"\nnodes = [{ids}]\n");
+    }
+}
+
+fn ids(list: impl IntoIterator<Item = u16>) -> String {
+    list.into_iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// A 3-partition, 2-replicas-per-partition MRP-Store across the three
+/// paper regions — the placement A/B deployment. Partition `p`'s
+/// replicas (nodes `2p`, `2p+1`) live in region `p`.
+///
+/// * `spanning = false` (the *local* arm): each partition ring contains
+///   only the partition's own replicas — ordering for single-key
+///   commands stays inside one region, exactly the paper's geo-local
+///   placement. The shared ring still spans all six nodes.
+/// * `spanning = true` (the *global* arm): every partition ring's
+///   members and acceptors are widened to all six nodes, so even
+///   single-key commands circulate the globe before delivery — the
+///   paper's baseline of a single world-spanning ring. Subscriptions
+///   are unchanged (delivery still happens at the partition's own
+///   replicas), and each ring's member list is rotated to start at the
+///   partition's replicas so clients reach a subscriber first.
+pub fn placement_doc(base_port: u16, spanning: bool, scale_pct: u64) -> String {
+    const PARTITIONS: u16 = 3;
+    const REPLICAS: u16 = 2;
+    let n = PARTITIONS * REPLICAS;
+    let mut out = String::from("[deployment]\nservice = \"mrpstore\"\n");
+    let _ = writeln!(out, "partitions = {PARTITIONS}");
+    out.push_str("batch_max = 64\nbatch_delay_ms = 1\ncheckpoint_ms = 500\n");
+    push_geo(&mut out, scale_pct);
+    let mut port = base_port;
+    for id in 0..n {
+        let _ = writeln!(out, "\n[[node]]\nid = {id}");
+        let _ = writeln!(out, "peer_addr = \"127.0.0.1:{port}\"");
+        let _ = writeln!(out, "client_addr = \"127.0.0.1:{}\"", port + 1);
+        let _ = writeln!(out, "partition = {}", id / REPLICAS);
+        port += 2;
+    }
+    for p in 0..PARTITIONS {
+        let members = if spanning {
+            // All six nodes, rotated so the partition's own replicas
+            // lead the list (they are the ring's proposers of record
+            // and the only subscribers).
+            ids((0..n).map(|i| (p * REPLICAS + i) % n))
+        } else {
+            ids(p * REPLICAS..(p + 1) * REPLICAS)
+        };
+        let _ = writeln!(
+            out,
+            "\n[[ring]]\nid = {p}\nmembers = [{members}]\nacceptors = [{members}]"
+        );
+    }
+    let all = ids(0..n);
+    let _ = writeln!(
+        out,
+        "\n[[ring]]\nid = {PARTITIONS}\nmembers = [{all}]\nacceptors = [{all}]"
+    );
+    for p in 0..PARTITIONS {
+        let replicas = ids(p * REPLICAS..(p + 1) * REPLICAS);
+        let _ = writeln!(
+            out,
+            "\n[[partition]]\nid = {p}\nrings = [{p}, {PARTITIONS}]\nreplicas = [{replicas}]"
+        );
+    }
+    let placement: Vec<(&str, Vec<u16>)> = paper_regions()
+        .iter()
+        .enumerate()
+        .map(|(p, name)| {
+            let p = p as u16;
+            (*name, (p * REPLICAS..(p + 1) * REPLICAS).collect())
+        })
+        .collect();
+    push_regions(&mut out, &placement);
+    out
+}
+
+/// A 1-partition, 3-replica MRP-Store with one replica per paper region
+/// — the bank/ATM deployment. Any two regions form a majority, so the
+/// service must survive a replica kill *and* a region partition.
+pub fn bank_doc(base_port: u16, scale_pct: u64) -> String {
+    let base = liverun::config::generate_localhost_mrpstore(1, 3, base_port, None);
+    let [eu, use1, usw2] = paper_regions();
+    liverun::config::with_geo(&base, &[(eu, &[0]), (use1, &[1]), (usw2, &[2])], scale_pct)
+}
+
+/// A 3-replica dLog with `data_logs` shared data logs plus one offsets
+/// log, one replica per paper region. Ring `l` orders log `l`, the
+/// highest ring is the shared multi-append ring; every replica
+/// subscribes to everything, so any replica answers reads.
+pub fn dlog_doc(base_port: u16, data_logs: u16, scale_pct: u64) -> String {
+    let logs = data_logs + 1; // + the consumer-offsets log
+    let mut out = String::from("[deployment]\nservice = \"dlog\"\n");
+    let _ = writeln!(out, "logs = {logs}");
+    out.push_str("batch_max = 64\nbatch_delay_ms = 1\ncheckpoint_ms = 500\n");
+    push_geo(&mut out, scale_pct);
+    let mut port = base_port;
+    for id in 0..3 {
+        let _ = writeln!(out, "\n[[node]]\nid = {id}");
+        let _ = writeln!(out, "peer_addr = \"127.0.0.1:{port}\"");
+        let _ = writeln!(out, "client_addr = \"127.0.0.1:{}\"", port + 1);
+        out.push_str("partition = 0\n");
+        port += 2;
+    }
+    let all = ids(0..3);
+    for ring in 0..=logs {
+        let _ = writeln!(
+            out,
+            "\n[[ring]]\nid = {ring}\nmembers = [{all}]\nacceptors = [{all}]"
+        );
+    }
+    let rings = ids(0..=logs);
+    let _ = writeln!(
+        out,
+        "\n[[partition]]\nid = 0\nrings = [{rings}]\nreplicas = [{all}]"
+    );
+    let [eu, use1, usw2] = paper_regions();
+    push_regions(&mut out, &[(eu, vec![0]), (use1, vec![1]), (usw2, vec![2])]);
+    out
+}
+
+/// The offsets log of a [`dlog_doc`] deployment with `data_logs` data
+/// logs (the last log).
+pub fn offsets_log(data_logs: u16) -> u16 {
+    data_logs
+}
+
+/// `count` keys that hash to partition `p` under `scheme` — the
+/// placement workload pins each region's client to its region-local
+/// partition with these.
+pub fn keys_of_partition(scheme: &Partitioning, p: u16, count: usize) -> Vec<String> {
+    let mut keys = Vec::with_capacity(count);
+    let mut i = 0u64;
+    while keys.len() < count {
+        let key = format!("k{i:06}");
+        if scheme.partition_of(&key).raw() == p {
+            keys.push(key);
+        }
+        i += 1;
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liverun::DeploymentConfig;
+
+    #[test]
+    fn placement_docs_parse_and_differ_only_in_ring_membership() {
+        let local = DeploymentConfig::parse(&placement_doc(18000, false, 10)).unwrap();
+        let global = DeploymentConfig::parse(&placement_doc(18000, true, 10)).unwrap();
+        assert_eq!(local.nodes.len(), 6);
+        assert_eq!(global.nodes.len(), 6);
+        // Local arm: partition rings stay regional; global arm: they span.
+        assert_eq!(local.rings[1].members.len(), 2);
+        assert_eq!(global.rings[1].members.len(), 6);
+        // The spanning ring leads with the partition's own replicas so
+        // clients reach a subscriber (a delivering replica) first.
+        assert_eq!(global.rings[1].members[0].raw(), 2);
+        assert_eq!(global.rings[1].members[1].raw(), 3);
+        // Both arms share the same geo placement and shaped links.
+        for cfg in [&local, &global] {
+            let geo = cfg.geo.as_ref().unwrap();
+            assert_eq!(
+                geo.region_of(common::ids::NodeId::new(4)),
+                Some("us-west-2")
+            );
+            assert!(geo.max_one_way() > std::time::Duration::ZERO);
+        }
+        // Subscriptions are identical: delivery stays at the partition.
+        for node in 0..6u32 {
+            let node = common::ids::NodeId::new(node);
+            assert_eq!(local.subscribe_to(node), global.subscribe_to(node));
+        }
+    }
+
+    #[test]
+    fn bank_and_dlog_docs_parse() {
+        let bank = DeploymentConfig::parse(&bank_doc(18100, 10)).unwrap();
+        assert_eq!(bank.nodes.len(), 3);
+        assert!(bank.geo.is_some());
+        let dlog = DeploymentConfig::parse(&dlog_doc(18200, 3, 10)).unwrap();
+        assert_eq!(dlog.rings.len(), 5); // 3 data + offsets + multi-append
+        assert_eq!(dlog.global_ring().raw(), 4);
+        // Every replica subscribes to every log ring: any node answers
+        // reads for any log.
+        for node in 0..3u32 {
+            assert_eq!(dlog.subscribe_to(common::ids::NodeId::new(node)).len(), 5);
+        }
+    }
+
+    #[test]
+    fn keys_pin_to_their_partition() {
+        let scheme = Partitioning::Hash { partitions: 3 };
+        for p in 0..3 {
+            let keys = keys_of_partition(&scheme, p, 16);
+            assert_eq!(keys.len(), 16);
+            for k in &keys {
+                assert_eq!(scheme.partition_of(k).raw(), p);
+            }
+        }
+    }
+}

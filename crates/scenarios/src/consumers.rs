@@ -1,0 +1,372 @@
+//! dLog consumer groups with replicated offsets.
+//!
+//! Producers in two regions append records round-robin across three
+//! shared data logs; two consumers with a static assignment read them
+//! back and commit their progress into a fourth log — the *offsets*
+//! log, replicated through the same atomic multicast as the data, so a
+//! consumer's position survives anything the data survives. Mid-run the
+//! deployment takes the full fault schedule (replica kill + restart,
+//! region partition + heal), and one consumer additionally crashes:
+//! it throws away every piece of local state and resumes from its last
+//! committed offset, re-reading the uncommitted tail (at-least-once by
+//! construction, counted as `duplicates`). Afterwards every produced
+//! record must have been consumed at its acked position, every log's
+//! positions must be dense — a duplicated append would leave an extra
+//! record past the expected tail — and the tail past the last produced
+//! record must be empty.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use common::ids::{ClientId, NodeId};
+use liverun::{ClientOptions, Deployment, DeploymentConfig, LogClient};
+
+use crate::configs::{dlog_doc, offsets_log};
+use crate::report::Outcome;
+
+/// Consumer-group scenario parameters.
+pub struct ConsumerParams {
+    /// First port of the deployment's port block (6 ports).
+    pub base_port: u16,
+    /// WAN delay scale (`wan_delay_scale_pct`).
+    pub scale_pct: u64,
+    /// Records each producer appends.
+    pub per_producer: u64,
+    /// Pause between fault-schedule steps.
+    pub phase: Duration,
+}
+
+const DATA_LOGS: u16 = 3;
+const COMMIT_EVERY: u64 = 5;
+
+type Ledger = Arc<Mutex<Vec<(u16, u64, String)>>>;
+type Targets = Arc<Mutex<Option<HashMap<u16, u64>>>>;
+
+fn opts() -> ClientOptions {
+    ClientOptions {
+        timeout: Duration::from_secs(60),
+        retry_every: Duration::from_millis(750),
+        ..ClientOptions::default()
+    }
+}
+
+fn producer(config: DeploymentConfig, pid: u64, count: u64, ledger: Ledger) -> Result<(), String> {
+    let mut client = LogClient::connect(&config, ClientId::new(9500 + pid as u32), opts())
+        .map_err(|e| format!("producer {pid}: connect: {e}"))?;
+    for seq in 0..count {
+        let log = ((pid + seq) % u64::from(DATA_LOGS)) as u16;
+        let value = format!("p{pid}-{seq:05}");
+        let pos = client
+            .append(log, Bytes::from(value.clone().into_bytes()))
+            .map_err(|e| format!("producer {pid}: append: {e}"))?;
+        ledger.lock().unwrap().push((log, pos, value));
+    }
+    Ok(())
+}
+
+/// Replays the offsets log and returns the group's last committed
+/// position per assigned log (0 where it never committed).
+fn recover_offsets(
+    client: &mut LogClient,
+    group: &str,
+    logs: &[u16],
+) -> Result<HashMap<u16, u64>, String> {
+    let mut next: HashMap<u16, u64> = logs.iter().map(|l| (*l, 0)).collect();
+    let mut pos = 0u64;
+    while let Some(raw) = client
+        .read(offsets_log(DATA_LOGS), pos)
+        .map_err(|e| format!("offsets read: {e}"))?
+    {
+        let entry = String::from_utf8_lossy(&raw).into_owned();
+        let mut parts = entry.split(',');
+        if let (Some(g), Some(l), Some(n)) = (parts.next(), parts.next(), parts.next()) {
+            if g == group {
+                if let (Ok(l), Ok(n)) = (l.parse::<u16>(), n.parse::<u64>()) {
+                    if logs.contains(&l) {
+                        next.insert(l, n);
+                    }
+                }
+            }
+        }
+        pos += 1;
+    }
+    Ok(next)
+}
+
+struct ConsumerOut {
+    consumed: Vec<(u16, u64, String)>,
+    commits: u64,
+    duplicates: u64,
+    crashed: bool,
+    tail_clear: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn consumer(
+    config: DeploymentConfig,
+    base_id: u32,
+    group: String,
+    logs: Vec<u16>,
+    targets: Targets,
+    crash_after: Option<u64>,
+    deadline: Instant,
+) -> Result<ConsumerOut, String> {
+    let connect = |id: u32| {
+        LogClient::connect(&config, ClientId::new(id), opts())
+            .map_err(|e| format!("{group}: connect: {e}"))
+    };
+    let mut client = connect(base_id)?;
+    let mut next: HashMap<u16, u64> = logs.iter().map(|l| (*l, 0)).collect();
+    let mut since_commit: HashMap<u16, u64> = logs.iter().map(|l| (*l, 0)).collect();
+    let mut seen: HashSet<(u16, u64)> = HashSet::new();
+    let mut out = ConsumerOut {
+        consumed: Vec::new(),
+        commits: 0,
+        duplicates: 0,
+        crashed: false,
+        tail_clear: false,
+    };
+    loop {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "{group}: deadline with {} consumed",
+                out.consumed.len()
+            ));
+        }
+        // The scripted crash: once it has committed something, the
+        // consumer forgets everything it knows — client session,
+        // positions, commit cadence — and rebuilds from the offsets log.
+        if let Some(after) = crash_after {
+            if !out.crashed && out.commits >= 1 && out.consumed.len() as u64 >= after {
+                out.crashed = true;
+                client = connect(base_id + 1)?;
+                next = recover_offsets(&mut client, &group, &logs)?;
+                for v in since_commit.values_mut() {
+                    *v = 0;
+                }
+            }
+        }
+        let mut progressed = false;
+        for &log in &logs {
+            let pos = next[&log];
+            let Some(raw) = client
+                .read(log, pos)
+                .map_err(|e| format!("{group}: read {log}@{pos}: {e}"))?
+            else {
+                continue;
+            };
+            let value = String::from_utf8_lossy(&raw).into_owned();
+            if !seen.insert((log, pos)) {
+                out.duplicates += 1;
+            }
+            out.consumed.push((log, pos, value));
+            next.insert(log, pos + 1);
+            progressed = true;
+            let due = {
+                let c = since_commit.get_mut(&log).expect("assigned log");
+                *c += 1;
+                *c >= COMMIT_EVERY
+            };
+            if due {
+                client
+                    .append(
+                        offsets_log(DATA_LOGS),
+                        Bytes::from(format!("{group},{log},{}", pos + 1).into_bytes()),
+                    )
+                    .map_err(|e| format!("{group}: commit: {e}"))?;
+                out.commits += 1;
+                since_commit.insert(log, 0);
+            }
+        }
+        if progressed {
+            continue;
+        }
+        let done = targets
+            .lock()
+            .unwrap()
+            .as_ref()
+            .is_some_and(|t| logs.iter().all(|l| next[l] >= t[l]));
+        if done {
+            // Nothing may live past the produced tail: an extra record
+            // there is a re-executed (duplicated) append.
+            let t = targets.lock().unwrap().clone().expect("checked above");
+            out.tail_clear = logs
+                .iter()
+                .all(|l| matches!(client.read(*l, t[l]), Ok(None)));
+            return Ok(out);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Runs producers, consumers and the fault schedule, then audits the
+/// streams end to end.
+pub fn run(params: &ConsumerParams) -> Outcome {
+    let fail = |detail: String| Outcome {
+        name: "consumer_groups",
+        passed: false,
+        detail,
+        json: "{}".into(),
+    };
+    let doc = dlog_doc(params.base_port, DATA_LOGS, params.scale_pct);
+    let config = match DeploymentConfig::parse(&doc) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("parse: {e}")),
+    };
+    let mut deployment = match Deployment::launch(config) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("launch: {e}")),
+    };
+    let netem = deployment.netem().expect("geo deployment has netem");
+
+    let ledger: Ledger = Arc::new(Mutex::new(Vec::new()));
+    let targets: Targets = Arc::new(Mutex::new(None));
+    let deadline = Instant::now() + Duration::from_secs(120);
+
+    // Producers and consumers all live in the two majority regions;
+    // us-west-2 only hosts the replica the partition takes away.
+    let mut producers = Vec::new();
+    for (pid, region) in ["eu-west-1", "us-east-1"].iter().enumerate() {
+        let cfg = match deployment.config_from(region) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("config_from {region}: {e}")),
+        };
+        let ledger = Arc::clone(&ledger);
+        let count = params.per_producer;
+        producers.push(std::thread::spawn(move || {
+            producer(cfg, pid as u64, count, ledger)
+        }));
+    }
+    let mut consumers = Vec::new();
+    for (region, base_id, group, logs, crash_after) in [
+        ("us-east-1", 9510u32, "g0", vec![0u16], None),
+        ("eu-west-1", 9520u32, "g1", vec![1u16, 2u16], Some(12)),
+    ] {
+        let cfg = match deployment.config_from(region) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("config_from {region}: {e}")),
+        };
+        let targets = Arc::clone(&targets);
+        let group = group.to_string();
+        consumers.push(std::thread::spawn(move || {
+            consumer(cfg, base_id, group, logs, targets, crash_after, deadline)
+        }));
+    }
+
+    // The fault schedule runs while both sides are in full flight.
+    let phase = params.phase;
+    std::thread::sleep(phase);
+    if let Err(e) = deployment.kill(NodeId::new(1)) {
+        return fail(format!("kill node 1: {e}"));
+    }
+    std::thread::sleep(phase);
+    if let Err(e) = deployment.restart(NodeId::new(1)) {
+        return fail(format!("restart node 1: {e}"));
+    }
+    std::thread::sleep(phase);
+    netem.partition("us-west-2");
+    std::thread::sleep(phase);
+    netem.heal("us-west-2");
+
+    for (pid, h) in producers.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return fail(e),
+            Err(_) => return fail(format!("producer {pid} panicked")),
+        }
+    }
+    // Producers done: publish the per-log record counts the consumers
+    // must reach before they may stop.
+    {
+        let ledger = ledger.lock().unwrap();
+        let mut counts: HashMap<u16, u64> = (0..DATA_LOGS).map(|l| (l, 0)).collect();
+        for (log, _, _) in ledger.iter() {
+            *counts.get_mut(log).expect("data log") += 1;
+        }
+        *targets.lock().unwrap() = Some(counts);
+    }
+    let mut outs = Vec::new();
+    for h in consumers {
+        match h.join() {
+            Ok(Ok(o)) => outs.push(o),
+            Ok(Err(e)) => return fail(e),
+            Err(_) => return fail("consumer panicked".into()),
+        }
+    }
+    deployment.shutdown();
+
+    // Audit: every acked append must be consumed at its acked position
+    // with its exact payload; per-log coverage must be dense.
+    let ledger = Arc::try_unwrap(ledger)
+        .expect("all producers joined")
+        .into_inner()
+        .unwrap();
+    let mut consumed_at: HashMap<(u16, u64), String> = HashMap::new();
+    let mut violations = Vec::new();
+    for o in &outs {
+        for (log, pos, value) in &o.consumed {
+            if let Some(prev) = consumed_at.insert((*log, *pos), value.clone()) {
+                if prev != *value {
+                    violations.push(format!("{log}@{pos}: read {prev:?} then {value:?}"));
+                }
+            }
+        }
+    }
+    for (log, pos, value) in &ledger {
+        match consumed_at.get(&(*log, *pos)) {
+            Some(got) if got == value => {}
+            Some(got) => violations.push(format!("{log}@{pos}: produced {value:?}, read {got:?}")),
+            None => violations.push(format!("{log}@{pos}: produced {value:?} never consumed")),
+        }
+    }
+    for log in 0..DATA_LOGS {
+        let produced = ledger.iter().filter(|(l, _, _)| *l == log).count() as u64;
+        let covered = consumed_at.keys().filter(|(l, _)| *l == log).count() as u64;
+        if covered != produced {
+            violations.push(format!(
+                "log {log}: {covered} positions consumed of {produced} produced"
+            ));
+        }
+    }
+    if !outs[1].crashed {
+        violations.push("consumer g1 never exercised its crash-recovery".into());
+    }
+    for (o, group) in outs.iter().zip(["g0", "g1"]) {
+        if o.commits == 0 {
+            violations.push(format!("{group} committed no offsets"));
+        }
+        if !o.tail_clear {
+            violations.push(format!(
+                "{group}: a record exists past the produced tail (duplicated append)"
+            ));
+        }
+    }
+
+    let produced = ledger.len() as u64;
+    let consumed_unique = consumed_at.len() as u64;
+    let duplicates: u64 = outs.iter().map(|o| o.duplicates).sum();
+    let commits: u64 = outs.iter().map(|o| o.commits).sum();
+    let passed = violations.is_empty() && produced > 0;
+    let detail = if passed {
+        format!(
+            "{produced} produced, {consumed_unique} consumed ({duplicates} replayed after crash), \
+             {commits} offset commits, streams dense through kill + partition"
+        )
+    } else {
+        violations.join("; ")
+    };
+    let json = format!(
+        "{{\"produced\": {produced}, \"consumed_unique\": {consumed_unique}, \
+         \"duplicates_after_crash\": {duplicates}, \"offset_commits\": {commits}, \
+         \"violations\": {}}}",
+        violations.len()
+    );
+    Outcome {
+        name: "consumer_groups",
+        passed,
+        detail,
+        json,
+    }
+}

@@ -1,0 +1,31 @@
+//! `scenarios` — the WAN scenario harness (§7, §8 of the paper, live).
+//!
+//! Everything below `liverun` orders commands; everything here asks the
+//! deployed system the paper's questions. Each scenario boots a real
+//! multi-process-shaped deployment ([`liverun::Deployment`]) across the
+//! paper's three EC2 regions with per-link netem shaping
+//! ([`liverun::netem`]), drives an application workload against it,
+//! injects faults (replica SIGKILL, region partition) mid-run, and
+//! checks application-level invariants afterwards:
+//!
+//! * [`placement`] — global vs geo-local ring placement A/B: the same
+//!   six nodes, single-key latency per region, measured under regional
+//!   partition rings vs one world-spanning ring.
+//! * [`bank`] — a fault-tolerant bank/ATM on exactly-once sessions:
+//!   balances must be conserved through a replica kill and a region
+//!   partition.
+//! * [`consumers`] — dLog consumer groups committing their offsets into
+//!   a replicated log; a crashed consumer resumes from its commits.
+//!
+//! The `amcast-scenario` binary runs the zoo: `--smoke` is the cheap CI
+//! form (scaled-down WAN delays, seconds per scenario), the default
+//! heavy form runs the full `ec2-2014` delay matrix and writes
+//! `BENCH_scenarios.json`.
+
+pub mod bank;
+pub mod configs;
+pub mod consumers;
+pub mod placement;
+pub mod report;
+
+pub use report::{report_json, LatencySummary, Outcome};

@@ -1,0 +1,169 @@
+//! Placement A/B: geo-local partition rings vs one globe-spanning ring.
+//!
+//! The paper's core argument (§2, §7): a partitioned service whose
+//! partition rings stay inside one region answers single-partition
+//! commands at regional latency, while a deployment that orders
+//! everything on a world-spanning ring pays a full WAN circulation per
+//! command. Both arms here run the *same* six nodes, the same paper
+//! regions and the same shaped links; only ring membership differs
+//! ([`crate::configs::placement_doc`]). One client per region hammers
+//! keys of its region-local partition and reports p50/p99 per region.
+
+use std::time::{Duration, Instant};
+
+use common::hist::Histogram;
+use common::ids::ClientId;
+use liverun::{ClientOptions, Deployment, DeploymentConfig, StoreClient};
+
+use crate::configs::{keys_of_partition, paper_regions, placement_doc};
+use crate::report::{LatencySummary, Outcome};
+
+/// Placement A/B parameters.
+pub struct PlacementParams {
+    /// First port of the arm's port block (each arm uses 12 ports,
+    /// the global arm starts at `base_port + 50`).
+    pub base_port: u16,
+    /// WAN delay scale (`wan_delay_scale_pct`).
+    pub scale_pct: u64,
+    /// Measured time per arm (after warmup).
+    pub duration: Duration,
+}
+
+struct ArmStats {
+    per_region: Vec<(String, LatencySummary)>,
+    overall: LatencySummary,
+}
+
+fn client_opts() -> ClientOptions {
+    ClientOptions {
+        timeout: Duration::from_secs(30),
+        retry_every: Duration::from_secs(2),
+        ..ClientOptions::default()
+    }
+}
+
+fn run_arm(doc: &str, duration: Duration, id_base: u32) -> Result<ArmStats, String> {
+    let config = DeploymentConfig::parse(doc).map_err(|e| format!("parse: {e}"))?;
+    let deployment = Deployment::launch(config).map_err(|e| format!("launch: {e}"))?;
+    let regions = paper_regions();
+    let mut handles = Vec::new();
+    for (ri, region) in regions.iter().enumerate() {
+        let client_config = deployment
+            .config_from(region)
+            .map_err(|e| format!("config_from {region}: {e}"))?;
+        let region = region.to_string();
+        let id = id_base + ri as u32;
+        handles.push(std::thread::spawn(move || -> Result<_, String> {
+            let mut client = StoreClient::connect(&client_config, ClientId::new(id), client_opts())
+                .map_err(|e| format!("{region}: connect: {e}"))?;
+            let keys = keys_of_partition(client.scheme(), ri as u16, 16);
+            // Warm up: open the session, populate the keys, let the
+            // deployment settle — excluded from the measurement.
+            for key in &keys {
+                client
+                    .add(key, 1)
+                    .map_err(|e| format!("{region}: warmup: {e}"))?;
+            }
+            let mut hist = Histogram::new();
+            let deadline = Instant::now() + duration;
+            let mut i = 0usize;
+            while Instant::now() < deadline {
+                let at = Instant::now();
+                client
+                    .add(&keys[i % keys.len()], 1)
+                    .map_err(|e| format!("{region}: add: {e}"))?;
+                hist.record_duration(at.elapsed());
+                i += 1;
+            }
+            Ok((region, hist))
+        }));
+    }
+    let mut per_region = Vec::new();
+    let mut merged = Histogram::new();
+    let mut failures = Vec::new();
+    for h in handles {
+        match h.join().map_err(|_| "worker panicked".to_string())? {
+            Ok((region, hist)) => {
+                merged.merge(&hist);
+                per_region.push((region, LatencySummary::of(&hist)));
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    deployment.shutdown();
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok(ArmStats {
+        per_region,
+        overall: LatencySummary::of(&merged),
+    })
+}
+
+fn arm_json(arm: &ArmStats) -> String {
+    let regions = arm
+        .per_region
+        .iter()
+        .map(|(name, s)| format!("\"{name}\": {}", s.to_json()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"overall\": {}, \"regions\": {{{regions}}}}}",
+        arm.overall.to_json()
+    )
+}
+
+/// Runs both arms and checks the paper's claim: region-local placement
+/// must put p50 *materially* below the spanning-ring arm (here: at most
+/// 75% of it, and in practice far less).
+pub fn run(params: &PlacementParams) -> Outcome {
+    let arms = [
+        (
+            "local",
+            placement_doc(params.base_port, false, params.scale_pct),
+        ),
+        (
+            "global",
+            placement_doc(params.base_port + 50, true, params.scale_pct),
+        ),
+    ];
+    let mut stats = Vec::new();
+    for (i, (name, doc)) in arms.iter().enumerate() {
+        match run_arm(doc, params.duration, 9100 + 100 * i as u32) {
+            Ok(s) => stats.push((*name, s)),
+            Err(e) => {
+                return Outcome {
+                    name: "placement_ab",
+                    passed: false,
+                    detail: format!("{name} arm failed: {e}"),
+                    json: "{}".into(),
+                }
+            }
+        }
+    }
+    let local = &stats[0].1;
+    let global = &stats[1].1;
+    let ratio = local.overall.p50_ns as f64 / (global.overall.p50_ns.max(1)) as f64;
+    let all_measured = stats
+        .iter()
+        .all(|(_, s)| s.per_region.iter().all(|(_, r)| r.ops > 0));
+    let passed = all_measured && local.overall.p50_ns * 4 <= global.overall.p50_ns * 3;
+    let detail = format!(
+        "local p50 {:.1} ms vs global p50 {:.1} ms (ratio {:.2})",
+        local.overall.p50_ns as f64 / 1e6,
+        global.overall.p50_ns as f64 / 1e6,
+        ratio,
+    );
+    let json = format!(
+        "{{\"local\": {}, \"global\": {}, \"local_vs_global_p50\": {:.3}}}",
+        arm_json(local),
+        arm_json(global),
+        ratio,
+    );
+    Outcome {
+        name: "placement_ab",
+        passed,
+        detail,
+        json,
+    }
+}

@@ -1,0 +1,109 @@
+//! Scenario outcomes and the hand-rolled JSON report
+//! (`BENCH_scenarios.json`) the heavy form writes.
+
+use common::hist::Histogram;
+
+/// Latency summary of one workload stream, in nanoseconds (rendered
+/// as milliseconds in the report).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Completed operations.
+    pub ops: u64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Mean latency.
+    pub mean_ns: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram of nanosecond samples.
+    pub fn of(h: &Histogram) -> Self {
+        LatencySummary {
+            ops: h.count(),
+            p50_ns: h.quantile(0.50),
+            p95_ns: h.quantile(0.95),
+            p99_ns: h.quantile(0.99),
+            mean_ns: h.mean(),
+        }
+    }
+
+    /// The summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ops\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}}}",
+            self.ops,
+            self.p50_ns as f64 / 1e6,
+            self.p95_ns as f64 / 1e6,
+            self.p99_ns as f64 / 1e6,
+            self.mean_ns / 1e6,
+        )
+    }
+}
+
+/// What one scenario produced: a pass/fail verdict, a human line, and
+/// its JSON fragment for the report.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Scenario name (the report key).
+    pub name: &'static str,
+    /// Did every invariant hold?
+    pub passed: bool,
+    /// One-line human summary (failures list what broke).
+    pub detail: String,
+    /// The scenario's JSON object for the report.
+    pub json: String,
+}
+
+/// Assembles the full `BENCH_scenarios.json` document.
+pub fn report_json(mode: &str, scale_pct: u64, outcomes: &[Outcome]) -> String {
+    let mut body = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "    \"{}\": {{\"passed\": {}, \"detail\": \"{}\", \"results\": {}}}",
+            o.name,
+            o.passed,
+            escape(&o.detail),
+            o.json
+        ));
+    }
+    format!(
+        "{{\n  \"suite\": \"wan_scenarios\",\n  \"mode\": \"{mode}\",\n  \
+         \"wan_delay_scale_pct\": {scale_pct},\n  \"scenarios\": {{\n{body}\n  }}\n}}\n"
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_shape() {
+        let mut h = Histogram::new();
+        for v in [100, 200, 300] {
+            h.record(v);
+        }
+        let s = LatencySummary::of(&h);
+        assert_eq!(s.ops, 3);
+        let out = Outcome {
+            name: "placement_ab",
+            passed: true,
+            detail: "local p50 \"materially\" below global".into(),
+            json: format!("{{\"overall\": {}}}", s.to_json()),
+        };
+        let doc = report_json("smoke", 40, &[out]);
+        assert!(doc.contains("\"wan_delay_scale_pct\": 40"));
+        assert!(doc.contains("\\\"materially\\\""));
+        assert!(doc.contains("\"placement_ab\""));
+    }
+}

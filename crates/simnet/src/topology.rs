@@ -13,62 +13,13 @@
 use common::ids::NodeId;
 use std::time::Duration;
 
+/// The shared world definition, re-exported so existing `simnet`
+/// callers keep compiling; the canonical home is [`common::geo`], which
+/// `liverun::netem` builds the identical live world from.
+pub use common::geo::{Region, WanProfile, EC2_RTT_MS};
+
 /// Index of a site (datacenter) in a topology.
 pub type SiteId = usize;
-
-/// The four EC2 regions used in the paper's global experiments (§8.4.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Region {
-    /// Ireland.
-    EuWest1,
-    /// Northern Virginia.
-    UsEast1,
-    /// Northern California.
-    UsWest1,
-    /// Oregon.
-    UsWest2,
-}
-
-impl Region {
-    /// All four regions, in the paper's deployment order.
-    pub const ALL: [Region; 4] = [
-        Region::EuWest1,
-        Region::UsWest1,
-        Region::UsEast1,
-        Region::UsWest2,
-    ];
-
-    /// Region name as used by AWS.
-    pub fn name(self) -> &'static str {
-        match self {
-            Region::EuWest1 => "eu-west-1",
-            Region::UsEast1 => "us-east-1",
-            Region::UsWest1 => "us-west-1",
-            Region::UsWest2 => "us-west-2",
-        }
-    }
-
-    fn index(self) -> usize {
-        match self {
-            Region::EuWest1 => 0,
-            Region::UsEast1 => 1,
-            Region::UsWest1 => 2,
-            Region::UsWest2 => 3,
-        }
-    }
-}
-
-/// 2014-era round-trip times between EC2 regions, in milliseconds.
-/// Indexed by [`Region::index`]. Sources: contemporaneous inter-region
-/// measurements; exact values are not load-bearing for the reproduced
-/// shapes, only their relative magnitudes are.
-const EC2_RTT_MS: [[u64; 4]; 4] = [
-    //            eu-w1  us-e1  us-w1  us-w2
-    /* eu-w1 */ [0, 80, 170, 140],
-    /* us-e1 */ [80, 0, 85, 75],
-    /* us-w1 */ [170, 85, 0, 22],
-    /* us-w2 */ [140, 75, 22, 0],
-];
 
 /// Placement and link characteristics for a set of nodes.
 #[derive(Clone, Debug)]
@@ -106,28 +57,36 @@ impl Topology {
     }
 
     /// The paper's global deployment: four EC2 regions, WAN RTTs from 2014,
-    /// 1 Gbps inter-region bandwidth and 10 Gbps intra-region.
+    /// 1 Gbps inter-region bandwidth and 10 Gbps intra-region. Derived
+    /// from [`WanProfile::ec2_2014`] — the same profile the live netem
+    /// layer shapes real sockets with.
     pub fn ec2() -> Self {
-        let n = 4;
+        Self::from_profile(&WanProfile::ec2_2014())
+    }
+
+    /// Builds a topology with one site per [`Region`] from a shared
+    /// [`WanProfile`] (one-way latency = RTT/2, the profile's bandwidth
+    /// classes and proportional jitter).
+    pub fn from_profile(profile: &WanProfile) -> Self {
+        let n = Region::ALL.len();
         let mut latency_ns = vec![vec![0u64; n]; n];
         let mut bandwidth = vec![vec![0f64; n]; n];
-        for a in 0..n {
-            for b in 0..n {
-                if a == b {
-                    // intra-region: 0.5 ms RTT, 10 Gbps
-                    latency_ns[a][b] = 250_000;
-                    bandwidth[a][b] = 10e9 / 8.0;
+        for a in Region::ALL {
+            for b in Region::ALL {
+                let (i, j) = (a.index(), b.index());
+                latency_ns[i][j] = (profile.rtt(a, b).as_nanos() / 2) as u64;
+                bandwidth[i][j] = if i == j {
+                    profile.intra_bytes_per_sec as f64
                 } else {
-                    latency_ns[a][b] = EC2_RTT_MS[a][b] * 1_000_000 / 2;
-                    bandwidth[a][b] = 1e9 / 8.0;
-                }
+                    profile.inter_bytes_per_sec as f64
+                };
             }
         }
         Topology {
             site_of: Vec::new(),
             latency_ns,
             bandwidth,
-            jitter_frac: 0.05,
+            jitter_frac: profile.jitter_pct as f64 / 100.0,
             loopback: Duration::from_micros(5),
             loss_prob: 0.0,
         }
